@@ -1,0 +1,163 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot kernels: the Rim &
+ * Jain relaxation, the Langevin & Cerny bound (with and without
+ * Theorem 1), LateRC, the pairwise bound, the generic list
+ * scheduler, and the Help/Balance engines. These back the empirical
+ * complexity discussion around Tables 2 and 6 with wall-clock data.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bounds/superblock_bounds.hh"
+#include "core/balance_scheduler.hh"
+#include "sched/priorities.hh"
+#include "workload/generator.hh"
+
+using namespace balance;
+
+namespace
+{
+
+/** One representative superblock of roughly the requested size. */
+Superblock
+sampleSuperblock(int targetOps)
+{
+    GeneratorParams params;
+    params.blockGeoP = 0.35;
+    params.opsPerBlockMu = 1.8;
+    Rng rng(std::uint64_t(targetOps) * 77 + 5);
+    // Draw until close enough; deterministic for a target.
+    for (int i = 0; i < 200; ++i) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params, "bench");
+        if (sb.numOps() >= targetOps / 2 &&
+            sb.numOps() <= targetOps * 2) {
+            return sb;
+        }
+    }
+    Rng child = rng.fork();
+    return generateSuperblock(child, params, "bench");
+}
+
+void
+BM_RimJainBound(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rjEarly(ctx, m));
+    state.SetLabel(std::to_string(sb.numOps()) + " ops");
+}
+
+void
+BM_LangevinCerny(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    Dag dag = Dag::fromSuperblock(sb);
+    MachineModel m = MachineModel::fs4();
+    LcOptions opts;
+    opts.useTheorem1 = state.range(1) != 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lcEarlyRC(dag, m, opts));
+    state.SetLabel(std::to_string(sb.numOps()) + " ops, theorem1=" +
+                   std::to_string(state.range(1)));
+}
+
+void
+BM_LateRC(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    auto earlyRC = lcEarlyRCForSuperblock(ctx, m);
+    for (auto _ : state) {
+        for (int bi = 0; bi < sb.numBranches(); ++bi)
+            benchmark::DoNotOptimize(lateRCFor(ctx, m, bi, earlyRC));
+    }
+}
+
+void
+BM_PairwiseBounds(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    auto earlyRC = lcEarlyRCForSuperblock(ctx, m);
+    std::vector<std::vector<int>> lateRCs;
+    for (int bi = 0; bi < sb.numBranches(); ++bi)
+        lateRCs.push_back(lateRCFor(ctx, m, bi, earlyRC));
+    for (auto _ : state) {
+        PairwiseBounds pw(ctx, m, earlyRC, lateRCs);
+        benchmark::DoNotOptimize(pw.superblockWct());
+    }
+}
+
+void
+BM_ListScheduler(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    auto key = criticalPathKey(ctx);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(listSchedule(sb, m, key));
+}
+
+void
+BM_HelpScheduler(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    HelpScheduler help;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(help.run(ctx, m));
+}
+
+void
+BM_BalanceScheduler(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    BalanceScheduler bal;
+    BoundsToolkit toolkit(ctx, m, bal.config().bounds);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            bal.runWithToolkit(ctx, m, toolkit));
+}
+
+void
+BM_BalanceFullUpdate(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    BalanceConfig cfg;
+    cfg.useLightUpdate = false;
+    BalanceScheduler bal(cfg, "Balance-full");
+    BoundsToolkit toolkit(ctx, m, bal.config().bounds);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            bal.runWithToolkit(ctx, m, toolkit));
+}
+
+BENCHMARK(BM_RimJainBound)->Arg(25)->Arg(100)->Arg(300);
+BENCHMARK(BM_LangevinCerny)
+    ->Args({25, 1})
+    ->Args({25, 0})
+    ->Args({100, 1})
+    ->Args({100, 0})
+    ->Args({300, 1});
+BENCHMARK(BM_LateRC)->Arg(25)->Arg(100);
+BENCHMARK(BM_PairwiseBounds)->Arg(25)->Arg(100);
+BENCHMARK(BM_ListScheduler)->Arg(25)->Arg(100)->Arg(300);
+BENCHMARK(BM_HelpScheduler)->Arg(25)->Arg(100);
+BENCHMARK(BM_BalanceScheduler)->Arg(25)->Arg(100);
+BENCHMARK(BM_BalanceFullUpdate)->Arg(25)->Arg(100);
+
+} // namespace
+
+BENCHMARK_MAIN();

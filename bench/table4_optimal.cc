@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces Table 4: the percentage of nontrivial superblocks each
+ * heuristic schedules at the tightest lower bound, per machine
+ * configuration, plus the paper's compile-time argument: scheduling
+ * with DHASY first and escalating to Balance only when DHASY is not
+ * provably optimal.
+ *
+ *   ./table4_optimal [--scale f] [--seed s] [--config M]...
+ */
+
+#include <iostream>
+
+#include "eval/bench_options.hh"
+#include "eval/experiment.hh"
+#include "support/table.hh"
+
+using namespace balance;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = parseBenchOptions(argc, argv, /*scale=*/0.25);
+    auto suite = opts.buildSuitePopulation();
+    HeuristicSet set = HeuristicSet::paperSet();
+    auto names = set.names();
+
+    std::cout << "Table 4: optimally scheduled nontrivial superblocks\n"
+              << "suite: " << suiteSize(suite) << " superblocks (scale "
+              << opts.suite.scale << ")\n\n";
+
+    TextTable table;
+    std::vector<std::string> header = {"config", "nontrivial"};
+    for (const auto &n : names)
+        header.push_back(n);
+    header.push_back("DHASY->Balance escalations");
+    table.setHeader(header);
+
+    // The abstract's headline: % of ALL superblocks scheduled at the
+    // bound (paper FS4/FS6/FS8: Best 81.65/89.62/96.09, Balance
+    // 81.35/89.58/96.08).
+    TextTable headline;
+    std::vector<std::string> hlHeader = {"config"};
+    for (const auto &n : names)
+        hlHeader.push_back(n);
+    headline.setHeader(hlHeader);
+
+    for (const MachineModel &machine : opts.machines) {
+        int dhasyOptimal = 0;
+        int balanceNeeded = 0;
+        int dhasyIdx = -1;
+        for (std::size_t h = 0; h < names.size(); ++h) {
+            if (names[h] == "DHASY")
+                dhasyIdx = int(h);
+        }
+        PopulationMetrics m = evaluatePopulation(
+            suite, machine, set, {},
+            [&](const Superblock &, const SuperblockEval &eval) {
+                bool dhasyHitsBound =
+                    eval.wct[std::size_t(dhasyIdx)] <=
+                    eval.tightest + 1e-9;
+                if (dhasyHitsBound)
+                    ++dhasyOptimal;
+                else
+                    ++balanceNeeded;
+            });
+
+        int nontrivial = m.superblocks - m.trivialSuperblocks;
+        std::vector<std::string> row = {machine.name(),
+                                        std::to_string(nontrivial)};
+        for (std::size_t h = 0; h < names.size(); ++h) {
+            row.push_back(fmtPercent(
+                100.0 * m.optimalNontrivialFraction[h]));
+        }
+        row.push_back(fmtPercent(100.0 * balanceNeeded /
+                                 std::max(1, m.superblocks)) +
+                      " of suite");
+        table.addRow(row);
+
+        std::vector<std::string> hlRow = {machine.name()};
+        for (std::size_t h = 0; h < names.size(); ++h)
+            hlRow.push_back(fmtPercent(100.0 * m.optimalFraction[h]));
+        headline.addRow(hlRow);
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "superblocks scheduled at the bound (all, trivial "
+                 "included):\n"
+              << headline.render() << "\n";
+
+    std::cout
+        << "expected shape (paper): Balance schedules the largest\n"
+        << "fraction of nontrivial superblocks optimally among the\n"
+        << "primaries; running Balance only where DHASY misses the\n"
+        << "bound touches roughly a fifth of the suite.\n";
+    return 0;
+}

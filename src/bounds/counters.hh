@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Instrumentation counters for the bound algorithms. Table 2 of the
+ * paper characterizes each bound's cost by the sum of its loop trip
+ * counts; every inner loop in this module ticks a counter so the
+ * bench can reproduce that table without wall-clock noise.
+ */
+
+#ifndef BALANCE_BOUNDS_COUNTERS_HH
+#define BALANCE_BOUNDS_COUNTERS_HH
+
+namespace balance
+{
+
+/**
+ * Accumulates loop trip counts for one bound computation. Pass
+ * nullptr wherever the cost accounting is not wanted; the algorithms
+ * check before ticking.
+ */
+struct BoundCounters
+{
+    /** Total inner-loop iterations (the paper's "statistics"). */
+    long long trips = 0;
+
+    /** Tick @p n loop trips. */
+    void
+    tick(long long n = 1)
+    {
+        trips += n;
+    }
+};
+
+/** Tick helper tolerating null counter pointers. */
+inline void
+tick(BoundCounters *counters, long long n = 1)
+{
+    if (counters)
+        counters->tick(n);
+}
+
+} // namespace balance
+
+#endif // BALANCE_BOUNDS_COUNTERS_HH

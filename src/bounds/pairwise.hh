@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The Pairwise bound (Section 4.2) and the pairwise superblock bound
+ * (Section 4.3, Theorem 3).
+ *
+ * For an ordered branch pair (i, j) with i preceding j, the bound
+ * sweeps a forced separation latency l on an added edge i -> j,
+ * solves the Rim & Jain relaxation of the subgraph rooted at j for
+ * each l, and records the issue-cycle pair
+ *     (x_l, y_l) = (bound(j) - l clamped to EarlyRC[i], bound(j)).
+ * The pair minimizing w_i x + w_j y lower-bounds the weighted
+ * completion of the two branches in any schedule (Theorem 2). The
+ * sweep follows Figure 5: start at l0 = EarlyRC[j] - EarlyRC[i],
+ * walk down until y reaches EarlyRC[j], then up until x reaches
+ * EarlyRC[i]; control-flow ordering keeps l >= branch latency and
+ * l <= EarlyRC[j] + 1 suffices.
+ *
+ * Averaging each branch's value over all pairs containing it yields
+ * a whole-superblock weighted-completion-time bound (Theorem 3).
+ */
+
+#ifndef BALANCE_BOUNDS_PAIRWISE_HH
+#define BALANCE_BOUNDS_PAIRWISE_HH
+
+#include <vector>
+
+#include "bounds/counters.hh"
+#include "graph/analysis.hh"
+#include "machine/machine_model.hh"
+
+namespace balance
+{
+
+/** Joint lower bound on the issue cycles of a branch pair. */
+struct PairPoint
+{
+    int x = 0; //!< lower bound on the earlier branch's issue cycle
+    int y = 0; //!< lower bound on the later branch's issue cycle
+};
+
+/** Tuning knobs for the pairwise sweep. */
+struct PairwiseOptions
+{
+    /**
+     * Cap on sweep steps per direction. When the downward sweep is
+     * truncated by the cap, the pair falls back to the naive point
+     * (EarlyRC[i], EarlyRC[j]) to stay a valid lower bound.
+     */
+    int maxSweepSteps = 512;
+};
+
+/**
+ * Compute the pairwise bound for branch pair (bi, bj).
+ *
+ * @param ctx Analysis context (provides heights and closures).
+ * @param machine Resource widths.
+ * @param earlyRC EarlyRC for every operation.
+ * @param lateRCj LateRC for branch bj (lateRCFor output).
+ * @param bi Index of the earlier branch in sb().branches().
+ * @param bj Index of the later branch; bi < bj required.
+ * @param wi Exit probability of branch bi.
+ * @param wj Exit probability of branch bj.
+ * @param opts Sweep limits.
+ * @param counters Optional cost accounting.
+ * @return the minimum-cost (x, y) pair.
+ */
+PairPoint computePairBound(const GraphContext &ctx,
+                           const MachineModel &machine,
+                           const std::vector<int> &earlyRC,
+                           const std::vector<int> &lateRCj, int bi, int bj,
+                           double wi, double wj,
+                           const PairwiseOptions &opts = {},
+                           BoundCounters *counters = nullptr);
+
+/**
+ * All pairwise bounds of a superblock plus the Theorem 3 aggregate.
+ */
+class PairwiseBounds
+{
+  public:
+    /**
+     * Compute bounds for every ordered branch pair.
+     *
+     * @param ctx Analysis context.
+     * @param machine Resource widths.
+     * @param earlyRC EarlyRC for every operation.
+     * @param lateRCPerBranch LateRC vectors, one per branch in
+     *        branch order (lateRCFor output for each branch).
+     * @param opts Sweep limits.
+     * @param counters Optional cost accounting.
+     */
+    PairwiseBounds(const GraphContext &ctx, const MachineModel &machine,
+                   const std::vector<int> &earlyRC,
+                   const std::vector<std::vector<int>> &lateRCPerBranch,
+                   const PairwiseOptions &opts = {},
+                   BoundCounters *counters = nullptr);
+
+    /** @return the number of branches. */
+    int numBranches() const { return b; }
+
+    /**
+     * @return the bound pair for branches with indices @p bi < @p bj.
+     */
+    const PairPoint &pair(int bi, int bj) const;
+
+    /**
+     * Theorem 3: weighted-completion-time lower bound
+     * sum_i w_i * (avg over pairs containing i of i's value + l_br).
+     * Falls back to the naive EarlyRC bound for single-exit blocks;
+     * never below the naive bound.
+     */
+    double superblockWct() const { return wct; }
+
+  private:
+    int b = 0;
+    std::vector<PairPoint> pairs; //!< row-major upper triangle
+    double wct = 0.0;
+};
+
+} // namespace balance
+
+#endif // BALANCE_BOUNDS_PAIRWISE_HH

@@ -1,0 +1,129 @@
+#include "bounds/relaxation.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+int
+rjMaxTardiness(const MachineModel &machine, std::vector<RelaxItem> &items,
+               BoundCounters *counters)
+{
+    if (items.empty())
+        return -(1 << 28);
+
+    // Process in increasing late time; ties broken by early time and
+    // then id for determinism.
+    std::sort(items.begin(), items.end(),
+              [](const RelaxItem &a, const RelaxItem &b) {
+                  if (a.late != b.late)
+                      return a.late < b.late;
+                  if (a.early != b.early)
+                      return a.early < b.early;
+                  return a.op < b.op;
+              });
+
+    ResourceState table(machine);
+    int maxTardiness = -(1 << 28);
+    for (const RelaxItem &item : items) {
+        bsAssert(item.early >= 0, "negative early time in relaxation");
+        int cycle = item.early;
+        // Fully pipelined units: each item occupies one slot of its
+        // pool for one cycle, so the greedy scan always terminates.
+        while (!table.hasSlot(cycle, item.cls)) {
+            ++cycle;
+            tick(counters);
+        }
+        table.reserve(cycle, item.cls);
+        maxTardiness = std::max(maxTardiness, cycle - item.late);
+        tick(counters);
+    }
+    return maxTardiness;
+}
+
+Dag
+Dag::fromSuperblock(const Superblock &sb)
+{
+    Dag dag;
+    int v = sb.numOps();
+    dag.cls.resize(std::size_t(v));
+    dag.preds.resize(std::size_t(v));
+    dag.succs.resize(std::size_t(v));
+    for (OpId id = 0; id < v; ++id) {
+        dag.cls[std::size_t(id)] = sb.op(id).cls;
+        auto p = sb.preds(id);
+        dag.preds[std::size_t(id)].assign(p.begin(), p.end());
+        auto s = sb.succs(id);
+        dag.succs[std::size_t(id)].assign(s.begin(), s.end());
+    }
+    return dag;
+}
+
+Dag
+Dag::reversedClosure(const Superblock &sb, const DynBitset &nodes,
+                     std::vector<OpId> *newToOld)
+{
+    bsAssert(nodes.size() == std::size_t(sb.numOps()),
+             "node mask universe mismatch");
+
+    // New ids in reverse program order: the last original op becomes
+    // node 0. Original edges point forward, so flipped edges point
+    // forward in the new numbering, preserving topological ids.
+    std::vector<OpId> order = nodes.toIndices().empty()
+        ? std::vector<OpId>{}
+        : [&] {
+              auto idx = nodes.toIndices();
+              std::vector<OpId> ord(idx.rbegin(), idx.rend());
+              return ord;
+          }();
+    bsAssert(!order.empty(), "reversedClosure of empty node set");
+
+    std::vector<int> newIdOf(std::size_t(sb.numOps()), -1);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        newIdOf[std::size_t(order[i])] = int(i);
+
+    Dag dag;
+    dag.cls.resize(order.size());
+    dag.preds.resize(order.size());
+    dag.succs.resize(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        OpId orig = order[i];
+        dag.cls[i] = sb.op(orig).cls;
+        // Original successors inside the mask become predecessors.
+        for (const Adjacent &e : sb.succs(orig)) {
+            int nid = newIdOf[std::size_t(e.op)];
+            if (nid >= 0)
+                dag.preds[i].push_back({OpId(nid), e.latency});
+        }
+        for (const Adjacent &e : sb.preds(orig)) {
+            int nid = newIdOf[std::size_t(e.op)];
+            if (nid >= 0)
+                dag.succs[i].push_back({OpId(nid), e.latency});
+        }
+    }
+    if (newToOld)
+        *newToOld = std::move(order);
+    return dag;
+}
+
+std::vector<int>
+dagHeightTo(const Dag &dag, int sink)
+{
+    bsAssert(sink >= 0 && sink < dag.n(), "unknown sink ", sink);
+    std::vector<int> height(std::size_t(dag.n()), -1);
+    height[std::size_t(sink)] = 0;
+    for (int v = sink; v >= 0; --v) {
+        if (height[std::size_t(v)] < 0)
+            continue;
+        for (const Adjacent &e : dag.preds[std::size_t(v)]) {
+            height[std::size_t(e.op)] =
+                std::max(height[std::size_t(e.op)],
+                         height[std::size_t(v)] + e.latency);
+        }
+    }
+    return height;
+}
+
+} // namespace balance

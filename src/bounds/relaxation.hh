@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The Rim & Jain relaxation (Section 4.1): the workhorse shared by
+ * every resource-aware bound in this library.
+ *
+ * The relaxed problem drops all dependence edges and keeps, for each
+ * operation i, an issue window [early_i, late_i + (c - CP)] plus the
+ * per-cycle functional-unit limits, where c is the schedule length
+ * being bounded. Processing operations in increasing late order and
+ * greedily placing each in the earliest feasible cycle solves the
+ * relaxation exactly; the lower bound is
+ *     CP + max(0, max_i (t_i - late_i)).
+ *
+ * This file also provides a generic Dag container so the same engine
+ * can run on a superblock, on a subgraph rooted at a branch, or on a
+ * reversed subgraph (for LateRC).
+ */
+
+#ifndef BALANCE_BOUNDS_RELAXATION_HH
+#define BALANCE_BOUNDS_RELAXATION_HH
+
+#include <vector>
+
+#include "bounds/counters.hh"
+#include "graph/analysis.hh"
+#include "graph/superblock.hh"
+#include "machine/machine_model.hh"
+#include "machine/resource_state.hh"
+
+namespace balance
+{
+
+/** One operation of a relaxation instance. */
+struct RelaxItem
+{
+    OpId op = invalidOp;   //!< caller-meaningful identity
+    OpClass cls = OpClass::IntAlu;
+    int early = 0;         //!< earliest issue cycle
+    int late = 0;          //!< latest issue cycle at schedule length CP
+};
+
+/**
+ * Solve the Rim & Jain relaxation.
+ *
+ * @param machine Resource widths.
+ * @param items Operations with their windows; reordered in place by
+ *        increasing late time (the greedy's processing order).
+ * @param counters Optional loop-trip accounting.
+ * @return max over items of (t_i - late_i); negative when every
+ *         operation meets its deadline. The caller's bound is
+ *         CP + max(0, result).
+ */
+int rjMaxTardiness(const MachineModel &machine,
+                   std::vector<RelaxItem> &items,
+                   BoundCounters *counters = nullptr);
+
+/**
+ * Generic DAG with topologically numbered nodes, used where the
+ * bound must run on something other than the superblock itself
+ * (reversed subgraphs for LateRC). Edges always point from a lower
+ * to a higher node id.
+ */
+struct Dag
+{
+    /** Class of each node (determines the resource pool). */
+    std::vector<OpClass> cls;
+    /** Predecessor adjacency with edge latencies. */
+    std::vector<std::vector<Adjacent>> preds;
+    /** Successor adjacency with edge latencies. */
+    std::vector<std::vector<Adjacent>> succs;
+
+    /** @return the number of nodes. */
+    int n() const { return int(cls.size()); }
+
+    /** Wrap a whole superblock (ids map one-to-one). */
+    static Dag fromSuperblock(const Superblock &sb);
+
+    /**
+     * Build the reversed subgraph over @p nodes (typically
+     * closure(b)): node order is the reverse of the original program
+     * order, every edge flips direction and keeps its latency.
+     *
+     * @param sb The source superblock.
+     * @param nodes Mask of operations to include.
+     * @param newToOld Receives, for each new node id, the original
+     *        OpId (may be null).
+     */
+    static Dag reversedClosure(const Superblock &sb, const DynBitset &nodes,
+                               std::vector<OpId> *newToOld);
+};
+
+/**
+ * Longest path from each node of @p dag to @p sink (nodes without a
+ * path get -1; sink gets 0). Mirrors computeHeightTo for Dag.
+ */
+std::vector<int> dagHeightTo(const Dag &dag, int sink);
+
+} // namespace balance
+
+#endif // BALANCE_BOUNDS_RELAXATION_HH

@@ -1,0 +1,110 @@
+#include "bounds/superblock_bounds.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+double
+wctFromBranchEarly(const Superblock &sb,
+                   const std::vector<int> &earlyPerBranch)
+{
+    bsAssert(int(earlyPerBranch.size()) == sb.numBranches(),
+             "per-branch bound size mismatch");
+    double wct = 0.0;
+    for (int bi = 0; bi < sb.numBranches(); ++bi) {
+        OpId b = sb.branches()[std::size_t(bi)];
+        wct += sb.exitProb(b) *
+               (earlyPerBranch[std::size_t(bi)] + sb.op(b).latency);
+    }
+    return wct;
+}
+
+double
+WctBounds::tightest() const
+{
+    return std::max({cp, hu, rj, lc, pw, tw});
+}
+
+BoundsToolkit::BoundsToolkit(const GraphContext &ctx,
+                             const MachineModel &machine,
+                             const BoundConfig &config,
+                             BoundCounterSet *counters)
+    : context(&ctx)
+{
+    earlyRCPerOp = lcEarlyRCForSuperblock(
+        ctx, machine, config.lc, counters ? &counters->lc : nullptr);
+
+    const Superblock &sb = ctx.sb();
+    lateRCPerBranch.reserve(std::size_t(sb.numBranches()));
+    for (int bi = 0; bi < sb.numBranches(); ++bi) {
+        lateRCPerBranch.push_back(
+            lateRCFor(ctx, machine, bi, earlyRCPerOp,
+                      counters ? &counters->lcReverse : nullptr));
+    }
+
+    if (config.computePairwise) {
+        pw = std::make_unique<PairwiseBounds>(
+            ctx, machine, earlyRCPerOp, lateRCPerBranch, config.pairwise,
+            counters ? &counters->pw : nullptr);
+    }
+}
+
+const std::vector<int> &
+BoundsToolkit::lateRC(int branchIdx) const
+{
+    bsAssert(branchIdx >= 0 &&
+                 branchIdx < int(lateRCPerBranch.size()),
+             "branch index out of range: ", branchIdx);
+    return lateRCPerBranch[std::size_t(branchIdx)];
+}
+
+WctBounds
+computeWctBounds(const GraphContext &ctx, const MachineModel &machine,
+                 const BoundConfig &config, BoundCounterSet *counters)
+{
+    const Superblock &sb = ctx.sb();
+
+    WctBounds out;
+    out.cp = wctFromBranchEarly(sb, cpEarly(ctx));
+    out.hu = wctFromBranchEarly(
+        sb, huEarly(ctx, machine, counters ? &counters->hu : nullptr));
+    out.rj = wctFromBranchEarly(
+        sb, rjEarly(ctx, machine, counters ? &counters->rj : nullptr));
+
+    BoundsToolkit toolkit(ctx, machine, config, counters);
+
+    std::vector<int> lcBranches;
+    lcBranches.reserve(std::size_t(sb.numBranches()));
+    for (OpId b : sb.branches())
+        lcBranches.push_back(toolkit.earlyRC()[std::size_t(b)]);
+    out.lc = wctFromBranchEarly(sb, lcBranches);
+
+    if (config.computePairwise && toolkit.pairwise()) {
+        // The paper's PW is never below the naive LC aggregation:
+        // every pair value is clamped to the EarlyRC floor.
+        out.pw = toolkit.pairwise()->superblockWct();
+        if (config.computeTriplewise) {
+            // LateRC vectors live in the toolkit; rebuild the spans.
+            std::vector<std::vector<int>> lateRCs;
+            lateRCs.reserve(std::size_t(sb.numBranches()));
+            for (int bi = 0; bi < sb.numBranches(); ++bi)
+                lateRCs.push_back(toolkit.lateRC(bi));
+            TriplewiseResult tw = computeTriplewise(
+                ctx, machine, toolkit.earlyRC(), lateRCs,
+                *toolkit.pairwise(), config.triplewise,
+                counters ? &counters->tw : nullptr);
+            out.tw = tw.wct;
+        } else {
+            out.tw = out.pw;
+        }
+    } else {
+        out.pw = out.lc;
+        out.tw = out.lc;
+    }
+    return out;
+}
+
+} // namespace balance

@@ -1,0 +1,226 @@
+#include "bounds/triplewise.hh"
+
+#include <algorithm>
+
+#include "bounds/relaxation.hh"
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** One issue-cycle candidate for a branch triple. */
+struct TriplePoint
+{
+    int x = 0;
+    int y = 0;
+    int z = 0;
+};
+
+/**
+ * Evaluate one grid point: RJ bound on branch k's issue with edges
+ * i -> j (latency a) and j -> k (latency b) added to the subgraph
+ * rooted at k. Heights compose from the per-branch heights: any path
+ * using the new edges funnels through j, so
+ *   HjNew[x] = max(height_j[x], height_i[x] + a)
+ *   H[x]     = max(height_k[x], HjNew[x] + max(b, height_k[j])).
+ */
+TriplePoint
+evalTriple(const GraphContext &ctx, const MachineModel &machine,
+           const std::vector<int> &earlyRC,
+           const std::vector<int> &lateRCk, OpId i, OpId j, OpId k,
+           int bi, int bj, int bk, int a, int b, BoundCounters *counters)
+{
+    const std::vector<int> &heightI = ctx.heightToBranch(bi);
+    const std::vector<int> &heightJ = ctx.heightToBranch(bj);
+    const std::vector<int> &heightK = ctx.heightToBranch(bk);
+    int ei = earlyRC[std::size_t(i)];
+    int ej = earlyRC[std::size_t(j)];
+    int ek = earlyRC[std::size_t(k)];
+
+    int jToK = std::max(b, heightK[std::size_t(j)]);
+
+    auto augHeight = [&](OpId x) {
+        int h = heightK[std::size_t(x)];
+        int hj = heightJ[std::size_t(x)];
+        int hi = heightI[std::size_t(x)];
+        int hjNew = hj;
+        if (hi >= 0)
+            hjNew = std::max(hjNew, hi + a);
+        if (hjNew >= 0)
+            h = std::max(h, hjNew + jToK);
+        return h;
+    };
+
+    int cp = ek;
+    for (OpId x = 0; x <= k; ++x) {
+        if (heightK[std::size_t(x)] < 0)
+            continue;
+        cp = std::max(cp, earlyRC[std::size_t(x)] + augHeight(x));
+        tick(counters);
+    }
+
+    std::vector<RelaxItem> items;
+    for (OpId x = 0; x <= k; ++x) {
+        if (heightK[std::size_t(x)] < 0)
+            continue;
+        int late = cp - augHeight(x);
+        if (lateRCk[std::size_t(x)] != lateUnconstrained)
+            late = std::min(late, lateRCk[std::size_t(x)] + (cp - ek));
+        items.push_back({x, ctx.sb().op(x).cls, earlyRC[std::size_t(x)],
+                         late});
+    }
+    int tard = rjMaxTardiness(machine, items, counters);
+
+    TriplePoint pt;
+    pt.z = cp + std::max(0, tard);
+    pt.y = std::max(pt.z - b, ej);
+    pt.x = std::max(pt.y - a, ei);
+    return pt;
+}
+
+} // namespace
+
+TriplewiseResult
+computeTriplewise(const GraphContext &ctx, const MachineModel &machine,
+                  const std::vector<int> &earlyRC,
+                  const std::vector<std::vector<int>> &lateRCPerBranch,
+                  const PairwiseBounds &pw, const TriplewiseOptions &opts,
+                  BoundCounters *counters)
+{
+    const Superblock &sb = ctx.sb();
+    int numBr = sb.numBranches();
+
+    TriplewiseResult result;
+    if (numBr < 3 || numBr > opts.maxBranches) {
+        result.wct = pw.superblockWct();
+        result.fellBack = true;
+        return result;
+    }
+
+    // Per-branch accumulation for the partial Theorem 3 extension.
+    std::vector<double> sums(std::size_t(numBr), 0.0);
+    std::vector<long long> counts(std::size_t(numBr), 0);
+    long long evals = 0;
+
+    for (int bi = 0; bi < numBr && evals < opts.maxEvals; ++bi) {
+        for (int bj = bi + 1; bj < numBr && evals < opts.maxEvals; ++bj) {
+            for (int bk = bj + 1; bk < numBr && evals < opts.maxEvals;
+                 ++bk) {
+                OpId i = sb.branches()[std::size_t(bi)];
+                OpId j = sb.branches()[std::size_t(bj)];
+                OpId k = sb.branches()[std::size_t(bk)];
+                double wi = sb.exitProb(i);
+                double wj = sb.exitProb(j);
+                double wk = sb.exitProb(k);
+                int ei = earlyRC[std::size_t(i)];
+                int ej = earlyRC[std::size_t(j)];
+                int ek = earlyRC[std::size_t(k)];
+                const std::vector<int> &lateRCk =
+                    lateRCPerBranch[std::size_t(bk)];
+
+                int aMin = sb.op(i).latency;
+                int bMin = sb.op(j).latency;
+                // Unlike the pairwise case, Theorem 2's termination
+                // property does not transfer to the i-coordinate of
+                // a triple (x derives from the k-anchored bound), so
+                // the a-sweep may need to reach past EarlyRC[j] + 1;
+                // the boundary column below keeps any cap sound.
+                int aCap = std::min(ek + 1, aMin + opts.maxLatRange);
+                int bCap = std::min(ek + 1, bMin + opts.maxLatRange);
+
+                TriplePoint best;
+                bool haveBest = false;
+                auto record = [&](TriplePoint pt) {
+                    double cost = wi * pt.x + wj * pt.y + wk * pt.z;
+                    if (!haveBest ||
+                        cost < wi * best.x + wj * best.y + wk * best.z) {
+                        best = pt;
+                        haveBest = true;
+                    }
+                };
+
+                for (int a = aMin; a <= aCap; ++a) {
+                    bool columnAllXAtFloor = true;
+                    int yFloor = std::max(ej, ei + a);
+                    bool innerBroke = false;
+                    TriplePoint last{};
+                    for (int b = bMin; b <= bCap; ++b) {
+                        TriplePoint pt =
+                            evalTriple(ctx, machine, earlyRC, lateRCk, i,
+                                       j, k, bi, bj, bk, a, b, counters);
+                        ++evals;
+                        // Boundary column: relax coordinates to the
+                        // individual bounds so separations beyond the
+                        // sweep stay covered (sound: only lowers).
+                        if (a == aCap) {
+                            pt.x = ei;
+                            pt.y = ej;
+                        }
+                        record(pt);
+                        last = pt;
+                        if (pt.x != ei)
+                            columnAllXAtFloor = false;
+                        // Once both x and y sit at their floors for
+                        // this column, larger b only raises z:
+                        // schedules with larger separations are
+                        // dominated by this candidate.
+                        if (pt.x == ei && pt.y <= yFloor) {
+                            innerBroke = true;
+                            break;
+                        }
+                        if (evals >= opts.maxEvals)
+                            break;
+                    }
+                    if (!innerBroke) {
+                        // Capped fallback covering separations past
+                        // bCap at this exact a.
+                        TriplePoint capped{ei, yFloor, last.z};
+                        if (a == aCap)
+                            capped.y = ej;
+                        record(capped);
+                    }
+                    if (columnAllXAtFloor)
+                        break;
+                    if (evals >= opts.maxEvals)
+                        break;
+                }
+
+                if (haveBest) {
+                    sums[std::size_t(bi)] += best.x;
+                    sums[std::size_t(bj)] += best.y;
+                    sums[std::size_t(bk)] += best.z;
+                    ++counts[std::size_t(bi)];
+                    ++counts[std::size_t(bj)];
+                    ++counts[std::size_t(bk)];
+                    ++result.triplesEvaluated;
+                }
+            }
+        }
+    }
+
+    long long cmax = *std::max_element(counts.begin(), counts.end());
+    if (cmax == 0) {
+        result.wct = pw.superblockWct();
+        result.fellBack = true;
+        return result;
+    }
+
+    // Partial Theorem 3: pad branches with fewer triples using the
+    // singleton inequality t_m >= EarlyRC[m], then average by cmax.
+    double wct = 0.0;
+    for (int m = 0; m < numBr; ++m) {
+        OpId opM = sb.branches()[std::size_t(m)];
+        double w = sb.exitProb(opM);
+        double padded = sums[std::size_t(m)] +
+                        double(cmax - counts[std::size_t(m)]) *
+                            double(earlyRC[std::size_t(opM)]);
+        wct += w * (padded / double(cmax) + sb.op(opM).latency);
+    }
+    result.wct = wct;
+    return result;
+}
+
+} // namespace balance

@@ -1,0 +1,125 @@
+#include "cfg/cfg_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+CfgProgram
+generateCfg(Rng &rng, const CfgGenParams &params)
+{
+    int n = int(rng.uniformInt(params.minBlocks, params.maxBlocks));
+    CfgProgram cfg;
+
+    int nextReg = 0;
+    std::vector<VReg> defined; // registers with at least one def
+
+    for (int bi = 0; bi < n; ++bi) {
+        CfgBlock block;
+        block.name = "b" + std::to_string(bi);
+
+        int instrs = std::max(1, int(std::llround(rng.logNormal(
+                                  params.instrsMu, params.instrsSigma))));
+        for (int k = 0; k < instrs; ++k) {
+            CfgInstr instr;
+            double u = rng.uniformDouble();
+            if (u < params.floatFraction) {
+                instr.cls = OpClass::FloatAlu;
+                instr.latency = rng.bernoulli(0.4)
+                    ? Latencies::floatMultiply
+                    : Latencies::unit;
+            } else if (u < params.floatFraction + params.memFraction) {
+                instr.cls = OpClass::Memory;
+                if (rng.bernoulli(params.storeFraction)) {
+                    instr.isStore = true;
+                    instr.latency = Latencies::unit;
+                } else {
+                    instr.isLoad = true;
+                    instr.latency = Latencies::load;
+                }
+            } else {
+                instr.cls = OpClass::IntAlu;
+                instr.latency = Latencies::unit;
+            }
+
+            // Sources: up to two recently defined registers.
+            int nSrcs = int(rng.uniformInt(instr.isStore ? 1 : 0, 2));
+            for (int s = 0; s < nSrcs && !defined.empty(); ++s) {
+                double v = rng.uniformDouble();
+                std::size_t pick = std::size_t(
+                    double(defined.size()) * (1.0 - v * v));
+                pick = std::min(pick, defined.size() - 1);
+                instr.srcs.push_back(defined[pick]);
+            }
+
+            // Destination: stores define nothing.
+            if (!instr.isStore) {
+                if (!defined.empty() &&
+                    rng.bernoulli(params.reuseDestProb)) {
+                    instr.dest = defined[std::size_t(rng.uniformInt(
+                        0, int(defined.size()) - 1))];
+                } else {
+                    instr.dest = nextReg++;
+                    defined.push_back(instr.dest);
+                }
+            }
+            block.instrs.push_back(std::move(instr));
+        }
+
+        // Terminator: conditional with a short forward taken edge,
+        // except the last block which exits the region.
+        bool last = bi + 1 == n;
+        if (!last) {
+            block.fallthrough = bi + 1;
+            if (rng.bernoulli(params.condProb)) {
+                int maxTarget = std::min(n - 1, bi + params.maxHop);
+                if (maxTarget > bi + 1) {
+                    block.takenTarget = int(
+                        rng.uniformInt(bi + 2, maxTarget));
+                } else {
+                    block.takenTarget = noBlock;
+                }
+                // A taken edge may also leave the region entirely.
+                if (block.takenTarget == noBlock ||
+                    rng.bernoulli(0.15)) {
+                    block.takenTarget = noBlock;
+                }
+                block.takenProb = rng.uniformDouble(params.takenMin,
+                                                    params.takenMax);
+                if (!defined.empty()) {
+                    block.branchSrcs.push_back(
+                        defined[std::size_t(rng.uniformInt(
+                            0, int(defined.size()) - 1))]);
+                }
+            }
+        } else if (!defined.empty()) {
+            block.branchSrcs.push_back(defined.back());
+        }
+
+        cfg.addBlock(std::move(block));
+    }
+
+    // Exact profile propagation over the forward edges.
+    cfg.blockMut(0).frequency =
+        std::max(1.0, rng.logNormal(params.freqMu, params.freqSigma));
+    std::vector<double> inflow(std::size_t(n), 0.0);
+    for (int bi = 0; bi < n; ++bi) {
+        CfgBlock &b = cfg.blockMut(bi);
+        if (bi > 0)
+            b.frequency = inflow[std::size_t(bi)];
+        if (b.takenTarget != noBlock)
+            inflow[std::size_t(b.takenTarget)] +=
+                b.frequency * b.takenProb;
+        if (b.fallthrough != noBlock)
+            inflow[std::size_t(b.fallthrough)] +=
+                b.frequency * (1.0 - b.takenProb);
+    }
+
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace balance

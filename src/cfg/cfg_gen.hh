@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Synthetic profiled-CFG generation: acyclic single-entry regions
+ * with biased conditional branches, register dataflow that exercises
+ * flow/anti/output dependences, and memory operations for the
+ * ordering rules. Paired with cfg/superblock_form this gives the
+ * repository a second, structurally independent way to populate the
+ * schedulers (the first being workload/generator's direct DAG
+ * synthesis).
+ */
+
+#ifndef BALANCE_CFG_CFG_GEN_HH
+#define BALANCE_CFG_CFG_GEN_HH
+
+#include "cfg/program.hh"
+#include "support/rng.hh"
+
+namespace balance
+{
+
+/** Shape parameters for one synthetic region. */
+struct CfgGenParams
+{
+    int minBlocks = 4;
+    int maxBlocks = 20;
+    /** Lognormal instructions per block: exp(N(mu, sigma)). */
+    double instrsMu = 1.5;
+    double instrsSigma = 0.5;
+    /** Probability a block's terminator is conditional. */
+    double condProb = 0.75;
+    /** Taken-probability range for conditional terminators. */
+    double takenMin = 0.02;
+    double takenMax = 0.45;
+    /** Maximum forward distance of a taken edge. */
+    int maxHop = 6;
+    /** Operation class mix (remainder integer). */
+    double memFraction = 0.30;
+    double floatFraction = 0.02;
+    /** Fraction of memory instructions that are stores. */
+    double storeFraction = 0.35;
+    /** Probability a definition reuses an existing register. */
+    double reuseDestProb = 0.25;
+    /** Entry frequency: exp(N(mu, sigma)). */
+    double freqMu = 4.0;
+    double freqSigma = 1.0;
+};
+
+/** Generate one region; the result passes CfgProgram::validate(). */
+CfgProgram generateCfg(Rng &rng, const CfgGenParams &params = {});
+
+} // namespace balance
+
+#endif // BALANCE_CFG_CFG_GEN_HH

@@ -1,0 +1,77 @@
+#include "cfg/liveness.hh"
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+Liveness::Liveness(const CfgProgram &cfg,
+                   const DynBitset &liveOutOfRegion)
+{
+    std::size_t regs = std::size_t(cfg.numVRegs());
+    bsAssert(liveOutOfRegion.size() == regs ||
+                 (regs == 0 && liveOutOfRegion.size() == 0),
+             "live-out universe mismatch: ", liveOutOfRegion.size(),
+             " vs ", regs);
+
+    int n = cfg.numBlocks();
+    ins.assign(std::size_t(n), DynBitset(regs));
+    outs.assign(std::size_t(n), DynBitset(regs));
+
+    // Per-block use/def (upward-exposed uses).
+    std::vector<DynBitset> use{std::size_t(n), DynBitset(regs)};
+    std::vector<DynBitset> def{std::size_t(n), DynBitset(regs)};
+    for (int bi = 0; bi < n; ++bi) {
+        const CfgBlock &b = cfg.block(bi);
+        DynBitset &u = use[std::size_t(bi)];
+        DynBitset &d = def[std::size_t(bi)];
+        for (const CfgInstr &instr : b.instrs) {
+            for (VReg s : instr.srcs) {
+                if (s >= 0 && !d.test(std::size_t(s)))
+                    u.set(std::size_t(s));
+            }
+            if (instr.dest != noReg)
+                d.set(std::size_t(instr.dest));
+        }
+        for (VReg s : b.branchSrcs) {
+            if (s >= 0 && !d.test(std::size_t(s)))
+                u.set(std::size_t(s));
+        }
+    }
+
+    // The CFG is acyclic with forward edges, so one backward sweep
+    // reaches the fixpoint.
+    for (int bi = n - 1; bi >= 0; --bi) {
+        const CfgBlock &b = cfg.block(bi);
+        DynBitset out(regs);
+        bool exits = false;
+        if (b.takenTarget != noBlock)
+            out |= ins[std::size_t(b.takenTarget)];
+        else if (b.takenProb > 0.0)
+            exits = true;
+        if (b.fallthrough != noBlock)
+            out |= ins[std::size_t(b.fallthrough)];
+        else
+            exits = true;
+        if (exits || (b.takenTarget == noBlock &&
+                      b.fallthrough == noBlock)) {
+            out |= liveOutOfRegion;
+        }
+        outs[std::size_t(bi)] = out;
+
+        DynBitset in = out;
+        in.subtract(def[std::size_t(bi)]);
+        in |= use[std::size_t(bi)];
+        ins[std::size_t(bi)] = std::move(in);
+    }
+}
+
+Liveness
+Liveness::allLiveOut(const CfgProgram &cfg)
+{
+    DynBitset all(std::size_t(cfg.numVRegs()));
+    all.setAll();
+    return Liveness(cfg, all);
+}
+
+} // namespace balance

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Classic backward iterative liveness analysis over the CFG. The
+ * superblock builder needs it twice: a value defined on the trace is
+ * live-out at a side exit iff it is live-in at the exit's off-trace
+ * target (the definition must then complete before the exit), and an
+ * instruction may be speculated above an earlier exit only when its
+ * destination is dead on that exit's off-trace path.
+ */
+
+#ifndef BALANCE_CFG_LIVENESS_HH
+#define BALANCE_CFG_LIVENESS_HH
+
+#include <vector>
+
+#include "cfg/program.hh"
+#include "support/bitset.hh"
+
+namespace balance
+{
+
+/** Live-in/live-out register sets per block. */
+class Liveness
+{
+  public:
+    /**
+     * Run the fixpoint over @p cfg. Registers live at region exits
+     * are supplied by @p liveOutOfRegion (a conservative caller
+     * passes every register; an empty set means nothing outlives
+     * the region).
+     */
+    Liveness(const CfgProgram &cfg, const DynBitset &liveOutOfRegion);
+
+    /** Convenience: all registers live out of the region. */
+    static Liveness allLiveOut(const CfgProgram &cfg);
+
+    /** @return registers live on entry to block @p bi. */
+    const DynBitset &
+    liveIn(int bi) const
+    {
+        return ins[std::size_t(bi)];
+    }
+
+    /** @return registers live at the end of block @p bi. */
+    const DynBitset &
+    liveOut(int bi) const
+    {
+        return outs[std::size_t(bi)];
+    }
+
+    /** @return true when @p reg is live on entry to block @p bi. */
+    bool
+    isLiveIn(int bi, VReg reg) const
+    {
+        return reg >= 0 && reg < int(ins[std::size_t(bi)].size()) &&
+               ins[std::size_t(bi)].test(std::size_t(reg));
+    }
+
+  private:
+    std::vector<DynBitset> ins;
+    std::vector<DynBitset> outs;
+};
+
+} // namespace balance
+
+#endif // BALANCE_CFG_LIVENESS_HH

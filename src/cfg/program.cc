@@ -1,0 +1,93 @@
+#include "cfg/program.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+int
+CfgProgram::addBlock(CfgBlock block)
+{
+    blocks.push_back(std::move(block));
+    return int(blocks.size()) - 1;
+}
+
+int
+CfgProgram::numVRegs() const
+{
+    int maxReg = -1;
+    for (const CfgBlock &b : blocks) {
+        for (const CfgInstr &i : b.instrs) {
+            maxReg = std::max(maxReg, i.dest);
+            for (VReg s : i.srcs)
+                maxReg = std::max(maxReg, s);
+        }
+        for (VReg s : b.branchSrcs)
+            maxReg = std::max(maxReg, s);
+    }
+    return maxReg + 1;
+}
+
+void
+CfgProgram::validate() const
+{
+    bsAssert(!blocks.empty(), "CFG has no blocks");
+    std::vector<double> inflow(blocks.size(), 0.0);
+
+    for (int bi = 0; bi < numBlocks(); ++bi) {
+        const CfgBlock &b = blocks[std::size_t(bi)];
+        bsAssert(b.takenProb >= 0.0 && b.takenProb <= 1.0 + 1e-9,
+                 "block ", bi, ": taken probability out of range");
+        bsAssert(b.frequency >= 0.0, "block ", bi,
+                 ": negative frequency");
+        if (b.takenTarget != noBlock) {
+            bsAssert(b.takenTarget > bi && b.takenTarget < numBlocks(),
+                     "block ", bi, ": taken edge must point forward");
+            inflow[std::size_t(b.takenTarget)] +=
+                b.frequency * b.takenProb;
+        }
+        // A taken edge with takenTarget == noBlock leaves the region
+        // (its mass simply does not flow to any block).
+        if (b.fallthrough != noBlock) {
+            bsAssert(b.fallthrough > bi && b.fallthrough < numBlocks(),
+                     "block ", bi, ": fallthrough must point forward");
+            inflow[std::size_t(b.fallthrough)] +=
+                b.frequency * (1.0 - b.takenProb);
+        }
+        for (const CfgInstr &instr : b.instrs) {
+            bsAssert(instr.latency >= 0, "negative latency in block ",
+                     bi);
+            bsAssert(instr.cls != OpClass::Branch,
+                     "branches are terminators, not instructions");
+        }
+    }
+
+    // Frequencies must match the profile flow for non-entry blocks.
+    for (int bi = 1; bi < numBlocks(); ++bi) {
+        double have = blocks[std::size_t(bi)].frequency;
+        double want = inflow[std::size_t(bi)];
+        bsAssert(std::fabs(have - want) <=
+                     1e-6 * std::max(1.0, std::fabs(want)),
+                 "block ", bi, ": frequency ", have,
+                 " inconsistent with profiled inflow ", want);
+    }
+}
+
+std::vector<std::vector<int>>
+CfgProgram::predecessors() const
+{
+    std::vector<std::vector<int>> preds(blocks.size());
+    for (int bi = 0; bi < numBlocks(); ++bi) {
+        const CfgBlock &b = blocks[std::size_t(bi)];
+        if (b.takenTarget != noBlock)
+            preds[std::size_t(b.takenTarget)].push_back(bi);
+        if (b.fallthrough != noBlock)
+            preds[std::size_t(b.fallthrough)].push_back(bi);
+    }
+    return preds;
+}
+
+} // namespace balance

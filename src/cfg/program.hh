@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A small profiled control-flow-graph program representation: the
+ * substrate the paper's superblocks come from (IMPACT forms
+ * superblocks from profiled CFGs; LEGO converts them to scheduling
+ * graphs). This module models what that pipeline needs:
+ *
+ *  - basic blocks of register-based instructions over virtual
+ *    registers, with memory operations flagged for ordering;
+ *  - a conditional (or unconditional) terminator per block with
+ *    profiled taken probability;
+ *  - per-block execution frequencies consistent with the edge
+ *    probabilities.
+ *
+ * The CFG is acyclic (superblock formation operates on loop bodies
+ * after unrolling/peeling, which this library does not model; see
+ * DESIGN.md). Blocks are stored in layout order and every edge
+ * targets a later block.
+ */
+
+#ifndef BALANCE_CFG_PROGRAM_HH
+#define BALANCE_CFG_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/op_class.hh"
+
+namespace balance
+{
+
+/** Virtual register id; the generator hands them out densely. */
+using VReg = int;
+
+/** Sentinel for "no register". */
+constexpr VReg noReg = -1;
+
+/** Sentinel for "no block". */
+constexpr int noBlock = -1;
+
+/**
+ * One non-terminator instruction: a register-to-register operation
+ * or a memory access.
+ */
+struct CfgInstr
+{
+    OpClass cls = OpClass::IntAlu;
+    int latency = 1;
+    VReg dest = noReg;          //!< defined register, if any
+    std::vector<VReg> srcs;     //!< used registers
+    bool isLoad = false;        //!< participates in memory ordering
+    bool isStore = false;       //!< may not be speculated or sunk
+    std::string name;
+
+    /** @return true when the instruction touches memory. */
+    bool isMemory() const { return isLoad || isStore; }
+};
+
+/**
+ * One basic block: straight-line instructions plus a terminator
+ * described by its targets and profiled taken probability.
+ */
+struct CfgBlock
+{
+    std::vector<CfgInstr> instrs;
+    /** Registers the terminator's condition reads (may be empty). */
+    std::vector<VReg> branchSrcs;
+    /** Taken-edge target block, or noBlock for fallthrough-only. */
+    int takenTarget = noBlock;
+    /** Probability the terminator is taken (0 when no taken edge). */
+    double takenProb = 0.0;
+    /** Fallthrough block, or noBlock when the block exits the region. */
+    int fallthrough = noBlock;
+    /** Profiled executions of this block. */
+    double frequency = 0.0;
+    std::string name;
+};
+
+/**
+ * An acyclic profiled CFG region with a single entry (block 0).
+ */
+class CfgProgram
+{
+  public:
+    /** Append a block; returns its index. */
+    int addBlock(CfgBlock block);
+
+    /** @return the number of blocks. */
+    int numBlocks() const { return int(blocks.size()); }
+
+    /** @return block @p index. */
+    const CfgBlock &
+    block(int index) const
+    {
+        return blocks[std::size_t(index)];
+    }
+
+    /** @return mutable block @p index (generator use). */
+    CfgBlock &
+    blockMut(int index)
+    {
+        return blocks[std::size_t(index)];
+    }
+
+    /** @return the largest virtual register id used, plus one. */
+    int numVRegs() const;
+
+    /**
+     * Check structural invariants: edges point forward, entry is
+     * block 0, probabilities are sane, frequencies are consistent
+     * with the edge profile (inflow == frequency for non-entry
+     * blocks, within tolerance). Panics on violation.
+     */
+    void validate() const;
+
+    /** @return the predecessors of each block (by edges). */
+    std::vector<std::vector<int>> predecessors() const;
+
+  private:
+    std::vector<CfgBlock> blocks;
+};
+
+} // namespace balance
+
+#endif // BALANCE_CFG_PROGRAM_HH

@@ -1,0 +1,264 @@
+#include "cfg/superblock_form.hh"
+
+#include <algorithm>
+
+#include "graph/builder.hh"
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** Where a trace block's terminator can leave the trace. */
+struct ExitInfo
+{
+    bool hasExit = false;    //!< some mass leaves the trace here
+    double exitProb = 0.0;   //!< conditional on reaching this block
+    /** Off-trace CFG targets (region exits excluded). */
+    std::vector<int> offTraceTargets;
+    bool leavesRegion = false;
+};
+
+/**
+ * Classify block @p bi's terminator relative to the trace: how much
+ * mass continues to @p nextOnTrace and where the rest goes.
+ */
+ExitInfo
+classifyExit(const CfgBlock &b, int nextOnTrace)
+{
+    ExitInfo info;
+    double contProb = 0.0;
+    if (b.takenTarget != noBlock && b.takenTarget == nextOnTrace) {
+        contProb = b.takenProb;
+        if (b.fallthrough != noBlock)
+            info.offTraceTargets.push_back(b.fallthrough);
+        else
+            info.leavesRegion = true;
+    } else if (b.fallthrough != noBlock &&
+               b.fallthrough == nextOnTrace) {
+        contProb = 1.0 - b.takenProb;
+        if (b.takenProb > 0.0) {
+            if (b.takenTarget != noBlock)
+                info.offTraceTargets.push_back(b.takenTarget);
+            else
+                info.leavesRegion = true;
+        }
+    } else {
+        // Terminator cannot reach the next trace block: everything
+        // leaves here (only legal for the last trace block).
+        bsAssert(nextOnTrace == noBlock,
+                 "trace edge does not exist in the CFG");
+        contProb = 0.0;
+        if (b.takenTarget != noBlock && b.takenProb > 0.0)
+            info.offTraceTargets.push_back(b.takenTarget);
+        else if (b.takenProb > 0.0)
+            info.leavesRegion = true;
+        if (b.fallthrough != noBlock)
+            info.offTraceTargets.push_back(b.fallthrough);
+        else
+            info.leavesRegion = true;
+    }
+    info.exitProb = 1.0 - contProb;
+    info.hasExit = info.exitProb > 1e-12 || nextOnTrace == noBlock;
+    return info;
+}
+
+/** Registers live on the off-trace side of an exit. */
+DynBitset
+liveAtExit(const CfgProgram &cfg, const Liveness &live,
+           const ExitInfo &info)
+{
+    DynBitset out(std::size_t(cfg.numVRegs()));
+    for (int target : info.offTraceTargets)
+        out |= live.liveIn(target);
+    if (info.leavesRegion)
+        out.setAll(); // conservative: region-escaping values live
+    return out;
+}
+
+} // namespace
+
+Superblock
+formSuperblock(const CfgProgram &cfg, const Trace &trace,
+               const Liveness &live, std::string name,
+               const FormOptions &opts)
+{
+    bsAssert(!trace.blocks.empty(), "empty trace");
+    SuperblockBuilder builder(std::move(name));
+    builder.setFrequency(
+        std::max(cfg.block(trace.blocks.front()).frequency, 1.0));
+
+    int regs = cfg.numVRegs();
+    std::vector<OpId> lastDef(std::size_t(std::max(regs, 1)), invalidOp);
+    std::vector<std::vector<OpId>> readersSinceDef(
+        std::size_t(std::max(regs, 1)));
+    OpId lastStore = invalidOp;
+    std::vector<OpId> loadsSinceStore;
+
+    /** Exits emitted so far with their off-trace live sets. */
+    struct EmittedExit
+    {
+        OpId branch;
+        DynBitset liveOff;
+    };
+    std::vector<EmittedExit> exits;
+
+    // Ops already added, with their defs, for sinking edges.
+    struct EmittedOp
+    {
+        OpId op;
+        VReg dest;
+        bool isStore;
+        int latency;
+    };
+    std::vector<EmittedOp> ops;
+
+    double reach = 1.0;
+    double emitted = 0.0;
+
+    auto addDataEdges = [&](OpId v, const std::vector<VReg> &srcs) {
+        for (VReg s : srcs) {
+            if (s >= 0 && lastDef[std::size_t(s)] != invalidOp)
+                builder.addEdge(lastDef[std::size_t(s)], v);
+        }
+    };
+
+    auto addSpeculationEdge = [&](OpId v, VReg dest, bool isStore,
+                                  bool isLoad) {
+        // Find the latest earlier exit v may not be hoisted above;
+        // staying below it keeps v below all earlier exits too.
+        for (auto it = exits.rbegin(); it != exits.rend(); ++it) {
+            bool restricted = false;
+            if (isStore) {
+                restricted = true;
+            } else if (isLoad && !opts.speculateLoads) {
+                restricted = true;
+            } else if (!opts.renameRegisters && dest != noReg &&
+                       it->liveOff.test(std::size_t(dest))) {
+                // Without renaming, hoisting would clobber a value
+                // the off-trace path still reads; with renaming the
+                // definition targets a fresh register and may move.
+                restricted = true;
+            }
+            if (restricted) {
+                builder.addEdge(it->branch, v, 1);
+                break;
+            }
+        }
+    };
+
+    for (std::size_t t = 0; t < trace.blocks.size(); ++t) {
+        int bi = trace.blocks[t];
+        const CfgBlock &b = cfg.block(bi);
+        bool last = t + 1 == trace.blocks.size();
+        int nextOnTrace = last ? noBlock : trace.blocks[t + 1];
+
+        for (const CfgInstr &instr : b.instrs) {
+            OpId v = builder.addOp(instr.cls, instr.latency,
+                                   instr.name);
+            addDataEdges(v, instr.srcs);
+
+            // Memory ordering (no alias analysis).
+            if (instr.isMemory()) {
+                if (lastStore != invalidOp)
+                    builder.addEdge(lastStore, v);
+                if (instr.isStore) {
+                    for (OpId ld : loadsSinceStore)
+                        builder.addEdge(ld, v, 0); // anti
+                    loadsSinceStore.clear();
+                    lastStore = v;
+                } else {
+                    loadsSinceStore.push_back(v);
+                }
+            }
+
+            // Output/anti register dependences; renaming removes
+            // them (each definition becomes a fresh register).
+            if (instr.dest != noReg) {
+                if (!opts.renameRegisters) {
+                    OpId prior = lastDef[std::size_t(instr.dest)];
+                    if (prior != invalidOp)
+                        builder.addEdge(prior, v);
+                    for (OpId reader :
+                         readersSinceDef[std::size_t(instr.dest)]) {
+                        if (reader != v)
+                            builder.addEdge(reader, v, 0); // anti
+                    }
+                }
+                readersSinceDef[std::size_t(instr.dest)].clear();
+                lastDef[std::size_t(instr.dest)] = v;
+            }
+            for (VReg s : instr.srcs) {
+                if (s >= 0)
+                    readersSinceDef[std::size_t(s)].push_back(v);
+            }
+
+            addSpeculationEdge(v, instr.dest, instr.isStore,
+                               instr.isLoad);
+            ops.push_back({v, instr.dest, instr.isStore,
+                           instr.latency});
+        }
+
+        ExitInfo info = classifyExit(b, nextOnTrace);
+        if (!info.hasExit && !last) {
+            // Unconditional continuation: the block merges into the
+            // next one; no exit op.
+            reach *= 1.0; // mass conserved
+            continue;
+        }
+
+        double prob = last ? std::max(1.0 - emitted, 0.0)
+                           : reach * info.exitProb;
+        OpId br = builder.addBranch(prob, b.name + ".exit");
+        emitted += prob;
+        reach *= 1.0 - info.exitProb;
+        addDataEdges(br, b.branchSrcs);
+        for (VReg s : b.branchSrcs) {
+            if (s >= 0)
+                readersSinceDef[std::size_t(s)].push_back(br);
+        }
+
+        // Sinking: values live on the off-trace path (and all
+        // stores) must complete before the exit.
+        DynBitset liveOff = liveAtExit(cfg, live, info);
+        if (last) {
+            // The final exit ends the region: everything computed
+            // must be architecturally complete.
+            liveOff.setAll();
+        }
+        for (const EmittedOp &op : ops) {
+            bool mustPrecede = op.isStore ||
+                (op.dest != noReg &&
+                 liveOff.test(std::size_t(op.dest)));
+            if (mustPrecede)
+                builder.addEdge(op.op, br, op.latency);
+        }
+
+        exits.push_back({br, std::move(liveOff)});
+    }
+
+    return builder.build(/*anchorLooseOpsToLastExit=*/true);
+}
+
+std::vector<Superblock>
+formSuperblocks(const CfgProgram &cfg, const std::string &namePrefix,
+                const TraceOptions &traceOpts,
+                const FormOptions &formOpts)
+{
+    cfg.validate();
+    Liveness live = Liveness::allLiveOut(cfg);
+    std::vector<Trace> traces = selectTraces(cfg, traceOpts);
+
+    std::vector<Superblock> out;
+    out.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        out.push_back(formSuperblock(
+            cfg, traces[i], live,
+            namePrefix + ".sb" + std::to_string(i), formOpts));
+    }
+    return out;
+}
+
+} // namespace balance

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Superblock formation: convert a selected trace of a profiled CFG
+ * into the scheduling dependence graph of Section 2, applying the
+ * classic superblock code-motion rules:
+ *
+ *  - data flow: def-use edges over virtual registers, plus
+ *    conservative output/anti edges so unrenamed redefinitions keep
+ *    program order;
+ *  - memory ordering: stores order against later memory operations
+ *    and earlier loads (no alias analysis: all may conflict);
+ *  - no sinking: an operation whose destination is live at a later
+ *    exit (or any store) must complete before that exit;
+ *  - restricted speculation: an operation may be hoisted above an
+ *    earlier exit only when its destination is dead on the exit's
+ *    off-trace path and it is not a store; loads are speculatively
+ *    safe (non-faulting speculative loads, standard in the VLIW
+ *    literature the paper builds on);
+ *  - exits: each trace block whose terminator can leave the trace
+ *    contributes a branch with the path-conditional probability;
+ *    the final exit absorbs the remaining mass.
+ */
+
+#ifndef BALANCE_CFG_SUPERBLOCK_FORM_HH
+#define BALANCE_CFG_SUPERBLOCK_FORM_HH
+
+#include <string>
+#include <vector>
+
+#include "cfg/liveness.hh"
+#include "cfg/trace.hh"
+#include "graph/superblock.hh"
+
+namespace balance
+{
+
+/** Code-motion policy knobs. */
+struct FormOptions
+{
+    /** Allow loads to be hoisted above earlier exits. */
+    bool speculateLoads = true;
+    /**
+     * Rename registers within the superblock (what IMPACT does
+     * before scheduling): anti and output register dependences
+     * disappear — each definition behaves like a fresh register,
+     * and the per-exit live-out edges already pin the value each
+     * exit path needs. Off by default so the unrenamed machine
+     * model is also exercised.
+     */
+    bool renameRegisters = false;
+};
+
+/**
+ * Form one superblock from @p trace.
+ *
+ * @param cfg The profiled program.
+ * @param trace Blocks in control-flow order (from selectTraces).
+ * @param live Liveness over @p cfg (decides sinking/hoisting).
+ * @param name Display name for the superblock.
+ * @param opts Code-motion policy.
+ */
+Superblock formSuperblock(const CfgProgram &cfg, const Trace &trace,
+                          const Liveness &live, std::string name,
+                          const FormOptions &opts = {});
+
+/**
+ * Full pipeline: liveness, trace selection, and formation of one
+ * superblock per trace (in selection order). Superblocks inherit
+ * the head block's execution frequency.
+ */
+std::vector<Superblock> formSuperblocks(const CfgProgram &cfg,
+                                        const std::string &namePrefix,
+                                        const TraceOptions &traceOpts = {},
+                                        const FormOptions &formOpts = {});
+
+} // namespace balance
+
+#endif // BALANCE_CFG_SUPERBLOCK_FORM_HH

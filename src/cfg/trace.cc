@@ -1,0 +1,74 @@
+#include "cfg/trace.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+std::vector<Trace>
+selectTraces(const CfgProgram &cfg, const TraceOptions &opts)
+{
+    int n = cfg.numBlocks();
+    std::vector<std::vector<int>> preds = cfg.predecessors();
+    std::vector<char> assigned(std::size_t(n), 0);
+
+    // Seeds in decreasing frequency order.
+    std::vector<int> order(std::size_t(n), 0);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        double fa = cfg.block(a).frequency;
+        double fb = cfg.block(b).frequency;
+        if (fa != fb)
+            return fa > fb;
+        return a < b;
+    });
+
+    std::vector<Trace> traces;
+    for (int seed : order) {
+        if (assigned[std::size_t(seed)])
+            continue;
+        if (cfg.block(seed).frequency < opts.minSeedFrequency)
+            continue;
+
+        Trace trace;
+        int cur = seed;
+        while (true) {
+            trace.blocks.push_back(cur);
+            assigned[std::size_t(cur)] = 1;
+            if (int(trace.blocks.size()) >= opts.maxBlocks)
+                break;
+
+            // Most likely successor edge.
+            const CfgBlock &b = cfg.block(cur);
+            int next = noBlock;
+            double prob = 0.0;
+            if (b.takenTarget != noBlock && b.takenProb >= 0.5) {
+                next = b.takenTarget;
+                prob = b.takenProb;
+            } else if (b.fallthrough != noBlock) {
+                next = b.fallthrough;
+                prob = 1.0 - b.takenProb;
+            } else if (b.takenTarget != noBlock) {
+                next = b.takenTarget;
+                prob = b.takenProb;
+            }
+
+            if (next == noBlock || prob < opts.minEdgeProb)
+                break;
+            if (assigned[std::size_t(next)])
+                break;
+            if (!opts.emulateTailDuplication &&
+                preds[std::size_t(next)].size() > 1) {
+                break;
+            }
+            cur = next;
+        }
+        traces.push_back(std::move(trace));
+    }
+    return traces;
+}
+
+} // namespace balance

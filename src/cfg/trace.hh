@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Profile-driven trace selection (Fisher / Hwu-Chang style), the
+ * first half of superblock formation: repeatedly seed a trace at
+ * the most frequently executed unassigned block and grow it forward
+ * along the most likely successor edge while the successor is
+ * unassigned and the edge is likely enough.
+ *
+ * Superblocks additionally require a unique entry at the head, which
+ * tail duplication guarantees in a real compiler; here growth simply
+ * stops before a block with multiple predecessors unless it is the
+ * trace head (equivalent for scheduling purposes — the duplicated
+ * tail would be a fresh block with identical contents; see
+ * DESIGN.md).
+ */
+
+#ifndef BALANCE_CFG_TRACE_HH
+#define BALANCE_CFG_TRACE_HH
+
+#include <vector>
+
+#include "cfg/program.hh"
+
+namespace balance
+{
+
+/** One selected trace: block indices in control-flow order. */
+struct Trace
+{
+    std::vector<int> blocks;
+};
+
+/** Knobs for trace growth. */
+struct TraceOptions
+{
+    /** Minimum successor-edge probability to keep growing. */
+    double minEdgeProb = 0.5;
+    /** Minimum block frequency to seed a trace (absolute). */
+    double minSeedFrequency = 0.0;
+    /** Maximum blocks per trace. */
+    int maxBlocks = 64;
+    /**
+     * Grow into join blocks (multiple predecessors), emulating the
+     * tail duplication a real superblock former would perform.
+     */
+    bool emulateTailDuplication = true;
+};
+
+/**
+ * Partition (a subset of) the CFG into traces. Every block belongs
+ * to at most one trace; blocks below the seed-frequency threshold
+ * are skipped entirely.
+ */
+std::vector<Trace> selectTraces(const CfgProgram &cfg,
+                                const TraceOptions &opts = {});
+
+} // namespace balance
+
+#endif // BALANCE_CFG_TRACE_HH

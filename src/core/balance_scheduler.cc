@@ -1,0 +1,269 @@
+#include "core/balance_scheduler.hh"
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "core/branch_select.hh"
+#include "core/op_pick.hh"
+#include "core/sched_state.hh"
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** Static per-branch late times in dependence-only (DC) mode. */
+std::vector<std::vector<int>>
+dcLatePerBranch(const GraphContext &ctx)
+{
+    const Superblock &sb = ctx.sb();
+    std::vector<std::vector<int>> out;
+    out.reserve(std::size_t(sb.numBranches()));
+    for (int bi = 0; bi < sb.numBranches(); ++bi) {
+        OpId b = sb.branches()[std::size_t(bi)];
+        out.push_back(computeLateDC(sb, b,
+                                    ctx.earlyDC()[std::size_t(b)]));
+    }
+    return out;
+}
+
+/** The shared Balance/Help engine for one run. */
+class Engine
+{
+  public:
+    Engine(const GraphContext &ctx, const MachineModel &machine,
+           const BalanceConfig &cfg, const BoundsToolkit *toolkit,
+           const ScheduleRequest &req)
+        : ctx(ctx), sb(ctx.sb()), cfg(cfg), state(sb, machine),
+          weights(steeringWeights(sb, req)), stats(req.stats)
+    {
+        if (cfg.useRcBounds) {
+            bsAssert(toolkit, "RC mode requires a bounds toolkit");
+            staticEarly = &toolkit->earlyRC();
+            for (int bi = 0; bi < sb.numBranches(); ++bi)
+                staticLate.push_back(toolkit->lateRC(bi));
+            if (cfg.useTradeoff)
+                pairwise = toolkit->pairwise();
+        } else {
+            staticEarly = &ctx.earlyDC();
+            staticLate = dcLatePerBranch(ctx);
+        }
+
+        dyn.reserve(std::size_t(sb.numBranches()));
+        for (int bi = 0; bi < sb.numBranches(); ++bi) {
+            dyn.push_back(std::make_unique<BranchDynamics>(
+                ctx, machine, bi, *staticEarly,
+                staticLate[std::size_t(bi)]));
+        }
+    }
+
+    Schedule
+    run()
+    {
+        fullUpdateAll();
+        while (!state.done()) {
+            if (!state.anyIssuableNow()) {
+                std::vector<int> lost = state.advanceCycle();
+                if (cfg.updatePerOp) {
+                    refreshOnCycleAdvance(lost);
+                } else {
+                    // Once-per-cycle mode (Table 7): this is the one
+                    // refresh point, so it is always a full one.
+                    fullUpdateAll();
+                }
+                continue;
+            }
+
+            std::vector<OpId> candidates = chooseCandidates();
+            OpId pick = pickBestOp(state, dyn, weights, candidates,
+                                   {cfg.useHlpDel}, stats);
+            if (cfg.trace) {
+                std::cerr << "cycle " << state.cycle() << ": pick "
+                          << pick << " from {";
+                for (OpId v : candidates)
+                    std::cerr << " " << v;
+                std::cerr << " }  dynEarly:";
+                for (auto &d : dyn) {
+                    if (!d->retired())
+                        std::cerr << " b" << d->branchOp() << "="
+                                  << d->dynEarly();
+                }
+                std::cerr << "\n";
+            }
+            state.scheduleNow(pick);
+            if (stats)
+                ++stats->decisions;
+            if (cfg.updatePerOp)
+                refreshOnOp(pick);
+        }
+        return state.toSchedule();
+    }
+
+  private:
+    void
+    fullUpdateAll()
+    {
+        for (auto &d : dyn)
+            d->fullUpdate(state, stats);
+    }
+
+    void
+    refreshOnOp(OpId lastOp)
+    {
+        for (auto &d : dyn) {
+            if (!cfg.useLightUpdate ||
+                !d->lightUpdateOnOp(state, lastOp, stats)) {
+                d->fullUpdate(state, stats);
+            }
+        }
+    }
+
+    void
+    refreshOnCycleAdvance(const std::vector<int> &lost)
+    {
+        for (auto &d : dyn) {
+            if (!cfg.useLightUpdate ||
+                !d->lightUpdateOnCycleAdvance(state, lost, stats)) {
+                d->fullUpdate(state, stats);
+            }
+        }
+    }
+
+    /** All operations issuable in the current cycle. */
+    std::vector<OpId>
+    issuableOps() const
+    {
+        std::vector<OpId> out;
+        for (OpId v = 0; v < sb.numOps(); ++v) {
+            if (state.canIssueNow(v))
+                out.push_back(v);
+        }
+        return out;
+    }
+
+    std::vector<OpId>
+    chooseCandidates()
+    {
+        if (!cfg.useSelection)
+            return issuableOps();
+
+        // Gather each unretired branch's needs for this decision.
+        std::vector<BranchNeeds> needs;
+        for (int bi = 0; bi < sb.numBranches(); ++bi) {
+            BranchDynamics &d = *dyn[std::size_t(bi)];
+            if (d.retired())
+                continue;
+            BranchNeeds n;
+            n.branchIdx = bi;
+            n.weight = weights[std::size_t(bi)];
+            n.dynEarly = d.dynEarly();
+            n.needEach = d.needEach(state);
+            n.needOne.resize(
+                std::size_t(state.machine().numResources()));
+            for (int r = 0; r < state.machine().numResources(); ++r)
+                n.needOne[std::size_t(r)] = d.needOne(state, r);
+            needs.push_back(std::move(n));
+        }
+        if (needs.empty())
+            return issuableOps();
+
+        TradeoffInputs tradeoff;
+        if (cfg.useTradeoff && pairwise) {
+            tradeoff.pairwise = pairwise;
+            tradeoff.earlyRC = staticEarly;
+            tradeoff.sb = &sb;
+        }
+        SelectionResult sel =
+            selectCompatibleBranches(state, needs, tradeoff, stats);
+
+        if (sel.unconstrained())
+            return issuableOps();
+        std::vector<OpId> cands;
+        for (OpId v : sel.candidateOps()) {
+            if (state.canIssueNow(v))
+                cands.push_back(v);
+        }
+        if (cands.empty())
+            return issuableOps();
+        return cands;
+    }
+
+    const GraphContext &ctx;
+    const Superblock &sb;
+    BalanceConfig cfg;
+    SchedState state;
+    std::vector<double> weights;
+    SchedulerStats *stats;
+
+    const std::vector<int> *staticEarly = nullptr;
+    std::vector<std::vector<int>> staticLate;
+    const PairwiseBounds *pairwise = nullptr;
+    std::vector<std::unique_ptr<BranchDynamics>> dyn;
+};
+
+} // namespace
+
+BalanceScheduler::BalanceScheduler(BalanceConfig config,
+                                   std::string displayName)
+    : cfg(std::move(config)), displayName(std::move(displayName))
+{
+    // The tradeoff pass consumes pairwise bounds, which only exist
+    // in RC mode; make sure the toolkit computes them.
+    cfg.bounds.computePairwise = cfg.useRcBounds && cfg.useTradeoff;
+}
+
+Schedule
+BalanceScheduler::run(const GraphContext &ctx, const MachineModel &machine,
+                      const ScheduleRequest &req) const
+{
+    if (!cfg.useRcBounds) {
+        Engine engine(ctx, machine, cfg, nullptr, req);
+        return engine.run();
+    }
+    BoundsToolkit toolkit(ctx, machine, cfg.bounds);
+    return runWithToolkit(ctx, machine, toolkit, req);
+}
+
+Schedule
+BalanceScheduler::runWithToolkit(const GraphContext &ctx,
+                                 const MachineModel &machine,
+                                 const BoundsToolkit &toolkit,
+                                 const ScheduleRequest &req) const
+{
+    bsAssert(cfg.useRcBounds,
+             "runWithToolkit only applies to RC-bound configurations");
+    BalanceConfig effective = cfg;
+    if (cfg.useTradeoff && !toolkit.pairwise()) {
+        // The caller's toolkit skipped pairwise bounds; degrade
+        // gracefully to the no-tradeoff configuration.
+        effective.useTradeoff = false;
+    }
+    Engine engine(ctx, machine, effective, &toolkit, req);
+    return engine.run();
+}
+
+HelpScheduler::HelpScheduler()
+    : engine(
+          [] {
+              BalanceConfig cfg;
+              cfg.useRcBounds = false;
+              cfg.useHlpDel = false;
+              cfg.useTradeoff = false;
+              cfg.useSelection = false;
+              return cfg;
+          }(),
+          "Help")
+{
+}
+
+Schedule
+HelpScheduler::run(const GraphContext &ctx, const MachineModel &machine,
+                   const ScheduleRequest &req) const
+{
+    return engine.run(ctx, machine, req);
+}
+
+} // namespace balance

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The Balance superblock scheduling heuristic (Section 5) and the
+ * Help heuristic (the paper's Speculative-Hedge proxy, Section 6.2).
+ *
+ * Both run the same engine:
+ *   1. maintain per-branch dynamic Early/Late bounds and ERCs
+ *      (Section 5.1), updated per scheduled operation (or once per
+ *      cycle, for the Table 7 ablation), with the cheap light
+ *      update where valid;
+ *   2. derive each branch's NeedEach/NeedOne sets (Section 5.2);
+ *   3. [Balance] select a compatible branch set, reordered by
+ *      pairwise tradeoffs (Sections 5.3-5.4);
+ *   4. pick one operation by the Speculative Hedge rule
+ *      (Section 5.5) from the selected needs (Balance) or from all
+ *      ready operations (Help).
+ *
+ * Help differs from Balance by omitting the EarlyRC/LateRC/Pairwise
+ * bounds (it uses dependence-only EarlyDC/LateDC), the compatible-
+ * branch selection, and the help/delay distinction — exactly the
+ * paper's description of Help. Each omission is an independent
+ * switch here, which is what the Table 7 component study sweeps.
+ */
+
+#ifndef BALANCE_CORE_BALANCE_SCHEDULER_HH
+#define BALANCE_CORE_BALANCE_SCHEDULER_HH
+
+#include <string>
+
+#include "bounds/superblock_bounds.hh"
+#include "sched/heuristics.hh"
+
+namespace balance
+{
+
+/** Component switches for the Balance engine (Table 7). */
+struct BalanceConfig
+{
+    /** Observation 2: LC-based EarlyRC/LateRC instead of DC bounds. */
+    bool useRcBounds = true;
+    /** Observation 1: track indirect delays in the pick rule. */
+    bool useHlpDel = true;
+    /** Observation 3: pairwise branch tradeoffs (needs useRcBounds). */
+    bool useTradeoff = true;
+    /** Sections 5.3-5.4: compatible-branch selection. */
+    bool useSelection = true;
+    /** Update dynamic bounds per scheduled op (else per cycle). */
+    bool updatePerOp = true;
+    /** Use the cheap incremental update when provably valid. */
+    bool useLightUpdate = true;
+    /** Bound-computation options for the static toolkit. */
+    BoundConfig bounds;
+    /** Emit per-decision tracing to stderr (debugging aid). */
+    bool trace = false;
+};
+
+/** The Balance heuristic (full configuration by default). */
+class BalanceScheduler : public Scheduler
+{
+  public:
+    explicit BalanceScheduler(BalanceConfig config = {},
+                              std::string displayName = "Balance");
+
+    std::string name() const override { return displayName; }
+    Schedule run(const GraphContext &ctx, const MachineModel &machine,
+                 const ScheduleRequest &req = {}) const override;
+
+    /**
+     * Run with a precomputed static toolkit (must match ctx and
+     * machine); avoids recomputing EarlyRC/LateRC/Pairwise when the
+     * caller already has them for bound evaluation.
+     */
+    Schedule runWithToolkit(const GraphContext &ctx,
+                            const MachineModel &machine,
+                            const BoundsToolkit &toolkit,
+                            const ScheduleRequest &req = {}) const;
+
+    /** @return the component configuration. */
+    const BalanceConfig &config() const { return cfg; }
+
+  private:
+    BalanceConfig cfg;
+    std::string displayName;
+};
+
+/** The Help heuristic: Balance minus bounds, selection, and HlpDel. */
+class HelpScheduler : public Scheduler
+{
+  public:
+    HelpScheduler();
+
+    std::string name() const override { return "Help"; }
+    Schedule run(const GraphContext &ctx, const MachineModel &machine,
+                 const ScheduleRequest &req = {}) const override;
+
+  private:
+    BalanceScheduler engine;
+};
+
+} // namespace balance
+
+#endif // BALANCE_CORE_BALANCE_SCHEDULER_HH

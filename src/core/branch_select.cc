@@ -1,0 +1,417 @@
+#include "core/branch_select.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+bool
+BranchNeeds::hasNeeds() const
+{
+    if (!needEach.empty())
+        return true;
+    for (const auto &group : needOne) {
+        if (!group.empty())
+            return true;
+    }
+    return false;
+}
+
+std::vector<OpId>
+SelectionResult::candidateOps() const
+{
+    std::vector<OpId> out = takeEach;
+    for (const auto &group : takeOne)
+        out.insert(out.end(), group.begin(), group.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+bool
+SelectionResult::unconstrained() const
+{
+    if (!takeEach.empty())
+        return false;
+    for (const auto &group : takeOne) {
+        if (!group.empty())
+            return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Membership-testable op set with per-pool counts. */
+class OpSet
+{
+  public:
+    OpSet(const SchedState &state)
+        : state(&state), in(std::size_t(state.sb().numOps()), 0),
+          poolCount(std::size_t(state.machine().numResources()), 0)
+    {}
+
+    bool contains(OpId v) const { return in[std::size_t(v)]; }
+
+    void
+    add(OpId v)
+    {
+        if (in[std::size_t(v)])
+            return;
+        in[std::size_t(v)] = 1;
+        ops.push_back(v);
+        ResourceId r =
+            state->machine().poolOf(state->sb().op(v).cls);
+        ++poolCount[std::size_t(r)];
+    }
+
+    int
+    countInPool(ResourceId r) const
+    {
+        return poolCount[std::size_t(r)];
+    }
+
+    const std::vector<OpId> &members() const { return ops; }
+
+  private:
+    const SchedState *state;
+    std::vector<char> in;
+    std::vector<int> poolCount;
+    std::vector<OpId> ops;
+};
+
+} // namespace
+
+SelectionResult
+selectPass(const SchedState &state, const std::vector<BranchNeeds> &needs,
+           const std::vector<int> &order)
+{
+    const MachineModel &machine = state.machine();
+    int pools = machine.numResources();
+
+    SelectionResult result;
+    result.outcome.assign(needs.size(), BranchOutcome::Ignored);
+    result.takeOne.assign(std::size_t(pools), {});
+
+    OpSet takeEach(state);
+    // Per pool: the running TakeOne intersection. `active` means the
+    // constraint exists and is not yet satisfied by TakeEach.
+    std::vector<std::vector<OpId>> takeOne{std::size_t(pools)};
+    std::vector<char> takeOneActive(std::size_t(pools), 0);
+
+    auto satisfiedByTakeEach = [&](const std::vector<OpId> &group) {
+        return std::any_of(group.begin(), group.end(), [&](OpId v) {
+            return takeEach.contains(v);
+        });
+    };
+
+    for (int idx : order) {
+        const BranchNeeds &b = needs[std::size_t(idx)];
+        if (!b.hasNeeds()) {
+            result.outcome[std::size_t(idx)] = BranchOutcome::Ignored;
+            continue;
+        }
+
+        // Tentative TakeEach' = TakeEach u NeedEach[b]; all members
+        // must be issuable together in the current cycle.
+        std::vector<OpId> added;
+        bool feasible = true;
+        for (OpId v : b.needEach) {
+            if (!takeEach.contains(v)) {
+                if (!state.isDepReady(v)) {
+                    feasible = false;
+                    break;
+                }
+                added.push_back(v);
+            }
+        }
+
+        // Stage the TakeOne' intersections.
+        std::vector<std::vector<OpId>> staged{std::size_t(pools)};
+        std::vector<char> stagedSet(std::size_t(pools), 0);
+
+        if (feasible) {
+            // Apply the staged TakeEach additions to a scratch set
+            // view: pool counts after additions.
+            std::vector<int> eachCount(std::size_t(pools), 0);
+            for (int r = 0; r < pools; ++r)
+                eachCount[std::size_t(r)] = takeEach.countInPool(r);
+            auto inTakeEachPrime = [&](OpId v) {
+                if (takeEach.contains(v))
+                    return true;
+                return std::find(added.begin(), added.end(), v) !=
+                       added.end();
+            };
+            for (OpId v : added) {
+                ResourceId r = machine.poolOf(state.sb().op(v).cls);
+                ++eachCount[std::size_t(r)];
+            }
+
+            for (int r = 0; r < pools && feasible; ++r) {
+                const std::vector<OpId> &need =
+                    b.needOne[std::size_t(r)];
+                bool existing = takeOneActive[std::size_t(r)];
+
+                // A constraint met by TakeEach' costs nothing more.
+                bool needMet =
+                    !need.empty() &&
+                    std::any_of(need.begin(), need.end(),
+                                inTakeEachPrime);
+                bool existingMet =
+                    existing && satisfiedByTakeEach(
+                                    takeOne[std::size_t(r)]);
+                if (!existingMet && existing) {
+                    existingMet = std::any_of(
+                        takeOne[std::size_t(r)].begin(),
+                        takeOne[std::size_t(r)].end(),
+                        [&](OpId v) {
+                            return std::find(added.begin(), added.end(),
+                                             v) != added.end();
+                        });
+                }
+
+                std::vector<OpId> base;
+                bool active = false;
+                if (!need.empty() && !needMet) {
+                    if (existing && !existingMet) {
+                        // Intersection of both constraints.
+                        for (OpId v : need) {
+                            if (std::find(
+                                    takeOne[std::size_t(r)].begin(),
+                                    takeOne[std::size_t(r)].end(), v) !=
+                                takeOne[std::size_t(r)].end()) {
+                                base.push_back(v);
+                            }
+                        }
+                    } else {
+                        base = need;
+                    }
+                    active = true;
+                } else if (existing && !existingMet) {
+                    base = takeOne[std::size_t(r)];
+                    active = true;
+                }
+
+                if (active) {
+                    // Only ready operations outside TakeEach' count,
+                    // and the pool must have a slot left for one of
+                    // them after TakeEach'.
+                    std::vector<OpId> usable;
+                    for (OpId v : base) {
+                        if (!inTakeEachPrime(v) && state.isDepReady(v))
+                            usable.push_back(v);
+                    }
+                    if (usable.empty() ||
+                        eachCount[std::size_t(r)] + 1 >
+                            state.freeNow(r)) {
+                        feasible = false;
+                        break;
+                    }
+                    staged[std::size_t(r)] = std::move(usable);
+                    stagedSet[std::size_t(r)] = 1;
+                } else {
+                    // Constraint absent or satisfied by TakeEach':
+                    // nothing to stage; the commit step clears a
+                    // satisfied existing constraint.
+                    staged[std::size_t(r)].clear();
+                    stagedSet[std::size_t(r)] = 0;
+                }
+            }
+
+            // Pool capacity for TakeEach' itself.
+            if (feasible) {
+                for (int r = 0; r < pools; ++r) {
+                    if (eachCount[std::size_t(r)] > state.freeNow(r)) {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if (!feasible) {
+            result.outcome[std::size_t(idx)] = BranchOutcome::Delayed;
+            continue;
+        }
+
+        // Commit.
+        for (OpId v : added)
+            takeEach.add(v);
+        for (int r = 0; r < pools; ++r) {
+            if (stagedSet[std::size_t(r)]) {
+                takeOne[std::size_t(r)] = staged[std::size_t(r)];
+                takeOneActive[std::size_t(r)] = 1;
+            } else if (takeOneActive[std::size_t(r)] &&
+                       satisfiedByTakeEach(takeOne[std::size_t(r)])) {
+                takeOneActive[std::size_t(r)] = 0;
+                takeOne[std::size_t(r)].clear();
+            }
+        }
+        result.outcome[std::size_t(idx)] = BranchOutcome::Selected;
+    }
+
+    result.takeEach = takeEach.members();
+    for (int r = 0; r < pools; ++r) {
+        if (takeOneActive[std::size_t(r)])
+            result.takeOne[std::size_t(r)] = takeOne[std::size_t(r)];
+    }
+
+    // Rank before tradeoff revision: selected minus delayed.
+    result.rank = 0.0;
+    for (std::size_t i = 0; i < needs.size(); ++i) {
+        switch (result.outcome[i]) {
+          case BranchOutcome::Selected:
+          case BranchOutcome::DelayedOk:
+            result.rank += needs[i].weight;
+            break;
+          case BranchOutcome::Delayed:
+            result.rank -= needs[i].weight;
+            break;
+          case BranchOutcome::Ignored:
+            break;
+        }
+    }
+    return result;
+}
+
+namespace
+{
+
+/**
+ * Revise delayed outcomes to delayedOK where the pairwise bound says
+ * the delay is part of the optimal tradeoff, and recompute the rank.
+ */
+void
+applyDelayedOkRevision(const SchedState &state,
+                       const std::vector<BranchNeeds> &needs,
+                       const TradeoffInputs &tradeoff,
+                       SelectionResult &sel)
+{
+    if (!tradeoff.pairwise || !tradeoff.earlyRC || !tradeoff.sb)
+        return;
+    const Superblock &sb = *tradeoff.sb;
+    (void)state;
+
+    for (std::size_t i = 0; i < needs.size(); ++i) {
+        if (sel.outcome[i] != BranchOutcome::Delayed)
+            continue;
+        int bi = needs[i].branchIdx;
+        OpId opI = sb.branches()[std::size_t(bi)];
+        int eI = (*tradeoff.earlyRC)[std::size_t(opI)];
+        for (std::size_t j = 0; j < needs.size(); ++j) {
+            if (sel.outcome[j] != BranchOutcome::Selected)
+                continue;
+            int bj = needs[j].branchIdx;
+            const PairPoint &pt = bi < bj
+                ? tradeoff.pairwise->pair(bi, bj)
+                : tradeoff.pairwise->pair(bj, bi);
+            int valI = bi < bj ? pt.x : pt.y;
+            // The optimal joint solution already delays i, and the
+            // one-cycle slip this decision causes stays within it.
+            if (valI > eI && needs[i].dynEarly + 1 <= valI) {
+                sel.outcome[i] = BranchOutcome::DelayedOk;
+                break;
+            }
+        }
+    }
+
+    sel.rank = 0.0;
+    for (std::size_t i = 0; i < needs.size(); ++i) {
+        switch (sel.outcome[i]) {
+          case BranchOutcome::Selected:
+          case BranchOutcome::DelayedOk:
+            sel.rank += needs[i].weight;
+            break;
+          case BranchOutcome::Delayed:
+            sel.rank -= needs[i].weight;
+            break;
+          case BranchOutcome::Ignored:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+SelectionResult
+selectCompatibleBranches(const SchedState &state,
+                         const std::vector<BranchNeeds> &needs,
+                         const TradeoffInputs &tradeoff,
+                         SchedulerStats *stats)
+{
+    // Initial order: decreasing weight, program order on ties.
+    std::vector<int> order(needs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (needs[std::size_t(a)].weight != needs[std::size_t(b)].weight)
+            return needs[std::size_t(a)].weight >
+                   needs[std::size_t(b)].weight;
+        return needs[std::size_t(a)].branchIdx <
+               needs[std::size_t(b)].branchIdx;
+    });
+
+    SelectionResult best = selectPass(state, needs, order);
+    applyDelayedOkRevision(state, needs, tradeoff, best);
+    if (stats)
+        stats->loopTrips += (long long)(needs.size());
+
+    if (!tradeoff.pairwise || !tradeoff.earlyRC || !tradeoff.sb)
+        return best;
+    const Superblock &sb = *tradeoff.sb;
+
+    SelectionResult current = best;
+    std::vector<int> curOrder = order;
+    for (int round = 0; round < tradeoff.maxReorders; ++round) {
+        // Find a (delayed i, selected j) pair where the pairwise
+        // bound prefers delaying j and j precedes i in the order.
+        int swapI = -1;
+        int swapJ = -1;
+        for (std::size_t i = 0;
+             i < needs.size() && swapI < 0; ++i) {
+            if (current.outcome[i] != BranchOutcome::Delayed)
+                continue;
+            for (std::size_t j = 0; j < needs.size(); ++j) {
+                if (current.outcome[j] != BranchOutcome::Selected)
+                    continue;
+                int bi = needs[i].branchIdx;
+                int bj = needs[j].branchIdx;
+                OpId opJ = sb.branches()[std::size_t(bj)];
+                int eJ = (*tradeoff.earlyRC)[std::size_t(opJ)];
+                const PairPoint &pt = bi < bj
+                    ? tradeoff.pairwise->pair(bi, bj)
+                    : tradeoff.pairwise->pair(bj, bi);
+                int valJ = bi < bj ? pt.y : pt.x;
+                if (valJ > eJ && needs[j].dynEarly + 1 <= valJ) {
+                    auto posI = std::find(curOrder.begin(),
+                                          curOrder.end(), int(i));
+                    auto posJ = std::find(curOrder.begin(),
+                                          curOrder.end(), int(j));
+                    if (posJ < posI) {
+                        swapI = int(i);
+                        swapJ = int(j);
+                        break;
+                    }
+                }
+            }
+        }
+        if (swapI < 0)
+            break;
+
+        auto posI = std::find(curOrder.begin(), curOrder.end(), swapI);
+        auto posJ = std::find(curOrder.begin(), curOrder.end(), swapJ);
+        std::iter_swap(posI, posJ);
+        current = selectPass(state, needs, curOrder);
+        applyDelayedOkRevision(state, needs, tradeoff, current);
+        if (stats)
+            stats->loopTrips += (long long)(needs.size());
+        if (current.rank > best.rank)
+            best = current;
+    }
+    return best;
+}
+
+} // namespace balance

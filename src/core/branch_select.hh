@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Compatible-branch selection for the Balance heuristic
+ * (Sections 5.3 and 5.4).
+ *
+ * Given each unretired branch's needs in the current scheduling
+ * decision — NeedEach (dependence-critical operations that must all
+ * issue this cycle) and NeedOne per resource pool (one member of the
+ * tightest zero-empty ERC) — branches are admitted one at a time in
+ * priority order while their needs stay jointly satisfiable:
+ * TakeEach accumulates the union of dependence needs, and TakeOne
+ * per pool narrows to the intersection of resource needs.
+ *
+ * The pairwise tradeoff pass then revises the outcomes: a delayed
+ * branch whose pairwise-optimal issue is late anyway becomes
+ * "delayedOK", and when the pairwise bound says the selected branch
+ * should have yielded instead, the processing order is swapped and
+ * the selection re-run. The selection with the highest rank
+ * (selected + delayedOK - delayed, weighted) wins.
+ */
+
+#ifndef BALANCE_CORE_BRANCH_SELECT_HH
+#define BALANCE_CORE_BRANCH_SELECT_HH
+
+#include <vector>
+
+#include "bounds/pairwise.hh"
+#include "core/branch_dynamics.hh"
+#include "core/sched_state.hh"
+
+namespace balance
+{
+
+/** The needs of one branch in the current decision (Section 5.2). */
+struct BranchNeeds
+{
+    int branchIdx = -1;   //!< position in sb().branches()
+    double weight = 0.0;  //!< steering weight (exit probability)
+    int dynEarly = 0;     //!< current dynamic bound on the branch
+    /** Dependence needs: every one must issue this cycle. */
+    std::vector<OpId> needEach;
+    /** Resource needs per pool: one member must be picked now. */
+    std::vector<std::vector<OpId>> needOne;
+
+    /** @return true when the branch needs anything at all. */
+    bool hasNeeds() const;
+};
+
+/** Outcome of a branch in one selection (Section 5.4). */
+enum class BranchOutcome
+{
+    Selected,  //!< needs are jointly satisfied
+    Delayed,   //!< has needs that the selection does not satisfy
+    DelayedOk, //!< delayed, but the pairwise tradeoff favors it
+    Ignored,   //!< has no needs this decision
+};
+
+/** Result of one (possibly reordered) selection. */
+struct SelectionResult
+{
+    /** Outcome per entry of the needs vector. */
+    std::vector<BranchOutcome> outcome;
+    /** Union of selected branches' dependence needs. */
+    std::vector<OpId> takeEach;
+    /** Per-pool intersection of selected branches' resource needs. */
+    std::vector<std::vector<OpId>> takeOne;
+    /** Weighted rank of this selection. */
+    double rank = 0.0;
+
+    /** @return takeEach plus all takeOne members, deduplicated. */
+    std::vector<OpId> candidateOps() const;
+
+    /** @return true when neither takeEach nor takeOne constrain. */
+    bool unconstrained() const;
+};
+
+/**
+ * One selection pass in the given processing order (Fig. 7).
+ *
+ * @param state Scheduling state (readiness and free slots).
+ * @param needs Per-branch needs.
+ * @param order Indices into @p needs, highest priority first.
+ */
+SelectionResult selectPass(const SchedState &state,
+                           const std::vector<BranchNeeds> &needs,
+                           const std::vector<int> &order);
+
+/** Inputs enabling the Section 5.4 tradeoff revision. */
+struct TradeoffInputs
+{
+    /** Pairwise bounds; null disables the tradeoff pass. */
+    const PairwiseBounds *pairwise = nullptr;
+    /** Static EarlyRC per operation. */
+    const std::vector<int> *earlyRC = nullptr;
+    /** Branch operation ids, branch order. */
+    const Superblock *sb = nullptr;
+    /** Reorder attempts before keeping the best selection. */
+    int maxReorders = 3;
+};
+
+/**
+ * Full Section 5.3 + 5.4 selection: initial order by decreasing
+ * weight, tradeoff-driven reordering, best rank wins.
+ */
+SelectionResult selectCompatibleBranches(const SchedState &state,
+                                         const std::vector<BranchNeeds>
+                                             &needs,
+                                         const TradeoffInputs &tradeoff,
+                                         SchedulerStats *stats = nullptr);
+
+} // namespace balance
+
+#endif // BALANCE_CORE_BRANCH_SELECT_HH

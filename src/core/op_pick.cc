@@ -1,0 +1,64 @@
+#include "core/op_pick.hh"
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+OpId
+pickBestOp(const SchedState &state,
+           const std::vector<std::unique_ptr<BranchDynamics>> &dyn,
+           const std::vector<double> &weights,
+           const std::vector<OpId> &candidates,
+           const OpPickConfig &config, SchedulerStats *stats)
+{
+    bsAssert(!candidates.empty(), "no candidate operation to pick");
+
+    OpId best = invalidOp;
+    double bestPriority = 0.0;
+    int bestHelped = 0;
+    int bestLate = 0;
+
+    for (OpId v : candidates) {
+        double priority = 0.0;
+        int helped = 0;
+        int minLate = lateUnconstrained;
+        for (std::size_t bi = 0; bi < dyn.size(); ++bi) {
+            const BranchDynamics &d = *dyn[bi];
+            if (d.retired())
+                continue;
+            if (stats)
+                ++stats->loopTrips;
+            if (d.helps(state, v)) {
+                priority += weights[bi];
+                ++helped;
+            } else if (config.useHlpDel && d.wastes(state, v)) {
+                priority -= weights[bi];
+            }
+            if (d.inClosure(v))
+                minLate = std::min(minLate, d.lateOf(v));
+        }
+
+        bool better;
+        if (best == invalidOp) {
+            better = true;
+        } else if (priority != bestPriority) {
+            better = priority > bestPriority;
+        } else if (helped != bestHelped) {
+            better = helped > bestHelped;
+        } else if (minLate != bestLate) {
+            better = minLate < bestLate;
+        } else {
+            better = v < best; // final tie-break: program order
+        }
+        if (better) {
+            best = v;
+            bestPriority = priority;
+            bestHelped = helped;
+            bestLate = minLate;
+        }
+    }
+    return best;
+}
+
+} // namespace balance

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The final operation-selection rule (Section 5.5), taken from
+ * Speculative Hedge: among the candidate operations, pick the one
+ * whose issue helps the largest total exit probability; break ties
+ * by the number of helped branches, then by the smallest late time,
+ * then by program order. With the HlpDel component (Observation 1),
+ * branches the operation would indirectly delay subtract their
+ * weight.
+ */
+
+#ifndef BALANCE_CORE_OP_PICK_HH
+#define BALANCE_CORE_OP_PICK_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/branch_dynamics.hh"
+#include "core/sched_state.hh"
+
+namespace balance
+{
+
+/** Knobs for the pick rule. */
+struct OpPickConfig
+{
+    /** Subtract the weight of indirectly delayed branches. */
+    bool useHlpDel = false;
+};
+
+/**
+ * Pick the best candidate operation.
+ *
+ * @param state Scheduling state.
+ * @param dyn Per-branch dynamic bounds (branch order).
+ * @param weights Steering weight per branch (branch order).
+ * @param candidates Candidate ops; all must satisfy canIssueNow.
+ * @param config Pick-rule options.
+ * @param stats Optional cost accounting.
+ * @return the chosen operation (candidates must be non-empty).
+ */
+OpId pickBestOp(const SchedState &state,
+                const std::vector<std::unique_ptr<BranchDynamics>> &dyn,
+                const std::vector<double> &weights,
+                const std::vector<OpId> &candidates,
+                const OpPickConfig &config = {},
+                SchedulerStats *stats = nullptr);
+
+} // namespace balance
+
+#endif // BALANCE_CORE_OP_PICK_HH

@@ -1,0 +1,87 @@
+#include "core/sched_state.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+SchedState::SchedState(const Superblock &sb, const MachineModel &machine)
+    : block(&sb), model(&machine), table(machine),
+      issue(std::size_t(sb.numOps()), -1),
+      predsLeft(std::size_t(sb.numOps()), 0),
+      readyAt(std::size_t(sb.numOps()), 0)
+{
+    for (OpId v = 0; v < sb.numOps(); ++v)
+        predsLeft[std::size_t(v)] = int(sb.preds(v).size());
+}
+
+bool
+SchedState::canIssueNow(OpId v) const
+{
+    return isDepReady(v) && table.hasSlot(curCycle, block->op(v).cls);
+}
+
+std::vector<OpId>
+SchedState::depReadyOps() const
+{
+    std::vector<OpId> out;
+    for (OpId v = 0; v < block->numOps(); ++v) {
+        if (isDepReady(v))
+            out.push_back(v);
+    }
+    return out;
+}
+
+void
+SchedState::scheduleNow(OpId v)
+{
+    bsAssert(canIssueNow(v), "op ", v, " cannot issue in cycle ",
+             curCycle);
+    table.reserve(curCycle, block->op(v).cls);
+    issue[std::size_t(v)] = curCycle;
+    ++placed;
+    for (const Adjacent &e : block->succs(v)) {
+        --predsLeft[std::size_t(e.op)];
+        // Zero-latency (anti) edges are serialized to the next
+        // cycle, the policy shared by every forward scheduler and
+        // the exact oracle in this library, so all of them explore
+        // the same schedule space.
+        readyAt[std::size_t(e.op)] =
+            std::max(readyAt[std::size_t(e.op)],
+                     curCycle + std::max(e.latency, 1));
+    }
+}
+
+std::vector<int>
+SchedState::advanceCycle()
+{
+    std::vector<int> lost(std::size_t(model->numResources()));
+    for (int r = 0; r < model->numResources(); ++r)
+        lost[std::size_t(r)] = table.freePoolSlots(curCycle, r);
+    ++curCycle;
+    return lost;
+}
+
+bool
+SchedState::anyIssuableNow() const
+{
+    for (OpId v = 0; v < block->numOps(); ++v) {
+        if (canIssueNow(v))
+            return true;
+    }
+    return false;
+}
+
+Schedule
+SchedState::toSchedule() const
+{
+    bsAssert(done(), "incomplete scheduling state");
+    Schedule out(block->numOps());
+    for (OpId v = 0; v < block->numOps(); ++v)
+        out.setIssue(v, issue[std::size_t(v)]);
+    return out;
+}
+
+} // namespace balance

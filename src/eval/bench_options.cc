@@ -1,0 +1,74 @@
+#include "eval/bench_options.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "support/diagnostics.hh"
+#include "support/strings.hh"
+
+namespace balance
+{
+
+std::vector<BenchmarkProgram>
+BenchOptions::buildSuitePopulation() const
+{
+    return buildSuite(suite);
+}
+
+BenchOptions
+parseBenchOptions(int argc, char **argv, double defaultScale)
+{
+    BenchOptions opts;
+    opts.suite.scale = defaultScale;
+
+    auto usage = [&](int code) {
+        std::cout
+            << "usage: " << argv[0] << " [options]\n"
+            << "  --scale <f>    suite fraction in (0,1], default "
+            << defaultScale << "\n"
+            << "  --seed <u64>   suite master seed\n"
+            << "  --config <m>   GP1|GP2|GP4|FS4|FS6|FS8 (repeatable;\n"
+            << "                 default: all six)\n";
+        std::exit(code);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                usage(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (arg == "--scale") {
+            double v = 0.0;
+            if (!parseDouble(next(), v) || v <= 0.0 || v > 1.0) {
+                std::cerr << "bad --scale value\n";
+                usage(1);
+            }
+            opts.suite.scale = v;
+        } else if (arg == "--seed") {
+            long long v = 0;
+            if (!parseInt(next(), v)) {
+                std::cerr << "bad --seed value\n";
+                usage(1);
+            }
+            opts.suite.seed = std::uint64_t(v);
+        } else if (arg == "--config") {
+            opts.machines.push_back(MachineModel::byName(next()));
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            usage(1);
+        }
+    }
+
+    if (opts.machines.empty())
+        opts.machines = MachineModel::paperConfigs();
+    return opts;
+}
+
+} // namespace balance

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal command-line handling shared by the bench binaries:
+ * suite scale, seed, and machine-configuration selection. Every
+ * table bench accepts
+ *
+ *   --scale <0..1]   fraction of the 6615-superblock suite
+ *   --seed <u64>     suite master seed
+ *   --config <name>  restrict to one machine config (repeatable)
+ *   --help
+ */
+
+#ifndef BALANCE_EVAL_BENCH_OPTIONS_HH
+#define BALANCE_EVAL_BENCH_OPTIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/machine_model.hh"
+#include "workload/suite.hh"
+
+namespace balance
+{
+
+/** Parsed bench options. */
+struct BenchOptions
+{
+    SuiteOptions suite;
+    std::vector<MachineModel> machines;
+
+    /** Build the (possibly scaled) suite. */
+    std::vector<BenchmarkProgram> buildSuitePopulation() const;
+};
+
+/**
+ * Parse argv; prints usage and exits on --help or bad input.
+ *
+ * @param argc Argument count from main.
+ * @param argv Argument vector from main.
+ * @param defaultScale Scale used when --scale is absent (table
+ *        benches over the heuristics default below 1.0 to keep the
+ *        default run minutes-scale; pass 1.0 to reproduce the full
+ *        population).
+ */
+BenchOptions parseBenchOptions(int argc, char **argv,
+                               double defaultScale = 1.0);
+
+} // namespace balance
+
+#endif // BALANCE_EVAL_BENCH_OPTIONS_HH

@@ -1,0 +1,122 @@
+#include "eval/bounds_eval.hh"
+
+#include <algorithm>
+
+#include "graph/analysis.hh"
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+std::vector<BoundQuality>
+evaluateBoundQuality(const std::vector<BenchmarkProgram> &suite,
+                     const MachineModel &machine,
+                     const BoundConfig &config)
+{
+    const char *names[6] = {"CP", "Hu", "RJ", "LC", "PW", "TW"};
+    std::vector<RunningStat> gap(6);
+    std::vector<int> below(6, 0);
+    int total = 0;
+
+    for (const BenchmarkProgram &prog : suite) {
+        for (const Superblock &sb : prog.superblocks) {
+            GraphContext ctx(sb);
+            WctBounds bounds = computeWctBounds(ctx, machine, config);
+            double tight = bounds.tightest();
+            double values[6] = {bounds.cp, bounds.hu, bounds.rj,
+                                bounds.lc, bounds.pw, bounds.tw};
+            ++total;
+            for (int i = 0; i < 6; ++i) {
+                double g = tight > 0.0
+                    ? (tight - values[i]) / tight * 100.0
+                    : 0.0;
+                gap[std::size_t(i)].add(std::max(0.0, g));
+                if (values[i] < tight - 1e-9)
+                    ++below[std::size_t(i)];
+            }
+        }
+    }
+
+    std::vector<BoundQuality> out;
+    for (int i = 0; i < 6; ++i) {
+        BoundQuality q;
+        q.name = names[i];
+        q.avgGapPercent = gap[std::size_t(i)].mean();
+        q.maxGapPercent = gap[std::size_t(i)].max();
+        q.belowPercent =
+            total > 0 ? 100.0 * below[std::size_t(i)] / total : 0.0;
+        out.push_back(q);
+    }
+    return out;
+}
+
+std::vector<BoundCost>
+evaluateBoundCost(const std::vector<BenchmarkProgram> &suite,
+                  const MachineModel &machine, const BoundConfig &config)
+{
+    const char *names[8] = {"CP",          "Hu", "RJ", "LC",
+                            "LC-original", "LC-reverse", "PW", "TW"};
+    std::vector<SampleStat> trips(8);
+
+    for (const BenchmarkProgram &prog : suite) {
+        for (const Superblock &sb : prog.superblocks) {
+            GraphContext ctx(sb);
+
+            // CP's cost is the dependence analysis itself: one trip
+            // per (edge, branch) pair in the height computations.
+            long long cpTrips = 0;
+            for (int bi = 0; bi < sb.numBranches(); ++bi)
+                cpTrips += sb.numOps() + sb.numEdges();
+            trips[0].add(double(cpTrips));
+
+            BoundCounters hu;
+            huEarly(ctx, machine, &hu);
+            trips[1].add(double(hu.trips));
+
+            BoundCounters rj;
+            rjEarly(ctx, machine, &rj);
+            trips[2].add(double(rj.trips));
+
+            BoundCounters lc;
+            std::vector<int> earlyRC =
+                lcEarlyRCForSuperblock(ctx, machine, {}, &lc);
+            trips[3].add(double(lc.trips));
+
+            BoundCounters lcOrig;
+            LcOptions noTheorem1;
+            noTheorem1.useTheorem1 = false;
+            lcEarlyRCForSuperblock(ctx, machine, noTheorem1, &lcOrig);
+            trips[4].add(double(lcOrig.trips));
+
+            BoundCounters lcRev;
+            std::vector<std::vector<int>> lateRCs;
+            for (int bi = 0; bi < sb.numBranches(); ++bi) {
+                lateRCs.push_back(
+                    lateRCFor(ctx, machine, bi, earlyRC, &lcRev));
+            }
+            trips[5].add(double(lcRev.trips));
+
+            BoundCounters pwC;
+            PairwiseBounds pw(ctx, machine, earlyRC, lateRCs,
+                              config.pairwise, &pwC);
+            trips[6].add(double(pwC.trips));
+
+            BoundCounters twC;
+            computeTriplewise(ctx, machine, earlyRC, lateRCs, pw,
+                              config.triplewise, &twC);
+            trips[7].add(double(twC.trips));
+        }
+    }
+
+    std::vector<BoundCost> out;
+    for (int i = 0; i < 8; ++i) {
+        BoundCost c;
+        c.name = names[i];
+        c.averageTrips = trips[std::size_t(i)].mean();
+        c.medianTrips = trips[std::size_t(i)].median();
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace balance

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bound-quality and bound-cost evaluation drivers (Tables 1 and 2).
+ */
+
+#ifndef BALANCE_EVAL_BOUNDS_EVAL_HH
+#define BALANCE_EVAL_BOUNDS_EVAL_HH
+
+#include <string>
+#include <vector>
+
+#include "bounds/superblock_bounds.hh"
+#include "support/stats.hh"
+#include "workload/suite.hh"
+
+namespace balance
+{
+
+/** Quality summary of one bound against the tightest bound. */
+struct BoundQuality
+{
+    std::string name;
+    double avgGapPercent = 0.0; //!< mean of (tightest-bound)/tightest
+    double maxGapPercent = 0.0; //!< worst case of the same
+    double belowPercent = 0.0;  //!< % of superblocks strictly below
+};
+
+/**
+ * Table 1 for one machine config: quality of CP/Hu/RJ/LC/PW/TW
+ * relative to the per-superblock tightest bound.
+ */
+std::vector<BoundQuality> evaluateBoundQuality(
+    const std::vector<BenchmarkProgram> &suite,
+    const MachineModel &machine, const BoundConfig &config = {});
+
+/** Cost summary (loop trips) of one bound algorithm. */
+struct BoundCost
+{
+    std::string name;
+    double averageTrips = 0.0;
+    double medianTrips = 0.0;
+};
+
+/**
+ * Table 2 for one machine config: per-superblock loop-trip counts
+ * of CP, Hu, RJ, LC, LC-original (no Theorem 1), LC-reverse
+ * (LateRC), PW and TW.
+ */
+std::vector<BoundCost> evaluateBoundCost(
+    const std::vector<BenchmarkProgram> &suite,
+    const MachineModel &machine, const BoundConfig &config = {});
+
+} // namespace balance
+
+#endif // BALANCE_EVAL_BOUNDS_EVAL_HH

@@ -1,0 +1,226 @@
+#include "eval/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/priorities.hh"
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+HeuristicSet
+HeuristicSet::paperSet(bool withBest)
+{
+    HeuristicSet set;
+    set.primaries = {
+        std::make_shared<SuccessiveRetirementScheduler>(),
+        std::make_shared<CriticalPathScheduler>(),
+        std::make_shared<GStarScheduler>(),
+        std::make_shared<DhasyScheduler>(),
+        std::make_shared<HelpScheduler>(),
+        std::make_shared<BalanceScheduler>(),
+    };
+    set.withBest = withBest;
+    return set;
+}
+
+std::vector<std::string>
+HeuristicSet::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &s : primaries)
+        out.push_back(s->name());
+    if (withBest)
+        out.push_back("Best");
+    return out;
+}
+
+std::vector<double>
+noProfileWeights(const Superblock &sb)
+{
+    // Table 5: the last branch weighs 1000, all others weigh 1.
+    std::vector<double> w(std::size_t(sb.numBranches()), 1.0);
+    w.back() = 1000.0;
+    return w;
+}
+
+SuperblockEval
+evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
+                   const HeuristicSet &set, const EvalOptions &opts)
+{
+    GraphContext ctx(sb);
+
+    // One toolkit serves both the bound evaluation and Balance.
+    BoundsToolkit toolkit(ctx, machine, opts.bounds);
+
+    SuperblockEval eval;
+    eval.frequency = sb.execFrequency();
+
+    // Bounds (reusing the toolkit's LC/LateRC/PW artifacts).
+    eval.bounds.cp = wctFromBranchEarly(sb, cpEarly(ctx));
+    eval.bounds.hu = wctFromBranchEarly(sb, huEarly(ctx, machine));
+    eval.bounds.rj = wctFromBranchEarly(sb, rjEarly(ctx, machine));
+    std::vector<int> lcBranches;
+    for (OpId b : sb.branches())
+        lcBranches.push_back(toolkit.earlyRC()[std::size_t(b)]);
+    eval.bounds.lc = wctFromBranchEarly(sb, lcBranches);
+    if (toolkit.pairwise()) {
+        eval.bounds.pw = toolkit.pairwise()->superblockWct();
+        if (opts.bounds.computeTriplewise) {
+            std::vector<std::vector<int>> lateRCs;
+            for (int bi = 0; bi < sb.numBranches(); ++bi)
+                lateRCs.push_back(toolkit.lateRC(bi));
+            eval.bounds.tw = computeTriplewise(
+                                 ctx, machine, toolkit.earlyRC(), lateRCs,
+                                 *toolkit.pairwise(),
+                                 opts.bounds.triplewise)
+                                 .wct;
+        } else {
+            eval.bounds.tw = eval.bounds.pw;
+        }
+    } else {
+        eval.bounds.pw = eval.bounds.lc;
+        eval.bounds.tw = eval.bounds.lc;
+    }
+    eval.tightest = eval.bounds.tightest();
+
+    ScheduleRequest req;
+    if (opts.noProfileSteering)
+        req.branchWeights = noProfileWeights(sb);
+
+    // Primaries; Balance reuses the toolkit.
+    double bestWct = 0.0;
+    bool haveBest = false;
+    for (const auto &sched : set.primaries) {
+        Schedule s = [&] {
+            auto *bal = dynamic_cast<const BalanceScheduler *>(
+                sched.get());
+            if (bal && bal->config().useRcBounds)
+                return bal->runWithToolkit(ctx, machine, toolkit, req);
+            return sched->run(ctx, machine, req);
+        }();
+        s.validate(sb, machine);
+        double w = s.wct(sb);
+        eval.wct.push_back(w);
+        if (!haveBest || w < bestWct) {
+            bestWct = w;
+            haveBest = true;
+        }
+    }
+
+    // Best: the primaries' envelope plus the 11x11 combo grid. Best
+    // selects by true probabilities even under no-profile steering.
+    if (set.withBest) {
+        std::vector<double> cp = normalizeKey(criticalPathKey(ctx));
+        std::vector<double> sr =
+            normalizeKey(successiveRetirementKey(ctx));
+        std::vector<double> dh =
+            normalizeKey(dhasyKey(ctx, steeringWeights(sb, req)));
+        for (int a = 0; a <= 10; ++a) {
+            for (int b = 0; b <= 10; ++b) {
+                double fa = a / 10.0;
+                double fb = b / 10.0;
+                double fc = std::max(0.0, 1.0 - fa - fb);
+                Schedule s = listSchedule(
+                    sb, machine, combineKeys(cp, fa, sr, fb, dh, fc));
+                double w = s.wct(sb);
+                if (!haveBest || w < bestWct) {
+                    bestWct = w;
+                    haveBest = true;
+                }
+            }
+        }
+        eval.wct.push_back(bestWct);
+    }
+
+    // A heuristic can never beat a valid lower bound; this is the
+    // strongest end-to-end cross-check in the library, so keep it
+    // always on.
+    for (double w : eval.wct) {
+        bsAssert(w >= eval.tightest - 1e-6,
+                 "schedule beats the lower bound on '", sb.name(),
+                 "': wct ", w, " < bound ", eval.tightest);
+    }
+    return eval;
+}
+
+PopulationMetrics
+evaluatePopulation(const std::vector<BenchmarkProgram> &suite,
+                   const MachineModel &machine, const HeuristicSet &set,
+                   const EvalOptions &opts,
+                   const std::function<void(const Superblock &,
+                                            const SuperblockEval &)>
+                       &perSuperblock)
+{
+    PopulationMetrics metrics;
+    metrics.heuristics = set.names();
+    std::size_t numHeuristics = metrics.heuristics.size();
+
+    double trivialCycles = 0.0;
+    std::vector<double> heuristicCyclesNontrivial(numHeuristics, 0.0);
+    double boundCyclesNontrivial = 0.0;
+    std::vector<int> optimalNontrivial(numHeuristics, 0);
+    std::vector<int> optimalAll(numHeuristics, 0);
+    int nontrivialCount = 0;
+
+    for (const BenchmarkProgram &prog : suite) {
+        for (const Superblock &sb : prog.superblocks) {
+            SuperblockEval eval =
+                evaluateSuperblock(sb, machine, set, opts);
+            if (perSuperblock)
+                perSuperblock(sb, eval);
+
+            ++metrics.superblocks;
+            double lbCycles = eval.frequency * eval.tightest;
+            metrics.boundCycles += lbCycles;
+
+            bool trivial = true;
+            for (std::size_t h = 0; h < numHeuristics; ++h) {
+                bool optimal = eval.wct[h] <= eval.tightest + 1e-9;
+                if (optimal)
+                    ++optimalAll[h];
+                // Best does not participate in the trivial test: the
+                // paper defines trivial over the heuristics compared.
+                if (metrics.heuristics[h] != "Best" && !optimal)
+                    trivial = false;
+            }
+
+            if (trivial) {
+                ++metrics.trivialSuperblocks;
+                trivialCycles += lbCycles;
+            } else {
+                ++nontrivialCount;
+                boundCyclesNontrivial += lbCycles;
+                for (std::size_t h = 0; h < numHeuristics; ++h) {
+                    heuristicCyclesNontrivial[h] +=
+                        eval.frequency * eval.wct[h];
+                    if (eval.wct[h] <= eval.tightest + 1e-9)
+                        ++optimalNontrivial[h];
+                }
+            }
+        }
+    }
+
+    metrics.trivialCycleFraction =
+        metrics.boundCycles > 0.0 ? trivialCycles / metrics.boundCycles
+                                  : 0.0;
+    for (std::size_t h = 0; h < numHeuristics; ++h) {
+        double slowdown = boundCyclesNontrivial > 0.0
+            ? (heuristicCyclesNontrivial[h] - boundCyclesNontrivial) /
+                  boundCyclesNontrivial
+            : 0.0;
+        metrics.nontrivialSlowdown.push_back(slowdown);
+        metrics.optimalNontrivialFraction.push_back(
+            nontrivialCount > 0
+                ? double(optimalNontrivial[h]) / nontrivialCount
+                : 1.0);
+        metrics.optimalFraction.push_back(
+            metrics.superblocks > 0
+                ? double(optimalAll[h]) / metrics.superblocks
+                : 1.0);
+    }
+    return metrics;
+}
+
+} // namespace balance

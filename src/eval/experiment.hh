@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared experiment drivers for the benchmark harnesses: evaluate
+ * every heuristic and every bound on a superblock population and
+ * aggregate the paper's metrics (dynamic cycle counts, trivial
+ * superblock split, slowdowns, optimal fractions, CDF curves).
+ *
+ * Heavy artifacts (GraphContext, the LC/LateRC/Pairwise toolkit)
+ * are computed once per (superblock, machine) and shared between
+ * the bound evaluation and the Balance heuristic, mirroring how a
+ * production compiler would structure the pass.
+ */
+
+#ifndef BALANCE_EVAL_EXPERIMENT_HH
+#define BALANCE_EVAL_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bounds/superblock_bounds.hh"
+#include "core/balance_scheduler.hh"
+#include "sched/best_scheduler.hh"
+#include "workload/suite.hh"
+
+namespace balance
+{
+
+/** The paper's heuristic lineup (Section 6.2). */
+struct HeuristicSet
+{
+    /** SR, CP, G*, DHASY, Help, Balance — in the paper's order. */
+    std::vector<std::shared_ptr<const Scheduler>> primaries;
+    /** Include the Best envelope (primaries + 121 combos). */
+    bool withBest = true;
+
+    /** @return the standard lineup. */
+    static HeuristicSet paperSet(bool withBest = true);
+
+    /** @return display names, Best last when enabled. */
+    std::vector<std::string> names() const;
+};
+
+/** Options for evaluating one superblock. */
+struct EvalOptions
+{
+    BoundConfig bounds;
+    /**
+     * Steer probability-driven heuristics with the no-profile
+     * weights of Table 5 (last branch 1000, others 1) instead of
+     * the true probabilities. The objective and Best's selection
+     * always use the true probabilities.
+     */
+    bool noProfileSteering = false;
+};
+
+/** Everything measured for one (superblock, machine) pair. */
+struct SuperblockEval
+{
+    WctBounds bounds;
+    double tightest = 0.0;
+    /** WCT per heuristic, order matching HeuristicSet::names(). */
+    std::vector<double> wct;
+    double frequency = 1.0;
+};
+
+/** @return the Table 5 steering weights for @p sb. */
+std::vector<double> noProfileWeights(const Superblock &sb);
+
+/**
+ * Evaluate bounds and every heuristic on one superblock. All
+ * produced schedules are validated against the machine model.
+ */
+SuperblockEval evaluateSuperblock(const Superblock &sb,
+                                  const MachineModel &machine,
+                                  const HeuristicSet &set,
+                                  const EvalOptions &opts = {});
+
+/** Aggregated metrics over a population (one machine config). */
+struct PopulationMetrics
+{
+    std::vector<std::string> heuristics;
+    /** Dynamic lower-bound cycles over all superblocks. */
+    double boundCycles = 0.0;
+    /** Fraction of bound cycles spent in trivial superblocks. */
+    double trivialCycleFraction = 0.0;
+    int superblocks = 0;
+    int trivialSuperblocks = 0;
+    /** Slowdown vs bound over nontrivial superblocks, per heuristic. */
+    std::vector<double> nontrivialSlowdown;
+    /** Fraction of nontrivial superblocks scheduled at the bound. */
+    std::vector<double> optimalNontrivialFraction;
+    /** Fraction of ALL superblocks scheduled at the bound. */
+    std::vector<double> optimalFraction;
+};
+
+/**
+ * Run the full per-config evaluation over a suite.
+ *
+ * @param suite Superblock population.
+ * @param machine Machine configuration.
+ * @param set Heuristic lineup.
+ * @param opts Evaluation options.
+ * @param perSuperblock Optional observer invoked with each
+ *        superblock's evaluation (for CDF building).
+ */
+PopulationMetrics evaluatePopulation(
+    const std::vector<BenchmarkProgram> &suite,
+    const MachineModel &machine, const HeuristicSet &set,
+    const EvalOptions &opts = {},
+    const std::function<void(const Superblock &,
+                             const SuperblockEval &)> &perSuperblock =
+        nullptr);
+
+} // namespace balance
+
+#endif // BALANCE_EVAL_EXPERIMENT_HH

@@ -1,0 +1,97 @@
+#include "graph/analysis.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+std::vector<int>
+computeEarlyDC(const Superblock &sb)
+{
+    std::vector<int> early(std::size_t(sb.numOps()), 0);
+    // Ids are topological, so one forward sweep suffices.
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        for (const Adjacent &e : sb.succs(v)) {
+            early[std::size_t(e.op)] =
+                std::max(early[std::size_t(e.op)],
+                         early[std::size_t(v)] + e.latency);
+        }
+    }
+    return early;
+}
+
+std::vector<int>
+computeHeightTo(const Superblock &sb, OpId sink)
+{
+    bsAssert(sink >= 0 && sink < sb.numOps(), "unknown sink ", sink);
+    std::vector<int> height(std::size_t(sb.numOps()), -1);
+    height[std::size_t(sink)] = 0;
+    // Reverse sweep over the topological order.
+    for (OpId v = sink; v >= 0; --v) {
+        if (height[std::size_t(v)] < 0)
+            continue;
+        for (const Adjacent &e : sb.preds(v)) {
+            int h = height[std::size_t(v)] + e.latency;
+            height[std::size_t(e.op)] =
+                std::max(height[std::size_t(e.op)], h);
+        }
+    }
+    return height;
+}
+
+std::vector<int>
+computeLateDC(const Superblock &sb, OpId sink, int anchor)
+{
+    std::vector<int> height = computeHeightTo(sb, sink);
+    std::vector<int> late(std::size_t(sb.numOps()), lateUnconstrained);
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        if (height[std::size_t(v)] >= 0)
+            late[std::size_t(v)] = anchor - height[std::size_t(v)];
+    }
+    return late;
+}
+
+PredSets::PredSets(const Superblock &sb)
+{
+    std::size_t v = std::size_t(sb.numOps());
+    masks.reserve(v);
+    for (std::size_t i = 0; i < v; ++i)
+        masks.emplace_back(v);
+    for (OpId id = 0; id < OpId(v); ++id) {
+        DynBitset &mask = masks[std::size_t(id)];
+        for (const Adjacent &e : sb.preds(id)) {
+            mask.set(std::size_t(e.op));
+            mask |= masks[std::size_t(e.op)];
+        }
+    }
+}
+
+DynBitset
+PredSets::closure(OpId v) const
+{
+    DynBitset out = masks[std::size_t(v)];
+    out.set(std::size_t(v));
+    return out;
+}
+
+GraphContext::GraphContext(const Superblock &sb)
+    : block(&sb), early(computeEarlyDC(sb)), predMasks(sb)
+{
+    for (int e : early)
+        cp = std::max(cp, e);
+    heights.reserve(std::size_t(sb.numBranches()));
+    for (OpId b : sb.branches())
+        heights.push_back(computeHeightTo(sb, b));
+}
+
+const std::vector<int> &
+GraphContext::heightToBranch(int branchIdx) const
+{
+    bsAssert(branchIdx >= 0 && branchIdx < int(heights.size()),
+             "branch index out of range: ", branchIdx);
+    return heights[std::size_t(branchIdx)];
+}
+
+} // namespace balance

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Dependence-only analyses over a superblock (Section 2):
+ *
+ *  - EarlyDC[v]: earliest issue cycle of v when resources are ignored
+ *    (longest latency path from the entry).
+ *  - height_b[v]: the longest latency path from v to branch b; the
+ *    dependence late time is LateDC_b[v] = anchor(b) - height_b[v].
+ *  - Transitive predecessor masks: the subgraph "rooted at" an
+ *    operation, used by every bound in Section 4.
+ *
+ * All results are plain vectors indexed by OpId; the analyses are
+ * pure functions of the (immutable) superblock, so callers cache as
+ * they see fit. GraphContext bundles the commonly shared pieces.
+ */
+
+#ifndef BALANCE_GRAPH_ANALYSIS_HH
+#define BALANCE_GRAPH_ANALYSIS_HH
+
+#include <vector>
+
+#include "graph/superblock.hh"
+#include "support/bitset.hh"
+
+namespace balance
+{
+
+/**
+ * Earliest dependence-constrained issue cycle for each operation:
+ * EarlyDC[v] = max over predecessors p of EarlyDC[p] + latency(p, v),
+ * and 0 for entry operations.
+ */
+std::vector<int> computeEarlyDC(const Superblock &sb);
+
+/**
+ * Longest latency path from each operation to @p sink, restricted to
+ * predecessors of @p sink.
+ *
+ * @return height[v] such that in any schedule
+ *         issue(sink) >= issue(v) + height[v] for predecessors v of
+ *         @p sink; height[sink] = 0 and height[v] = -1 for
+ *         operations with no path to @p sink.
+ */
+std::vector<int> computeHeightTo(const Superblock &sb, OpId sink);
+
+/**
+ * Dependence late times relative to an anchor cycle for @p sink:
+ * LateDC[v] = anchor - height[v]. Operations unrelated to @p sink get
+ * a sentinel of INT_MAX / 4 (never constraining).
+ *
+ * @param sb The superblock.
+ * @param sink The branch (or op) whose issue is anchored.
+ * @param anchor The issue cycle assumed for @p sink.
+ */
+std::vector<int> computeLateDC(const Superblock &sb, OpId sink, int anchor);
+
+/** Sentinel late time for operations that do not constrain the sink. */
+constexpr int lateUnconstrained = 1 << 28;
+
+/**
+ * Transitive predecessor masks. preds(v) excludes v itself;
+ * closure(v) = preds(v) | {v} is the "subgraph rooted at v" of the
+ * paper.
+ */
+class PredSets
+{
+  public:
+    /** Build masks for every operation of @p sb. */
+    explicit PredSets(const Superblock &sb);
+
+    /** @return the transitive predecessors of @p v (excluding v). */
+    const DynBitset &preds(OpId v) const
+    {
+        return masks[std::size_t(v)];
+    }
+
+    /** @return preds(v) plus v itself. */
+    DynBitset closure(OpId v) const;
+
+    /** @return true when @p anc is a strict transitive pred of @p v. */
+    bool
+    isPred(OpId anc, OpId v) const
+    {
+        return masks[std::size_t(v)].test(std::size_t(anc));
+    }
+
+  private:
+    std::vector<DynBitset> masks;
+};
+
+/**
+ * Shared per-superblock analysis bundle: EarlyDC, per-branch heights,
+ * and predecessor masks, computed once and reused by the bounds and
+ * heuristics.
+ */
+class GraphContext
+{
+  public:
+    /** Analyze @p sb; the superblock must outlive the context. */
+    explicit GraphContext(const Superblock &sb);
+
+    /** The context keeps a pointer: temporaries are a bug. */
+    explicit GraphContext(Superblock &&) = delete;
+
+    /** @return the analyzed superblock. */
+    const Superblock &sb() const { return *block; }
+
+    /** @return EarlyDC for all operations. */
+    const std::vector<int> &earlyDC() const { return early; }
+
+    /** @return the dependence critical path max_v EarlyDC[v]. */
+    int criticalPath() const { return cp; }
+
+    /**
+     * @return height-to-branch for branch index @p branchIdx
+     *         (position in sb().branches()).
+     */
+    const std::vector<int> &heightToBranch(int branchIdx) const;
+
+    /** @return transitive-predecessor masks. */
+    const PredSets &predSets() const { return predMasks; }
+
+  private:
+    const Superblock *block;
+    std::vector<int> early;
+    int cp = 0;
+    std::vector<std::vector<int>> heights;
+    PredSets predMasks;
+};
+
+} // namespace balance
+
+#endif // BALANCE_GRAPH_ANALYSIS_HH

@@ -1,0 +1,203 @@
+#include "graph/builder.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+SuperblockBuilder::SuperblockBuilder(std::string name)
+    : sbName(std::move(name))
+{
+}
+
+OpId
+SuperblockBuilder::addOp(OpClass cls, int latency, std::string name)
+{
+    bsAssert(cls != OpClass::Branch,
+             "use addBranch() for branch operations");
+    bsAssert(latency >= 0, "negative latency");
+    Operation o;
+    o.id = OpId(ops.size());
+    o.cls = cls;
+    o.latency = latency;
+    o.name = std::move(name);
+    ops.push_back(std::move(o));
+    return ops.back().id;
+}
+
+OpId
+SuperblockBuilder::addBranch(double exitProb, std::string name, int latency)
+{
+    bsAssert(exitProb >= 0.0 && exitProb <= 1.0 + 1e-9,
+             "exit probability out of range: ", exitProb);
+    Operation o;
+    o.id = OpId(ops.size());
+    o.cls = OpClass::Branch;
+    o.latency = latency;
+    o.exitProb = exitProb;
+    o.name = std::move(name);
+    ops.push_back(std::move(o));
+    branchIds.push_back(ops.back().id);
+    return ops.back().id;
+}
+
+OpId
+SuperblockBuilder::addNonPipelinedOp(OpClass cls, int occupancy,
+                                     int resultLatency, std::string name)
+{
+    bsAssert(occupancy >= 1, "occupancy must be >= 1, got ", occupancy);
+    bsAssert(resultLatency >= 0, "negative result latency");
+    // The final pseudo-op carries whatever latency remains after the
+    // unit-latency chain; earlier pseudo-ops only keep the unit busy.
+    int tailLatency = std::max(resultLatency - (occupancy - 1), 0);
+    OpId prev = invalidOp;
+    for (int stage = 0; stage < occupancy; ++stage) {
+        bool last = stage + 1 == occupancy;
+        std::string stageName = name.empty()
+            ? std::string()
+            : name + (occupancy > 1 ? "." + std::to_string(stage)
+                                    : std::string());
+        OpId cur = addOp(cls, last ? tailLatency : 1,
+                         std::move(stageName));
+        if (prev != invalidOp)
+            addEdge(prev, cur, 1);
+        prev = cur;
+    }
+    return prev;
+}
+
+void
+SuperblockBuilder::addEdge(OpId src, OpId dst, int latency)
+{
+    bsAssert(src >= 0 && src < OpId(ops.size()), "unknown src op ", src);
+    bsAssert(dst >= 0 && dst < OpId(ops.size()), "unknown dst op ", dst);
+    bsAssert(src < dst,
+             "dependence edges must point forward in program order (",
+             src, " -> ", dst, ")");
+    if (latency < 0)
+        latency = ops[std::size_t(src)].latency;
+    edges.push_back({src, dst, latency});
+}
+
+void
+SuperblockBuilder::setFrequency(double freq)
+{
+    bsAssert(freq >= 0.0, "negative execution frequency");
+    frequency = freq;
+}
+
+Superblock
+SuperblockBuilder::build(bool anchorLooseOpsToLastExit)
+{
+    bsAssert(!ops.empty(), "cannot build an empty superblock");
+    bsAssert(!branchIds.empty(), "superblock '", sbName,
+             "' needs at least one exit");
+
+    // Control edges between consecutive branches keep exits ordered.
+    for (std::size_t i = 1; i < branchIds.size(); ++i) {
+        edges.push_back({branchIds[i - 1], branchIds[i],
+                         ops[std::size_t(branchIds[i - 1])].latency});
+    }
+
+    if (anchorLooseOpsToLastExit) {
+        // An op with no path to any branch would be dead code; anchor
+        // it to the final exit where its value is live out.
+        std::vector<char> reaches(ops.size(), 0);
+        for (OpId b : branchIds)
+            reaches[std::size_t(b)] = 1;
+        // Edges point forward, so one reverse sweep suffices once we
+        // index edges by source. Sort by src descending via stable
+        // pass over a bucket index.
+        std::vector<std::vector<OpId>> succOf(ops.size());
+        for (const DepEdge &e : edges)
+            succOf[std::size_t(e.src)].push_back(e.dst);
+        for (OpId v = OpId(ops.size()) - 1; v >= 0; --v) {
+            for (OpId s : succOf[std::size_t(v)]) {
+                if (reaches[std::size_t(s)])
+                    reaches[std::size_t(v)] = 1;
+            }
+        }
+        OpId last = branchIds.back();
+        for (OpId v = 0; v < OpId(ops.size()); ++v) {
+            if (!reaches[std::size_t(v)] && v < last)
+                edges.push_back({v, last, ops[std::size_t(v)].latency});
+        }
+    }
+
+    // Deduplicate parallel edges, keeping the maximum latency: the
+    // tighter constraint subsumes the looser one.
+    std::sort(edges.begin(), edges.end(),
+              [](const DepEdge &a, const DepEdge &b) {
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  if (a.dst != b.dst)
+                      return a.dst < b.dst;
+                  return a.latency > b.latency;
+              });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const DepEdge &a, const DepEdge &b) {
+                                return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+
+    // Assign block indices: block k holds the ops after branch k-1 up
+    // to and including branch k.
+    {
+        int block = 0;
+        for (auto &o : ops) {
+            o.block = block;
+            if (o.isBranch())
+                ++block;
+        }
+        // Ops after the final branch belong to the last block.
+        int lastBlock = int(branchIds.size()) - 1;
+        for (auto &o : ops)
+            o.block = std::min(o.block, lastBlock);
+    }
+
+    Superblock sb;
+    sb.sbName = std::move(sbName);
+    sb.frequency = frequency;
+    sb.operations = std::move(ops);
+    sb.branchIds = std::move(branchIds);
+    sb.edgeCount = int(edges.size());
+
+    // Build CSR adjacency in both directions.
+    std::size_t v = sb.operations.size();
+    sb.succBegin.assign(v + 1, 0);
+    sb.predBegin.assign(v + 1, 0);
+    for (const DepEdge &e : edges) {
+        ++sb.succBegin[std::size_t(e.src) + 1];
+        ++sb.predBegin[std::size_t(e.dst) + 1];
+    }
+    for (std::size_t i = 1; i <= v; ++i) {
+        sb.succBegin[i] += sb.succBegin[i - 1];
+        sb.predBegin[i] += sb.predBegin[i - 1];
+    }
+    sb.succAdj.resize(edges.size());
+    sb.predAdj.resize(edges.size());
+    std::vector<std::int32_t> succFill(sb.succBegin.begin(),
+                                       sb.succBegin.end() - 1);
+    std::vector<std::int32_t> predFill(sb.predBegin.begin(),
+                                       sb.predBegin.end() - 1);
+    for (const DepEdge &e : edges) {
+        sb.succAdj[std::size_t(succFill[std::size_t(e.src)]++)] =
+            {e.dst, e.latency};
+        sb.predAdj[std::size_t(predFill[std::size_t(e.dst)]++)] =
+            {e.src, e.latency};
+    }
+
+    sb.validate();
+
+    // Leave the builder reusable-but-empty.
+    ops.clear();
+    edges.clear();
+    branchIds.clear();
+    frequency = 1.0;
+
+    return sb;
+}
+
+} // namespace balance

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Mutable construction interface for Superblock. The builder accepts
+ * operations in program order and forward edges, then finalizes the
+ * CSR adjacency, block indices, and branch control edges.
+ */
+
+#ifndef BALANCE_GRAPH_BUILDER_HH
+#define BALANCE_GRAPH_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/superblock.hh"
+
+namespace balance
+{
+
+/**
+ * Incremental superblock builder.
+ *
+ * Usage:
+ * @code
+ *   SuperblockBuilder b("example");
+ *   OpId a = b.addOp(OpClass::IntAlu);
+ *   OpId x = b.addBranch(0.3);
+ *   b.addEdge(a, x);
+ *   Superblock sb = b.build();
+ * @endcode
+ */
+class SuperblockBuilder
+{
+  public:
+    /** Start a superblock with the given display name. */
+    explicit SuperblockBuilder(std::string name);
+
+    /**
+     * Append a non-branch operation in program order.
+     *
+     * @param cls Operation class (must not be Branch; use addBranch).
+     * @param latency Result latency; defaults to the class-typical
+     *        unit latency. Used as the default latency of outgoing
+     *        edges.
+     * @param name Optional display name.
+     * @return the new operation's id.
+     */
+    OpId addOp(OpClass cls, int latency = Latencies::unit,
+               std::string name = "");
+
+    /**
+     * Append a branch (superblock exit) in program order.
+     *
+     * @param exitProb Probability that execution leaves through this
+     *        exit.
+     * @param name Optional display name.
+     * @param latency Branch latency; defaults to l_br = 1.
+     * @return the new branch's id.
+     */
+    OpId addBranch(double exitProb, std::string name = "",
+                   int latency = Latencies::branch);
+
+    /**
+     * Model a non-fully-pipelined operation the way Rim & Jain do
+     * (Section 4.1): an operation occupying its unit for
+     * @p occupancy consecutive cycles becomes a chain of
+     * @p occupancy fully pipelined pseudo-operations of the same
+     * class. The returned id is the final pseudo-operation — attach
+     * consumers to it; its result latency is the remainder of
+     * @p resultLatency after the chain.
+     *
+     * This expansion is exact for every lower bound in src/bounds
+     * (they are relaxations). For the forward schedulers it is an
+     * approximation: the pseudo-ops of two expanded operations may
+     * interleave on the same unit, which real non-pipelined hardware
+     * would forbid, so produced schedules are optimistic by at most
+     * the interleaving. All six paper configurations are fully
+     * pipelined, so nothing in the reproduction depends on this.
+     *
+     * @param cls Operation class.
+     * @param occupancy Cycles the unit stays busy (>= 1).
+     * @param resultLatency Cycles from issue until the result is
+     *        available (>= occupancy is typical).
+     * @param name Optional display name (pseudo-ops get suffixes).
+     * @return the id of the final pseudo-operation.
+     */
+    OpId addNonPipelinedOp(OpClass cls, int occupancy,
+                           int resultLatency, std::string name = "");
+
+    /**
+     * Add a dependence edge.
+     *
+     * @param src Producer (must precede @p dst in program order).
+     * @param dst Consumer.
+     * @param latency Edge latency; -1 means "use src's result
+     *        latency". Duplicate (src, dst) edges keep the maximum
+     *        latency.
+     */
+    void addEdge(OpId src, OpId dst, int latency = -1);
+
+    /** Set the superblock's execution frequency (default 1). */
+    void setFrequency(double freq);
+
+    /** @return the number of operations added so far. */
+    int numOps() const { return int(ops.size()); }
+
+    /**
+     * Finalize into an immutable, validated Superblock.
+     *
+     * Finalization inserts any missing control edges between
+     * consecutive branches (latency = branch latency) and, when
+     * @p anchorLooseOpsToLastExit is set, adds an edge from every
+     * operation with no path to any branch to the final branch —
+     * modelling that such values are live out at the fall-through
+     * exit.
+     *
+     * The builder is left empty afterwards.
+     */
+    Superblock build(bool anchorLooseOpsToLastExit = false);
+
+  private:
+    std::string sbName;
+    double frequency = 1.0;
+    std::vector<Operation> ops;
+    std::vector<DepEdge> edges;
+    std::vector<OpId> branchIds;
+};
+
+} // namespace balance
+
+#endif // BALANCE_GRAPH_BUILDER_HH

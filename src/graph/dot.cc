@@ -1,0 +1,40 @@
+#include "graph/dot.hh"
+
+#include <sstream>
+
+#include "support/table.hh"
+
+namespace balance
+{
+
+std::string
+toDot(const Superblock &sb)
+{
+    std::ostringstream oss;
+    oss << "digraph \"" << sb.name() << "\" {\n";
+    oss << "  rankdir=TB;\n";
+    for (const Operation &o : sb.ops()) {
+        oss << "  n" << o.id << " [label=\"" << o.id;
+        if (!o.name.empty())
+            oss << "\\n" << o.name;
+        oss << "\\n" << opClassName(o.cls);
+        if (o.isBranch())
+            oss << " p=" << fmtDouble(o.exitProb, 2);
+        oss << "\"";
+        if (o.isBranch())
+            oss << ", shape=box, style=bold";
+        oss << "];\n";
+    }
+    for (const Operation &o : sb.ops()) {
+        for (const Adjacent &e : sb.succs(o.id)) {
+            oss << "  n" << o.id << " -> n" << e.op;
+            if (e.latency != 1)
+                oss << " [label=\"" << e.latency << "\"]";
+            oss << ";\n";
+        }
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace balance

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Graphviz DOT export for superblocks, for debugging and for the
+ * example tools. Branch nodes are drawn as boxes labeled with their
+ * exit probability; non-unit edge latencies are labeled.
+ */
+
+#ifndef BALANCE_GRAPH_DOT_HH
+#define BALANCE_GRAPH_DOT_HH
+
+#include <string>
+
+#include "graph/superblock.hh"
+
+namespace balance
+{
+
+/** Render @p sb as a DOT digraph. */
+std::string toDot(const Superblock &sb);
+
+} // namespace balance
+
+#endif // BALANCE_GRAPH_DOT_HH

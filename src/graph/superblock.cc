@@ -1,0 +1,90 @@
+#include "graph/superblock.hh"
+
+#include <cmath>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+int
+Superblock::branchIndexOf(OpId id) const
+{
+    // Branch ids are sorted (program order); binary search.
+    int lo = 0;
+    int hi = int(branchIds.size()) - 1;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (branchIds[std::size_t(mid)] == id)
+            return mid;
+        if (branchIds[std::size_t(mid)] < id)
+            lo = mid + 1;
+        else
+            hi = mid - 1;
+    }
+    return -1;
+}
+
+void
+Superblock::validate() const
+{
+    int v = numOps();
+    bsAssert(v > 0, "superblock '", sbName, "' has no operations");
+    bsAssert(!branchIds.empty(), "superblock '", sbName,
+             "' has no exits");
+    bsAssert(int(succBegin.size()) == v + 1 &&
+                 int(predBegin.size()) == v + 1,
+             "adjacency index size mismatch");
+
+    double probSum = 0.0;
+    int prevBranch = -1;
+    for (OpId b : branchIds) {
+        bsAssert(b >= 0 && b < v, "branch id out of range");
+        bsAssert(op(b).isBranch(), "non-branch op ", b,
+                 " listed as branch");
+        bsAssert(b > prevBranch, "branch list not in program order");
+        prevBranch = b;
+        double p = op(b).exitProb;
+        bsAssert(p >= 0.0 && p <= 1.0 + 1e-9,
+                 "exit probability out of range: ", p);
+        probSum += p;
+    }
+    bsAssert(probSum <= 1.0 + 1e-6,
+             "exit probabilities sum to ", probSum, " > 1");
+
+    for (OpId id = 0; id < v; ++id) {
+        const Operation &o = op(id);
+        bsAssert(o.id == id, "operation id mismatch at ", id);
+        bsAssert(o.latency >= 0, "negative latency on op ", id);
+        bsAssert(o.isBranch() == (branchIndexOf(id) >= 0),
+                 "branch list inconsistent with op class at ", id);
+        for (const Adjacent &e : succs(id)) {
+            bsAssert(e.op > id && e.op < v,
+                     "edge must point forward in program order: ", id,
+                     " -> ", e.op);
+            bsAssert(e.latency >= 0, "negative edge latency");
+        }
+        for (const Adjacent &e : preds(id)) {
+            bsAssert(e.op >= 0 && e.op < id,
+                     "pred adjacency inconsistent at ", id);
+        }
+    }
+
+    // Consecutive branches must be ordered by a control edge with at
+    // least the branch latency (Section 4.2: branches never reorder).
+    for (std::size_t i = 1; i < branchIds.size(); ++i) {
+        OpId prev = branchIds[i - 1];
+        OpId cur = branchIds[i];
+        bool found = false;
+        for (const Adjacent &e : succs(prev)) {
+            if (e.op == cur && e.latency >= op(prev).latency) {
+                found = true;
+                break;
+            }
+        }
+        bsAssert(found, "missing control edge between branches ", prev,
+                 " and ", cur);
+    }
+}
+
+} // namespace balance

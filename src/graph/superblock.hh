@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The superblock dependence graph: a single-entry multiple-exit
+ * straight-line region represented as a DAG of operations with
+ * latency-weighted dependence edges and probability-weighted branch
+ * exits (Section 2 of the paper).
+ *
+ * Representation invariants (checked by validate()):
+ *  - Operations are stored in program order and every dependence edge
+ *    points forward (src < dst), so operation ids form a topological
+ *    order of the DAG.
+ *  - Branches appear in program order; consecutive branches are
+ *    connected by a control edge with the branch latency, since
+ *    superblock exits can never be reordered (Section 4.2).
+ *  - Exit probabilities are in [0, 1] and sum to at most 1 + epsilon;
+ *    the final branch conventionally absorbs the fall-through mass.
+ */
+
+#ifndef BALANCE_GRAPH_SUPERBLOCK_HH
+#define BALANCE_GRAPH_SUPERBLOCK_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/op_class.hh"
+
+namespace balance
+{
+
+/** Operation identifier; doubles as the topological position. */
+using OpId = std::int32_t;
+
+/** Sentinel for "no operation". */
+constexpr OpId invalidOp = -1;
+
+/**
+ * One node of the dependence graph.
+ */
+struct Operation
+{
+    OpId id = invalidOp;       //!< position in program order
+    OpClass cls = OpClass::IntAlu;
+    int latency = 1;           //!< result latency (default edge weight)
+    double exitProb = 0.0;     //!< exit probability; branches only
+    int block = 0;             //!< basic-block index within the superblock
+    std::string name;          //!< optional display name
+
+    /** @return true for superblock exits. */
+    bool isBranch() const { return cls == OpClass::Branch; }
+};
+
+/**
+ * A dependence from @c src to @c dst: @c dst may not issue earlier
+ * than `issue(src) + latency`.
+ */
+struct DepEdge
+{
+    OpId src = invalidOp;
+    OpId dst = invalidOp;
+    int latency = 1;
+};
+
+/** Adjacency entry: the neighbor and the edge latency. */
+struct Adjacent
+{
+    OpId op = invalidOp;
+    int latency = 1;
+};
+
+/**
+ * Immutable superblock dependence graph. Build with
+ * SuperblockBuilder; all analyses and schedulers take it by
+ * const reference.
+ */
+class Superblock
+{
+  public:
+    friend class SuperblockBuilder;
+
+    /** @return the display name ("gcc.sb0421" etc.). */
+    const std::string &name() const { return sbName; }
+
+    /** @return the number of operations. */
+    int numOps() const { return int(operations.size()); }
+
+    /** @return the number of dependence edges. */
+    int numEdges() const { return edgeCount; }
+
+    /** @return operation @p id. */
+    const Operation &
+    op(OpId id) const
+    {
+        return operations[std::size_t(id)];
+    }
+
+    /** @return all operations in program order. */
+    std::span<const Operation> ops() const { return operations; }
+
+    /** @return successor adjacency of @p id. */
+    std::span<const Adjacent>
+    succs(OpId id) const
+    {
+        return {succAdj.data() + succBegin[std::size_t(id)],
+                succAdj.data() + succBegin[std::size_t(id) + 1]};
+    }
+
+    /** @return predecessor adjacency of @p id. */
+    std::span<const Adjacent>
+    preds(OpId id) const
+    {
+        return {predAdj.data() + predBegin[std::size_t(id)],
+                predAdj.data() + predBegin[std::size_t(id) + 1]};
+    }
+
+    /** @return branch operation ids in program order. */
+    const std::vector<OpId> &branches() const { return branchIds; }
+
+    /** @return the number of branches (exits). */
+    int numBranches() const { return int(branchIds.size()); }
+
+    /**
+     * @return the position of @p id in branches(), or -1 when @p id
+     *         is not a branch.
+     */
+    int branchIndexOf(OpId id) const;
+
+    /** @return the exit probability of branch @p id. */
+    double
+    exitProb(OpId id) const
+    {
+        return operations[std::size_t(id)].exitProb;
+    }
+
+    /**
+     * Execution frequency of this superblock in its program; used to
+     * weight dynamic cycle counts across a benchmark suite.
+     */
+    double execFrequency() const { return frequency; }
+
+    /** @return the number of basic blocks (== numBranches()). */
+    int numBlocks() const { return int(branchIds.size()); }
+
+    /**
+     * Check all representation invariants; panics on violation.
+     * Called by the builder; exposed for tests and the .sb parser.
+     */
+    void validate() const;
+
+  private:
+    std::string sbName;
+    double frequency = 1.0;
+    std::vector<Operation> operations;
+    std::vector<OpId> branchIds;
+
+    /** CSR-style adjacency, built once by the builder. */
+    std::vector<Adjacent> succAdj;
+    std::vector<Adjacent> predAdj;
+    std::vector<std::int32_t> succBegin;
+    std::vector<std::int32_t> predBegin;
+    int edgeCount = 0;
+};
+
+} // namespace balance
+
+#endif // BALANCE_GRAPH_SUPERBLOCK_HH

@@ -1,0 +1,131 @@
+#include "machine/machine_model.hh"
+
+#include <numeric>
+#include <sstream>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+MachineModel
+MachineModel::generalPurpose(std::string name, int width)
+{
+    bsAssert(width >= 1, "GP machine needs width >= 1, got ", width);
+    MachineModel m;
+    m.modelName = std::move(name);
+    m.widths = {width};
+    m.pools = {0, 0, 0, 0};
+    return m;
+}
+
+MachineModel
+MachineModel::fullySpecialized(std::string name, int intUnits, int memUnits,
+                               int floatUnits, int branchUnits)
+{
+    bsAssert(intUnits >= 1 && memUnits >= 1 && floatUnits >= 1 &&
+                 branchUnits >= 1,
+             "FS machine needs at least one unit per class");
+    MachineModel m;
+    m.modelName = std::move(name);
+    m.widths = {intUnits, memUnits, floatUnits, branchUnits};
+    m.pools = {0, 1, 2, 3};
+    return m;
+}
+
+MachineModel
+MachineModel::custom(std::string name, std::vector<int> poolWidths,
+                     std::array<ResourceId, numOpClasses> classToPool)
+{
+    bsAssert(!poolWidths.empty(), "custom machine needs a pool");
+    for (int w : poolWidths)
+        bsAssert(w >= 1, "pool width must be >= 1, got ", w);
+    for (ResourceId r : classToPool) {
+        bsAssert(r >= 0 && r < int(poolWidths.size()),
+                 "class mapped to unknown pool ", r);
+    }
+    MachineModel m;
+    m.modelName = std::move(name);
+    m.widths = std::move(poolWidths);
+    m.pools = classToPool;
+    return m;
+}
+
+MachineModel
+MachineModel::gp1()
+{
+    return generalPurpose("GP1", 1);
+}
+
+MachineModel
+MachineModel::gp2()
+{
+    return generalPurpose("GP2", 2);
+}
+
+MachineModel
+MachineModel::gp4()
+{
+    return generalPurpose("GP4", 4);
+}
+
+MachineModel
+MachineModel::fs4()
+{
+    return fullySpecialized("FS4", 1, 1, 1, 1);
+}
+
+MachineModel
+MachineModel::fs6()
+{
+    return fullySpecialized("FS6", 2, 2, 1, 1);
+}
+
+MachineModel
+MachineModel::fs8()
+{
+    return fullySpecialized("FS8", 3, 2, 2, 1);
+}
+
+std::vector<MachineModel>
+MachineModel::paperConfigs()
+{
+    return {gp1(), gp2(), gp4(), fs4(), fs6(), fs8()};
+}
+
+MachineModel
+MachineModel::byName(const std::string &name)
+{
+    for (auto &m : paperConfigs()) {
+        if (m.name() == name)
+            return m;
+    }
+    bsFatal("unknown machine configuration '", name,
+            "' (expected one of GP1, GP2, GP4, FS4, FS6, FS8)");
+}
+
+int
+MachineModel::totalWidth() const
+{
+    return std::accumulate(widths.begin(), widths.end(), 0);
+}
+
+std::string
+MachineModel::describe() const
+{
+    std::ostringstream oss;
+    oss << modelName << " (";
+    if (numResources() == 1) {
+        oss << widths[0] << " general-purpose units";
+    } else {
+        for (int cls = 0; cls < numOpClasses; ++cls) {
+            if (cls)
+                oss << ", ";
+            oss << widthOf(OpClass(cls)) << " " << opClassName(OpClass(cls));
+        }
+    }
+    oss << ", fully pipelined)";
+    return oss.str();
+}
+
+} // namespace balance

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Declarative VLIW machine description: named resource pools with
+ * per-cycle issue widths and a mapping from operation class to pool.
+ *
+ * The paper's six configurations (Section 6):
+ *  - GP1/GP2/GP4: 1/2/4 general-purpose units (all classes share one
+ *    pool);
+ *  - FS4 = (1 int, 1 mem, 1 flt, 1 br), FS6 = (2,2,1,1),
+ *    FS8 = (3,2,2,1): fully specialized pools.
+ * All units are fully pipelined: an operation occupies its unit only
+ * in its issue cycle.
+ */
+
+#ifndef BALANCE_MACHINE_MACHINE_MODEL_HH
+#define BALANCE_MACHINE_MACHINE_MODEL_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "machine/op_class.hh"
+
+namespace balance
+{
+
+/** Index of a resource pool within a MachineModel. */
+using ResourceId = int;
+
+/**
+ * Immutable machine description. Construct via the named factory
+ * functions or custom() and treat as a value.
+ */
+class MachineModel
+{
+  public:
+    /**
+     * Build a general-purpose machine: one pool serving all classes.
+     *
+     * @param name Display name (e.g. "GP2").
+     * @param width Per-cycle issue width of the single pool.
+     */
+    static MachineModel generalPurpose(std::string name, int width);
+
+    /**
+     * Build a fully specialized machine with one pool per class.
+     *
+     * @param name Display name (e.g. "FS6").
+     * @param intUnits Integer-ALU pool width.
+     * @param memUnits Memory pool width.
+     * @param floatUnits Float pool width.
+     * @param branchUnits Branch pool width.
+     */
+    static MachineModel fullySpecialized(std::string name, int intUnits,
+                                         int memUnits, int floatUnits,
+                                         int branchUnits);
+
+    /**
+     * Build an arbitrary machine.
+     *
+     * @param name Display name.
+     * @param poolWidths Issue width of each pool; all must be >= 1.
+     * @param classToPool Pool index for each OpClass, indexed by the
+     *        underlying value of the class.
+     */
+    static MachineModel custom(std::string name,
+                               std::vector<int> poolWidths,
+                               std::array<ResourceId, numOpClasses>
+                                   classToPool);
+
+    /** GP1 configuration from the paper. */
+    static MachineModel gp1();
+    /** GP2 configuration from the paper. */
+    static MachineModel gp2();
+    /** GP4 configuration from the paper. */
+    static MachineModel gp4();
+    /** FS4 = (1,1,1,1) configuration from the paper. */
+    static MachineModel fs4();
+    /** FS6 = (2,2,1,1) configuration from the paper. */
+    static MachineModel fs6();
+    /** FS8 = (3,2,2,1) configuration from the paper. */
+    static MachineModel fs8();
+
+    /** All six paper configurations in the paper's order. */
+    static std::vector<MachineModel> paperConfigs();
+
+    /**
+     * Look up one of the six paper configurations by name
+     * (case-sensitive, e.g. "FS4"); fatal on unknown name.
+     */
+    static MachineModel byName(const std::string &name);
+
+    /** @return the display name. */
+    const std::string &name() const { return modelName; }
+
+    /** @return the number of resource pools. */
+    int numResources() const { return int(widths.size()); }
+
+    /** @return the issue width of pool @p r. */
+    int
+    width(ResourceId r) const
+    {
+        return widths[std::size_t(r)];
+    }
+
+    /** @return the pool serving operations of class @p cls. */
+    ResourceId
+    poolOf(OpClass cls) const
+    {
+        return pools[std::size_t(cls)];
+    }
+
+    /** @return the issue width of the pool serving class @p cls. */
+    int
+    widthOf(OpClass cls) const
+    {
+        return width(poolOf(cls));
+    }
+
+    /** @return the sum of all pool widths (total issue width). */
+    int totalWidth() const;
+
+    /** One-line human-readable summary. */
+    std::string describe() const;
+
+  private:
+    MachineModel() = default;
+
+    std::string modelName;
+    std::vector<int> widths;
+    std::array<ResourceId, numOpClasses> pools{};
+};
+
+} // namespace balance
+
+#endif // BALANCE_MACHINE_MACHINE_MODEL_HH

@@ -1,0 +1,41 @@
+#include "machine/op_class.hh"
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+std::string
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+        return "int";
+      case OpClass::Memory:
+        return "mem";
+      case OpClass::FloatAlu:
+        return "flt";
+      case OpClass::Branch:
+        return "br";
+    }
+    bsPanic("unknown OpClass value ", int(cls));
+}
+
+bool
+parseOpClass(const std::string &name, OpClass &out)
+{
+    if (name == "int") {
+        out = OpClass::IntAlu;
+    } else if (name == "mem") {
+        out = OpClass::Memory;
+    } else if (name == "flt") {
+        out = OpClass::FloatAlu;
+    } else if (name == "br") {
+        out = OpClass::Branch;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace balance

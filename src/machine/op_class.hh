@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Operation classes and default latencies for the paper's machine
+ * models (Section 6): integer ALU, memory, floating point, and branch
+ * operations, all fully pipelined.
+ */
+
+#ifndef BALANCE_MACHINE_OP_CLASS_HH
+#define BALANCE_MACHINE_OP_CLASS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace balance
+{
+
+/**
+ * Functional classes of operations. FS machines bind each class to a
+ * dedicated unit pool; GP machines fold every class into one pool.
+ */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   //!< integer arithmetic/logic, unit latency
+    Memory,   //!< loads/stores; loads have 2-cycle latency
+    FloatAlu, //!< float add/mul/div; 1/3/9-cycle latencies
+    Branch,   //!< superblock exits, unit latency
+};
+
+/** Number of distinct OpClass values. */
+constexpr int numOpClasses = 4;
+
+/** Short mnemonic ("int", "mem", "flt", "br"). */
+std::string opClassName(OpClass cls);
+
+/**
+ * Parse an OpClass mnemonic as produced by opClassName().
+ *
+ * @param name Mnemonic to parse.
+ * @param out Receives the class on success.
+ * @return false when @p name is not a known mnemonic.
+ */
+bool parseOpClass(const std::string &name, OpClass &out);
+
+/**
+ * Result latencies from Section 6: all operations are unit latency
+ * except loads (2), float multiply (3) and float divide (9). The
+ * workload generator picks concrete latencies per operation; these
+ * constants centralize the paper's values.
+ */
+struct Latencies
+{
+    static constexpr int unit = 1;
+    static constexpr int load = 2;
+    static constexpr int floatMultiply = 3;
+    static constexpr int floatDivide = 9;
+    /** Branch latency l_br used in completion times and control edges. */
+    static constexpr int branch = 1;
+};
+
+} // namespace balance
+
+#endif // BALANCE_MACHINE_OP_CLASS_HH

@@ -1,0 +1,113 @@
+#include "machine/resource_state.hh"
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+ResourceState::ResourceState(const MachineModel &machine)
+    : model(&machine)
+{
+}
+
+void
+ResourceState::clear()
+{
+    usage.clear();
+    cycles = 0;
+}
+
+void
+ResourceState::ensureCycle(int cycle) const
+{
+    bsAssert(cycle >= 0, "negative cycle ", cycle);
+    if (cycle < cycles)
+        return;
+    int newCycles = std::max(cycle + 1, cycles * 2 + 8);
+    usage.resize(std::size_t(newCycles) * model->numResources(), 0);
+    cycles = newCycles;
+}
+
+int
+ResourceState::freePoolSlots(int cycle, ResourceId r) const
+{
+    bsAssert(cycle >= 0, "negative cycle ", cycle);
+    if (cycle >= cycles)
+        return model->width(r);
+    int used = usage[std::size_t(cycle) * model->numResources() +
+                     std::size_t(r)];
+    return model->width(r) - used;
+}
+
+int
+ResourceState::freeSlots(int cycle, OpClass cls) const
+{
+    return freePoolSlots(cycle, model->poolOf(cls));
+}
+
+bool
+ResourceState::hasSlot(int cycle, OpClass cls) const
+{
+    return freeSlots(cycle, cls) > 0;
+}
+
+void
+ResourceState::reserve(int cycle, OpClass cls)
+{
+    ensureCycle(cycle);
+    ResourceId r = model->poolOf(cls);
+    int &used = usage[std::size_t(cycle) * model->numResources() +
+                      std::size_t(r)];
+    bsAssert(used < model->width(r), "pool ", r, " overfull in cycle ",
+             cycle);
+    ++used;
+}
+
+void
+ResourceState::release(int cycle, OpClass cls)
+{
+    bsAssert(cycle >= 0 && cycle < cycles, "release of unknown cycle ",
+             cycle);
+    ResourceId r = model->poolOf(cls);
+    int &used = usage[std::size_t(cycle) * model->numResources() +
+                      std::size_t(r)];
+    bsAssert(used > 0, "release with no reservation in cycle ", cycle);
+    --used;
+}
+
+int
+ResourceState::earliestFree(int from, OpClass cls) const
+{
+    bsAssert(from >= 0, "negative cycle ", from);
+    int cycle = from;
+    while (cycle < cycles && !hasSlot(cycle, cls))
+        ++cycle;
+    return cycle;
+}
+
+int
+ResourceState::availableInWindow(int fromCycle, int toCycle,
+                                 ResourceId r) const
+{
+    if (toCycle < fromCycle)
+        return 0;
+    long long total = 0;
+    for (int c = fromCycle; c <= toCycle; ++c)
+        total += freePoolSlots(c, r);
+    return int(total);
+}
+
+int
+ResourceState::usedInCycle(int cycle) const
+{
+    bsAssert(cycle >= 0, "negative cycle ", cycle);
+    if (cycle >= cycles)
+        return 0;
+    int used = 0;
+    for (int r = 0; r < model->numResources(); ++r)
+        used += usage[std::size_t(cycle) * model->numResources() +
+                      std::size_t(r)];
+    return used;
+}
+
+} // namespace balance

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-cycle functional-unit reservation table. Used both by the list
+ * schedulers (forward, cycle by cycle) and by the Rim & Jain greedy
+ * relaxation (random access by cycle).
+ *
+ * All machines in this library are fully pipelined, so an operation
+ * occupies one unit of its pool for exactly its issue cycle; the
+ * paper handles non-pipelined units by expanding them into chains of
+ * pipelined pseudo-operations before scheduling (Rim & Jain), which
+ * the workload layer supports at graph-construction time.
+ */
+
+#ifndef BALANCE_MACHINE_RESOURCE_STATE_HH
+#define BALANCE_MACHINE_RESOURCE_STATE_HH
+
+#include <vector>
+
+#include "machine/machine_model.hh"
+
+namespace balance
+{
+
+/**
+ * Mutable reservation table: usage[cycle][pool] counters that grow on
+ * demand. Cheap to reset and copy for the sizes involved here
+ * (hundreds of cycles, <= 4 pools).
+ */
+class ResourceState
+{
+  public:
+    /** Create an empty table for @p machine. */
+    explicit ResourceState(const MachineModel &machine);
+
+    /** The table keeps a pointer: temporaries are a bug. */
+    explicit ResourceState(MachineModel &&) = delete;
+
+    /** @return the machine this table was built for. */
+    const MachineModel &machine() const { return *model; }
+
+    /** Forget all reservations. */
+    void clear();
+
+    /** @return units of class @p cls still free in @p cycle. */
+    int freeSlots(int cycle, OpClass cls) const;
+
+    /** @return units of pool @p r still free in @p cycle. */
+    int freePoolSlots(int cycle, ResourceId r) const;
+
+    /** @return true when class @p cls has a free unit in @p cycle. */
+    bool hasSlot(int cycle, OpClass cls) const;
+
+    /**
+     * Reserve one unit of class @p cls in @p cycle.
+     * Panics when the pool is already full: callers must check first.
+     */
+    void reserve(int cycle, OpClass cls);
+
+    /** Release one unit of class @p cls in @p cycle. */
+    void release(int cycle, OpClass cls);
+
+    /**
+     * @return the earliest cycle >= @p from with a free unit of
+     *         class @p cls. Always terminates: every cycle past the
+     *         table end is free.
+     */
+    int earliestFree(int from, OpClass cls) const;
+
+    /**
+     * Total slots of pool @p r in the half-open cycle range
+     * [@p fromCycle, @p toCycle], minus reservations already made.
+     * Used for ERC available-slot computations (Section 5.1).
+     */
+    int availableInWindow(int fromCycle, int toCycle, ResourceId r) const;
+
+    /** @return the number of reserved slots in @p cycle over all pools. */
+    int usedInCycle(int cycle) const;
+
+  private:
+    /** Grow the table so @p cycle is addressable. */
+    void ensureCycle(int cycle) const;
+
+    const MachineModel *model;
+    /** usage[cycle * numResources + pool] = reserved units. */
+    mutable std::vector<int> usage;
+    mutable int cycles = 0;
+};
+
+} // namespace balance
+
+#endif // BALANCE_MACHINE_RESOURCE_STATE_HH

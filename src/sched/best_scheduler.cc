@@ -1,0 +1,62 @@
+#include "sched/best_scheduler.hh"
+
+#include "sched/priorities.hh"
+
+namespace balance
+{
+
+BestScheduler::BestScheduler(
+    std::vector<std::shared_ptr<const Scheduler>> primaries,
+    int gridSteps)
+    : primaries(std::move(primaries)), gridSteps(gridSteps)
+{
+}
+
+int
+BestScheduler::runsPerSuperblock() const
+{
+    return int(primaries.size()) + (gridSteps + 1) * (gridSteps + 1);
+}
+
+Schedule
+BestScheduler::run(const GraphContext &ctx, const MachineModel &machine,
+                   const ScheduleRequest &req) const
+{
+    const Superblock &sb = ctx.sb();
+
+    bool haveBest = false;
+    Schedule best;
+    double bestWct = 0.0;
+    auto consider = [&](Schedule s) {
+        double w = s.wct(sb);
+        if (!haveBest || w < bestWct) {
+            best = std::move(s);
+            bestWct = w;
+            haveBest = true;
+        }
+    };
+
+    for (const auto &sched : primaries)
+        consider(sched->run(ctx, machine, req));
+
+    // The cross product: a*CP + b*SR + c*DHASY over an integer grid,
+    // with the DHASY share absorbing whatever a and b leave (clamped
+    // at zero), for (gridSteps+1)^2 combinations.
+    std::vector<double> cp = normalizeKey(criticalPathKey(ctx));
+    std::vector<double> sr = normalizeKey(successiveRetirementKey(ctx));
+    std::vector<double> dh =
+        normalizeKey(dhasyKey(ctx, steeringWeights(sb, req)));
+    for (int a = 0; a <= gridSteps; ++a) {
+        for (int b = 0; b <= gridSteps; ++b) {
+            double fa = double(a) / gridSteps;
+            double fb = double(b) / gridSteps;
+            double fc = std::max(0.0, 1.0 - fa - fb);
+            consider(listSchedule(sb, machine,
+                                  combineKeys(cp, fa, sr, fb, dh, fc),
+                                  req.stats));
+        }
+    }
+    return best;
+}
+
+} // namespace balance

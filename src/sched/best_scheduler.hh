@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The paper's "Best" envelope (Section 6.2): run the primary
+ * heuristics plus a three-dimensional cross product of the CP, SR,
+ * and DHASY priority functions — 121 extra list-scheduler runs — and
+ * keep the schedule with the lowest weighted completion time.
+ *
+ * Best always selects by the true exit probabilities, even when the
+ * primaries are steered by no-profile weights, matching Table 5's
+ * methodology.
+ */
+
+#ifndef BALANCE_SCHED_BEST_SCHEDULER_HH
+#define BALANCE_SCHED_BEST_SCHEDULER_HH
+
+#include <memory>
+#include <vector>
+
+#include "sched/heuristics.hh"
+
+namespace balance
+{
+
+/**
+ * Envelope scheduler: minimum-WCT schedule over a set of primaries
+ * and the 11x11 combo grid.
+ */
+class BestScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param primaries Heuristics whose schedules join the envelope
+     *        (typically SR, CP, G*, DHASY, Help, Balance). May be
+     *        empty; the combo grid always runs.
+     * @param gridSteps Grid resolution per axis; the default 10
+     *        yields the paper's 121 combo runs.
+     */
+    explicit BestScheduler(
+        std::vector<std::shared_ptr<const Scheduler>> primaries,
+        int gridSteps = 10);
+
+    std::string name() const override { return "Best"; }
+    Schedule run(const GraphContext &ctx, const MachineModel &machine,
+                 const ScheduleRequest &req = {}) const override;
+
+    /** @return the number of list-scheduler runs per superblock. */
+    int runsPerSuperblock() const;
+
+  private:
+    std::vector<std::shared_ptr<const Scheduler>> primaries;
+    int gridSteps;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SCHED_BEST_SCHEDULER_HH

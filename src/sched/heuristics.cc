@@ -1,0 +1,160 @@
+#include "sched/heuristics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sched/priorities.hh"
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+std::vector<double>
+steeringWeights(const Superblock &sb, const ScheduleRequest &req)
+{
+    if (!req.branchWeights.empty()) {
+        bsAssert(int(req.branchWeights.size()) == sb.numBranches(),
+                 "branch weight override size mismatch");
+        return req.branchWeights;
+    }
+    std::vector<double> w;
+    w.reserve(std::size_t(sb.numBranches()));
+    for (OpId b : sb.branches())
+        w.push_back(sb.exitProb(b));
+    return w;
+}
+
+Schedule
+CriticalPathScheduler::run(const GraphContext &ctx,
+                           const MachineModel &machine,
+                           const ScheduleRequest &req) const
+{
+    return listSchedule(ctx.sb(), machine, criticalPathKey(ctx),
+                        req.stats);
+}
+
+Schedule
+SuccessiveRetirementScheduler::run(const GraphContext &ctx,
+                                   const MachineModel &machine,
+                                   const ScheduleRequest &req) const
+{
+    return listSchedule(ctx.sb(), machine, successiveRetirementKey(ctx),
+                        req.stats);
+}
+
+Schedule
+DhasyScheduler::run(const GraphContext &ctx, const MachineModel &machine,
+                    const ScheduleRequest &req) const
+{
+    return listSchedule(ctx.sb(), machine,
+                        dhasyKey(ctx, steeringWeights(ctx.sb(), req)),
+                        req.stats);
+}
+
+GStarScheduler::GStarScheduler(Secondary secondary)
+    : secondary(secondary)
+{
+}
+
+std::string
+GStarScheduler::name() const
+{
+    return secondary == Secondary::CriticalPath ? "G*" : "G*(DHASY)";
+}
+
+Schedule
+GStarScheduler::run(const GraphContext &ctx, const MachineModel &machine,
+                    const ScheduleRequest &req) const
+{
+    const Superblock &sb = ctx.sb();
+    std::vector<double> weights = steeringWeights(sb, req);
+    std::vector<double> cpKey = secondary == Secondary::CriticalPath
+        ? criticalPathKey(ctx)
+        : dhasyKey(ctx, weights);
+
+    // Cumulative steering weight up to and including each branch.
+    std::vector<double> cumulative(weights.size(), 0.0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        cumulative[i] = acc;
+    }
+
+    DynBitset remaining(std::size_t(sb.numOps()));
+    remaining.setAll();
+    std::vector<char> branchDone(std::size_t(sb.numBranches()), 0);
+    std::vector<double> tier(std::size_t(sb.numOps()), 0.0);
+    double nextTier = double(sb.numBranches());
+
+    for (int round = 0; round < sb.numBranches(); ++round) {
+        int bestBi = -1;
+        double bestRank = 0.0;
+        for (int bi = 0; bi < sb.numBranches(); ++bi) {
+            if (branchDone[std::size_t(bi)])
+                continue;
+            if (req.stats)
+                ++req.stats->loopTrips;
+            OpId b = sb.branches()[std::size_t(bi)];
+            DynBitset subset = ctx.predSets().closure(b);
+            subset &= remaining;
+            std::vector<int> issue = listScheduleSubset(
+                sb, machine, subset, cpKey, req.stats);
+            double denom = std::max(cumulative[std::size_t(bi)], 1e-12);
+            double rank =
+                double(issue[std::size_t(b)] + sb.op(b).latency) / denom;
+            if (bestBi < 0 || rank < bestRank) {
+                bestBi = bi;
+                bestRank = rank;
+            }
+        }
+        bsAssert(bestBi >= 0, "no branch left to rank");
+
+        // The critical branch's remaining closure retires next.
+        OpId b = sb.branches()[std::size_t(bestBi)];
+        DynBitset subset = ctx.predSets().closure(b);
+        subset &= remaining;
+        subset.forEach([&](std::size_t v) { tier[v] = nextTier; });
+        nextTier -= 1.0;
+        remaining.subtract(subset);
+        branchDone[std::size_t(bestBi)] = 1;
+    }
+
+    // Tiers dominate; Critical Path breaks ties within a tier.
+    double cpMax = *std::max_element(cpKey.begin(), cpKey.end());
+    std::vector<double> priority(std::size_t(sb.numOps()));
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        priority[std::size_t(v)] =
+            tier[std::size_t(v)] * (cpMax + 1.0) + cpKey[std::size_t(v)];
+    }
+    return listSchedule(sb, machine, priority, req.stats);
+}
+
+ComboScheduler::ComboScheduler(double a, double b, double c)
+    : cpWeight(a), srWeight(b), dhasyWeight(c)
+{
+}
+
+std::string
+ComboScheduler::name() const
+{
+    std::ostringstream oss;
+    oss << "Combo(" << cpWeight << "," << srWeight << "," << dhasyWeight
+        << ")";
+    return oss.str();
+}
+
+Schedule
+ComboScheduler::run(const GraphContext &ctx, const MachineModel &machine,
+                    const ScheduleRequest &req) const
+{
+    std::vector<double> cp = normalizeKey(criticalPathKey(ctx));
+    std::vector<double> sr = normalizeKey(successiveRetirementKey(ctx));
+    std::vector<double> dh = normalizeKey(
+        dhasyKey(ctx, steeringWeights(ctx.sb(), req)));
+    return listSchedule(ctx.sb(), machine,
+                        combineKeys(cp, cpWeight, sr, srWeight, dh,
+                                    dhasyWeight),
+                        req.stats);
+}
+
+} // namespace balance

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The Scheduler interface and the baseline superblock heuristics
+ * evaluated in the paper (Section 2 and Section 6.2):
+ * Critical Path, Successive Retirement, DHASY, G* (with Critical
+ * Path as the secondary heuristic), and the grid of CP/SR/DHASY
+ * priority combinations used by Best.
+ *
+ * The Help and Balance heuristics live in src/core (they are the
+ * paper's contribution and need the bounds machinery).
+ */
+
+#ifndef BALANCE_SCHED_HEURISTICS_HH
+#define BALANCE_SCHED_HEURISTICS_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/analysis.hh"
+#include "machine/machine_model.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/schedule.hh"
+
+namespace balance
+{
+
+/**
+ * Per-invocation options. @c branchWeights overrides the exit
+ * probabilities as the *steering* weights of probability-driven
+ * heuristics (the paper's Table 5 no-profile experiment: last branch
+ * 1000, others 1); the completion-time objective always uses the
+ * true probabilities.
+ */
+struct ScheduleRequest
+{
+    std::vector<double> branchWeights;
+    SchedulerStats *stats = nullptr;
+};
+
+/** Abstract superblock scheduler. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** @return the display name used in tables ("DHASY", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Produce a complete schedule of ctx.sb() on @p machine.
+     * Implementations must return schedules that pass
+     * Schedule::validate().
+     */
+    virtual Schedule run(const GraphContext &ctx,
+                         const MachineModel &machine,
+                         const ScheduleRequest &req = {}) const = 0;
+};
+
+/**
+ * @return the steering weights for a request: the override when
+ *         present, else the superblock's exit probabilities.
+ */
+std::vector<double> steeringWeights(const Superblock &sb,
+                                    const ScheduleRequest &req);
+
+/** Critical Path list scheduling (profile-insensitive). */
+class CriticalPathScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "CP"; }
+    Schedule run(const GraphContext &ctx, const MachineModel &machine,
+                 const ScheduleRequest &req = {}) const override;
+};
+
+/**
+ * Successive Retirement: block-by-block retirement order, Critical
+ * Path within a block (profile-insensitive).
+ */
+class SuccessiveRetirementScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "SR"; }
+    Schedule run(const GraphContext &ctx, const MachineModel &machine,
+                 const ScheduleRequest &req = {}) const override;
+};
+
+/** Dependence Height and Speculative Yield. */
+class DhasyScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "DHASY"; }
+    Schedule run(const GraphContext &ctx, const MachineModel &machine,
+                 const ScheduleRequest &req = {}) const override;
+};
+
+/**
+ * G*: repeatedly pick the critical branch (smallest ratio of its
+ * standalone secondary-heuristic issue cycle to its cumulative exit
+ * probability), give its predecessor closure the next retirement
+ * tier, remove it, and recurse; finally list-schedule with tiers as
+ * the primary key and the secondary key within a tier.
+ *
+ * The paper evaluates G* with Critical Path as the secondary
+ * heuristic (the default here) but defines it generically; DHASY is
+ * offered as the alternative.
+ */
+class GStarScheduler : public Scheduler
+{
+  public:
+    /** Secondary heuristic used for ranking and tie-breaking. */
+    enum class Secondary
+    {
+        CriticalPath,
+        Dhasy,
+    };
+
+    explicit GStarScheduler(Secondary secondary =
+                                Secondary::CriticalPath);
+
+    std::string name() const override;
+    Schedule run(const GraphContext &ctx, const MachineModel &machine,
+                 const ScheduleRequest &req = {}) const override;
+
+  private:
+    Secondary secondary;
+};
+
+/**
+ * Fixed mix a*CP + b*SR + c*DHASY of normalized priority keys; the
+ * Best scheduler instantiates 121 of these.
+ */
+class ComboScheduler : public Scheduler
+{
+  public:
+    /** Mix coefficients; need not be normalized. */
+    ComboScheduler(double a, double b, double c);
+
+    std::string name() const override;
+    Schedule run(const GraphContext &ctx, const MachineModel &machine,
+                 const ScheduleRequest &req = {}) const override;
+
+  private:
+    double cpWeight;
+    double srWeight;
+    double dhasyWeight;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SCHED_HEURISTICS_HH

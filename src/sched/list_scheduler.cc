@@ -1,0 +1,132 @@
+#include "sched/list_scheduler.hh"
+
+#include <algorithm>
+
+#include "machine/resource_state.hh"
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/**
+ * Shared greedy core. @p inSubset(v) filters the scheduled
+ * population; dependences from filtered-out operations are ignored.
+ */
+template <typename Filter>
+std::vector<int>
+greedyCore(const Superblock &sb, const MachineModel &machine,
+           const std::vector<double> &priority, Filter inSubset,
+           SchedulerStats *stats)
+{
+    bsAssert(int(priority.size()) == sb.numOps(),
+             "priority vector size mismatch");
+
+    int v = sb.numOps();
+    std::vector<int> issue(std::size_t(v), -1);
+    std::vector<int> predsLeft(std::size_t(v), 0);
+    std::vector<int> readyAt(std::size_t(v), 0);
+    int total = 0;
+
+    for (OpId id = 0; id < v; ++id) {
+        if (!inSubset(id))
+            continue;
+        ++total;
+        for (const Adjacent &e : sb.preds(id)) {
+            if (inSubset(e.op))
+                ++predsLeft[std::size_t(id)];
+        }
+    }
+
+    // Ready list ordered by (priority desc, id asc); rebuilt lazily.
+    std::vector<OpId> ready;
+    for (OpId id = 0; id < v; ++id) {
+        if (inSubset(id) && predsLeft[std::size_t(id)] == 0)
+            ready.push_back(id);
+    }
+    auto higher = [&](OpId a, OpId b) {
+        if (priority[std::size_t(a)] != priority[std::size_t(b)])
+            return priority[std::size_t(a)] > priority[std::size_t(b)];
+        return a < b;
+    };
+
+    ResourceState table(machine);
+    int scheduled = 0;
+    int cycle = 0;
+    std::vector<OpId> pending; // dependence-complete, latency not met
+
+    while (scheduled < total) {
+        // Promote pending ops whose latency has elapsed.
+        pending.erase(
+            std::remove_if(pending.begin(), pending.end(),
+                           [&](OpId id) {
+                               if (readyAt[std::size_t(id)] <= cycle) {
+                                   ready.push_back(id);
+                                   return true;
+                               }
+                               return false;
+                           }),
+            pending.end());
+
+        std::sort(ready.begin(), ready.end(), higher);
+
+        // One pass over the ready list: place what fits this cycle.
+        std::vector<OpId> leftover;
+        for (OpId id : ready) {
+            if (stats)
+                ++stats->loopTrips;
+            if (table.hasSlot(cycle, sb.op(id).cls)) {
+                table.reserve(cycle, sb.op(id).cls);
+                issue[std::size_t(id)] = cycle;
+                ++scheduled;
+                if (stats)
+                    ++stats->decisions;
+                for (const Adjacent &e : sb.succs(id)) {
+                    if (!inSubset(e.op))
+                        continue;
+                    readyAt[std::size_t(e.op)] =
+                        std::max(readyAt[std::size_t(e.op)],
+                                 cycle + e.latency);
+                    if (--predsLeft[std::size_t(e.op)] == 0)
+                        pending.push_back(e.op);
+                }
+            } else {
+                leftover.push_back(id);
+            }
+        }
+        ready = std::move(leftover);
+        ++cycle;
+    }
+    return issue;
+}
+
+} // namespace
+
+Schedule
+listSchedule(const Superblock &sb, const MachineModel &machine,
+             const std::vector<double> &priority, SchedulerStats *stats)
+{
+    std::vector<int> issue = greedyCore(
+        sb, machine, priority, [](OpId) { return true; }, stats);
+    Schedule out(sb.numOps());
+    for (OpId id = 0; id < sb.numOps(); ++id)
+        out.setIssue(id, issue[std::size_t(id)]);
+    return out;
+}
+
+std::vector<int>
+listScheduleSubset(const Superblock &sb, const MachineModel &machine,
+                   const DynBitset &subset,
+                   const std::vector<double> &priority,
+                   SchedulerStats *stats)
+{
+    bsAssert(subset.size() == std::size_t(sb.numOps()),
+             "subset universe mismatch");
+    return greedyCore(
+        sb, machine, priority,
+        [&](OpId id) { return subset.test(std::size_t(id)); }, stats);
+}
+
+} // namespace balance

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The generic cycle-driven list scheduler shared by the Critical
+ * Path, Successive Retirement, DHASY, G*, and combo heuristics: a
+ * static priority per operation, a ready set, and a greedy fill of
+ * each cycle in priority order.
+ *
+ * The same core also schedules operation *subsets*, which G* needs
+ * to rank branches by scheduling each branch's predecessor closure
+ * in isolation.
+ */
+
+#ifndef BALANCE_SCHED_LIST_SCHEDULER_HH
+#define BALANCE_SCHED_LIST_SCHEDULER_HH
+
+#include <vector>
+
+#include "graph/analysis.hh"
+#include "machine/machine_model.hh"
+#include "sched/schedule.hh"
+#include "support/bitset.hh"
+
+namespace balance
+{
+
+/** Cost accounting for Table 6. */
+struct SchedulerStats
+{
+    long long decisions = 0; //!< operations placed
+    long long loopTrips = 0; //!< inner-loop iterations
+};
+
+/**
+ * Greedy cycle-by-cycle list scheduling of all operations.
+ *
+ * In each cycle, ready operations (all predecessors issued and
+ * latencies elapsed) are placed in decreasing priority order while a
+ * unit of their class is free; ties break toward the lower operation
+ * id (program order). The cycle then advances.
+ *
+ * @param sb The superblock.
+ * @param machine Resource widths.
+ * @param priority One value per operation; higher schedules first.
+ * @param stats Optional cost accounting.
+ * @return a complete, valid schedule.
+ */
+Schedule listSchedule(const Superblock &sb, const MachineModel &machine,
+                      const std::vector<double> &priority,
+                      SchedulerStats *stats = nullptr);
+
+/**
+ * List-schedule only the operations in @p subset (same greedy rule).
+ * Dependences from operations outside the subset are ignored, which
+ * matches G*'s use: the subset is always predecessor-closed.
+ *
+ * @return issue cycles for subset members; -1 elsewhere.
+ */
+std::vector<int> listScheduleSubset(const Superblock &sb,
+                                    const MachineModel &machine,
+                                    const DynBitset &subset,
+                                    const std::vector<double> &priority,
+                                    SchedulerStats *stats = nullptr);
+
+} // namespace balance
+
+#endif // BALANCE_SCHED_LIST_SCHEDULER_HH

@@ -1,0 +1,289 @@
+#include "sched/optimal.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** Mutable search state shared across the recursion. */
+class Search
+{
+  public:
+    Search(const GraphContext &ctx, const MachineModel &machine,
+           const OptimalOptions &opts)
+        : ctx(ctx), sb(ctx.sb()), machine(machine), opts(opts),
+          issue(std::size_t(sb.numOps()), -1),
+          predsLeft(std::size_t(sb.numOps()), 0),
+          readyAt(std::size_t(sb.numOps()), 0)
+    {
+        // Zero-latency edges (anti dependences from the CFG former)
+        // are conservatively serialized: the consumer issues at
+        // least one cycle later, exactly as the list schedulers
+        // treat them, so the search explores the same schedule
+        // space the heuristics do.
+        for (OpId v = 0; v < sb.numOps(); ++v)
+            predsLeft[std::size_t(v)] = int(sb.preds(v).size());
+        if (opts.seedWct > 0.0)
+            bestWct = opts.seedWct + 1e-9;
+    }
+
+    OptimalResult
+    solve()
+    {
+        exhausted = true;
+        expand(0, 0.0);
+
+        OptimalResult result;
+        result.nodes = nodes;
+        result.proven = exhausted;
+        if (haveBest) {
+            result.schedule = Schedule(sb.numOps());
+            for (OpId v = 0; v < sb.numOps(); ++v)
+                result.schedule.setIssue(v, bestIssue[std::size_t(v)]);
+            result.wct = result.schedule.wct(sb);
+        }
+        return result;
+    }
+
+  private:
+    /** Lower bound on total WCT from this partial state at @p cycle. */
+    double
+    lowerBound(int cycle, double scheduledWct,
+               const std::vector<int> &freeNow) const
+    {
+        // Dependence sweep over unscheduled operations.
+        std::vector<int> e(std::size_t(sb.numOps()), 0);
+        for (OpId v = 0; v < sb.numOps(); ++v) {
+            if (issue[std::size_t(v)] >= 0)
+                continue;
+            e[std::size_t(v)] = std::max(cycle, readyAt[std::size_t(v)]);
+            for (const Adjacent &p : sb.preds(v)) {
+                if (issue[std::size_t(p.op)] < 0) {
+                    e[std::size_t(v)] =
+                        std::max(e[std::size_t(v)],
+                                 e[std::size_t(p.op)] + p.latency);
+                }
+            }
+        }
+
+        double lb = scheduledWct;
+        for (int bi = 0; bi < sb.numBranches(); ++bi) {
+            OpId b = sb.branches()[std::size_t(bi)];
+            if (issue[std::size_t(b)] >= 0)
+                continue;
+            int depLb = e[std::size_t(b)];
+
+            // Slot counting per pool over b's unscheduled closure.
+            const std::vector<int> &height = ctx.heightToBranch(bi);
+            std::vector<int> perPool(
+                std::size_t(machine.numResources()), 0);
+            for (OpId v = 0; v <= b; ++v) {
+                if (height[std::size_t(v)] < 0 ||
+                    issue[std::size_t(v)] >= 0) {
+                    continue;
+                }
+                ++perPool[std::size_t(machine.poolOf(sb.op(v).cls))];
+            }
+            int resLb = cycle;
+            for (int r = 0; r < machine.numResources(); ++r) {
+                int n = perPool[std::size_t(r)];
+                if (n == 0)
+                    continue;
+                int free0 = freeNow[std::size_t(r)];
+                int extra = n <= free0
+                    ? 0
+                    : (n - free0 + machine.width(r) - 1) /
+                          machine.width(r);
+                // b itself counts among the ops placed, so its issue
+                // is at least the cycle holding the last of them.
+                resLb = std::max(resLb, cycle + extra);
+            }
+            lb += sb.exitProb(b) *
+                  (std::max(depLb, resLb) + sb.op(b).latency);
+        }
+        return lb;
+    }
+
+    void
+    expand(int cycle, double scheduledWct)
+    {
+        if (nodes >= opts.maxNodes) {
+            exhausted = false;
+            return;
+        }
+        ++nodes;
+
+        if (scheduledCount == sb.numOps()) {
+            if (!haveBest || scheduledWct < bestWct) {
+                bestWct = scheduledWct;
+                bestIssue = issue;
+                haveBest = true;
+            }
+            return;
+        }
+
+        std::vector<int> freeNow(std::size_t(machine.numResources()));
+        for (int r = 0; r < machine.numResources(); ++r)
+            freeNow[std::size_t(r)] = machine.width(r);
+
+        if (haveBest || bestWct > 0.0) {
+            double lb = lowerBound(cycle, scheduledWct, freeNow);
+            if (haveBest && lb >= bestWct - 1e-12)
+                return;
+            if (!haveBest && bestWct > 0.0 && lb >= bestWct)
+                return;
+        }
+
+        // Ready operations, grouped by pool.
+        std::vector<std::vector<OpId>> readyByPool(
+            std::size_t(machine.numResources()));
+        for (OpId v = 0; v < sb.numOps(); ++v) {
+            if (issue[std::size_t(v)] < 0 &&
+                predsLeft[std::size_t(v)] == 0 &&
+                readyAt[std::size_t(v)] <= cycle) {
+                readyByPool[std::size_t(machine.poolOf(sb.op(v).cls))]
+                    .push_back(v);
+            }
+        }
+
+        bool anyReady = false;
+        for (auto &g : readyByPool)
+            anyReady = anyReady || !g.empty();
+        if (!anyReady) {
+            // Nothing can issue; jump to the next cycle where
+            // something becomes ready.
+            int next = -1;
+            for (OpId v = 0; v < sb.numOps(); ++v) {
+                if (issue[std::size_t(v)] < 0 &&
+                    predsLeft[std::size_t(v)] == 0) {
+                    int at = readyAt[std::size_t(v)];
+                    next = next < 0 ? at : std::min(next, at);
+                }
+            }
+            bsAssert(next > cycle, "stalled search with no pending op");
+            expand(next, scheduledWct);
+            return;
+        }
+
+        // Enumerate the cross product over pools of all maximal
+        // subsets (exactly min(width, ready) operations per pool).
+        std::vector<OpId> chosen;
+        enumeratePools(readyByPool, 0, chosen, cycle, scheduledWct);
+    }
+
+    void
+    enumeratePools(const std::vector<std::vector<OpId>> &readyByPool,
+                   int pool, std::vector<OpId> &chosen, int cycle,
+                   double scheduledWct)
+    {
+        if (pool == machine.numResources()) {
+            applyAndRecurse(chosen, cycle, scheduledWct);
+            return;
+        }
+        const auto &group = readyByPool[std::size_t(pool)];
+        int take = std::min<int>(machine.width(pool), int(group.size()));
+        if (take == 0) {
+            enumeratePools(readyByPool, pool + 1, chosen, cycle,
+                           scheduledWct);
+            return;
+        }
+        std::vector<int> idx(std::size_t(take), 0);
+        for (int i = 0; i < take; ++i)
+            idx[std::size_t(i)] = i;
+        while (true) {
+            std::size_t base = chosen.size();
+            for (int i : idx)
+                chosen.push_back(group[std::size_t(i)]);
+            enumeratePools(readyByPool, pool + 1, chosen, cycle,
+                           scheduledWct);
+            chosen.resize(base);
+
+            // Next combination of indices.
+            int i = take - 1;
+            while (i >= 0 &&
+                   idx[std::size_t(i)] == int(group.size()) - take + i) {
+                --i;
+            }
+            if (i < 0)
+                break;
+            ++idx[std::size_t(i)];
+            for (int k = i + 1; k < take; ++k)
+                idx[std::size_t(k)] = idx[std::size_t(k - 1)] + 1;
+        }
+    }
+
+    void
+    applyAndRecurse(const std::vector<OpId> &chosen, int cycle,
+                    double scheduledWct)
+    {
+        double wct = scheduledWct;
+        for (OpId v : chosen) {
+            issue[std::size_t(v)] = cycle;
+            ++scheduledCount;
+            if (sb.op(v).isBranch())
+                wct += sb.exitProb(v) * (cycle + sb.op(v).latency);
+            for (const Adjacent &e : sb.succs(v)) {
+                --predsLeft[std::size_t(e.op)];
+                readyAt[std::size_t(e.op)] =
+                    std::max(readyAt[std::size_t(e.op)],
+                             cycle + e.latency);
+            }
+        }
+
+        expand(cycle + 1, wct);
+
+        for (OpId v : chosen) {
+            issue[std::size_t(v)] = -1;
+            --scheduledCount;
+            for (const Adjacent &e : sb.succs(v))
+                ++predsLeft[std::size_t(e.op)];
+        }
+        // readyAt is monotone per op and recomputed lazily: restore
+        // by recomputation from scheduled preds.
+        for (OpId v : chosen) {
+            for (const Adjacent &e : sb.succs(v)) {
+                int at = 0;
+                for (const Adjacent &p : sb.preds(e.op)) {
+                    if (issue[std::size_t(p.op)] >= 0) {
+                        at = std::max(at, issue[std::size_t(p.op)] +
+                                              p.latency);
+                    }
+                }
+                readyAt[std::size_t(e.op)] = at;
+            }
+        }
+    }
+
+    const GraphContext &ctx;
+    const Superblock &sb;
+    const MachineModel &machine;
+    OptimalOptions opts;
+
+    std::vector<int> issue;
+    std::vector<int> predsLeft;
+    std::vector<int> readyAt;
+    int scheduledCount = 0;
+
+    std::vector<int> bestIssue;
+    double bestWct = 0.0;
+    bool haveBest = false;
+    bool exhausted = true;
+    long long nodes = 0;
+};
+
+} // namespace
+
+OptimalResult
+optimalSchedule(const GraphContext &ctx, const MachineModel &machine,
+                const OptimalOptions &opts)
+{
+    Search search(ctx, machine, opts);
+    return search.solve();
+}
+
+} // namespace balance

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Exact branch-and-bound minimization of weighted completion time
+ * for small superblocks. Not part of the paper's apparatus; it is
+ * this repository's oracle: property tests verify that every lower
+ * bound stays below the optimum and every heuristic stays above it.
+ *
+ * The search enumerates, cycle by cycle, the maximal resource-
+ * feasible subsets of the ready set. Maximal subsets suffice: with
+ * fully pipelined units, moving any operation into an idle earlier
+ * slot never increases any branch's completion time, so some optimal
+ * schedule is "active". Pruning uses a dependence sweep plus a
+ * per-class slot-counting bound on each unscheduled branch.
+ */
+
+#ifndef BALANCE_SCHED_OPTIMAL_HH
+#define BALANCE_SCHED_OPTIMAL_HH
+
+#include "graph/analysis.hh"
+#include "machine/machine_model.hh"
+#include "sched/schedule.hh"
+
+namespace balance
+{
+
+/** Search limits and seeding for optimalSchedule(). */
+struct OptimalOptions
+{
+    /** Node budget; the search gives up (proven=false) beyond it. */
+    long long maxNodes = 2000000;
+    /**
+     * Optional incumbent WCT to prune against (e.g. from a
+     * heuristic); <= 0 means none.
+     */
+    double seedWct = 0.0;
+};
+
+/** Outcome of the exact search. */
+struct OptimalResult
+{
+    Schedule schedule;       //!< best complete schedule found
+    double wct = 0.0;        //!< its weighted completion time
+    bool proven = false;     //!< true when the search ran to completion
+    long long nodes = 0;     //!< search nodes expanded
+};
+
+/**
+ * Exact WCT minimization over the same schedule space the list
+ * schedulers explore: zero-latency edges (anti dependences) are
+ * conservatively serialized to the next cycle, matching the forward
+ * schedulers' treatment.
+ */
+OptimalResult optimalSchedule(const GraphContext &ctx,
+                              const MachineModel &machine,
+                              const OptimalOptions &opts = {});
+
+} // namespace balance
+
+#endif // BALANCE_SCHED_OPTIMAL_HH

@@ -1,0 +1,95 @@
+#include "sched/priorities.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+std::vector<double>
+criticalPathKey(const GraphContext &ctx)
+{
+    const Superblock &sb = ctx.sb();
+    std::vector<int> down(std::size_t(sb.numOps()), 0);
+    for (OpId v = OpId(sb.numOps()) - 1; v >= 0; --v) {
+        for (const Adjacent &e : sb.succs(v)) {
+            down[std::size_t(v)] =
+                std::max(down[std::size_t(v)],
+                         down[std::size_t(e.op)] + e.latency);
+        }
+    }
+    return {down.begin(), down.end()};
+}
+
+std::vector<double>
+successiveRetirementKey(const GraphContext &ctx)
+{
+    const Superblock &sb = ctx.sb();
+    std::vector<double> cp = criticalPathKey(ctx);
+    double cpMax = *std::max_element(cp.begin(), cp.end());
+    // Earlier blocks strictly dominate: the block tier is scaled
+    // past any possible Critical Path key value.
+    double tierStep = cpMax + 1.0;
+    std::vector<double> key(std::size_t(sb.numOps()));
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        double tier = double(sb.numBlocks() - sb.op(v).block);
+        key[std::size_t(v)] = tier * tierStep + cp[std::size_t(v)];
+    }
+    return key;
+}
+
+std::vector<double>
+dhasyKey(const GraphContext &ctx, const std::vector<double> &weights)
+{
+    const Superblock &sb = ctx.sb();
+    bsAssert(weights.empty() ||
+                 int(weights.size()) == sb.numBranches(),
+             "per-branch weight vector size mismatch");
+
+    int cp = ctx.criticalPath();
+    std::vector<double> key(std::size_t(sb.numOps()), 0.0);
+    for (int bi = 0; bi < sb.numBranches(); ++bi) {
+        OpId b = sb.branches()[std::size_t(bi)];
+        double w = weights.empty() ? sb.exitProb(b)
+                                   : weights[std::size_t(bi)];
+        int anchor = ctx.earlyDC()[std::size_t(b)];
+        const std::vector<int> &height = ctx.heightToBranch(bi);
+        for (OpId v = 0; v <= b; ++v) {
+            if (height[std::size_t(v)] < 0)
+                continue;
+            int lateDC = anchor - height[std::size_t(v)];
+            key[std::size_t(v)] += w * double(cp + 1 - lateDC);
+        }
+    }
+    return key;
+}
+
+std::vector<double>
+normalizeKey(std::vector<double> key)
+{
+    double maxMag = 0.0;
+    for (double k : key)
+        maxMag = std::max(maxMag, std::fabs(k));
+    if (maxMag > 0.0) {
+        for (double &k : key)
+            k /= maxMag;
+    }
+    return key;
+}
+
+std::vector<double>
+combineKeys(const std::vector<double> &cp, double a,
+            const std::vector<double> &sr, double b,
+            const std::vector<double> &dhasy, double c)
+{
+    bsAssert(cp.size() == sr.size() && sr.size() == dhasy.size(),
+             "key size mismatch");
+    std::vector<double> out(cp.size());
+    for (std::size_t i = 0; i < cp.size(); ++i)
+        out[i] = a * cp[i] + b * sr[i] + c * dhasy[i];
+    return out;
+}
+
+} // namespace balance

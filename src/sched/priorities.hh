@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Static priority functions for the baseline superblock heuristics
+ * (Section 2):
+ *
+ *  - Critical Path: dependence height below the operation;
+ *  - Successive Retirement: program-order block tier, Critical Path
+ *    within a tier;
+ *  - DHASY (Dependence Height and Speculative Yield): critical paths
+ *    to each successor branch weighted by exit probability,
+ *    priority(v) = sum_b w_b * (CP + 1 - LateDC_b[v]).
+ *
+ * All keys are returned as plain vectors so they can be combined
+ * (the Best scheduler's 121-point cross product) or fed straight to
+ * listSchedule().
+ */
+
+#ifndef BALANCE_SCHED_PRIORITIES_HH
+#define BALANCE_SCHED_PRIORITIES_HH
+
+#include <vector>
+
+#include "graph/analysis.hh"
+
+namespace balance
+{
+
+/**
+ * Critical Path key: the longest latency path from each operation to
+ * any operation below it (its dependence height).
+ */
+std::vector<double> criticalPathKey(const GraphContext &ctx);
+
+/**
+ * Successive Retirement key: operations of earlier program blocks
+ * strictly dominate later blocks; the Critical Path key breaks ties
+ * within a block.
+ */
+std::vector<double> successiveRetirementKey(const GraphContext &ctx);
+
+/**
+ * DHASY key: priority(v) = sum over successor branches b of
+ * exitProb(b) * (CP + 1 - LateDC_b[v]), with LateDC_b anchored at
+ * EarlyDC[b].
+ *
+ * @param ctx Analysis context.
+ * @param weights Optional per-branch weights overriding the exit
+ *        probabilities (used for the no-profile experiment); empty
+ *        means use the superblock's probabilities.
+ */
+std::vector<double> dhasyKey(const GraphContext &ctx,
+                             const std::vector<double> &weights = {});
+
+/**
+ * Normalize a key to [0, 1] by dividing by its maximum magnitude
+ * (all-zero keys stay zero). Used to mix heterogeneous keys.
+ */
+std::vector<double> normalizeKey(std::vector<double> key);
+
+/**
+ * Convex-ish combination a*cp + b*sr + c*dhasy of pre-normalized
+ * keys; the Best scheduler sweeps (a, b, c) over a grid.
+ */
+std::vector<double> combineKeys(const std::vector<double> &cp, double a,
+                                const std::vector<double> &sr, double b,
+                                const std::vector<double> &dhasy,
+                                double c);
+
+} // namespace balance
+
+#endif // BALANCE_SCHED_PRIORITIES_HH

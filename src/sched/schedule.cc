@@ -1,0 +1,100 @@
+#include "sched/schedule.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "machine/resource_state.hh"
+#include "support/diagnostics.hh"
+#include "support/table.hh"
+
+namespace balance
+{
+
+void
+Schedule::setIssue(OpId op, int cycle)
+{
+    bsAssert(op >= 0 && op < numOps(), "unknown op ", op);
+    bsAssert(cycle >= 0, "negative issue cycle ", cycle);
+    bsAssert(issue[std::size_t(op)] < 0, "op ", op, " already scheduled");
+    issue[std::size_t(op)] = cycle;
+}
+
+bool
+Schedule::complete() const
+{
+    return std::all_of(issue.begin(), issue.end(),
+                       [](int c) { return c >= 0; });
+}
+
+int
+Schedule::makespan() const
+{
+    int maxCycle = -1;
+    for (int c : issue)
+        maxCycle = std::max(maxCycle, c);
+    return maxCycle + 1;
+}
+
+double
+Schedule::wct(const Superblock &sb) const
+{
+    double total = 0.0;
+    for (OpId b : sb.branches()) {
+        bsAssert(isScheduled(b), "branch ", b, " unscheduled in wct()");
+        total += sb.exitProb(b) *
+                 (issue[std::size_t(b)] + sb.op(b).latency);
+    }
+    return total;
+}
+
+void
+Schedule::validate(const Superblock &sb, const MachineModel &machine) const
+{
+    bsAssert(numOps() == sb.numOps(), "schedule size mismatch");
+    bsAssert(complete(), "incomplete schedule for '", sb.name(), "'");
+
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        for (const Adjacent &e : sb.succs(v)) {
+            bsAssert(issueOf(e.op) >= issueOf(v) + e.latency,
+                     "dependence violated: ", v, " -> ", e.op,
+                     " latency ", e.latency, " but cycles ", issueOf(v),
+                     " and ", issueOf(e.op));
+        }
+    }
+
+    ResourceState table(machine);
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        bsAssert(table.hasSlot(issueOf(v), sb.op(v).cls),
+                 "resource overflow in cycle ", issueOf(v), " for op ",
+                 v, " (", opClassName(sb.op(v).cls), ")");
+        table.reserve(issueOf(v), sb.op(v).cls);
+    }
+}
+
+std::string
+Schedule::render(const Superblock &sb, const MachineModel &machine) const
+{
+    std::map<int, std::vector<OpId>> byCycle;
+    for (OpId v = 0; v < sb.numOps(); ++v)
+        byCycle[issueOf(v)].push_back(v);
+
+    std::ostringstream oss;
+    oss << "schedule of '" << sb.name() << "' on " << machine.name()
+        << " (wct " << fmtDouble(wct(sb), 3) << ", " << makespan()
+        << " cycles)\n";
+    for (auto &[cycle, opIds] : byCycle) {
+        oss << "  cycle " << cycle << ":";
+        for (OpId v : opIds) {
+            const Operation &o = sb.op(v);
+            oss << "  " << v << "(" << opClassName(o.cls);
+            if (o.isBranch())
+                oss << " p=" << fmtDouble(o.exitProb, 2);
+            oss << ")";
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace balance

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The result of scheduling a superblock: an issue cycle for every
+ * operation, plus validation against dependence and resource
+ * constraints and the weighted-completion-time objective
+ * (Section 2).
+ */
+
+#ifndef BALANCE_SCHED_SCHEDULE_HH
+#define BALANCE_SCHED_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/superblock.hh"
+#include "machine/machine_model.hh"
+
+namespace balance
+{
+
+/**
+ * Issue-cycle assignment for one superblock. A fresh Schedule has
+ * every operation unscheduled (cycle -1).
+ */
+class Schedule
+{
+  public:
+    Schedule() = default;
+
+    /** Create an all-unscheduled schedule for @p numOps operations. */
+    explicit Schedule(int numOps)
+        : issue(std::size_t(numOps), -1)
+    {}
+
+    /** @return the number of operations this schedule covers. */
+    int numOps() const { return int(issue.size()); }
+
+    /** @return the issue cycle of @p op, or -1 when unscheduled. */
+    int
+    issueOf(OpId op) const
+    {
+        return issue[std::size_t(op)];
+    }
+
+    /** @return true when @p op has an issue cycle. */
+    bool
+    isScheduled(OpId op) const
+    {
+        return issue[std::size_t(op)] >= 0;
+    }
+
+    /** Assign @p cycle to @p op (op must be unscheduled). */
+    void setIssue(OpId op, int cycle);
+
+    /** @return true when every operation has an issue cycle. */
+    bool complete() const;
+
+    /** @return 1 + the largest issue cycle (0 when empty). */
+    int makespan() const;
+
+    /**
+     * Weighted completion time:
+     * sum over branches b of exitProb(b) * (issue(b) + latency(b)).
+     * All branches must be scheduled.
+     */
+    double wct(const Superblock &sb) const;
+
+    /**
+     * Check that the schedule is complete and respects every
+     * dependence latency and per-cycle resource limit; panics on
+     * violation. Every scheduler's output funnels through this in
+     * tests, so a buggy heuristic cannot silently report good
+     * numbers.
+     */
+    void validate(const Superblock &sb, const MachineModel &machine) const;
+
+    /**
+     * Render as a cycle-by-cycle table, branches annotated with
+     * their exit probabilities. For examples and debugging.
+     */
+    std::string render(const Superblock &sb,
+                       const MachineModel &machine) const;
+
+  private:
+    std::vector<int> issue;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SCHED_SCHEDULE_HH

@@ -1,0 +1,67 @@
+#include "sim/simulator.hh"
+
+#include <cmath>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+SimResult
+simulateSuperblock(const Superblock &sb, const Schedule &schedule,
+                   long long traversals, Rng &rng)
+{
+    bsAssert(schedule.complete(), "cannot simulate a partial schedule");
+    bsAssert(traversals >= 0, "negative traversal count");
+
+    // Cumulative exit distribution in branch order; the final exit
+    // absorbs any residual probability mass.
+    int numExits = sb.numBranches();
+    std::vector<double> cumulative(std::size_t(numExits), 0.0);
+    double acc = 0.0;
+    for (int bi = 0; bi < numExits; ++bi) {
+        acc += sb.exitProb(sb.branches()[std::size_t(bi)]);
+        cumulative[std::size_t(bi)] = acc;
+    }
+
+    SimResult result;
+    result.traversals = traversals;
+    result.exitCounts.assign(std::size_t(numExits), 0);
+    for (long long t = 0; t < traversals; ++t) {
+        double u = rng.uniformDouble() * std::max(acc, 1.0);
+        int exit = numExits - 1;
+        for (int bi = 0; bi < numExits; ++bi) {
+            if (u < cumulative[std::size_t(bi)]) {
+                exit = bi;
+                break;
+            }
+        }
+        OpId br = sb.branches()[std::size_t(exit)];
+        result.totalCycles +=
+            schedule.issueOf(br) + sb.op(br).latency;
+        ++result.exitCounts[std::size_t(exit)];
+    }
+    return result;
+}
+
+ProgramSimResult
+simulateProgram(const std::vector<ScheduledSuperblock> &program,
+                double frequencyScale, Rng &rng)
+{
+    bsAssert(frequencyScale > 0.0, "frequency scale must be positive");
+    ProgramSimResult result;
+    for (const ScheduledSuperblock &entry : program) {
+        bsAssert(entry.sb && entry.schedule,
+                 "null entry in program simulation");
+        long long runs = std::max<long long>(
+            1, std::llround(entry.sb->execFrequency() *
+                            frequencyScale));
+        SimResult r =
+            simulateSuperblock(*entry.sb, *entry.schedule, runs, rng);
+        result.totalCycles += r.totalCycles;
+        result.executions += r.traversals;
+    }
+    return result;
+}
+
+} // namespace balance

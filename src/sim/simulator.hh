@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Monte Carlo execution simulation of scheduled superblocks. The
+ * paper evaluates schedules by *dynamic cycle counts* — expected
+ * cycles weighted by exit probabilities and superblock execution
+ * frequencies, with cache misses and mispredictions factored out.
+ * This simulator closes the loop on that methodology: it actually
+ * executes traversals, drawing one exit per traversal from the
+ * profile, and counts the cycles an in-order VLIW would spend
+ * (issue cycle of the taken exit plus its latency). The sample mean
+ * converges to Schedule::wct(), which the tests verify.
+ */
+
+#ifndef BALANCE_SIM_SIMULATOR_HH
+#define BALANCE_SIM_SIMULATOR_HH
+
+#include <vector>
+
+#include "sched/schedule.hh"
+#include "support/rng.hh"
+
+namespace balance
+{
+
+/** Outcome of simulating one superblock. */
+struct SimResult
+{
+    long long traversals = 0;
+    double totalCycles = 0.0;
+    /** Traversals that left through each exit, branch order. */
+    std::vector<long long> exitCounts;
+
+    /** @return average cycles per traversal (0 when none). */
+    double
+    meanCycles() const
+    {
+        return traversals ? totalCycles / double(traversals) : 0.0;
+    }
+};
+
+/**
+ * Execute @p traversals of a scheduled superblock.
+ *
+ * Each traversal draws an exit according to the exit probabilities
+ * (the residual mass, if the probabilities do not sum to one, falls
+ * through the final exit) and costs issue(exit) + latency(exit)
+ * cycles.
+ */
+SimResult simulateSuperblock(const Superblock &sb,
+                             const Schedule &schedule,
+                             long long traversals, Rng &rng);
+
+/** One scheduled superblock of a program. */
+struct ScheduledSuperblock
+{
+    const Superblock *sb = nullptr;
+    const Schedule *schedule = nullptr;
+};
+
+/** Outcome of simulating a program population. */
+struct ProgramSimResult
+{
+    double totalCycles = 0.0;
+    long long executions = 0;
+};
+
+/**
+ * Simulate a program: each superblock executes
+ * round(frequency * @p frequencyScale) times (at least once).
+ */
+ProgramSimResult simulateProgram(
+    const std::vector<ScheduledSuperblock> &program,
+    double frequencyScale, Rng &rng);
+
+} // namespace balance
+
+#endif // BALANCE_SIM_SIMULATOR_HH

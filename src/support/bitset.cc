@@ -1,0 +1,141 @@
+#include "support/bitset.hh"
+
+#include <bit>
+
+namespace balance
+{
+
+bool
+DynBitset::empty() const
+{
+    for (auto w : words) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+void
+DynBitset::clearAll()
+{
+    for (auto &w : words)
+        w = 0;
+}
+
+void
+DynBitset::setAll()
+{
+    if (numBits == 0)
+        return;
+    for (auto &w : words)
+        w = ~std::uint64_t{0};
+    // Mask off the bits beyond the universe in the last word.
+    std::size_t tail = numBits & 63;
+    if (tail)
+        words.back() &= (std::uint64_t{1} << tail) - 1;
+}
+
+std::size_t
+DynBitset::count() const
+{
+    std::size_t n = 0;
+    for (auto w : words)
+        n += std::popcount(w);
+    return n;
+}
+
+DynBitset &
+DynBitset::operator|=(const DynBitset &other)
+{
+    bsAssert(numBits == other.numBits, "bitset universe mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] |= other.words[i];
+    return *this;
+}
+
+DynBitset &
+DynBitset::operator&=(const DynBitset &other)
+{
+    bsAssert(numBits == other.numBits, "bitset universe mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] &= other.words[i];
+    return *this;
+}
+
+DynBitset &
+DynBitset::subtract(const DynBitset &other)
+{
+    bsAssert(numBits == other.numBits, "bitset universe mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] &= ~other.words[i];
+    return *this;
+}
+
+bool
+DynBitset::intersects(const DynBitset &other) const
+{
+    bsAssert(numBits == other.numBits, "bitset universe mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        if (words[i] & other.words[i])
+            return true;
+    }
+    return false;
+}
+
+bool
+DynBitset::isSubsetOf(const DynBitset &other) const
+{
+    bsAssert(numBits == other.numBits, "bitset universe mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        if (words[i] & ~other.words[i])
+            return false;
+    }
+    return true;
+}
+
+bool
+DynBitset::operator==(const DynBitset &other) const
+{
+    return numBits == other.numBits && words == other.words;
+}
+
+std::size_t
+DynBitset::findFirst(std::size_t from) const
+{
+    if (from >= numBits)
+        return numBits;
+    std::size_t w = from >> 6;
+    std::uint64_t bits = words[w] & (~std::uint64_t{0} << (from & 63));
+    while (true) {
+        if (bits)
+            return w * 64 + std::countr_zero(bits);
+        if (++w >= words.size())
+            return numBits;
+        bits = words[w];
+    }
+}
+
+std::vector<std::uint32_t>
+DynBitset::toIndices() const
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(count());
+    forEach([&](std::size_t i) { out.push_back(std::uint32_t(i)); });
+    return out;
+}
+
+DynBitset
+operator|(DynBitset lhs, const DynBitset &rhs)
+{
+    lhs |= rhs;
+    return lhs;
+}
+
+DynBitset
+operator&(DynBitset lhs, const DynBitset &rhs)
+{
+    lhs &= rhs;
+    return lhs;
+}
+
+} // namespace balance

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A compact dynamic bitset used for transitive-predecessor masks and
+ * operation subsets in subgraph-rooted bound computations.
+ *
+ * std::vector<bool> lacks word-level union/intersection and popcount;
+ * std::bitset needs a compile-time size. Superblocks in this library
+ * hold up to a few hundred operations, so a small vector of 64-bit
+ * words with explicit bulk operations is both fast and simple.
+ */
+
+#ifndef BALANCE_SUPPORT_BITSET_HH
+#define BALANCE_SUPPORT_BITSET_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+/**
+ * Fixed-universe dynamic bitset over [0, size()).
+ *
+ * All binary operations require both operands to share the same
+ * universe size; this is asserted, not resized, because mixing masks
+ * from different superblocks is always a bug.
+ */
+class DynBitset
+{
+  public:
+    DynBitset() = default;
+
+    /** Create an all-clear set over a universe of @p n elements. */
+    explicit DynBitset(std::size_t n)
+        : numBits(n), words((n + 63) / 64, 0)
+    {}
+
+    /** @return the universe size (not the population count). */
+    std::size_t size() const { return numBits; }
+
+    /** @return true when no bit is set. */
+    bool empty() const;
+
+    /** Set bit @p i. */
+    void
+    set(std::size_t i)
+    {
+        bsAssert(i < numBits, "bit ", i, " out of range ", numBits);
+        words[i >> 6] |= (std::uint64_t{1} << (i & 63));
+    }
+
+    /** Clear bit @p i. */
+    void
+    reset(std::size_t i)
+    {
+        bsAssert(i < numBits, "bit ", i, " out of range ", numBits);
+        words[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+
+    /** @return the value of bit @p i. */
+    bool
+    test(std::size_t i) const
+    {
+        bsAssert(i < numBits, "bit ", i, " out of range ", numBits);
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Clear every bit, keeping the universe size. */
+    void clearAll();
+
+    /** Set every bit in the universe. */
+    void setAll();
+
+    /** @return the number of set bits. */
+    std::size_t count() const;
+
+    /** In-place union with @p other (same universe required). */
+    DynBitset &operator|=(const DynBitset &other);
+
+    /** In-place intersection with @p other (same universe required). */
+    DynBitset &operator&=(const DynBitset &other);
+
+    /** In-place difference: clear the bits set in @p other. */
+    DynBitset &subtract(const DynBitset &other);
+
+    /** @return true when this set and @p other share at least one bit. */
+    bool intersects(const DynBitset &other) const;
+
+    /** @return true when every bit of this set is also in @p other. */
+    bool isSubsetOf(const DynBitset &other) const;
+
+    bool operator==(const DynBitset &other) const;
+
+    /**
+     * @return the index of the first set bit at or after @p from,
+     *         or size() when none exists.
+     */
+    std::size_t findFirst(std::size_t from = 0) const;
+
+    /** Collect the indices of all set bits in increasing order. */
+    std::vector<std::uint32_t> toIndices() const;
+
+    /**
+     * Visit each set bit in increasing order.
+     *
+     * @param fn Callable taking the bit index as std::size_t.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words.size(); ++w) {
+            std::uint64_t bits = words[w];
+            while (bits) {
+                unsigned tz = __builtin_ctzll(bits);
+                fn(w * 64 + tz);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+  private:
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+/** Out-of-place union. */
+DynBitset operator|(DynBitset lhs, const DynBitset &rhs);
+
+/** Out-of-place intersection. */
+DynBitset operator&(DynBitset lhs, const DynBitset &rhs);
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_BITSET_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Error-reporting primitives for the balance scheduling library.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (library bugs) and aborts; fatal() is for user errors
+ * (bad input, malformed superblock files) and exits cleanly with a
+ * non-zero status. bsAssert() is a checked-in-all-builds assertion
+ * that routes through panic().
+ */
+
+#ifndef BALANCE_SUPPORT_DIAGNOSTICS_HH
+#define BALANCE_SUPPORT_DIAGNOSTICS_HH
+
+#include <sstream>
+#include <string>
+
+namespace balance
+{
+
+/**
+ * Abort with an internal-error message. Use for conditions that
+ * indicate a bug in this library regardless of user input.
+ *
+ * @param file Source file of the failure site.
+ * @param line Source line of the failure site.
+ * @param msg Human-readable description of the violated invariant.
+ */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/**
+ * Exit with a user-error message. Use when the simulation cannot
+ * continue because of bad user input (invalid machine description,
+ * malformed .sb file, inconsistent probabilities).
+ *
+ * @param msg Human-readable description of the user error.
+ */
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+/**
+ * Print a non-fatal warning to stderr.
+ *
+ * @param msg Human-readable description of the suspicious condition.
+ */
+void warn(const std::string &msg);
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace balance
+
+/** Abort with a formatted internal-error message. */
+#define bsPanic(...) \
+    ::balance::panicImpl(__FILE__, __LINE__, \
+                         ::balance::detail::concat(__VA_ARGS__))
+
+/** Exit with a formatted user-error message. */
+#define bsFatal(...) \
+    ::balance::fatalImpl(::balance::detail::concat(__VA_ARGS__))
+
+/**
+ * Always-on assertion; failure is an internal library bug.
+ * Active in release builds as well: the algorithms here are cheap
+ * relative to the invariant checks and silent corruption of a bound
+ * would invalidate every experiment built on top of it.
+ */
+#define bsAssert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::balance::panicImpl(__FILE__, __LINE__, \
+                ::balance::detail::concat("assertion failed: " #cond " ", \
+                                          ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // BALANCE_SUPPORT_DIAGNOSTICS_HH

@@ -1,0 +1,165 @@
+#include "support/rng.hh"
+
+#include <cmath>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only for seeding the main generator state. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+    // An all-zero state would lock the generator at zero; SplitMix64
+    // cannot produce four zero outputs in a row from any seed, but we
+    // keep the guard explicit.
+    if (!(s[0] | s[1] | s[2] | s[3]))
+        s[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    bsAssert(lo <= hi, "uniformInt bounds inverted: ", lo, " > ", hi);
+    std::uint64_t range = std::uint64_t(hi - lo) + 1;
+    if (range == 0) // full 64-bit range
+        return std::int64_t(next());
+    // Rejection sampling for exact uniformity.
+    std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+    std::uint64_t r;
+    do {
+        r = next();
+    } while (r >= limit && limit != 0);
+    return lo + std::int64_t(r % range);
+}
+
+double
+Rng::uniformDouble()
+{
+    // 53 high-quality bits into [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformDouble();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformDouble() < p;
+}
+
+std::int64_t
+Rng::geometric(double p)
+{
+    bsAssert(p > 0.0 && p <= 1.0, "geometric p out of range: ", p);
+    if (p >= 1.0)
+        return 0;
+    double u = uniformDouble();
+    // Guard against u == 0, where log would be -inf.
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return std::int64_t(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double
+Rng::normal()
+{
+    if (haveSpareNormal) {
+        haveSpareNormal = false;
+        return spareNormal;
+    }
+    double u1 = uniformDouble();
+    double u2 = uniformDouble();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double angle = 2.0 * M_PI * u2;
+    spareNormal = radius * std::sin(angle);
+    haveSpareNormal = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        bsAssert(w >= 0.0, "negative weight in weightedIndex");
+        total += w;
+    }
+    bsAssert(total > 0.0, "weightedIndex requires a positive weight");
+    double target = uniformDouble() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (target < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace balance

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * Experiments must be exactly reproducible across platforms and
+ * standard-library versions, so we implement our own generator
+ * (xoshiro256**) and our own distributions instead of relying on
+ * std::*_distribution, whose outputs are implementation-defined.
+ */
+
+#ifndef BALANCE_SUPPORT_RNG_HH
+#define BALANCE_SUPPORT_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace balance
+{
+
+/**
+ * xoshiro256** pseudo-random generator with SplitMix64 seeding.
+ *
+ * Satisfies enough of UniformRandomBitGenerator to be used directly,
+ * but all sampling in this library goes through the member helpers so
+ * that the bit-to-variate mapping is pinned down.
+ */
+class Rng
+{
+  public:
+    /** Seed deterministically from a single 64-bit value. */
+    explicit Rng(std::uint64_t seed);
+
+    /** @return the next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** @return a uniform double in [lo, hi). */
+    double uniformDouble(double lo, double hi);
+
+    /** @return true with probability @p p (clamped to [0, 1]). */
+    bool bernoulli(double p);
+
+    /**
+     * @return a geometrically distributed count of failures before the
+     *         first success, with success probability @p p in (0, 1].
+     */
+    std::int64_t geometric(double p);
+
+    /** @return a standard normal variate (Box-Muller, deterministic). */
+    double normal();
+
+    /** @return a normal variate with the given mean and stddev. */
+    double normal(double mean, double stddev);
+
+    /** @return exp(normal(mu, sigma)): a lognormal variate. */
+    double logNormal(double mu, double sigma);
+
+    /**
+     * Sample an index according to non-negative weights.
+     *
+     * @param weights Per-index weights; must contain a positive entry.
+     * @return an index in [0, weights.size()).
+     */
+    std::size_t weightedIndex(const std::vector<double> &weights);
+
+    /** Shuffle @p values in place (Fisher-Yates). */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &values)
+    {
+        for (std::size_t i = values.size(); i > 1; --i) {
+            std::size_t j = std::size_t(uniformInt(0, std::int64_t(i) - 1));
+            std::swap(values[i - 1], values[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for per-item streams). */
+    Rng fork();
+
+  private:
+    std::uint64_t s[4];
+    bool haveSpareNormal = false;
+    double spareNormal = 0.0;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_RNG_HH

@@ -1,0 +1,139 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x;
+}
+
+double
+RunningStat::mean() const
+{
+    return n ? total / double(n) : 0.0;
+}
+
+double
+RunningStat::min() const
+{
+    return n ? lo : 0.0;
+}
+
+double
+RunningStat::max() const
+{
+    return n ? hi : 0.0;
+}
+
+void
+SampleStat::add(double x)
+{
+    values.push_back(x);
+    sorted = false;
+}
+
+double
+SampleStat::sum() const
+{
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s;
+}
+
+double
+SampleStat::mean() const
+{
+    return values.empty() ? 0.0 : sum() / double(values.size());
+}
+
+double
+SampleStat::max() const
+{
+    if (values.empty())
+        return 0.0;
+    ensureSorted();
+    return values.back();
+}
+
+double
+SampleStat::median() const
+{
+    return percentile(50.0);
+}
+
+double
+SampleStat::percentile(double p) const
+{
+    bsAssert(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (values.empty())
+        return 0.0;
+    ensureSorted();
+    // Nearest-rank definition: rank = ceil(p/100 * n), 1-based.
+    std::size_t n = values.size();
+    std::size_t rank = std::size_t(std::ceil(p / 100.0 * double(n)));
+    if (rank == 0)
+        rank = 1;
+    return values[rank - 1];
+}
+
+void
+SampleStat::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(values.begin(), values.end());
+        sorted = true;
+    }
+}
+
+void
+SurvivalCurve::add(double value, double weight)
+{
+    bsAssert(weight >= 0.0, "negative weight in SurvivalCurve");
+    points.emplace_back(value, weight);
+    total += weight;
+    sorted = false;
+}
+
+std::vector<double>
+SurvivalCurve::fractionAtOrBelow(const std::vector<double> &thresholds) const
+{
+    if (!sorted) {
+        std::sort(points.begin(), points.end());
+        sorted = true;
+    }
+    // Prefix weights over the sorted points.
+    std::vector<double> prefix(points.size() + 1, 0.0);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        prefix[i + 1] = prefix[i] + points[i].second;
+
+    std::vector<double> out;
+    out.reserve(thresholds.size());
+    for (double t : thresholds) {
+        // Count weight of points with value <= t.
+        auto it = std::upper_bound(
+            points.begin(), points.end(), t,
+            [](double v, const std::pair<double, double> &pt) {
+                return v < pt.first;
+            });
+        std::size_t idx = std::size_t(it - points.begin());
+        out.push_back(total > 0.0 ? prefix[idx] / total : 0.0);
+    }
+    return out;
+}
+
+} // namespace balance

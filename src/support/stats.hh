@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Statistics accumulators used by the experiment drivers: running
+ * summaries (count/mean/max), exact percentile accumulators, and a
+ * survival-curve builder for Figure-8-style CDF plots.
+ */
+
+#ifndef BALANCE_SUPPORT_STATS_HH
+#define BALANCE_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace balance
+{
+
+/**
+ * Streaming summary of a sequence of doubles: count, sum, mean,
+ * min and max. O(1) space; no percentiles.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** @return the number of observations so far. */
+    std::size_t count() const { return n; }
+
+    /** @return the sum of observations (0 when empty). */
+    double sum() const { return total; }
+
+    /** @return the arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** @return the smallest observation (0 when empty). */
+    double min() const;
+
+    /** @return the largest observation (0 when empty). */
+    double max() const;
+
+  private:
+    std::size_t n = 0;
+    double total = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Exact sample accumulator: stores all observations and answers
+ * median / arbitrary percentile queries. O(n) space.
+ */
+class SampleStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** @return the number of observations. */
+    std::size_t count() const { return values.size(); }
+
+    /** @return the sum of observations (0 when empty). */
+    double sum() const;
+
+    /** @return the arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** @return the largest observation (0 when empty). */
+    double max() const;
+
+    /** @return the median (0 when empty). */
+    double median() const;
+
+    /**
+     * @param p Percentile in [0, 100].
+     * @return the nearest-rank percentile (0 when empty).
+     */
+    double percentile(double p) const;
+
+  private:
+    /** Sort the backing store if new values arrived since last query. */
+    void ensureSorted() const;
+
+    mutable std::vector<double> values;
+    mutable bool sorted = true;
+};
+
+/**
+ * Builder for survival curves such as the paper's Figure 8: given a
+ * population of (value, weight) points, reports the weighted fraction
+ * of the population with value <= x for a series of thresholds.
+ */
+class SurvivalCurve
+{
+  public:
+    /** Add one population member with the given weight (default 1). */
+    void add(double value, double weight = 1.0);
+
+    /**
+     * Evaluate the weighted CDF at each threshold.
+     *
+     * @param thresholds Query points, in any order.
+     * @return fraction of total weight with value <= threshold,
+     *         matching the order of @p thresholds.
+     */
+    std::vector<double> fractionAtOrBelow(
+        const std::vector<double> &thresholds) const;
+
+    /** @return total accumulated weight. */
+    double totalWeight() const { return total; }
+
+  private:
+    mutable std::vector<std::pair<double, double>> points;
+    mutable bool sorted = true;
+    double total = 0.0;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_STATS_HH

@@ -1,0 +1,88 @@
+#include "support/strings.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace balance
+{
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = s.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            return out;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        std::size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+parseInt(std::string_view s, long long &out)
+{
+    const char *begin = s.data();
+    const char *end = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(begin, end, out);
+    return ec == std::errc() && ptr == end;
+}
+
+bool
+parseDouble(std::string_view s, double &out)
+{
+    // std::from_chars for double is not universally available; strtod
+    // on a NUL-terminated copy is portable and exact enough here.
+    std::string copy(s);
+    if (copy.empty())
+        return false;
+    char *endp = nullptr;
+    out = std::strtod(copy.c_str(), &endp);
+    return endp == copy.c_str() + copy.size();
+}
+
+} // namespace balance

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small string utilities shared by the .sb parser and the table
+ * printers. Kept deliberately minimal; nothing here is clever.
+ */
+
+#ifndef BALANCE_SUPPORT_STRINGS_HH
+#define BALANCE_SUPPORT_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace balance
+{
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view s);
+
+/**
+ * Split on a delimiter character. Adjacent delimiters produce empty
+ * fields; the result never drops fields.
+ */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; never produces empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Case-sensitive prefix test. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/**
+ * Parse a decimal integer.
+ *
+ * @param s Token to parse.
+ * @param out Receives the value on success.
+ * @return false if @p s is not exactly one integer.
+ */
+bool parseInt(std::string_view s, long long &out);
+
+/**
+ * Parse a floating-point number.
+ *
+ * @param s Token to parse.
+ * @param out Receives the value on success.
+ * @return false if @p s is not exactly one number.
+ */
+bool parseDouble(std::string_view s, double &out);
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_STRINGS_HH

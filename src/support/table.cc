@@ -1,0 +1,109 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace balance
+{
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addRule()
+{
+    rows.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    // Determine column count and widths across header and body.
+    std::size_t cols = header.size();
+    for (const auto &r : rows)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto account = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    account(header);
+    for (const auto &r : rows)
+        account(r);
+
+    auto renderRow = [&](const std::vector<std::string> &r,
+                         std::ostringstream &oss) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string &cell = i < r.size() ? r[i] : std::string();
+            oss << cell;
+            if (i + 1 < cols)
+                oss << std::string(width[i] - cell.size() + 2, ' ');
+        }
+        oss << '\n';
+    };
+
+    std::size_t totalWidth = 0;
+    for (std::size_t i = 0; i < cols; ++i)
+        totalWidth += width[i] + (i + 1 < cols ? 2 : 0);
+
+    std::ostringstream oss;
+    if (!header.empty()) {
+        renderRow(header, oss);
+        oss << std::string(totalWidth, '-') << '\n';
+    }
+    for (const auto &r : rows) {
+        if (r.empty())
+            oss << std::string(totalWidth, '-') << '\n';
+        else
+            renderRow(r, oss);
+    }
+    return oss.str();
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(digits);
+    oss << v;
+    return oss.str();
+}
+
+std::string
+fmtPercent(double v, int digits)
+{
+    return fmtDouble(v, digits) + "%";
+}
+
+std::string
+fmtCount(long long v)
+{
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int since = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since == 3) {
+            out.push_back(',');
+            since = 0;
+        }
+        out.push_back(*it);
+        ++since;
+    }
+    if (v < 0)
+        out.push_back('-');
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace balance

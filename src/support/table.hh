@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fixed-width ASCII table formatting for the benchmark harnesses.
+ * Every bench binary prints paper-style tables through this class so
+ * that all reproduced tables share one layout.
+ */
+
+#ifndef BALANCE_SUPPORT_TABLE_HH
+#define BALANCE_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace balance
+{
+
+/**
+ * Column-aligned text table. Columns are sized to their widest cell;
+ * the first row added via setHeader() is separated from the body by a
+ * rule. Numeric formatting is the caller's job (use fmtDouble /
+ * fmtPercent below for consistency).
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append one body row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal rule between body rows. */
+    void addRule();
+
+    /** Render the table; each line is newline-terminated. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header;
+    /** Body rows; an empty vector encodes a rule. */
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with @p digits fraction digits (fixed notation). */
+std::string fmtDouble(double v, int digits = 2);
+
+/** Format @p v as a percentage with @p digits fraction digits. */
+std::string fmtPercent(double v, int digits = 2);
+
+/** Format an integer with thousands separators for readability. */
+std::string fmtCount(long long v);
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_TABLE_HH

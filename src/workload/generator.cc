@@ -1,0 +1,144 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.hh"
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** Draw an operation class and latency from the mix. */
+std::pair<OpClass, int>
+drawOp(Rng &rng, const GeneratorParams &p)
+{
+    double u = rng.uniformDouble();
+    if (u < p.floatFraction) {
+        double f = rng.uniformDouble();
+        if (f < p.floatDivFraction)
+            return {OpClass::FloatAlu, Latencies::floatDivide};
+        if (f < p.floatDivFraction + p.floatMulFraction)
+            return {OpClass::FloatAlu, Latencies::floatMultiply};
+        return {OpClass::FloatAlu, Latencies::unit};
+    }
+    if (u < p.floatFraction + p.memFraction) {
+        bool load = rng.bernoulli(p.loadFraction);
+        return {OpClass::Memory,
+                load ? Latencies::load : Latencies::unit};
+    }
+    return {OpClass::IntAlu, Latencies::unit};
+}
+
+} // namespace
+
+Superblock
+generateSuperblock(Rng &rng, const GeneratorParams &params,
+                   std::string name)
+{
+    // Number of blocks: geometric tail, occasionally giant.
+    int blocks;
+    bool giant = false;
+    if (params.giantProb > 0.0 && rng.bernoulli(params.giantProb)) {
+        blocks = int(rng.uniformInt(params.giantMinBlocks,
+                                    params.giantMaxBlocks));
+        giant = true;
+    } else {
+        blocks = 1 + int(rng.geometric(params.blockGeoP));
+    }
+    blocks = std::clamp(blocks, 1, params.maxBlocks);
+    double opsMu = giant ? params.giantOpsPerBlockMu
+                         : params.opsPerBlockMu;
+
+    // Ops per block, capped so the superblock stays within limits.
+    std::vector<int> blockSize(std::size_t(blocks), 0);
+    int totalOps = 0;
+    for (int j = 0; j < blocks; ++j) {
+        int n = std::max(0, int(std::llround(rng.logNormal(
+                                opsMu, params.opsPerBlockSigma))));
+        // +1 accounts for the block's branch.
+        if (totalOps + n + 1 > params.maxOps)
+            n = std::max(0, params.maxOps - totalOps - 1);
+        blockSize[std::size_t(j)] = n;
+        totalOps += n + 1;
+        if (totalOps >= params.maxOps) {
+            blocks = j + 1;
+            blockSize.resize(std::size_t(blocks));
+            break;
+        }
+    }
+
+    // Side-exit probabilities: a bounded total mass split by
+    // exponential proportions; the final exit takes the rest.
+    std::vector<double> exitProb(std::size_t(blocks), 0.0);
+    if (blocks == 1) {
+        exitProb[0] = 1.0;
+    } else {
+        double total = rng.uniformDouble(params.sideExitMin,
+                                         params.sideExitMax);
+        std::vector<double> share(std::size_t(blocks) - 1);
+        double sum = 0.0;
+        for (auto &s : share) {
+            s = -std::log(std::max(rng.uniformDouble(), 0x1.0p-53));
+            sum += s;
+        }
+        for (int j = 0; j + 1 < blocks; ++j)
+            exitProb[std::size_t(j)] = total * share[std::size_t(j)] / sum;
+        exitProb[std::size_t(blocks) - 1] = 1.0 - total;
+    }
+
+    SuperblockBuilder b(std::move(name));
+    b.setFrequency(
+        std::max(1.0, rng.logNormal(params.freqMu, params.freqSigma)));
+
+    std::vector<OpId> dataOps; // producers eligible as predecessors
+
+    for (int j = 0; j < blocks; ++j) {
+        std::vector<OpId> thisBlock;
+        for (int k = 0; k < blockSize[std::size_t(j)]; ++k) {
+            auto [cls, latency] = drawOp(rng, params);
+            OpId v = b.addOp(cls, latency);
+
+            // Data predecessors: a geometric count, biased toward
+            // recent producers; some cross into earlier blocks.
+            int nPreds = int(rng.geometric(
+                1.0 / (1.0 + params.depMean)));
+            for (int e = 0; e < nPreds && !dataOps.empty(); ++e) {
+                std::size_t pick;
+                if (j > 0 && rng.bernoulli(params.crossBlockProb)) {
+                    pick = std::size_t(
+                        rng.uniformInt(0, int(dataOps.size()) - 1));
+                } else {
+                    // Recency bias: quadratic toward the tail.
+                    double u = rng.uniformDouble();
+                    pick = std::size_t(
+                        double(dataOps.size()) * (1.0 - u * u));
+                    pick = std::min(pick, dataOps.size() - 1);
+                }
+                if (dataOps[pick] != v)
+                    b.addEdge(dataOps[pick], v);
+            }
+
+            dataOps.push_back(v);
+            thisBlock.push_back(v);
+        }
+
+        OpId br = b.addBranch(exitProb[std::size_t(j)]);
+        // The branch condition consumes one or two recent values.
+        if (!thisBlock.empty()) {
+            b.addEdge(thisBlock.back(), br);
+            if (thisBlock.size() > 1 && rng.bernoulli(0.5))
+                b.addEdge(thisBlock[thisBlock.size() - 2], br);
+        }
+        // No operation may sink below its own block's exit.
+        for (OpId v : thisBlock)
+            b.addEdge(v, br);
+    }
+
+    return b.build(/*anchorLooseOpsToLastExit=*/true);
+}
+
+} // namespace balance

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic superblock generation. Stands in for the paper's
+ * IMPACT -> Elcor -> LEGO pipeline over SPECint95 (see DESIGN.md,
+ * substitutions): produces dependence DAGs whose shape statistics
+ * (size, branch count, operation mix, dependence density, exit
+ * probabilities, execution frequencies) match the envelope the
+ * paper reports, while exercising exactly the same scheduler and
+ * bound code paths.
+ *
+ * Structural rules mirror superblock semantics:
+ *  - operations may be hoisted above earlier exits (speculation),
+ *    so cross-block dependences exist only where data flows;
+ *  - operations may NOT sink below their own block's exit, so every
+ *    operation has a dependence edge to its block's branch;
+ *  - consecutive exits are chained by control edges (builder).
+ */
+
+#ifndef BALANCE_WORKLOAD_GENERATOR_HH
+#define BALANCE_WORKLOAD_GENERATOR_HH
+
+#include <string>
+
+#include "graph/superblock.hh"
+#include "support/rng.hh"
+
+namespace balance
+{
+
+/** Shape parameters for one synthetic program's superblocks. */
+struct GeneratorParams
+{
+    /** Geometric parameter for the number of blocks (mean ~1/p). */
+    double blockGeoP = 0.40;
+    /** Hard cap on blocks (the paper's max is 200 branches). */
+    int maxBlocks = 200;
+    /** Lognormal ops-per-block: exp(N(mu, sigma)). */
+    double opsPerBlockMu = 1.6;
+    double opsPerBlockSigma = 0.7;
+    /** Hard cap on total operations (the paper's max is 607). */
+    int maxOps = 607;
+
+    /** Probability that a rare "giant" superblock is drawn. */
+    double giantProb = 0.0;
+    /** Giant block-count range (uniform). */
+    int giantMinBlocks = 40;
+    int giantMaxBlocks = 200;
+    /**
+     * Ops-per-block lognormal mu for giant draws: giant regions use
+     * short blocks so a 200-branch superblock fits the 607-op cap
+     * (matching the paper's extremes).
+     */
+    double giantOpsPerBlockMu = 0.7;
+
+    /** Operation class mix (remainder is integer ALU). */
+    double memFraction = 0.28;
+    double floatFraction = 0.02;
+    /** Fraction of memory operations that are loads (latency 2). */
+    double loadFraction = 0.7;
+    /** Float mix: multiply (latency 3) and divide (latency 9). */
+    double floatMulFraction = 0.35;
+    double floatDivFraction = 0.05;
+
+    /** Mean extra data predecessors per operation (>= 0). */
+    double depMean = 1.4;
+    /** Probability an edge crosses into an earlier block. */
+    double crossBlockProb = 0.35;
+
+    /** Total side-exit probability range (uniform). */
+    double sideExitMin = 0.05;
+    double sideExitMax = 0.55;
+
+    /** Lognormal execution frequency: exp(N(mu, sigma)). */
+    double freqMu = 3.0;
+    double freqSigma = 1.5;
+};
+
+/**
+ * Generate one superblock.
+ *
+ * @param rng Deterministic stream; caller owns the seeding policy.
+ * @param params Shape parameters.
+ * @param name Display name for the superblock.
+ */
+Superblock generateSuperblock(Rng &rng, const GeneratorParams &params,
+                              std::string name);
+
+} // namespace balance
+
+#endif // BALANCE_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,145 @@
+#include "workload/paper_figures.hh"
+
+#include "graph/builder.hh"
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+Superblock
+paperFigure1(double sideProb)
+{
+    SuperblockBuilder b("paper.fig1");
+    // Block 1: three independent operations feeding the side exit.
+    OpId o0 = b.addOp(OpClass::IntAlu, 1, "i0");
+    OpId o1 = b.addOp(OpClass::IntAlu, 1, "i1");
+    OpId o2 = b.addOp(OpClass::IntAlu, 1, "i2");
+    OpId br3 = b.addBranch(sideProb, "side");
+    b.addEdge(o0, br3);
+    b.addEdge(o1, br3);
+    b.addEdge(o2, br3);
+
+    // Block 2: a 7-op dependence chain (dependence height 7 to the
+    // final exit) plus five independent operations; together with
+    // block 1 the final exit has 16 predecessors.
+    OpId chain[7];
+    for (int i = 0; i < 7; ++i)
+        chain[i] = b.addOp(OpClass::IntAlu, 1, "c" + std::to_string(i));
+    for (int i = 1; i < 7; ++i)
+        b.addEdge(chain[i - 1], chain[i]);
+    OpId plain[5];
+    for (int i = 0; i < 5; ++i)
+        plain[i] = b.addOp(OpClass::IntAlu, 1, "p" + std::to_string(i));
+    OpId br16 = b.addBranch(1.0 - sideProb, "final");
+    b.addEdge(chain[6], br16);
+    for (OpId p : plain)
+        b.addEdge(p, br16);
+    // Block-1 operations reach the final exit through the control
+    // edge br3 -> br16 that the builder inserts.
+    return b.build();
+}
+
+Superblock
+paperFigure2(double sideProb)
+{
+    SuperblockBuilder b("paper.fig2");
+    OpId o0 = b.addOp(OpClass::IntAlu, 1, "i0");
+    OpId o1 = b.addOp(OpClass::IntAlu, 1, "i1");
+    OpId o2 = b.addOp(OpClass::IntAlu, 1, "i2");
+    OpId br3 = b.addBranch(sideProb, "side");
+    b.addEdge(o0, br3);
+    b.addEdge(o1, br3);
+    b.addEdge(o2, br3);
+
+    // Three-cycle dependence chain from op 4 to branch 6.
+    OpId o4 = b.addOp(OpClass::IntAlu, 2, "c0"); // 2-cycle producer
+    OpId o5 = b.addOp(OpClass::IntAlu, 1, "c1");
+    OpId br6 = b.addBranch(1.0 - sideProb, "final");
+    b.addEdge(o4, o5); // latency 2
+    b.addEdge(o5, br6);
+    return b.build();
+}
+
+Superblock
+paperFigure3(double sideProb)
+{
+    SuperblockBuilder b("paper.fig3");
+    OpId o0 = b.addOp(OpClass::IntAlu, 1, "i0");
+    OpId o1 = b.addOp(OpClass::IntAlu, 1, "i1");
+    OpId o2 = b.addOp(OpClass::IntAlu, 1, "i2");
+    OpId br3 = b.addBranch(sideProb, "side");
+    b.addEdge(o0, br3);
+    b.addEdge(o1, br3);
+    b.addEdge(o2, br3);
+
+    OpId o4 = b.addOp(OpClass::IntAlu, 1, "c0");
+    OpId o5 = b.addOp(OpClass::IntAlu, 1, "c1");
+    OpId o6 = b.addOp(OpClass::IntAlu, 1, "f0");
+    OpId o7 = b.addOp(OpClass::IntAlu, 1, "f1");
+    OpId o8 = b.addOp(OpClass::IntAlu, 1, "f2");
+    OpId br9 = b.addBranch(1.0 - sideProb, "final");
+    b.addEdge(o4, o5);
+    b.addEdge(o5, o6);
+    b.addEdge(o5, o7);
+    b.addEdge(o5, o8);
+    b.addEdge(o6, br9);
+    b.addEdge(o7, br9);
+    b.addEdge(o8, br9);
+    return b.build();
+}
+
+Superblock
+paperFigure4(double sideProb)
+{
+    bsAssert(sideProb >= 0.0 && sideProb <= 1.0,
+             "side probability out of range");
+    SuperblockBuilder b("paper.fig4");
+    // Block 1: four independent operations feeding the side exit;
+    // it needs all four in cycles 0-1 to issue at cycle 2.
+    OpId ops[4];
+    for (int i = 0; i < 4; ++i)
+        ops[i] = b.addOp(OpClass::IntAlu, 1, "i" + std::to_string(i));
+    OpId br4 = b.addBranch(sideProb, "side");
+    for (OpId v : ops)
+        b.addEdge(v, br4);
+
+    // Block 2: a three-op chain; the final exit has 8 predecessors,
+    // so it is resource bound to cycle 4, reachable only when the
+    // chain starts no later than cycle 1 -- which conflicts with the
+    // side exit's need for cycles 0-1.
+    OpId c0 = b.addOp(OpClass::IntAlu, 1, "c0");
+    OpId c1 = b.addOp(OpClass::IntAlu, 1, "c1");
+    OpId c2 = b.addOp(OpClass::IntAlu, 1, "c2");
+    OpId br8 = b.addBranch(1.0 - sideProb, "final");
+    b.addEdge(c0, c1);
+    b.addEdge(c1, c2);
+    b.addEdge(c2, br8);
+    return b.build();
+}
+
+Superblock
+paperFigure6()
+{
+    SuperblockBuilder b("paper.fig6");
+    OpId o0 = b.addOp(OpClass::IntAlu, 1, "a0");
+    OpId o1 = b.addOp(OpClass::IntAlu, 1, "a1");
+    OpId o2 = b.addOp(OpClass::IntAlu, 1, "b0");
+    OpId o3 = b.addOp(OpClass::IntAlu, 1, "b1");
+    OpId o4 = b.addOp(OpClass::IntAlu, 1, "b2");
+    OpId o5 = b.addOp(OpClass::IntAlu, 1, "b3");
+    OpId o6 = b.addOp(OpClass::IntAlu, 1, "m");
+    OpId o7 = b.addOp(OpClass::IntAlu, 1, "n");
+    OpId br8 = b.addBranch(1.0, "exit");
+    // 0 delays 2: both belong to the deadline-1 set {0,2,3,4,5}.
+    b.addEdge(o0, o2);
+    b.addEdge(o2, o6);
+    b.addEdge(o3, o6);
+    b.addEdge(o4, o6);
+    b.addEdge(o5, o6);
+    b.addEdge(o6, o7);
+    b.addEdge(o7, br8);
+    b.addEdge(o1, br8);
+    return b.build();
+}
+
+} // namespace balance

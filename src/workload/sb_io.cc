@@ -1,0 +1,233 @@
+#include "workload/sb_io.hh"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "graph/builder.hh"
+#include "support/diagnostics.hh"
+#include "support/strings.hh"
+
+namespace balance
+{
+
+std::string
+writeSuperblock(const Superblock &sb)
+{
+    std::ostringstream oss;
+    // Round-trip exactness for probabilities and frequencies.
+    oss.precision(17);
+    oss << "superblock " << sb.name() << "\n";
+    oss << "freq " << sb.execFrequency() << "\n";
+    for (const Operation &o : sb.ops()) {
+        if (o.isBranch())
+            oss << "branch " << o.id << " " << o.exitProb << " "
+                << o.latency;
+        else
+            oss << "op " << o.id << " " << opClassName(o.cls) << " "
+                << o.latency;
+        if (!o.name.empty())
+            oss << " " << o.name;
+        oss << "\n";
+    }
+    for (const Operation &o : sb.ops()) {
+        for (const Adjacent &e : sb.succs(o.id))
+            oss << "edge " << o.id << " " << e.op << " " << e.latency
+                << "\n";
+    }
+    oss << "end\n";
+    return oss.str();
+}
+
+void
+writeSuperblocks(std::ostream &os, const std::vector<Superblock> &sbs)
+{
+    for (const Superblock &sb : sbs)
+        os << writeSuperblock(sb);
+}
+
+namespace
+{
+
+/** Parser state for one superblock body. */
+class SbParser
+{
+  public:
+    void
+    begin(const std::string &name, int lineNo)
+    {
+        if (builder)
+            bsFatal("line ", lineNo, ": nested 'superblock' directive");
+        builder = std::make_unique<SuperblockBuilder>(name);
+        nextId = 0;
+    }
+
+    bool active() const { return builder != nullptr; }
+
+    void
+    freq(double f, int lineNo)
+    {
+        require(lineNo);
+        builder->setFrequency(f);
+    }
+
+    void
+    op(long long id, const std::string &clsName, long long latency,
+       std::string name, int lineNo)
+    {
+        require(lineNo);
+        if (id != nextId)
+            bsFatal("line ", lineNo, ": operation id ", id,
+                    " out of order (expected ", nextId, ")");
+        OpClass cls;
+        if (!parseOpClass(clsName, cls) || cls == OpClass::Branch)
+            bsFatal("line ", lineNo, ": bad op class '", clsName, "'");
+        builder->addOp(cls, int(latency), std::move(name));
+        ++nextId;
+    }
+
+    void
+    branch(long long id, double prob, long long latency,
+           std::string name, int lineNo)
+    {
+        require(lineNo);
+        if (id != nextId)
+            bsFatal("line ", lineNo, ": branch id ", id,
+                    " out of order (expected ", nextId, ")");
+        builder->addBranch(prob, std::move(name), int(latency));
+        ++nextId;
+    }
+
+    void
+    edge(long long src, long long dst, long long latency, int lineNo)
+    {
+        require(lineNo);
+        if (src < 0 || src >= nextId || dst < 0 || dst >= nextId ||
+            src >= dst) {
+            bsFatal("line ", lineNo, ": bad edge ", src, " -> ", dst);
+        }
+        builder->addEdge(OpId(src), OpId(dst), int(latency));
+    }
+
+    Superblock
+    end(int lineNo)
+    {
+        require(lineNo);
+        Superblock sb = builder->build();
+        builder.reset();
+        return sb;
+    }
+
+  private:
+    void
+    require(int lineNo) const
+    {
+        if (!builder)
+            bsFatal("line ", lineNo,
+                    ": directive outside a superblock block");
+    }
+
+    std::unique_ptr<SuperblockBuilder> builder;
+    long long nextId = 0;
+};
+
+} // namespace
+
+std::vector<Superblock>
+readSuperblocks(std::istream &is)
+{
+    std::vector<Superblock> out;
+    SbParser parser;
+    std::string line;
+    int lineNo = 0;
+
+    while (std::getline(is, line)) {
+        ++lineNo;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::vector<std::string> tok = splitWhitespace(line);
+        if (tok.empty())
+            continue;
+
+        const std::string &kind = tok[0];
+        auto wantArgs = [&](std::size_t minArgs) {
+            if (tok.size() < minArgs + 1)
+                bsFatal("line ", lineNo, ": '", kind, "' needs at least ",
+                        minArgs, " arguments");
+        };
+        long long a = 0;
+        long long b = 0;
+        long long c = 0;
+        double d = 0.0;
+
+        if (kind == "superblock") {
+            wantArgs(1);
+            parser.begin(tok[1], lineNo);
+        } else if (kind == "freq") {
+            wantArgs(1);
+            if (!parseDouble(tok[1], d))
+                bsFatal("line ", lineNo, ": bad frequency");
+            parser.freq(d, lineNo);
+        } else if (kind == "op") {
+            wantArgs(3);
+            if (!parseInt(tok[1], a) || !parseInt(tok[3], b))
+                bsFatal("line ", lineNo, ": bad op numbers");
+            parser.op(a, tok[2], b, tok.size() > 4 ? tok[4] : "",
+                      lineNo);
+        } else if (kind == "branch") {
+            wantArgs(3);
+            if (!parseInt(tok[1], a) || !parseDouble(tok[2], d) ||
+                !parseInt(tok[3], b)) {
+                bsFatal("line ", lineNo, ": bad branch numbers");
+            }
+            parser.branch(a, d, b, tok.size() > 4 ? tok[4] : "",
+                          lineNo);
+        } else if (kind == "edge") {
+            wantArgs(3);
+            if (!parseInt(tok[1], a) || !parseInt(tok[2], b) ||
+                !parseInt(tok[3], c)) {
+                bsFatal("line ", lineNo, ": bad edge numbers");
+            }
+            parser.edge(a, b, c, lineNo);
+        } else if (kind == "end") {
+            out.push_back(parser.end(lineNo));
+        } else {
+            bsFatal("line ", lineNo, ": unknown directive '", kind, "'");
+        }
+    }
+    if (parser.active())
+        bsFatal("unexpected end of input: missing 'end'");
+    return out;
+}
+
+Superblock
+parseSuperblock(const std::string &text)
+{
+    std::istringstream iss(text);
+    std::vector<Superblock> sbs = readSuperblocks(iss);
+    if (sbs.size() != 1)
+        bsFatal("expected exactly one superblock, found ", sbs.size());
+    return std::move(sbs.front());
+}
+
+std::vector<Superblock>
+loadSuperblockFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        bsFatal("cannot open '", path, "' for reading");
+    return readSuperblocks(in);
+}
+
+void
+saveSuperblockFile(const std::string &path,
+                   const std::vector<Superblock> &sbs)
+{
+    std::ofstream outFile(path);
+    if (!outFile)
+        bsFatal("cannot open '", path, "' for writing");
+    writeSuperblocks(outFile, sbs);
+}
+
+} // namespace balance

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Textual .sb interchange format for superblocks, so examples and
+ * external tools can persist and inspect workloads.
+ *
+ * Grammar (one directive per line; '#' starts a comment):
+ *
+ *   superblock <name>
+ *   freq <double>
+ *   op <id> <class> <latency> [<name>]
+ *   branch <id> <exitProb> <latency> [<name>]
+ *   edge <src> <dst> <latency>
+ *   end
+ *
+ * Operations must appear in id order starting at 0 (program order);
+ * classes are the opClassName() mnemonics (int, mem, flt, br is
+ * implied by the branch directive). Control edges between
+ * consecutive branches may be omitted; the loader reinserts them.
+ */
+
+#ifndef BALANCE_WORKLOAD_SB_IO_HH
+#define BALANCE_WORKLOAD_SB_IO_HH
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/superblock.hh"
+
+namespace balance
+{
+
+/** Serialize one superblock. */
+std::string writeSuperblock(const Superblock &sb);
+
+/** Serialize many superblocks back to back. */
+void writeSuperblocks(std::ostream &os,
+                      const std::vector<Superblock> &sbs);
+
+/**
+ * Parse superblocks from a stream until EOF; fatal (user error) on
+ * malformed input.
+ */
+std::vector<Superblock> readSuperblocks(std::istream &is);
+
+/** Parse exactly one superblock from a string. */
+Superblock parseSuperblock(const std::string &text);
+
+/** Load superblocks from a file; fatal when unreadable. */
+std::vector<Superblock> loadSuperblockFile(const std::string &path);
+
+/** Save superblocks to a file; fatal when unwritable. */
+void saveSuperblockFile(const std::string &path,
+                        const std::vector<Superblock> &sbs);
+
+} // namespace balance
+
+#endif // BALANCE_WORKLOAD_SB_IO_HH

@@ -1,0 +1,191 @@
+#include "bounds/branch_bounds.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "workload/generator.hh"
+#include "workload/paper_figures.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(CpEarly, MatchesDependenceAnalysis)
+{
+    Superblock sb = paperFigure1();
+    GraphContext ctx(sb);
+    auto cp = cpEarly(ctx);
+    ASSERT_EQ(cp.size(), 2u);
+    EXPECT_EQ(cp[0], 1); // three independent preds, unit latency
+    EXPECT_EQ(cp[1], 7); // the 7-op chain
+}
+
+TEST(HuEarly, CountsResourceNeeds)
+{
+    Superblock sb = paperFigure1();
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    auto hu = huEarly(ctx, m);
+    EXPECT_EQ(hu[0], 2); // ceil(3/2) preds before the side exit
+    EXPECT_EQ(hu[1], 8); // ceil(16/2) = 8 beats the chain's 7
+}
+
+TEST(HuEarly, Figure6ErcBound)
+{
+    // The paper's ERC illustration: naive ceil(8/2) = 4, Hu finds 5.
+    Superblock sb = paperFigure6();
+    GraphContext ctx(sb);
+    auto hu = huEarly(ctx, MachineModel::gp2());
+    ASSERT_EQ(hu.size(), 1u);
+    EXPECT_EQ(hu[0], 5);
+}
+
+TEST(RjEarly, AtLeastHuOnFigures)
+{
+    for (const Superblock &sb :
+         {paperFigure1(), paperFigure2(), paperFigure3(),
+          paperFigure4(0.3), paperFigure6()}) {
+        GraphContext ctx(sb);
+        for (const MachineModel &m : MachineModel::paperConfigs()) {
+            auto cp = cpEarly(ctx);
+            auto rj = rjEarly(ctx, m);
+            for (std::size_t i = 0; i < cp.size(); ++i)
+                EXPECT_GE(rj[i], cp[i]) << sb.name() << " " << m.name();
+        }
+    }
+}
+
+TEST(LcEarlyRC, Figure1FinalExit)
+{
+    Superblock sb = paperFigure1();
+    GraphContext ctx(sb);
+    auto earlyRC = lcEarlyRC(Dag::fromSuperblock(sb),
+                             MachineModel::gp2());
+    EXPECT_EQ(earlyRC[sb.branches()[1]], 8);
+    EXPECT_EQ(earlyRC[sb.branches()[0]], 2);
+}
+
+TEST(LcEarlyRC, Theorem1MatchesFullComputation)
+{
+    // Theorem 1 is a pure speedup: the bounds must be identical with
+    // and without the shortcut, on every machine, for a population
+    // of random superblocks.
+    Rng rng(123);
+    GeneratorParams params;
+    for (int trial = 0; trial < 40; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb =
+            generateSuperblock(child, params, "t" + std::to_string(trial));
+        Dag dag = Dag::fromSuperblock(sb);
+        for (const MachineModel &m : MachineModel::paperConfigs()) {
+            LcOptions with;
+            LcOptions without;
+            without.useTheorem1 = false;
+            EXPECT_EQ(lcEarlyRC(dag, m, with),
+                      lcEarlyRC(dag, m, without))
+                << sb.name() << " on " << m.name();
+        }
+    }
+}
+
+TEST(LcEarlyRC, Theorem1SavesWork)
+{
+    Rng rng(5);
+    GeneratorParams params;
+    Superblock sb = generateSuperblock(rng, params, "chainful");
+    Dag dag = Dag::fromSuperblock(sb);
+    MachineModel m = MachineModel::gp2();
+    BoundCounters with;
+    BoundCounters without;
+    LcOptions noShortcut;
+    noShortcut.useTheorem1 = false;
+    lcEarlyRC(dag, m, {}, &with);
+    lcEarlyRC(dag, m, noShortcut, &without);
+    EXPECT_LE(with.trips, without.trips);
+}
+
+TEST(LcEarlyRC, MonotoneAlongEdges)
+{
+    Rng rng(321);
+    GeneratorParams params;
+    for (int trial = 0; trial < 20; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb =
+            generateSuperblock(child, params, "m" + std::to_string(trial));
+        GraphContext ctx(sb);
+        auto earlyRC =
+            lcEarlyRCForSuperblock(ctx, MachineModel::fs4());
+        // EarlyRC dominates EarlyDC and respects dependences.
+        for (OpId v = 0; v < sb.numOps(); ++v) {
+            EXPECT_GE(earlyRC[std::size_t(v)],
+                      ctx.earlyDC()[std::size_t(v)]);
+            for (const Adjacent &e : sb.succs(v)) {
+                EXPECT_GE(earlyRC[std::size_t(e.op)],
+                          earlyRC[std::size_t(v)] + e.latency);
+            }
+        }
+    }
+}
+
+TEST(LateRC, Figure3TighterThanDependenceLate)
+{
+    Superblock sb = paperFigure3();
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    auto earlyRC = lcEarlyRCForSuperblock(ctx, m);
+    OpId br9 = sb.branches()[1];
+    ASSERT_EQ(earlyRC[std::size_t(br9)], 5);
+
+    auto lateRC = lateRCFor(ctx, m, 1, earlyRC);
+    // Dependence-only late times anchored at EarlyRC[br9] = 5:
+    // op 4 (height 3) gets 2 and op 5 (height 2) gets 3. The
+    // resource-aware late times must be one tighter: {6,7,8} cannot
+    // issue in one cycle on GP2.
+    EXPECT_EQ(lateRC[4], 1);
+    EXPECT_EQ(lateRC[5], 2);
+    // And the branch itself anchors at its EarlyRC.
+    EXPECT_EQ(lateRC[std::size_t(br9)], 5);
+}
+
+TEST(LateRC, UnconstrainedOutsideClosure)
+{
+    Superblock sb = paperFigure3();
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    auto earlyRC = lcEarlyRCForSuperblock(ctx, m);
+    // Branch 3's closure excludes the block-2 chain.
+    auto lateRC = lateRCFor(ctx, m, 0, earlyRC);
+    EXPECT_EQ(lateRC[4], lateUnconstrained);
+    EXPECT_EQ(lateRC[8], lateUnconstrained);
+    EXPECT_NE(lateRC[0], lateUnconstrained);
+}
+
+TEST(LateRC, NeverAboveDependenceLate)
+{
+    Rng rng(77);
+    GeneratorParams params;
+    for (int trial = 0; trial < 15; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb =
+            generateSuperblock(child, params, "l" + std::to_string(trial));
+        GraphContext ctx(sb);
+        MachineModel m = MachineModel::gp2();
+        auto earlyRC = lcEarlyRCForSuperblock(ctx, m);
+        for (int bi = 0; bi < sb.numBranches(); ++bi) {
+            OpId b = sb.branches()[std::size_t(bi)];
+            auto lateRC = lateRCFor(ctx, m, bi, earlyRC);
+            const auto &height = ctx.heightToBranch(bi);
+            for (OpId v = 0; v <= b; ++v) {
+                if (height[std::size_t(v)] < 0)
+                    continue;
+                int lateDC = earlyRC[std::size_t(b)] -
+                             height[std::size_t(v)];
+                EXPECT_LE(lateRC[std::size_t(v)], lateDC);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace balance

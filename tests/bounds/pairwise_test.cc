@@ -1,0 +1,150 @@
+#include "bounds/pairwise.hh"
+
+#include <gtest/gtest.h>
+
+#include "bounds/branch_bounds.hh"
+#include "workload/generator.hh"
+#include "workload/paper_figures.hh"
+
+namespace balance
+{
+namespace
+{
+
+struct PairFixture
+{
+    Superblock sb;
+    GraphContext ctx;
+    MachineModel machine;
+    std::vector<int> earlyRC;
+    std::vector<std::vector<int>> lateRCs;
+
+    explicit PairFixture(Superblock s,
+                         MachineModel m = MachineModel::gp2())
+        : sb(std::move(s)), ctx(sb), machine(std::move(m)),
+          earlyRC(lcEarlyRCForSuperblock(ctx, machine))
+    {
+        for (int bi = 0; bi < sb.numBranches(); ++bi)
+            lateRCs.push_back(lateRCFor(ctx, machine, bi, earlyRC));
+    }
+};
+
+TEST(Pairwise, NoTradeoffWhenSlackExists)
+{
+    // Figure 1: the one-cycle gap lets both exits hit their bounds.
+    PairFixture f(paperFigure1(0.2));
+    PairPoint pt = computePairBound(f.ctx, f.machine, f.earlyRC,
+                                    f.lateRCs[1], 0, 1, 0.2, 0.8);
+    EXPECT_EQ(pt.x, 2);
+    EXPECT_EQ(pt.y, 8);
+}
+
+TEST(Pairwise, Figure4FrontierLowSideProbability)
+{
+    // With a light side exit the min-cost point delays the side
+    // exit: (3, 4).
+    PairFixture f(paperFigure4(0.2));
+    PairPoint pt = computePairBound(f.ctx, f.machine, f.earlyRC,
+                                    f.lateRCs[1], 0, 1, 0.2, 0.8);
+    EXPECT_EQ(pt.x, 3);
+    EXPECT_EQ(pt.y, 4);
+}
+
+TEST(Pairwise, Figure4FrontierHighSideProbability)
+{
+    // With a heavy side exit the min-cost point serves it first:
+    // (2, 5).
+    PairFixture f(paperFigure4(0.8));
+    PairPoint pt = computePairBound(f.ctx, f.machine, f.earlyRC,
+                                    f.lateRCs[1], 0, 1, 0.8, 0.2);
+    EXPECT_EQ(pt.x, 2);
+    EXPECT_EQ(pt.y, 5);
+}
+
+TEST(Pairwise, PointsDominateIndividualBounds)
+{
+    Rng rng(99);
+    GeneratorParams params;
+    for (int trial = 0; trial < 20; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params,
+                                           "p" + std::to_string(trial));
+        if (sb.numBranches() < 2)
+            continue;
+        PairFixture f(std::move(sb));
+        for (int bi = 0; bi < f.sb.numBranches(); ++bi) {
+            for (int bj = bi + 1; bj < f.sb.numBranches(); ++bj) {
+                OpId i = f.sb.branches()[std::size_t(bi)];
+                OpId j = f.sb.branches()[std::size_t(bj)];
+                PairPoint pt = computePairBound(
+                    f.ctx, f.machine, f.earlyRC, f.lateRCs[std::size_t(bj)],
+                    bi, bj, f.sb.exitProb(i), f.sb.exitProb(j));
+                EXPECT_GE(pt.x, f.earlyRC[std::size_t(i)]);
+                EXPECT_GE(pt.y, f.earlyRC[std::size_t(j)]);
+                // Branch order is fixed by control flow.
+                EXPECT_GT(pt.y, pt.x);
+            }
+        }
+    }
+}
+
+TEST(PairwiseBounds, SuperblockWctAtLeastNaiveLc)
+{
+    Rng rng(7);
+    GeneratorParams params;
+    for (int trial = 0; trial < 20; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params,
+                                           "w" + std::to_string(trial));
+        for (const MachineModel &m :
+             {MachineModel::gp2(), MachineModel::fs4()}) {
+            GraphContext ctx(sb);
+            auto earlyRC = lcEarlyRCForSuperblock(ctx, m);
+            std::vector<std::vector<int>> lateRCs;
+            for (int bi = 0; bi < sb.numBranches(); ++bi)
+                lateRCs.push_back(lateRCFor(ctx, m, bi, earlyRC));
+            PairwiseBounds pw(ctx, m, earlyRC, lateRCs);
+
+            double naive = 0.0;
+            for (OpId b : sb.branches()) {
+                naive += sb.exitProb(b) *
+                         (earlyRC[std::size_t(b)] + sb.op(b).latency);
+            }
+            EXPECT_GE(pw.superblockWct(), naive - 1e-9)
+                << sb.name() << " on " << m.name();
+        }
+    }
+}
+
+TEST(PairwiseBounds, SingleExitFallsBackToEarlyRC)
+{
+    Superblock sb = paperFigure6();
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    auto earlyRC = lcEarlyRCForSuperblock(ctx, m);
+    std::vector<std::vector<int>> lateRCs = {
+        lateRCFor(ctx, m, 0, earlyRC)};
+    PairwiseBounds pw(ctx, m, earlyRC, lateRCs);
+    OpId b = sb.branches()[0];
+    EXPECT_DOUBLE_EQ(pw.superblockWct(),
+                     earlyRC[std::size_t(b)] + sb.op(b).latency);
+}
+
+TEST(PairwiseBounds, Figure4SuperblockBoundTracksCrossover)
+{
+    // Below the 0.5 crossover the PW bound evaluates the (3,4)
+    // point; above it the (2,5) point.
+    {
+        PairFixture f(paperFigure4(0.2));
+        PairwiseBounds pw(f.ctx, f.machine, f.earlyRC, f.lateRCs);
+        EXPECT_NEAR(pw.superblockWct(), 0.2 * 4 + 0.8 * 5, 1e-9);
+    }
+    {
+        PairFixture f(paperFigure4(0.8));
+        PairwiseBounds pw(f.ctx, f.machine, f.earlyRC, f.lateRCs);
+        EXPECT_NEAR(pw.superblockWct(), 0.8 * 3 + 0.2 * 6, 1e-9);
+    }
+}
+
+} // namespace
+} // namespace balance

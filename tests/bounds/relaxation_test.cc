@@ -1,0 +1,139 @@
+#include "bounds/relaxation.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(RimJainCore, NoConflictNoTardiness)
+{
+    MachineModel m = MachineModel::gp2();
+    std::vector<RelaxItem> items = {
+        {0, OpClass::IntAlu, 0, 0},
+        {1, OpClass::IntAlu, 0, 0},
+        {2, OpClass::IntAlu, 1, 1},
+    };
+    EXPECT_LE(rjMaxTardiness(m, items), 0);
+}
+
+TEST(RimJainCore, WidthForcesTardiness)
+{
+    MachineModel m = MachineModel::gp2();
+    // Three ops all due in cycle 0 on a 2-wide machine: one slips.
+    std::vector<RelaxItem> items = {
+        {0, OpClass::IntAlu, 0, 0},
+        {1, OpClass::IntAlu, 0, 0},
+        {2, OpClass::IntAlu, 0, 0},
+    };
+    EXPECT_EQ(rjMaxTardiness(m, items), 1);
+}
+
+TEST(RimJainCore, EarlyWindowsRespected)
+{
+    MachineModel m = MachineModel::gp1();
+    // The early time pushes the single op past its deadline.
+    std::vector<RelaxItem> items = {{0, OpClass::IntAlu, 5, 3}};
+    EXPECT_EQ(rjMaxTardiness(m, items), 2);
+}
+
+TEST(RimJainCore, PoolsDoNotInterfere)
+{
+    MachineModel m = MachineModel::fs4();
+    std::vector<RelaxItem> items = {
+        {0, OpClass::IntAlu, 0, 0},
+        {1, OpClass::Memory, 0, 0},
+        {2, OpClass::FloatAlu, 0, 0},
+        {3, OpClass::Branch, 0, 0},
+    };
+    EXPECT_LE(rjMaxTardiness(m, items), 0);
+}
+
+TEST(RimJainCore, SamePoolSerializes)
+{
+    MachineModel m = MachineModel::fs4();
+    std::vector<RelaxItem> items = {
+        {0, OpClass::Memory, 0, 1},
+        {1, OpClass::Memory, 0, 1},
+        {2, OpClass::Memory, 0, 1},
+    };
+    EXPECT_EQ(rjMaxTardiness(m, items), 1); // third lands in cycle 2
+}
+
+TEST(RimJainCore, CountsTrips)
+{
+    MachineModel m = MachineModel::gp1();
+    std::vector<RelaxItem> items = {
+        {0, OpClass::IntAlu, 0, 0},
+        {1, OpClass::IntAlu, 0, 1},
+    };
+    BoundCounters counters;
+    rjMaxTardiness(m, items, &counters);
+    EXPECT_GT(counters.trips, 0);
+}
+
+TEST(Dag, FromSuperblockMirrorsAdjacency)
+{
+    SuperblockBuilder b("t");
+    OpId x = b.addOp(OpClass::IntAlu, 1);
+    OpId y = b.addOp(OpClass::Memory, 2);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(x, y);
+    b.addEdge(y, f);
+    Superblock sb = b.build();
+
+    Dag dag = Dag::fromSuperblock(sb);
+    ASSERT_EQ(dag.n(), 3);
+    EXPECT_EQ(dag.cls[0], OpClass::IntAlu);
+    EXPECT_EQ(dag.cls[2], OpClass::Branch);
+    ASSERT_EQ(dag.preds[2].size(), 1u);
+    EXPECT_EQ(dag.preds[2][0].op, 1);
+    EXPECT_EQ(dag.preds[2][0].latency, 2);
+}
+
+TEST(Dag, ReversedClosureFlipsEdges)
+{
+    SuperblockBuilder b("t");
+    OpId x = b.addOp(OpClass::IntAlu, 1);
+    OpId y = b.addOp(OpClass::Memory, 2);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(x, y);
+    b.addEdge(y, f);
+    Superblock sb = b.build();
+
+    DynBitset nodes(3);
+    nodes.setAll();
+    std::vector<OpId> newToOld;
+    Dag rev = Dag::reversedClosure(sb, nodes, &newToOld);
+    ASSERT_EQ(rev.n(), 3);
+    // New node 0 is the original branch (last op).
+    EXPECT_EQ(newToOld[0], f);
+    EXPECT_EQ(newToOld[2], x);
+    EXPECT_EQ(rev.cls[0], OpClass::Branch);
+    // Reversed edge f -> y keeps latency 2.
+    ASSERT_EQ(rev.preds[1].size(), 1u);
+    EXPECT_EQ(rev.preds[1][0].op, 0);
+    EXPECT_EQ(rev.preds[1][0].latency, 2);
+}
+
+TEST(Dag, HeightToMatchesForward)
+{
+    SuperblockBuilder b("t");
+    OpId x = b.addOp(OpClass::IntAlu, 1);
+    OpId y = b.addOp(OpClass::IntAlu, 3);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(x, y);
+    b.addEdge(y, f);
+    Superblock sb = b.build();
+    Dag dag = Dag::fromSuperblock(sb);
+    auto height = dagHeightTo(dag, 2);
+    EXPECT_EQ(height[2], 0);
+    EXPECT_EQ(height[1], 3);
+    EXPECT_EQ(height[0], 4);
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,71 @@
+/**
+ * Integration: the whole compiler-side pipeline — synthetic CFG,
+ * liveness, trace selection, superblock formation — feeding the
+ * bounds and every scheduler, with the sandwich property intact.
+ * This is the second, structurally independent workload population
+ * (the first being workload/generator's direct DAG synthesis).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg_gen.hh"
+#include "cfg/superblock_form.hh"
+#include "eval/experiment.hh"
+
+namespace balance
+{
+namespace
+{
+
+class CfgPipeline : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CfgPipeline, BoundsAndSchedulersAgree)
+{
+    Rng rng(GetParam());
+    HeuristicSet set = HeuristicSet::paperSet(/*withBest=*/false);
+    for (int trial = 0; trial < 5; ++trial) {
+        Rng child = rng.fork();
+        CfgProgram cfg = generateCfg(child);
+        auto sbs = formSuperblocks(cfg, "pipe");
+        for (const Superblock &sb : sbs) {
+            for (const MachineModel &m :
+                 {MachineModel::gp2(), MachineModel::fs4()}) {
+                // evaluateSuperblock validates every schedule and
+                // panics if any heuristic beats a bound.
+                SuperblockEval eval =
+                    evaluateSuperblock(sb, m, set);
+                EXPECT_GT(eval.tightest, 0.0) << sb.name();
+            }
+        }
+    }
+}
+
+TEST_P(CfgPipeline, GeneratedCfgsValidate)
+{
+    Rng rng(GetParam() + 1000);
+    for (int trial = 0; trial < 10; ++trial) {
+        Rng child = rng.fork();
+        CfgProgram cfg = generateCfg(child);
+        EXPECT_NO_FATAL_FAILURE(cfg.validate());
+        EXPECT_GE(cfg.numBlocks(), 4);
+    }
+}
+
+TEST_P(CfgPipeline, HotPathDominatesFirstTrace)
+{
+    // The first trace seeds at the most frequent block, which in an
+    // acyclic single-entry region is the entry.
+    Rng rng(GetParam() + 2000);
+    CfgProgram cfg = generateCfg(rng);
+    auto traces = selectTraces(cfg);
+    ASSERT_FALSE(traces.empty());
+    EXPECT_EQ(traces[0].blocks.front(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CfgPipeline,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,69 @@
+/**
+ * Oracle test over the CFG pipeline: on small synthetic regions,
+ * every bound stays at or below the exact optimum of the formed
+ * superblocks and every heuristic stays at or above it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg_gen.hh"
+#include "cfg/superblock_form.hh"
+#include "eval/experiment.hh"
+#include "sched/optimal.hh"
+
+namespace balance
+{
+namespace
+{
+
+class CfgVsOptimal : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CfgVsOptimal, Sandwich)
+{
+    Rng rng(GetParam());
+    CfgGenParams params;
+    params.minBlocks = 3;
+    params.maxBlocks = 6;
+    params.instrsMu = 0.8;
+    params.instrsSigma = 0.4;
+
+    HeuristicSet set = HeuristicSet::paperSet(/*withBest=*/false);
+    int proven = 0;
+    for (int trial = 0; trial < 12; ++trial) {
+        Rng child = rng.fork();
+        CfgProgram cfg = generateCfg(child, params);
+        for (const Superblock &sb : formSuperblocks(cfg, "o")) {
+            if (sb.numOps() > 14)
+                continue;
+            GraphContext ctx(sb);
+            for (const MachineModel &m :
+                 {MachineModel::gp2(), MachineModel::fs4()}) {
+                WctBounds bounds = computeWctBounds(ctx, m);
+                OptimalOptions oo;
+                oo.maxNodes = 300000;
+                OptimalResult opt = optimalSchedule(ctx, m, oo);
+                if (!opt.proven)
+                    continue;
+                ++proven;
+                opt.schedule.validate(sb, m);
+                EXPECT_LE(bounds.tightest(), opt.wct + 1e-6)
+                    << sb.name() << " on " << m.name();
+                for (const auto &sched : set.primaries) {
+                    Schedule s = sched->run(ctx, m);
+                    s.validate(sb, m);
+                    EXPECT_GE(s.wct(sb), opt.wct - 1e-6)
+                        << sched->name() << " on " << sb.name();
+                }
+            }
+        }
+    }
+    EXPECT_GE(proven, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CfgVsOptimal,
+                         ::testing::Values(21u, 22u, 23u));
+
+} // namespace
+} // namespace balance

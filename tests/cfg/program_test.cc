@@ -1,0 +1,116 @@
+#include "cfg/program.hh"
+
+#include <gtest/gtest.h>
+
+namespace balance
+{
+namespace
+{
+
+/**
+ * Diamond:  b0 -cond-> b2 (taken, p) / b1 (fallthrough), both to b3.
+ */
+CfgProgram
+diamond(double p)
+{
+    CfgProgram cfg;
+    CfgBlock b0;
+    b0.name = "b0";
+    CfgInstr def;
+    def.dest = 0;
+    b0.instrs.push_back(def);
+    b0.branchSrcs = {0};
+    b0.takenTarget = 2;
+    b0.takenProb = p;
+    b0.fallthrough = 1;
+    b0.frequency = 100.0;
+    cfg.addBlock(b0);
+
+    CfgBlock b1;
+    b1.name = "b1";
+    CfgInstr useIt;
+    useIt.srcs = {0};
+    useIt.dest = 1;
+    b1.instrs.push_back(useIt);
+    b1.fallthrough = 3;
+    b1.frequency = 100.0 * (1.0 - p);
+    cfg.addBlock(b1);
+
+    CfgBlock b2;
+    b2.name = "b2";
+    CfgInstr other;
+    other.dest = 1;
+    b2.instrs.push_back(other);
+    b2.fallthrough = 3;
+    b2.frequency = 100.0 * p;
+    cfg.addBlock(b2);
+
+    CfgBlock b3;
+    b3.name = "b3";
+    CfgInstr sink;
+    sink.srcs = {1};
+    sink.isStore = true;
+    sink.cls = OpClass::Memory;
+    b3.instrs.push_back(sink);
+    b3.frequency = 100.0;
+    cfg.addBlock(b3);
+    return cfg;
+}
+
+TEST(CfgProgram, DiamondValidates)
+{
+    CfgProgram cfg = diamond(0.3);
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+    EXPECT_EQ(cfg.numBlocks(), 4);
+    EXPECT_EQ(cfg.numVRegs(), 2);
+}
+
+TEST(CfgProgram, Predecessors)
+{
+    CfgProgram cfg = diamond(0.3);
+    auto preds = cfg.predecessors();
+    EXPECT_TRUE(preds[0].empty());
+    ASSERT_EQ(preds[3].size(), 2u);
+    EXPECT_EQ(preds[1], std::vector<int>{0});
+}
+
+TEST(CfgProgram, RejectsBackwardEdge)
+{
+    CfgProgram cfg;
+    CfgBlock b0;
+    b0.frequency = 1.0;
+    b0.fallthrough = 1;
+    cfg.addBlock(b0);
+    CfgBlock b1;
+    b1.frequency = 1.0;
+    b1.takenTarget = 0; // backward
+    b1.takenProb = 0.5;
+    cfg.addBlock(b1);
+    EXPECT_DEATH(cfg.validate(), "forward");
+}
+
+TEST(CfgProgram, RejectsInconsistentProfile)
+{
+    CfgProgram cfg = diamond(0.3);
+    cfg.blockMut(1).frequency = 5.0; // should be 70
+    EXPECT_DEATH(cfg.validate(), "inconsistent");
+}
+
+TEST(CfgProgram, RegionExitingTakenEdgeIsLegal)
+{
+    // takenTarget == noBlock with a nonzero probability models a
+    // taken edge that leaves the region; its mass flows nowhere.
+    CfgProgram cfg;
+    CfgBlock b0;
+    b0.frequency = 10.0;
+    b0.takenProb = 0.4;
+    b0.fallthrough = 1;
+    cfg.addBlock(b0);
+    CfgBlock b1;
+    b1.frequency = 6.0;
+    cfg.addBlock(b1);
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,116 @@
+#include "cfg/trace.hh"
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg_gen.hh"
+
+namespace balance
+{
+namespace
+{
+
+/** Chain with biased side exits: b0 -> b1 -> b2 -> b3. */
+CfgProgram
+chain(double sideProb)
+{
+    CfgProgram cfg;
+    for (int i = 0; i < 4; ++i) {
+        CfgBlock b;
+        b.name = "b" + std::to_string(i);
+        CfgInstr instr;
+        instr.dest = i;
+        b.instrs.push_back(instr);
+        if (i < 3) {
+            b.fallthrough = i + 1;
+            b.takenTarget = noBlock; // leaves the region
+            b.takenProb = sideProb;
+        }
+        cfg.addBlock(b);
+    }
+    double f = 100.0;
+    for (int i = 0; i < 4; ++i) {
+        cfg.blockMut(i).frequency = f;
+        f *= 1.0 - sideProb;
+    }
+    cfg.validate();
+    return cfg;
+}
+
+TEST(TraceSelect, FollowsLikelyChain)
+{
+    CfgProgram cfg = chain(0.1);
+    auto traces = selectTraces(cfg);
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_EQ(traces[0].blocks,
+              (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TraceSelect, StopsAtUnlikelyEdge)
+{
+    CfgProgram cfg = chain(0.6); // continuation probability 0.4
+    TraceOptions opts;
+    opts.minEdgeProb = 0.5;
+    auto traces = selectTraces(cfg, opts);
+    // Every block seeds its own trace: four singleton traces.
+    ASSERT_EQ(traces.size(), 4u);
+    for (const Trace &t : traces)
+        EXPECT_EQ(t.blocks.size(), 1u);
+}
+
+TEST(TraceSelect, MaxBlocksCap)
+{
+    CfgProgram cfg = chain(0.05);
+    TraceOptions opts;
+    opts.maxBlocks = 2;
+    auto traces = selectTraces(cfg, opts);
+    ASSERT_GE(traces.size(), 2u);
+    EXPECT_EQ(traces[0].blocks.size(), 2u);
+}
+
+TEST(TraceSelect, SeedFrequencyThresholdSkipsColdBlocks)
+{
+    CfgProgram cfg = chain(0.5);
+    TraceOptions opts;
+    opts.minSeedFrequency = 30.0; // blocks 2 (25) and 3 (12.5) cold
+    opts.minEdgeProb = 0.9;       // no growth
+    auto traces = selectTraces(cfg, opts);
+    EXPECT_EQ(traces.size(), 2u);
+}
+
+TEST(TraceSelect, EveryBlockInAtMostOneTrace)
+{
+    Rng rng(777);
+    for (int trial = 0; trial < 10; ++trial) {
+        Rng child = rng.fork();
+        CfgProgram cfg = generateCfg(child);
+        auto traces = selectTraces(cfg);
+        std::vector<int> count(std::size_t(cfg.numBlocks()), 0);
+        for (const Trace &t : traces) {
+            for (int b : t.blocks)
+                ++count[std::size_t(b)];
+        }
+        for (int c : count)
+            EXPECT_LE(c, 1);
+    }
+}
+
+TEST(TraceSelect, TracesFollowCfgEdges)
+{
+    Rng rng(778);
+    for (int trial = 0; trial < 10; ++trial) {
+        Rng child = rng.fork();
+        CfgProgram cfg = generateCfg(child);
+        for (const Trace &t : selectTraces(cfg)) {
+            for (std::size_t i = 1; i < t.blocks.size(); ++i) {
+                const CfgBlock &prev =
+                    cfg.block(t.blocks[i - 1]);
+                bool edge = prev.takenTarget == t.blocks[i] ||
+                            prev.fallthrough == t.blocks[i];
+                EXPECT_TRUE(edge);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,168 @@
+#include "core/balance_scheduler.hh"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hh"
+#include "workload/paper_figures.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(Help, FindsFigure1Optimum)
+{
+    Superblock sb = paperFigure1(0.2);
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    Schedule s = HelpScheduler().run(ctx, m);
+    s.validate(sb, m);
+    EXPECT_EQ(s.issueOf(sb.branches()[0]), 2);
+    EXPECT_EQ(s.issueOf(sb.branches()[1]), 8);
+}
+
+TEST(Balance, FindsFigure2Optimum)
+{
+    // Observation 1: the need-aware decision issues {0-or-1-or-2, 4}
+    // in cycle 0 and reaches (2, 3).
+    Superblock sb = paperFigure2(0.4);
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    Schedule s = BalanceScheduler().run(ctx, m);
+    s.validate(sb, m);
+    EXPECT_EQ(s.issueOf(sb.branches()[0]), 2);
+    EXPECT_EQ(s.issueOf(sb.branches()[1]), 3);
+}
+
+TEST(Balance, FindsFigure3Optimum)
+{
+    // Observation 2: LateRC reveals that op 4 must issue in cycle 0.
+    Superblock sb = paperFigure3(0.4);
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    Schedule s = BalanceScheduler().run(ctx, m);
+    s.validate(sb, m);
+    EXPECT_EQ(s.issueOf(sb.branches()[0]), 2);
+    EXPECT_EQ(s.issueOf(sb.branches()[1]), 5);
+}
+
+TEST(Balance, Figure4TradeoffFollowsProbability)
+{
+    // Observation 3: which exit yields depends on the probability.
+    MachineModel m = MachineModel::gp2();
+    {
+        Superblock sb = paperFigure4(0.3);
+        GraphContext ctx(sb);
+        Schedule s = BalanceScheduler().run(ctx, m);
+        s.validate(sb, m);
+        EXPECT_NEAR(s.wct(sb), 0.3 * 4 + 0.7 * 5, 1e-9);
+    }
+    {
+        Superblock sb = paperFigure4(0.8);
+        GraphContext ctx(sb);
+        Schedule s = BalanceScheduler().run(ctx, m);
+        s.validate(sb, m);
+        EXPECT_NEAR(s.wct(sb), 0.8 * 3 + 0.2 * 6, 1e-9);
+    }
+}
+
+TEST(Balance, AllAblationsProduceValidSchedules)
+{
+    Rng rng(808);
+    GeneratorParams params;
+    for (int trial = 0; trial < 8; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params,
+                                           "a" + std::to_string(trial));
+        GraphContext ctx(sb);
+        for (const MachineModel &m :
+             {MachineModel::gp1(), MachineModel::gp2(),
+              MachineModel::fs6()}) {
+            for (int mask = 0; mask < 32; ++mask) {
+                BalanceConfig cfg;
+                cfg.useRcBounds = mask & 1;
+                cfg.useHlpDel = mask & 2;
+                cfg.useTradeoff = (mask & 4) && cfg.useRcBounds;
+                cfg.useSelection = mask & 8;
+                cfg.updatePerOp = mask & 16;
+                BalanceScheduler sched(cfg, "ablate");
+                Schedule s = sched.run(ctx, m);
+                s.validate(sb, m);
+            }
+        }
+    }
+}
+
+TEST(Balance, LightUpdateMatchesFullRecompute)
+{
+    // The light update is an optimization, not an approximation:
+    // schedules must be identical with and without it.
+    Rng rng(606);
+    GeneratorParams params;
+    for (int trial = 0; trial < 12; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params,
+                                           "l" + std::to_string(trial));
+        GraphContext ctx(sb);
+        for (const MachineModel &m :
+             {MachineModel::gp2(), MachineModel::fs4()}) {
+            BalanceConfig lightCfg;
+            BalanceConfig fullCfg;
+            fullCfg.useLightUpdate = false;
+            Schedule light =
+                BalanceScheduler(lightCfg, "light").run(ctx, m);
+            Schedule full =
+                BalanceScheduler(fullCfg, "full").run(ctx, m);
+            for (OpId v = 0; v < sb.numOps(); ++v) {
+                ASSERT_EQ(light.issueOf(v), full.issueOf(v))
+                    << sb.name() << " op " << v << " on " << m.name();
+            }
+        }
+    }
+}
+
+TEST(Balance, RunWithToolkitMatchesSelfComputed)
+{
+    Superblock sb = paperFigure4(0.3);
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    BalanceScheduler sched;
+    BoundsToolkit toolkit(ctx, m, sched.config().bounds);
+    Schedule a = sched.run(ctx, m);
+    Schedule b = sched.runWithToolkit(ctx, m, toolkit);
+    for (OpId v = 0; v < sb.numOps(); ++v)
+        EXPECT_EQ(a.issueOf(v), b.issueOf(v));
+}
+
+TEST(Balance, StatsAccumulate)
+{
+    Superblock sb = paperFigure1(0.3);
+    GraphContext ctx(sb);
+    SchedulerStats stats;
+    ScheduleRequest req;
+    req.stats = &stats;
+    BalanceScheduler().run(ctx, MachineModel::gp2(), req);
+    EXPECT_EQ(stats.decisions, sb.numOps());
+    EXPECT_GT(stats.loopTrips, 0);
+}
+
+TEST(Balance, NoProfileSteeringStillValid)
+{
+    Rng rng(404);
+    GeneratorParams params;
+    for (int trial = 0; trial < 6; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params,
+                                           "n" + std::to_string(trial));
+        GraphContext ctx(sb);
+        ScheduleRequest req;
+        req.branchWeights.assign(std::size_t(sb.numBranches()), 1.0);
+        req.branchWeights.back() = 1000.0;
+        Schedule s =
+            BalanceScheduler().run(ctx, MachineModel::fs4(), req);
+        s.validate(sb, MachineModel::fs4());
+    }
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,97 @@
+#include "core/op_pick.hh"
+
+#include <gtest/gtest.h>
+
+#include "bounds/branch_bounds.hh"
+#include "workload/paper_figures.hh"
+
+namespace balance
+{
+namespace
+{
+
+/** DC-based dynamics for the Figure 2 fixture. */
+struct PickFixture
+{
+    Superblock sb;
+    GraphContext ctx;
+    MachineModel machine;
+    std::vector<std::vector<int>> lateDCs;
+    std::vector<std::unique_ptr<BranchDynamics>> dyn;
+    std::vector<double> weights;
+
+    explicit PickFixture(double sideProb)
+        : sb(paperFigure2(sideProb)), ctx(sb),
+          machine(MachineModel::gp2())
+    {
+        for (int bi = 0; bi < sb.numBranches(); ++bi) {
+            OpId b = sb.branches()[std::size_t(bi)];
+            lateDCs.push_back(
+                computeLateDC(sb, b, ctx.earlyDC()[std::size_t(b)]));
+            weights.push_back(sb.exitProb(b));
+        }
+        for (int bi = 0; bi < sb.numBranches(); ++bi) {
+            dyn.push_back(std::make_unique<BranchDynamics>(
+                ctx, machine, bi, ctx.earlyDC(),
+                lateDCs[std::size_t(bi)]));
+        }
+    }
+
+    void
+    update(const SchedState &state)
+    {
+        for (auto &d : dyn)
+            d->fullUpdate(state, nullptr);
+    }
+};
+
+TEST(OpPick, PrefersOpHelpingHeavierBranch)
+{
+    PickFixture f(0.3); // final exit carries 0.7
+    SchedState state(f.sb, f.machine);
+    f.update(state);
+    // Op 4 is dependence-critical for the heavy final exit; the
+    // block-1 feeders only help the light side exit (once tight).
+    OpId pick = pickBestOp(state, f.dyn, f.weights, {0, 4});
+    EXPECT_EQ(pick, 4);
+}
+
+TEST(OpPick, HelpedCountBreaksTies)
+{
+    PickFixture f(0.5);
+    SchedState state(f.sb, f.machine);
+    f.update(state);
+    // With equal weights, op 4 helps one branch via dependence; op 0
+    // helps none yet (no tight ERC): op 4 wins on priority.
+    OpId pick = pickBestOp(state, f.dyn, f.weights, {0, 1, 4});
+    EXPECT_EQ(pick, 4);
+}
+
+TEST(OpPick, ProgramOrderIsFinalTieBreak)
+{
+    PickFixture f(0.5);
+    SchedState state(f.sb, f.machine);
+    f.update(state);
+    // Ops 0, 1, 2 are symmetric in every respect.
+    OpId pick = pickBestOp(state, f.dyn, f.weights, {1, 2, 0});
+    EXPECT_EQ(pick, 0);
+}
+
+TEST(OpPick, HlpDelPenalizesWasters)
+{
+    PickFixture f(0.6); // heavy side exit
+    SchedState state(f.sb, f.machine);
+    state.scheduleNow(4); // tighten the side exit's int ERC
+    f.update(state);
+    // Op 5 is not ready yet; candidates are the feeders and nothing
+    // else, so build an artificial comparison: op 0 (helps side) vs
+    // op 1 (also helps side). Both help; with HlpDel nothing
+    // changes between them.
+    OpPickConfig cfg;
+    cfg.useHlpDel = true;
+    OpId pick = pickBestOp(state, f.dyn, f.weights, {0, 1}, cfg);
+    EXPECT_EQ(pick, 0);
+}
+
+} // namespace
+} // namespace balance

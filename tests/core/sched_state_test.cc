@@ -1,0 +1,112 @@
+#include "core/sched_state.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+
+namespace balance
+{
+namespace
+{
+
+Superblock
+chainSb()
+{
+    SuperblockBuilder b("chain");
+    OpId x = b.addOp(OpClass::IntAlu, 1);
+    OpId y = b.addOp(OpClass::Memory, 2);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(x, y);
+    b.addEdge(y, f);
+    return b.build();
+}
+
+TEST(SchedState, InitialReadiness)
+{
+    Superblock sb = chainSb();
+    MachineModel machine = MachineModel::gp2();
+    SchedState state(sb, machine);
+    EXPECT_EQ(state.cycle(), 0);
+    EXPECT_TRUE(state.canIssueNow(0));
+    EXPECT_FALSE(state.canIssueNow(1)); // depends on op 0
+    EXPECT_FALSE(state.canIssueNow(2));
+    auto ready = state.depReadyOps();
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0], 0);
+}
+
+TEST(SchedState, ScheduleAdvancesReadiness)
+{
+    Superblock sb = chainSb();
+    MachineModel machine = MachineModel::gp2();
+    SchedState state(sb, machine);
+    state.scheduleNow(0);
+    EXPECT_TRUE(state.isScheduled(0));
+    EXPECT_EQ(state.issueOf(0), 0);
+    EXPECT_FALSE(state.isDepReady(1)); // latency 1 -> next cycle
+    state.advanceCycle();
+    EXPECT_TRUE(state.canIssueNow(1));
+    state.scheduleNow(1);
+    // Load latency 2: branch ready at cycle 3.
+    state.advanceCycle();
+    EXPECT_FALSE(state.isDepReady(2));
+    state.advanceCycle();
+    EXPECT_TRUE(state.canIssueNow(2));
+    state.scheduleNow(2);
+    EXPECT_TRUE(state.done());
+    Schedule s = state.toSchedule();
+    s.validate(sb, MachineModel::gp2());
+}
+
+TEST(SchedState, ResourceLimitsGateIssue)
+{
+    SuperblockBuilder b("wide");
+    b.addOp(OpClass::IntAlu, 1);
+    b.addOp(OpClass::IntAlu, 1);
+    b.addBranch(1.0);
+    Superblock sb = b.build(true);
+    MachineModel machine = MachineModel::gp1();
+    SchedState state(sb, machine);
+    EXPECT_TRUE(state.canIssueNow(0));
+    state.scheduleNow(0);
+    EXPECT_TRUE(state.isDepReady(1));
+    EXPECT_FALSE(state.canIssueNow(1)); // GP1 slot used
+    EXPECT_FALSE(state.anyIssuableNow());
+}
+
+TEST(SchedState, AdvanceReportsLostSlots)
+{
+    SuperblockBuilder b("slots");
+    b.addOp(OpClass::IntAlu, 1);
+    b.addBranch(1.0);
+    Superblock sb = b.build(true);
+    MachineModel machine = MachineModel::fs6();
+    SchedState state(sb, machine);
+    state.scheduleNow(0); // one int slot of two used
+    auto lost = state.advanceCycle();
+    ASSERT_EQ(lost.size(), 4u);
+    EXPECT_EQ(lost[0], 1); // int pool lost one
+    EXPECT_EQ(lost[1], 2); // memory pool fully unused
+    EXPECT_EQ(lost[3], 1); // branch pool unused
+}
+
+TEST(SchedState, FreeNowTracksCurrentCycle)
+{
+    SuperblockBuilder b("free");
+    b.addOp(OpClass::IntAlu, 1);
+    b.addOp(OpClass::IntAlu, 1);
+    b.addBranch(1.0);
+    Superblock sb = b.build(true);
+    MachineModel machine = MachineModel::gp2();
+    SchedState state(sb, machine);
+    EXPECT_EQ(state.freeNow(0), 2);
+    state.scheduleNow(0);
+    EXPECT_EQ(state.freeNow(0), 1);
+    state.scheduleNow(1);
+    EXPECT_EQ(state.freeNow(0), 0);
+    state.advanceCycle();
+    EXPECT_EQ(state.freeNow(0), 2);
+}
+
+} // namespace
+} // namespace balance

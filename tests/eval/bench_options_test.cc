@@ -1,0 +1,62 @@
+#include "eval/bench_options.hh"
+
+#include <gtest/gtest.h>
+
+namespace balance
+{
+namespace
+{
+
+BenchOptions
+parse(std::vector<const char *> args, double defaultScale = 1.0)
+{
+    args.insert(args.begin(), "bench");
+    return parseBenchOptions(int(args.size()),
+                             const_cast<char **>(args.data()),
+                             defaultScale);
+}
+
+TEST(BenchOptions, Defaults)
+{
+    BenchOptions o = parse({}, 0.25);
+    EXPECT_DOUBLE_EQ(o.suite.scale, 0.25);
+    EXPECT_EQ(o.machines.size(), 6u);
+}
+
+TEST(BenchOptions, ScaleAndSeed)
+{
+    BenchOptions o = parse({"--scale", "0.5", "--seed", "99"});
+    EXPECT_DOUBLE_EQ(o.suite.scale, 0.5);
+    EXPECT_EQ(o.suite.seed, 99u);
+}
+
+TEST(BenchOptions, ConfigRepeatable)
+{
+    BenchOptions o = parse({"--config", "GP1", "--config", "FS8"});
+    ASSERT_EQ(o.machines.size(), 2u);
+    EXPECT_EQ(o.machines[0].name(), "GP1");
+    EXPECT_EQ(o.machines[1].name(), "FS8");
+}
+
+TEST(BenchOptions, BuildsScaledSuite)
+{
+    BenchOptions o = parse({"--scale", "0.004"});
+    auto suite = o.buildSuitePopulation();
+    EXPECT_EQ(suite.size(), 8u);
+    EXPECT_GT(suiteSize(suite), 0);
+    EXPECT_LT(suiteSize(suite), 100);
+}
+
+TEST(BenchOptions, BadScaleExits)
+{
+    EXPECT_DEATH({ auto o = parse({"--scale", "2.0"}); (void)o; },
+                 ".*");
+}
+
+TEST(BenchOptions, UnknownOptionExits)
+{
+    EXPECT_DEATH({ auto o = parse({"--bogus"}); (void)o; }, ".*");
+}
+
+} // namespace
+} // namespace balance

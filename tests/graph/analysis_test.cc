@@ -1,0 +1,111 @@
+#include "graph/analysis.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+
+namespace balance
+{
+namespace
+{
+
+/**
+ * Diamond with a side exit:
+ *   0 -> 1 -> 3(br side)
+ *   0 -> 2 -(2)-> 4 -> 5(br final)
+ */
+Superblock
+makeDiamond()
+{
+    SuperblockBuilder b("diamond");
+    OpId o0 = b.addOp(OpClass::IntAlu, 1);
+    OpId o1 = b.addOp(OpClass::IntAlu, 1);
+    OpId o2 = b.addOp(OpClass::IntAlu, 2);
+    OpId br3 = b.addBranch(0.2);
+    OpId o4 = b.addOp(OpClass::IntAlu, 1);
+    OpId br5 = b.addBranch(0.8);
+    b.addEdge(o0, o1);
+    b.addEdge(o0, o2);
+    b.addEdge(o1, br3);
+    b.addEdge(o2, o4); // latency 2
+    b.addEdge(o4, br5);
+    return b.build();
+}
+
+TEST(Analysis, EarlyDC)
+{
+    Superblock sb = makeDiamond();
+    auto early = computeEarlyDC(sb);
+    EXPECT_EQ(early[0], 0);
+    EXPECT_EQ(early[1], 1);
+    EXPECT_EQ(early[2], 1);
+    EXPECT_EQ(early[3], 2);
+    EXPECT_EQ(early[4], 3); // 1 + latency 2
+    EXPECT_EQ(early[5], 4);
+}
+
+TEST(Analysis, HeightToSink)
+{
+    Superblock sb = makeDiamond();
+    auto height = computeHeightTo(sb, 5);
+    EXPECT_EQ(height[5], 0);
+    EXPECT_EQ(height[4], 1);
+    EXPECT_EQ(height[2], 3);
+    EXPECT_EQ(height[3], 1); // control edge br3 -> br5
+    EXPECT_EQ(height[0], 4);
+    // op 1 reaches br5 via br3's control edge: 1 -> br3 -> br5.
+    EXPECT_EQ(height[1], 2);
+}
+
+TEST(Analysis, HeightToSideBranch)
+{
+    Superblock sb = makeDiamond();
+    auto height = computeHeightTo(sb, 3);
+    EXPECT_EQ(height[3], 0);
+    EXPECT_EQ(height[1], 1);
+    EXPECT_EQ(height[0], 2);
+    EXPECT_EQ(height[2], -1); // not a predecessor of br3
+    EXPECT_EQ(height[4], -1);
+    EXPECT_EQ(height[5], -1);
+}
+
+TEST(Analysis, LateDC)
+{
+    Superblock sb = makeDiamond();
+    auto late = computeLateDC(sb, 5, 4);
+    EXPECT_EQ(late[5], 4);
+    EXPECT_EQ(late[4], 3);
+    EXPECT_EQ(late[2], 1);
+    EXPECT_EQ(late[0], 0);
+    // Everything precedes branch 5 here, so nothing unconstrained.
+    for (OpId v = 0; v < sb.numOps(); ++v)
+        EXPECT_NE(late[std::size_t(v)], lateUnconstrained);
+}
+
+TEST(Analysis, PredSets)
+{
+    Superblock sb = makeDiamond();
+    PredSets preds(sb);
+    EXPECT_TRUE(preds.isPred(0, 5));
+    EXPECT_TRUE(preds.isPred(3, 5)); // via control edge
+    EXPECT_TRUE(preds.isPred(0, 3));
+    EXPECT_FALSE(preds.isPred(2, 3));
+    EXPECT_FALSE(preds.isPred(5, 5)); // strict
+    DynBitset c = preds.closure(3);
+    EXPECT_TRUE(c.test(3));
+    EXPECT_EQ(c.count(), 3u); // {0, 1} plus branch 3 itself
+}
+
+TEST(Analysis, GraphContextBundles)
+{
+    Superblock sb = makeDiamond();
+    GraphContext ctx(sb);
+    EXPECT_EQ(ctx.criticalPath(), 4);
+    EXPECT_EQ(ctx.earlyDC()[5], 4);
+    EXPECT_EQ(ctx.heightToBranch(0)[0], 2);
+    EXPECT_EQ(ctx.heightToBranch(1)[0], 4);
+    EXPECT_TRUE(ctx.predSets().isPred(0, 5));
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "bounds/branch_bounds.hh"
+#include "graph/builder.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/priorities.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(NonPipelined, ExpandsIntoChain)
+{
+    SuperblockBuilder b("np");
+    OpId div = b.addNonPipelinedOp(OpClass::FloatAlu, 4, 9, "div");
+    OpId use = b.addOp(OpClass::IntAlu, 1, "use");
+    OpId f = b.addBranch(1.0);
+    b.addEdge(div, use);
+    b.addEdge(use, f);
+    Superblock sb = b.build();
+
+    // Four pseudo-ops plus the consumer and the branch.
+    EXPECT_EQ(sb.numOps(), 6);
+    EXPECT_EQ(div, 3); // last pseudo-op
+    // Total issue-to-result distance is preserved: 3 chain edges
+    // plus the tail latency of 6 equals the original 9.
+    auto early = computeEarlyDC(sb);
+    EXPECT_EQ(early[std::size_t(use)], 9);
+    EXPECT_EQ(sb.op(0).name, "div.0");
+    EXPECT_EQ(sb.op(3).name, "div.3");
+}
+
+TEST(NonPipelined, SingleStageDegeneratesToAddOp)
+{
+    SuperblockBuilder b("np1");
+    OpId op = b.addNonPipelinedOp(OpClass::Memory, 1, 2, "ld");
+    OpId f = b.addBranch(1.0);
+    b.addEdge(op, f);
+    Superblock sb = b.build();
+    EXPECT_EQ(sb.numOps(), 2);
+    EXPECT_EQ(sb.op(0).latency, 2);
+    EXPECT_EQ(sb.op(0).name, "ld");
+}
+
+TEST(NonPipelined, OccupancySerializesInBounds)
+{
+    // Two occupancy-3 float ops on FS4 (one float unit): the
+    // pseudo-ops demand 6 float slots, so the RJ bound sees at
+    // least 6 cycles of float work before the exit.
+    SuperblockBuilder b("np2");
+    OpId a = b.addNonPipelinedOp(OpClass::FloatAlu, 3, 3, "a");
+    OpId c = b.addNonPipelinedOp(OpClass::FloatAlu, 3, 3, "c");
+    OpId f = b.addBranch(1.0);
+    b.addEdge(a, f);
+    b.addEdge(c, f);
+    Superblock sb = b.build();
+
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    auto rj = rjEarly(ctx, m);
+    // Dependence alone allows the exit at cycle 3; the six float
+    // pseudo-ops on one unit force cycle 6.
+    EXPECT_EQ(ctx.earlyDC()[std::size_t(f)], 3);
+    EXPECT_GE(rj[0], 6);
+}
+
+TEST(NonPipelined, SchedulesStayValid)
+{
+    SuperblockBuilder b("np3");
+    OpId a = b.addNonPipelinedOp(OpClass::FloatAlu, 2, 5, "a");
+    OpId c = b.addOp(OpClass::IntAlu, 1);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(a, f);
+    b.addEdge(c, f);
+    Superblock sb = b.build();
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs6();
+    Schedule s = listSchedule(sb, m, criticalPathKey(ctx));
+    s.validate(sb, m);
+    // Result latency preserved: branch at least 5 after the head.
+    EXPECT_GE(s.issueOf(f), s.issueOf(0) + 5);
+}
+
+} // namespace
+} // namespace balance

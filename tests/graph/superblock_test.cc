@@ -1,0 +1,152 @@
+#include "graph/superblock.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "graph/dot.hh"
+
+namespace balance
+{
+namespace
+{
+
+Superblock
+makeSimple()
+{
+    SuperblockBuilder b("t");
+    OpId x = b.addOp(OpClass::IntAlu, 1, "x");
+    OpId y = b.addOp(OpClass::Memory, 2, "y");
+    OpId s = b.addBranch(0.25, "side");
+    OpId z = b.addOp(OpClass::IntAlu, 1, "z");
+    OpId f = b.addBranch(0.75, "final");
+    b.addEdge(x, s);
+    b.addEdge(y, z); // inherits latency 2
+    b.addEdge(z, f);
+    return b.build(true);
+}
+
+TEST(Superblock, BasicShape)
+{
+    Superblock sb = makeSimple();
+    EXPECT_EQ(sb.name(), "t");
+    EXPECT_EQ(sb.numOps(), 5);
+    EXPECT_EQ(sb.numBranches(), 2);
+    EXPECT_EQ(sb.branches()[0], 2);
+    EXPECT_EQ(sb.branches()[1], 4);
+    EXPECT_TRUE(sb.op(2).isBranch());
+    EXPECT_FALSE(sb.op(0).isBranch());
+    EXPECT_DOUBLE_EQ(sb.exitProb(2), 0.25);
+}
+
+TEST(Superblock, BranchIndexOf)
+{
+    Superblock sb = makeSimple();
+    EXPECT_EQ(sb.branchIndexOf(2), 0);
+    EXPECT_EQ(sb.branchIndexOf(4), 1);
+    EXPECT_EQ(sb.branchIndexOf(0), -1);
+    EXPECT_EQ(sb.branchIndexOf(3), -1);
+}
+
+TEST(Superblock, DefaultEdgeLatencyIsProducerLatency)
+{
+    Superblock sb = makeSimple();
+    bool found = false;
+    for (const Adjacent &e : sb.succs(1)) {
+        if (e.op == 3) {
+            EXPECT_EQ(e.latency, 2);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Superblock, ControlEdgeInserted)
+{
+    Superblock sb = makeSimple();
+    bool found = false;
+    for (const Adjacent &e : sb.succs(2)) {
+        if (e.op == 4) {
+            EXPECT_GE(e.latency, 1);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Superblock, BlockIndices)
+{
+    Superblock sb = makeSimple();
+    EXPECT_EQ(sb.op(0).block, 0);
+    EXPECT_EQ(sb.op(1).block, 0);
+    EXPECT_EQ(sb.op(2).block, 0); // branch closes block 0
+    EXPECT_EQ(sb.op(3).block, 1);
+    EXPECT_EQ(sb.op(4).block, 1);
+}
+
+TEST(Superblock, PredsMirrorSuccs)
+{
+    Superblock sb = makeSimple();
+    int fwd = 0;
+    int bwd = 0;
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        fwd += int(sb.succs(v).size());
+        bwd += int(sb.preds(v).size());
+    }
+    EXPECT_EQ(fwd, bwd);
+    EXPECT_EQ(fwd, sb.numEdges());
+}
+
+TEST(SuperblockBuilder, DeduplicatesParallelEdgesKeepingMax)
+{
+    SuperblockBuilder b("dup");
+    OpId x = b.addOp(OpClass::IntAlu, 1);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(x, f, 1);
+    b.addEdge(x, f, 3);
+    b.addEdge(x, f, 2);
+    Superblock sb = b.build();
+    ASSERT_EQ(sb.succs(x).size(), 1u);
+    EXPECT_EQ(sb.succs(x)[0].latency, 3);
+}
+
+TEST(SuperblockBuilder, AnchorsLooseOpsToLastExit)
+{
+    SuperblockBuilder b("loose");
+    OpId dead = b.addOp(OpClass::IntAlu, 1, "dead");
+    b.addBranch(0.4);
+    OpId f = b.addBranch(0.6);
+    Superblock sb = b.build(true);
+    bool anchored = false;
+    for (const Adjacent &e : sb.succs(dead))
+        anchored = anchored || e.op == f;
+    EXPECT_TRUE(anchored);
+}
+
+TEST(SuperblockBuilder, DeathOnBackwardEdge)
+{
+    SuperblockBuilder b("bad");
+    OpId x = b.addOp(OpClass::IntAlu, 1);
+    OpId y = b.addOp(OpClass::IntAlu, 1);
+    EXPECT_DEATH(b.addEdge(y, x), "forward");
+}
+
+TEST(SuperblockBuilder, DeathOnNoExit)
+{
+    SuperblockBuilder b("noexit");
+    b.addOp(OpClass::IntAlu, 1);
+    EXPECT_DEATH(b.build(), "exit");
+}
+
+TEST(Dot, ContainsNodesAndEdges)
+{
+    Superblock sb = makeSimple();
+    std::string dot = toDot(sb);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("n0"), std::string::npos);
+    EXPECT_NE(dot.find("n4"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("p=0.25"), std::string::npos);
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,56 @@
+/**
+ * Reproducibility: every scheduler and every bound is a pure
+ * function of (superblock, machine) — two runs must agree bit for
+ * bit, and suite construction must be byte-stable for a seed. The
+ * experiment tables depend on this.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hh"
+#include "workload/sb_io.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(Determinism, SchedulersArePureFunctions)
+{
+    SuiteOptions opts;
+    opts.scale = 0.003;
+    auto suite = buildSuite(opts);
+    HeuristicSet set = HeuristicSet::paperSet();
+    for (const auto &prog : suite) {
+        for (const auto &sb : prog.superblocks) {
+            MachineModel m = MachineModel::fs6();
+            SuperblockEval a = evaluateSuperblock(sb, m, set);
+            SuperblockEval b = evaluateSuperblock(sb, m, set);
+            EXPECT_EQ(a.tightest, b.tightest);
+            ASSERT_EQ(a.wct.size(), b.wct.size());
+            for (std::size_t h = 0; h < a.wct.size(); ++h)
+                EXPECT_EQ(a.wct[h], b.wct[h]) << sb.name();
+        }
+    }
+}
+
+TEST(Determinism, SuiteSerializationIsByteStable)
+{
+    SuiteOptions opts;
+    opts.scale = 0.002;
+    auto a = buildSuite(opts);
+    auto b = buildSuite(opts);
+    std::string textA;
+    std::string textB;
+    for (std::size_t p = 0; p < a.size(); ++p) {
+        for (std::size_t i = 0; i < a[p].superblocks.size(); ++i) {
+            textA += writeSuperblock(a[p].superblocks[i]);
+            textB += writeSuperblock(b[p].superblocks[i]);
+        }
+    }
+    EXPECT_EQ(textA, textB);
+    EXPECT_FALSE(textA.empty());
+}
+
+} // namespace
+} // namespace balance

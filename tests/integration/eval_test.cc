@@ -1,0 +1,130 @@
+/**
+ * Integration tests of the experiment drivers that back the bench
+ * binaries: population metrics, bound quality/cost tables, and the
+ * no-profile experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/bounds_eval.hh"
+#include "eval/experiment.hh"
+
+namespace balance
+{
+namespace
+{
+
+std::vector<BenchmarkProgram>
+tinySuite()
+{
+    SuiteOptions opts;
+    opts.scale = 0.004;
+    return buildSuite(opts);
+}
+
+TEST(Experiment, EvaluateSuperblockSandwich)
+{
+    auto suite = tinySuite();
+    HeuristicSet set = HeuristicSet::paperSet();
+    const Superblock &sb = suite[0].superblocks[0];
+    SuperblockEval eval =
+        evaluateSuperblock(sb, MachineModel::fs4(), set);
+    ASSERT_EQ(eval.wct.size(), set.names().size());
+    for (double w : eval.wct)
+        EXPECT_GE(w, eval.tightest - 1e-9);
+    // Best is last and at least as good as every primary.
+    double best = eval.wct.back();
+    for (std::size_t h = 0; h + 1 < eval.wct.size(); ++h)
+        EXPECT_LE(best, eval.wct[h] + 1e-9);
+}
+
+TEST(Experiment, PopulationMetricsConsistent)
+{
+    auto suite = tinySuite();
+    HeuristicSet set = HeuristicSet::paperSet();
+    PopulationMetrics m =
+        evaluatePopulation(suite, MachineModel::gp2(), set);
+    EXPECT_EQ(m.superblocks, suiteSize(suite));
+    EXPECT_GE(m.trivialSuperblocks, 0);
+    EXPECT_LE(m.trivialSuperblocks, m.superblocks);
+    EXPECT_GE(m.trivialCycleFraction, 0.0);
+    EXPECT_LE(m.trivialCycleFraction, 1.0);
+    EXPECT_GT(m.boundCycles, 0.0);
+    for (std::size_t h = 0; h < m.heuristics.size(); ++h) {
+        EXPECT_GE(m.nontrivialSlowdown[h], -1e-9) << m.heuristics[h];
+        EXPECT_GE(m.optimalFraction[h], 0.0);
+        EXPECT_LE(m.optimalFraction[h], 1.0);
+    }
+}
+
+TEST(Experiment, PerSuperblockObserverSeesAll)
+{
+    auto suite = tinySuite();
+    HeuristicSet set = HeuristicSet::paperSet(false);
+    int seen = 0;
+    evaluatePopulation(suite, MachineModel::gp4(), set, {},
+                       [&](const Superblock &,
+                           const SuperblockEval &) { ++seen; });
+    EXPECT_EQ(seen, suiteSize(suite));
+}
+
+TEST(Experiment, NoProfileWeightsShape)
+{
+    auto suite = tinySuite();
+    const Superblock &sb = suite[0].superblocks[0];
+    auto w = noProfileWeights(sb);
+    ASSERT_EQ(int(w.size()), sb.numBranches());
+    EXPECT_DOUBLE_EQ(w.back(), 1000.0);
+    for (std::size_t i = 0; i + 1 < w.size(); ++i)
+        EXPECT_DOUBLE_EQ(w[i], 1.0);
+}
+
+TEST(Experiment, NoProfileSteeringRuns)
+{
+    auto suite = tinySuite();
+    HeuristicSet set = HeuristicSet::paperSet();
+    EvalOptions opts;
+    opts.noProfileSteering = true;
+    PopulationMetrics m =
+        evaluatePopulation(suite, MachineModel::fs6(), set, opts);
+    EXPECT_EQ(m.superblocks, suiteSize(suite));
+    // SR and CP ignore the steering weights entirely, so their
+    // slowdowns are still well defined and non-negative.
+    for (double s : m.nontrivialSlowdown)
+        EXPECT_GE(s, -1e-9);
+}
+
+TEST(BoundsEval, QualityTableShape)
+{
+    auto suite = tinySuite();
+    auto rows = evaluateBoundQuality(suite, MachineModel::fs4());
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].name, "CP");
+    EXPECT_EQ(rows[5].name, "TW");
+    for (const auto &r : rows) {
+        EXPECT_GE(r.avgGapPercent, 0.0);
+        EXPECT_LE(r.avgGapPercent, r.maxGapPercent + 1e-9);
+        EXPECT_GE(r.belowPercent, 0.0);
+        EXPECT_LE(r.belowPercent, 100.0);
+    }
+    // CP is the weakest bound by a wide margin.
+    EXPECT_GT(rows[0].avgGapPercent, rows[3].avgGapPercent);
+}
+
+TEST(BoundsEval, CostTableShape)
+{
+    auto suite = tinySuite();
+    auto rows = evaluateBoundCost(suite, MachineModel::gp2());
+    ASSERT_EQ(rows.size(), 8u);
+    for (const auto &r : rows) {
+        EXPECT_GE(r.averageTrips, 0.0);
+        EXPECT_GE(r.averageTrips, r.medianTrips * 0.0);
+    }
+    // Theorem 1 saves work: LC <= LC-original.
+    EXPECT_LE(rows[3].averageTrips, rows[4].averageTrips);
+    // PW costs more than LC.
+    EXPECT_GT(rows[6].averageTrips, rows[3].averageTrips);
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,82 @@
+#include "machine/machine_model.hh"
+
+#include <gtest/gtest.h>
+
+namespace balance
+{
+namespace
+{
+
+TEST(MachineModel, GeneralPurposePoolsEverything)
+{
+    MachineModel m = MachineModel::gp2();
+    EXPECT_EQ(m.name(), "GP2");
+    EXPECT_EQ(m.numResources(), 1);
+    EXPECT_EQ(m.totalWidth(), 2);
+    for (int c = 0; c < numOpClasses; ++c) {
+        EXPECT_EQ(m.poolOf(OpClass(c)), 0);
+        EXPECT_EQ(m.widthOf(OpClass(c)), 2);
+    }
+}
+
+TEST(MachineModel, PaperFsMixes)
+{
+    MachineModel fs4 = MachineModel::fs4();
+    EXPECT_EQ(fs4.numResources(), 4);
+    EXPECT_EQ(fs4.totalWidth(), 4);
+    EXPECT_EQ(fs4.widthOf(OpClass::IntAlu), 1);
+    EXPECT_EQ(fs4.widthOf(OpClass::Memory), 1);
+    EXPECT_EQ(fs4.widthOf(OpClass::FloatAlu), 1);
+    EXPECT_EQ(fs4.widthOf(OpClass::Branch), 1);
+
+    MachineModel fs6 = MachineModel::fs6();
+    EXPECT_EQ(fs6.totalWidth(), 6);
+    EXPECT_EQ(fs6.widthOf(OpClass::IntAlu), 2);
+    EXPECT_EQ(fs6.widthOf(OpClass::Memory), 2);
+    EXPECT_EQ(fs6.widthOf(OpClass::FloatAlu), 1);
+    EXPECT_EQ(fs6.widthOf(OpClass::Branch), 1);
+
+    MachineModel fs8 = MachineModel::fs8();
+    EXPECT_EQ(fs8.totalWidth(), 8);
+    EXPECT_EQ(fs8.widthOf(OpClass::IntAlu), 3);
+    EXPECT_EQ(fs8.widthOf(OpClass::Memory), 2);
+    EXPECT_EQ(fs8.widthOf(OpClass::FloatAlu), 2);
+    EXPECT_EQ(fs8.widthOf(OpClass::Branch), 1);
+}
+
+TEST(MachineModel, SixPaperConfigs)
+{
+    auto configs = MachineModel::paperConfigs();
+    ASSERT_EQ(configs.size(), 6u);
+    EXPECT_EQ(configs[0].name(), "GP1");
+    EXPECT_EQ(configs[5].name(), "FS8");
+}
+
+TEST(MachineModel, ByName)
+{
+    EXPECT_EQ(MachineModel::byName("FS6").totalWidth(), 6);
+    EXPECT_EQ(MachineModel::byName("GP1").totalWidth(), 1);
+}
+
+TEST(MachineModel, CustomMapping)
+{
+    // Two pools: branches separate, everything else shared.
+    MachineModel m = MachineModel::custom("X", {3, 1}, {0, 0, 0, 1});
+    EXPECT_EQ(m.widthOf(OpClass::IntAlu), 3);
+    EXPECT_EQ(m.widthOf(OpClass::Branch), 1);
+    EXPECT_EQ(m.totalWidth(), 4);
+}
+
+TEST(OpClass, NamesRoundTrip)
+{
+    for (int c = 0; c < numOpClasses; ++c) {
+        OpClass parsed;
+        ASSERT_TRUE(parseOpClass(opClassName(OpClass(c)), parsed));
+        EXPECT_EQ(parsed, OpClass(c));
+    }
+    OpClass out;
+    EXPECT_FALSE(parseOpClass("bogus", out));
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,76 @@
+#include "machine/resource_state.hh"
+
+#include <gtest/gtest.h>
+
+namespace balance
+{
+namespace
+{
+
+TEST(ResourceState, FreshTableIsFree)
+{
+    MachineModel m = MachineModel::fs4();
+    ResourceState t(m);
+    EXPECT_EQ(t.freeSlots(0, OpClass::IntAlu), 1);
+    EXPECT_EQ(t.freeSlots(100, OpClass::Memory), 1);
+    EXPECT_TRUE(t.hasSlot(3, OpClass::Branch));
+    EXPECT_EQ(t.usedInCycle(5), 0);
+}
+
+TEST(ResourceState, ReserveAndRelease)
+{
+    MachineModel m = MachineModel::gp2();
+    ResourceState t(m);
+    t.reserve(0, OpClass::IntAlu);
+    EXPECT_EQ(t.freeSlots(0, OpClass::Memory), 1); // same pool
+    t.reserve(0, OpClass::Memory);
+    EXPECT_FALSE(t.hasSlot(0, OpClass::Branch));
+    EXPECT_EQ(t.usedInCycle(0), 2);
+    t.release(0, OpClass::IntAlu);
+    EXPECT_TRUE(t.hasSlot(0, OpClass::Branch));
+}
+
+TEST(ResourceState, PoolsAreIndependent)
+{
+    MachineModel m = MachineModel::fs4();
+    ResourceState t(m);
+    t.reserve(0, OpClass::IntAlu);
+    EXPECT_FALSE(t.hasSlot(0, OpClass::IntAlu));
+    EXPECT_TRUE(t.hasSlot(0, OpClass::Memory));
+    EXPECT_TRUE(t.hasSlot(0, OpClass::Branch));
+}
+
+TEST(ResourceState, EarliestFreeSkipsFullCycles)
+{
+    MachineModel m = MachineModel::gp1();
+    ResourceState t(m);
+    t.reserve(0, OpClass::IntAlu);
+    t.reserve(1, OpClass::IntAlu);
+    t.reserve(3, OpClass::IntAlu);
+    EXPECT_EQ(t.earliestFree(0, OpClass::Memory), 2);
+    EXPECT_EQ(t.earliestFree(3, OpClass::Memory), 4);
+}
+
+TEST(ResourceState, AvailableInWindow)
+{
+    MachineModel m = MachineModel::gp2();
+    ResourceState t(m);
+    t.reserve(1, OpClass::IntAlu);
+    // Cycles 0..2 hold 6 slots, one used.
+    EXPECT_EQ(t.availableInWindow(0, 2, 0), 5);
+    EXPECT_EQ(t.availableInWindow(2, 1, 0), 0); // empty window
+    // Untouched future cycles count full width.
+    EXPECT_EQ(t.availableInWindow(10, 11, 0), 4);
+}
+
+TEST(ResourceState, ClearForgetsEverything)
+{
+    MachineModel m = MachineModel::gp1();
+    ResourceState t(m);
+    t.reserve(0, OpClass::IntAlu);
+    t.clear();
+    EXPECT_TRUE(t.hasSlot(0, OpClass::IntAlu));
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,170 @@
+#include "sched/heuristics.hh"
+
+#include <gtest/gtest.h>
+
+#include "sched/best_scheduler.hh"
+#include "sched/priorities.hh"
+#include "workload/generator.hh"
+#include "workload/paper_figures.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(Priorities, CriticalPathKeyIsDependenceHeight)
+{
+    Superblock sb = paperFigure1();
+    GraphContext ctx(sb);
+    auto key = criticalPathKey(ctx);
+    // The head of the 7-op chain has the largest height: six
+    // chain edges plus the edge into the final branch.
+    EXPECT_DOUBLE_EQ(key[4], 7.0);
+    EXPECT_DOUBLE_EQ(key[sb.branches()[1]], 0.0);
+}
+
+TEST(Priorities, SuccessiveRetirementKeyTiersBlocks)
+{
+    Superblock sb = paperFigure1();
+    GraphContext ctx(sb);
+    auto key = successiveRetirementKey(ctx);
+    // Any block-0 op dominates every block-1 op.
+    for (OpId v = 0; v <= sb.branches()[0]; ++v) {
+        for (OpId w = sb.branches()[0] + 1; w < sb.numOps(); ++w)
+            EXPECT_GT(key[std::size_t(v)], key[std::size_t(w)]);
+    }
+}
+
+TEST(Priorities, DhasyKeyWeightsByProbability)
+{
+    Superblock heavy = paperFigure1(0.9);
+    Superblock light = paperFigure1(0.1);
+    GraphContext ctxHeavy(heavy);
+    GraphContext ctxLight(light);
+    auto keyHeavy = dhasyKey(ctxHeavy);
+    auto keyLight = dhasyKey(ctxLight);
+    // Side-exit feeders gain priority with the side probability.
+    EXPECT_GT(keyHeavy[0], keyLight[0]);
+}
+
+TEST(Priorities, DhasyKeyAcceptsOverrideWeights)
+{
+    Superblock sb = paperFigure1(0.5);
+    GraphContext ctx(sb);
+    auto base = dhasyKey(ctx);
+    auto skewed = dhasyKey(ctx, {0.0, 1.0});
+    EXPECT_NE(base[0], skewed[0]);
+}
+
+TEST(Priorities, NormalizeKeyBoundsToUnit)
+{
+    auto n = normalizeKey({-2.0, 1.0, 4.0});
+    EXPECT_DOUBLE_EQ(n[2], 1.0);
+    EXPECT_DOUBLE_EQ(n[0], -0.5);
+    auto zeros = normalizeKey({0.0, 0.0});
+    EXPECT_DOUBLE_EQ(zeros[0], 0.0);
+}
+
+TEST(Heuristics, Figure1SuccessiveRetirementOptimal)
+{
+    // The paper: SR schedules both exits as early as possible
+    // (side at 2, final at 8) on GP2.
+    Superblock sb = paperFigure1(0.2);
+    GraphContext ctx(sb);
+    Schedule s = SuccessiveRetirementScheduler().run(
+        ctx, MachineModel::gp2());
+    s.validate(sb, MachineModel::gp2());
+    EXPECT_EQ(s.issueOf(sb.branches()[0]), 2);
+    EXPECT_EQ(s.issueOf(sb.branches()[1]), 8);
+}
+
+TEST(Heuristics, Figure1CriticalPathDelaysSideExit)
+{
+    // The paper: CP favors the final exit and delays the side exit.
+    Superblock sb = paperFigure1(0.2);
+    GraphContext ctx(sb);
+    Schedule s =
+        CriticalPathScheduler().run(ctx, MachineModel::gp2());
+    s.validate(sb, MachineModel::gp2());
+    EXPECT_EQ(s.issueOf(sb.branches()[1]), 8);
+    EXPECT_GT(s.issueOf(sb.branches()[0]), 2);
+}
+
+TEST(Heuristics, AllValidOnRandomPopulation)
+{
+    Rng rng(909);
+    GeneratorParams params;
+    std::vector<std::unique_ptr<Scheduler>> scheds;
+    scheds.push_back(std::make_unique<CriticalPathScheduler>());
+    scheds.push_back(std::make_unique<SuccessiveRetirementScheduler>());
+    scheds.push_back(std::make_unique<DhasyScheduler>());
+    scheds.push_back(std::make_unique<GStarScheduler>());
+    scheds.push_back(std::make_unique<ComboScheduler>(0.3, 0.3, 0.4));
+
+    for (int trial = 0; trial < 15; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params,
+                                           "h" + std::to_string(trial));
+        GraphContext ctx(sb);
+        for (const MachineModel &m :
+             {MachineModel::gp1(), MachineModel::gp4(),
+              MachineModel::fs6()}) {
+            for (const auto &sched : scheds) {
+                Schedule s = sched->run(ctx, m);
+                s.validate(sb, m);
+            }
+        }
+    }
+}
+
+TEST(Heuristics, GStarMatchesCpWithSingleCriticalBranch)
+{
+    // With no-profile weighting (last branch dominant) G* selects
+    // only the final exit as critical and degenerates to CP; the
+    // paper uses this in Table 5.
+    Rng rng(31337);
+    GeneratorParams params;
+    for (int trial = 0; trial < 10; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params,
+                                           "g" + std::to_string(trial));
+        GraphContext ctx(sb);
+        ScheduleRequest req;
+        req.branchWeights.assign(std::size_t(sb.numBranches()), 1.0);
+        req.branchWeights.back() = 1e9;
+        MachineModel m = MachineModel::gp2();
+        double gstar = GStarScheduler().run(ctx, m, req).wct(sb);
+        double cp = CriticalPathScheduler().run(ctx, m, req).wct(sb);
+        // Every op precedes the final exit, so its closure is the
+        // whole graph and one tier remains: G* degenerates to CP.
+        EXPECT_DOUBLE_EQ(gstar, cp);
+    }
+}
+
+TEST(Best, EnvelopeNeverWorseThanPrimaries)
+{
+    Rng rng(2222);
+    GeneratorParams params;
+    auto cp = std::make_shared<CriticalPathScheduler>();
+    auto sr = std::make_shared<SuccessiveRetirementScheduler>();
+    auto dh = std::make_shared<DhasyScheduler>();
+    BestScheduler best({cp, sr, dh});
+    EXPECT_EQ(best.runsPerSuperblock(), 3 + 121);
+
+    for (int trial = 0; trial < 8; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params,
+                                           "b" + std::to_string(trial));
+        GraphContext ctx(sb);
+        MachineModel m = MachineModel::fs4();
+        Schedule s = best.run(ctx, m);
+        s.validate(sb, m);
+        double envelope = s.wct(sb);
+        EXPECT_LE(envelope, cp->run(ctx, m).wct(sb) + 1e-9);
+        EXPECT_LE(envelope, sr->run(ctx, m).wct(sb) + 1e-9);
+        EXPECT_LE(envelope, dh->run(ctx, m).wct(sb) + 1e-9);
+    }
+}
+
+} // namespace
+} // namespace balance

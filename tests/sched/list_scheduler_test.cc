@@ -1,0 +1,145 @@
+#include "sched/list_scheduler.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "sched/priorities.hh"
+#include "workload/generator.hh"
+
+namespace balance
+{
+namespace
+{
+
+Superblock
+makeDiamond()
+{
+    SuperblockBuilder b("diamond");
+    OpId o0 = b.addOp(OpClass::IntAlu, 1);
+    OpId o1 = b.addOp(OpClass::IntAlu, 1);
+    OpId o2 = b.addOp(OpClass::IntAlu, 1);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(o0, o1);
+    b.addEdge(o0, o2);
+    b.addEdge(o1, f);
+    b.addEdge(o2, f);
+    return b.build();
+}
+
+TEST(ListScheduler, RespectsDependences)
+{
+    Superblock sb = makeDiamond();
+    std::vector<double> priority(4, 0.0);
+    Schedule s = listSchedule(sb, MachineModel::gp2(), priority);
+    s.validate(sb, MachineModel::gp2());
+    EXPECT_EQ(s.issueOf(0), 0);
+    EXPECT_EQ(s.issueOf(3), 2);
+}
+
+TEST(ListScheduler, PriorityOrdersWithinCycle)
+{
+    // Two independent ops on GP1: the higher priority goes first.
+    SuperblockBuilder b("pair");
+    b.addOp(OpClass::IntAlu, 1);
+    b.addOp(OpClass::IntAlu, 1);
+    b.addBranch(1.0);
+    Superblock sb = b.build(true);
+
+    Schedule s = listSchedule(sb, MachineModel::gp1(), {0.0, 5.0, 0.0});
+    EXPECT_EQ(s.issueOf(1), 0);
+    EXPECT_EQ(s.issueOf(0), 1);
+}
+
+TEST(ListScheduler, TieBreaksByProgramOrder)
+{
+    SuperblockBuilder b("tie");
+    b.addOp(OpClass::IntAlu, 1);
+    b.addOp(OpClass::IntAlu, 1);
+    b.addBranch(1.0);
+    Superblock sb = b.build(true);
+
+    Schedule s = listSchedule(sb, MachineModel::gp1(), {1.0, 1.0, 0.0});
+    EXPECT_EQ(s.issueOf(0), 0);
+    EXPECT_EQ(s.issueOf(1), 1);
+}
+
+TEST(ListScheduler, HonorsLatencies)
+{
+    SuperblockBuilder b("lat");
+    OpId ld = b.addOp(OpClass::Memory, 2);
+    OpId use = b.addOp(OpClass::IntAlu, 1);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(ld, use);
+    b.addEdge(use, f);
+    Superblock sb = b.build();
+
+    Schedule s = listSchedule(sb, MachineModel::gp4(),
+                              std::vector<double>(3, 0.0));
+    EXPECT_EQ(s.issueOf(ld), 0);
+    EXPECT_EQ(s.issueOf(use), 2);
+    EXPECT_EQ(s.issueOf(f), 3);
+}
+
+TEST(ListScheduler, SpecializedPoolsConstrainClasses)
+{
+    SuperblockBuilder b("fs");
+    b.addOp(OpClass::Memory, 1);
+    b.addOp(OpClass::Memory, 1);
+    b.addOp(OpClass::IntAlu, 1);
+    b.addBranch(1.0);
+    Superblock sb = b.build(true);
+
+    // FS4 has one memory unit: the two memory ops serialize while
+    // the int op shares cycle 0.
+    Schedule s = listSchedule(sb, MachineModel::fs4(),
+                              std::vector<double>(4, 0.0));
+    s.validate(sb, MachineModel::fs4());
+    EXPECT_EQ(std::min(s.issueOf(0), s.issueOf(1)), 0);
+    EXPECT_EQ(std::max(s.issueOf(0), s.issueOf(1)), 1);
+    EXPECT_EQ(s.issueOf(2), 0);
+}
+
+TEST(ListScheduler, ValidOnRandomPopulation)
+{
+    Rng rng(55);
+    GeneratorParams params;
+    for (int trial = 0; trial < 25; ++trial) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params,
+                                           "x" + std::to_string(trial));
+        GraphContext ctx(sb);
+        for (const MachineModel &m : MachineModel::paperConfigs()) {
+            Schedule s =
+                listSchedule(sb, m, criticalPathKey(ctx));
+            s.validate(sb, m);
+        }
+    }
+}
+
+TEST(ListSchedulerSubset, SchedulesOnlySubset)
+{
+    Superblock sb = makeDiamond();
+    GraphContext ctx(sb);
+    DynBitset subset(4);
+    subset.set(0);
+    subset.set(1);
+    auto issue = listScheduleSubset(sb, MachineModel::gp1(), subset,
+                                    std::vector<double>(4, 0.0));
+    EXPECT_EQ(issue[0], 0);
+    EXPECT_EQ(issue[1], 1);
+    EXPECT_EQ(issue[2], -1);
+    EXPECT_EQ(issue[3], -1);
+}
+
+TEST(ListScheduler, StatsCountDecisions)
+{
+    Superblock sb = makeDiamond();
+    SchedulerStats stats;
+    listSchedule(sb, MachineModel::gp2(),
+                 std::vector<double>(4, 0.0), &stats);
+    EXPECT_EQ(stats.decisions, 4);
+    EXPECT_GE(stats.loopTrips, 4);
+}
+
+} // namespace
+} // namespace balance

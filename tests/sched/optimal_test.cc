@@ -1,0 +1,109 @@
+#include "sched/optimal.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "sched/heuristics.hh"
+#include "workload/paper_figures.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(Optimal, TrivialChain)
+{
+    SuperblockBuilder b("chain");
+    OpId x = b.addOp(OpClass::IntAlu, 1);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(x, f);
+    Superblock sb = b.build();
+    GraphContext ctx(sb);
+    OptimalResult r = optimalSchedule(ctx, MachineModel::gp1());
+    ASSERT_TRUE(r.proven);
+    r.schedule.validate(sb, MachineModel::gp1());
+    EXPECT_DOUBLE_EQ(r.wct, 2.0); // x@0, f@1, completion 2
+}
+
+TEST(Optimal, Figure2Optimum)
+{
+    // The need-aware optimum: side at 2, final at 3.
+    Superblock sb = paperFigure2(0.4);
+    GraphContext ctx(sb);
+    OptimalResult r = optimalSchedule(ctx, MachineModel::gp2());
+    ASSERT_TRUE(r.proven);
+    r.schedule.validate(sb, MachineModel::gp2());
+    EXPECT_EQ(r.schedule.issueOf(sb.branches()[0]), 2);
+    EXPECT_EQ(r.schedule.issueOf(sb.branches()[1]), 3);
+}
+
+TEST(Optimal, Figure4CrossoverBelow)
+{
+    // P = 0.3 < 0.5: optimal delays the side exit -> (3, 4).
+    Superblock sb = paperFigure4(0.3);
+    GraphContext ctx(sb);
+    OptimalResult r = optimalSchedule(ctx, MachineModel::gp2());
+    ASSERT_TRUE(r.proven);
+    EXPECT_NEAR(r.wct, 0.3 * 4 + 0.7 * 5, 1e-9);
+    EXPECT_EQ(r.schedule.issueOf(sb.branches()[0]), 3);
+    EXPECT_EQ(r.schedule.issueOf(sb.branches()[1]), 4);
+}
+
+TEST(Optimal, Figure4CrossoverAbove)
+{
+    // P = 0.8 > 0.5: optimal serves the side exit first -> (2, 5).
+    Superblock sb = paperFigure4(0.8);
+    GraphContext ctx(sb);
+    OptimalResult r = optimalSchedule(ctx, MachineModel::gp2());
+    ASSERT_TRUE(r.proven);
+    EXPECT_NEAR(r.wct, 0.8 * 3 + 0.2 * 6, 1e-9);
+    EXPECT_EQ(r.schedule.issueOf(sb.branches()[0]), 2);
+    EXPECT_EQ(r.schedule.issueOf(sb.branches()[1]), 5);
+}
+
+TEST(Optimal, SeedPrunesButKeepsOptimum)
+{
+    Superblock sb = paperFigure4(0.3);
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    double heuristicWct =
+        CriticalPathScheduler().run(ctx, m).wct(sb);
+    OptimalOptions opts;
+    opts.seedWct = heuristicWct;
+    OptimalResult r = optimalSchedule(ctx, m, opts);
+    ASSERT_TRUE(r.proven);
+    EXPECT_NEAR(r.wct, 0.3 * 4 + 0.7 * 5, 1e-9);
+}
+
+TEST(Optimal, NodeBudgetGivesUpGracefully)
+{
+    Superblock sb = paperFigure1(0.3);
+    GraphContext ctx(sb);
+    OptimalOptions opts;
+    opts.maxNodes = 3;
+    OptimalResult r = optimalSchedule(ctx, MachineModel::gp2(), opts);
+    EXPECT_FALSE(r.proven);
+    EXPECT_LE(r.nodes, 4);
+}
+
+TEST(Optimal, SpecializedPools)
+{
+    SuperblockBuilder b("fs");
+    OpId m0 = b.addOp(OpClass::Memory, 1);
+    OpId m1 = b.addOp(OpClass::Memory, 1);
+    OpId i0 = b.addOp(OpClass::IntAlu, 1);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(m0, f);
+    b.addEdge(m1, f);
+    b.addEdge(i0, f);
+    Superblock sb = b.build();
+    GraphContext ctx(sb);
+    OptimalResult r = optimalSchedule(ctx, MachineModel::fs4());
+    ASSERT_TRUE(r.proven);
+    r.schedule.validate(sb, MachineModel::fs4());
+    // Memory ops serialize (one unit) -> branch at 2, completion 3.
+    EXPECT_DOUBLE_EQ(r.wct, 3.0);
+}
+
+} // namespace
+} // namespace balance

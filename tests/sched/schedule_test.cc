@@ -1,0 +1,128 @@
+#include "sched/schedule.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+
+namespace balance
+{
+namespace
+{
+
+Superblock
+chainSb()
+{
+    SuperblockBuilder b("chain");
+    OpId x = b.addOp(OpClass::IntAlu, 1);
+    OpId y = b.addOp(OpClass::Memory, 2);
+    OpId f = b.addBranch(1.0);
+    b.addEdge(x, y);
+    b.addEdge(y, f);
+    return b.build();
+}
+
+TEST(Schedule, StartsUnscheduled)
+{
+    Schedule s(3);
+    EXPECT_EQ(s.numOps(), 3);
+    EXPECT_FALSE(s.isScheduled(0));
+    EXPECT_EQ(s.issueOf(2), -1);
+    EXPECT_FALSE(s.complete());
+    EXPECT_EQ(s.makespan(), 0);
+}
+
+TEST(Schedule, SetAndQuery)
+{
+    Schedule s(3);
+    s.setIssue(0, 0);
+    s.setIssue(1, 1);
+    s.setIssue(2, 3);
+    EXPECT_TRUE(s.complete());
+    EXPECT_EQ(s.makespan(), 4);
+    EXPECT_EQ(s.issueOf(1), 1);
+}
+
+TEST(Schedule, WctWeightsBranches)
+{
+    SuperblockBuilder b("two");
+    OpId x = b.addOp(OpClass::IntAlu, 1);
+    OpId s0 = b.addBranch(0.25);
+    OpId s1 = b.addBranch(0.75);
+    b.addEdge(x, s0);
+    Superblock sb = b.build();
+    (void)s1;
+
+    Schedule s(3);
+    s.setIssue(0, 0);
+    s.setIssue(1, 1);
+    s.setIssue(2, 2);
+    EXPECT_NEAR(s.wct(sb), 0.25 * 2 + 0.75 * 3, 1e-12);
+}
+
+TEST(Schedule, ValidateAcceptsLegalSchedule)
+{
+    Superblock sb = chainSb();
+    Schedule s(3);
+    s.setIssue(0, 0);
+    s.setIssue(1, 1);
+    s.setIssue(2, 3); // respects the 2-cycle load latency
+    EXPECT_NO_FATAL_FAILURE(s.validate(sb, MachineModel::gp1()));
+}
+
+TEST(Schedule, ValidateRejectsLatencyViolation)
+{
+    Superblock sb = chainSb();
+    Schedule s(3);
+    s.setIssue(0, 0);
+    s.setIssue(1, 1);
+    s.setIssue(2, 2); // load result not ready
+    EXPECT_DEATH(s.validate(sb, MachineModel::gp1()),
+                 "dependence violated");
+}
+
+TEST(Schedule, ValidateRejectsResourceOverflow)
+{
+    SuperblockBuilder b("wide");
+    b.addOp(OpClass::IntAlu, 1);
+    b.addOp(OpClass::IntAlu, 1);
+    b.addBranch(1.0);
+    Superblock sb = b.build(true);
+
+    Schedule s(3);
+    s.setIssue(0, 0);
+    s.setIssue(1, 0); // two int ops, GP1 has one slot
+    s.setIssue(2, 1);
+    EXPECT_DEATH(s.validate(sb, MachineModel::gp1()),
+                 "resource overflow");
+}
+
+TEST(Schedule, ValidateRejectsIncomplete)
+{
+    Superblock sb = chainSb();
+    Schedule s(3);
+    s.setIssue(0, 0);
+    EXPECT_DEATH(s.validate(sb, MachineModel::gp1()), "incomplete");
+}
+
+TEST(Schedule, DoubleAssignIsFatal)
+{
+    Schedule s(2);
+    s.setIssue(0, 0);
+    EXPECT_DEATH(s.setIssue(0, 1), "already scheduled");
+}
+
+TEST(Schedule, RenderMentionsCyclesAndProbs)
+{
+    Superblock sb = chainSb();
+    Schedule s(3);
+    s.setIssue(0, 0);
+    s.setIssue(1, 1);
+    s.setIssue(2, 3);
+    std::string out = s.render(sb, MachineModel::gp1());
+    EXPECT_NE(out.find("cycle 0"), std::string::npos);
+    EXPECT_NE(out.find("cycle 3"), std::string::npos);
+    EXPECT_NE(out.find("p=1.00"), std::string::npos);
+}
+
+} // namespace
+} // namespace balance

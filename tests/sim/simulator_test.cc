@@ -1,0 +1,100 @@
+#include "sim/simulator.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/balance_scheduler.hh"
+#include "sched/heuristics.hh"
+#include "workload/generator.hh"
+#include "workload/paper_figures.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(Simulator, SingleExitIsDeterministic)
+{
+    Superblock sb = paperFigure6();
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    Schedule s = CriticalPathScheduler().run(ctx, m);
+    Rng rng(1);
+    SimResult r = simulateSuperblock(sb, s, 100, rng);
+    EXPECT_EQ(r.traversals, 100);
+    EXPECT_DOUBLE_EQ(r.meanCycles(), s.wct(sb));
+    EXPECT_EQ(r.exitCounts[0], 100);
+}
+
+TEST(Simulator, MeanConvergesToWct)
+{
+    Superblock sb = paperFigure4(0.3);
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    Schedule s = BalanceScheduler().run(ctx, m);
+    Rng rng(2);
+    SimResult r = simulateSuperblock(sb, s, 200000, rng);
+    // Monte Carlo error ~ stddev/sqrt(n): well under 1%.
+    EXPECT_NEAR(r.meanCycles(), s.wct(sb), 0.01 * s.wct(sb));
+}
+
+TEST(Simulator, ExitCountsFollowProfile)
+{
+    Superblock sb = paperFigure1(0.25);
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    Schedule s = SuccessiveRetirementScheduler().run(ctx, m);
+    Rng rng(3);
+    SimResult r = simulateSuperblock(sb, s, 100000, rng);
+    EXPECT_NEAR(double(r.exitCounts[0]) / r.traversals, 0.25, 0.01);
+    EXPECT_NEAR(double(r.exitCounts[1]) / r.traversals, 0.75, 0.01);
+}
+
+TEST(Simulator, BetterScheduleSimulatesFaster)
+{
+    // Balance vs CP on Figure 1: CP delays the frequent side exit...
+    // with a heavy side exit, CP's dynamic cycles must exceed SR's.
+    Superblock sb = paperFigure1(0.6);
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::gp2();
+    Schedule cp = CriticalPathScheduler().run(ctx, m);
+    Schedule sr = SuccessiveRetirementScheduler().run(ctx, m);
+    Rng rngA(4);
+    Rng rngB(4);
+    SimResult a = simulateSuperblock(sb, cp, 50000, rngA);
+    SimResult b = simulateSuperblock(sb, sr, 50000, rngB);
+    EXPECT_GT(a.meanCycles(), b.meanCycles());
+}
+
+TEST(Simulator, ProgramAccumulatesByFrequency)
+{
+    Rng gen(5);
+    GeneratorParams params;
+    Superblock sb1 = generateSuperblock(gen, params, "p1");
+    Superblock sb2 = generateSuperblock(gen, params, "p2");
+    GraphContext ctx1(sb1);
+    GraphContext ctx2(sb2);
+    MachineModel m = MachineModel::fs4();
+    Schedule s1 = DhasyScheduler().run(ctx1, m);
+    Schedule s2 = DhasyScheduler().run(ctx2, m);
+
+    Rng rng(6);
+    ProgramSimResult r = simulateProgram(
+        {{&sb1, &s1}, {&sb2, &s2}}, 1.0, rng);
+    long long want = std::llround(sb1.execFrequency()) +
+                     std::llround(sb2.execFrequency());
+    EXPECT_NEAR(double(r.executions), double(want), 2.0);
+    EXPECT_GT(r.totalCycles, 0.0);
+}
+
+TEST(Simulator, RejectsPartialSchedule)
+{
+    Superblock sb = paperFigure6();
+    Schedule partial(sb.numOps());
+    Rng rng(7);
+    EXPECT_DEATH(simulateSuperblock(sb, partial, 1, rng), "partial");
+}
+
+} // namespace
+} // namespace balance

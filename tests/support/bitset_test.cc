@@ -1,0 +1,130 @@
+#include "support/bitset.hh"
+
+#include <gtest/gtest.h>
+
+namespace balance
+{
+namespace
+{
+
+TEST(DynBitset, StartsEmpty)
+{
+    DynBitset s(100);
+    EXPECT_EQ(s.size(), 100u);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(s.test(i));
+}
+
+TEST(DynBitset, SetResetTest)
+{
+    DynBitset s(130); // spans three words
+    s.set(0);
+    s.set(63);
+    s.set(64);
+    s.set(129);
+    EXPECT_TRUE(s.test(0));
+    EXPECT_TRUE(s.test(63));
+    EXPECT_TRUE(s.test(64));
+    EXPECT_TRUE(s.test(129));
+    EXPECT_FALSE(s.test(1));
+    EXPECT_EQ(s.count(), 4u);
+    s.reset(63);
+    EXPECT_FALSE(s.test(63));
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(DynBitset, SetAllRespectsUniverse)
+{
+    DynBitset s(70);
+    s.setAll();
+    EXPECT_EQ(s.count(), 70u);
+    s.clearAll();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(DynBitset, UnionIntersectionDifference)
+{
+    DynBitset a(80);
+    DynBitset b(80);
+    a.set(1);
+    a.set(70);
+    b.set(70);
+    b.set(3);
+
+    DynBitset u = a | b;
+    EXPECT_EQ(u.count(), 3u);
+    EXPECT_TRUE(u.test(1));
+    EXPECT_TRUE(u.test(3));
+    EXPECT_TRUE(u.test(70));
+
+    DynBitset i = a & b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(70));
+
+    DynBitset d = a;
+    d.subtract(b);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_TRUE(d.test(1));
+}
+
+TEST(DynBitset, IntersectsAndSubset)
+{
+    DynBitset a(64);
+    DynBitset b(64);
+    a.set(10);
+    EXPECT_FALSE(a.intersects(b));
+    b.set(10);
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(a.isSubsetOf(b));
+    a.set(11);
+    EXPECT_FALSE(a.isSubsetOf(b));
+    EXPECT_TRUE(b.isSubsetOf(a));
+}
+
+TEST(DynBitset, FindFirstWalksWords)
+{
+    DynBitset s(200);
+    EXPECT_EQ(s.findFirst(), 200u);
+    s.set(5);
+    s.set(150);
+    EXPECT_EQ(s.findFirst(), 5u);
+    EXPECT_EQ(s.findFirst(6), 150u);
+    EXPECT_EQ(s.findFirst(151), 200u);
+}
+
+TEST(DynBitset, ForEachAndToIndices)
+{
+    DynBitset s(100);
+    s.set(2);
+    s.set(64);
+    s.set(99);
+    std::vector<std::size_t> seen;
+    s.forEach([&](std::size_t i) { seen.push_back(i); });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 2u);
+    EXPECT_EQ(seen[1], 64u);
+    EXPECT_EQ(seen[2], 99u);
+
+    auto idx = s.toIndices();
+    ASSERT_EQ(idx.size(), 3u);
+    EXPECT_EQ(idx[2], 99u);
+}
+
+TEST(DynBitset, EqualityIncludesUniverse)
+{
+    DynBitset a(10);
+    DynBitset b(10);
+    EXPECT_EQ(a, b);
+    a.set(3);
+    EXPECT_FALSE(a == b);
+    b.set(3);
+    EXPECT_EQ(a, b);
+    DynBitset c(11);
+    c.set(3);
+    EXPECT_FALSE(a == c);
+}
+
+} // namespace
+} // namespace balance

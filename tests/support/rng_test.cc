@@ -1,0 +1,145 @@
+#include "support/rng.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace balance
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.uniformInt(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+    }
+    // Degenerate range.
+    EXPECT_EQ(rng.uniformInt(3, 3), 3);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::vector<int> hits(10, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++hits[std::size_t(rng.uniformInt(0, 9))];
+    for (int h : hits)
+        EXPECT_GT(h, 300); // expectation 500 each
+}
+
+TEST(Rng, UniformDoubleInUnit)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniformDouble();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgesAndMean)
+{
+    Rng rng(17);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        auto g = rng.geometric(0.25);
+        EXPECT_GE(g, 0);
+        sum += double(g);
+    }
+    // Mean of failures-before-success = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.06);
+}
+
+TEST(Rng, LogNormalPositive)
+{
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.logNormal(1.0, 0.5), 0.0);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(31);
+    std::vector<double> w = {0.0, 1.0, 3.0};
+    std::vector<int> hits(3, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++hits[rng.weightedIndex(w)];
+    EXPECT_EQ(hits[0], 0);
+    EXPECT_NEAR(double(hits[2]) / hits[1], 3.0, 0.4);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(37);
+    std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(41);
+    Rng childA = parent.fork();
+    Rng childB = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += childA.next() == childB.next();
+    EXPECT_LT(same, 4);
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,91 @@
+#include "support/stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace balance
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, TracksMoments)
+{
+    RunningStat s;
+    s.add(2.0);
+    s.add(-1.0);
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SampleStat, MedianOddEven)
+{
+    SampleStat s;
+    for (double v : {5.0, 1.0, 3.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    s.add(7.0);
+    // Nearest-rank median of {1,3,5,7} is the 2nd element.
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(SampleStat, Percentiles)
+{
+    SampleStat s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(double(i));
+    EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(90), 90.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SampleStat, InterleavedAddAndQuery)
+{
+    SampleStat s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+    s.add(0.0);
+    s.add(20.0);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+}
+
+TEST(SurvivalCurve, WeightedFractions)
+{
+    SurvivalCurve c;
+    c.add(0.0, 1.0);
+    c.add(1.0, 1.0);
+    c.add(10.0, 2.0);
+    EXPECT_DOUBLE_EQ(c.totalWeight(), 4.0);
+    auto f = c.fractionAtOrBelow({-1.0, 0.0, 1.0, 9.9, 10.0, 100.0});
+    EXPECT_DOUBLE_EQ(f[0], 0.0);
+    EXPECT_DOUBLE_EQ(f[1], 0.25);
+    EXPECT_DOUBLE_EQ(f[2], 0.5);
+    EXPECT_DOUBLE_EQ(f[3], 0.5);
+    EXPECT_DOUBLE_EQ(f[4], 1.0);
+    EXPECT_DOUBLE_EQ(f[5], 1.0);
+}
+
+TEST(SurvivalCurve, EmptyCurve)
+{
+    SurvivalCurve c;
+    auto f = c.fractionAtOrBelow({0.0, 1.0});
+    EXPECT_DOUBLE_EQ(f[0], 0.0);
+    EXPECT_DOUBLE_EQ(f[1], 0.0);
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,71 @@
+#include "support/strings.hh"
+
+#include <gtest/gtest.h>
+
+namespace balance
+{
+namespace
+{
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  hi "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto v = split("a,,b,", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "");
+    EXPECT_EQ(v[2], "b");
+    EXPECT_EQ(v[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpties)
+{
+    auto v = splitWhitespace("  one\ttwo   three ");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "one");
+    EXPECT_EQ(v[1], "two");
+    EXPECT_EQ(v[2], "three");
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("superblock x", "superblock"));
+    EXPECT_FALSE(startsWith("sup", "superblock"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(Strings, ParseInt)
+{
+    long long v = 0;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_FALSE(parseInt("4x", v));
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("3.5", v));
+}
+
+TEST(Strings, ParseDouble)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseDouble("0.25", v));
+    EXPECT_DOUBLE_EQ(v, 0.25);
+    EXPECT_TRUE(parseDouble("-1e3", v));
+    EXPECT_DOUBLE_EQ(v, -1000.0);
+    EXPECT_FALSE(parseDouble("abc", v));
+    EXPECT_FALSE(parseDouble("1.5x", v));
+    EXPECT_FALSE(parseDouble("", v));
+}
+
+} // namespace
+} // namespace balance

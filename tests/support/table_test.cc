@@ -1,0 +1,68 @@
+#include "support/table.hh"
+
+#include <gtest/gtest.h>
+
+namespace balance
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    // Each rendered line is as wide as the widest cells require.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RuleBetweenRows)
+{
+    TextTable t;
+    t.addRow({"x"});
+    t.addRule();
+    t.addRow({"y"});
+    std::string out = t.render();
+    auto firstNl = out.find('\n');
+    auto secondNl = out.find('\n', firstNl + 1);
+    EXPECT_EQ(out.substr(firstNl + 1, secondNl - firstNl - 1),
+              std::string(1, '-'));
+}
+
+TEST(TextTable, RaggedRowsTolerated)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    t.addRow({"1", "2", "3"});
+    EXPECT_NO_THROW({ auto s = t.render(); (void)s; });
+}
+
+TEST(Formatting, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+    EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Formatting, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(12.345, 1), "12.3%");
+}
+
+TEST(Formatting, FmtCount)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+    EXPECT_EQ(fmtCount(-1234), "-1,234");
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,159 @@
+#include "workload/generator.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hh"
+#include "workload/suite.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(Generator, DeterministicForSeed)
+{
+    GeneratorParams params;
+    Rng a(7);
+    Rng b(7);
+    Superblock x = generateSuperblock(a, params, "x");
+    Superblock y = generateSuperblock(b, params, "y");
+    ASSERT_EQ(x.numOps(), y.numOps());
+    ASSERT_EQ(x.numBranches(), y.numBranches());
+    for (OpId v = 0; v < x.numOps(); ++v) {
+        EXPECT_EQ(x.op(v).cls, y.op(v).cls);
+        EXPECT_EQ(x.op(v).latency, y.op(v).latency);
+    }
+}
+
+TEST(Generator, RespectsCaps)
+{
+    GeneratorParams params;
+    params.maxOps = 40;
+    params.maxBlocks = 5;
+    Rng rng(13);
+    for (int i = 0; i < 50; ++i) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params, "cap");
+        EXPECT_LE(sb.numOps(), 40);
+        EXPECT_LE(sb.numBranches(), 5);
+    }
+}
+
+TEST(Generator, ExitProbabilitiesFormDistribution)
+{
+    GeneratorParams params;
+    Rng rng(17);
+    for (int i = 0; i < 30; ++i) {
+        Rng child = rng.fork();
+        Superblock sb = generateSuperblock(child, params, "p");
+        double total = 0.0;
+        for (OpId b : sb.branches()) {
+            EXPECT_GE(sb.exitProb(b), 0.0);
+            total += sb.exitProb(b);
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+        // The final exit carries the fall-through mass.
+        EXPECT_GE(sb.exitProb(sb.branches().back()), 0.3);
+    }
+}
+
+TEST(Generator, OpsCannotSinkBelowOwnExit)
+{
+    GeneratorParams params;
+    Rng rng(23);
+    Superblock sb = generateSuperblock(rng, params, "sink");
+    GraphContext ctx(sb);
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        if (sb.op(v).isBranch())
+            continue;
+        OpId blockExit = sb.branches()[std::size_t(sb.op(v).block)];
+        if (v < blockExit) {
+            EXPECT_TRUE(ctx.predSets().isPred(v, blockExit))
+                << "op " << v << " escapes exit " << blockExit;
+        }
+    }
+}
+
+TEST(Generator, EveryOpReachesSomeExit)
+{
+    GeneratorParams params;
+    Rng rng(29);
+    Superblock sb = generateSuperblock(rng, params, "live");
+    GraphContext ctx(sb);
+    OpId last = sb.branches().back();
+    for (OpId v = 0; v < last; ++v)
+        EXPECT_TRUE(ctx.predSets().isPred(v, last));
+}
+
+TEST(Generator, GiantDrawsRespectRange)
+{
+    GeneratorParams params;
+    params.giantProb = 1.0;
+    params.giantMinBlocks = 30;
+    params.giantMaxBlocks = 60;
+    Rng rng(31);
+    Superblock sb = generateSuperblock(rng, params, "giant");
+    EXPECT_GE(sb.numBranches(), 30);
+    EXPECT_LE(sb.numBranches(), 60);
+    EXPECT_LE(sb.numOps(), params.maxOps);
+}
+
+TEST(Suite, SpecsTotalPaperCount)
+{
+    auto specs = specInt95Specs();
+    EXPECT_EQ(specs.size(), 8u);
+    int total = 0;
+    for (const auto &s : specs)
+        total += s.superblockCount;
+    EXPECT_EQ(total, 6615);
+}
+
+TEST(Suite, ScaledBuildIsProportional)
+{
+    SuiteOptions opts;
+    opts.scale = 0.01;
+    auto suite = buildSuite(opts);
+    EXPECT_EQ(suite.size(), 8u);
+    int total = suiteSize(suite);
+    EXPECT_GE(total, 50);
+    EXPECT_LE(total, 80);
+}
+
+TEST(Suite, SameSeedSamePopulation)
+{
+    SuiteOptions opts;
+    opts.scale = 0.005;
+    auto a = buildSuite(opts);
+    auto b = buildSuite(opts);
+    ASSERT_EQ(suiteSize(a), suiteSize(b));
+    for (std::size_t p = 0; p < a.size(); ++p) {
+        for (std::size_t i = 0; i < a[p].superblocks.size(); ++i) {
+            EXPECT_EQ(a[p].superblocks[i].numOps(),
+                      b[p].superblocks[i].numOps());
+            EXPECT_EQ(a[p].superblocks[i].numEdges(),
+                      b[p].superblocks[i].numEdges());
+        }
+    }
+}
+
+TEST(Suite, ScaleIndependentPrefix)
+{
+    // Growing the scale extends the population without changing the
+    // superblocks already present (per-item forked streams).
+    SuiteOptions small;
+    small.scale = 0.004;
+    SuiteOptions large;
+    large.scale = 0.008;
+    auto a = buildSuite(small);
+    auto b = buildSuite(large);
+    for (std::size_t p = 0; p < a.size(); ++p) {
+        for (std::size_t i = 0; i < a[p].superblocks.size(); ++i) {
+            ASSERT_LT(i, b[p].superblocks.size());
+            EXPECT_EQ(a[p].superblocks[i].numOps(),
+                      b[p].superblocks[i].numOps());
+        }
+    }
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,81 @@
+#include "workload/paper_figures.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(PaperFigures, Figure1Shape)
+{
+    Superblock sb = paperFigure1(0.2);
+    EXPECT_EQ(sb.numOps(), 17);
+    EXPECT_EQ(sb.numBranches(), 2);
+    GraphContext ctx(sb);
+    OpId side = sb.branches()[0];
+    OpId fin = sb.branches()[1];
+    // Side exit: 3 predecessors; final exit: 16 predecessors.
+    EXPECT_EQ(ctx.predSets().preds(side).count(), 3u);
+    EXPECT_EQ(ctx.predSets().preds(fin).count(), 16u);
+    // Dependence critical path to the final exit is 7.
+    EXPECT_EQ(ctx.earlyDC()[std::size_t(fin)], 7);
+    EXPECT_DOUBLE_EQ(sb.exitProb(side) + sb.exitProb(fin), 1.0);
+}
+
+TEST(PaperFigures, Figure2Shape)
+{
+    Superblock sb = paperFigure2(0.4);
+    EXPECT_EQ(sb.numOps(), 7);
+    GraphContext ctx(sb);
+    OpId fin = sb.branches()[1];
+    EXPECT_EQ(ctx.predSets().preds(fin).count(), 6u);
+    // Dependence distance from op 4 to the final exit is 3.
+    EXPECT_EQ(ctx.heightToBranch(1)[4], 3);
+    EXPECT_EQ(ctx.earlyDC()[std::size_t(fin)], 3);
+}
+
+TEST(PaperFigures, Figure3Shape)
+{
+    Superblock sb = paperFigure3(0.4);
+    EXPECT_EQ(sb.numOps(), 10);
+    GraphContext ctx(sb);
+    OpId fin = sb.branches()[1];
+    EXPECT_EQ(ctx.predSets().preds(fin).count(), 9u);
+    // Fan-out 5 -> {6,7,8} -> 9 gives a dependence height of 3 from
+    // op 4 while two-issue resources force 4 cycles.
+    EXPECT_EQ(ctx.heightToBranch(1)[4], 3);
+}
+
+TEST(PaperFigures, Figure4Probabilities)
+{
+    Superblock sb = paperFigure4(0.26);
+    ASSERT_EQ(sb.numBranches(), 2);
+    EXPECT_DOUBLE_EQ(sb.exitProb(sb.branches()[0]), 0.26);
+    EXPECT_DOUBLE_EQ(sb.exitProb(sb.branches()[1]), 0.74);
+}
+
+TEST(PaperFigures, Figure6Shape)
+{
+    Superblock sb = paperFigure6();
+    EXPECT_EQ(sb.numOps(), 9);
+    EXPECT_EQ(sb.numBranches(), 1);
+    GraphContext ctx(sb);
+    EXPECT_EQ(ctx.predSets().preds(sb.branches()[0]).count(), 8u);
+    EXPECT_EQ(ctx.earlyDC()[std::size_t(sb.branches()[0])], 4);
+}
+
+TEST(PaperFigures, AllValidate)
+{
+    // validate() runs inside build(); re-run explicitly for clarity.
+    paperFigure1(0.5).validate();
+    paperFigure2(0.5).validate();
+    paperFigure3(0.5).validate();
+    paperFigure4(0.5).validate();
+    paperFigure6().validate();
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,150 @@
+/**
+ * Statistical validation of the synthetic suite against the envelope
+ * DESIGN.md promises (the substitution argument leans on these shape
+ * properties, so they are pinned here).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/stats.hh"
+#include "workload/suite.hh"
+
+namespace balance
+{
+namespace
+{
+
+class SuiteStats : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        SuiteOptions opts;
+        opts.scale = 0.05;
+        population = new std::vector<BenchmarkProgram>(buildSuite(opts));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete population;
+        population = nullptr;
+    }
+
+    static std::vector<BenchmarkProgram> *population;
+};
+
+std::vector<BenchmarkProgram> *SuiteStats::population = nullptr;
+
+TEST_F(SuiteStats, SizeEnvelope)
+{
+    SampleStat ops;
+    SampleStat branches;
+    for (const auto &prog : *population) {
+        for (const auto &sb : prog.superblocks) {
+            ops.add(double(sb.numOps()));
+            branches.add(double(sb.numBranches()));
+            EXPECT_LE(sb.numOps(), 607);
+            EXPECT_LE(sb.numBranches(), 200);
+        }
+    }
+    // Mostly small superblocks with a meaningful tail, like compiled
+    // SPECint regions.
+    EXPECT_GE(ops.mean(), 10.0);
+    EXPECT_LE(ops.mean(), 40.0);
+    EXPECT_LE(ops.median(), 25.0);
+    EXPECT_GE(branches.median(), 1.0);
+    EXPECT_LE(branches.median(), 4.0);
+}
+
+TEST_F(SuiteStats, OperationClassMix)
+{
+    long long mem = 0;
+    long long flt = 0;
+    long long total = 0;
+    for (const auto &prog : *population) {
+        for (const auto &sb : prog.superblocks) {
+            for (const Operation &o : sb.ops()) {
+                if (o.isBranch())
+                    continue;
+                ++total;
+                mem += o.cls == OpClass::Memory;
+                flt += o.cls == OpClass::FloatAlu;
+            }
+        }
+    }
+    double memFrac = double(mem) / total;
+    double fltFrac = double(flt) / total;
+    // SPECint-like: heavy integer, ~30% memory, almost no float.
+    EXPECT_GE(memFrac, 0.20);
+    EXPECT_LE(memFrac, 0.40);
+    EXPECT_LE(fltFrac, 0.05);
+}
+
+TEST_F(SuiteStats, ExitProfilesAreBiased)
+{
+    // Superblock formation picks likely paths: the final exit should
+    // usually dominate the side exits.
+    int finalDominates = 0;
+    int multiExit = 0;
+    for (const auto &prog : *population) {
+        for (const auto &sb : prog.superblocks) {
+            if (sb.numBranches() < 2)
+                continue;
+            ++multiExit;
+            double finalProb = sb.exitProb(sb.branches().back());
+            double maxSide = 0.0;
+            for (int bi = 0; bi + 1 < sb.numBranches(); ++bi) {
+                maxSide = std::max(
+                    maxSide, sb.exitProb(sb.branches()[std::size_t(bi)]));
+            }
+            if (finalProb > maxSide)
+                ++finalDominates;
+        }
+    }
+    ASSERT_GT(multiExit, 50);
+    EXPECT_GE(double(finalDominates) / multiExit, 0.85);
+}
+
+TEST_F(SuiteStats, FrequenciesHeavyTailed)
+{
+    SampleStat freq;
+    for (const auto &prog : *population) {
+        for (const auto &sb : prog.superblocks)
+            freq.add(sb.execFrequency());
+    }
+    // Lognormal-ish: mean well above median.
+    EXPECT_GT(freq.mean(), 1.5 * freq.median());
+    EXPECT_GE(freq.percentile(1), 1.0); // floor of one execution
+}
+
+TEST_F(SuiteStats, LatenciesMatchPaperValues)
+{
+    for (const auto &prog : *population) {
+        for (const auto &sb : prog.superblocks) {
+            for (const Operation &o : sb.ops()) {
+                switch (o.cls) {
+                  case OpClass::IntAlu:
+                    EXPECT_EQ(o.latency, 1);
+                    break;
+                  case OpClass::Memory:
+                    EXPECT_TRUE(o.latency == 1 || o.latency == 2);
+                    break;
+                  case OpClass::FloatAlu:
+                    EXPECT_TRUE(o.latency == 1 || o.latency == 3 ||
+                                o.latency == 9);
+                    break;
+                  case OpClass::Branch:
+                    EXPECT_EQ(o.latency, 1);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure and the extension benches into
+# results/. Full scale reproduces EXPERIMENTS.md (hours on one core);
+# pass a scale factor for a quicker pass, e.g.:
+#
+#   tools/run_experiments.sh 0.25
+#
+set -euo pipefail
+
+scale="${1:-1.0}"
+build="${BUILD_DIR:-build}"
+out="results"
+mkdir -p "$out"
+
+if [ ! -x "$build/bench/table1_bounds" ]; then
+    echo "building first..."
+    cmake -B "$build" -G Ninja
+    cmake --build "$build"
+fi
+
+paper_benches=(
+    table1_bounds
+    table2_bound_complexity
+    table3_slowdown
+    table4_optimal
+    table5_noprofile
+    table6_sched_complexity
+    table7_ablation
+    figure8_gcc_cdf
+)
+extension_benches=(
+    optimality_gap
+    ablation_tw_budget
+    superblock_vs_bb
+)
+
+for b in "${paper_benches[@]}" "${extension_benches[@]}"; do
+    echo "== $b (scale $scale) =="
+    "$build/bench/$b" --scale "$scale" | tee "$out/$b.txt"
+    echo
+done
+
+echo "== micro_kernels =="
+"$build/bench/micro_kernels" | tee "$out/micro_kernels.txt"
+
+echo
+echo "all outputs in $out/"
