@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tw_budget.dir/ablation_tw_budget.cc.o"
+  "CMakeFiles/ablation_tw_budget.dir/ablation_tw_budget.cc.o.d"
+  "ablation_tw_budget"
+  "ablation_tw_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tw_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_gcc_cdf.dir/figure8_gcc_cdf.cc.o"
+  "CMakeFiles/figure8_gcc_cdf.dir/figure8_gcc_cdf.cc.o.d"
+  "figure8_gcc_cdf"
+  "figure8_gcc_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_gcc_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

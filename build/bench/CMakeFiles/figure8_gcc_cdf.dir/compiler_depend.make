@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure8_gcc_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure8_gcc_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimality_gap.dir/optimality_gap.cc.o"
+  "CMakeFiles/optimality_gap.dir/optimality_gap.cc.o.d"
+  "optimality_gap"
+  "optimality_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimality_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for optimality_gap.
+# This may be replaced when dependencies are built.

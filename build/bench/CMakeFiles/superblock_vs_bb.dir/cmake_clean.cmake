@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superblock_vs_bb.dir/superblock_vs_bb.cc.o"
+  "CMakeFiles/superblock_vs_bb.dir/superblock_vs_bb.cc.o.d"
+  "superblock_vs_bb"
+  "superblock_vs_bb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superblock_vs_bb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

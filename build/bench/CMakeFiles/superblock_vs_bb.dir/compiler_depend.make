@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for superblock_vs_bb.
+# This may be replaced when dependencies are built.

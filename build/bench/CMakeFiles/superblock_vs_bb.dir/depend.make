@@ -1,0 +1,2 @@
+# Empty dependencies file for superblock_vs_bb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bounds.dir/table1_bounds.cc.o"
+  "CMakeFiles/table1_bounds.dir/table1_bounds.cc.o.d"
+  "table1_bounds"
+  "table1_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bound_complexity.dir/table2_bound_complexity.cc.o"
+  "CMakeFiles/table2_bound_complexity.dir/table2_bound_complexity.cc.o.d"
+  "table2_bound_complexity"
+  "table2_bound_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bound_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_bound_complexity.
+# This may be replaced when dependencies are built.

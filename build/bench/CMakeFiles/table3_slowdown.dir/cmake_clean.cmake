@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_slowdown.dir/table3_slowdown.cc.o"
+  "CMakeFiles/table3_slowdown.dir/table3_slowdown.cc.o.d"
+  "table3_slowdown"
+  "table3_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_optimal.dir/table4_optimal.cc.o"
+  "CMakeFiles/table4_optimal.dir/table4_optimal.cc.o.d"
+  "table4_optimal"
+  "table4_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

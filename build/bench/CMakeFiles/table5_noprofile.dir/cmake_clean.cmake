@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_noprofile.dir/table5_noprofile.cc.o"
+  "CMakeFiles/table5_noprofile.dir/table5_noprofile.cc.o.d"
+  "table5_noprofile"
+  "table5_noprofile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_noprofile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

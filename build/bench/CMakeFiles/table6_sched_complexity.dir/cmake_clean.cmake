@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_sched_complexity.dir/table6_sched_complexity.cc.o"
+  "CMakeFiles/table6_sched_complexity.dir/table6_sched_complexity.cc.o.d"
+  "table6_sched_complexity"
+  "table6_sched_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_sched_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ablation.dir/table7_ablation.cc.o"
+  "CMakeFiles/table7_ablation.dir/table7_ablation.cc.o.d"
+  "table7_ablation"
+  "table7_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table1_bounds "/root/repo/build/bench/table1_bounds" "--scale" "0.004")
+set_tests_properties(bench_smoke_table1_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table2_bound_complexity "/root/repo/build/bench/table2_bound_complexity" "--scale" "0.004")
+set_tests_properties(bench_smoke_table2_bound_complexity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_figure8_gcc_cdf "/root/repo/build/bench/figure8_gcc_cdf" "--scale" "0.004")
+set_tests_properties(bench_smoke_figure8_gcc_cdf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table3_slowdown "/root/repo/build/bench/table3_slowdown" "--scale" "0.004")
+set_tests_properties(bench_smoke_table3_slowdown PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table4_optimal "/root/repo/build/bench/table4_optimal" "--scale" "0.004")
+set_tests_properties(bench_smoke_table4_optimal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table5_noprofile "/root/repo/build/bench/table5_noprofile" "--scale" "0.004")
+set_tests_properties(bench_smoke_table5_noprofile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table6_sched_complexity "/root/repo/build/bench/table6_sched_complexity" "--scale" "0.004")
+set_tests_properties(bench_smoke_table6_sched_complexity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table7_ablation "/root/repo/build/bench/table7_ablation" "--scale" "0.004")
+set_tests_properties(bench_smoke_table7_ablation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_optimality_gap "/root/repo/build/bench/optimality_gap" "--scale" "0.004")
+set_tests_properties(bench_smoke_optimality_gap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_tw_budget "/root/repo/build/bench/ablation_tw_budget" "--scale" "0.004")
+set_tests_properties(bench_smoke_ablation_tw_budget PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_superblock_vs_bb "/root/repo/build/bench/superblock_vs_bb" "--scale" "0.004")
+set_tests_properties(bench_smoke_superblock_vs_bb PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_micro_kernels "/root/repo/build/bench/micro_kernels" "--benchmark_filter=BM_ListScheduler/25" "--benchmark_min_time=0.01")
+set_tests_properties(bench_smoke_micro_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_pipeline.dir/compile_pipeline.cpp.o"
+  "CMakeFiles/compile_pipeline.dir/compile_pipeline.cpp.o.d"
+  "compile_pipeline"
+  "compile_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

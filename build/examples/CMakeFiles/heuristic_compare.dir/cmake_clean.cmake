@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_compare.dir/heuristic_compare.cpp.o"
+  "CMakeFiles/heuristic_compare.dir/heuristic_compare.cpp.o.d"
+  "heuristic_compare"
+  "heuristic_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

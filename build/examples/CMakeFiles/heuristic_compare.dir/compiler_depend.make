@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for heuristic_compare.
+# This may be replaced when dependencies are built.

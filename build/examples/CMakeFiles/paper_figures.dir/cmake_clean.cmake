@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_figures.dir/paper_figures.cpp.o"
+  "CMakeFiles/paper_figures.dir/paper_figures.cpp.o.d"
+  "paper_figures"
+  "paper_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

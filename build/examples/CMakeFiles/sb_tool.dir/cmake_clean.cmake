@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_tool.dir/sb_tool.cpp.o"
+  "CMakeFiles/sb_tool.dir/sb_tool.cpp.o.d"
+  "sb_tool"
+  "sb_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/branch_bounds.cc" "src/bounds/CMakeFiles/balance_bounds.dir/branch_bounds.cc.o" "gcc" "src/bounds/CMakeFiles/balance_bounds.dir/branch_bounds.cc.o.d"
+  "/root/repo/src/bounds/pairwise.cc" "src/bounds/CMakeFiles/balance_bounds.dir/pairwise.cc.o" "gcc" "src/bounds/CMakeFiles/balance_bounds.dir/pairwise.cc.o.d"
+  "/root/repo/src/bounds/relaxation.cc" "src/bounds/CMakeFiles/balance_bounds.dir/relaxation.cc.o" "gcc" "src/bounds/CMakeFiles/balance_bounds.dir/relaxation.cc.o.d"
+  "/root/repo/src/bounds/superblock_bounds.cc" "src/bounds/CMakeFiles/balance_bounds.dir/superblock_bounds.cc.o" "gcc" "src/bounds/CMakeFiles/balance_bounds.dir/superblock_bounds.cc.o.d"
+  "/root/repo/src/bounds/triplewise.cc" "src/bounds/CMakeFiles/balance_bounds.dir/triplewise.cc.o" "gcc" "src/bounds/CMakeFiles/balance_bounds.dir/triplewise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/balance_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/balance_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/balance_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_bounds.dir/branch_bounds.cc.o"
+  "CMakeFiles/balance_bounds.dir/branch_bounds.cc.o.d"
+  "CMakeFiles/balance_bounds.dir/pairwise.cc.o"
+  "CMakeFiles/balance_bounds.dir/pairwise.cc.o.d"
+  "CMakeFiles/balance_bounds.dir/relaxation.cc.o"
+  "CMakeFiles/balance_bounds.dir/relaxation.cc.o.d"
+  "CMakeFiles/balance_bounds.dir/superblock_bounds.cc.o"
+  "CMakeFiles/balance_bounds.dir/superblock_bounds.cc.o.d"
+  "CMakeFiles/balance_bounds.dir/triplewise.cc.o"
+  "CMakeFiles/balance_bounds.dir/triplewise.cc.o.d"
+  "libbalance_bounds.a"
+  "libbalance_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/cfg_gen.cc" "src/cfg/CMakeFiles/balance_cfg.dir/cfg_gen.cc.o" "gcc" "src/cfg/CMakeFiles/balance_cfg.dir/cfg_gen.cc.o.d"
+  "/root/repo/src/cfg/liveness.cc" "src/cfg/CMakeFiles/balance_cfg.dir/liveness.cc.o" "gcc" "src/cfg/CMakeFiles/balance_cfg.dir/liveness.cc.o.d"
+  "/root/repo/src/cfg/program.cc" "src/cfg/CMakeFiles/balance_cfg.dir/program.cc.o" "gcc" "src/cfg/CMakeFiles/balance_cfg.dir/program.cc.o.d"
+  "/root/repo/src/cfg/superblock_form.cc" "src/cfg/CMakeFiles/balance_cfg.dir/superblock_form.cc.o" "gcc" "src/cfg/CMakeFiles/balance_cfg.dir/superblock_form.cc.o.d"
+  "/root/repo/src/cfg/trace.cc" "src/cfg/CMakeFiles/balance_cfg.dir/trace.cc.o" "gcc" "src/cfg/CMakeFiles/balance_cfg.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/balance_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/balance_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/balance_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

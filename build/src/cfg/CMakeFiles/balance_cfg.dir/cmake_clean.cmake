@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_cfg.dir/cfg_gen.cc.o"
+  "CMakeFiles/balance_cfg.dir/cfg_gen.cc.o.d"
+  "CMakeFiles/balance_cfg.dir/liveness.cc.o"
+  "CMakeFiles/balance_cfg.dir/liveness.cc.o.d"
+  "CMakeFiles/balance_cfg.dir/program.cc.o"
+  "CMakeFiles/balance_cfg.dir/program.cc.o.d"
+  "CMakeFiles/balance_cfg.dir/superblock_form.cc.o"
+  "CMakeFiles/balance_cfg.dir/superblock_form.cc.o.d"
+  "CMakeFiles/balance_cfg.dir/trace.cc.o"
+  "CMakeFiles/balance_cfg.dir/trace.cc.o.d"
+  "libbalance_cfg.a"
+  "libbalance_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balance_scheduler.cc" "src/core/CMakeFiles/balance_core.dir/balance_scheduler.cc.o" "gcc" "src/core/CMakeFiles/balance_core.dir/balance_scheduler.cc.o.d"
+  "/root/repo/src/core/branch_dynamics.cc" "src/core/CMakeFiles/balance_core.dir/branch_dynamics.cc.o" "gcc" "src/core/CMakeFiles/balance_core.dir/branch_dynamics.cc.o.d"
+  "/root/repo/src/core/branch_select.cc" "src/core/CMakeFiles/balance_core.dir/branch_select.cc.o" "gcc" "src/core/CMakeFiles/balance_core.dir/branch_select.cc.o.d"
+  "/root/repo/src/core/op_pick.cc" "src/core/CMakeFiles/balance_core.dir/op_pick.cc.o" "gcc" "src/core/CMakeFiles/balance_core.dir/op_pick.cc.o.d"
+  "/root/repo/src/core/sched_state.cc" "src/core/CMakeFiles/balance_core.dir/sched_state.cc.o" "gcc" "src/core/CMakeFiles/balance_core.dir/sched_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/balance_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/balance_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/balance_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/balance_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/balance_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_core.dir/balance_scheduler.cc.o"
+  "CMakeFiles/balance_core.dir/balance_scheduler.cc.o.d"
+  "CMakeFiles/balance_core.dir/branch_dynamics.cc.o"
+  "CMakeFiles/balance_core.dir/branch_dynamics.cc.o.d"
+  "CMakeFiles/balance_core.dir/branch_select.cc.o"
+  "CMakeFiles/balance_core.dir/branch_select.cc.o.d"
+  "CMakeFiles/balance_core.dir/op_pick.cc.o"
+  "CMakeFiles/balance_core.dir/op_pick.cc.o.d"
+  "CMakeFiles/balance_core.dir/sched_state.cc.o"
+  "CMakeFiles/balance_core.dir/sched_state.cc.o.d"
+  "libbalance_core.a"
+  "libbalance_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

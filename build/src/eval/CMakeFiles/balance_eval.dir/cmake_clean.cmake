@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_eval.dir/bench_options.cc.o"
+  "CMakeFiles/balance_eval.dir/bench_options.cc.o.d"
+  "CMakeFiles/balance_eval.dir/bounds_eval.cc.o"
+  "CMakeFiles/balance_eval.dir/bounds_eval.cc.o.d"
+  "CMakeFiles/balance_eval.dir/experiment.cc.o"
+  "CMakeFiles/balance_eval.dir/experiment.cc.o.d"
+  "libbalance_eval.a"
+  "libbalance_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cc" "src/graph/CMakeFiles/balance_graph.dir/analysis.cc.o" "gcc" "src/graph/CMakeFiles/balance_graph.dir/analysis.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/balance_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/balance_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/dot.cc" "src/graph/CMakeFiles/balance_graph.dir/dot.cc.o" "gcc" "src/graph/CMakeFiles/balance_graph.dir/dot.cc.o.d"
+  "/root/repo/src/graph/superblock.cc" "src/graph/CMakeFiles/balance_graph.dir/superblock.cc.o" "gcc" "src/graph/CMakeFiles/balance_graph.dir/superblock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/balance_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/balance_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_graph.dir/analysis.cc.o"
+  "CMakeFiles/balance_graph.dir/analysis.cc.o.d"
+  "CMakeFiles/balance_graph.dir/builder.cc.o"
+  "CMakeFiles/balance_graph.dir/builder.cc.o.d"
+  "CMakeFiles/balance_graph.dir/dot.cc.o"
+  "CMakeFiles/balance_graph.dir/dot.cc.o.d"
+  "CMakeFiles/balance_graph.dir/superblock.cc.o"
+  "CMakeFiles/balance_graph.dir/superblock.cc.o.d"
+  "libbalance_graph.a"
+  "libbalance_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/machine_model.cc" "src/machine/CMakeFiles/balance_machine.dir/machine_model.cc.o" "gcc" "src/machine/CMakeFiles/balance_machine.dir/machine_model.cc.o.d"
+  "/root/repo/src/machine/op_class.cc" "src/machine/CMakeFiles/balance_machine.dir/op_class.cc.o" "gcc" "src/machine/CMakeFiles/balance_machine.dir/op_class.cc.o.d"
+  "/root/repo/src/machine/resource_state.cc" "src/machine/CMakeFiles/balance_machine.dir/resource_state.cc.o" "gcc" "src/machine/CMakeFiles/balance_machine.dir/resource_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/balance_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

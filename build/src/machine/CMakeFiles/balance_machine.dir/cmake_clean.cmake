@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_machine.dir/machine_model.cc.o"
+  "CMakeFiles/balance_machine.dir/machine_model.cc.o.d"
+  "CMakeFiles/balance_machine.dir/op_class.cc.o"
+  "CMakeFiles/balance_machine.dir/op_class.cc.o.d"
+  "CMakeFiles/balance_machine.dir/resource_state.cc.o"
+  "CMakeFiles/balance_machine.dir/resource_state.cc.o.d"
+  "libbalance_machine.a"
+  "libbalance_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

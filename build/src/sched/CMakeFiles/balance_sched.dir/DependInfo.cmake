@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/best_scheduler.cc" "src/sched/CMakeFiles/balance_sched.dir/best_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/balance_sched.dir/best_scheduler.cc.o.d"
+  "/root/repo/src/sched/heuristics.cc" "src/sched/CMakeFiles/balance_sched.dir/heuristics.cc.o" "gcc" "src/sched/CMakeFiles/balance_sched.dir/heuristics.cc.o.d"
+  "/root/repo/src/sched/list_scheduler.cc" "src/sched/CMakeFiles/balance_sched.dir/list_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/balance_sched.dir/list_scheduler.cc.o.d"
+  "/root/repo/src/sched/optimal.cc" "src/sched/CMakeFiles/balance_sched.dir/optimal.cc.o" "gcc" "src/sched/CMakeFiles/balance_sched.dir/optimal.cc.o.d"
+  "/root/repo/src/sched/priorities.cc" "src/sched/CMakeFiles/balance_sched.dir/priorities.cc.o" "gcc" "src/sched/CMakeFiles/balance_sched.dir/priorities.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/sched/CMakeFiles/balance_sched.dir/schedule.cc.o" "gcc" "src/sched/CMakeFiles/balance_sched.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bounds/CMakeFiles/balance_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/balance_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/balance_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/balance_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_sched.dir/best_scheduler.cc.o"
+  "CMakeFiles/balance_sched.dir/best_scheduler.cc.o.d"
+  "CMakeFiles/balance_sched.dir/heuristics.cc.o"
+  "CMakeFiles/balance_sched.dir/heuristics.cc.o.d"
+  "CMakeFiles/balance_sched.dir/list_scheduler.cc.o"
+  "CMakeFiles/balance_sched.dir/list_scheduler.cc.o.d"
+  "CMakeFiles/balance_sched.dir/optimal.cc.o"
+  "CMakeFiles/balance_sched.dir/optimal.cc.o.d"
+  "CMakeFiles/balance_sched.dir/priorities.cc.o"
+  "CMakeFiles/balance_sched.dir/priorities.cc.o.d"
+  "CMakeFiles/balance_sched.dir/schedule.cc.o"
+  "CMakeFiles/balance_sched.dir/schedule.cc.o.d"
+  "libbalance_sched.a"
+  "libbalance_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

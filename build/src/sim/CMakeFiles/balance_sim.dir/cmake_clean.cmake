@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_sim.dir/simulator.cc.o"
+  "CMakeFiles/balance_sim.dir/simulator.cc.o.d"
+  "libbalance_sim.a"
+  "libbalance_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_support.dir/bitset.cc.o"
+  "CMakeFiles/balance_support.dir/bitset.cc.o.d"
+  "CMakeFiles/balance_support.dir/diagnostics.cc.o"
+  "CMakeFiles/balance_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/balance_support.dir/rng.cc.o"
+  "CMakeFiles/balance_support.dir/rng.cc.o.d"
+  "CMakeFiles/balance_support.dir/stats.cc.o"
+  "CMakeFiles/balance_support.dir/stats.cc.o.d"
+  "CMakeFiles/balance_support.dir/strings.cc.o"
+  "CMakeFiles/balance_support.dir/strings.cc.o.d"
+  "CMakeFiles/balance_support.dir/table.cc.o"
+  "CMakeFiles/balance_support.dir/table.cc.o.d"
+  "libbalance_support.a"
+  "libbalance_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/balance_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/balance_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/paper_figures.cc" "src/workload/CMakeFiles/balance_workload.dir/paper_figures.cc.o" "gcc" "src/workload/CMakeFiles/balance_workload.dir/paper_figures.cc.o.d"
+  "/root/repo/src/workload/sb_io.cc" "src/workload/CMakeFiles/balance_workload.dir/sb_io.cc.o" "gcc" "src/workload/CMakeFiles/balance_workload.dir/sb_io.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/workload/CMakeFiles/balance_workload.dir/suite.cc.o" "gcc" "src/workload/CMakeFiles/balance_workload.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/balance_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/balance_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/balance_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_workload.dir/generator.cc.o"
+  "CMakeFiles/balance_workload.dir/generator.cc.o.d"
+  "CMakeFiles/balance_workload.dir/paper_figures.cc.o"
+  "CMakeFiles/balance_workload.dir/paper_figures.cc.o.d"
+  "CMakeFiles/balance_workload.dir/sb_io.cc.o"
+  "CMakeFiles/balance_workload.dir/sb_io.cc.o.d"
+  "CMakeFiles/balance_workload.dir/suite.cc.o"
+  "CMakeFiles/balance_workload.dir/suite.cc.o.d"
+  "libbalance_workload.a"
+  "libbalance_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_test.dir/core/balance_test.cc.o"
+  "CMakeFiles/balance_test.dir/core/balance_test.cc.o.d"
+  "balance_test"
+  "balance_test.pdb"
+  "balance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_options_test.dir/eval/bench_options_test.cc.o"
+  "CMakeFiles/bench_options_test.dir/eval/bench_options_test.cc.o.d"
+  "bench_options_test"
+  "bench_options_test.pdb"
+  "bench_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitset_test.dir/support/bitset_test.cc.o"
+  "CMakeFiles/bitset_test.dir/support/bitset_test.cc.o.d"
+  "bitset_test"
+  "bitset_test.pdb"
+  "bitset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

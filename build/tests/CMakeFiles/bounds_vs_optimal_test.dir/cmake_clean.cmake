@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_vs_optimal_test.dir/integration/bounds_vs_optimal_test.cc.o"
+  "CMakeFiles/bounds_vs_optimal_test.dir/integration/bounds_vs_optimal_test.cc.o.d"
+  "bounds_vs_optimal_test"
+  "bounds_vs_optimal_test.pdb"
+  "bounds_vs_optimal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_vs_optimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

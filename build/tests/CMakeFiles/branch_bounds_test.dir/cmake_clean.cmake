@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_bounds_test.dir/bounds/branch_bounds_test.cc.o"
+  "CMakeFiles/branch_bounds_test.dir/bounds/branch_bounds_test.cc.o.d"
+  "branch_bounds_test"
+  "branch_bounds_test.pdb"
+  "branch_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

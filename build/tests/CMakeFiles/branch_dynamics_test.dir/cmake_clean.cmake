@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_dynamics_test.dir/core/branch_dynamics_test.cc.o"
+  "CMakeFiles/branch_dynamics_test.dir/core/branch_dynamics_test.cc.o.d"
+  "branch_dynamics_test"
+  "branch_dynamics_test.pdb"
+  "branch_dynamics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

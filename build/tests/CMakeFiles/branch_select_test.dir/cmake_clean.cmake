@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_select_test.dir/core/branch_select_test.cc.o"
+  "CMakeFiles/branch_select_test.dir/core/branch_select_test.cc.o.d"
+  "branch_select_test"
+  "branch_select_test.pdb"
+  "branch_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

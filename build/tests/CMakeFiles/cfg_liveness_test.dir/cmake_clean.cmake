@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_liveness_test.dir/cfg/liveness_test.cc.o"
+  "CMakeFiles/cfg_liveness_test.dir/cfg/liveness_test.cc.o.d"
+  "cfg_liveness_test"
+  "cfg_liveness_test.pdb"
+  "cfg_liveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

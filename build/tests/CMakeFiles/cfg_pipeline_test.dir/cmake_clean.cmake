@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_pipeline_test.dir/cfg/cfg_pipeline_test.cc.o"
+  "CMakeFiles/cfg_pipeline_test.dir/cfg/cfg_pipeline_test.cc.o.d"
+  "cfg_pipeline_test"
+  "cfg_pipeline_test.pdb"
+  "cfg_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_program_test.dir/cfg/program_test.cc.o"
+  "CMakeFiles/cfg_program_test.dir/cfg/program_test.cc.o.d"
+  "cfg_program_test"
+  "cfg_program_test.pdb"
+  "cfg_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_superblock_form_test.dir/cfg/superblock_form_test.cc.o"
+  "CMakeFiles/cfg_superblock_form_test.dir/cfg/superblock_form_test.cc.o.d"
+  "cfg_superblock_form_test"
+  "cfg_superblock_form_test.pdb"
+  "cfg_superblock_form_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_superblock_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

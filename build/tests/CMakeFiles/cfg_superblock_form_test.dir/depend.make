@@ -1,0 +1,2 @@
+# Empty dependencies file for cfg_superblock_form_test.
+# This may be replaced when dependencies are built.

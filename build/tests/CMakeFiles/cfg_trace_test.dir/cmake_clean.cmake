@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_trace_test.dir/cfg/trace_test.cc.o"
+  "CMakeFiles/cfg_trace_test.dir/cfg/trace_test.cc.o.d"
+  "cfg_trace_test"
+  "cfg_trace_test.pdb"
+  "cfg_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_vs_optimal_test.dir/cfg/cfg_vs_optimal_test.cc.o"
+  "CMakeFiles/cfg_vs_optimal_test.dir/cfg/cfg_vs_optimal_test.cc.o.d"
+  "cfg_vs_optimal_test"
+  "cfg_vs_optimal_test.pdb"
+  "cfg_vs_optimal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_vs_optimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

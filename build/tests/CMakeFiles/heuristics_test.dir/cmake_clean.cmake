@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristics_test.dir/sched/heuristics_test.cc.o"
+  "CMakeFiles/heuristics_test.dir/sched/heuristics_test.cc.o.d"
+  "heuristics_test"
+  "heuristics_test.pdb"
+  "heuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

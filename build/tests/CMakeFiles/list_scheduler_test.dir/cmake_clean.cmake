@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_scheduler_test.dir/sched/list_scheduler_test.cc.o"
+  "CMakeFiles/list_scheduler_test.dir/sched/list_scheduler_test.cc.o.d"
+  "list_scheduler_test"
+  "list_scheduler_test.pdb"
+  "list_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

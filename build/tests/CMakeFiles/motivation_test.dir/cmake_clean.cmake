@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_test.dir/integration/motivation_test.cc.o"
+  "CMakeFiles/motivation_test.dir/integration/motivation_test.cc.o.d"
+  "motivation_test"
+  "motivation_test.pdb"
+  "motivation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonpipelined_test.dir/graph/nonpipelined_test.cc.o"
+  "CMakeFiles/nonpipelined_test.dir/graph/nonpipelined_test.cc.o.d"
+  "nonpipelined_test"
+  "nonpipelined_test.pdb"
+  "nonpipelined_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonpipelined_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

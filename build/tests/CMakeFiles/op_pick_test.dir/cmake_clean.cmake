@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_pick_test.dir/core/op_pick_test.cc.o"
+  "CMakeFiles/op_pick_test.dir/core/op_pick_test.cc.o.d"
+  "op_pick_test"
+  "op_pick_test.pdb"
+  "op_pick_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_pick_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

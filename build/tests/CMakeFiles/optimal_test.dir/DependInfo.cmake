@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/optimal_test.cc" "tests/CMakeFiles/optimal_test.dir/sched/optimal_test.cc.o" "gcc" "tests/CMakeFiles/optimal_test.dir/sched/optimal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/balance_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/balance_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/balance_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/balance_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/balance_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/balance_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/balance_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/balance_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/balance_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/balance_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

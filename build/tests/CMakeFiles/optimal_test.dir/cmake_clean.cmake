@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_test.dir/sched/optimal_test.cc.o"
+  "CMakeFiles/optimal_test.dir/sched/optimal_test.cc.o.d"
+  "optimal_test"
+  "optimal_test.pdb"
+  "optimal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

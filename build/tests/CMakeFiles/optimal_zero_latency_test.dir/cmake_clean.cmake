@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_zero_latency_test.dir/sched/optimal_zero_latency_test.cc.o"
+  "CMakeFiles/optimal_zero_latency_test.dir/sched/optimal_zero_latency_test.cc.o.d"
+  "optimal_zero_latency_test"
+  "optimal_zero_latency_test.pdb"
+  "optimal_zero_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_zero_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for optimal_zero_latency_test.
+# This may be replaced when dependencies are built.

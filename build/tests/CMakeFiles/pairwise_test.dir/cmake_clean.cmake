@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairwise_test.dir/bounds/pairwise_test.cc.o"
+  "CMakeFiles/pairwise_test.dir/bounds/pairwise_test.cc.o.d"
+  "pairwise_test"
+  "pairwise_test.pdb"
+  "pairwise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

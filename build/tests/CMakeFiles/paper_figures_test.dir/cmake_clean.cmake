@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_figures_test.dir/workload/paper_figures_test.cc.o"
+  "CMakeFiles/paper_figures_test.dir/workload/paper_figures_test.cc.o.d"
+  "paper_figures_test"
+  "paper_figures_test.pdb"
+  "paper_figures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxation_test.dir/bounds/relaxation_test.cc.o"
+  "CMakeFiles/relaxation_test.dir/bounds/relaxation_test.cc.o.d"
+  "relaxation_test"
+  "relaxation_test.pdb"
+  "relaxation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_state_test.dir/machine/resource_state_test.cc.o"
+  "CMakeFiles/resource_state_test.dir/machine/resource_state_test.cc.o.d"
+  "resource_state_test"
+  "resource_state_test.pdb"
+  "resource_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

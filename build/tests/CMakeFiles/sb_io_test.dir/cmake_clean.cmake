@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_io_test.dir/workload/sb_io_test.cc.o"
+  "CMakeFiles/sb_io_test.dir/workload/sb_io_test.cc.o.d"
+  "sb_io_test"
+  "sb_io_test.pdb"
+  "sb_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

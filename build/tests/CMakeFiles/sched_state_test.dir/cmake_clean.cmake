@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_state_test.dir/core/sched_state_test.cc.o"
+  "CMakeFiles/sched_state_test.dir/core/sched_state_test.cc.o.d"
+  "sched_state_test"
+  "sched_state_test.pdb"
+  "sched_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_stats_test.dir/workload/suite_stats_test.cc.o"
+  "CMakeFiles/suite_stats_test.dir/workload/suite_stats_test.cc.o.d"
+  "suite_stats_test"
+  "suite_stats_test.pdb"
+  "suite_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superblock_bounds_test.dir/bounds/superblock_bounds_test.cc.o"
+  "CMakeFiles/superblock_bounds_test.dir/bounds/superblock_bounds_test.cc.o.d"
+  "superblock_bounds_test"
+  "superblock_bounds_test.pdb"
+  "superblock_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superblock_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

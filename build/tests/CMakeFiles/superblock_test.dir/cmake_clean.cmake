@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superblock_test.dir/graph/superblock_test.cc.o"
+  "CMakeFiles/superblock_test.dir/graph/superblock_test.cc.o.d"
+  "superblock_test"
+  "superblock_test.pdb"
+  "superblock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triplewise_test.dir/bounds/triplewise_test.cc.o"
+  "CMakeFiles/triplewise_test.dir/bounds/triplewise_test.cc.o.d"
+  "triplewise_test"
+  "triplewise_test.pdb"
+  "triplewise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triplewise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
