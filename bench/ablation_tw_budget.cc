@@ -14,6 +14,7 @@
 
 #include "bounds/superblock_bounds.hh"
 #include "eval/bench_options.hh"
+#include "support/parallel_for.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 
@@ -66,17 +67,26 @@ main(int argc, char **argv)
     TextTable table;
     table.setHeader({"setting", "TW > PW", "avg gap closed",
                      "fell back", "avg trips"});
+    // The >= 3-branch population, in suite order.
+    std::vector<const Superblock *> eligibleSbs;
+    for (const BenchmarkProgram &prog : suite)
+        for (const Superblock &sb : prog.superblocks)
+            if (sb.numBranches() >= 3)
+                eligibleSbs.push_back(&sb);
+
     for (const Setting &setting : settings) {
-        int improved = 0;
-        int fellBack = 0;
-        int eligible = 0;
-        RunningStat gain;
-        SampleStat trips;
-        for (const BenchmarkProgram &prog : suite) {
-            for (const Superblock &sb : prog.superblocks) {
-                if (sb.numBranches() < 3)
-                    continue;
-                ++eligible;
+        struct TwSlot
+        {
+            double trips = 0.0;
+            bool fellBack = false;
+            bool improved = false;
+            double gainPercent = 0.0;
+        };
+        std::vector<TwSlot> slots(eligibleSbs.size());
+        parallelFor(
+            eligibleSbs.size(),
+            [&](std::size_t i) {
+                const Superblock &sb = *eligibleSbs[i];
                 GraphContext ctx(sb);
                 auto earlyRC = lcEarlyRCForSuperblock(ctx, machine);
                 std::vector<std::vector<int>> lateRCs;
@@ -89,16 +99,32 @@ main(int argc, char **argv)
                 TriplewiseResult tw =
                     computeTriplewise(ctx, machine, earlyRC, lateRCs,
                                       pw, setting.tw, &counters);
-                trips.add(double(counters.trips));
+                slots[i].trips = double(counters.trips);
                 if (tw.fellBack) {
-                    ++fellBack;
-                    continue;
+                    slots[i].fellBack = true;
+                    return;
                 }
                 double pwWct = pw.superblockWct();
                 if (tw.wct > pwWct + 1e-9) {
-                    ++improved;
-                    gain.add((tw.wct - pwWct) / pwWct * 100.0);
+                    slots[i].improved = true;
+                    slots[i].gainPercent =
+                        (tw.wct - pwWct) / pwWct * 100.0;
                 }
+            },
+            opts.threads);
+
+        int improved = 0;
+        int fellBack = 0;
+        int eligible = int(eligibleSbs.size());
+        RunningStat gain;
+        SampleStat trips;
+        for (const TwSlot &slot : slots) {
+            trips.add(slot.trips);
+            if (slot.fellBack)
+                ++fellBack;
+            if (slot.improved) {
+                ++improved;
+                gain.add(slot.gainPercent);
             }
         }
         table.addRow({setting.name,

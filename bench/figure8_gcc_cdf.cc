@@ -50,7 +50,8 @@ main(int argc, char **argv)
                                (eval.wct[h] - eval.tightest);
                 curves[h].add(std::max(0.0, extra));
             }
-        });
+        },
+        opts.threads);
 
     std::vector<double> thresholds = {0,    1,     3,     10,    30,
                                       100,  300,   1000,  3000,  10000,

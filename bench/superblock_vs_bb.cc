@@ -26,6 +26,7 @@
 #include "core/balance_scheduler.hh"
 #include "eval/bench_options.hh"
 #include "sched/heuristics.hh"
+#include "support/parallel_for.hh"
 #include "support/table.hh"
 
 using namespace balance;
@@ -58,33 +59,48 @@ main(int argc, char **argv)
     table.setHeader({"config", "basic-block cycles",
                      "superblock cycles", "speedup"});
     for (const MachineModel &machine : opts.machines) {
-        double bbCycles = 0.0;
-        double sbCycles = 0.0;
         CriticalPathScheduler cp;
         BalanceScheduler bal;
-        for (const CfgProgram &cfg : cfgs) {
-            Liveness live = Liveness::allLiveOut(cfg);
-            for (const Trace &trace : selectTraces(cfg)) {
-                // (a) per-block: each block is a one-exit superblock
-                // scheduled alone; no speculation possible.
-                for (int bi : trace.blocks) {
-                    Trace single;
-                    single.blocks = {bi};
-                    Superblock blockSb = formSuperblock(
-                        cfg, single, live, "bb", formOpts);
-                    GraphContext ctx(blockSb);
-                    Schedule s = cp.run(ctx, machine);
-                    bbCycles += cfg.block(bi).frequency *
-                                double(s.makespan());
+        // One (bb, sb) cycle pair per region; regions are
+        // independent, the totals fold in region order below.
+        std::vector<std::pair<double, double>> slots(cfgs.size());
+        parallelFor(
+            cfgs.size(),
+            [&](std::size_t r) {
+                const CfgProgram &cfg = cfgs[r];
+                double bb = 0.0;
+                double sbTotal = 0.0;
+                Liveness live = Liveness::allLiveOut(cfg);
+                for (const Trace &trace : selectTraces(cfg)) {
+                    // (a) per-block: each block is a one-exit
+                    // superblock scheduled alone; no speculation.
+                    for (int bi : trace.blocks) {
+                        Trace single;
+                        single.blocks = {bi};
+                        Superblock blockSb = formSuperblock(
+                            cfg, single, live, "bb", formOpts);
+                        GraphContext ctx(blockSb);
+                        Schedule s = cp.run(ctx, machine);
+                        bb += cfg.block(bi).frequency *
+                              double(s.makespan());
+                    }
+                    // (b) the superblock, scheduled by Balance.
+                    Superblock sb = formSuperblock(cfg, trace, live,
+                                                   "sb", formOpts);
+                    GraphContext ctx(sb);
+                    Schedule s = bal.run(ctx, machine);
+                    s.validate(sb, machine);
+                    sbTotal += sb.execFrequency() * s.wct(sb);
                 }
-                // (b) the superblock, scheduled by Balance.
-                Superblock sb = formSuperblock(cfg, trace, live, "sb",
-                                               formOpts);
-                GraphContext ctx(sb);
-                Schedule s = bal.run(ctx, machine);
-                s.validate(sb, machine);
-                sbCycles += sb.execFrequency() * s.wct(sb);
-            }
+                slots[r] = {bb, sbTotal};
+            },
+            opts.threads);
+
+        double bbCycles = 0.0;
+        double sbCycles = 0.0;
+        for (const auto &[bb, sbc] : slots) {
+            bbCycles += bb;
+            sbCycles += sbc;
         }
         table.addRow({machine.name(),
                       fmtCount((long long)(bbCycles + 0.5)),

@@ -26,7 +26,8 @@ main(int argc, char **argv)
               << opts.suite.scale << ")\n\n";
 
     for (const MachineModel &machine : opts.machines) {
-        auto rows = evaluateBoundQuality(suite, machine);
+        auto rows = evaluateBoundQuality(suite, machine, {},
+                                        opts.threads);
         TextTable table;
         table.setHeader({"metric", "CP", "Hu", "RJ", "LC", "PW", "TW"});
         std::vector<std::string> avg = {"Avg gap"};

@@ -27,7 +27,8 @@ main(int argc, char **argv)
               << opts.suite.scale << ")\n\n";
 
     for (const MachineModel &machine : opts.machines) {
-        auto rows = evaluateBoundCost(suite, machine);
+        auto rows = evaluateBoundCost(suite, machine, {},
+                                     opts.threads);
         // Worst-case complexity expressions from the paper's Table 2
         // (V ops, E edges, C cycles, B branches, R resource types).
         const char *worstCase[8] = {

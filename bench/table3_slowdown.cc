@@ -39,7 +39,8 @@ main(int argc, char **argv)
 
     std::vector<double> slowdownSum(names.size(), 0.0);
     for (const MachineModel &machine : opts.machines) {
-        PopulationMetrics m = evaluatePopulation(suite, machine, set);
+        PopulationMetrics m = evaluatePopulation(
+            suite, machine, set, {}, nullptr, opts.threads);
         std::vector<std::string> row = {
             machine.name(),
             fmtCount((long long)(m.boundCycles + 0.5)),

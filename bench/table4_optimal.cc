@@ -63,7 +63,8 @@ main(int argc, char **argv)
                     ++dhasyOptimal;
                 else
                     ++balanceNeeded;
-            });
+            },
+            opts.threads);
 
         int nontrivial = m.superblocks - m.trivialSuperblocks;
         std::vector<std::string> row = {machine.name(),

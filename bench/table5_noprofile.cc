@@ -38,12 +38,12 @@ main(int argc, char **argv)
 
     std::vector<double> deltaSum(names.size(), 0.0);
     for (const MachineModel &machine : opts.machines) {
-        PopulationMetrics profiled =
-            evaluatePopulation(suite, machine, set);
+        PopulationMetrics profiled = evaluatePopulation(
+            suite, machine, set, {}, nullptr, opts.threads);
         EvalOptions noProfile;
         noProfile.noProfileSteering = true;
-        PopulationMetrics assumed =
-            evaluatePopulation(suite, machine, set, noProfile);
+        PopulationMetrics assumed = evaluatePopulation(
+            suite, machine, set, noProfile, nullptr, opts.threads);
 
         std::vector<std::string> rowP = {machine.name(), "profile"};
         std::vector<std::string> rowA = {"", "assumed"};

@@ -12,6 +12,7 @@
 
 #include "eval/bench_options.hh"
 #include "eval/experiment.hh"
+#include "support/parallel_for.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 
@@ -42,10 +43,21 @@ main(int argc, char **argv)
     scheds.push_back(
         std::make_shared<BalanceScheduler>(fullCfg, "Balance-full"));
 
+    std::vector<const Superblock *> flat;
+    for (const BenchmarkProgram &prog : suite)
+        for (const Superblock &sb : prog.superblocks)
+            flat.push_back(&sb);
+
     for (const MachineModel &machine : opts.machines) {
-        std::vector<SampleStat> trips(scheds.size());
-        for (const BenchmarkProgram &prog : suite) {
-            for (const Superblock &sb : prog.superblocks) {
+        // Trip counts land in per-superblock slots and are folded
+        // into the stats in suite order, keeping the table bytes
+        // independent of --threads.
+        std::vector<std::vector<double>> slots(
+            flat.size(), std::vector<double>(scheds.size(), 0.0));
+        parallelFor(
+            flat.size(),
+            [&](std::size_t s) {
+                const Superblock &sb = *flat[s];
                 GraphContext ctx(sb);
                 BoundConfig boundCfg;
                 BoundsToolkit toolkit(ctx, machine, boundCfg);
@@ -59,10 +71,15 @@ main(int argc, char **argv)
                         bal->runWithToolkit(ctx, machine, toolkit, req);
                     else
                         scheds[i]->run(ctx, machine, req);
-                    trips[i].add(double(stats.loopTrips));
+                    slots[s][i] = double(stats.loopTrips);
                 }
-            }
-        }
+            },
+            opts.threads);
+
+        std::vector<SampleStat> trips(scheds.size());
+        for (const std::vector<double> &row : slots)
+            for (std::size_t i = 0; i < scheds.size(); ++i)
+                trips[i].add(row[i]);
 
         TextTable table;
         table.setHeader({"heuristic", "average", "median"});

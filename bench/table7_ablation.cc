@@ -68,8 +68,8 @@ main(int argc, char **argv)
 
         std::vector<double> sums(names.size(), 0.0);
         for (const MachineModel &machine : opts.machines) {
-            PopulationMetrics m =
-                evaluatePopulation(suite, machine, set);
+            PopulationMetrics m = evaluatePopulation(
+                suite, machine, set, {}, nullptr, opts.threads);
             std::vector<std::string> row = {machine.name()};
             for (std::size_t h = 0; h < names.size(); ++h) {
                 row.push_back(

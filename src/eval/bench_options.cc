@@ -29,7 +29,10 @@ parseBenchOptions(int argc, char **argv, double defaultScale)
             << defaultScale << "\n"
             << "  --seed <u64>   suite master seed\n"
             << "  --config <m>   GP1|GP2|GP4|FS4|FS6|FS8 (repeatable;\n"
-            << "                 default: all six)\n";
+            << "                 default: all six)\n"
+            << "  --threads <n>  worker threads (default: hardware\n"
+            << "                 concurrency; results are identical\n"
+            << "                 for every thread count)\n";
         std::exit(code);
     };
 
@@ -58,6 +61,15 @@ parseBenchOptions(int argc, char **argv, double defaultScale)
                 usage(1);
             }
             opts.suite.seed = std::uint64_t(v);
+        } else if (arg == "--threads") {
+            long long v = 0;
+            // 0 is the "auto" convention used throughout the stack:
+            // one worker per hardware thread.
+            if (!parseInt(next(), v) || v < 0 || v > 4096) {
+                std::cerr << "bad --threads value\n";
+                usage(1);
+            }
+            opts.threads = int(v);
         } else if (arg == "--config") {
             opts.machines.push_back(MachineModel::byName(next()));
         } else {

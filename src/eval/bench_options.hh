@@ -7,7 +7,12 @@
  *   --scale <0..1]   fraction of the 6615-superblock suite
  *   --seed <u64>     suite master seed
  *   --config <name>  restrict to one machine config (repeatable)
+ *   --threads <n>    worker threads (default: hardware concurrency)
  *   --help
+ *
+ * Results are bitwise independent of --threads: the eval drivers
+ * evaluate superblocks into pre-sized slots and reduce in suite
+ * order, so any thread count reproduces the --threads 1 bytes.
  */
 
 #ifndef BALANCE_EVAL_BENCH_OPTIONS_HH
@@ -27,6 +32,8 @@ struct BenchOptions
 {
     SuiteOptions suite;
     std::vector<MachineModel> machines;
+    /** Worker threads for the eval drivers; 0 = hardware. */
+    int threads = 0;
 
     /** Build the (possibly scaled) suite. */
     std::vector<BenchmarkProgram> buildSuitePopulation() const;

@@ -1,39 +1,68 @@
 #include "eval/bounds_eval.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "graph/analysis.hh"
 #include "support/diagnostics.hh"
+#include "support/parallel_for.hh"
 
 namespace balance
 {
 
+namespace
+{
+
+/** Flatten a suite into suite-order superblock pointers. */
+std::vector<const Superblock *>
+flattenSuite(const std::vector<BenchmarkProgram> &suite)
+{
+    std::vector<const Superblock *> flat;
+    for (const BenchmarkProgram &prog : suite)
+        for (const Superblock &sb : prog.superblocks)
+            flat.push_back(&sb);
+    return flat;
+}
+
+} // namespace
+
 std::vector<BoundQuality>
 evaluateBoundQuality(const std::vector<BenchmarkProgram> &suite,
                      const MachineModel &machine,
-                     const BoundConfig &config)
+                     const BoundConfig &config, int threads)
 {
     const char *names[6] = {"CP", "Hu", "RJ", "LC", "PW", "TW"};
+
+    // Parallel phase: one WctBounds slot per superblock, filled in
+    // any order by the pool; computeWctBounds is pure.
+    std::vector<const Superblock *> flat = flattenSuite(suite);
+    std::vector<WctBounds> slots(flat.size());
+    parallelFor(
+        flat.size(),
+        [&](std::size_t i) {
+            GraphContext ctx(*flat[i]);
+            slots[i] = computeWctBounds(ctx, machine, config);
+        },
+        threads);
+
+    // Serial reduction in suite order: stats accumulate in the same
+    // sequence as a single-threaded run, so the output is
+    // byte-stable for any thread count.
     std::vector<RunningStat> gap(6);
     std::vector<int> below(6, 0);
     int total = 0;
-
-    for (const BenchmarkProgram &prog : suite) {
-        for (const Superblock &sb : prog.superblocks) {
-            GraphContext ctx(sb);
-            WctBounds bounds = computeWctBounds(ctx, machine, config);
-            double tight = bounds.tightest();
-            double values[6] = {bounds.cp, bounds.hu, bounds.rj,
-                                bounds.lc, bounds.pw, bounds.tw};
-            ++total;
-            for (int i = 0; i < 6; ++i) {
-                double g = tight > 0.0
-                    ? (tight - values[i]) / tight * 100.0
-                    : 0.0;
-                gap[std::size_t(i)].add(std::max(0.0, g));
-                if (values[i] < tight - 1e-9)
-                    ++below[std::size_t(i)];
-            }
+    for (const WctBounds &bounds : slots) {
+        double tight = bounds.tightest();
+        double values[6] = {bounds.cp, bounds.hu, bounds.rj,
+                            bounds.lc, bounds.pw, bounds.tw};
+        ++total;
+        for (int i = 0; i < 6; ++i) {
+            double g = tight > 0.0
+                ? (tight - values[i]) / tight * 100.0
+                : 0.0;
+            gap[std::size_t(i)].add(std::max(0.0, g));
+            if (values[i] < tight - 1e-9)
+                ++below[std::size_t(i)];
         }
     }
 
@@ -52,14 +81,19 @@ evaluateBoundQuality(const std::vector<BenchmarkProgram> &suite,
 
 std::vector<BoundCost>
 evaluateBoundCost(const std::vector<BenchmarkProgram> &suite,
-                  const MachineModel &machine, const BoundConfig &config)
+                  const MachineModel &machine, const BoundConfig &config,
+                  int threads)
 {
     const char *names[8] = {"CP",          "Hu", "RJ", "LC",
                             "LC-original", "LC-reverse", "PW", "TW"};
-    std::vector<SampleStat> trips(8);
 
-    for (const BenchmarkProgram &prog : suite) {
-        for (const Superblock &sb : prog.superblocks) {
+    std::vector<const Superblock *> flat = flattenSuite(suite);
+    std::vector<std::array<double, 8>> slots(flat.size());
+    parallelFor(
+        flat.size(),
+        [&](std::size_t idx) {
+            const Superblock &sb = *flat[idx];
+            std::array<double, 8> &row = slots[idx];
             GraphContext ctx(sb);
 
             // CP's cost is the dependence analysis itself: one trip
@@ -67,26 +101,26 @@ evaluateBoundCost(const std::vector<BenchmarkProgram> &suite,
             long long cpTrips = 0;
             for (int bi = 0; bi < sb.numBranches(); ++bi)
                 cpTrips += sb.numOps() + sb.numEdges();
-            trips[0].add(double(cpTrips));
+            row[0] = double(cpTrips);
 
             BoundCounters hu;
             huEarly(ctx, machine, &hu);
-            trips[1].add(double(hu.trips));
+            row[1] = double(hu.trips);
 
             BoundCounters rj;
             rjEarly(ctx, machine, &rj);
-            trips[2].add(double(rj.trips));
+            row[2] = double(rj.trips);
 
             BoundCounters lc;
             std::vector<int> earlyRC =
                 lcEarlyRCForSuperblock(ctx, machine, {}, &lc);
-            trips[3].add(double(lc.trips));
+            row[3] = double(lc.trips);
 
             BoundCounters lcOrig;
             LcOptions noTheorem1;
             noTheorem1.useTheorem1 = false;
             lcEarlyRCForSuperblock(ctx, machine, noTheorem1, &lcOrig);
-            trips[4].add(double(lcOrig.trips));
+            row[4] = double(lcOrig.trips);
 
             BoundCounters lcRev;
             std::vector<std::vector<int>> lateRCs;
@@ -94,19 +128,24 @@ evaluateBoundCost(const std::vector<BenchmarkProgram> &suite,
                 lateRCs.push_back(
                     lateRCFor(ctx, machine, bi, earlyRC, &lcRev));
             }
-            trips[5].add(double(lcRev.trips));
+            row[5] = double(lcRev.trips);
 
             BoundCounters pwC;
             PairwiseBounds pw(ctx, machine, earlyRC, lateRCs,
                               config.pairwise, &pwC);
-            trips[6].add(double(pwC.trips));
+            row[6] = double(pwC.trips);
 
             BoundCounters twC;
             computeTriplewise(ctx, machine, earlyRC, lateRCs, pw,
                               config.triplewise, &twC);
-            trips[7].add(double(twC.trips));
-        }
-    }
+            row[7] = double(twC.trips);
+        },
+        threads);
+
+    std::vector<SampleStat> trips(8);
+    for (const std::array<double, 8> &row : slots)
+        for (int i = 0; i < 8; ++i)
+            trips[std::size_t(i)].add(row[std::size_t(i)]);
 
     std::vector<BoundCost> out;
     for (int i = 0; i < 8; ++i) {

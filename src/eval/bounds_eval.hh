@@ -28,10 +28,15 @@ struct BoundQuality
 /**
  * Table 1 for one machine config: quality of CP/Hu/RJ/LC/PW/TW
  * relative to the per-superblock tightest bound.
+ *
+ * Superblocks are evaluated concurrently into per-instance slots
+ * and reduced in suite order, so the result is bitwise identical
+ * for any @p threads value (0 = hardware concurrency, 1 = serial).
  */
 std::vector<BoundQuality> evaluateBoundQuality(
     const std::vector<BenchmarkProgram> &suite,
-    const MachineModel &machine, const BoundConfig &config = {});
+    const MachineModel &machine, const BoundConfig &config = {},
+    int threads = 0);
 
 /** Cost summary (loop trips) of one bound algorithm. */
 struct BoundCost
@@ -44,11 +49,13 @@ struct BoundCost
 /**
  * Table 2 for one machine config: per-superblock loop-trip counts
  * of CP, Hu, RJ, LC, LC-original (no Theorem 1), LC-reverse
- * (LateRC), PW and TW.
+ * (LateRC), PW and TW. Deterministically parallel like
+ * evaluateBoundQuality().
  */
 std::vector<BoundCost> evaluateBoundCost(
     const std::vector<BenchmarkProgram> &suite,
-    const MachineModel &machine, const BoundConfig &config = {});
+    const MachineModel &machine, const BoundConfig &config = {},
+    int threads = 0);
 
 } // namespace balance
 

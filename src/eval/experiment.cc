@@ -5,6 +5,7 @@
 
 #include "sched/priorities.hh"
 #include "support/diagnostics.hh"
+#include "support/parallel_for.hh"
 
 namespace balance
 {
@@ -151,11 +152,29 @@ evaluatePopulation(const std::vector<BenchmarkProgram> &suite,
                    const EvalOptions &opts,
                    const std::function<void(const Superblock &,
                                             const SuperblockEval &)>
-                       &perSuperblock)
+                       &perSuperblock,
+                   int threads)
 {
     PopulationMetrics metrics;
     metrics.heuristics = set.names();
     std::size_t numHeuristics = metrics.heuristics.size();
+
+    // Flatten in suite order: the parallel phase fills one slot per
+    // superblock, the serial reduction below walks the slots in this
+    // exact order so every float accumulation happens in the same
+    // sequence as a serial run.
+    std::vector<const Superblock *> flat;
+    for (const BenchmarkProgram &prog : suite)
+        for (const Superblock &sb : prog.superblocks)
+            flat.push_back(&sb);
+
+    std::vector<SuperblockEval> evals(flat.size());
+    parallelFor(
+        flat.size(),
+        [&](std::size_t i) {
+            evals[i] = evaluateSuperblock(*flat[i], machine, set, opts);
+        },
+        threads);
 
     double trivialCycles = 0.0;
     std::vector<double> heuristicCyclesNontrivial(numHeuristics, 0.0);
@@ -164,40 +183,38 @@ evaluatePopulation(const std::vector<BenchmarkProgram> &suite,
     std::vector<int> optimalAll(numHeuristics, 0);
     int nontrivialCount = 0;
 
-    for (const BenchmarkProgram &prog : suite) {
-        for (const Superblock &sb : prog.superblocks) {
-            SuperblockEval eval =
-                evaluateSuperblock(sb, machine, set, opts);
-            if (perSuperblock)
-                perSuperblock(sb, eval);
+    for (std::size_t slot = 0; slot < flat.size(); ++slot) {
+        const Superblock &sb = *flat[slot];
+        const SuperblockEval &eval = evals[slot];
+        if (perSuperblock)
+            perSuperblock(sb, eval);
 
-            ++metrics.superblocks;
-            double lbCycles = eval.frequency * eval.tightest;
-            metrics.boundCycles += lbCycles;
+        ++metrics.superblocks;
+        double lbCycles = eval.frequency * eval.tightest;
+        metrics.boundCycles += lbCycles;
 
-            bool trivial = true;
+        bool trivial = true;
+        for (std::size_t h = 0; h < numHeuristics; ++h) {
+            bool optimal = eval.wct[h] <= eval.tightest + 1e-9;
+            if (optimal)
+                ++optimalAll[h];
+            // Best does not participate in the trivial test: the
+            // paper defines trivial over the heuristics compared.
+            if (metrics.heuristics[h] != "Best" && !optimal)
+                trivial = false;
+        }
+
+        if (trivial) {
+            ++metrics.trivialSuperblocks;
+            trivialCycles += lbCycles;
+        } else {
+            ++nontrivialCount;
+            boundCyclesNontrivial += lbCycles;
             for (std::size_t h = 0; h < numHeuristics; ++h) {
-                bool optimal = eval.wct[h] <= eval.tightest + 1e-9;
-                if (optimal)
-                    ++optimalAll[h];
-                // Best does not participate in the trivial test: the
-                // paper defines trivial over the heuristics compared.
-                if (metrics.heuristics[h] != "Best" && !optimal)
-                    trivial = false;
-            }
-
-            if (trivial) {
-                ++metrics.trivialSuperblocks;
-                trivialCycles += lbCycles;
-            } else {
-                ++nontrivialCount;
-                boundCyclesNontrivial += lbCycles;
-                for (std::size_t h = 0; h < numHeuristics; ++h) {
-                    heuristicCyclesNontrivial[h] +=
-                        eval.frequency * eval.wct[h];
-                    if (eval.wct[h] <= eval.tightest + 1e-9)
-                        ++optimalNontrivial[h];
-                }
+                heuristicCyclesNontrivial[h] +=
+                    eval.frequency * eval.wct[h];
+                if (eval.wct[h] <= eval.tightest + 1e-9)
+                    ++optimalNontrivial[h];
             }
         }
     }

@@ -98,12 +98,22 @@ struct PopulationMetrics
 /**
  * Run the full per-config evaluation over a suite.
  *
+ * Superblocks are evaluated concurrently on the work-stealing pool
+ * (evaluateSuperblock is a pure function of its arguments); each
+ * result lands in a pre-sized slot and the aggregation — including
+ * every @p perSuperblock callback — runs serially in suite order
+ * afterwards. The returned metrics are therefore bitwise identical
+ * for every @p threads value, including 1.
+ *
  * @param suite Superblock population.
  * @param machine Machine configuration.
  * @param set Heuristic lineup.
  * @param opts Evaluation options.
  * @param perSuperblock Optional observer invoked with each
- *        superblock's evaluation (for CDF building).
+ *        superblock's evaluation (for CDF building). Called on the
+ *        caller's thread, in suite order; it need not be
+ *        thread-safe.
+ * @param threads Worker count; 0 = hardware concurrency, 1 = serial.
  */
 PopulationMetrics evaluatePopulation(
     const std::vector<BenchmarkProgram> &suite,
@@ -111,7 +121,8 @@ PopulationMetrics evaluatePopulation(
     const EvalOptions &opts = {},
     const std::function<void(const Superblock &,
                              const SuperblockEval &)> &perSuperblock =
-        nullptr);
+        nullptr,
+    int threads = 0);
 
 } // namespace balance
 

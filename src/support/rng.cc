@@ -162,4 +162,11 @@ Rng::fork()
     return Rng(next());
 }
 
+Rng
+Rng::stream(std::uint64_t seed, std::uint64_t instance)
+{
+    // instance+1 keeps stream(seed, 0) distinct from Rng(seed).
+    return Rng(seed ^ ((instance + 1) * 0x9e3779b97f4a7c15ULL));
+}
+
 } // namespace balance

@@ -82,6 +82,17 @@ class Rng
     /** Derive an independent child generator (for per-item streams). */
     Rng fork();
 
+    /**
+     * Deterministic per-instance stream for parallel work: the
+     * stream depends only on (@p seed, @p instance), never on which
+     * thread draws from it or how many instances ran before, so a
+     * task can be evaluated on any worker in any order and still see
+     * exactly the bits a serial run would. The instance id is
+     * golden-ratio scrambled before being folded into the seed so
+     * consecutive ids land in unrelated SplitMix64 orbits.
+     */
+    static Rng stream(std::uint64_t seed, std::uint64_t instance);
+
   private:
     std::uint64_t s[4];
     bool haveSpareNormal = false;

@@ -1,0 +1,219 @@
+#include "support/thread_pool.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** Set while a thread is a worker of some pool, for self-submission. */
+thread_local ThreadPool *tlPool = nullptr;
+thread_local int tlIndex = -1;
+
+} // namespace
+
+int
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : int(n);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = threads > 0 ? threads : hardwareThreads();
+    workers.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        workers.push_back(std::make_unique<Worker>());
+    // Deques must be fully constructed before any worker can steal.
+    for (int i = 0; i < n; ++i)
+        workers[std::size_t(i)]->thread =
+            std::thread([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(sleepMutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &w : workers) {
+        if (w->thread.joinable())
+            w->thread.join();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> fn)
+{
+    bsAssert(fn, "ThreadPool::submit with empty task");
+    Worker *target;
+    if (tlPool == this) {
+        // A pool task spawning work: keep it on the owner's deque so
+        // the back-pop picks it up next (depth-first, cache warm).
+        target = workers[std::size_t(tlIndex)].get();
+    } else {
+        unsigned q = nextQueue.fetch_add(1, std::memory_order_relaxed);
+        target = workers[q % workers.size()].get();
+    }
+    {
+        std::lock_guard<std::mutex> lk(target->mutex);
+        target->deque.push_back(std::move(fn));
+    }
+    {
+        // Publish under sleepMutex so a worker between its queue scan
+        // and its wait cannot miss the wakeup.
+        std::lock_guard<std::mutex> lk(sleepMutex);
+        ++queued;
+    }
+    wake.notify_one();
+}
+
+bool
+ThreadPool::popOwn(int self, std::function<void()> &out)
+{
+    Worker &w = *workers[std::size_t(self)];
+    std::lock_guard<std::mutex> lk(w.mutex);
+    if (w.deque.empty())
+        return false;
+    out = std::move(w.deque.back());
+    w.deque.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::stealFrom(int self, std::function<void()> &out)
+{
+    int n = numThreads();
+    for (int k = 1; k <= n; ++k) {
+        Worker &w = *workers[std::size_t((self + k) % n)];
+        std::lock_guard<std::mutex> lk(w.mutex);
+        if (!w.deque.empty()) {
+            out = std::move(w.deque.front());
+            w.deque.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ThreadPool::tryRunOneTask()
+{
+    std::function<void()> task;
+    bool got = tlPool == this ? popOwn(tlIndex, task)
+                              : stealFrom(-1, task);
+    if (!got && tlPool == this)
+        got = stealFrom(tlIndex, task);
+    if (!got)
+        return false;
+    {
+        std::lock_guard<std::mutex> lk(sleepMutex);
+        --queued;
+    }
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(int self)
+{
+    tlPool = this;
+    tlIndex = self;
+    while (true) {
+        std::function<void()> task;
+        if (popOwn(self, task) || stealFrom(self, task)) {
+            {
+                std::lock_guard<std::mutex> lk(sleepMutex);
+                --queued;
+            }
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(sleepMutex);
+        wake.wait(lk, [this] { return stopping || queued > 0; });
+        if (stopping && queued == 0)
+            return;
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    // Leaked on purpose: tests and benches may still submit during
+    // static destruction of their own globals.
+    static ThreadPool *pool = new ThreadPool();
+    return *pool;
+}
+
+TaskGroup::~TaskGroup()
+{
+    if (!pool)
+        return;
+    try {
+        wait();
+    } catch (...) {
+        // The destructor cannot rethrow; wait() explicitly for errors.
+    }
+}
+
+void
+TaskGroup::run(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lk(doneMutex);
+        ++outstanding;
+    }
+    pool->submit([this, fn = std::move(fn)]() mutable {
+        std::exception_ptr err;
+        try {
+            fn();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lk(doneMutex);
+        if (err && !firstError)
+            firstError = err;
+        --outstanding;
+        // Notify while still holding doneMutex: wait() can only see
+        // outstanding == 0 under the mutex, i.e. strictly after this
+        // whole critical section — so the group (and the condition
+        // variable) can never be destroyed while a finishing task is
+        // still inside notify_all().
+        doneCv.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lk(doneMutex);
+            if (outstanding == 0)
+                break;
+        }
+        if (pool->tryRunOneTask())
+            continue;
+        // Nothing stealable: members are running on other threads.
+        std::unique_lock<std::mutex> lk(doneMutex);
+        doneCv.wait_for(lk, std::chrono::milliseconds(1),
+                        [this] { return outstanding == 0; });
+    }
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lk(doneMutex);
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace balance

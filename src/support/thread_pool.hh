@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment runners.
+ *
+ * Each worker owns a deque: the owner pushes and pops at the back
+ * (LIFO, cache-friendly for nested task trees) while idle workers
+ * steal from the front (FIFO, takes the oldest and therefore
+ * typically largest subtree). External submissions are distributed
+ * round-robin across the worker deques.
+ *
+ * TaskGroup is the structured-concurrency handle: tasks spawned
+ * through a group can be waited on collectively, and a waiting
+ * thread *helps* execute pending tasks instead of blocking, so
+ * nested submission (a pool task spawning and waiting on subtasks)
+ * cannot deadlock even on a single-worker pool.
+ *
+ * Determinism contract: the pool itself promises nothing about
+ * execution order. Deterministic parallelism is layered on top (see
+ * parallel_for.hh) by giving every task its own result slot and
+ * reducing in index order.
+ */
+
+#ifndef BALANCE_SUPPORT_THREAD_POOL_HH
+#define BALANCE_SUPPORT_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace balance
+{
+
+class TaskGroup;
+
+/** Fixed-size work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers; 0 means hardwareThreads(). The pool
+     * joins its workers (after draining queued tasks) on destruction.
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return the number of worker threads. */
+    int numThreads() const { return int(workers.size()); }
+
+    /** @return std::thread::hardware_concurrency(), at least 1. */
+    static int hardwareThreads();
+
+    /**
+     * Schedule @p fn on some worker. Safe to call from pool workers
+     * (the task lands on the caller's own deque) and from any number
+     * of external threads concurrently.
+     */
+    void submit(std::function<void()> fn);
+
+    /**
+     * Run one pending task on the calling thread, if any is queued.
+     * Used by waiting TaskGroups to help instead of blocking.
+     *
+     * @return true when a task was executed.
+     */
+    bool tryRunOneTask();
+
+    /**
+     * Process-wide pool, created on first use with hardwareThreads()
+     * workers. Never destroyed before static teardown.
+     */
+    static ThreadPool &global();
+
+  private:
+    friend class TaskGroup;
+
+    /** One worker: its deque and the thread draining it. */
+    struct Worker
+    {
+        std::deque<std::function<void()>> deque;
+        std::mutex mutex;
+        std::thread thread;
+    };
+
+    void workerLoop(int self);
+    bool popOwn(int self, std::function<void()> &out);
+    bool stealFrom(int self, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    /** Guards `queued` and the sleep/wake handshake. */
+    std::mutex sleepMutex;
+    std::condition_variable wake;
+    /** Tasks pushed but not yet popped, guarded by sleepMutex. */
+    long queued = 0;
+    bool stopping = false;
+    /** Round-robin cursor for external submissions. */
+    std::atomic<unsigned> nextQueue{0};
+};
+
+/**
+ * A set of tasks that can be waited on together. wait() helps the
+ * pool execute pending work while the group is unfinished and
+ * rethrows the first exception any task threw. The destructor
+ * waits (and swallows exceptions) if wait() was never called.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool)
+        : pool(&pool)
+    {}
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Spawn @p fn as a member of this group. */
+    void run(std::function<void()> fn);
+
+    /**
+     * Block until every task spawned through this group finished,
+     * executing pending pool tasks on this thread while waiting.
+     * Rethrows the first exception thrown by a member task.
+     */
+    void wait();
+
+  private:
+    ThreadPool *pool;
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    /** Members spawned but not yet finished, guarded by doneMutex. */
+    long outstanding = 0;
+    std::exception_ptr firstError;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_THREAD_POOL_HH

@@ -47,6 +47,24 @@ TEST(BenchOptions, BuildsScaledSuite)
     EXPECT_LT(suiteSize(suite), 100);
 }
 
+TEST(BenchOptions, ThreadsParsesAndDefaultsToAuto)
+{
+    EXPECT_EQ(parse({}).threads, 0); // auto: hardware concurrency
+    EXPECT_EQ(parse({"--threads", "8"}).threads, 8);
+    EXPECT_EQ(parse({"--threads", "0"}).threads, 0); // explicit auto
+    EXPECT_EQ(parse({"--threads", "4", "--threads", "2"}).threads, 2);
+}
+
+TEST(BenchOptions, BadThreadsExits)
+{
+    EXPECT_DEATH({ auto o = parse({"--threads", "-3"}); (void)o; },
+                 ".*");
+    EXPECT_DEATH({ auto o = parse({"--threads", "abc"}); (void)o; },
+                 ".*");
+    EXPECT_DEATH({ auto o = parse({"--threads", "9999"}); (void)o; },
+                 ".*");
+}
+
 TEST(BenchOptions, BadScaleExits)
 {
     EXPECT_DEATH({ auto o = parse({"--scale", "2.0"}); (void)o; },

@@ -1,0 +1,167 @@
+/**
+ * Extends determinism_test.cc to the parallel experiment runner:
+ * the whole eval pipeline must produce bitwise-identical
+ * per-superblock and aggregate results for every --threads value.
+ * Tasks write into pre-sized slots and the reduction runs serially
+ * in suite order, so this holds exactly (==, not near).
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/bounds_eval.hh"
+#include "eval/experiment.hh"
+#include "support/parallel_for.hh"
+#include "support/rng.hh"
+
+namespace balance
+{
+namespace
+{
+
+/** Per-superblock observations captured through the observer. */
+struct Captured
+{
+    std::vector<WctBounds> bounds;
+    std::vector<double> tightest;
+    std::vector<std::vector<double>> wct;
+    std::vector<std::string> names;
+};
+
+Captured
+runAt(const std::vector<BenchmarkProgram> &suite,
+      const MachineModel &machine, int threads)
+{
+    HeuristicSet set = HeuristicSet::paperSet();
+    Captured out;
+    evaluatePopulation(
+        suite, machine, set, {},
+        [&](const Superblock &sb, const SuperblockEval &eval) {
+            out.names.push_back(sb.name());
+            out.bounds.push_back(eval.bounds);
+            out.tightest.push_back(eval.tightest);
+            out.wct.push_back(eval.wct);
+        },
+        threads);
+    return out;
+}
+
+TEST(ParallelDeterminism, PerSuperblockResultsAreThreadInvariant)
+{
+    SuiteOptions opts;
+    opts.scale = 0.004;
+    auto suite = buildSuite(opts);
+    MachineModel machine = MachineModel::fs6();
+
+    Captured serial = runAt(suite, machine, 1);
+    ASSERT_FALSE(serial.names.empty());
+
+    for (int threads : {2, 8}) {
+        Captured par = runAt(suite, machine, threads);
+        // Observer order is the suite order, independent of which
+        // worker evaluated which superblock.
+        ASSERT_EQ(par.names, serial.names) << "threads=" << threads;
+        for (std::size_t i = 0; i < serial.names.size(); ++i) {
+            EXPECT_EQ(par.tightest[i], serial.tightest[i]);
+            EXPECT_EQ(par.bounds[i].cp, serial.bounds[i].cp);
+            EXPECT_EQ(par.bounds[i].hu, serial.bounds[i].hu);
+            EXPECT_EQ(par.bounds[i].rj, serial.bounds[i].rj);
+            EXPECT_EQ(par.bounds[i].lc, serial.bounds[i].lc);
+            EXPECT_EQ(par.bounds[i].pw, serial.bounds[i].pw);
+            EXPECT_EQ(par.bounds[i].tw, serial.bounds[i].tw);
+            ASSERT_EQ(par.wct[i].size(), serial.wct[i].size());
+            for (std::size_t h = 0; h < serial.wct[i].size(); ++h)
+                EXPECT_EQ(par.wct[i][h], serial.wct[i][h])
+                    << serial.names[i] << " heuristic " << h
+                    << " threads " << threads;
+        }
+    }
+}
+
+TEST(ParallelDeterminism, AggregateMetricsAreThreadInvariant)
+{
+    SuiteOptions opts;
+    opts.scale = 0.004;
+    auto suite = buildSuite(opts);
+    HeuristicSet set = HeuristicSet::paperSet();
+
+    for (const MachineModel &machine :
+         {MachineModel::gp1(), MachineModel::fs8()}) {
+        PopulationMetrics serial = evaluatePopulation(
+            suite, machine, set, {}, nullptr, /*threads=*/1);
+        for (int threads : {2, 8}) {
+            PopulationMetrics par = evaluatePopulation(
+                suite, machine, set, {}, nullptr, threads);
+            // Bitwise equality: the float accumulation order is
+            // pinned by the in-order reduction.
+            EXPECT_EQ(par.boundCycles, serial.boundCycles);
+            EXPECT_EQ(par.trivialCycleFraction,
+                      serial.trivialCycleFraction);
+            EXPECT_EQ(par.superblocks, serial.superblocks);
+            EXPECT_EQ(par.trivialSuperblocks,
+                      serial.trivialSuperblocks);
+            EXPECT_EQ(par.nontrivialSlowdown,
+                      serial.nontrivialSlowdown);
+            EXPECT_EQ(par.optimalNontrivialFraction,
+                      serial.optimalNontrivialFraction);
+            EXPECT_EQ(par.optimalFraction, serial.optimalFraction);
+        }
+    }
+}
+
+TEST(ParallelDeterminism, BoundEvalIsThreadInvariant)
+{
+    SuiteOptions opts;
+    opts.scale = 0.004;
+    auto suite = buildSuite(opts);
+    MachineModel machine = MachineModel::fs4();
+
+    auto serialQ = evaluateBoundQuality(suite, machine, {}, 1);
+    auto serialC = evaluateBoundCost(suite, machine, {}, 1);
+    ASSERT_FALSE(serialQ.empty());
+    for (int threads : {2, 8}) {
+        auto parQ = evaluateBoundQuality(suite, machine, {}, threads);
+        ASSERT_EQ(parQ.size(), serialQ.size());
+        for (std::size_t i = 0; i < serialQ.size(); ++i) {
+            EXPECT_EQ(parQ[i].name, serialQ[i].name);
+            EXPECT_EQ(parQ[i].avgGapPercent, serialQ[i].avgGapPercent);
+            EXPECT_EQ(parQ[i].maxGapPercent, serialQ[i].maxGapPercent);
+            EXPECT_EQ(parQ[i].belowPercent, serialQ[i].belowPercent);
+        }
+        auto parC = evaluateBoundCost(suite, machine, {}, threads);
+        ASSERT_EQ(parC.size(), serialC.size());
+        for (std::size_t i = 0; i < serialC.size(); ++i) {
+            EXPECT_EQ(parC[i].averageTrips, serialC[i].averageTrips);
+            EXPECT_EQ(parC[i].medianTrips, serialC[i].medianTrips);
+        }
+    }
+}
+
+TEST(ParallelDeterminism, RngStreamsAreInstanceNotThreadKeyed)
+{
+    // The seed-derivation scheme: stream(seed, i) depends only on
+    // (seed, i), so parallel workers drawing instance streams in any
+    // order reproduce the serial bits.
+    const std::uint64_t seed = 0xabcdef1234567890ULL;
+    std::vector<std::uint64_t> serial(64);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        serial[i] = Rng::stream(seed, i).next();
+
+    std::vector<std::uint64_t> par(serial.size());
+    parallelFor(
+        par.size(),
+        [&](std::size_t i) { par[i] = Rng::stream(seed, i).next(); },
+        8);
+    EXPECT_EQ(par, serial);
+
+    // Distinct instances get distinct streams (and none collides
+    // with the parent seed's own stream).
+    Rng parent(seed);
+    std::uint64_t parentFirst = parent.next();
+    for (std::size_t i = 1; i < serial.size(); ++i) {
+        EXPECT_NE(serial[i], serial[i - 1]);
+        EXPECT_NE(serial[i], parentFirst);
+    }
+}
+
+} // namespace
+} // namespace balance

@@ -96,6 +96,69 @@ TEST(Schedule, ValidateRejectsResourceOverflow)
                  "resource overflow");
 }
 
+TEST(Schedule, ValidateRejectsConsumerBeforeProducer)
+{
+    // Not just a short latency: the consumer issues strictly before
+    // its producer. The dependence sweep must still catch it.
+    Superblock sb = chainSb();
+    Schedule s(3);
+    s.setIssue(0, 5);
+    s.setIssue(1, 0);
+    s.setIssue(2, 7);
+    EXPECT_DEATH(s.validate(sb, MachineModel::gp1()),
+                 "dependence violated");
+}
+
+TEST(Schedule, ValidateRejectsOversubscriptionInLaterCycle)
+{
+    // The reservation-table check must apply to every cycle, not
+    // only cycle 0: pack three independent int ops into cycle 4 on
+    // GP2 (two universal slots).
+    SuperblockBuilder b("late");
+    b.addOp(OpClass::IntAlu, 1);
+    b.addOp(OpClass::IntAlu, 1);
+    b.addOp(OpClass::IntAlu, 1);
+    b.addBranch(1.0);
+    Superblock sb = b.build(true);
+
+    Schedule s(4);
+    s.setIssue(0, 4);
+    s.setIssue(1, 4);
+    s.setIssue(2, 4);
+    s.setIssue(3, 5);
+    EXPECT_DEATH(s.validate(sb, MachineModel::gp2()),
+                 "resource overflow");
+}
+
+TEST(Schedule, ValidateRejectsMemoryPoolOversubscription)
+{
+    // Class-specific pools: FS4 has dedicated memory units; exceed
+    // only that pool while plenty of integer slots stay free.
+    MachineModel fs4 = MachineModel::fs4();
+    int memUnits = fs4.widthOf(OpClass::Memory);
+    SuperblockBuilder b("mem");
+    for (int i = 0; i < memUnits + 1; ++i)
+        b.addOp(OpClass::Memory, 2);
+    b.addBranch(1.0);
+    Superblock sb = b.build(true);
+
+    Schedule s(sb.numOps());
+    for (OpId v = 0; v < memUnits + 1; ++v)
+        s.setIssue(v, 0);
+    s.setIssue(OpId(memUnits + 1), 2);
+    EXPECT_DEATH(s.validate(sb, fs4), "resource overflow");
+}
+
+TEST(Schedule, ValidateRejectsSizeMismatch)
+{
+    Superblock sb = chainSb();
+    Schedule s(2); // one op short
+    s.setIssue(0, 0);
+    s.setIssue(1, 1);
+    EXPECT_DEATH(s.validate(sb, MachineModel::gp1()),
+                 "size mismatch");
+}
+
 TEST(Schedule, ValidateRejectsIncomplete)
 {
     Superblock sb = chainSb();

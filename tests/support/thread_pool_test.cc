@@ -1,0 +1,218 @@
+#include "support/thread_pool.hh"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/parallel_for.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 100; ++i)
+        group.run([&] { count.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerCompletes)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 50; ++i)
+        group.run([&] { count.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WaitIsIdempotentAndReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    group.run([&] { count.fetch_add(1); });
+    group.wait();
+    group.wait(); // nothing outstanding: returns immediately
+    group.run([&] { count.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, PropagatesTaskException)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> survivors{0};
+    for (int i = 0; i < 8; ++i) {
+        group.run([&, i] {
+            if (i == 3)
+                throw std::runtime_error("task 3 failed");
+            survivors.fetch_add(1);
+        });
+    }
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    // wait() drained the group before rethrowing: every non-throwing
+    // task ran to completion.
+    EXPECT_EQ(survivors.load(), 7);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndGroupStaysUsable)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    group.run([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    // The error was consumed; a fresh batch must succeed.
+    std::atomic<int> ran{0};
+    group.run([&] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock)
+{
+    // A pool task spawns and waits on subtasks; the waiting worker
+    // must help execute them. Run on a 1-worker pool, where any
+    // blocking wait would deadlock immediately.
+    ThreadPool pool(1);
+    std::atomic<int> leaves{0};
+    TaskGroup outer(pool);
+    for (int i = 0; i < 4; ++i) {
+        outer.run([&] {
+            TaskGroup inner(pool);
+            for (int j = 0; j < 8; ++j)
+                inner.run([&] { leaves.fetch_add(1); });
+            inner.wait();
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(leaves.load(), 32);
+}
+
+TEST(ThreadPool, DeeplyNestedTaskTree)
+{
+    ThreadPool pool(3);
+    std::atomic<int> leaves{0};
+    // Recursive fan-out: depth 4, branching 3 => 81 leaves.
+    std::function<void(int)> spawn = [&](int depth) {
+        if (depth == 0) {
+            leaves.fetch_add(1);
+            return;
+        }
+        TaskGroup group(pool);
+        for (int i = 0; i < 3; ++i)
+            group.run([&, depth] { spawn(depth - 1); });
+        group.wait();
+    };
+    spawn(4);
+    EXPECT_EQ(leaves.load(), 81);
+}
+
+TEST(ThreadPool, StressThousandsOfTinyTasks)
+{
+    ThreadPool pool(8);
+    std::atomic<long> sum{0};
+    TaskGroup group(pool);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        group.run([&sum, i] { sum.fetch_add(i); });
+    group.wait();
+    EXPECT_EQ(sum.load(), long(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, GroupDestructorWaitsForMembers)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    {
+        TaskGroup group(pool);
+        for (int i = 0; i < 16; ++i)
+            group.run([&] { done.fetch_add(1); });
+        // No explicit wait: the destructor must block until all 16
+        // members finished (otherwise they would race the counter's
+        // destruction).
+    }
+    EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ParallelFor, FillsEverySlotExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 8}) {
+        std::vector<int> hits(1000, 0);
+        parallelFor(
+            hits.size(), [&](std::size_t i) { ++hits[i]; }, threads);
+        EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000)
+            << "threads=" << threads;
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i], 1) << i;
+    }
+}
+
+TEST(ParallelFor, MatchesSerialResultBitwise)
+{
+    auto compute = [](int threads) {
+        std::vector<double> slots(500);
+        parallelFor(
+            slots.size(),
+            [&](std::size_t i) {
+                double x = double(i) * 0.1;
+                slots[i] = x * x / (x + 1.0);
+            },
+            threads);
+        // In-order reduction, as the eval drivers do.
+        double acc = 0.0;
+        for (double v : slots)
+            acc += v;
+        return acc;
+    };
+    double serial = compute(1);
+    for (int threads : {2, 3, 8})
+        EXPECT_EQ(serial, compute(threads)) << "threads=" << threads;
+}
+
+TEST(ParallelFor, HandlesEmptyAndTinyRanges)
+{
+    int ran = 0;
+    parallelFor(0, [&](std::size_t) { ++ran; }, 4);
+    EXPECT_EQ(ran, 0);
+    std::atomic<int> one{0};
+    parallelFor(1, [&](std::size_t) { one.fetch_add(1); }, 4);
+    EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ParallelFor, MoreThreadsThanHardwareStillCorrect)
+{
+    // Requests beyond the global pool size run on a dedicated pool.
+    int requested = ThreadPool::hardwareThreads() * 4;
+    std::atomic<long> sum{0};
+    parallelFor(
+        257, [&](std::size_t i) { sum.fetch_add(long(i)); }, requested);
+    EXPECT_EQ(sum.load(), 257L * 256 / 2);
+}
+
+TEST(ParallelFor, PropagatesException)
+{
+    EXPECT_THROW(
+        parallelFor(
+            100,
+            [](std::size_t i) {
+                if (i == 42)
+                    throw std::runtime_error("slot 42");
+            },
+            4),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace balance

@@ -1,16 +1,26 @@
 #!/usr/bin/env bash
 # Regenerate every paper table/figure and the extension benches into
-# results/. Full scale reproduces EXPERIMENTS.md (hours on one core);
-# pass a scale factor for a quicker pass, e.g.:
+# results/. Full scale reproduces EXPERIMENTS.md; pass a scale factor
+# for a quicker pass and a thread count to use more cores, e.g.:
 #
-#   tools/run_experiments.sh 0.25
+#   tools/run_experiments.sh 0.25        # quarter suite, all cores
+#   tools/run_experiments.sh 1.0 8       # full suite, 8 workers
 #
+# Outputs are byte-identical for every thread count (the runners
+# reduce per-superblock slots in suite order), so THREADS only
+# changes wall-clock, never results/.
 set -euo pipefail
 
 scale="${1:-1.0}"
+threads="${2:-${THREADS:-0}}"
 build="${BUILD_DIR:-build}"
 out="results"
 mkdir -p "$out"
+
+thread_args=()
+if [ "$threads" != "0" ]; then
+    thread_args=(--threads "$threads")
+fi
 
 if [ ! -x "$build/bench/table1_bounds" ]; then
     echo "building first..."
@@ -36,7 +46,8 @@ extension_benches=(
 
 for b in "${paper_benches[@]}" "${extension_benches[@]}"; do
     echo "== $b (scale $scale) =="
-    "$build/bench/$b" --scale "$scale" | tee "$out/$b.txt"
+    "$build/bench/$b" --scale "$scale" "${thread_args[@]}" \
+        | tee "$out/$b.txt"
     echo
 done
 
