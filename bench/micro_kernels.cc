@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bounds/bound_scratch.hh"
+#include "bounds/reference.hh"
 #include "bounds/superblock_bounds.hh"
 #include "core/balance_scheduler.hh"
 #include "sched/priorities.hh"
@@ -94,6 +96,68 @@ BM_PairwiseBounds(benchmark::State &state)
     }
 }
 
+// Before/after pair for the bound-engine overhaul: the frozen naive
+// sweep (fresh vectors, full sort per step) against the scratch-arena
+// engine on the same superblock. Same shape for the full WCT stack,
+// which the triplewise enumeration dominates.
+void
+BM_PairwiseBoundsNaive(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    auto earlyRC = lcEarlyRCForSuperblock(ctx, m);
+    std::vector<std::vector<int>> lateRCs;
+    for (int bi = 0; bi < sb.numBranches(); ++bi)
+        lateRCs.push_back(lateRCFor(ctx, m, bi, earlyRC));
+    for (auto _ : state) {
+        auto pw = reference::pairwiseBounds(ctx, m, earlyRC, lateRCs);
+        benchmark::DoNotOptimize(pw.wct);
+    }
+}
+
+void
+BM_PairwiseBoundsEngine(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    auto earlyRC = lcEarlyRCForSuperblock(ctx, m);
+    std::vector<std::vector<int>> lateRCs;
+    for (int bi = 0; bi < sb.numBranches(); ++bi)
+        lateRCs.push_back(lateRCFor(ctx, m, bi, earlyRC));
+    BoundScratch scratch(m);
+    for (auto _ : state) {
+        PairwiseBounds pw(ctx, m, earlyRC, lateRCs, {}, nullptr,
+                          &scratch);
+        benchmark::DoNotOptimize(pw.superblockWct());
+    }
+}
+
+void
+BM_WctBoundsNaive(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            reference::computeWctBounds(ctx, m).tightest());
+}
+
+void
+BM_WctBoundsEngine(benchmark::State &state)
+{
+    Superblock sb = sampleSuperblock(int(state.range(0)));
+    GraphContext ctx(sb);
+    MachineModel m = MachineModel::fs4();
+    BoundScratch scratch(m);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            computeWctBounds(ctx, m, {}, nullptr, &scratch)
+                .tightest());
+}
+
 void
 BM_ListScheduler(benchmark::State &state)
 {
@@ -153,6 +217,10 @@ BENCHMARK(BM_LangevinCerny)
     ->Args({300, 1});
 BENCHMARK(BM_LateRC)->Arg(25)->Arg(100);
 BENCHMARK(BM_PairwiseBounds)->Arg(25)->Arg(100);
+BENCHMARK(BM_PairwiseBoundsNaive)->Arg(25)->Arg(100);
+BENCHMARK(BM_PairwiseBoundsEngine)->Arg(25)->Arg(100);
+BENCHMARK(BM_WctBoundsNaive)->Arg(25)->Arg(100);
+BENCHMARK(BM_WctBoundsEngine)->Arg(25)->Arg(100);
 BENCHMARK(BM_ListScheduler)->Arg(25)->Arg(100)->Arg(300);
 BENCHMARK(BM_HelpScheduler)->Arg(25)->Arg(100);
 BENCHMARK(BM_BalanceScheduler)->Arg(25)->Arg(100);

@@ -6,9 +6,16 @@
  * Theorem 1 shortcut) and the LC-reverse row (LateRC).
  *
  *   ./table2_bound_complexity [--scale f] [--seed s] [--config M]...
+ *                             [--check-threads]
+ *
+ * --check-threads additionally recomputes every row serially and
+ * with 8 workers and fails unless the trip counts are identical:
+ * the Table 2 accounting must not depend on work partitioning.
  */
 
 #include <iostream>
+#include <string_view>
+#include <vector>
 
 #include "eval/bench_options.hh"
 #include "eval/bounds_eval.hh"
@@ -16,11 +23,58 @@
 
 using namespace balance;
 
+namespace
+{
+
+/** @return 0 when --threads 1 and --threads 8 rows agree exactly. */
+int
+checkThreadParity(const std::vector<BenchmarkProgram> &suite,
+                  const std::vector<MachineModel> &machines)
+{
+    int failures = 0;
+    for (const MachineModel &machine : machines) {
+        auto serial = evaluateBoundCost(suite, machine, {}, 1);
+        auto parallel = evaluateBoundCost(suite, machine, {}, 8);
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            // Exact comparison: counters are integer sums reduced in
+            // suite order, so any thread count must reproduce the
+            // serial bytes.
+            if (serial[i].averageTrips != parallel[i].averageTrips ||
+                serial[i].medianTrips != parallel[i].medianTrips) {
+                std::cerr << "thread parity FAILED: "
+                          << machine.name() << " " << serial[i].name
+                          << " avg " << serial[i].averageTrips
+                          << " vs " << parallel[i].averageTrips
+                          << ", median " << serial[i].medianTrips
+                          << " vs " << parallel[i].medianTrips << "\n";
+                ++failures;
+            }
+        }
+    }
+    if (failures == 0)
+        std::cout << "thread parity OK: --threads 1 and --threads 8 "
+                     "trip counts identical\n";
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    BenchOptions opts = parseBenchOptions(argc, argv, /*scale=*/0.25);
+    bool checkThreads = false;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--check-threads")
+            checkThreads = true;
+        else
+            args.push_back(argv[i]);
+    }
+    BenchOptions opts = parseBenchOptions(int(args.size()),
+                                          args.data(), /*scale=*/0.25);
     auto suite = opts.buildSuitePopulation();
+    if (checkThreads)
+        return checkThreadParity(suite, opts.machines);
     std::cout << "Table 2: bound algorithm cost (loop trips per "
                  "superblock)\n"
               << "suite: " << suiteSize(suite) << " superblocks (scale "

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Shared sentinel values for the bound algorithms.
+ */
+
+#ifndef BALANCE_BOUNDS_BOUND_LIMITS_HH
+#define BALANCE_BOUNDS_BOUND_LIMITS_HH
+
+namespace balance
+{
+
+/**
+ * Identity element of the max-tardiness fold: what an *empty*
+ * relaxation returns. Far enough below any reachable tardiness that
+ * `cp + max(0, negInfBound)` composes to the plain critical-path
+ * bound in the pair/triple sweeps, yet far from INT_MIN so callers
+ * may add latencies and anchors without overflow. The positive
+ * counterpart for late times is lateUnconstrained (graph/analysis.hh).
+ */
+constexpr int negInfBound = -(1 << 28);
+
+} // namespace balance
+
+#endif // BALANCE_BOUNDS_BOUND_LIMITS_HH

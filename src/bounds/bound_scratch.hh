@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reusable working storage for the bound engine.
+ *
+ * Every resource-aware bound bottoms out in the Rim & Jain greedy
+ * relaxation, and the Pairwise/Triplewise sweeps run it thousands of
+ * times per superblock. A BoundScratch bundles the buffers those
+ * inner loops need — the RelaxTable placement structure, the
+ * relaxation item array, the late-bucket histogram, the composed
+ * late-key buffer, and a bump arena for sweep skeletons — so the
+ * steady state performs no heap allocations at all.
+ *
+ * Ownership rule: one BoundScratch per worker, created next to the
+ * GraphContext for the superblock being evaluated and never shared
+ * across threads. Reuse across superblocks on the same machine model
+ * is fine (buffers only ever grow to the high-water mark).
+ *
+ * Reusing the scratch changes no observable result: the (late,
+ * early, op) relaxation order is a strict total order, so bound
+ * values are bitwise identical to the naive engine
+ * (bounds/reference.hh), and loop-trip accounting is untouched
+ * because buffer management never ticks. The golden-equivalence test
+ * in tests/bounds/ pins both properties.
+ */
+
+#ifndef BALANCE_BOUNDS_BOUND_SCRATCH_HH
+#define BALANCE_BOUNDS_BOUND_SCRATCH_HH
+
+#include <vector>
+
+#include "bounds/relaxation.hh"
+#include "machine/machine_model.hh"
+#include "support/arena.hh"
+
+namespace balance
+{
+
+/** Per-worker scratch for the bound engine (see file comment). */
+struct BoundScratch
+{
+    /** @param machine The model all relaxations will run against. */
+    explicit BoundScratch(const MachineModel &machine) : table(machine) {}
+
+    /** The scratch keeps a pointer: temporaries are a bug. */
+    explicit BoundScratch(MachineModel &&) = delete;
+
+    /** Placement table reused by every relaxation. */
+    RelaxTable table;
+    /** Bind-scoped skeleton storage for the sweep caches. */
+    ScratchArena arena;
+    /** Relaxation items in greedy order. */
+    std::vector<RelaxItem> items;
+    /** Late-bucket histogram / start offsets for the stable repair. */
+    std::vector<int> counts;
+    /**
+     * Relative late keys per skeleton member, min(-H[x], relLate[x]);
+     * the member's late time is cp + key. Filled by the sweep caches'
+     * composition pass, consumed by SinkSkeleton::relax.
+     */
+    std::vector<int> keys;
+};
+
+} // namespace balance
+
+#endif // BALANCE_BOUNDS_BOUND_SCRATCH_HH

@@ -75,6 +75,7 @@ rjEarly(const GraphContext &ctx, const MachineModel &machine,
     out.reserve(std::size_t(sb.numBranches()));
 
     std::vector<RelaxItem> items;
+    RelaxTable table(machine);
     for (int bi = 0; bi < sb.numBranches(); ++bi) {
         OpId b = sb.branches()[std::size_t(bi)];
         int anchor = ctx.earlyDC()[std::size_t(b)];
@@ -89,7 +90,7 @@ rjEarly(const GraphContext &ctx, const MachineModel &machine,
                              anchor - height[std::size_t(v)]});
             tick(counters);
         }
-        int tard = rjMaxTardiness(machine, items, counters);
+        int tard = rjMaxTardiness(machine, items, table, counters);
         out.push_back(anchor + std::max(0, tard));
     }
     return out;
@@ -103,9 +104,10 @@ lcEarlyRC(const Dag &dag, const MachineModel &machine,
     std::vector<int> earlyRC(std::size_t(n), 0);
     std::vector<int> height(std::size_t(n), -1);
     std::vector<RelaxItem> items;
+    RelaxTable table(machine);
 
     for (int v = 0; v < n; ++v) {
-        const auto &preds = dag.preds[std::size_t(v)];
+        auto preds = dag.preds(v);
         if (preds.empty()) {
             earlyRC[std::size_t(v)] = 0;
             continue;
@@ -134,7 +136,7 @@ lcEarlyRC(const Dag &dag, const MachineModel &machine,
         for (int x = v; x >= 0; --x) {
             if (height[std::size_t(x)] < 0)
                 continue;
-            for (const Adjacent &e : dag.preds[std::size_t(x)]) {
+            for (const Adjacent &e : dag.preds(x)) {
                 height[std::size_t(e.op)] =
                     std::max(height[std::size_t(e.op)],
                              height[std::size_t(x)] + e.latency);
@@ -160,7 +162,7 @@ lcEarlyRC(const Dag &dag, const MachineModel &machine,
             items.push_back({OpId(x), dag.cls[std::size_t(x)], early,
                              cp - height[std::size_t(x)]});
         }
-        int tard = rjMaxTardiness(machine, items, counters);
+        int tard = rjMaxTardiness(machine, items, table, counters);
         earlyRC[std::size_t(v)] = std::max(depEarly, cp + std::max(0, tard));
     }
     return earlyRC;
@@ -182,16 +184,15 @@ lateRCFor(const GraphContext &ctx, const MachineModel &machine,
     const Superblock &sb = ctx.sb();
     OpId b = sb.branches()[std::size_t(branchIdx)];
 
-    std::vector<OpId> newToOld;
-    Dag reversed = Dag::reversedClosure(
-        sb, ctx.predSets().closure(b), &newToOld);
+    const GraphContext::ReversedClosure &rev =
+        ctx.reversedClosure(branchIdx);
     std::vector<int> revEarly =
-        lcEarlyRC(reversed, machine, {}, counters);
+        lcEarlyRC(rev.dag, machine, {}, counters);
 
     std::vector<int> lateRC(std::size_t(sb.numOps()), lateUnconstrained);
     int anchor = earlyRC[std::size_t(b)];
-    for (std::size_t nid = 0; nid < newToOld.size(); ++nid) {
-        lateRC[std::size_t(newToOld[nid])] = anchor - revEarly[nid];
+    for (std::size_t nid = 0; nid < rev.newToOld.size(); ++nid) {
+        lateRC[std::size_t(rev.newToOld[nid])] = anchor - revEarly[nid];
     }
     return lateRC;
 }

@@ -1,0 +1,378 @@
+#include "bounds/pair_sweep.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace detail
+{
+
+void
+SinkSkeleton::build(const GraphContext &ctx,
+                    const std::vector<int> &earlyRC,
+                    const std::vector<int> &lateRC, int branchIdx)
+{
+    const Superblock &sb = ctx.sb();
+    const std::vector<OpId> &members = ctx.closureOps(branchIdx);
+    const std::vector<int> &height = ctx.heightToBranch(branchIdx);
+
+    sink = sb.branches()[std::size_t(branchIdx)];
+    sinkEarly = earlyRC[std::size_t(sink)];
+    n = int(members.size());
+    ops = members.data();
+
+    cls.resize(std::size_t(n));
+    early.resize(std::size_t(n));
+    hSink.resize(std::size_t(n));
+    relLate.resize(std::size_t(n));
+    for (int m = 0; m < n; ++m) {
+        OpId x = members[std::size_t(m)];
+        cls[std::size_t(m)] = sb.op(x).cls;
+        early[std::size_t(m)] = earlyRC[std::size_t(x)];
+        hSink[std::size_t(m)] = height[std::size_t(x)];
+        int lrc = lateRC[std::size_t(x)];
+        relLate[std::size_t(m)] =
+            lrc == lateUnconstrained ? lateUnconstrained : lrc - sinkEarly;
+    }
+
+    // Members are in ascending op order, so a stable sort by EarlyRC
+    // leaves ties in op order: the permutation realizes the
+    // (early, op) tail of the canonical (late, early, op) key.
+    orderByEarly.resize(std::size_t(n));
+    for (int m = 0; m < n; ++m)
+        orderByEarly[std::size_t(m)] = m;
+    std::stable_sort(orderByEarly.begin(), orderByEarly.end(),
+                     [this](int a, int b) {
+                         return early[std::size_t(a)] <
+                                early[std::size_t(b)];
+                     });
+}
+
+int
+SinkSkeleton::relax(const MachineModel &machine, BoundScratch &scratch,
+                    int cp, int minKey, int maxKey,
+                    BoundCounters *counters) const
+{
+    const std::vector<int> &keys = scratch.keys;
+    std::vector<RelaxItem> &items = scratch.items;
+    items.resize(std::size_t(n));
+
+    long long range = (long long)(maxKey) - minKey;
+    if (range <= 4LL * n + 64) {
+        // Stable bucket pass: counts by late key, then scatter in
+        // the precomputed (early, op) order. Stability makes this a
+        // counting sort by (late, early, op) — the unique greedy
+        // order, identical to what std::sort would produce.
+        std::vector<int> &start = scratch.counts;
+        start.assign(std::size_t(range) + 1, 0);
+        for (int m = 0; m < n; ++m)
+            ++start[std::size_t(keys[std::size_t(m)] - minKey)];
+        int run = 0;
+        for (int &s : start) {
+            int c = s;
+            s = run;
+            run += c;
+        }
+        for (int m : orderByEarly) {
+            int key = keys[std::size_t(m)] - minKey;
+            items[std::size_t(start[std::size_t(key)]++)] = {
+                ops[std::size_t(m)], cls[std::size_t(m)],
+                early[std::size_t(m)],
+                cp + keys[std::size_t(m)]};
+        }
+    } else {
+        // Degenerate late spread: fall back to a comparison sort
+        // (same unique order, just not worth the bucket memory).
+        for (int m = 0; m < n; ++m) {
+            items[std::size_t(m)] = {ops[std::size_t(m)],
+                                     cls[std::size_t(m)],
+                                     early[std::size_t(m)],
+                                     cp + keys[std::size_t(m)]};
+        }
+        sortRelaxItems(items);
+    }
+
+    return rjMaxTardinessPresorted(machine, items, scratch.table,
+                                   counters);
+}
+
+} // namespace detail
+
+PairSweepCache::PairSweepCache(
+    const GraphContext &ctx, const MachineModel &machine,
+    const std::vector<int> &earlyRC,
+    const std::vector<std::vector<int>> &lateRCPerBranch,
+    BoundScratch &scratch)
+    : ctx(ctx), machine(machine), earlyRC(earlyRC),
+      lateRCPerBranch(lateRCPerBranch), scratch(scratch),
+      perBranch(std::size_t(ctx.sb().numBranches()))
+{
+    bsAssert(int(lateRCPerBranch.size()) == ctx.sb().numBranches(),
+             "need one LateRC vector per branch");
+}
+
+const detail::SinkSkeleton &
+PairSweepCache::skeletonFor(int branchIdx)
+{
+    std::unique_ptr<detail::SinkSkeleton> &slot =
+        perBranch[std::size_t(branchIdx)];
+    if (!slot) {
+        slot = std::make_unique<detail::SinkSkeleton>();
+        slot->build(ctx, earlyRC,
+                    lateRCPerBranch[std::size_t(branchIdx)], branchIdx);
+    }
+    return *slot;
+}
+
+void
+PairSweepCache::bindSink(int bj)
+{
+    bsAssert(bj >= 0 && bj < ctx.sb().numBranches(), "bad sink branch ",
+             bj);
+    sk = &skeletonFor(bj);
+    ejVal = sk->sinkEarly;
+    lMaxVal = ejVal + 1;
+    scratch.arena.reset();
+    hiBuf = scratch.arena.alloc<int>(std::size_t(sk->n));
+}
+
+void
+PairSweepCache::bindPair(int bi)
+{
+    bsAssert(sk, "bindSink first");
+    const Superblock &sb = ctx.sb();
+    OpId i = sb.branches()[std::size_t(bi)];
+    eiVal = earlyRC[std::size_t(i)];
+    lMinVal = sb.op(i).latency;
+    const std::vector<int> &heightI = ctx.heightToBranch(bi);
+    for (int m = 0; m < sk->n; ++m)
+        hiBuf[std::size_t(m)] = heightI[std::size_t(sk->ops[m])];
+}
+
+PairPoint
+PairSweepCache::eval(int latency, BoundCounters *counters)
+{
+    std::vector<int> &keys = scratch.keys;
+    keys.resize(std::size_t(sk->n));
+
+    // Composed critical path: any path through the new i -> j edge
+    // reaches i first, so H[x] = max(height_j[x], height_i[x] + l).
+    // One tick per member, matching the naive engine's cp pass. The
+    // relative late key min(-H, relLate) is cp-independent, so the
+    // same pass computes the bucket range (0 included, matching the
+    // naive init of min/max late to cp).
+    int cp = ejVal;
+    int minKey = 0;
+    int maxKey = 0;
+    for (int m = 0; m < sk->n; ++m) {
+        int h = sk->hSink[std::size_t(m)];
+        int hi = hiBuf[std::size_t(m)];
+        if (hi >= 0)
+            h = std::max(h, hi + latency);
+        cp = std::max(cp, sk->early[std::size_t(m)] + h);
+        int key = std::min(-h, sk->relLate[std::size_t(m)]);
+        keys[std::size_t(m)] = key;
+        minKey = std::min(minKey, key);
+        maxKey = std::max(maxKey, key);
+        tick(counters);
+    }
+
+    int tard = sk->relax(machine, scratch, cp, minKey, maxKey,
+                         counters);
+
+    PairPoint pt;
+    pt.y = cp + std::max(0, tard);
+    // Clamping x up to EarlyRC[i] is required for the sweep's
+    // early-termination coverage argument (see DESIGN.md).
+    pt.x = std::max(pt.y - latency, eiVal);
+    return pt;
+}
+
+PairPoint
+computePairBound(PairSweepCache &cache, int bi, double wi, double wj,
+                 const PairwiseOptions &opts, BoundCounters *counters)
+{
+    cache.bindPair(bi);
+    int ei = cache.ei();
+    int ej = cache.ej();
+    int lMin = cache.lMin();
+    int lMax = cache.lMax();
+
+    std::vector<PairPoint> &recorded = cache.recorded;
+    recorded.clear();
+    auto eval = [&](int l) {
+        PairPoint pt = cache.eval(l, counters);
+        recorded.push_back(pt);
+        return pt;
+    };
+
+    int l0 = std::clamp(ej - ei, lMin, lMax);
+    PairPoint first = eval(l0);
+
+    if (first.x == ei && first.y == ej) {
+        // Both branches achieve their individual bounds at once:
+        // there is no tradeoff and no better pair exists.
+        return first;
+    }
+
+    // Walk down until j reaches its individual bound.
+    if (first.y != ej) {
+        int steps = 0;
+        bool reached = false;
+        for (int l = l0 - 1; l >= lMin; --l) {
+            if (++steps > opts.maxSweepSteps)
+                break;
+            PairPoint pt = eval(l);
+            if (pt.y == ej) {
+                reached = true;
+                break;
+            }
+        }
+        if (!reached && l0 - 1 >= lMin && steps > opts.maxSweepSteps) {
+            // Truncated sweep: separations below the last evaluated
+            // point are no longer covered by the termination
+            // argument; fall back to the always-valid naive point.
+            recorded.push_back({ei, ej});
+        }
+    }
+
+    // Walk up until i reaches its individual bound.
+    {
+        int steps = 0;
+        bool reached = first.x == ei;
+        if (!reached) {
+            for (int l = l0 + 1; l <= lMax; ++l) {
+                if (++steps > opts.maxSweepSteps)
+                    break;
+                PairPoint pt = eval(l);
+                if (pt.x == ei) {
+                    reached = true;
+                    break;
+                }
+            }
+        }
+        if (!reached) {
+            // Separations above the last evaluated point: any such
+            // schedule has x' >= EarlyRC[i] and y' >= x' + l >
+            // EarlyRC[i] + lMax, so this safety pair is dominated.
+            recorded.push_back({ei, std::max(ej, ei + lMax)});
+        }
+    }
+
+    PairPoint best = recorded.front();
+    double bestCost = wi * best.x + wj * best.y;
+    for (const PairPoint &pt : recorded) {
+        double cost = wi * pt.x + wj * pt.y;
+        if (cost < bestCost) {
+            bestCost = cost;
+            best = pt;
+        }
+    }
+    return best;
+}
+
+TripleSweepCache::TripleSweepCache(
+    const GraphContext &ctx, const MachineModel &machine,
+    const std::vector<int> &earlyRC,
+    const std::vector<std::vector<int>> &lateRCPerBranch,
+    BoundScratch &scratch)
+    : ctx(ctx), machine(machine), earlyRC(earlyRC),
+      lateRCPerBranch(lateRCPerBranch), scratch(scratch),
+      perBranch(std::size_t(ctx.sb().numBranches()))
+{
+    bsAssert(int(lateRCPerBranch.size()) == ctx.sb().numBranches(),
+             "need one LateRC vector per branch");
+}
+
+const detail::SinkSkeleton &
+TripleSweepCache::skeletonFor(int branchIdx)
+{
+    std::unique_ptr<detail::SinkSkeleton> &slot =
+        perBranch[std::size_t(branchIdx)];
+    if (!slot) {
+        slot = std::make_unique<detail::SinkSkeleton>();
+        slot->build(ctx, earlyRC,
+                    lateRCPerBranch[std::size_t(branchIdx)], branchIdx);
+    }
+    return *slot;
+}
+
+void
+TripleSweepCache::bindSink(int bk)
+{
+    bsAssert(bk >= 0 && bk < ctx.sb().numBranches(), "bad sink branch ",
+             bk);
+    sk = &skeletonFor(bk);
+    sinkIdx = bk;
+    ekVal = sk->sinkEarly;
+    scratch.arena.reset();
+    hiBuf = scratch.arena.alloc<int>(std::size_t(sk->n));
+    hjBuf = scratch.arena.alloc<int>(std::size_t(sk->n));
+}
+
+void
+TripleSweepCache::bindTriple(int bi, int bj)
+{
+    bsAssert(sk, "bindSink first");
+    const Superblock &sb = ctx.sb();
+    OpId i = sb.branches()[std::size_t(bi)];
+    OpId j = sb.branches()[std::size_t(bj)];
+    eiVal = earlyRC[std::size_t(i)];
+    ejVal = earlyRC[std::size_t(j)];
+
+    const std::vector<int> &heightI = ctx.heightToBranch(bi);
+    const std::vector<int> &heightJ = ctx.heightToBranch(bj);
+    for (int m = 0; m < sk->n; ++m) {
+        OpId x = sk->ops[m];
+        hiBuf[std::size_t(m)] = heightI[std::size_t(x)];
+        hjBuf[std::size_t(m)] = heightJ[std::size_t(x)];
+    }
+
+    // Height of j within the sink's subgraph, for the funnel term.
+    hKj = ctx.heightToBranch(sinkIdx)[std::size_t(j)];
+}
+
+TriplePoint
+TripleSweepCache::eval(int a, int b, BoundCounters *counters)
+{
+    std::vector<int> &keys = scratch.keys;
+    keys.resize(std::size_t(sk->n));
+
+    // Heights compose through the funnel at j: any path using the
+    // new edges reaches j before k, so
+    //   HjNew[x] = max(height_j[x], height_i[x] + a)
+    //   H[x]     = max(height_k[x], HjNew[x] + max(b, height_k[j])).
+    int jToK = std::max(b, hKj);
+    int cp = ekVal;
+    int minKey = 0;
+    int maxKey = 0;
+    for (int m = 0; m < sk->n; ++m) {
+        int h = sk->hSink[std::size_t(m)];
+        int hi = hiBuf[std::size_t(m)];
+        int hjNew = hjBuf[std::size_t(m)];
+        if (hi >= 0)
+            hjNew = std::max(hjNew, hi + a);
+        if (hjNew >= 0)
+            h = std::max(h, hjNew + jToK);
+        cp = std::max(cp, sk->early[std::size_t(m)] + h);
+        int key = std::min(-h, sk->relLate[std::size_t(m)]);
+        keys[std::size_t(m)] = key;
+        minKey = std::min(minKey, key);
+        maxKey = std::max(maxKey, key);
+        tick(counters);
+    }
+
+    int tard = sk->relax(machine, scratch, cp, minKey, maxKey,
+                         counters);
+
+    TriplePoint pt;
+    pt.z = cp + std::max(0, tard);
+    pt.y = std::max(pt.z - b, ejVal);
+    pt.x = std::max(pt.y - a, eiVal);
+    return pt;
+}
+
+} // namespace balance

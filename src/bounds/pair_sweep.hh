@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The incremental sweep engine behind the Pairwise and Triplewise
+ * bounds.
+ *
+ * Every sweep point (one forced-separation latency for a pair, one
+ * (a, b) grid point for a triple) solves a Rim & Jain relaxation
+ * over the same skeleton: the operations with a path to the sink
+ * branch. The naive engine (bounds/reference.hh) rebuilds that world
+ * from scratch per point — re-scans all ops below the sink, pushes a
+ * fresh item vector, std::sorts it, and constructs a new reservation
+ * table. This engine exploits what stays fixed across the sweep:
+ *
+ *  - Per sink branch, the skeleton (members, classes, EarlyRC,
+ *    heights to the sink, LateRC slack) is built once and cached for
+ *    the lifetime of the cache object (SinkSkeleton).
+ *  - Per source branch, the heights to the source are gathered once
+ *    into a dense arena span (bindPair / bindTriple).
+ *  - Per sweep point, only the composed heights change. The greedy's
+ *    (late, early, op) order is repaired with one stable bucket pass
+ *    over a precomputed (early, op) permutation instead of a full
+ *    sort: late times are bucketed by value and members scatter in
+ *    (early, op) order, which is exactly a stable counting sort and
+ *    therefore yields the unique (late, early, op) sequence.
+ *  - The relaxation places items through the caller's RelaxTable
+ *    (path-compressed next-free-cycle pointers, O(1) epoch reset)
+ *    instead of probing a freshly constructed reservation table.
+ *
+ * Because (late, early, op) is a strict total order, the repaired
+ * sequence equals what std::sort produces, so bound values are
+ * bitwise identical to the naive engine and loop-trip accounting
+ * (Table 2) is unchanged — ordering work never ticks, in either
+ * engine. tests/bounds/bound_engine_golden_test.cc pins this.
+ */
+
+#ifndef BALANCE_BOUNDS_PAIR_SWEEP_HH
+#define BALANCE_BOUNDS_PAIR_SWEEP_HH
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bounds/bound_scratch.hh"
+#include "bounds/counters.hh"
+#include "bounds/pairwise.hh"
+#include "graph/analysis.hh"
+#include "machine/machine_model.hh"
+
+namespace balance
+{
+
+/** One issue-cycle candidate for a branch triple. */
+struct TriplePoint
+{
+    int x = 0;
+    int y = 0;
+    int z = 0;
+};
+
+namespace detail
+{
+
+/**
+ * Cached per-sink-branch relaxation skeleton: everything about the
+ * subgraph rooted at the sink that is invariant across sweep points
+ * and source branches, plus the stable-bucket relaxation step.
+ */
+struct SinkSkeleton
+{
+    int n = 0;            //!< number of members
+    OpId sink = invalidOp;
+    int sinkEarly = 0;    //!< EarlyRC of the sink
+    const OpId *ops = nullptr; //!< members, ascending (ctx-owned)
+    std::vector<OpClass> cls;
+    std::vector<int> early;   //!< EarlyRC per member
+    std::vector<int> hSink;   //!< height to the sink per member
+    /**
+     * LateRC slack relative to the sink: LateRC[x] - EarlyRC[sink],
+     * or lateUnconstrained when LateRC does not constrain x. The
+     * tightened late time at critical path cp is then
+     * cp + min(-H[x], relLate[x]) for every sweep point.
+     */
+    std::vector<int> relLate;
+    /** Member indices in (EarlyRC, op) order — the tie-break tail. */
+    std::vector<int> orderByEarly;
+
+    /** Build for @p branchIdx using @p lateRC (lateRCFor output). */
+    void build(const GraphContext &ctx, const std::vector<int> &earlyRC,
+               const std::vector<int> &lateRC, int branchIdx);
+
+    /**
+     * Solve the relaxation for composed late keys scratch.keys
+     * (callers fill keys[m] = min(-H[m], relLate[m]) along with
+     * their min/max and the composed @p cp during the composition
+     * pass, ticking once per member exactly like the naive
+     * critical-path pass; the member's late time is cp + key).
+     *
+     * @return max tardiness, as rjMaxTardiness.
+     */
+    int relax(const MachineModel &machine, BoundScratch &scratch, int cp,
+              int minKey, int maxKey, BoundCounters *counters) const;
+};
+
+} // namespace detail
+
+/**
+ * Sweep engine for the Pairwise bound. Bind a sink branch, then a
+ * source branch, then evaluate separation latencies; skeletons are
+ * cached per sink, so any bind order is cheap.
+ */
+class PairSweepCache
+{
+  public:
+    /**
+     * @param ctx Analysis context for the superblock.
+     * @param machine Resource widths (must match @p scratch).
+     * @param earlyRC EarlyRC for every operation.
+     * @param lateRCPerBranch LateRC vectors, one per branch.
+     * @param scratch Worker-private working storage.
+     */
+    PairSweepCache(const GraphContext &ctx, const MachineModel &machine,
+                   const std::vector<int> &earlyRC,
+                   const std::vector<std::vector<int>> &lateRCPerBranch,
+                   BoundScratch &scratch);
+
+    /** Select the later branch @p bj (the relaxation sink). */
+    void bindSink(int bj);
+
+    /** Select the earlier branch @p bi < bound sink. */
+    void bindPair(int bi);
+
+    /** @return EarlyRC of the bound source branch. */
+    int ei() const { return eiVal; }
+    /** @return EarlyRC of the bound sink branch. */
+    int ej() const { return ejVal; }
+    /** @return the smallest separation to consider (src latency). */
+    int lMin() const { return lMinVal; }
+    /** @return the largest separation worth considering (Thm 2). */
+    int lMax() const { return lMaxVal; }
+
+    /** Evaluate one separation latency for the bound (bi, bj). */
+    PairPoint eval(int latency, BoundCounters *counters);
+
+    /** Sweep-candidate buffer for the sweep driver. */
+    std::vector<PairPoint> recorded;
+
+  private:
+    const detail::SinkSkeleton &skeletonFor(int branchIdx);
+
+    const GraphContext &ctx;
+    const MachineModel &machine;
+    const std::vector<int> &earlyRC;
+    const std::vector<std::vector<int>> &lateRCPerBranch;
+    BoundScratch &scratch;
+
+    std::vector<std::unique_ptr<detail::SinkSkeleton>> perBranch;
+    const detail::SinkSkeleton *sk = nullptr;
+    std::span<int> hiBuf; //!< heights to the source, per member
+
+    int eiVal = 0;
+    int ejVal = 0;
+    int lMinVal = 0;
+    int lMaxVal = 0;
+};
+
+/**
+ * Run the Figure 5 sweep for the pair (bi, sink) on a cache whose
+ * sink is already bound. Equivalent to computePairBound of
+ * pairwise.hh (which wraps this), but reuses the cache's skeletons
+ * across calls.
+ */
+PairPoint computePairBound(PairSweepCache &cache, int bi, double wi,
+                           double wj, const PairwiseOptions &opts,
+                           BoundCounters *counters);
+
+/**
+ * Sweep engine for the Triplewise bound: same skeleton machinery
+ * with two gathered height arrays and the j -> k funnel composition.
+ */
+class TripleSweepCache
+{
+  public:
+    /** See PairSweepCache; parameters are identical. */
+    TripleSweepCache(const GraphContext &ctx, const MachineModel &machine,
+                     const std::vector<int> &earlyRC,
+                     const std::vector<std::vector<int>> &lateRCPerBranch,
+                     BoundScratch &scratch);
+
+    /** Select the last branch @p bk (the relaxation sink). */
+    void bindSink(int bk);
+
+    /** Select the earlier branches @p bi < @p bj < bound sink. */
+    void bindTriple(int bi, int bj);
+
+    /** @return EarlyRC of branch i / j / k of the bound triple. */
+    int ei() const { return eiVal; }
+    int ej() const { return ejVal; }
+    int ek() const { return ekVal; }
+
+    /** Evaluate one (a, b) separation grid point. */
+    TriplePoint eval(int a, int b, BoundCounters *counters);
+
+  private:
+    const detail::SinkSkeleton &skeletonFor(int branchIdx);
+
+    const GraphContext &ctx;
+    const MachineModel &machine;
+    const std::vector<int> &earlyRC;
+    const std::vector<std::vector<int>> &lateRCPerBranch;
+    BoundScratch &scratch;
+
+    std::vector<std::unique_ptr<detail::SinkSkeleton>> perBranch;
+    const detail::SinkSkeleton *sk = nullptr;
+    std::span<int> hiBuf; //!< heights to branch i, per member
+    std::span<int> hjBuf; //!< heights to branch j, per member
+
+    int sinkIdx = -1;
+    int eiVal = 0;
+    int ejVal = 0;
+    int ekVal = 0;
+    int hKj = -1; //!< height of branch j toward the sink k
+};
+
+} // namespace balance
+
+#endif // BALANCE_BOUNDS_PAIR_SWEEP_HH

@@ -1,77 +1,15 @@
 #include "bounds/pairwise.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "bounds/bound_scratch.hh"
+#include "bounds/pair_sweep.hh"
 #include "bounds/relaxation.hh"
 #include "support/diagnostics.hh"
 
 namespace balance
 {
-
-namespace
-{
-
-/**
- * Evaluate one sweep point: the RJ bound on branch j's issue when an
- * edge i -> j with latency l is added to the subgraph rooted at j.
- *
- * The heights to j in the augmented graph compose from the
- * precomputed heights: any path through the new edge reaches i
- * first, so H[x] = max(height_j[x], height_i[x] + l).
- */
-PairPoint
-evalPair(const GraphContext &ctx, const MachineModel &machine,
-         const std::vector<int> &earlyRC, const std::vector<int> &lateRCj,
-         OpId i, OpId j, int bi, int bj, int latency,
-         BoundCounters *counters)
-{
-    const std::vector<int> &heightI = ctx.heightToBranch(bi);
-    const std::vector<int> &heightJ = ctx.heightToBranch(bj);
-    int ei = earlyRC[std::size_t(i)];
-    int ej = earlyRC[std::size_t(j)];
-
-    // Pass 1: critical path to j in the augmented graph.
-    int cp = ej;
-    for (OpId x = 0; x <= j; ++x) {
-        int hj = heightJ[std::size_t(x)];
-        if (hj < 0)
-            continue;
-        int h = hj;
-        int hi = heightI[std::size_t(x)];
-        if (hi >= 0)
-            h = std::max(h, hi + latency);
-        cp = std::max(cp, earlyRC[std::size_t(x)] + h);
-        tick(counters);
-    }
-
-    // Pass 2: relaxation items with LateRC-tightened windows. LateRC
-    // was anchored at j issuing in EarlyRC[j]; shift by cp - ej.
-    std::vector<RelaxItem> items;
-    for (OpId x = 0; x <= j; ++x) {
-        int hj = heightJ[std::size_t(x)];
-        if (hj < 0)
-            continue;
-        int h = hj;
-        int hi = heightI[std::size_t(x)];
-        if (hi >= 0)
-            h = std::max(h, hi + latency);
-        int late = cp - h;
-        if (lateRCj[std::size_t(x)] != lateUnconstrained)
-            late = std::min(late, lateRCj[std::size_t(x)] + (cp - ej));
-        items.push_back({x, ctx.sb().op(x).cls, earlyRC[std::size_t(x)],
-                         late});
-    }
-    int tard = rjMaxTardiness(machine, items, counters);
-
-    PairPoint pt;
-    pt.y = cp + std::max(0, tard);
-    // Clamping x up to EarlyRC[i] is required for the sweep's
-    // early-termination coverage argument (see DESIGN.md).
-    pt.x = std::max(pt.y - latency, ei);
-    return pt;
-}
-
-} // namespace
 
 PairPoint
 computePairBound(const GraphContext &ctx, const MachineModel &machine,
@@ -83,111 +21,53 @@ computePairBound(const GraphContext &ctx, const MachineModel &machine,
     const Superblock &sb = ctx.sb();
     bsAssert(bi >= 0 && bj > bi && bj < sb.numBranches(),
              "bad branch pair (", bi, ", ", bj, ")");
-    OpId i = sb.branches()[std::size_t(bi)];
-    OpId j = sb.branches()[std::size_t(bj)];
-    int ei = earlyRC[std::size_t(i)];
-    int ej = earlyRC[std::size_t(j)];
 
-    // The considered latencies are never below branch i's latency
-    // (branches stay ordered) nor above EarlyRC[j] + 1 (Theorem 2).
-    int lMin = sb.op(i).latency;
-    int lMax = ej + 1;
+    // Single-pair convenience entry: stage the one LateRC vector the
+    // engine will read and run the cached-sweep driver.
+    std::vector<std::vector<int>> lateRCPerBranch(
+        std::size_t(sb.numBranches()));
+    lateRCPerBranch[std::size_t(bj)] = lateRCj;
 
-    std::vector<PairPoint> recorded;
-    auto eval = [&](int l) {
-        PairPoint pt = evalPair(ctx, machine, earlyRC, lateRCj, i, j, bi,
-                                bj, l, counters);
-        recorded.push_back(pt);
-        return pt;
-    };
-
-    int l0 = std::clamp(ej - ei, lMin, lMax);
-    PairPoint first = eval(l0);
-
-    if (first.x == ei && first.y == ej) {
-        // Both branches achieve their individual bounds at once:
-        // there is no tradeoff and no better pair exists.
-        return first;
-    }
-
-    // Walk down until j reaches its individual bound.
-    if (first.y != ej) {
-        int steps = 0;
-        bool reached = false;
-        for (int l = l0 - 1; l >= lMin; --l) {
-            if (++steps > opts.maxSweepSteps)
-                break;
-            PairPoint pt = eval(l);
-            if (pt.y == ej) {
-                reached = true;
-                break;
-            }
-        }
-        if (!reached && l0 - 1 >= lMin && steps > opts.maxSweepSteps) {
-            // Truncated sweep: separations below the last evaluated
-            // point are no longer covered by the termination
-            // argument; fall back to the always-valid naive point.
-            recorded.push_back({ei, ej});
-        }
-    }
-
-    // Walk up until i reaches its individual bound.
-    {
-        int steps = 0;
-        bool reached = first.x == ei;
-        if (!reached) {
-            for (int l = l0 + 1; l <= lMax; ++l) {
-                if (++steps > opts.maxSweepSteps)
-                    break;
-                PairPoint pt = eval(l);
-                if (pt.x == ei) {
-                    reached = true;
-                    break;
-                }
-            }
-        }
-        if (!reached) {
-            // Separations above the last evaluated point: any such
-            // schedule has x' >= EarlyRC[i] and y' >= x' + l >
-            // EarlyRC[i] + lMax, so this safety pair is dominated.
-            recorded.push_back({ei, std::max(ej, ei + lMax)});
-        }
-    }
-
-    PairPoint best = recorded.front();
-    double bestCost = wi * best.x + wj * best.y;
-    for (const PairPoint &pt : recorded) {
-        double cost = wi * pt.x + wj * pt.y;
-        if (cost < bestCost) {
-            bestCost = cost;
-            best = pt;
-        }
-    }
-    return best;
+    BoundScratch scratch(machine);
+    PairSweepCache cache(ctx, machine, earlyRC, lateRCPerBranch, scratch);
+    cache.bindSink(bj);
+    return computePairBound(cache, bi, wi, wj, opts, counters);
 }
 
 PairwiseBounds::PairwiseBounds(
     const GraphContext &ctx, const MachineModel &machine,
     const std::vector<int> &earlyRC,
     const std::vector<std::vector<int>> &lateRCPerBranch,
-    const PairwiseOptions &opts, BoundCounters *counters)
+    const PairwiseOptions &opts, BoundCounters *counters,
+    BoundScratch *scratch)
 {
     const Superblock &sb = ctx.sb();
     b = sb.numBranches();
     bsAssert(int(lateRCPerBranch.size()) == b,
              "need one LateRC vector per branch");
 
+    std::unique_ptr<BoundScratch> owned;
+    if (!scratch) {
+        owned = std::make_unique<BoundScratch>(machine);
+        scratch = owned.get();
+    }
+    PairSweepCache cache(ctx, machine, earlyRC, lateRCPerBranch,
+                         *scratch);
+
+    // Sink-major order so each sink's skeleton and LateRC gathers are
+    // built once and reused by every source branch. Pairs are
+    // independent, so the visit order does not affect any value, and
+    // counters only ever accumulate (sums are order-invariant).
     pairs.resize(std::size_t(b) * std::size_t(b));
-    for (int bi = 0; bi < b; ++bi) {
-        OpId i = sb.branches()[std::size_t(bi)];
-        double wi = sb.exitProb(i);
-        for (int bj = bi + 1; bj < b; ++bj) {
-            OpId j = sb.branches()[std::size_t(bj)];
-            double wj = sb.exitProb(j);
+    for (int bj = 1; bj < b; ++bj) {
+        OpId j = sb.branches()[std::size_t(bj)];
+        double wj = sb.exitProb(j);
+        cache.bindSink(bj);
+        for (int bi = 0; bi < bj; ++bi) {
+            OpId i = sb.branches()[std::size_t(bi)];
+            double wi = sb.exitProb(i);
             pairs[std::size_t(bi) * std::size_t(b) + std::size_t(bj)] =
-                computePairBound(ctx, machine, earlyRC,
-                                 lateRCPerBranch[std::size_t(bj)], bi, bj,
-                                 wi, wj, opts, counters);
+                computePairBound(cache, bi, wi, wj, opts, counters);
         }
     }
 

@@ -31,6 +31,8 @@
 namespace balance
 {
 
+struct BoundScratch;
+
 /** Joint lower bound on the issue cycles of a branch pair. */
 struct PairPoint
 {
@@ -88,12 +90,15 @@ class PairwiseBounds
      *        branch order (lateRCFor output for each branch).
      * @param opts Sweep limits.
      * @param counters Optional cost accounting.
+     * @param scratch Optional worker-private working storage reused
+     *        across calls; a private one is created when null.
      */
     PairwiseBounds(const GraphContext &ctx, const MachineModel &machine,
                    const std::vector<int> &earlyRC,
                    const std::vector<std::vector<int>> &lateRCPerBranch,
                    const PairwiseOptions &opts = {},
-                   BoundCounters *counters = nullptr);
+                   BoundCounters *counters = nullptr,
+                   BoundScratch *scratch = nullptr);
 
     /** @return the number of branches. */
     int numBranches() const { return b; }

@@ -7,15 +7,12 @@
 namespace balance
 {
 
-int
-rjMaxTardiness(const MachineModel &machine, std::vector<RelaxItem> &items,
-               BoundCounters *counters)
+void
+sortRelaxItems(std::vector<RelaxItem> &items)
 {
-    if (items.empty())
-        return -(1 << 28);
-
-    // Process in increasing late time; ties broken by early time and
-    // then id for determinism.
+    // Increasing late time; ties broken by early time and then id for
+    // determinism. op ids are unique, so the order is a strict total
+    // order and the sorted sequence is unique.
     std::sort(items.begin(), items.end(),
               [](const RelaxItem &a, const RelaxItem &b) {
                   if (a.late != b.late)
@@ -24,9 +21,20 @@ rjMaxTardiness(const MachineModel &machine, std::vector<RelaxItem> &items,
                       return a.early < b.early;
                   return a.op < b.op;
               });
+}
 
-    ResourceState table(machine);
-    int maxTardiness = -(1 << 28);
+int
+rjMaxTardinessPresorted(const MachineModel &machine,
+                        std::span<const RelaxItem> items,
+                        ResourceState &table, BoundCounters *counters)
+{
+    if (items.empty())
+        return negInfBound;
+
+    bsAssert(&table.machine() == &machine,
+             "scratch table built for a different machine");
+    table.clear();
+    int maxTardiness = negInfBound;
     for (const RelaxItem &item : items) {
         bsAssert(item.early >= 0, "negative early time in relaxation");
         int cycle = item.early;
@@ -43,87 +51,103 @@ rjMaxTardiness(const MachineModel &machine, std::vector<RelaxItem> &items,
     return maxTardiness;
 }
 
-Dag
-Dag::fromSuperblock(const Superblock &sb)
+int
+rjMaxTardiness(const MachineModel &machine, std::vector<RelaxItem> &items,
+               ResourceState &table, BoundCounters *counters)
 {
-    Dag dag;
-    int v = sb.numOps();
-    dag.cls.resize(std::size_t(v));
-    dag.preds.resize(std::size_t(v));
-    dag.succs.resize(std::size_t(v));
-    for (OpId id = 0; id < v; ++id) {
-        dag.cls[std::size_t(id)] = sb.op(id).cls;
-        auto p = sb.preds(id);
-        dag.preds[std::size_t(id)].assign(p.begin(), p.end());
-        auto s = sb.succs(id);
-        dag.succs[std::size_t(id)].assign(s.begin(), s.end());
-    }
-    return dag;
+    sortRelaxItems(items);
+    return rjMaxTardinessPresorted(machine, items, table, counters);
 }
 
-Dag
-Dag::reversedClosure(const Superblock &sb, const DynBitset &nodes,
-                     std::vector<OpId> *newToOld)
+RelaxTable::RelaxTable(const MachineModel &machine) : model(&machine)
 {
-    bsAssert(nodes.size() == std::size_t(sb.numOps()),
-             "node mask universe mismatch");
-
-    // New ids in reverse program order: the last original op becomes
-    // node 0. Original edges point forward, so flipped edges point
-    // forward in the new numbering, preserving topological ids.
-    std::vector<OpId> order = nodes.toIndices().empty()
-        ? std::vector<OpId>{}
-        : [&] {
-              auto idx = nodes.toIndices();
-              std::vector<OpId> ord(idx.rbegin(), idx.rend());
-              return ord;
-          }();
-    bsAssert(!order.empty(), "reversedClosure of empty node set");
-
-    std::vector<int> newIdOf(std::size_t(sb.numOps()), -1);
-    for (std::size_t i = 0; i < order.size(); ++i)
-        newIdOf[std::size_t(order[i])] = int(i);
-
-    Dag dag;
-    dag.cls.resize(order.size());
-    dag.preds.resize(order.size());
-    dag.succs.resize(order.size());
-    for (std::size_t i = 0; i < order.size(); ++i) {
-        OpId orig = order[i];
-        dag.cls[i] = sb.op(orig).cls;
-        // Original successors inside the mask become predecessors.
-        for (const Adjacent &e : sb.succs(orig)) {
-            int nid = newIdOf[std::size_t(e.op)];
-            if (nid >= 0)
-                dag.preds[i].push_back({OpId(nid), e.latency});
-        }
-        for (const Adjacent &e : sb.preds(orig)) {
-            int nid = newIdOf[std::size_t(e.op)];
-            if (nid >= 0)
-                dag.succs[i].push_back({OpId(nid), e.latency});
-        }
-    }
-    if (newToOld)
-        *newToOld = std::move(order);
-    return dag;
+    lanes.resize(std::size_t(machine.numResources()));
+    for (int r = 0; r < machine.numResources(); ++r)
+        lanes[std::size_t(r)].width = machine.width(r);
 }
 
-std::vector<int>
-dagHeightTo(const Dag &dag, int sink)
+void
+RelaxTable::ensure(Lane &lane, int cycle)
 {
-    bsAssert(sink >= 0 && sink < dag.n(), "unknown sink ", sink);
-    std::vector<int> height(std::size_t(dag.n()), -1);
-    height[std::size_t(sink)] = 0;
-    for (int v = sink; v >= 0; --v) {
-        if (height[std::size_t(v)] < 0)
-            continue;
-        for (const Adjacent &e : dag.preds[std::size_t(v)]) {
-            height[std::size_t(e.op)] =
-                std::max(height[std::size_t(e.op)],
-                         height[std::size_t(v)] + e.latency);
-        }
+    if (std::size_t(cycle) < lane.stamp.size())
+        return;
+    std::size_t size = std::max(lane.stamp.size() * 2,
+                                std::size_t(cycle) + 1);
+    if (size < 64)
+        size = 64;
+    lane.fill.resize(size);
+    lane.next.resize(size);
+    // Zero stamps mark virgin cells (the epoch counter starts at 1).
+    lane.stamp.resize(size, 0);
+}
+
+int
+RelaxTable::place(OpClass cls, int early)
+{
+    Lane &lane = lanes[std::size_t(model->poolOf(cls))];
+    ensure(lane, early);
+    int c = early;
+    while (lane.stamp[std::size_t(c)] == epoch &&
+           lane.fill[std::size_t(c)] >= lane.width) {
+        int nx = lane.next[std::size_t(c)];
+        ensure(lane, nx);
+        c = nx;
     }
-    return height;
+    // Path compression: point every full cycle on the walk at the
+    // landing cycle so later placements skip straight past the run.
+    for (int w = early; w != c;) {
+        int nx = lane.next[std::size_t(w)];
+        lane.next[std::size_t(w)] = c;
+        w = nx;
+    }
+    if (lane.stamp[std::size_t(c)] != epoch) {
+        lane.stamp[std::size_t(c)] = epoch;
+        lane.fill[std::size_t(c)] = 0;
+    }
+    if (++lane.fill[std::size_t(c)] == lane.width) {
+        ensure(lane, c + 1);
+        lane.next[std::size_t(c)] = c + 1;
+    }
+    return c;
+}
+
+int
+rjMaxTardinessPresorted(const MachineModel &machine,
+                        std::span<const RelaxItem> items,
+                        RelaxTable &table, BoundCounters *counters)
+{
+    if (items.empty())
+        return negInfBound;
+
+    bsAssert(&table.machine() == &machine,
+             "scratch table built for a different machine");
+    table.reset();
+    int maxTardiness = negInfBound;
+    for (const RelaxItem &item : items) {
+        bsAssert(item.early >= 0, "negative early time in relaxation");
+        int cycle = table.place(item.cls, item.early);
+        maxTardiness = std::max(maxTardiness, cycle - item.late);
+        // The naive greedy ticks once per probed full cycle plus
+        // once per item; the placement implies that count exactly.
+        tick(counters, cycle - item.early + 1);
+    }
+    return maxTardiness;
+}
+
+int
+rjMaxTardiness(const MachineModel &machine, std::vector<RelaxItem> &items,
+               RelaxTable &table, BoundCounters *counters)
+{
+    sortRelaxItems(items);
+    return rjMaxTardinessPresorted(machine, items, table, counters);
+}
+
+int
+rjMaxTardiness(const MachineModel &machine, std::vector<RelaxItem> &items,
+               BoundCounters *counters)
+{
+    ResourceState table(machine);
+    return rjMaxTardiness(machine, items, table, counters);
 }
 
 } // namespace balance

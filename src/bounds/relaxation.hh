@@ -11,18 +11,27 @@
  * relaxation exactly; the lower bound is
  *     CP + max(0, max_i (t_i - late_i)).
  *
- * This file also provides a generic Dag container so the same engine
- * can run on a superblock, on a subgraph rooted at a branch, or on a
- * reversed subgraph (for LateRC).
+ * The (late, early, op) processing order is a strict total order (op
+ * ids are unique), so the sorted sequence is unique: any caller that
+ * produces it — std::sort here, or the bucketed repair pass of the
+ * pairwise sweep cache — feeds the greedy the same items in the same
+ * order and gets bitwise-identical tardiness. rjMaxTardinessPresorted
+ * is that shared greedy core; the sweep engine calls it directly on
+ * pre-ordered spans, reusing one ResourceState across thousands of
+ * relaxations instead of constructing a fresh table per call.
  */
 
 #ifndef BALANCE_BOUNDS_RELAXATION_HH
 #define BALANCE_BOUNDS_RELAXATION_HH
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "bounds/bound_limits.hh"
 #include "bounds/counters.hh"
 #include "graph/analysis.hh"
+#include "graph/dag.hh"
 #include "graph/superblock.hh"
 #include "machine/machine_model.hh"
 #include "machine/resource_state.hh"
@@ -48,52 +57,104 @@ struct RelaxItem
  * @param counters Optional loop-trip accounting.
  * @return max over items of (t_i - late_i); negative when every
  *         operation meets its deadline. The caller's bound is
- *         CP + max(0, result).
+ *         CP + max(0, result). negInfBound when @p items is empty.
  */
 int rjMaxTardiness(const MachineModel &machine,
                    std::vector<RelaxItem> &items,
                    BoundCounters *counters = nullptr);
 
 /**
- * Generic DAG with topologically numbered nodes, used where the
- * bound must run on something other than the superblock itself
- * (reversed subgraphs for LateRC). Edges always point from a lower
- * to a higher node id.
+ * As above, but reuses @p table (cleared here) instead of
+ * constructing a fresh reservation table — the allocation-free form
+ * for callers holding a BoundScratch.
  */
-struct Dag
+int rjMaxTardiness(const MachineModel &machine,
+                   std::vector<RelaxItem> &items, ResourceState &table,
+                   BoundCounters *counters = nullptr);
+
+/**
+ * Placement structure specialized for the RJ greedy: per-pool
+ * next-free-cycle skip pointers with path compression make each
+ * placement amortized near-constant instead of a linear probe over
+ * full cycles, and an epoch stamp makes reset() O(1).
+ *
+ * Placements are identical to probing a fresh reservation table
+ * cycle by cycle (earliest non-full cycle of the pool at or after
+ * the early time), and the probe count the naive loop would have
+ * performed is recovered exactly as (placed - early), so the Table 2
+ * trip accounting is unchanged — see rjMaxTardinessPresorted below.
+ */
+class RelaxTable
 {
-    /** Class of each node (determines the resource pool). */
-    std::vector<OpClass> cls;
-    /** Predecessor adjacency with edge latencies. */
-    std::vector<std::vector<Adjacent>> preds;
-    /** Successor adjacency with edge latencies. */
-    std::vector<std::vector<Adjacent>> succs;
+  public:
+    /** @param machine Pool widths; must outlive the table. */
+    explicit RelaxTable(const MachineModel &machine);
 
-    /** @return the number of nodes. */
-    int n() const { return int(cls.size()); }
+    /** The table keeps a pointer: temporaries are a bug. */
+    explicit RelaxTable(MachineModel &&) = delete;
 
-    /** Wrap a whole superblock (ids map one-to-one). */
-    static Dag fromSuperblock(const Superblock &sb);
+    /** @return the machine this table was built for. */
+    const MachineModel &machine() const { return *model; }
+
+    /** Forget all placements in O(1). */
+    void reset() { ++epoch; }
 
     /**
-     * Build the reversed subgraph over @p nodes (typically
-     * closure(b)): node order is the reverse of the original program
-     * order, every edge flips direction and keeps its latency.
+     * Place one operation of class @p cls into the earliest cycle
+     * >= @p early with a free unit of its pool.
      *
-     * @param sb The source superblock.
-     * @param nodes Mask of operations to include.
-     * @param newToOld Receives, for each new node id, the original
-     *        OpId (may be null).
+     * @return the chosen cycle.
      */
-    static Dag reversedClosure(const Superblock &sb, const DynBitset &nodes,
-                               std::vector<OpId> *newToOld);
+    int place(OpClass cls, int early);
+
+  private:
+    /** One pool's cycle occupancy, valid for the current epoch. */
+    struct Lane
+    {
+        std::vector<int> fill; //!< units used (when stamp == epoch)
+        std::vector<int> next; //!< skip pointer once a cycle is full
+        std::vector<std::uint64_t> stamp; //!< epoch owning fill/next
+        int width = 0;
+    };
+
+    void ensure(Lane &lane, int cycle);
+
+    const MachineModel *model;
+    std::vector<Lane> lanes;
+    std::uint64_t epoch = 1;
 };
 
 /**
- * Longest path from each node of @p dag to @p sink (nodes without a
- * path get -1; sink gets 0). Mirrors computeHeightTo for Dag.
+ * As above over a RelaxTable — the bound engine's fast path.
  */
-std::vector<int> dagHeightTo(const Dag &dag, int sink);
+int rjMaxTardiness(const MachineModel &machine,
+                   std::vector<RelaxItem> &items, RelaxTable &table,
+                   BoundCounters *counters = nullptr);
+
+/**
+ * The greedy core: @p items MUST already be in increasing
+ * (late, early, op) order. Clears and reuses @p table. Loop-trip
+ * accounting is identical to the sorting overloads — the sort never
+ * ticks.
+ */
+int rjMaxTardinessPresorted(const MachineModel &machine,
+                            std::span<const RelaxItem> items,
+                            ResourceState &table,
+                            BoundCounters *counters = nullptr);
+
+/**
+ * The greedy core over a RelaxTable. Placements match the
+ * ResourceState form bit for bit, and each item ticks
+ * (placed - early + 1) trips — exactly the probe-plus-place count of
+ * the naive loop — so counter totals are identical too.
+ */
+int rjMaxTardinessPresorted(const MachineModel &machine,
+                            std::span<const RelaxItem> items,
+                            RelaxTable &table,
+                            BoundCounters *counters = nullptr);
+
+/** Sort @p items into the canonical (late, early, op) greedy order. */
+void sortRelaxItems(std::vector<RelaxItem> &items);
 
 } // namespace balance
 

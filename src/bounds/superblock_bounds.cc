@@ -1,7 +1,9 @@
 #include "bounds/superblock_bounds.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "bounds/bound_scratch.hh"
 #include "support/diagnostics.hh"
 
 namespace balance
@@ -31,7 +33,8 @@ WctBounds::tightest() const
 BoundsToolkit::BoundsToolkit(const GraphContext &ctx,
                              const MachineModel &machine,
                              const BoundConfig &config,
-                             BoundCounterSet *counters)
+                             BoundCounterSet *counters,
+                             BoundScratch *scratch)
     : context(&ctx)
 {
     earlyRCPerOp = lcEarlyRCForSuperblock(
@@ -48,7 +51,7 @@ BoundsToolkit::BoundsToolkit(const GraphContext &ctx,
     if (config.computePairwise) {
         pw = std::make_unique<PairwiseBounds>(
             ctx, machine, earlyRCPerOp, lateRCPerBranch, config.pairwise,
-            counters ? &counters->pw : nullptr);
+            counters ? &counters->pw : nullptr, scratch);
     }
 }
 
@@ -63,9 +66,16 @@ BoundsToolkit::lateRC(int branchIdx) const
 
 WctBounds
 computeWctBounds(const GraphContext &ctx, const MachineModel &machine,
-                 const BoundConfig &config, BoundCounterSet *counters)
+                 const BoundConfig &config, BoundCounterSet *counters,
+                 BoundScratch *scratch)
 {
     const Superblock &sb = ctx.sb();
+
+    std::unique_ptr<BoundScratch> owned;
+    if (!scratch) {
+        owned = std::make_unique<BoundScratch>(machine);
+        scratch = owned.get();
+    }
 
     WctBounds out;
     out.cp = wctFromBranchEarly(sb, cpEarly(ctx));
@@ -74,7 +84,7 @@ computeWctBounds(const GraphContext &ctx, const MachineModel &machine,
     out.rj = wctFromBranchEarly(
         sb, rjEarly(ctx, machine, counters ? &counters->rj : nullptr));
 
-    BoundsToolkit toolkit(ctx, machine, config, counters);
+    BoundsToolkit toolkit(ctx, machine, config, counters, scratch);
 
     std::vector<int> lcBranches;
     lcBranches.reserve(std::size_t(sb.numBranches()));
@@ -87,15 +97,10 @@ computeWctBounds(const GraphContext &ctx, const MachineModel &machine,
         // every pair value is clamped to the EarlyRC floor.
         out.pw = toolkit.pairwise()->superblockWct();
         if (config.computeTriplewise) {
-            // LateRC vectors live in the toolkit; rebuild the spans.
-            std::vector<std::vector<int>> lateRCs;
-            lateRCs.reserve(std::size_t(sb.numBranches()));
-            for (int bi = 0; bi < sb.numBranches(); ++bi)
-                lateRCs.push_back(toolkit.lateRC(bi));
             TriplewiseResult tw = computeTriplewise(
-                ctx, machine, toolkit.earlyRC(), lateRCs,
+                ctx, machine, toolkit.earlyRC(), toolkit.lateRCAll(),
                 *toolkit.pairwise(), config.triplewise,
-                counters ? &counters->tw : nullptr);
+                counters ? &counters->tw : nullptr, scratch);
             out.tw = tw.wct;
         } else {
             out.tw = out.pw;

@@ -82,10 +82,13 @@ class BoundsToolkit
      * @param machine Resource widths (must outlive the toolkit).
      * @param config Algorithm options.
      * @param counters Optional per-algorithm cost accounting.
+     * @param scratch Optional worker-private working storage reused
+     *        across calls; a private one is created when needed.
      */
     BoundsToolkit(const GraphContext &ctx, const MachineModel &machine,
                   const BoundConfig &config = {},
-                  BoundCounterSet *counters = nullptr);
+                  BoundCounterSet *counters = nullptr,
+                  BoundScratch *scratch = nullptr);
 
     /** @return the analysis context. */
     const GraphContext &ctx() const { return *context; }
@@ -95,6 +98,13 @@ class BoundsToolkit
 
     /** @return LateRC for branch index @p branchIdx. */
     const std::vector<int> &lateRC(int branchIdx) const;
+
+    /** @return all per-branch LateRC vectors, in branch order. */
+    const std::vector<std::vector<int>> &
+    lateRCAll() const
+    {
+        return lateRCPerBranch;
+    }
 
     /** @return pairwise bounds (null when disabled in config). */
     const PairwiseBounds *pairwise() const { return pw.get(); }
@@ -113,11 +123,14 @@ class BoundsToolkit
  * @param machine Resource widths.
  * @param config Algorithm options (PW/TW can be disabled).
  * @param counters Optional per-algorithm cost accounting.
+ * @param scratch Optional worker-private working storage reused
+ *        across calls; a private one is created when needed.
  */
 WctBounds computeWctBounds(const GraphContext &ctx,
                            const MachineModel &machine,
                            const BoundConfig &config = {},
-                           BoundCounterSet *counters = nullptr);
+                           BoundCounterSet *counters = nullptr,
+                           BoundScratch *scratch = nullptr);
 
 } // namespace balance
 

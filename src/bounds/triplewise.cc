@@ -1,94 +1,22 @@
 #include "bounds/triplewise.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "bounds/bound_scratch.hh"
+#include "bounds/pair_sweep.hh"
 #include "bounds/relaxation.hh"
 #include "support/diagnostics.hh"
 
 namespace balance
 {
 
-namespace
-{
-
-/** One issue-cycle candidate for a branch triple. */
-struct TriplePoint
-{
-    int x = 0;
-    int y = 0;
-    int z = 0;
-};
-
-/**
- * Evaluate one grid point: RJ bound on branch k's issue with edges
- * i -> j (latency a) and j -> k (latency b) added to the subgraph
- * rooted at k. Heights compose from the per-branch heights: any path
- * using the new edges funnels through j, so
- *   HjNew[x] = max(height_j[x], height_i[x] + a)
- *   H[x]     = max(height_k[x], HjNew[x] + max(b, height_k[j])).
- */
-TriplePoint
-evalTriple(const GraphContext &ctx, const MachineModel &machine,
-           const std::vector<int> &earlyRC,
-           const std::vector<int> &lateRCk, OpId i, OpId j, OpId k,
-           int bi, int bj, int bk, int a, int b, BoundCounters *counters)
-{
-    const std::vector<int> &heightI = ctx.heightToBranch(bi);
-    const std::vector<int> &heightJ = ctx.heightToBranch(bj);
-    const std::vector<int> &heightK = ctx.heightToBranch(bk);
-    int ei = earlyRC[std::size_t(i)];
-    int ej = earlyRC[std::size_t(j)];
-    int ek = earlyRC[std::size_t(k)];
-
-    int jToK = std::max(b, heightK[std::size_t(j)]);
-
-    auto augHeight = [&](OpId x) {
-        int h = heightK[std::size_t(x)];
-        int hj = heightJ[std::size_t(x)];
-        int hi = heightI[std::size_t(x)];
-        int hjNew = hj;
-        if (hi >= 0)
-            hjNew = std::max(hjNew, hi + a);
-        if (hjNew >= 0)
-            h = std::max(h, hjNew + jToK);
-        return h;
-    };
-
-    int cp = ek;
-    for (OpId x = 0; x <= k; ++x) {
-        if (heightK[std::size_t(x)] < 0)
-            continue;
-        cp = std::max(cp, earlyRC[std::size_t(x)] + augHeight(x));
-        tick(counters);
-    }
-
-    std::vector<RelaxItem> items;
-    for (OpId x = 0; x <= k; ++x) {
-        if (heightK[std::size_t(x)] < 0)
-            continue;
-        int late = cp - augHeight(x);
-        if (lateRCk[std::size_t(x)] != lateUnconstrained)
-            late = std::min(late, lateRCk[std::size_t(x)] + (cp - ek));
-        items.push_back({x, ctx.sb().op(x).cls, earlyRC[std::size_t(x)],
-                         late});
-    }
-    int tard = rjMaxTardiness(machine, items, counters);
-
-    TriplePoint pt;
-    pt.z = cp + std::max(0, tard);
-    pt.y = std::max(pt.z - b, ej);
-    pt.x = std::max(pt.y - a, ei);
-    return pt;
-}
-
-} // namespace
-
 TriplewiseResult
 computeTriplewise(const GraphContext &ctx, const MachineModel &machine,
                   const std::vector<int> &earlyRC,
                   const std::vector<std::vector<int>> &lateRCPerBranch,
                   const PairwiseBounds &pw, const TriplewiseOptions &opts,
-                  BoundCounters *counters)
+                  BoundCounters *counters, BoundScratch *scratch)
 {
     const Superblock &sb = ctx.sb();
     int numBr = sb.numBranches();
@@ -100,11 +28,22 @@ computeTriplewise(const GraphContext &ctx, const MachineModel &machine,
         return result;
     }
 
+    std::unique_ptr<BoundScratch> owned;
+    if (!scratch) {
+        owned = std::make_unique<BoundScratch>(machine);
+        scratch = owned.get();
+    }
+    TripleSweepCache cache(ctx, machine, earlyRC, lateRCPerBranch,
+                           *scratch);
+
     // Per-branch accumulation for the partial Theorem 3 extension.
     std::vector<double> sums(std::size_t(numBr), 0.0);
     std::vector<long long> counts(std::size_t(numBr), 0);
     long long evals = 0;
 
+    // The enumeration order is load-bearing: maxEvals may truncate
+    // it, so visiting triples in any other order would change which
+    // ones contribute to the partial aggregate.
     for (int bi = 0; bi < numBr && evals < opts.maxEvals; ++bi) {
         for (int bj = bi + 1; bj < numBr && evals < opts.maxEvals; ++bj) {
             for (int bk = bj + 1; bk < numBr && evals < opts.maxEvals;
@@ -115,11 +54,12 @@ computeTriplewise(const GraphContext &ctx, const MachineModel &machine,
                 double wi = sb.exitProb(i);
                 double wj = sb.exitProb(j);
                 double wk = sb.exitProb(k);
-                int ei = earlyRC[std::size_t(i)];
-                int ej = earlyRC[std::size_t(j)];
-                int ek = earlyRC[std::size_t(k)];
-                const std::vector<int> &lateRCk =
-                    lateRCPerBranch[std::size_t(bk)];
+
+                cache.bindSink(bk);
+                cache.bindTriple(bi, bj);
+                int ei = cache.ei();
+                int ej = cache.ej();
+                int ek = cache.ek();
 
                 int aMin = sb.op(i).latency;
                 int bMin = sb.op(j).latency;
@@ -148,9 +88,7 @@ computeTriplewise(const GraphContext &ctx, const MachineModel &machine,
                     bool innerBroke = false;
                     TriplePoint last{};
                     for (int b = bMin; b <= bCap; ++b) {
-                        TriplePoint pt =
-                            evalTriple(ctx, machine, earlyRC, lateRCk, i,
-                                       j, k, bi, bj, bk, a, b, counters);
+                        TriplePoint pt = cache.eval(a, b, counters);
                         ++evals;
                         // Boundary column: relax coordinates to the
                         // individual bounds so separations beyond the

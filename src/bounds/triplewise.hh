@@ -78,13 +78,15 @@ struct TriplewiseResult
  *        floor).
  * @param opts Budgets.
  * @param counters Optional cost accounting.
+ * @param scratch Optional worker-private working storage reused
+ *        across calls; a private one is created when null.
  */
 TriplewiseResult computeTriplewise(
     const GraphContext &ctx, const MachineModel &machine,
     const std::vector<int> &earlyRC,
     const std::vector<std::vector<int>> &lateRCPerBranch,
     const PairwiseBounds &pw, const TriplewiseOptions &opts = {},
-    BoundCounters *counters = nullptr);
+    BoundCounters *counters = nullptr, BoundScratch *scratch = nullptr);
 
 } // namespace balance
 

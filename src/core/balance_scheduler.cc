@@ -66,7 +66,7 @@ class Engine
         fullUpdateAll();
         while (!state.done()) {
             if (!state.anyIssuableNow()) {
-                std::vector<int> lost = state.advanceCycle();
+                const std::vector<int> &lost = state.advanceCycle();
                 if (cfg.updatePerOp) {
                     refreshOnCycleAdvance(lost);
                 } else {

@@ -14,18 +14,15 @@ BranchDynamics::BranchDynamics(const GraphContext &ctx,
     : ctx(&ctx), machine(&machine), branchIdx(branchIdx),
       branch(ctx.sb().branches()[std::size_t(branchIdx)]),
       staticEarly(&staticEarly), staticLate(&staticLate),
+      closure(&ctx.closureOps(branchIdx)),
       member(std::size_t(ctx.sb().numOps()), 0),
       early(std::size_t(ctx.sb().numOps()), 0),
       late(std::size_t(ctx.sb().numOps()), lateUnconstrained),
-      ercs(std::size_t(machine.numResources()))
+      ercs(std::size_t(machine.numResources())),
+      latesByPool(std::size_t(machine.numResources()))
 {
-    const std::vector<int> &height = ctx.heightToBranch(branchIdx);
-    for (OpId v = 0; v <= branch; ++v) {
-        if (height[std::size_t(v)] >= 0) {
-            closureOps.push_back(v);
-            member[std::size_t(v)] = 1;
-        }
-    }
+    for (OpId v : *closure)
+        member[std::size_t(v)] = 1;
 }
 
 void
@@ -42,7 +39,7 @@ BranchDynamics::fullUpdate(const SchedState &state, SchedulerStats *stats)
     int cycle = state.cycle();
 
     // Step 1a: forward dynamic early over the closure.
-    for (OpId v : closureOps) {
+    for (OpId v : *closure) {
         if (stats)
             ++stats->loopTrips;
         if (state.isScheduled(v)) {
@@ -63,7 +60,7 @@ BranchDynamics::fullUpdate(const SchedState &state, SchedulerStats *stats)
     int staticAnchor = (*staticEarly)[std::size_t(branch)];
     int shift = anchor - staticAnchor;
     int violation = 0;
-    for (auto it = closureOps.rbegin(); it != closureOps.rend(); ++it) {
+    for (auto it = closure->rbegin(); it != closure->rend(); ++it) {
         OpId v = *it;
         if (stats)
             ++stats->loopTrips;
@@ -89,16 +86,16 @@ BranchDynamics::fullUpdate(const SchedState &state, SchedulerStats *stats)
         // Some unscheduled operation got pushed past its window: the
         // branch slips by exactly that amount.
         anchor += violation;
-        for (OpId v : closureOps)
+        for (OpId v : *closure)
             late[std::size_t(v)] += violation;
     }
 
     // Step 2: ERC resource delays per pool (Hu-style counting from
     // the current cycle against the remaining free slots).
     int resourceDelay = 0;
-    std::vector<std::vector<int>> latesByPool(
-        std::size_t(machine->numResources()));
-    for (OpId v : closureOps) {
+    for (auto &lates : latesByPool)
+        lates.clear();
+    for (OpId v : *closure) {
         if (state.isScheduled(v))
             continue;
         ResourceId r = machine->poolOf(sb.op(v).cls);
@@ -128,7 +125,7 @@ BranchDynamics::fullUpdate(const SchedState &state, SchedulerStats *stats)
     // Step 3: commit the more constraining bound.
     if (resourceDelay > 0) {
         anchor += resourceDelay;
-        for (OpId v : closureOps)
+        for (OpId v : *closure)
             late[std::size_t(v)] += resourceDelay;
     }
 
@@ -225,7 +222,7 @@ BranchDynamics::lightUpdateOnCycleAdvance(const SchedState &state,
 
     // Any unscheduled member with a late time before the new cycle
     // means the branch already slipped: recompute.
-    for (OpId v : closureOps) {
+    for (OpId v : *closure) {
         if (stats)
             ++stats->loopTrips;
         if (!state.isScheduled(v) &&
@@ -254,7 +251,7 @@ BranchDynamics::needEach(const SchedState &state) const
     std::vector<OpId> out;
     if (isRetired)
         return out;
-    for (OpId v : closureOps) {
+    for (OpId v : *closure) {
         if (!state.isScheduled(v) &&
             late[std::size_t(v)] <= state.cycle()) {
             out.push_back(v);
@@ -273,7 +270,7 @@ BranchDynamics::tightDeadline(const SchedState &state, ResourceId r) const
     for (const Erc &erc : ercs[std::size_t(r)]) {
         if (erc.empty > 0)
             continue;
-        for (OpId v : closureOps) {
+        for (OpId v : *closure) {
             if (!state.isScheduled(v) &&
                 machine->poolOf(state.sb().op(v).cls) == r &&
                 late[std::size_t(v)] <= erc.deadline) {
@@ -299,7 +296,7 @@ BranchDynamics::needOne(const SchedState &state, ResourceId r) const
     if (deadline < 0)
         return out;
     const Superblock &sb = state.sb();
-    for (OpId v : closureOps) {
+    for (OpId v : *closure) {
         if (!state.isScheduled(v) &&
             machine->poolOf(sb.op(v).cls) == r &&
             late[std::size_t(v)] <= deadline) {

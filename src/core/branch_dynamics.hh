@@ -165,12 +165,15 @@ class BranchDynamics
     const std::vector<int> *staticEarly;
     const std::vector<int> *staticLate;
 
-    std::vector<OpId> closureOps;   //!< closure members, ascending
+    /** Closure members, ascending; owned by the GraphContext cache. */
+    const std::vector<OpId> *closure = nullptr;
     std::vector<char> member;       //!< closure membership per op
     std::vector<int> early;         //!< dynamic early per op
     std::vector<int> late;          //!< dynamic late per op
     int anchor = 0;                 //!< dynamic early of the branch
     std::vector<std::vector<Erc>> ercs; //!< per pool, sorted by c
+    /** Step 2 scratch: per-pool late times, reused across updates. */
+    std::vector<std::vector<int>> latesByPool;
     bool isRetired = false;
 };
 

@@ -54,14 +54,14 @@ SchedState::scheduleNow(OpId v)
     }
 }
 
-std::vector<int>
+const std::vector<int> &
 SchedState::advanceCycle()
 {
-    std::vector<int> lost(std::size_t(model->numResources()));
+    lostScratch.resize(std::size_t(model->numResources()));
     for (int r = 0; r < model->numResources(); ++r)
-        lost[std::size_t(r)] = table.freePoolSlots(curCycle, r);
+        lostScratch[std::size_t(r)] = table.freePoolSlots(curCycle, r);
     ++curCycle;
-    return lost;
+    return lostScratch;
 }
 
 bool

@@ -96,9 +96,11 @@ class SchedState
      * Advance to the next cycle.
      *
      * @return the per-pool free slots that went unused in the cycle
-     *         being left (the "lost" slots of the light update).
+     *         being left (the "lost" slots of the light update). The
+     *         reference points at internal scratch valid until the
+     *         next advanceCycle() call.
      */
-    std::vector<int> advanceCycle();
+    const std::vector<int> &advanceCycle();
 
     /**
      * @return true when some dependence-ready operation can issue in
@@ -116,6 +118,7 @@ class SchedState
     std::vector<int> issue;
     std::vector<int> predsLeft;
     std::vector<int> readyAt;
+    std::vector<int> lostScratch; //!< advanceCycle() result buffer
     int curCycle = 0;
     int placed = 0;
 };

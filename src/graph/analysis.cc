@@ -77,13 +77,50 @@ PredSets::closure(OpId v) const
 }
 
 GraphContext::GraphContext(const Superblock &sb)
-    : block(&sb), early(computeEarlyDC(sb)), predMasks(sb)
+    : block(&sb), early(computeEarlyDC(sb)), predMasks(sb),
+      closureCache(std::size_t(sb.numBranches())),
+      revCache(std::size_t(sb.numBranches()))
 {
     for (int e : early)
         cp = std::max(cp, e);
     heights.reserve(std::size_t(sb.numBranches()));
     for (OpId b : sb.branches())
         heights.push_back(computeHeightTo(sb, b));
+}
+
+const std::vector<OpId> &
+GraphContext::closureOps(int branchIdx) const
+{
+    bsAssert(branchIdx >= 0 && branchIdx < int(closureCache.size()),
+             "branch index out of range: ", branchIdx);
+    std::vector<OpId> &ops = closureCache[std::size_t(branchIdx)];
+    if (ops.empty()) {
+        // A closure always contains the branch itself, so emptiness
+        // reliably marks a slot as not built yet.
+        OpId b = block->branches()[std::size_t(branchIdx)];
+        const std::vector<int> &height = heightToBranch(branchIdx);
+        for (OpId v = 0; v <= b; ++v) {
+            if (height[std::size_t(v)] >= 0)
+                ops.push_back(v);
+        }
+    }
+    return ops;
+}
+
+const GraphContext::ReversedClosure &
+GraphContext::reversedClosure(int branchIdx) const
+{
+    bsAssert(branchIdx >= 0 && branchIdx < int(revCache.size()),
+             "branch index out of range: ", branchIdx);
+    std::unique_ptr<ReversedClosure> &slot =
+        revCache[std::size_t(branchIdx)];
+    if (!slot) {
+        OpId b = block->branches()[std::size_t(branchIdx)];
+        slot = std::make_unique<ReversedClosure>();
+        slot->dag = Dag::reversedClosure(*block, predMasks.closure(b),
+                                         &slot->newToOld);
+    }
+    return *slot;
 }
 
 const std::vector<int> &

@@ -17,8 +17,10 @@
 #ifndef BALANCE_GRAPH_ANALYSIS_HH
 #define BALANCE_GRAPH_ANALYSIS_HH
 
+#include <memory>
 #include <vector>
 
+#include "graph/dag.hh"
 #include "graph/superblock.hh"
 #include "support/bitset.hh"
 
@@ -120,12 +122,43 @@ class GraphContext
     /** @return transitive-predecessor masks. */
     const PredSets &predSets() const { return predMasks; }
 
+    /**
+     * Operations of closure(branch) — every op with a path to the
+     * branch, plus the branch itself — in ascending program order.
+     * Built lazily on first request and cached; shared by every
+     * bound sweep and BranchDynamics instance that anchors at the
+     * branch.
+     *
+     * Lazy caches are NOT synchronized: one GraphContext must not be
+     * probed from several threads concurrently (the eval drivers
+     * build one context per task, which is the supported pattern).
+     *
+     * @param branchIdx Position in sb().branches().
+     */
+    const std::vector<OpId> &closureOps(int branchIdx) const;
+
+    /** A branch's reversed predecessor closure, cached for LateRC. */
+    struct ReversedClosure
+    {
+        Dag dag;                    //!< reversed subgraph (CSR)
+        std::vector<OpId> newToOld; //!< new node id -> original OpId
+    };
+
+    /**
+     * The reversed closure(branch) subgraph, built lazily once per
+     * branch and shared across every pair/triple/LateRC computation
+     * that anchors at it. Same thread-safety caveat as closureOps().
+     */
+    const ReversedClosure &reversedClosure(int branchIdx) const;
+
   private:
     const Superblock *block;
     std::vector<int> early;
     int cp = 0;
     std::vector<std::vector<int>> heights;
     PredSets predMasks;
+    mutable std::vector<std::vector<OpId>> closureCache;
+    mutable std::vector<std::unique_ptr<ReversedClosure>> revCache;
 };
 
 } // namespace balance

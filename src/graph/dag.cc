@@ -1,0 +1,126 @@
+#include "graph/dag.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+Dag
+Dag::fromSuperblock(const Superblock &sb)
+{
+    Dag dag;
+    std::size_t v = std::size_t(sb.numOps());
+    dag.cls.resize(v);
+    dag.predOff.resize(v + 1, 0);
+    dag.succOff.resize(v + 1, 0);
+    for (OpId id = 0; id < OpId(v); ++id) {
+        dag.cls[std::size_t(id)] = sb.op(id).cls;
+        dag.predOff[std::size_t(id) + 1] =
+            dag.predOff[std::size_t(id)] +
+            std::int32_t(sb.preds(id).size());
+        dag.succOff[std::size_t(id) + 1] =
+            dag.succOff[std::size_t(id)] +
+            std::int32_t(sb.succs(id).size());
+    }
+    dag.predAdj.reserve(std::size_t(dag.predOff[v]));
+    dag.succAdj.reserve(std::size_t(dag.succOff[v]));
+    for (OpId id = 0; id < OpId(v); ++id) {
+        auto p = sb.preds(id);
+        dag.predAdj.insert(dag.predAdj.end(), p.begin(), p.end());
+        auto s = sb.succs(id);
+        dag.succAdj.insert(dag.succAdj.end(), s.begin(), s.end());
+    }
+    return dag;
+}
+
+Dag
+Dag::reversedClosure(const Superblock &sb, const DynBitset &nodes,
+                     std::vector<OpId> *newToOld)
+{
+    bsAssert(nodes.size() == std::size_t(sb.numOps()),
+             "node mask universe mismatch");
+
+    // New ids in reverse program order: the last original op becomes
+    // node 0. Original edges point forward, so flipped edges point
+    // forward in the new numbering, preserving topological ids.
+    std::vector<OpId> order = nodes.toIndices().empty()
+        ? std::vector<OpId>{}
+        : [&] {
+              auto idx = nodes.toIndices();
+              std::vector<OpId> ord(idx.rbegin(), idx.rend());
+              return ord;
+          }();
+    bsAssert(!order.empty(), "reversedClosure of empty node set");
+
+    std::vector<int> newIdOf(std::size_t(sb.numOps()), -1);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        newIdOf[std::size_t(order[i])] = int(i);
+
+    Dag dag;
+    dag.cls.resize(order.size());
+    dag.predOff.assign(order.size() + 1, 0);
+    dag.succOff.assign(order.size() + 1, 0);
+
+    // Counting pass: original successors inside the mask become
+    // predecessors of the new node and vice versa.
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        OpId orig = order[i];
+        dag.cls[i] = sb.op(orig).cls;
+        std::int32_t np = 0;
+        for (const Adjacent &e : sb.succs(orig)) {
+            if (newIdOf[std::size_t(e.op)] >= 0)
+                ++np;
+        }
+        std::int32_t ns = 0;
+        for (const Adjacent &e : sb.preds(orig)) {
+            if (newIdOf[std::size_t(e.op)] >= 0)
+                ++ns;
+        }
+        dag.predOff[i + 1] = dag.predOff[i] + np;
+        dag.succOff[i + 1] = dag.succOff[i] + ns;
+    }
+
+    // Fill pass, preserving the original per-node edge order.
+    dag.predAdj.resize(std::size_t(dag.predOff[order.size()]));
+    dag.succAdj.resize(std::size_t(dag.succOff[order.size()]));
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        OpId orig = order[i];
+        std::int32_t p = dag.predOff[i];
+        for (const Adjacent &e : sb.succs(orig)) {
+            int nid = newIdOf[std::size_t(e.op)];
+            if (nid >= 0)
+                dag.predAdj[std::size_t(p++)] = {OpId(nid), e.latency};
+        }
+        std::int32_t s = dag.succOff[i];
+        for (const Adjacent &e : sb.preds(orig)) {
+            int nid = newIdOf[std::size_t(e.op)];
+            if (nid >= 0)
+                dag.succAdj[std::size_t(s++)] = {OpId(nid), e.latency};
+        }
+    }
+    if (newToOld)
+        *newToOld = std::move(order);
+    return dag;
+}
+
+std::vector<int>
+dagHeightTo(const Dag &dag, int sink)
+{
+    bsAssert(sink >= 0 && sink < dag.n(), "unknown sink ", sink);
+    std::vector<int> height(std::size_t(dag.n()), -1);
+    height[std::size_t(sink)] = 0;
+    for (int v = sink; v >= 0; --v) {
+        if (height[std::size_t(v)] < 0)
+            continue;
+        for (const Adjacent &e : dag.preds(v)) {
+            height[std::size_t(e.op)] =
+                std::max(height[std::size_t(e.op)],
+                         height[std::size_t(v)] + e.latency);
+        }
+    }
+    return height;
+}
+
+} // namespace balance

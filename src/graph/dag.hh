@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Generic DAG with topologically numbered nodes, used where a bound
+ * must run on something other than the superblock itself (reversed
+ * subgraphs for LateRC). Edges always point from a lower to a higher
+ * node id.
+ *
+ * The adjacency is CSR (one flat edge array plus an offset array per
+ * direction) rather than per-node vectors: a Dag is built in two
+ * counted passes and touched by tight analysis loops, so the flat
+ * form kills per-node allocations and keeps neighbor walks on one
+ * cache line stream. GraphContext caches the per-branch reversed
+ * closures built from this type so every bound that anchors at a
+ * branch shares one copy (see analysis.hh).
+ */
+
+#ifndef BALANCE_GRAPH_DAG_HH
+#define BALANCE_GRAPH_DAG_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/superblock.hh"
+#include "support/bitset.hh"
+
+namespace balance
+{
+
+/** Flat-adjacency DAG (see file comment). */
+struct Dag
+{
+    /** Class of each node (determines the resource pool). */
+    std::vector<OpClass> cls;
+
+    /** Flat predecessor edges, grouped by node. */
+    std::vector<Adjacent> predAdj;
+    /** Flat successor edges, grouped by node. */
+    std::vector<Adjacent> succAdj;
+    /** predAdj begin offset per node; size n() + 1. */
+    std::vector<std::int32_t> predOff;
+    /** succAdj begin offset per node; size n() + 1. */
+    std::vector<std::int32_t> succOff;
+
+    /** @return the number of nodes. */
+    int n() const { return int(cls.size()); }
+
+    /** @return predecessor adjacency of node @p v. */
+    std::span<const Adjacent>
+    preds(int v) const
+    {
+        return {predAdj.data() + predOff[std::size_t(v)],
+                predAdj.data() + predOff[std::size_t(v) + 1]};
+    }
+
+    /** @return successor adjacency of node @p v. */
+    std::span<const Adjacent>
+    succs(int v) const
+    {
+        return {succAdj.data() + succOff[std::size_t(v)],
+                succAdj.data() + succOff[std::size_t(v) + 1]};
+    }
+
+    /** @return the in-degree of node @p v. */
+    int
+    numPreds(int v) const
+    {
+        return int(predOff[std::size_t(v) + 1] - predOff[std::size_t(v)]);
+    }
+
+    /** Wrap a whole superblock (ids map one-to-one). */
+    static Dag fromSuperblock(const Superblock &sb);
+
+    /**
+     * Build the reversed subgraph over @p nodes (typically
+     * closure(b)): node order is the reverse of the original program
+     * order, every edge flips direction and keeps its latency.
+     *
+     * @param sb The source superblock.
+     * @param nodes Mask of operations to include.
+     * @param newToOld Receives, for each new node id, the original
+     *        OpId (may be null).
+     */
+    static Dag reversedClosure(const Superblock &sb, const DynBitset &nodes,
+                               std::vector<OpId> *newToOld);
+};
+
+/**
+ * Longest path from each node of @p dag to @p sink (nodes without a
+ * path get -1; sink gets 0). Mirrors computeHeightTo for Dag.
+ */
+std::vector<int> dagHeightTo(const Dag &dag, int sink);
+
+} // namespace balance
+
+#endif // BALANCE_GRAPH_DAG_HH

@@ -1,0 +1,344 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cstdio>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+void
+JsonWriter::separator()
+{
+    if (expectValue) {
+        // Value for a pending key: the ':' was already written.
+        expectValue = false;
+        return;
+    }
+    if (!stack.empty() && hasElem.back() == '1')
+        out += ',';
+    if (!stack.empty())
+        hasElem.back() = '1';
+}
+
+void
+JsonWriter::raw(std::string_view text)
+{
+    out.append(text.data(), text.size());
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    stack += 'o';
+    hasElem += '0';
+    out += '{';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    bsAssert(!stack.empty() && stack.back() == 'o' && !expectValue,
+             "endObject outside an object");
+    stack.pop_back();
+    hasElem.pop_back();
+    out += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    stack += 'a';
+    hasElem += '0';
+    out += '[';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    bsAssert(!stack.empty() && stack.back() == 'a' && !expectValue,
+             "endArray outside an array");
+    stack.pop_back();
+    hasElem.pop_back();
+    out += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    bsAssert(!stack.empty() && stack.back() == 'o' && !expectValue,
+             "key outside an object");
+    separator();
+    quoted(k);
+    out += ':';
+    expectValue = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    separator();
+    quoted(v);
+    return *this;
+}
+
+void
+JsonWriter::quoted(std::string_view v)
+{
+    out += '"';
+    for (char c : v) {
+        switch (c) {
+          case '"': raw("\\\""); break;
+          case '\\': raw("\\\\"); break;
+          case '\n': raw("\\n"); break;
+          case '\r': raw("\\r"); break;
+          case '\t': raw("\\t"); break;
+          default:
+            if ((unsigned char)(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                raw(buf);
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    char buf[40];
+    // %.12g round-trips every quantity we emit (timings, ratios,
+    // bound values) without trailing noise digits.
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    raw(buf);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(long long v)
+{
+    separator();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    raw(buf);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    raw(v ? "true" : "false");
+    return *this;
+}
+
+namespace
+{
+
+/** Recursive-descent structural checker over @p text. */
+struct Checker
+{
+    std::string_view text;
+    std::size_t at = 0;
+    int depth = 0;
+    static constexpr int maxDepth = 256;
+
+    bool atEnd() const { return at >= text.size(); }
+    char peek() const { return text[at]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r'))
+            ++at;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(at, word.size()) != word)
+            return false;
+        at += word.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (atEnd() || peek() != '"')
+            return false;
+        ++at;
+        while (!atEnd() && peek() != '"') {
+            if (peek() == '\\') {
+                ++at;
+                if (atEnd())
+                    return false;
+                char e = peek();
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++at;
+                        if (atEnd() || !std::isxdigit(
+                                           (unsigned char)(peek())))
+                            return false;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++at;
+        }
+        if (atEnd())
+            return false;
+        ++at; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = at;
+        if (!atEnd() && peek() == '-')
+            ++at;
+        // Integer part: "0" alone or a nonzero-led digit run (JSON
+        // forbids leading zeros).
+        if (atEnd() || !std::isdigit((unsigned char)(peek())))
+            return false;
+        if (peek() == '0') {
+            ++at;
+        } else {
+            while (!atEnd() && std::isdigit((unsigned char)(peek())))
+                ++at;
+        }
+        if (!atEnd() && peek() == '.') {
+            ++at;
+            std::size_t frac = at;
+            while (!atEnd() && std::isdigit((unsigned char)(peek())))
+                ++at;
+            if (at == frac)
+                return false;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++at;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++at;
+            std::size_t exp = at;
+            while (!atEnd() && std::isdigit((unsigned char)(peek())))
+                ++at;
+            if (at == exp)
+                return false;
+        }
+        return at > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (atEnd() || ++depth > maxDepth)
+            return false;
+        bool ok = false;
+        char c = peek();
+        if (c == '{')
+            ok = object();
+        else if (c == '[')
+            ok = array();
+        else if (c == '"')
+            ok = string();
+        else if (c == 't')
+            ok = literal("true");
+        else if (c == 'f')
+            ok = literal("false");
+        else if (c == 'n')
+            ok = literal("null");
+        else
+            ok = number();
+        --depth;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        ++at; // '{'
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            ++at;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (atEnd() || peek() != ':')
+                return false;
+            ++at;
+            if (!value())
+                return false;
+            skipWs();
+            if (atEnd())
+                return false;
+            if (peek() == '}') {
+                ++at;
+                return true;
+            }
+            if (peek() != ',')
+                return false;
+            ++at;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++at; // '['
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            ++at;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (atEnd())
+                return false;
+            if (peek() == ']') {
+                ++at;
+                return true;
+            }
+            if (peek() != ',')
+                return false;
+            ++at;
+        }
+    }
+};
+
+} // namespace
+
+bool
+jsonLooksValid(std::string_view text)
+{
+    Checker c{text};
+    if (!c.value())
+        return false;
+    c.skipWs();
+    return c.atEnd();
+}
+
+} // namespace balance

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal JSON emission and validation for machine-readable bench
+ * and tool output (BENCH_bounds.json). Deliberately tiny: a writer
+ * that tracks nesting and commas, and a validator that checks
+ * well-formedness without building a document tree. Not a general
+ * JSON library — no parsing into values, no unicode validation
+ * beyond structural escapes.
+ */
+
+#ifndef BALANCE_SUPPORT_JSON_HH
+#define BALANCE_SUPPORT_JSON_HH
+
+#include <string>
+#include <string_view>
+
+namespace balance
+{
+
+/**
+ * Streaming JSON writer. Commas and key/value separators are
+ * inserted automatically; calls must still nest correctly (the
+ * writer asserts on gross misuse like value() at the top level after
+ * the document is complete).
+ *
+ * @code
+ *   JsonWriter w;
+ *   w.beginObject().key("runs").beginArray();
+ *   w.beginObject().key("name").value("pw").key("ms").value(1.25)
+ *       .endObject();
+ *   w.endArray().endObject();
+ *   writeFile(path, w.str());
+ * @endcode
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next call must produce its value. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(long long v);
+    JsonWriter &value(int v) { return value((long long)(v)); }
+    JsonWriter &value(bool v);
+
+    /** @return the document text. */
+    const std::string &str() const { return out; }
+
+  private:
+    void separator();
+    void raw(std::string_view text);
+    void quoted(std::string_view v);
+
+    std::string out;
+    /** Nesting stack: 'o' = object, 'a' = array. */
+    std::string stack;
+    /** Whether the current container already has an element. */
+    std::string hasElem;
+    bool expectValue = false;
+};
+
+/**
+ * Structural validation: @return true when @p text is exactly one
+ * well-formed JSON value (objects, arrays, strings, numbers,
+ * true/false/null) with nothing but whitespace around it.
+ */
+bool jsonLooksValid(std::string_view text);
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_JSON_HH

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Golden equivalence between the optimized bound engine and the
+ * retained naive reference (bounds/reference.hh). The scratch-arena
+ * engine promises *bitwise identical* results — same doubles, same
+ * Table 2 trip counts — across a seeded workload covering all eight
+ * program profiles and the six paper machine configurations.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "bounds/bound_limits.hh"
+#include "bounds/bound_scratch.hh"
+#include "bounds/reference.hh"
+#include "bounds/relaxation.hh"
+#include "bounds/superblock_bounds.hh"
+#include "graph/builder.hh"
+#include "workload/suite.hh"
+
+namespace balance
+{
+namespace
+{
+
+void
+expectBoundsIdentical(const WctBounds &got, const WctBounds &want,
+                      const std::string &where)
+{
+    // EXPECT_EQ on doubles is exact comparison: bitwise identity is
+    // the contract, not closeness.
+    EXPECT_EQ(got.cp, want.cp) << where;
+    EXPECT_EQ(got.hu, want.hu) << where;
+    EXPECT_EQ(got.rj, want.rj) << where;
+    EXPECT_EQ(got.lc, want.lc) << where;
+    EXPECT_EQ(got.pw, want.pw) << where;
+    EXPECT_EQ(got.tw, want.tw) << where;
+}
+
+void
+expectCountersIdentical(const BoundCounterSet &got,
+                        const BoundCounterSet &want,
+                        const std::string &where)
+{
+    EXPECT_EQ(got.cp.trips, want.cp.trips) << where;
+    EXPECT_EQ(got.hu.trips, want.hu.trips) << where;
+    EXPECT_EQ(got.rj.trips, want.rj.trips) << where;
+    EXPECT_EQ(got.lc.trips, want.lc.trips) << where;
+    EXPECT_EQ(got.lcReverse.trips, want.lcReverse.trips) << where;
+    EXPECT_EQ(got.pw.trips, want.pw.trips) << where;
+    EXPECT_EQ(got.tw.trips, want.tw.trips) << where;
+}
+
+TEST(BoundEngineGolden, SuiteBitwiseIdenticalAcrossMachines)
+{
+    // All eight program profiles at a sampled scale; every machine
+    // config from the paper. One BoundScratch reused across every
+    // (superblock, machine) pair — stale-state bleed between calls
+    // would show up as a mismatch here.
+    std::vector<BenchmarkProgram> suite =
+        buildSuite({0x5eedbeefcafe1995ULL, 0.005});
+    ASSERT_EQ(suite.size(), 8u);
+
+    std::vector<MachineModel> machines = MachineModel::paperConfigs();
+    ASSERT_EQ(machines.size(), 6u);
+
+    for (const MachineModel &m : machines) {
+        BoundScratch scratch(m);
+        for (const BenchmarkProgram &prog : suite) {
+            ASSERT_FALSE(prog.superblocks.empty()) << prog.name;
+            for (const Superblock &sb : prog.superblocks) {
+                GraphContext ctx(sb);
+                std::string where =
+                    prog.name + "/" + sb.name() + "/" + m.name();
+
+                BoundCounterSet engineCounters, refCounters;
+                WctBounds engine = computeWctBounds(
+                    ctx, m, {}, &engineCounters, &scratch);
+                WctBounds ref = reference::computeWctBounds(
+                    ctx, m, {}, &refCounters);
+
+                expectBoundsIdentical(engine, ref, where);
+                expectCountersIdentical(engineCounters, refCounters,
+                                        where);
+            }
+        }
+    }
+}
+
+TEST(BoundEngineGolden, PairPointsIdentical)
+{
+    // Beyond the aggregates: every per-pair tradeoff point the
+    // Balance scheduler steers by must match the naive sweep.
+    std::vector<BenchmarkProgram> suite =
+        buildSuite({0x5eedbeefcafe1995ULL, 0.005});
+    const MachineModel m = MachineModel::gp4();
+    BoundScratch scratch(m);
+
+    int pairsChecked = 0;
+    for (const BenchmarkProgram &prog : suite) {
+        for (const Superblock &sb : prog.superblocks) {
+            GraphContext ctx(sb);
+            BoundsToolkit toolkit(ctx, m, {}, nullptr, &scratch);
+            reference::PairwiseResult ref = reference::pairwiseBounds(
+                ctx, m, toolkit.earlyRC(), toolkit.lateRCAll());
+
+            const PairwiseBounds *pw = toolkit.pairwise();
+            ASSERT_NE(pw, nullptr);
+            ASSERT_EQ(pw->numBranches(), ref.b);
+            for (int bi = 0; bi < ref.b; ++bi) {
+                for (int bj = bi + 1; bj < ref.b; ++bj) {
+                    const PairPoint &a = pw->pair(bi, bj);
+                    const PairPoint &e = ref.pair(bi, bj);
+                    EXPECT_EQ(a.x, e.x)
+                        << sb.name() << " pair " << bi << "," << bj;
+                    EXPECT_EQ(a.y, e.y)
+                        << sb.name() << " pair " << bi << "," << bj;
+                    ++pairsChecked;
+                }
+            }
+            EXPECT_EQ(pw->superblockWct(), ref.wct) << sb.name();
+        }
+    }
+    EXPECT_GT(pairsChecked, 0);
+}
+
+TEST(BoundEngineGolden, ScratchReuseMatchesFreshScratch)
+{
+    // The same superblock computed twice through one scratch, and
+    // once through a fresh one: all three bitwise identical.
+    std::vector<BenchmarkProgram> suite =
+        buildSuite({0xfeedULL, 0.005});
+    const Superblock &sb = suite.front().superblocks.front();
+    GraphContext ctx(sb);
+    const MachineModel m = MachineModel::fs8();
+
+    BoundScratch reused(m);
+    WctBounds first = computeWctBounds(ctx, m, {}, nullptr, &reused);
+    WctBounds second = computeWctBounds(ctx, m, {}, nullptr, &reused);
+    BoundScratch fresh(m);
+    WctBounds third = computeWctBounds(ctx, m, {}, nullptr, &fresh);
+
+    expectBoundsIdentical(second, first, sb.name());
+    expectBoundsIdentical(third, first, sb.name());
+}
+
+TEST(NegInfBound, EmptyItemsAllOverloads)
+{
+    // The empty relaxation must keep returning the named sentinel
+    // through every overload, including the scratch-table fast path.
+    MachineModel m = MachineModel::gp2();
+    std::vector<RelaxItem> items;
+
+    EXPECT_EQ(rjMaxTardiness(m, items), negInfBound);
+
+    ResourceState table(m);
+    EXPECT_EQ(rjMaxTardiness(m, items, table), negInfBound);
+    EXPECT_EQ(rjMaxTardinessPresorted(m, items, table), negInfBound);
+}
+
+TEST(NegInfBound, SentinelSurvivesMaxClamp)
+{
+    // Consumers compose the relaxation as cp + max(0, tard): the
+    // sentinel must stay safely negative after typical offsets so an
+    // empty relaxation never inflates a bound.
+    EXPECT_LT(negInfBound, 0);
+    EXPECT_LT(negInfBound + 1000000, 0);
+    EXPECT_EQ(std::max(0, negInfBound), 0);
+}
+
+TEST(NegInfBound, EmptyRelaxationThroughComposition)
+{
+    // A superblock whose only operation is its branch: the pairwise
+    // and triplewise paths degenerate, every relax set reachable
+    // from composition is minimal, and the bound must equal the
+    // branch's trivial issue bound — identically in both engines.
+    SuperblockBuilder b("lone-branch");
+    b.addBranch(1.0);
+    Superblock sb = b.build();
+    GraphContext ctx(sb);
+
+    for (const MachineModel &m : MachineModel::paperConfigs()) {
+        BoundCounterSet engineCounters, refCounters;
+        WctBounds engine =
+            computeWctBounds(ctx, m, {}, &engineCounters);
+        WctBounds ref = reference::computeWctBounds(
+            ctx, m, {}, &refCounters);
+        expectBoundsIdentical(engine, ref, m.name());
+        expectCountersIdentical(engineCounters, refCounters, m.name());
+        // One op issues in cycle 0; its latency pads the WCT.
+        EXPECT_GT(engine.cp, 0.0);
+        EXPECT_GE(engine.pw, engine.lc);
+    }
+}
+
+} // namespace
+} // namespace balance

@@ -89,9 +89,9 @@ TEST(Dag, FromSuperblockMirrorsAdjacency)
     ASSERT_EQ(dag.n(), 3);
     EXPECT_EQ(dag.cls[0], OpClass::IntAlu);
     EXPECT_EQ(dag.cls[2], OpClass::Branch);
-    ASSERT_EQ(dag.preds[2].size(), 1u);
-    EXPECT_EQ(dag.preds[2][0].op, 1);
-    EXPECT_EQ(dag.preds[2][0].latency, 2);
+    ASSERT_EQ(dag.preds(2).size(), 1u);
+    EXPECT_EQ(dag.preds(2)[0].op, 1);
+    EXPECT_EQ(dag.preds(2)[0].latency, 2);
 }
 
 TEST(Dag, ReversedClosureFlipsEdges)
@@ -114,9 +114,9 @@ TEST(Dag, ReversedClosureFlipsEdges)
     EXPECT_EQ(newToOld[2], x);
     EXPECT_EQ(rev.cls[0], OpClass::Branch);
     // Reversed edge f -> y keeps latency 2.
-    ASSERT_EQ(rev.preds[1].size(), 1u);
-    EXPECT_EQ(rev.preds[1][0].op, 0);
-    EXPECT_EQ(rev.preds[1][0].latency, 2);
+    ASSERT_EQ(rev.preds(1).size(), 1u);
+    EXPECT_EQ(rev.preds(1)[0].op, 0);
+    EXPECT_EQ(rev.preds(1)[0].latency, 2);
 }
 
 TEST(Dag, HeightToMatchesForward)

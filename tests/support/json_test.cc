@@ -1,0 +1,91 @@
+#include "support/json.hh"
+
+#include <gtest/gtest.h>
+
+namespace balance
+{
+namespace
+{
+
+TEST(JsonWriter, EmptyObjectAndArray)
+{
+    JsonWriter o;
+    o.beginObject().endObject();
+    EXPECT_EQ(o.str(), "{}");
+
+    JsonWriter a;
+    a.beginArray().endArray();
+    EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(JsonWriter, ObjectWithMixedValues)
+{
+    JsonWriter w;
+    w.beginObject()
+        .key("name").value("bounds")
+        .key("count").value(42)
+        .key("ratio").value(2.5)
+        .key("ok").value(true)
+        .endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"bounds\",\"count\":42,\"ratio\":2.5,"
+              "\"ok\":true}");
+}
+
+TEST(JsonWriter, NestedContainersGetCommasRight)
+{
+    JsonWriter w;
+    w.beginObject().key("runs").beginArray();
+    w.beginObject().key("ms").value(1.25).endObject();
+    w.beginObject().key("ms").value(3).endObject();
+    w.endArray().key("n").value(2).endObject();
+    EXPECT_EQ(w.str(),
+              "{\"runs\":[{\"ms\":1.25},{\"ms\":3}],\"n\":2}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    JsonWriter w;
+    w.beginArray().value("a\"b\\c\n\t").endArray();
+    EXPECT_EQ(w.str(), "[\"a\\\"b\\\\c\\n\\t\"]");
+}
+
+TEST(JsonWriter, OutputValidates)
+{
+    JsonWriter w;
+    w.beginObject().key("xs").beginArray();
+    for (int i = 0; i < 5; ++i)
+        w.value(i * 0.5);
+    w.endArray().key("neg").value(-3).endObject();
+    EXPECT_TRUE(jsonLooksValid(w.str()));
+}
+
+TEST(JsonLooksValid, AcceptsWellFormed)
+{
+    EXPECT_TRUE(jsonLooksValid("{}"));
+    EXPECT_TRUE(jsonLooksValid("[]"));
+    EXPECT_TRUE(jsonLooksValid("  {\"a\": [1, 2.5e3, -0.25]} "));
+    EXPECT_TRUE(jsonLooksValid("[true, false, null]"));
+    EXPECT_TRUE(jsonLooksValid("\"just a string\""));
+    EXPECT_TRUE(jsonLooksValid("-12"));
+    EXPECT_TRUE(jsonLooksValid("{\"nested\":{\"deep\":[[[]]]}}"));
+}
+
+TEST(JsonLooksValid, RejectsMalformed)
+{
+    EXPECT_FALSE(jsonLooksValid(""));
+    EXPECT_FALSE(jsonLooksValid("{"));
+    EXPECT_FALSE(jsonLooksValid("}"));
+    EXPECT_FALSE(jsonLooksValid("{\"a\":}"));
+    EXPECT_FALSE(jsonLooksValid("{\"a\":1,}"));
+    EXPECT_FALSE(jsonLooksValid("[1 2]"));
+    EXPECT_FALSE(jsonLooksValid("{} {}"));
+    EXPECT_FALSE(jsonLooksValid("{}extra"));
+    EXPECT_FALSE(jsonLooksValid("{'a':1}"));
+    EXPECT_FALSE(jsonLooksValid("nul"));
+    EXPECT_FALSE(jsonLooksValid("01"));
+    EXPECT_FALSE(jsonLooksValid("\"unterminated"));
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Profile the bound engine under `perf record -g` and print the
+# report. All arguments are forwarded to bounds_perf, e.g.:
+#
+#   tools/profile_bounds.sh                      # GP4 + FS8, scale 0.05
+#   tools/profile_bounds.sh --scale 0.2 --config FS8
+#
+# Configure with -DBALANCE_PROFILE=ON first so frame pointers are
+# kept and the call graphs resolve (see docs/PERFORMANCE.md). When
+# perf is unavailable (not installed, or perf_event_paranoid forbids
+# sampling), falls back to a plain timed run so the wrapper is still
+# useful inside restricted containers.
+set -euo pipefail
+
+build="${BUILD_DIR:-build}"
+bench="$build/bench/bounds_perf"
+out="${PERF_DATA:-perf_bounds.data}"
+
+if [ ! -x "$bench" ]; then
+    echo "building first..."
+    cmake -B "$build"
+    cmake --build "$build" --target bounds_perf
+fi
+
+if ! command -v perf >/dev/null 2>&1; then
+    echo "perf not found; running plain timed pass instead" >&2
+    exec "$bench" "$@"
+fi
+
+if ! perf record -o "$out" -g -- "$bench" "$@"; then
+    echo "perf record failed (perf_event_paranoid?); plain run:" >&2
+    exec "$bench" "$@"
+fi
+
+perf report -i "$out" --stdio | head -60
+echo
+echo "full profile: perf report -i $out"
