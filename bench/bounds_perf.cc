@@ -30,6 +30,9 @@
 #include "bounds/superblock_bounds.hh"
 #include "support/diagnostics.hh"
 #include "support/json.hh"
+#include "support/metrics.hh"
+#include "support/telemetry.hh"
+#include "support/trace.hh"
 #include "workload/suite.hh"
 
 using namespace balance;
@@ -43,6 +46,7 @@ struct Options
     std::vector<MachineModel> machines;
     std::string outPath = "BENCH_bounds.json";
     bool smoke = false;
+    TelemetryOptions telemetry;
 };
 
 [[noreturn]] void
@@ -55,7 +59,8 @@ usage(int code)
         << "  --config <name>  machine config (repeatable; default\n"
         << "                   GP4 and FS8)\n"
         << "  --out <path>     JSON output (default BENCH_bounds.json)\n"
-        << "  --smoke          tiny suite; same checks\n";
+        << "  --smoke          tiny suite; same checks\n"
+        << telemetryUsage();
     std::exit(code);
 }
 
@@ -85,6 +90,8 @@ parseArgs(int argc, char **argv)
             o.smoke = true;
         } else if (arg == "--help") {
             usage(0);
+        } else if (parseTelemetryFlag(arg, next, o.telemetry)) {
+            // handled
         } else {
             std::cerr << "unknown argument: " << arg << "\n";
             usage(2);
@@ -94,6 +101,7 @@ parseArgs(int argc, char **argv)
         o.suite.scale = 0.004;
     if (o.machines.empty())
         o.machines = {MachineModel::gp4(), MachineModel::fs8()};
+    initTelemetry(o.telemetry);
     return o;
 }
 
@@ -140,18 +148,45 @@ runMachine(const std::vector<BenchmarkProgram> &suite,
     run.superblocks = int(naiveCtx.size());
 
     std::vector<WctBounds> naive(naiveCtx.size());
-    auto t0 = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < naiveCtx.size(); ++i)
-        naive[i] = reference::computeWctBounds(*naiveCtx[i], machine);
-    run.naiveMs = msSince(t0);
+    {
+        TraceSpan span("bounds_perf.naive",
+                       (long long)(naiveCtx.size()));
+        auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < naiveCtx.size(); ++i)
+            naive[i] =
+                reference::computeWctBounds(*naiveCtx[i], machine);
+        run.naiveMs = msSince(t0);
+    }
 
     std::vector<WctBounds> engine(engineCtx.size());
     BoundScratch scratch(machine);
-    t0 = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < engineCtx.size(); ++i)
-        engine[i] = computeWctBounds(*engineCtx[i], machine, {},
-                                     nullptr, &scratch);
-    run.engineMs = msSince(t0);
+    {
+        TraceSpan span("bounds_perf.engine",
+                       (long long)(engineCtx.size()));
+        auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < engineCtx.size(); ++i)
+            engine[i] = computeWctBounds(*engineCtx[i], machine, {},
+                                         nullptr, &scratch);
+        run.engineMs = msSince(t0);
+    }
+
+    // Harvest the scratch tallies outside the timed loops; the fold
+    // is serial so the snapshot is deterministic.
+    if (metricsCollectionEnabled()) {
+        MetricRegistry &reg = MetricRegistry::global();
+        reg.counter("bounds.pair_skeleton.hits")
+            .add(scratch.stats.pairSkeletonHits);
+        reg.counter("bounds.pair_skeleton.misses")
+            .add(scratch.stats.pairSkeletonMisses);
+        reg.counter("bounds.triple_skeleton.hits")
+            .add(scratch.stats.tripleSkeletonHits);
+        reg.counter("bounds.triple_skeleton.misses")
+            .add(scratch.stats.tripleSkeletonMisses);
+        reg.counter("bounds.relax.epoch_resets")
+            .add(scratch.table.resetCount());
+        reg.gauge("bounds.scratch.high_water_bytes")
+            .observeMax((long long)(scratch.arena.highWaterBytes()));
+    }
 
     for (std::size_t i = 0; i < naive.size(); ++i) {
         if (!identicalBounds(naive[i], engine[i])) {

@@ -35,6 +35,21 @@
 namespace balance
 {
 
+/**
+ * Plain counters the sweep caches tick while a BoundScratch is in
+ * use. Observational only: nothing in the engine reads them back, so
+ * results are identical whether anyone harvests them or not. Owned by
+ * the scratch (one worker), hence non-atomic; callers fold them into
+ * the global MetricRegistry during serial reduction.
+ */
+struct BoundEngineStats
+{
+    long long pairSkeletonHits = 0;   //!< pair skeleton cache reuses
+    long long pairSkeletonMisses = 0; //!< pair skeleton lazy builds
+    long long tripleSkeletonHits = 0;   //!< triple skeleton reuses
+    long long tripleSkeletonMisses = 0; //!< triple skeleton builds
+};
+
 /** Per-worker scratch for the bound engine (see file comment). */
 struct BoundScratch
 {
@@ -58,6 +73,8 @@ struct BoundScratch
      * composition pass, consumed by SinkSkeleton::relax.
      */
     std::vector<int> keys;
+    /** Cache hit/miss tallies for the sweep skeletons. */
+    BoundEngineStats stats;
 };
 
 } // namespace balance

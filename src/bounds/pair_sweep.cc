@@ -120,9 +120,12 @@ PairSweepCache::skeletonFor(int branchIdx)
     std::unique_ptr<detail::SinkSkeleton> &slot =
         perBranch[std::size_t(branchIdx)];
     if (!slot) {
+        ++scratch.stats.pairSkeletonMisses;
         slot = std::make_unique<detail::SinkSkeleton>();
         slot->build(ctx, earlyRC,
                     lateRCPerBranch[std::size_t(branchIdx)], branchIdx);
+    } else {
+        ++scratch.stats.pairSkeletonHits;
     }
     return *slot;
 }
@@ -293,9 +296,12 @@ TripleSweepCache::skeletonFor(int branchIdx)
     std::unique_ptr<detail::SinkSkeleton> &slot =
         perBranch[std::size_t(branchIdx)];
     if (!slot) {
+        ++scratch.stats.tripleSkeletonMisses;
         slot = std::make_unique<detail::SinkSkeleton>();
         slot->build(ctx, earlyRC,
                     lateRCPerBranch[std::size_t(branchIdx)], branchIdx);
+    } else {
+        ++scratch.stats.tripleSkeletonHits;
     }
     return *slot;
 }

@@ -97,7 +97,15 @@ class RelaxTable
     const MachineModel &machine() const { return *model; }
 
     /** Forget all placements in O(1). */
-    void reset() { ++epoch; }
+    void
+    reset()
+    {
+        ++epoch;
+        ++resets;
+    }
+
+    /** @return how many times reset() ran. Telemetry only. */
+    long long resetCount() const { return resets; }
 
     /**
      * Place one operation of class @p cls into the earliest cycle
@@ -122,6 +130,8 @@ class RelaxTable
     const MachineModel *model;
     std::vector<Lane> lanes;
     std::uint64_t epoch = 1;
+    /** Epoch bumps since construction (telemetry). */
+    long long resets = 0;
 };
 
 /**

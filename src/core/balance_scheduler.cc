@@ -7,6 +7,7 @@
 #include "core/branch_select.hh"
 #include "core/op_pick.hh"
 #include "core/sched_state.hh"
+#include "sched/decision_log.hh"
 #include "support/diagnostics.hh"
 
 namespace balance
@@ -14,6 +15,23 @@ namespace balance
 
 namespace
 {
+
+/** Map the selection outcome onto the decision-log wire enum. */
+DecisionOutcome
+logOutcome(BranchOutcome o)
+{
+    switch (o) {
+      case BranchOutcome::Selected:
+        return DecisionOutcome::Selected;
+      case BranchOutcome::Delayed:
+        return DecisionOutcome::Delayed;
+      case BranchOutcome::DelayedOk:
+        return DecisionOutcome::DelayedOk;
+      case BranchOutcome::Ignored:
+        return DecisionOutcome::Ignored;
+    }
+    return DecisionOutcome::Ignored;
+}
 
 /** Static per-branch late times in dependence-only (DC) mode. */
 std::vector<std::vector<int>>
@@ -38,7 +56,8 @@ class Engine
            const BalanceConfig &cfg, const BoundsToolkit *toolkit,
            const ScheduleRequest &req)
         : ctx(ctx), sb(ctx.sb()), cfg(cfg), state(sb, machine),
-          weights(steeringWeights(sb, req)), stats(req.stats)
+          weights(steeringWeights(sb, req)), stats(req.stats),
+          log(req.decisionLog)
     {
         if (cfg.useRcBounds) {
             bsAssert(toolkit, "RC mode requires a bounds toolkit");
@@ -77,7 +96,9 @@ class Engine
                 continue;
             }
 
-            std::vector<OpId> candidates = chooseCandidates();
+            DecisionStep *step =
+                log ? &log->beginStep(state.cycle()) : nullptr;
+            std::vector<OpId> candidates = chooseCandidates(step);
             OpId pick = pickBestOp(state, dyn, weights, candidates,
                                    {cfg.useHlpDel}, stats);
             if (cfg.trace) {
@@ -93,11 +114,24 @@ class Engine
                 }
                 std::cerr << "\n";
             }
+            if (step) {
+                step->pick = pick;
+                step->candidates = candidates;
+            }
             state.scheduleNow(pick);
-            if (stats)
+            if (stats) {
                 ++stats->decisions;
-            if (cfg.updatePerOp)
+                stats->candidatesSum += (long long)(candidates.size());
+            }
+            if (cfg.updatePerOp) {
+                long long f0 = fullUpd;
+                long long l0 = lightUpd;
                 refreshOnOp(pick);
+                if (step) {
+                    step->fullUpdates = fullUpd - f0;
+                    step->lightUpdates = lightUpd - l0;
+                }
+            }
         }
         return state.toSchedule();
     }
@@ -106,8 +140,12 @@ class Engine
     void
     fullUpdateAll()
     {
-        for (auto &d : dyn)
+        for (auto &d : dyn) {
             d->fullUpdate(state, stats);
+            ++fullUpd;
+        }
+        if (stats)
+            stats->fullUpdates += (long long)(dyn.size());
     }
 
     void
@@ -117,6 +155,13 @@ class Engine
             if (!cfg.useLightUpdate ||
                 !d->lightUpdateOnOp(state, lastOp, stats)) {
                 d->fullUpdate(state, stats);
+                ++fullUpd;
+                if (stats)
+                    ++stats->fullUpdates;
+            } else {
+                ++lightUpd;
+                if (stats)
+                    ++stats->lightUpdates;
             }
         }
     }
@@ -128,6 +173,13 @@ class Engine
             if (!cfg.useLightUpdate ||
                 !d->lightUpdateOnCycleAdvance(state, lost, stats)) {
                 d->fullUpdate(state, stats);
+                ++fullUpd;
+                if (stats)
+                    ++stats->fullUpdates;
+            } else {
+                ++lightUpd;
+                if (stats)
+                    ++stats->lightUpdates;
             }
         }
     }
@@ -145,7 +197,7 @@ class Engine
     }
 
     std::vector<OpId>
-    chooseCandidates()
+    chooseCandidates(DecisionStep *step)
     {
         if (!cfg.useSelection)
             return issuableOps();
@@ -176,8 +228,11 @@ class Engine
             tradeoff.earlyRC = staticEarly;
             tradeoff.sb = &sb;
         }
-        SelectionResult sel =
-            selectCompatibleBranches(state, needs, tradeoff, stats);
+        SelectionDebug dbg;
+        SelectionResult sel = selectCompatibleBranches(
+            state, needs, tradeoff, stats, step ? &dbg : nullptr);
+        if (step)
+            recordSelection(*step, needs, sel, dbg);
 
         if (sel.unconstrained())
             return issuableOps();
@@ -191,12 +246,45 @@ class Engine
         return cands;
     }
 
+    /** Copy one selection's view into the decision log step. */
+    static void
+    recordSelection(DecisionStep &step,
+                    const std::vector<BranchNeeds> &needs,
+                    const SelectionResult &sel,
+                    const SelectionDebug &dbg)
+    {
+        step.rank = sel.rank;
+        step.reorders = dbg.reorders;
+        step.branches.reserve(needs.size());
+        for (std::size_t i = 0; i < needs.size(); ++i) {
+            DecisionBranch b;
+            b.branchIdx = needs[i].branchIdx;
+            b.weight = needs[i].weight;
+            b.dynEarly = needs[i].dynEarly;
+            b.needEach = int(needs[i].needEach.size());
+            for (const auto &group : needs[i].needOne)
+                b.needOne += int(group.size());
+            b.outcome = logOutcome(sel.outcome[i]);
+            step.branches.push_back(b);
+        }
+        step.tradeoffs.reserve(dbg.notes.size());
+        for (const SelectionDebug::Note &n : dbg.notes) {
+            step.tradeoffs.push_back({n.delayedBranch, n.againstBranch,
+                                      n.pairBound, n.staticEarly,
+                                      n.dynEarly});
+        }
+    }
+
     const GraphContext &ctx;
     const Superblock &sb;
     BalanceConfig cfg;
     SchedState state;
     std::vector<double> weights;
     SchedulerStats *stats;
+    DecisionLog *log;
+    /** ERC update tallies (mirrored into stats when present). */
+    long long fullUpd = 0;
+    long long lightUpd = 0;
 
     const std::vector<int> *staticEarly = nullptr;
     std::vector<std::vector<int>> staticLate;

@@ -289,12 +289,15 @@ void
 applyDelayedOkRevision(const SchedState &state,
                        const std::vector<BranchNeeds> &needs,
                        const TradeoffInputs &tradeoff,
-                       SelectionResult &sel)
+                       SelectionResult &sel,
+                       std::vector<SelectionDebug::Note> *notes = nullptr)
 {
     if (!tradeoff.pairwise || !tradeoff.earlyRC || !tradeoff.sb)
         return;
     const Superblock &sb = *tradeoff.sb;
     (void)state;
+    if (notes)
+        notes->clear();
 
     for (std::size_t i = 0; i < needs.size(); ++i) {
         if (sel.outcome[i] != BranchOutcome::Delayed)
@@ -314,6 +317,10 @@ applyDelayedOkRevision(const SchedState &state,
             // one-cycle slip this decision causes stays within it.
             if (valI > eI && needs[i].dynEarly + 1 <= valI) {
                 sel.outcome[i] = BranchOutcome::DelayedOk;
+                if (notes) {
+                    notes->push_back({bi, bj, valI, eI,
+                                      needs[i].dynEarly});
+                }
                 break;
             }
         }
@@ -341,7 +348,7 @@ SelectionResult
 selectCompatibleBranches(const SchedState &state,
                          const std::vector<BranchNeeds> &needs,
                          const TradeoffInputs &tradeoff,
-                         SchedulerStats *stats)
+                         SchedulerStats *stats, SelectionDebug *debug)
 {
     // Initial order: decreasing weight, program order on ties.
     std::vector<int> order(needs.size());
@@ -354,10 +361,20 @@ selectCompatibleBranches(const SchedState &state,
                needs[std::size_t(b)].branchIdx;
     });
 
+    std::vector<SelectionDebug::Note> passNotes;
+    std::vector<SelectionDebug::Note> *notes =
+        debug ? &passNotes : nullptr;
+
     SelectionResult best = selectPass(state, needs, order);
-    applyDelayedOkRevision(state, needs, tradeoff, best);
-    if (stats)
+    applyDelayedOkRevision(state, needs, tradeoff, best, notes);
+    if (debug) {
+        debug->notes = passNotes;
+        debug->reorders = 0;
+    }
+    if (stats) {
+        ++stats->selectionPasses;
         stats->loopTrips += (long long)(needs.size());
+    }
 
     if (!tradeoff.pairwise || !tradeoff.earlyRC || !tradeoff.sb)
         return best;
@@ -405,11 +422,18 @@ selectCompatibleBranches(const SchedState &state,
         auto posJ = std::find(curOrder.begin(), curOrder.end(), swapJ);
         std::iter_swap(posI, posJ);
         current = selectPass(state, needs, curOrder);
-        applyDelayedOkRevision(state, needs, tradeoff, current);
-        if (stats)
+        applyDelayedOkRevision(state, needs, tradeoff, current, notes);
+        if (debug)
+            ++debug->reorders;
+        if (stats) {
+            ++stats->selectionPasses;
             stats->loopTrips += (long long)(needs.size());
-        if (current.rank > best.rank)
+        }
+        if (current.rank > best.rank) {
             best = current;
+            if (debug)
+                debug->notes = passNotes;
+        }
     }
     return best;
 }

@@ -99,14 +99,40 @@ struct TradeoffInputs
 };
 
 /**
+ * Optional observability record of one selectCompatibleBranches call
+ * (filled only when the Balance decision log is active). The notes
+ * belong to the *winning* selection; reorders counts the swap rounds
+ * actually executed. Never read back into scheduling decisions.
+ */
+struct SelectionDebug
+{
+    /** One delayedOK grant of the winning selection. */
+    struct Note
+    {
+        int delayedBranch = -1; //!< branchIdx revised to delayedOK
+        int againstBranch = -1; //!< selected branchIdx justifying it
+        int pairBound = 0;      //!< its pairwise-optimal issue cycle
+        int staticEarly = 0;    //!< its static EarlyRC
+        int dynEarly = 0;       //!< its dynamic bound at this step
+    };
+
+    std::vector<Note> notes;
+    int reorders = 0;
+};
+
+/**
  * Full Section 5.3 + 5.4 selection: initial order by decreasing
  * weight, tradeoff-driven reordering, best rank wins.
+ *
+ * @param debug Optional observability record; filling it does not
+ *        change the returned selection.
  */
 SelectionResult selectCompatibleBranches(const SchedState &state,
                                          const std::vector<BranchNeeds>
                                              &needs,
                                          const TradeoffInputs &tradeoff,
-                                         SchedulerStats *stats = nullptr);
+                                         SchedulerStats *stats = nullptr,
+                                         SelectionDebug *debug = nullptr);
 
 } // namespace balance
 

@@ -32,7 +32,8 @@ parseBenchOptions(int argc, char **argv, double defaultScale)
             << "                 default: all six)\n"
             << "  --threads <n>  worker threads (default: hardware\n"
             << "                 concurrency; results are identical\n"
-            << "                 for every thread count)\n";
+            << "                 for every thread count)\n"
+            << telemetryUsage();
         std::exit(code);
     };
 
@@ -72,6 +73,8 @@ parseBenchOptions(int argc, char **argv, double defaultScale)
             opts.threads = int(v);
         } else if (arg == "--config") {
             opts.machines.push_back(MachineModel::byName(next()));
+        } else if (parseTelemetryFlag(arg, next, opts.telemetry)) {
+            // handled
         } else {
             std::cerr << "unknown option " << arg << "\n";
             usage(1);
@@ -80,6 +83,7 @@ parseBenchOptions(int argc, char **argv, double defaultScale)
 
     if (opts.machines.empty())
         opts.machines = MachineModel::paperConfigs();
+    initTelemetry(opts.telemetry);
     return opts;
 }
 

@@ -8,6 +8,9 @@
  *   --seed <u64>     suite master seed
  *   --config <name>  restrict to one machine config (repeatable)
  *   --threads <n>    worker threads (default: hardware concurrency)
+ *   --metrics-out <f>  metrics-registry JSON snapshot at exit
+ *   --trace-out <f>    Chrome trace-event spans (chrome://tracing)
+ *   --decision-log <f> Balance decision log (text or JSON lines)
  *   --help
  *
  * Results are bitwise independent of --threads: the eval drivers
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "machine/machine_model.hh"
+#include "support/telemetry.hh"
 #include "workload/suite.hh"
 
 namespace balance
@@ -34,6 +38,8 @@ struct BenchOptions
     std::vector<MachineModel> machines;
     /** Worker threads for the eval drivers; 0 = hardware. */
     int threads = 0;
+    /** Telemetry sinks (activated by parseBenchOptions). */
+    TelemetryOptions telemetry;
 
     /** Build the (possibly scaled) suite. */
     std::vector<BenchmarkProgram> buildSuitePopulation() const;

@@ -5,7 +5,10 @@
 
 #include "graph/analysis.hh"
 #include "support/diagnostics.hh"
+#include "support/metrics.hh"
 #include "support/parallel_for.hh"
+#include "support/telemetry.hh"
+#include "support/trace.hh"
 
 namespace balance
 {
@@ -31,6 +34,8 @@ evaluateBoundQuality(const std::vector<BenchmarkProgram> &suite,
                      const MachineModel &machine,
                      const BoundConfig &config, int threads)
 {
+    TraceSpan span("evaluateBoundQuality",
+                   (long long)(suite.size()));
     const char *names[6] = {"CP", "Hu", "RJ", "LC", "PW", "TW"};
 
     // Parallel phase: one WctBounds slot per superblock, filled in
@@ -84,11 +89,20 @@ evaluateBoundCost(const std::vector<BenchmarkProgram> &suite,
                   const MachineModel &machine, const BoundConfig &config,
                   int threads)
 {
+    TraceSpan span("evaluateBoundCost", (long long)(suite.size()));
     const char *names[8] = {"CP",          "Hu", "RJ", "LC",
                             "LC-original", "LC-reverse", "PW", "TW"};
 
     std::vector<const Superblock *> flat = flattenSuite(suite);
     std::vector<std::array<double, 8>> slots(flat.size());
+
+    // Exact trip totals per slot for the metric registry: the rows
+    // hold doubles (for means/medians), but the Table 2 counters are
+    // integers and the registry fold must match them exactly.
+    const bool foldMetrics = metricsCollectionEnabled();
+    std::vector<std::array<long long, 8>> tripSlots(
+        foldMetrics ? flat.size() : 0);
+
     parallelFor(
         flat.size(),
         [&](std::size_t idx) {
@@ -139,6 +153,12 @@ evaluateBoundCost(const std::vector<BenchmarkProgram> &suite,
             computeTriplewise(ctx, machine, earlyRC, lateRCs, pw,
                               config.triplewise, &twC);
             row[7] = double(twC.trips);
+
+            if (foldMetrics) {
+                tripSlots[idx] = {cpTrips,      hu.trips,  rj.trips,
+                                  lc.trips,     lcOrig.trips,
+                                  lcRev.trips,  pwC.trips, twC.trips};
+            }
         },
         threads);
 
@@ -146,6 +166,21 @@ evaluateBoundCost(const std::vector<BenchmarkProgram> &suite,
     for (const std::array<double, 8> &row : slots)
         for (int i = 0; i < 8; ++i)
             trips[std::size_t(i)].add(row[std::size_t(i)]);
+
+    if (foldMetrics) {
+        // Serial, suite-order fold; totals equal the BoundCounters
+        // sums bit for bit (pinned by the telemetry integration
+        // test).
+        static const char *metricNames[8] = {
+            "bounds.trips.cp",          "bounds.trips.hu",
+            "bounds.trips.rj",          "bounds.trips.lc",
+            "bounds.trips.lc_original", "bounds.trips.lc_reverse",
+            "bounds.trips.pw",          "bounds.trips.tw"};
+        MetricRegistry &reg = MetricRegistry::global();
+        for (const std::array<long long, 8> &row : tripSlots)
+            for (int i = 0; i < 8; ++i)
+                reg.counter(metricNames[i]).add(row[std::size_t(i)]);
+    }
 
     std::vector<BoundCost> out;
     for (int i = 0; i < 8; ++i) {

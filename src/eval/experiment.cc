@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sched/decision_log.hh"
 #include "sched/priorities.hh"
 #include "support/diagnostics.hh"
+#include "support/metrics.hh"
 #include "support/parallel_for.hh"
+#include "support/telemetry.hh"
+#include "support/trace.hh"
 
 namespace balance
 {
@@ -50,10 +54,22 @@ SuperblockEval
 evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
                    const HeuristicSet &set, const EvalOptions &opts)
 {
+    TraceSpan span("evaluateSuperblock",
+                   (long long)(sb.numOps()));
     GraphContext ctx(sb);
 
+    // Telemetry rides in a worker-private scratch + stats structs so
+    // the hot paths never touch shared state; everything is folded
+    // into the registry by the caller's serial reduction.
+    const bool wantTelemetry =
+        metricsCollectionEnabled() || decisionLogEnabled();
+    std::unique_ptr<BoundScratch> scratch;
+    if (wantTelemetry)
+        scratch = std::make_unique<BoundScratch>(machine);
+
     // One toolkit serves both the bound evaluation and Balance.
-    BoundsToolkit toolkit(ctx, machine, opts.bounds);
+    BoundsToolkit toolkit(ctx, machine, opts.bounds, nullptr,
+                          scratch.get());
 
     SuperblockEval eval;
     eval.frequency = sb.execFrequency();
@@ -75,7 +91,8 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
             eval.bounds.tw = computeTriplewise(
                                  ctx, machine, toolkit.earlyRC(), lateRCs,
                                  *toolkit.pairwise(),
-                                 opts.bounds.triplewise)
+                                 opts.bounds.triplewise, nullptr,
+                                 scratch.get())
                                  .wct;
         } else {
             eval.bounds.tw = eval.bounds.pw;
@@ -90,6 +107,13 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
     if (opts.noProfileSteering)
         req.branchWeights = noProfileWeights(sb);
 
+    // Telemetry receivers for the heuristic runs. Attaching them is
+    // observational only: SchedulerStats and DecisionLog are written,
+    // never read, by the schedulers.
+    SchedulerStats balStats;
+    SchedulerStats listStats;
+    DecisionLog dlog(sb.name());
+
     // Primaries; Balance reuses the toolkit.
     double bestWct = 0.0;
     bool haveBest = false;
@@ -97,9 +121,19 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
         Schedule s = [&] {
             auto *bal = dynamic_cast<const BalanceScheduler *>(
                 sched.get());
-            if (bal && bal->config().useRcBounds)
-                return bal->runWithToolkit(ctx, machine, toolkit, req);
-            return sched->run(ctx, machine, req);
+            if (bal && bal->config().useRcBounds) {
+                ScheduleRequest balReq = req;
+                if (wantTelemetry)
+                    balReq.stats = &balStats;
+                if (decisionLogEnabled())
+                    balReq.decisionLog = &dlog;
+                return bal->runWithToolkit(ctx, machine, toolkit,
+                                           balReq);
+            }
+            ScheduleRequest otherReq = req;
+            if (wantTelemetry)
+                otherReq.stats = &listStats;
+            return sched->run(ctx, machine, otherReq);
         }();
         s.validate(sb, machine);
         double w = s.wct(sb);
@@ -143,6 +177,21 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
                  "schedule beats the lower bound on '", sb.name(),
                  "': wct ", w, " < bound ", eval.tightest);
     }
+
+    if (wantTelemetry) {
+        auto tel = std::make_shared<SuperblockTelemetry>();
+        tel->balance = balStats;
+        tel->list = listStats;
+        tel->engine = scratch->stats;
+        tel->relaxResets = scratch->table.resetCount();
+        tel->arenaHighWater =
+            (long long)(scratch->arena.highWaterBytes());
+        if (decisionLogEnabled()) {
+            tel->decisionLog = decisionLogIsJson() ? dlog.toJsonLines()
+                                                   : dlog.toText();
+        }
+        eval.telemetry = std::move(tel);
+    }
     return eval;
 }
 
@@ -155,6 +204,8 @@ evaluatePopulation(const std::vector<BenchmarkProgram> &suite,
                        &perSuperblock,
                    int threads)
 {
+    TraceSpan span("evaluatePopulation",
+                   (long long)(suite.size()));
     PopulationMetrics metrics;
     metrics.heuristics = set.names();
     std::size_t numHeuristics = metrics.heuristics.size();
@@ -183,11 +234,58 @@ evaluatePopulation(const std::vector<BenchmarkProgram> &suite,
     std::vector<int> optimalAll(numHeuristics, 0);
     int nontrivialCount = 0;
 
+    // Serial telemetry fold: suite order, integral sums, max-gauges —
+    // so the registry contents are thread-invariant too.
+    MetricRegistry &reg = MetricRegistry::global();
+    const bool foldMetrics = metricsCollectionEnabled();
+
     for (std::size_t slot = 0; slot < flat.size(); ++slot) {
         const Superblock &sb = *flat[slot];
         const SuperblockEval &eval = evals[slot];
         if (perSuperblock)
             perSuperblock(sb, eval);
+
+        if (const SuperblockTelemetry *tel = eval.telemetry.get()) {
+            if (foldMetrics) {
+                const SchedulerStats &bal = tel->balance;
+                reg.counter("sched.balance.decisions")
+                    .add(bal.decisions);
+                reg.counter("sched.balance.loop_trips")
+                    .add(bal.loopTrips);
+                reg.counter("sched.balance.full_updates")
+                    .add(bal.fullUpdates);
+                reg.counter("sched.balance.light_updates")
+                    .add(bal.lightUpdates);
+                reg.counter("sched.balance.selection_passes")
+                    .add(bal.selectionPasses);
+                reg.counter("sched.balance.candidates")
+                    .add(bal.candidatesSum);
+                reg.histogram("sched.balance.decisions_per_superblock")
+                    .observe(bal.decisions);
+
+                const SchedulerStats &list = tel->list;
+                reg.counter("sched.list.decisions").add(list.decisions);
+                reg.counter("sched.list.loop_trips")
+                    .add(list.loopTrips);
+                reg.counter("sched.list.cycles").add(list.cycles);
+                reg.counter("sched.list.ready_sum").add(list.readySum);
+
+                reg.counter("bounds.pair_skeleton.hits")
+                    .add(tel->engine.pairSkeletonHits);
+                reg.counter("bounds.pair_skeleton.misses")
+                    .add(tel->engine.pairSkeletonMisses);
+                reg.counter("bounds.triple_skeleton.hits")
+                    .add(tel->engine.tripleSkeletonHits);
+                reg.counter("bounds.triple_skeleton.misses")
+                    .add(tel->engine.tripleSkeletonMisses);
+                reg.counter("bounds.relax.epoch_resets")
+                    .add(tel->relaxResets);
+                reg.gauge("bounds.scratch.high_water_bytes")
+                    .observeMax(tel->arenaHighWater);
+            }
+            if (!tel->decisionLog.empty())
+                appendDecisionLog(tel->decisionLog);
+        }
 
         ++metrics.superblocks;
         double lbCycles = eval.frequency * eval.tightest;

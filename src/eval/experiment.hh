@@ -19,9 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "bounds/bound_scratch.hh"
 #include "bounds/superblock_bounds.hh"
 #include "core/balance_scheduler.hh"
 #include "sched/best_scheduler.hh"
+#include "sched/list_scheduler.hh"
 #include "workload/suite.hh"
 
 namespace balance
@@ -55,6 +57,30 @@ struct EvalOptions
     bool noProfileSteering = false;
 };
 
+/**
+ * Telemetry captured while evaluating one superblock. Collected in
+ * the parallel phase into this plain per-slot struct and folded into
+ * the global MetricRegistry only during the serial suite-order
+ * reduction, so metric values — like every other result — are
+ * bitwise identical for any thread count. Absent (null) when
+ * telemetry is off; collecting it never changes schedules or bounds.
+ */
+struct SuperblockTelemetry
+{
+    /** Balance engine accounting (decisions, updates, selection). */
+    SchedulerStats balance;
+    /** The other heuristics' list-scheduler accounting, combined. */
+    SchedulerStats list;
+    /** Sweep-skeleton cache hits and misses. */
+    BoundEngineStats engine;
+    /** RelaxTable epoch resets during this evaluation. */
+    long long relaxResets = 0;
+    /** ScratchArena high-water mark in bytes. */
+    long long arenaHighWater = 0;
+    /** Rendered Balance decision log (empty when capture is off). */
+    std::string decisionLog;
+};
+
 /** Everything measured for one (superblock, machine) pair. */
 struct SuperblockEval
 {
@@ -63,6 +89,8 @@ struct SuperblockEval
     /** WCT per heuristic, order matching HeuristicSet::names(). */
     std::vector<double> wct;
     double frequency = 1.0;
+    /** Present exactly when telemetry collection is enabled. */
+    std::shared_ptr<SuperblockTelemetry> telemetry;
 };
 
 /** @return the Table 5 steering weights for @p sb. */

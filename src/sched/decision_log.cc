@@ -1,0 +1,112 @@
+#include "sched/decision_log.hh"
+
+#include <sstream>
+
+#include "support/json.hh"
+
+namespace balance
+{
+
+const char *
+decisionOutcomeName(DecisionOutcome o)
+{
+    switch (o) {
+      case DecisionOutcome::Selected:
+        return "selected";
+      case DecisionOutcome::Delayed:
+        return "delayed";
+      case DecisionOutcome::DelayedOk:
+        return "delayedOK";
+      case DecisionOutcome::Ignored:
+        return "ignored";
+    }
+    return "?";
+}
+
+std::string
+DecisionLog::toText() const
+{
+    std::ostringstream out;
+    out << "superblock " << (name.empty() ? "?" : name) << ": "
+        << rec.size() << " steps\n";
+    for (const DecisionStep &s : rec) {
+        out << "  cycle " << s.cycle << ": pick " << s.pick << " of "
+            << s.candidates.size() << " candidates [";
+        for (std::size_t i = 0; i < s.candidates.size(); ++i)
+            out << (i ? " " : "") << s.candidates[i];
+        out << "]";
+        if (!s.branches.empty())
+            out << "; rank " << s.rank << "; reorders " << s.reorders;
+        out << "\n";
+        for (const DecisionBranch &b : s.branches) {
+            out << "    branch " << b.branchIdx << " w=" << b.weight
+                << " dynEarly=" << b.dynEarly << " needEach="
+                << b.needEach << " needOne=" << b.needOne << " -> "
+                << decisionOutcomeName(b.outcome);
+            for (const TradeoffNote &t : s.tradeoffs) {
+                if (t.delayedBranch == b.branchIdx) {
+                    out << " (vs branch " << t.againstBranch
+                        << ": pair=" << t.pairBound
+                        << " static=" << t.staticEarly
+                        << " dyn=" << t.dynEarly << ")";
+                }
+            }
+            out << "\n";
+        }
+        if (s.fullUpdates || s.lightUpdates) {
+            out << "    updates: full=" << s.fullUpdates
+                << " light=" << s.lightUpdates << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::string
+DecisionLog::toJsonLines() const
+{
+    std::string out;
+    for (const DecisionStep &s : rec) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("sb").value(name);
+        w.key("cycle").value(s.cycle);
+        w.key("pick").value((long long)(s.pick));
+        w.key("candidates").beginArray();
+        for (OpId v : s.candidates)
+            w.value((long long)(v));
+        w.endArray();
+        w.key("rank").value(s.rank);
+        w.key("reorders").value(s.reorders);
+        w.key("branches").beginArray();
+        for (const DecisionBranch &b : s.branches) {
+            w.beginObject()
+                .key("branch").value(b.branchIdx)
+                .key("weight").value(b.weight)
+                .key("dynEarly").value(b.dynEarly)
+                .key("needEach").value(b.needEach)
+                .key("needOne").value(b.needOne)
+                .key("outcome").value(decisionOutcomeName(b.outcome))
+                .endObject();
+        }
+        w.endArray();
+        w.key("tradeoffs").beginArray();
+        for (const TradeoffNote &t : s.tradeoffs) {
+            w.beginObject()
+                .key("delayed").value(t.delayedBranch)
+                .key("against").value(t.againstBranch)
+                .key("pairBound").value(t.pairBound)
+                .key("staticEarly").value(t.staticEarly)
+                .key("dynEarly").value(t.dynEarly)
+                .endObject();
+        }
+        w.endArray();
+        w.key("fullUpdates").value(s.fullUpdates);
+        w.key("lightUpdates").value(s.lightUpdates);
+        w.endObject();
+        out += w.str();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace balance

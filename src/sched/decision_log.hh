@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The Balance decision log: a per-superblock record of every
+ * scheduling step the Balance engine takes — the candidate set, each
+ * unretired branch's needs and selection outcome, the pairwise
+ * tradeoff revisions that granted delayedOK, reorder attempts, and
+ * the Speculative-Hedge pick.
+ *
+ * The log is observational only and off by default: the engine fills
+ * it exactly when ScheduleRequest::decisionLog is non-null, and
+ * nothing ever reads it back into a scheduling decision, so enabling
+ * it cannot perturb schedules or bounds. It lives in sched (not core)
+ * so ScheduleRequest can carry a pointer without core types leaking
+ * down; the engine maps its own outcome enum onto DecisionOutcome.
+ *
+ * Rendering: toText() for eyeballing, toJsonLines() for tooling (one
+ * self-contained JSON object per step, each line individually
+ * parseable). Both are deterministic functions of the recorded
+ * steps, so dumps are bitwise thread-invariant when the caller
+ * serializes superblocks in suite order.
+ */
+
+#ifndef BALANCE_SCHED_DECISION_LOG_HH
+#define BALANCE_SCHED_DECISION_LOG_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/dag.hh"
+
+namespace balance
+{
+
+/** Selection outcome of one branch in one step (Section 5.4). */
+enum class DecisionOutcome
+{
+    Selected,  //!< needs jointly satisfied
+    Delayed,   //!< needs not satisfied by the winning selection
+    DelayedOk, //!< delayed, but the pairwise tradeoff favors it
+    Ignored,   //!< no needs this decision
+};
+
+/** @return the lowercase wire name of @p o ("selected", ...). */
+const char *decisionOutcomeName(DecisionOutcome o);
+
+/** One branch's view of one scheduling step. */
+struct DecisionBranch
+{
+    int branchIdx = -1;   //!< position in sb().branches()
+    double weight = 0.0;  //!< steering weight
+    int dynEarly = 0;     //!< dynamic lower bound on the branch
+    int needEach = 0;     //!< NeedEach set size
+    int needOne = 0;      //!< NeedOne members summed over pools
+    DecisionOutcome outcome = DecisionOutcome::Ignored;
+};
+
+/** One delayedOK grant from the pairwise tradeoff pass. */
+struct TradeoffNote
+{
+    int delayedBranch = -1; //!< branch revised to delayedOK
+    int againstBranch = -1; //!< selected branch justifying the delay
+    int pairBound = 0;      //!< pairwise-optimal issue of the delayed
+    int staticEarly = 0;    //!< its static EarlyRC
+    int dynEarly = 0;       //!< its dynamic bound at this step
+};
+
+/** One scheduling step (one operation placed). */
+struct DecisionStep
+{
+    int cycle = 0;               //!< machine cycle of the decision
+    OpId pick = invalidOp;       //!< Speculative-Hedge final pick
+    std::vector<OpId> candidates; //!< ops the pick chose among
+    std::vector<DecisionBranch> branches; //!< unretired branches
+    std::vector<TradeoffNote> tradeoffs;  //!< delayedOK grants
+    int reorders = 0;    //!< tradeoff reorder swaps performed
+    double rank = 0.0;   //!< winning selection's weighted rank
+    long long fullUpdates = 0;  //!< ERC full recomputations this step
+    long long lightUpdates = 0; //!< incremental updates this step
+};
+
+/** Per-superblock decision recorder (see file comment). */
+class DecisionLog
+{
+  public:
+    explicit DecisionLog(std::string label = {})
+        : name(std::move(label))
+    {
+    }
+
+    /** Superblock label used in rendered output. */
+    const std::string &label() const { return name; }
+
+    /** Append a step at @p cycle; the reference stays valid until
+     *  the next beginStep (vector growth may move earlier steps). */
+    DecisionStep &
+    beginStep(int cycle)
+    {
+        rec.emplace_back();
+        rec.back().cycle = cycle;
+        return rec.back();
+    }
+
+    /** All recorded steps, in decision order. */
+    const std::vector<DecisionStep> &steps() const { return rec; }
+
+    /** Human-readable dump, one indented block per step. */
+    std::string toText() const;
+
+    /**
+     * One JSON object per step, newline-terminated; every line is a
+     * complete, valid JSON document (jsonLooksValid holds per line).
+     */
+    std::string toJsonLines() const;
+
+  private:
+    std::string name;
+    std::vector<DecisionStep> rec;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SCHED_DECISION_LOG_HH

@@ -24,17 +24,25 @@
 namespace balance
 {
 
+class DecisionLog;
+
 /**
  * Per-invocation options. @c branchWeights overrides the exit
  * probabilities as the *steering* weights of probability-driven
  * heuristics (the paper's Table 5 no-profile experiment: last branch
  * 1000, others 1); the completion-time objective always uses the
  * true probabilities.
+ *
+ * @c decisionLog, when non-null, asks the Balance engine to record
+ * every scheduling step (sched/decision_log.hh); other schedulers
+ * ignore it. Purely observational — the schedule is identical with
+ * or without a log attached.
  */
 struct ScheduleRequest
 {
     std::vector<double> branchWeights;
     SchedulerStats *stats = nullptr;
+    DecisionLog *decisionLog = nullptr;
 };
 
 /** Abstract superblock scheduler. */

@@ -71,6 +71,10 @@ greedyCore(const Superblock &sb, const MachineModel &machine,
             pending.end());
 
         std::sort(ready.begin(), ready.end(), higher);
+        if (stats) {
+            ++stats->cycles;
+            stats->readySum += (long long)(ready.size());
+        }
 
         // One pass over the ready list: place what fits this cycle.
         std::vector<OpId> leftover;

@@ -23,11 +23,22 @@
 namespace balance
 {
 
-/** Cost accounting for Table 6. */
+/**
+ * Cost accounting for Table 6 plus observability extras. Only
+ * `decisions` and `loopTrips` feed published numbers; the rest are
+ * telemetry that the eval layer folds into the metric registry, and
+ * schedulers may leave any of them zero.
+ */
 struct SchedulerStats
 {
     long long decisions = 0; //!< operations placed
     long long loopTrips = 0; //!< inner-loop iterations
+    long long cycles = 0;    //!< machine cycles stepped
+    long long readySum = 0;  //!< ready-queue length summed per cycle
+    long long fullUpdates = 0;  //!< full BranchDynamics rebuilds
+    long long lightUpdates = 0; //!< incremental BranchDynamics updates
+    long long selectionPasses = 0; //!< branch-selection passes
+    long long candidatesSum = 0;   //!< candidate ops considered
 };
 
 /**

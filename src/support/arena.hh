@@ -40,6 +40,9 @@ class ScratchArena
     void
     reset()
     {
+        if (liveBytes > highWater)
+            highWater = liveBytes;
+        liveBytes = 0;
         for (Block &b : blocks)
             b.used = 0;
         cur = 0;
@@ -73,6 +76,17 @@ class ScratchArena
         return total;
     }
 
+    /**
+     * @return the largest number of payload bytes ever live at once
+     *         (alignment slack excluded), including the current
+     *         not-yet-reset allocations. Telemetry only.
+     */
+    std::size_t
+    highWaterBytes() const
+    {
+        return liveBytes > highWater ? liveBytes : highWater;
+    }
+
   private:
     struct Block
     {
@@ -84,6 +98,7 @@ class ScratchArena
     void *
     allocBytes(std::size_t bytes, std::size_t align)
     {
+        liveBytes += bytes;
         while (cur < blocks.size()) {
             Block &b = blocks[cur];
             std::size_t at = alignUp(b.used, align);
@@ -122,6 +137,10 @@ class ScratchArena
     std::vector<Block> blocks;
     std::size_t cur = 0;
     std::size_t firstSize;
+    /** Payload bytes allocated since the last reset(). */
+    std::size_t liveBytes = 0;
+    /** Largest liveBytes value any completed reset cycle reached. */
+    std::size_t highWater = 0;
 };
 
 } // namespace balance

@@ -182,6 +182,10 @@ struct Checker
             return false;
         ++at;
         while (!atEnd() && peek() != '"') {
+            // RFC 8259: control characters (U+0000..U+001F) must be
+            // escaped; a raw one makes the document invalid.
+            if ((unsigned char)(peek()) < 0x20)
+                return false;
             if (peek() == '\\') {
                 ++at;
                 if (atEnd())

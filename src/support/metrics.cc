@@ -1,0 +1,221 @@
+#include "support/metrics.hh"
+
+#include <bit>
+
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+#include "support/thread_pool.hh"
+
+namespace balance
+{
+
+namespace detail
+{
+
+int
+metricShardSlot()
+{
+    int worker = ThreadPool::currentWorkerId();
+    if (worker < 0)
+        return 0;
+    return 1 + worker % (metricShards - 1);
+}
+
+} // namespace detail
+
+long long
+Counter::value() const
+{
+    long long total = 0;
+    for (const detail::ShardCell &s : shards)
+        total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+int
+Histogram::bucketOf(long long v)
+{
+    if (v <= 0)
+        return 0;
+    int b = std::bit_width(static_cast<unsigned long long>(v));
+    return b < numBuckets ? b : numBuckets - 1;
+}
+
+void
+Histogram::observe(long long v)
+{
+    Shard &s = shards[std::size_t(detail::metricShardSlot())];
+    s.bucket[std::size_t(bucketOf(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    s.n.fetch_add(1, std::memory_order_relaxed);
+    s.total.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<long long>
+Histogram::buckets() const
+{
+    std::vector<long long> out(std::size_t(numBuckets), 0);
+    for (const Shard &s : shards)
+        for (int b = 0; b < numBuckets; ++b)
+            out[std::size_t(b)] +=
+                s.bucket[std::size_t(b)].load(std::memory_order_relaxed);
+    return out;
+}
+
+long long
+Histogram::count() const
+{
+    long long total = 0;
+    for (const Shard &s : shards)
+        total += s.n.load(std::memory_order_relaxed);
+    return total;
+}
+
+long long
+Histogram::sum() const
+{
+    long long total = 0;
+    for (const Shard &s : shards)
+        total += s.total.load(std::memory_order_relaxed);
+    return total;
+}
+
+const MetricRegistry::Entry *
+MetricRegistry::find(std::string_view name) const
+{
+    for (const auto &[n, e] : names) {
+        if (n == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+Counter &
+MetricRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (const Entry *e = find(name)) {
+        bsAssert(e->kind == Kind::Counter, "metric '", std::string(name),
+                 "' already registered as a different kind");
+        return *counters[e->index];
+    }
+    counters.push_back(
+        std::unique_ptr<Counter>(new Counter(std::string(name))));
+    names.emplace_back(std::string(name),
+                       Entry{Kind::Counter, counters.size() - 1});
+    return *counters.back();
+}
+
+Gauge &
+MetricRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (const Entry *e = find(name)) {
+        bsAssert(e->kind == Kind::Gauge, "metric '", std::string(name),
+                 "' already registered as a different kind");
+        return *gauges[e->index];
+    }
+    gauges.push_back(std::unique_ptr<Gauge>(new Gauge(std::string(name))));
+    names.emplace_back(std::string(name),
+                       Entry{Kind::Gauge, gauges.size() - 1});
+    return *gauges.back();
+}
+
+Histogram &
+MetricRegistry::histogram(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (const Entry *e = find(name)) {
+        bsAssert(e->kind == Kind::Histogram, "metric '",
+                 std::string(name),
+                 "' already registered as a different kind");
+        return *histograms[e->index];
+    }
+    histograms.push_back(
+        std::unique_ptr<Histogram>(new Histogram(std::string(name))));
+    names.emplace_back(std::string(name),
+                       Entry{Kind::Histogram, histograms.size() - 1});
+    return *histograms.back();
+}
+
+void
+MetricRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto &c : counters)
+        for (detail::ShardCell &s : c->shards)
+            s.v.store(0, std::memory_order_relaxed);
+    for (auto &g : gauges)
+        g->cell.store(0, std::memory_order_relaxed);
+    for (auto &h : histograms) {
+        for (Histogram::Shard &s : h->shards) {
+            for (int b = 0; b < Histogram::numBuckets; ++b)
+                s.bucket[std::size_t(b)].store(
+                    0, std::memory_order_relaxed);
+            s.n.store(0, std::memory_order_relaxed);
+            s.total.store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+MetricRegistry::writeJson(JsonWriter &w) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    w.beginObject();
+
+    w.key("counters").beginObject();
+    for (const auto &[name, e] : names) {
+        if (e.kind == Kind::Counter)
+            w.key(name).value(counters[e.index]->value());
+    }
+    w.endObject();
+
+    w.key("gauges").beginObject();
+    for (const auto &[name, e] : names) {
+        if (e.kind == Kind::Gauge)
+            w.key(name).value(gauges[e.index]->value());
+    }
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, e] : names) {
+        if (e.kind != Kind::Histogram)
+            continue;
+        const Histogram &h = *histograms[e.index];
+        w.key(name).beginObject();
+        w.key("count").value(h.count());
+        w.key("sum").value(h.sum());
+        w.key("buckets").beginArray();
+        // Trailing zero buckets are elided so documents stay small;
+        // bucket b spans [2^(b-1), 2^b) with bucket 0 holding v <= 0.
+        std::vector<long long> buckets = h.buckets();
+        std::size_t last = buckets.size();
+        while (last > 0 && buckets[last - 1] == 0)
+            --last;
+        for (std::size_t b = 0; b < last; ++b)
+            w.value(buckets[b]);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+}
+
+std::string
+MetricRegistry::snapshotJson() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry *registry = new MetricRegistry();
+    return *registry;
+}
+
+} // namespace balance

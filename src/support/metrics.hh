@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The metrics registry: named counters, gauges, and fixed-bucket
+ * histograms for the bound engine, the schedulers, and the eval
+ * drivers (see docs/OBSERVABILITY.md for the metric catalog).
+ *
+ * Counters and histograms are sharded per thread, keyed off the
+ * ThreadPool worker id, so concurrent increments never contend on
+ * one cache line; all shard values are integral sums, so the merged
+ * value is independent of which worker produced which increment and
+ * therefore bitwise identical for every --threads value. Gauges are
+ * either last-write (serial contexts) or monotonic-max (order
+ * independent), preserving the same thread invariance.
+ *
+ * Snapshots serialize through JsonWriter in registration order, so
+ * two runs that register and update the same metrics emit the same
+ * bytes. Registration (the name lookup) takes a mutex and may
+ * allocate; handles returned by counter()/gauge()/histogram() are
+ * stable for the registry's lifetime, so hot paths register once and
+ * update lock-free.
+ *
+ * Telemetry rule (docs/OBSERVABILITY.md): metrics observe, never
+ * steer — no algorithm may read a metric back.
+ */
+
+#ifndef BALANCE_SUPPORT_METRICS_HH
+#define BALANCE_SUPPORT_METRICS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace balance
+{
+
+class JsonWriter;
+class MetricRegistry;
+
+namespace detail
+{
+
+/** Shard count: slot 0 for external threads, the rest for workers. */
+constexpr int metricShards = 33;
+
+/** @return the calling thread's shard slot (worker id keyed). */
+int metricShardSlot();
+
+/** One cache-line-padded shard cell. */
+struct alignas(64) ShardCell
+{
+    std::atomic<long long> v{0};
+};
+
+} // namespace detail
+
+/** Monotonic event count, sharded per thread. */
+class Counter
+{
+  public:
+    /** Tick @p n events (relaxed; any thread). */
+    void
+    add(long long n = 1)
+    {
+        shards[std::size_t(detail::metricShardSlot())].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** @return the deterministic merged total (shards in slot order). */
+    long long value() const;
+
+    /** @return the registered name. */
+    const std::string &name() const { return id; }
+
+  private:
+    friend class MetricRegistry;
+    explicit Counter(std::string name) : id(std::move(name)) {}
+
+    std::string id;
+    detail::ShardCell shards[detail::metricShards];
+};
+
+/** Point-in-time value: last-write set() or monotonic observeMax(). */
+class Gauge
+{
+  public:
+    /** Overwrite the value (intended for serial reduction code). */
+    void
+    set(long long v)
+    {
+        cell.store(v, std::memory_order_relaxed);
+    }
+
+    /** Raise the value to at least @p v (order independent). */
+    void
+    observeMax(long long v)
+    {
+        long long cur = cell.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !cell.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    /** @return the current value. */
+    long long value() const { return cell.load(std::memory_order_relaxed); }
+
+    /** @return the registered name. */
+    const std::string &name() const { return id; }
+
+  private:
+    friend class MetricRegistry;
+    explicit Gauge(std::string name) : id(std::move(name)) {}
+
+    std::string id;
+    std::atomic<long long> cell{0};
+};
+
+/**
+ * Fixed-bucket histogram over non-negative integers: bucket b counts
+ * observations v with bit_width(v) == b (bucket 0 holds v <= 0), so
+ * bucket boundaries are the powers of two. Count and sum are
+ * tracked alongside; everything is an integral sum sharded per
+ * thread, hence thread-count invariant.
+ */
+class Histogram
+{
+  public:
+    static constexpr int numBuckets = 40;
+
+    /** Record one observation (relaxed; any thread). */
+    void observe(long long v);
+
+    /** @return merged per-bucket counts, bucket order. */
+    std::vector<long long> buckets() const;
+
+    /** @return merged observation count. */
+    long long count() const;
+
+    /** @return merged observation sum. */
+    long long sum() const;
+
+    /** @return the registered name. */
+    const std::string &name() const { return id; }
+
+    /** @return the bucket index @p v falls into. */
+    static int bucketOf(long long v);
+
+  private:
+    friend class MetricRegistry;
+    explicit Histogram(std::string name) : id(std::move(name)) {}
+
+    struct alignas(64) Shard
+    {
+        std::atomic<long long> bucket[numBuckets] = {};
+        std::atomic<long long> n{0};
+        std::atomic<long long> total{0};
+    };
+
+    std::string id;
+    Shard shards[detail::metricShards];
+};
+
+/**
+ * Registry of named metrics. counter()/gauge()/histogram() return the
+ * existing metric when the name is known and create it (in
+ * registration order) otherwise; a name registers as exactly one
+ * kind, and re-requesting it as another kind panics.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    /** Zero every metric (tests; keeps registrations). */
+    void reset();
+
+    /**
+     * Serialize all metrics, grouped by kind, each group in
+     * registration order:
+     * {"counters":{...},"gauges":{...},"histograms":{...}}.
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** @return the writeJson() document as a string. */
+    std::string snapshotJson() const;
+
+    /**
+     * The process-wide registry used by the instrumented layers and
+     * dumped by --metrics-out.
+     */
+    static MetricRegistry &global();
+
+  private:
+    /** Registered metrics of one kind, registration order. */
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+    struct Entry
+    {
+        Kind kind;
+        std::size_t index; //!< into the kind's vector
+    };
+
+    const Entry *find(std::string_view name) const;
+
+    mutable std::mutex mutex;
+    std::vector<std::pair<std::string, Entry>> names;
+    std::vector<std::unique_ptr<Counter>> counters;
+    std::vector<std::unique_ptr<Gauge>> gauges;
+    std::vector<std::unique_ptr<Histogram>> histograms;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_METRICS_HH

@@ -1,0 +1,178 @@
+#include "support/telemetry.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+struct TelemetryState
+{
+    bool collectMetrics = false;
+    bool captureDecisions = false;
+    bool decisionsJson = false;
+    std::string metricsPath;
+    std::string tracePath;
+    std::unique_ptr<std::ofstream> decisionStream;
+};
+
+TelemetryState &
+state()
+{
+    static TelemetryState *s = new TelemetryState();
+    return *s;
+}
+
+/** @return true when @p path asks for JSON-lines output. */
+bool
+wantsJson(const std::string &path)
+{
+    return path.ends_with(".json") || path.ends_with(".jsonl");
+}
+
+void
+atExitFlush()
+{
+    TelemetryState &s = state();
+    if (!s.metricsPath.empty()) {
+        std::string doc = MetricRegistry::global().snapshotJson();
+        bsAssert(jsonLooksValid(doc),
+                 "metrics snapshot emitted invalid JSON");
+        std::ofstream out(s.metricsPath);
+        if (!out.good()) {
+            warn("cannot open metrics output '" + s.metricsPath + "'");
+        } else {
+            out << doc << "\n";
+        }
+    }
+    if (!s.tracePath.empty()) {
+        TraceSession &session = TraceSession::global();
+        session.disable();
+        if (long long dropped = session.droppedEvents())
+            warn("trace ring dropped " + std::to_string(dropped) +
+                 " events; earliest spans are missing");
+        session.writeTo(s.tracePath);
+    }
+    if (s.decisionStream)
+        s.decisionStream->flush();
+}
+
+/**
+ * Match "--name value" / "--name=value".
+ * @return true on match, with @p value filled.
+ */
+bool
+matchFlag(std::string_view arg, std::string_view flag,
+          const std::function<std::string()> &next, std::string &value)
+{
+    if (arg == flag) {
+        value = next();
+        return true;
+    }
+    if (arg.size() > flag.size() + 1 &&
+        arg.substr(0, flag.size()) == flag && arg[flag.size()] == '=') {
+        value = std::string(arg.substr(flag.size() + 1));
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+parseTelemetryFlag(std::string_view arg,
+                   const std::function<std::string()> &next,
+                   TelemetryOptions &out)
+{
+    return matchFlag(arg, "--metrics-out", next, out.metricsOut) ||
+           matchFlag(arg, "--trace-out", next, out.traceOut) ||
+           matchFlag(arg, "--decision-log", next, out.decisionLogOut);
+}
+
+const char *
+telemetryUsage()
+{
+    return "  --metrics-out <f>  write a metrics-registry JSON\n"
+           "                 snapshot at exit\n"
+           "  --trace-out <f>  record Chrome trace-event spans\n"
+           "                 (open in chrome://tracing or Perfetto)\n"
+           "  --decision-log <f>  capture the per-superblock Balance\n"
+           "                 decision log (.json/.jsonl = JSON lines,\n"
+           "                 otherwise text)\n";
+}
+
+void
+initTelemetry(const TelemetryOptions &opts)
+{
+    TelemetryState &s = state();
+    if (opts.metricsOut.empty() && opts.traceOut.empty() &&
+        opts.decisionLogOut.empty())
+        return;
+
+    s.metricsPath = opts.metricsOut;
+    s.tracePath = opts.traceOut;
+    if (!opts.metricsOut.empty())
+        s.collectMetrics = true;
+    if (!opts.traceOut.empty())
+        TraceSession::global().enable();
+    if (!opts.decisionLogOut.empty()) {
+        s.captureDecisions = true;
+        s.decisionsJson = wantsJson(opts.decisionLogOut);
+        s.decisionStream =
+            std::make_unique<std::ofstream>(opts.decisionLogOut);
+        if (!s.decisionStream->good())
+            bsFatal("cannot open decision log '", opts.decisionLogOut,
+                    "'");
+    }
+    std::atexit(atExitFlush);
+}
+
+bool
+metricsCollectionEnabled()
+{
+    return state().collectMetrics;
+}
+
+void
+setMetricsCollection(bool on)
+{
+    state().collectMetrics = on;
+}
+
+bool
+decisionLogEnabled()
+{
+    return state().captureDecisions;
+}
+
+bool
+decisionLogIsJson()
+{
+    return state().decisionsJson;
+}
+
+void
+setDecisionLogCapture(bool on, bool json)
+{
+    state().captureDecisions = on;
+    state().decisionsJson = json;
+}
+
+void
+appendDecisionLog(const std::string &text)
+{
+    TelemetryState &s = state();
+    if (s.decisionStream)
+        *s.decisionStream << text;
+}
+
+} // namespace balance

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Process-level telemetry wiring shared by every bench binary: the
+ * --metrics-out / --trace-out / --decision-log flags, the global
+ * on/off switches the instrumented layers consult, and the at-exit
+ * writers that dump the metric registry snapshot and the Chrome
+ * trace once main() returns.
+ *
+ * The switches are plain process-global state (set once during
+ * argument parsing, before any worker thread starts) because the
+ * whole point is observing existing call trees without threading a
+ * context object through every layer. Telemetry never feeds back:
+ * with every switch on, schedules, bounds, and Table 2 trip counts
+ * are bitwise identical to a run with them off.
+ */
+
+#ifndef BALANCE_SUPPORT_TELEMETRY_HH
+#define BALANCE_SUPPORT_TELEMETRY_HH
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace balance
+{
+
+/** Parsed telemetry flags (all empty = telemetry off). */
+struct TelemetryOptions
+{
+    std::string metricsOut;    //!< metrics snapshot JSON path
+    std::string traceOut;      //!< Chrome trace JSON path
+    std::string decisionLogOut; //!< Balance decision log path
+};
+
+/**
+ * Try to consume one telemetry argument. Accepts both "--flag value"
+ * and "--flag=value" spellings of --metrics-out, --trace-out, and
+ * --decision-log.
+ *
+ * @param arg The current argv token.
+ * @param next Callback producing the following token (only invoked
+ *        for the space-separated spelling).
+ * @param out Updated on a match.
+ * @return true when @p arg was a telemetry flag.
+ */
+bool parseTelemetryFlag(std::string_view arg,
+                        const std::function<std::string()> &next,
+                        TelemetryOptions &out);
+
+/** Usage lines for the three flags (printed by bench --help). */
+const char *telemetryUsage();
+
+/**
+ * Activate the requested sinks: enables tracing and metrics
+ * collection, opens the decision log, and registers a process-exit
+ * hook that writes the metrics snapshot and the trace file. Call at
+ * most once, after argument parsing and before any evaluation.
+ */
+void initTelemetry(const TelemetryOptions &opts);
+
+/**
+ * @return true when per-superblock metrics should be collected (set
+ *         by initTelemetry with --metrics-out, or by tests via
+ *         setMetricsCollection). The eval layers skip their stats
+ *         plumbing entirely when this is off.
+ */
+bool metricsCollectionEnabled();
+
+/** Toggle metrics collection (tests). */
+void setMetricsCollection(bool on);
+
+/** @return true when the Balance decision log is being captured. */
+bool decisionLogEnabled();
+
+/** @return true when the decision log output format is JSON lines. */
+bool decisionLogIsJson();
+
+/**
+ * Turn decision-log capture on or off without a file sink (tests);
+ * @p json selects the serialization format.
+ */
+void setDecisionLogCapture(bool on, bool json = false);
+
+/**
+ * Append one superblock's rendered decision log to the sink opened
+ * by initTelemetry, if any. Must be called from serial reduction
+ * code only (suite order = file order = deterministic bytes).
+ */
+void appendDecisionLog(const std::string &text);
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_TELEMETRY_HH

@@ -18,6 +18,12 @@ thread_local int tlIndex = -1;
 } // namespace
 
 int
+ThreadPool::currentWorkerId()
+{
+    return tlIndex;
+}
+
+int
 ThreadPool::hardwareThreads()
 {
     unsigned n = std::thread::hardware_concurrency();

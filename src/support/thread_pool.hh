@@ -59,6 +59,14 @@ class ThreadPool
     static int hardwareThreads();
 
     /**
+     * @return the calling thread's worker index within its pool, or
+     *         -1 for threads that are not pool workers (main thread,
+     *         external submitters). Keys the per-thread metric
+     *         shards and trace lanes (support/metrics.hh).
+     */
+    static int currentWorkerId();
+
+    /**
      * Schedule @p fn on some worker. Safe to call from pool workers
      * (the task lands on the caller's own deque) and from any number
      * of external threads concurrently.

@@ -1,0 +1,205 @@
+#include "support/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+#include "support/thread_pool.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+std::chrono::steady_clock::time_point
+sessionEpoch()
+{
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+TraceSession::TraceSession()
+{
+    static std::atomic<std::uint64_t> nextId{1};
+    sessionId = nextId.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t
+TraceSession::nowUs() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - sessionEpoch())
+        .count();
+}
+
+TraceSession::Buffer &
+TraceSession::localBuffer()
+{
+    // One buffer per (session, thread). The session owns the buffer
+    // so events outlive short-lived worker threads; the thread_local
+    // cache maps never-reused session ids to buffers, so an entry
+    // can never accidentally match a different session allocated at
+    // a dead session's address.
+    thread_local std::vector<std::pair<std::uint64_t, Buffer *>> cache;
+    for (const auto &[id, buf] : cache) {
+        if (id == sessionId)
+            return *buf;
+    }
+
+    std::lock_guard<std::mutex> lock(registryMutex);
+    auto buffer = std::make_unique<Buffer>();
+    buffer->ring.resize(ringCapacity);
+    buffer->tid = int(buffers.size());
+    buffer->workerId = ThreadPool::currentWorkerId();
+    buffers.push_back(std::move(buffer));
+    cache.emplace_back(sessionId, buffers.back().get());
+    return *buffers.back();
+}
+
+void
+TraceSession::record(const char *name, std::int64_t tsUs,
+                     std::int64_t durUs, std::int64_t arg)
+{
+    Buffer &b = localBuffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    TraceEvent &slot = b.ring[b.next];
+    if (b.count == ringCapacity)
+        ++b.dropped; // overwriting the oldest event
+    else
+        ++b.count;
+    slot.name = name;
+    slot.tsUs = tsUs;
+    slot.durUs = durUs;
+    slot.arg = arg;
+    b.next = (b.next + 1) % ringCapacity;
+}
+
+std::string
+TraceSession::toJson()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+
+    for (const auto &bptr : buffers) {
+        Buffer &b = *bptr;
+        std::lock_guard<std::mutex> bufLock(b.mutex);
+
+        // Thread lane label: worker id when the buffer belongs to a
+        // pool worker, "external" otherwise (main thread, tests).
+        std::string lane = b.workerId >= 0
+            ? "worker-" + std::to_string(b.workerId)
+            : "external-" + std::to_string(b.tid);
+        w.beginObject()
+            .key("name").value("thread_name")
+            .key("ph").value("M")
+            .key("pid").value(1)
+            .key("tid").value(b.tid)
+            .key("args").beginObject()
+            .key("name").value(lane)
+            .endObject()
+            .endObject();
+
+        // Oldest-first: the ring's oldest live event sits at `next`
+        // once the buffer has wrapped, at 0 otherwise.
+        std::size_t start =
+            b.count == ringCapacity ? b.next : 0;
+        for (std::size_t i = 0; i < b.count; ++i) {
+            const TraceEvent &e =
+                b.ring[(start + i) % ringCapacity];
+            w.beginObject()
+                .key("name").value(e.name)
+                .key("ph").value("X")
+                .key("pid").value(1)
+                .key("tid").value(b.tid)
+                .key("ts").value(static_cast<long long>(e.tsUs))
+                .key("dur").value(static_cast<long long>(e.durUs));
+            if (e.arg >= 0) {
+                w.key("args").beginObject()
+                    .key("arg").value(static_cast<long long>(e.arg))
+                    .endObject();
+            }
+            w.endObject();
+        }
+
+        if (b.dropped > 0) {
+            w.beginObject()
+                .key("name").value("trace_ring_dropped")
+                .key("ph").value("M")
+                .key("pid").value(1)
+                .key("tid").value(b.tid)
+                .key("args").beginObject()
+                .key("dropped").value(b.dropped)
+                .endObject()
+                .endObject();
+        }
+    }
+
+    w.endArray().endObject();
+    return w.str();
+}
+
+void
+TraceSession::writeTo(const std::string &path)
+{
+    std::string doc = toJson();
+    bsAssert(jsonLooksValid(doc), "trace session emitted invalid JSON");
+    std::ofstream out(path);
+    bsAssert(out.good(), "cannot open trace output '", path, "'");
+    out << doc << "\n";
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    for (const auto &bptr : buffers) {
+        Buffer &b = *bptr;
+        std::lock_guard<std::mutex> bufLock(b.mutex);
+        b.next = 0;
+        b.count = 0;
+        b.dropped = 0;
+    }
+}
+
+std::size_t
+TraceSession::bufferedEvents()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    std::size_t total = 0;
+    for (const auto &bptr : buffers) {
+        std::lock_guard<std::mutex> bufLock(bptr->mutex);
+        total += bptr->count;
+    }
+    return total;
+}
+
+long long
+TraceSession::droppedEvents()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    long long total = 0;
+    for (const auto &bptr : buffers) {
+        std::lock_guard<std::mutex> bufLock(bptr->mutex);
+        total += bptr->dropped;
+    }
+    return total;
+}
+
+TraceSession &
+TraceSession::global()
+{
+    static TraceSession *session = new TraceSession();
+    return *session;
+}
+
+} // namespace balance

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Scoped-span tracing in the Chrome trace-event format (load the
+ * emitted file in chrome://tracing or https://ui.perfetto.dev).
+ *
+ * A TraceSpan is an RAII guard: construction samples the clock, the
+ * destructor records one complete ("ph":"X") event into the calling
+ * thread's ring buffer. When tracing is disabled (the default) the
+ * guard reduces to one relaxed atomic load and never allocates, so
+ * instrumented hot paths cost nothing measurable; when enabled,
+ * recording is an uncontended per-thread mutex plus a ring-slot
+ * write — still allocation-free after the buffer's first use.
+ *
+ * Ring buffers are fixed-capacity and overwrite the oldest events on
+ * wrap (the dropped count is reported in the flush banner). Buffers
+ * are owned by the session, not the thread, so events survive worker
+ * threads that exit before the flush (e.g. dedicated parallelFor
+ * pools). Span names must be string literals (or otherwise outlive
+ * the session): buffers store the pointer.
+ *
+ * Tracing records wall-clock behavior only — it never feeds back
+ * into any algorithm, so schedules, bounds, and counters are bitwise
+ * identical with tracing on or off.
+ */
+
+#ifndef BALANCE_SUPPORT_TRACE_HH
+#define BALANCE_SUPPORT_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace balance
+{
+
+/** One completed span (internal; exposed for tests). */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    std::int64_t tsUs = 0;  //!< start, microseconds since session epoch
+    std::int64_t durUs = 0; //!< duration, microseconds
+    std::int64_t arg = -1;  //!< optional payload (-1 = none)
+};
+
+/** Process-wide trace recorder (see file comment). */
+class TraceSession
+{
+  public:
+    TraceSession();
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** Start recording spans. */
+    void enable() { on.store(true, std::memory_order_relaxed); }
+
+    /** Stop recording; buffered events stay until clear(). */
+    void disable() { on.store(false, std::memory_order_relaxed); }
+
+    /** @return true while spans are being recorded. */
+    bool
+    enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /** Record one completed span on the calling thread's buffer. */
+    void record(const char *name, std::int64_t tsUs, std::int64_t durUs,
+                std::int64_t arg);
+
+    /** @return microseconds since the session epoch. */
+    std::int64_t nowUs() const;
+
+    /**
+     * Merge every thread's buffer into one Chrome trace-event JSON
+     * document ({"traceEvents":[...]}), events ordered by start time.
+     */
+    std::string toJson();
+
+    /** toJson() into @p path (panics when the file cannot open). */
+    void writeTo(const std::string &path);
+
+    /** Drop all buffered events and dropped counts (tests). */
+    void clear();
+
+    /** @return events recorded and still buffered, across threads. */
+    std::size_t bufferedEvents();
+
+    /** @return events lost to ring wrap-around, across threads. */
+    long long droppedEvents();
+
+    /** Ring capacity per thread buffer. */
+    static constexpr std::size_t ringCapacity = 1 << 15;
+
+    /** The process-wide session driven by --trace-out. */
+    static TraceSession &global();
+
+  private:
+    struct Buffer
+    {
+        std::mutex mutex;
+        std::vector<TraceEvent> ring;
+        std::size_t next = 0;    //!< write cursor (mod capacity)
+        std::size_t count = 0;   //!< valid events, <= capacity
+        long long dropped = 0;   //!< overwritten events
+        int tid = 0;             //!< stable per-thread lane id
+        int workerId = -1;       //!< ThreadPool worker id at creation
+    };
+
+    Buffer &localBuffer();
+
+    /** Unique per session object, never reused (cache safety). */
+    std::uint64_t sessionId;
+    std::atomic<bool> on{false};
+    std::mutex registryMutex;
+    std::vector<std::unique_ptr<Buffer>> buffers;
+};
+
+/** RAII scoped span against the global session. */
+class TraceSpan
+{
+  public:
+    /**
+     * @param name Span label; must be a string literal (stored by
+     *        pointer).
+     * @param arg Optional integral payload shown as args.arg.
+     */
+    explicit TraceSpan(const char *name, std::int64_t arg = -1)
+    {
+        TraceSession &s = TraceSession::global();
+        if (s.enabled()) {
+            spanName = name;
+            spanArg = arg;
+            startUs = s.nowUs();
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (spanName) {
+            TraceSession &s = TraceSession::global();
+            s.record(spanName, startUs, s.nowUs() - startUs, spanArg);
+        }
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    const char *spanName = nullptr; //!< null = tracing was off
+    std::int64_t spanArg = -1;
+    std::int64_t startUs = 0;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_TRACE_HH

@@ -1,0 +1,102 @@
+#include "sched/decision_log.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "support/json.hh"
+
+namespace balance
+{
+namespace
+{
+
+DecisionLog
+sampleLog()
+{
+    DecisionLog log("bench0/sb3");
+    DecisionStep &s0 = log.beginStep(2);
+    s0.pick = 17;
+    s0.candidates = {5, 9, 17};
+    s0.rank = 1.25;
+    s0.reorders = 1;
+    s0.branches.push_back({0, 0.75, 6, 2, 3, DecisionOutcome::Selected});
+    s0.branches.push_back(
+        {1, 0.25, 9, 1, 0, DecisionOutcome::DelayedOk});
+    s0.tradeoffs.push_back({1, 0, 10, 8, 9});
+    s0.fullUpdates = 1;
+    s0.lightUpdates = 3;
+
+    DecisionStep &s1 = log.beginStep(3);
+    s1.pick = 4;
+    s1.candidates = {4};
+    return log;
+}
+
+TEST(DecisionLog, RecordsStepsInOrder)
+{
+    DecisionLog log = sampleLog();
+    ASSERT_EQ(log.steps().size(), 2u);
+    EXPECT_EQ(log.label(), "bench0/sb3");
+    EXPECT_EQ(log.steps()[0].cycle, 2);
+    EXPECT_EQ(log.steps()[0].pick, OpId(17));
+    EXPECT_EQ(log.steps()[1].cycle, 3);
+}
+
+TEST(DecisionLog, TextRenderingCarriesEveryField)
+{
+    std::string text = sampleLog().toText();
+    EXPECT_NE(text.find("superblock bench0/sb3: 2 steps"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cycle 2: pick 17 of 3 candidates [5 9 17]"),
+              std::string::npos);
+    EXPECT_NE(text.find("rank 1.25"), std::string::npos);
+    EXPECT_NE(text.find("reorders 1"), std::string::npos);
+    EXPECT_NE(text.find("branch 0"), std::string::npos);
+    EXPECT_NE(text.find("-> selected"), std::string::npos);
+    EXPECT_NE(text.find("-> delayedOK"), std::string::npos);
+    EXPECT_NE(text.find("(vs branch 0: pair=10 static=8 dyn=9)"),
+              std::string::npos);
+    EXPECT_NE(text.find("updates: full=1 light=3"), std::string::npos);
+}
+
+TEST(DecisionLog, JsonLinesAreIndividuallyValid)
+{
+    std::string lines = sampleLog().toJsonLines();
+    std::istringstream in(lines);
+    std::string line;
+    int n = 0;
+    while (std::getline(in, line)) {
+        EXPECT_TRUE(jsonLooksValid(line)) << line;
+        ++n;
+    }
+    EXPECT_EQ(n, 2) << "one JSON document per step";
+    EXPECT_NE(lines.find("\"sb\":\"bench0/sb3\""), std::string::npos);
+    EXPECT_NE(lines.find("\"outcome\":\"delayedOK\""),
+              std::string::npos);
+    EXPECT_NE(lines.find("\"pairBound\":10"), std::string::npos);
+}
+
+TEST(DecisionLog, OutcomeNamesAreStable)
+{
+    EXPECT_STREQ(decisionOutcomeName(DecisionOutcome::Selected),
+                 "selected");
+    EXPECT_STREQ(decisionOutcomeName(DecisionOutcome::Delayed),
+                 "delayed");
+    EXPECT_STREQ(decisionOutcomeName(DecisionOutcome::DelayedOk),
+                 "delayedOK");
+    EXPECT_STREQ(decisionOutcomeName(DecisionOutcome::Ignored),
+                 "ignored");
+}
+
+TEST(DecisionLog, EmptyLogRendersHeaderOnly)
+{
+    DecisionLog log("empty");
+    EXPECT_EQ(log.toText(), "superblock empty: 0 steps\n");
+    EXPECT_EQ(log.toJsonLines(), "");
+}
+
+} // namespace
+} // namespace balance

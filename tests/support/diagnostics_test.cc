@@ -1,0 +1,56 @@
+#include "support/diagnostics.hh"
+
+#include <gtest/gtest.h>
+
+namespace balance
+{
+namespace
+{
+
+TEST(Warn, WritesPrefixedMessageToStderr)
+{
+    ::testing::internal::CaptureStderr();
+    warn("resource table looks odd");
+    std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err, "warn: resource table looks odd\n");
+}
+
+TEST(Warn, StreamsArbitraryMessages)
+{
+    ::testing::internal::CaptureStderr();
+    warn(detail::concat("value ", 42, " out of range [", 0.5, ", ",
+                        true, ")"));
+    std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err, "warn: value 42 out of range [0.5, 1)\n");
+}
+
+TEST(DiagnosticsDeathTest, PanicAbortsWithMessageAndLocation)
+{
+    EXPECT_DEATH(bsPanic("invariant ", 7, " broken"),
+                 "panic: invariant 7 broken(.|\n)*diagnostics_test");
+}
+
+TEST(DiagnosticsDeathTest, AssertFailureRoutesThroughPanic)
+{
+    int widths = -1;
+    EXPECT_DEATH(bsAssert(widths >= 0, "bad widths ", widths),
+                 "assertion failed: widths >= 0 bad widths -1");
+}
+
+TEST(DiagnosticsDeathTest, AssertPassesSilently)
+{
+    // Must not abort nor print.
+    ::testing::internal::CaptureStderr();
+    bsAssert(2 + 2 == 4, "arithmetic");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(DiagnosticsDeathTest, FatalExitsCleanlyWithStatusOne)
+{
+    EXPECT_EXIT(bsFatal("cannot open '", "input.sb", "'"),
+                ::testing::ExitedWithCode(1),
+                "fatal: cannot open 'input.sb'");
+}
+
+} // namespace
+} // namespace balance

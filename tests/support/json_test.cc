@@ -50,6 +50,34 @@ TEST(JsonWriter, EscapesStrings)
     EXPECT_EQ(w.str(), "[\"a\\\"b\\\\c\\n\\t\"]");
 }
 
+TEST(JsonWriter, EscapesControlCharacters)
+{
+    // Every byte below 0x20 must leave the writer escaped — either a
+    // named escape or a \u00XX sequence — or the document is not
+    // valid JSON.
+    std::string all;
+    for (int c = 1; c < 0x20; ++c)
+        all += char(c);
+    JsonWriter w;
+    w.beginObject().key("s").value(all).endObject();
+    const std::string &doc = w.str();
+    EXPECT_TRUE(jsonLooksValid(doc)) << doc;
+    for (int c = 1; c < 0x20; ++c)
+        EXPECT_EQ(doc.find(char(c)), std::string::npos)
+            << "raw control byte " << c << " leaked into the document";
+    EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+    EXPECT_NE(doc.find("\\n"), std::string::npos);
+}
+
+TEST(JsonWriter, ControlCharacterRoundTripValidates)
+{
+    // NUL and arbitrary control bytes embedded mid-string.
+    std::string tricky("a\0b\x1f" "c\b", 6);
+    JsonWriter w;
+    w.beginArray().value(tricky).endArray();
+    EXPECT_TRUE(jsonLooksValid(w.str())) << w.str();
+}
+
 TEST(JsonWriter, OutputValidates)
 {
     JsonWriter w;
@@ -85,6 +113,19 @@ TEST(JsonLooksValid, RejectsMalformed)
     EXPECT_FALSE(jsonLooksValid("nul"));
     EXPECT_FALSE(jsonLooksValid("01"));
     EXPECT_FALSE(jsonLooksValid("\"unterminated"));
+}
+
+TEST(JsonLooksValid, RejectsRawControlCharactersInStrings)
+{
+    // RFC 8259 requires U+0000..U+001F to be escaped inside strings.
+    EXPECT_FALSE(jsonLooksValid("\"a\nb\""));
+    EXPECT_FALSE(jsonLooksValid("\"a\tb\""));
+    EXPECT_FALSE(jsonLooksValid(std::string("\"a\0b\"", 5)));
+    EXPECT_FALSE(jsonLooksValid("\"\x1f\""));
+    EXPECT_FALSE(jsonLooksValid("{\"k\x01\":1}"));
+    // The escaped spellings stay valid.
+    EXPECT_TRUE(jsonLooksValid("\"a\\nb\""));
+    EXPECT_TRUE(jsonLooksValid("\"a\\u0000b\""));
 }
 
 } // namespace

@@ -1,0 +1,151 @@
+#include "support/metrics.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+#include "support/parallel_for.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(Counter, AccumulatesAcrossAdds)
+{
+    MetricRegistry reg;
+    Counter &c = reg.counter("test.counter");
+    EXPECT_EQ(c.value(), 0);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+    EXPECT_EQ(c.name(), "test.counter");
+}
+
+TEST(Counter, RegistryReturnsSameInstanceByName)
+{
+    MetricRegistry reg;
+    Counter &a = reg.counter("same");
+    Counter &b = reg.counter("same");
+    EXPECT_EQ(&a, &b);
+    a.add(7);
+    EXPECT_EQ(b.value(), 7);
+}
+
+TEST(Gauge, SetAndObserveMax)
+{
+    MetricRegistry reg;
+    Gauge &g = reg.gauge("g");
+    g.set(10);
+    EXPECT_EQ(g.value(), 10);
+    g.observeMax(5);
+    EXPECT_EQ(g.value(), 10) << "observeMax never lowers";
+    g.observeMax(25);
+    EXPECT_EQ(g.value(), 25);
+}
+
+TEST(Histogram, PowerOfTwoBuckets)
+{
+    EXPECT_EQ(Histogram::bucketOf(-5), 0);
+    EXPECT_EQ(Histogram::bucketOf(0), 0);
+    EXPECT_EQ(Histogram::bucketOf(1), 1);
+    EXPECT_EQ(Histogram::bucketOf(2), 2);
+    EXPECT_EQ(Histogram::bucketOf(3), 2);
+    EXPECT_EQ(Histogram::bucketOf(4), 3);
+    EXPECT_EQ(Histogram::bucketOf(1023), 10);
+    EXPECT_EQ(Histogram::bucketOf(1024), 11);
+    // Huge values clamp into the last bucket instead of overflowing.
+    EXPECT_EQ(Histogram::bucketOf((1LL << 62)),
+              Histogram::numBuckets - 1);
+}
+
+TEST(Histogram, CountSumAndBuckets)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("h");
+    h.observe(0);
+    h.observe(1);
+    h.observe(3);
+    h.observe(3);
+    EXPECT_EQ(h.count(), 4);
+    EXPECT_EQ(h.sum(), 7);
+    std::vector<long long> b = h.buckets();
+    EXPECT_EQ(b[0], 1);
+    EXPECT_EQ(b[1], 1);
+    EXPECT_EQ(b[2], 2);
+}
+
+TEST(MetricRegistry, ResetZeroesKeepingRegistrations)
+{
+    MetricRegistry reg;
+    reg.counter("c").add(3);
+    reg.gauge("g").set(5);
+    reg.histogram("h").observe(9);
+    reg.reset();
+    EXPECT_EQ(reg.counter("c").value(), 0);
+    EXPECT_EQ(reg.gauge("g").value(), 0);
+    EXPECT_EQ(reg.histogram("h").count(), 0);
+    EXPECT_EQ(reg.histogram("h").sum(), 0);
+}
+
+TEST(MetricRegistry, SnapshotIsValidJsonInRegistrationOrder)
+{
+    MetricRegistry reg;
+    reg.counter("z.second").add(2);
+    reg.counter("a.first").add(1);
+    reg.gauge("mid").set(-3);
+    reg.histogram("spread").observe(5);
+
+    std::string doc = reg.snapshotJson();
+    EXPECT_TRUE(jsonLooksValid(doc)) << doc;
+    // Registration order, not alphabetical.
+    EXPECT_LT(doc.find("z.second"), doc.find("a.first"));
+    EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+    EXPECT_NE(doc.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(doc.find("\"mid\":-3"), std::string::npos);
+}
+
+TEST(MetricRegistry, SnapshotBytesStableAcrossEquivalentRuns)
+{
+    auto run = [] {
+        MetricRegistry reg;
+        reg.counter("runs").add(3);
+        reg.histogram("sizes").observe(17);
+        reg.gauge("peak").observeMax(12);
+        return reg.snapshotJson();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(MetricRegistry, ConcurrentAddsMergeExactly)
+{
+    MetricRegistry reg;
+    Counter &c = reg.counter("parallel.adds");
+    Histogram &h = reg.histogram("parallel.obs");
+    constexpr std::size_t n = 10000;
+    parallelFor(n, [&](std::size_t i) {
+        c.add(1);
+        h.observe((long long)(i % 7));
+    });
+    EXPECT_EQ(c.value(), (long long)(n));
+    EXPECT_EQ(h.count(), (long long)(n));
+    // Sharded sums are integral, so the merged totals are exact no
+    // matter which worker performed which increment.
+    long long expectedSum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        expectedSum += (long long)(i % 7);
+    EXPECT_EQ(h.sum(), expectedSum);
+}
+
+TEST(MetricRegistryDeathTest, KindMismatchPanics)
+{
+    MetricRegistry reg;
+    reg.counter("name");
+    EXPECT_DEATH(reg.gauge("name"), "different kind");
+}
+
+} // namespace
+} // namespace balance

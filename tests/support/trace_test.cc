@@ -1,0 +1,140 @@
+#include "support/trace.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/json.hh"
+#include "support/parallel_for.hh"
+
+namespace balance
+{
+namespace
+{
+
+/** Restore the global session to a pristine state around each test. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        TraceSession::global().disable();
+        TraceSession::global().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        TraceSession::global().disable();
+        TraceSession::global().clear();
+    }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing)
+{
+    TraceSession &s = TraceSession::global();
+    std::size_t before = s.bufferedEvents();
+    {
+        TraceSpan span("noop");
+    }
+    EXPECT_EQ(s.bufferedEvents(), before);
+}
+
+TEST_F(TraceTest, EnabledSpansLandInTheBuffer)
+{
+    TraceSession &s = TraceSession::global();
+    s.enable();
+    std::size_t before = s.bufferedEvents();
+    {
+        TraceSpan outer("outer", 7);
+        TraceSpan inner("inner");
+    }
+    s.disable();
+    EXPECT_EQ(s.bufferedEvents(), before + 2);
+}
+
+TEST_F(TraceTest, JsonIsValidAndCarriesTheSpanData)
+{
+    TraceSession &s = TraceSession::global();
+    s.enable();
+    {
+        TraceSpan span("unit_span", 42);
+    }
+    s.disable();
+    std::string doc = s.toJson();
+    EXPECT_TRUE(jsonLooksValid(doc)) << doc;
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"unit_span\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"arg\":42"), std::string::npos);
+    EXPECT_NE(doc.find("thread_name"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptySessionStillEmitsValidJson)
+{
+    std::string doc = TraceSession::global().toJson();
+    EXPECT_TRUE(jsonLooksValid(doc)) << doc;
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(TraceTest, DirectRecordRoundTrips)
+{
+    TraceSession &s = TraceSession::global();
+    s.enable();
+    s.record("manual", 10, 5, -1);
+    s.disable();
+    std::string doc = s.toJson();
+    EXPECT_NE(doc.find("\"manual\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ts\":10"), std::string::npos);
+    EXPECT_NE(doc.find("\"dur\":5"), std::string::npos);
+    // arg = -1 means "no payload": no args object for this event.
+    EXPECT_EQ(doc.find("\"arg\":-1"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsDropped)
+{
+    TraceSession &s = TraceSession::global();
+    s.enable();
+    const std::size_t extra = 10;
+    for (std::size_t i = 0; i < TraceSession::ringCapacity + extra; ++i)
+        s.record("spin", (std::int64_t)(i), 1, -1);
+    s.disable();
+    EXPECT_EQ(s.droppedEvents(), (long long)(extra));
+    // The buffer holds the *latest* ringCapacity events: the oldest
+    // surviving timestamp is exactly `extra`.
+    std::string doc = s.toJson();
+    EXPECT_TRUE(jsonLooksValid(doc)) << "huge doc omitted";
+    EXPECT_EQ(doc.find("\"ts\":5,"), std::string::npos);
+    EXPECT_NE(doc.find("\"ts\":10,"), std::string::npos);
+    EXPECT_NE(doc.find("trace_ring_dropped"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsEverything)
+{
+    TraceSession &s = TraceSession::global();
+    s.enable();
+    s.record("gone", 0, 1, -1);
+    s.disable();
+    s.clear();
+    EXPECT_EQ(s.bufferedEvents(), 0u);
+    EXPECT_EQ(s.droppedEvents(), 0);
+}
+
+TEST_F(TraceTest, ConcurrentSpansAllSurvive)
+{
+    TraceSession &s = TraceSession::global();
+    s.enable();
+    constexpr std::size_t n = 512;
+    parallelFor(n, [&](std::size_t i) {
+        TraceSpan span("worker_span", (std::int64_t)(i));
+    });
+    s.disable();
+    EXPECT_EQ(s.bufferedEvents(), n);
+    std::string doc = s.toJson();
+    EXPECT_TRUE(jsonLooksValid(doc));
+    EXPECT_NE(doc.find("worker_span"), std::string::npos);
+}
+
+} // namespace
+} // namespace balance

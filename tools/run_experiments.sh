@@ -46,7 +46,12 @@ extension_benches=(
 
 for b in "${paper_benches[@]}" "${extension_benches[@]}"; do
     echo "== $b (scale $scale) =="
+    # Each bench also dumps its metric-registry snapshot (counter /
+    # gauge / histogram totals, see docs/OBSERVABILITY.md) next to
+    # its table; splice_experiments.py links the snapshot under the
+    # spliced block.
     "$build/bench/$b" --scale "$scale" "${thread_args[@]}" \
+        --metrics-out "$out/$b.metrics.json" \
         | tee "$out/$b.txt"
     echo
 done

@@ -8,6 +8,7 @@ current contents of the matching results file, so the document can be
 regenerated after tools/run_experiments.sh.
 """
 
+import json
 import pathlib
 import re
 import sys
@@ -46,6 +47,25 @@ def body_of(path: pathlib.Path) -> str:
     return "\n".join(lines).strip("\n")
 
 
+def metrics_note(fname: str) -> str:
+    """A trailing pointer to the bench's metrics snapshot, if dumped.
+
+    tools/run_experiments.sh passes --metrics-out results/<bench>.metrics.json
+    to every bench; when that snapshot exists (and parses as JSON) the
+    spliced block gains a `*metrics: ...*` line so readers can find the
+    counter/gauge/histogram totals behind the table.
+    """
+    mf = RESULTS / (fname[: -len(".txt")] + ".metrics.json")
+    if not mf.exists():
+        return ""
+    try:
+        json.loads(mf.read_text())
+    except ValueError:
+        print(f"warning: {mf.name} is not valid JSON; not linking it")
+        return ""
+    return f"\n*metrics: results/{mf.name}*"
+
+
 def main() -> int:
     doc = DOC.read_text()
     missing = []
@@ -57,9 +77,12 @@ def main() -> int:
         if not src.exists():
             missing.append(fname)
             continue
-        block = placeholder + "\n```\n" + body_of(src) + "\n```"
-        # Replace the placeholder plus any previously spliced block.
-        pattern = re.escape(placeholder) + r"(\n```.*?```)?"
+        block = (placeholder + "\n```\n" + body_of(src) + "\n```" +
+                 metrics_note(fname))
+        # Replace the placeholder plus any previously spliced block
+        # and its optional metrics pointer line.
+        pattern = (re.escape(placeholder) +
+                   r"(\n```.*?```)?(\n\*metrics: [^\n]*\*)?")
         doc = re.sub(pattern, block.replace("\\", r"\\"), doc, count=1,
                      flags=re.S)
     DOC.write_text(doc)
