@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The run-report tool (docs/REPORTING.md):
+ *
+ *   report_tool run --out DIR [--scale S] [--seed N] [--config M]...
+ *                   [--threads N] [--with-best]
+ *       capture an instrumented run into DIR (manifest.json,
+ *       metrics.json, superblocks.jsonl, decisions.<machine>.jsonl);
+ *
+ *   report_tool render MANIFEST [-o FILE] [--top K]
+ *       render the Markdown report (stdout when -o is absent);
+ *
+ *   report_tool compare BASE CURRENT [--budget FILE]
+ *       compare two runs' metric snapshots; exits 1 when a budgeted
+ *       metric regresses beyond its tolerance, 0 otherwise.
+ *
+ * Exit codes: 0 success, 1 failure/regression, 2 usage error.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "report/attribution.hh"
+#include "report/capture.hh"
+#include "report/compare.hh"
+#include "report/manifest.hh"
+#include "report/render.hh"
+
+namespace
+{
+
+using namespace balance;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: report_tool run --out DIR [--scale S] [--seed N]\n"
+        "                       [--config MACHINE]... [--threads N]\n"
+        "                       [--with-best]\n"
+        "       report_tool render MANIFEST [-o FILE] [--top K]\n"
+        "       report_tool compare BASE CURRENT [--budget FILE]\n");
+    return 2;
+}
+
+/** mkdir -p (POSIX); false on failure. */
+bool
+makeDirs(const std::string &path)
+{
+    std::string partial;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        std::size_t slash = path.find('/', pos);
+        if (slash == std::string::npos)
+            slash = path.size();
+        partial = path.substr(0, slash);
+        pos = slash + 1;
+        if (partial.empty())
+            continue;
+        if (mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+/** Parse "--flag value"; exits via usage() on a missing value. */
+const char *
+argValue(int argc, char **argv, int *i)
+{
+    if (*i + 1 >= argc) {
+        std::fprintf(stderr, "report_tool: %s needs a value\n",
+                     argv[*i]);
+        std::exit(2);
+    }
+    return argv[++*i];
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    CaptureOptions opts;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out") {
+            opts.outDir = argValue(argc, argv, &i);
+        } else if (arg == "--scale") {
+            opts.suite.scale = std::atof(argValue(argc, argv, &i));
+        } else if (arg == "--seed") {
+            opts.suite.seed =
+                std::strtoull(argValue(argc, argv, &i), nullptr, 0);
+        } else if (arg == "--config") {
+            opts.machines.push_back(
+                MachineModel::byName(argValue(argc, argv, &i)));
+        } else if (arg == "--threads") {
+            opts.threads = std::atoi(argValue(argc, argv, &i));
+        } else if (arg == "--with-best") {
+            opts.withBest = true;
+        } else {
+            std::fprintf(stderr, "report_tool: unknown option %s\n",
+                         argv[i]);
+            return usage();
+        }
+    }
+    if (opts.outDir.empty())
+        return usage();
+    if (!makeDirs(opts.outDir)) {
+        std::fprintf(stderr, "report_tool: cannot create %s: %s\n",
+                     opts.outDir.c_str(), std::strerror(errno));
+        return 1;
+    }
+    CaptureResult result = captureRun(opts);
+    std::printf("captured %zu machine run(s) -> %s\n",
+                result.manifest.machines.size(),
+                result.manifestPath.c_str());
+    return 0;
+}
+
+int
+cmdRender(int argc, char **argv)
+{
+    std::string manifestPath;
+    std::string outPath;
+    AttributionOptions attrOpts;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-o") {
+            outPath = argValue(argc, argv, &i);
+        } else if (arg == "--top") {
+            attrOpts.topK = std::atoi(argValue(argc, argv, &i));
+        } else if (manifestPath.empty()) {
+            manifestPath = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (manifestPath.empty())
+        return usage();
+
+    RunArtifacts run;
+    std::string error;
+    if (!loadRunArtifacts(manifestPath, &run, &error)) {
+        std::fprintf(stderr, "report_tool: %s\n", error.c_str());
+        return 1;
+    }
+    AttributionReport attr = attributeRun(run, attrOpts);
+    std::string report = renderReport(run, attr);
+    if (outPath.empty()) {
+        std::fputs(report.c_str(), stdout);
+    } else if (!writeTextFile(outPath, report, &error)) {
+        std::fprintf(stderr, "report_tool: %s\n", error.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdCompare(int argc, char **argv)
+{
+    std::string basePath;
+    std::string curPath;
+    std::string budgetPath;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--budget") {
+            budgetPath = argValue(argc, argv, &i);
+        } else if (basePath.empty()) {
+            basePath = arg;
+        } else if (curPath.empty()) {
+            curPath = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (basePath.empty() || curPath.empty())
+        return usage();
+
+    std::string error;
+    RunArtifacts base;
+    RunArtifacts cur;
+    if (!loadRunArtifacts(basePath, &base, &error) ||
+        !loadRunArtifacts(curPath, &cur, &error)) {
+        std::fprintf(stderr, "report_tool: %s\n", error.c_str());
+        return 1;
+    }
+
+    PerfBudget budget;
+    if (!budgetPath.empty()) {
+        std::string text;
+        if (!readTextFile(budgetPath, &text, &error)) {
+            std::fprintf(stderr, "report_tool: %s\n", error.c_str());
+            return 1;
+        }
+        JsonParseResult parsed = parseJson(text);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "report_tool: %s: %s\n",
+                         budgetPath.c_str(),
+                         parsed.error.describe().c_str());
+            return 1;
+        }
+        if (!PerfBudget::fromJson(parsed.value, &budget, &error)) {
+            std::fprintf(stderr, "report_tool: %s: %s\n",
+                         budgetPath.c_str(), error.c_str());
+            return 1;
+        }
+    } else {
+        std::fprintf(stderr,
+                     "report_tool: no --budget given; comparison is "
+                     "informational only\n");
+    }
+
+    CompareResult result = compareRuns(base, cur, budget);
+    std::fputs(result.render().c_str(), stdout);
+    if (!result.ok) {
+        std::fprintf(stderr, "report_tool: budget regression\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd == "run")
+        return cmdRun(argc - 2, argv + 2);
+    if (cmd == "render")
+        return cmdRender(argc - 2, argv + 2);
+    if (cmd == "compare")
+        return cmdCompare(argc - 2, argv + 2);
+    return usage();
+}

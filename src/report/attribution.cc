@@ -1,0 +1,452 @@
+#include "report/attribution.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+constexpr double eps = 1e-9;
+
+/** Required numeric member of a row object. */
+double
+num(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    bsAssert(v && v->isNumber(), "attribution: row missing numeric '",
+             key, "'");
+    return v->asDouble();
+}
+
+/** Required integer member of a row object. */
+long long
+intNum(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    bsAssert(v && v->isInt(), "attribution: row missing integer '",
+             key, "'");
+    return v->asInt();
+}
+
+/** Required string member of a row object. */
+const std::string &
+str(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    bsAssert(v && v->isString(), "attribution: row missing string '",
+             key, "'");
+    return v->asString();
+}
+
+/** Tracks mean/max over added samples. */
+struct StageAccum
+{
+    double sum = 0.0;
+    double peak = 0.0;
+    long long n = 0;
+
+    void
+    add(double v)
+    {
+        sum += v;
+        peak = std::max(peak, v);
+        ++n;
+    }
+
+    LadderStageStats
+    stats() const
+    {
+        return {n > 0 ? sum / double(n) : 0.0, peak};
+    }
+};
+
+/** Per-machine working state during the row walk. */
+struct MachineAccum
+{
+    MachineAttribution out;
+    StageAccum rjToPw, pwToTw, twToAchieved;
+    /** freq-weighted WCT cycles per heuristic + the TW reference. */
+    std::vector<double> heuristicCycles;
+    double twCycles = 0.0;
+    /** Every superblock's attribution (outliers selected at the end). */
+    std::vector<SuperblockAttribution> all;
+};
+
+/** Decision records of one machine, keyed by superblock name. */
+using DecisionIndex =
+    std::map<std::string, std::vector<const JsonValue *>>;
+
+/**
+ * Render one decision record as a one-line excerpt:
+ * "cycle 3: pick 17 of 4; branch 1 delayed (needEach=2); delayedOK 2
+ * vs 0 (pair=9)".
+ */
+std::string
+renderExcerptLine(const JsonValue &rec)
+{
+    std::ostringstream out;
+    out << "cycle " << intNum(rec, "cycle") << ": pick "
+        << intNum(rec, "pick");
+    if (const JsonValue *cands = rec.find("candidates"))
+        out << " of " << cands->size();
+    if (const JsonValue *branches = rec.find("branches")) {
+        for (const JsonValue &b : branches->elements()) {
+            const std::string &outcome = str(b, "outcome");
+            if (outcome == "selected" || outcome == "ignored")
+                continue;
+            out << "; branch " << intNum(b, "branch") << " " << outcome
+                << " (needEach=" << intNum(b, "needEach")
+                << ", dynEarly=" << intNum(b, "dynEarly") << ")";
+        }
+    }
+    if (const JsonValue *tradeoffs = rec.find("tradeoffs")) {
+        for (const JsonValue &t : tradeoffs->elements()) {
+            out << "; delayedOK " << intNum(t, "delayed") << " vs "
+                << intNum(t, "against")
+                << " (pair=" << intNum(t, "pairBound") << ")";
+        }
+    }
+    return out.str();
+}
+
+/** True when the record carries a delay or a tradeoff grant. */
+bool
+recordIsInteresting(const JsonValue &rec)
+{
+    if (const JsonValue *tradeoffs = rec.find("tradeoffs")) {
+        if (tradeoffs->size() > 0)
+            return true;
+    }
+    if (const JsonValue *branches = rec.find("branches")) {
+        for (const JsonValue &b : branches->elements()) {
+            const std::string &outcome = str(b, "outcome");
+            if (outcome == "delayed" || outcome == "delayedOK")
+                return true;
+        }
+    }
+    return false;
+}
+
+/** Attach up to @p maxSteps excerpt lines to an outlier. */
+void
+attachExcerpt(SuperblockAttribution &sba, const DecisionIndex &index,
+              int maxSteps)
+{
+    auto it = index.find(sba.superblock);
+    if (it == index.end())
+        return;
+    // Prefer steps where something happened (a delay or a grant);
+    // pad with leading steps when too few are interesting.
+    std::vector<const JsonValue *> picked;
+    for (const JsonValue *rec : it->second) {
+        if (int(picked.size()) >= maxSteps)
+            break;
+        if (recordIsInteresting(*rec))
+            picked.push_back(rec);
+    }
+    for (const JsonValue *rec : it->second) {
+        if (int(picked.size()) >= maxSteps)
+            break;
+        if (std::find(picked.begin(), picked.end(), rec) ==
+            picked.end())
+            picked.push_back(rec);
+    }
+    for (const JsonValue *rec : picked)
+        sba.excerpt.push_back(renderExcerptLine(*rec));
+}
+
+/** Fold one machine's decision records for one superblock row. */
+void
+foldDecisions(SuperblockAttribution &sba, const DecisionIndex &index)
+{
+    auto it = index.find(sba.superblock);
+    if (it == index.end())
+        return;
+    long long outcomeCount = 0;
+    long long needEachTotal = 0;
+    for (const JsonValue *rec : it->second) {
+        ++sba.steps;
+        sba.reorders += intNum(*rec, "reorders");
+        if (const JsonValue *tradeoffs = rec->find("tradeoffs"))
+            sba.tradeoffGrants += (long long)(tradeoffs->size());
+        const JsonValue *branches = rec->find("branches");
+        if (!branches)
+            continue;
+        for (const JsonValue &b : branches->elements()) {
+            long long idx = intNum(b, "branch");
+            const std::string &outcome = str(b, "outcome");
+            long long needEach = intNum(b, "needEach");
+            ++outcomeCount;
+            needEachTotal += needEach;
+            for (BranchAttribution &ba : sba.branches) {
+                if (ba.idx != int(idx))
+                    continue;
+                ++ba.appearances;
+                ba.needEachSum += needEach;
+                if (outcome == "selected")
+                    ++ba.selected;
+                else if (outcome == "delayed")
+                    ++ba.delayed;
+                else if (outcome == "delayedOK")
+                    ++ba.delayedOk;
+                break;
+            }
+            if (outcome == "delayed")
+                ++sba.denials;
+        }
+    }
+    if (outcomeCount > 0) {
+        sba.denialRatio = double(sba.denials) / double(outcomeCount);
+        sba.meanNeedEach =
+            double(needEachTotal) / double(outcomeCount);
+    }
+}
+
+/**
+ * Classify the achieved-side gap (see header). The judgment runs
+ * over the late branches — issue > EarlyRC — because a branch
+ * scheduled at its bound contributes nothing to the gap; when no
+ * branch is late (possible only through float slack) the whole
+ * weighted set stands in.
+ */
+std::string
+classifyCause(const SuperblockAttribution &sba, bool haveDecisions)
+{
+    if (sba.twToAchieved <= eps)
+        return "at-bound";
+    if (sba.branches.empty() && !haveDecisions)
+        return "no-decision-data";
+
+    long long delayed = 0;
+    long long delayedOk = 0;
+    long long appearances = 0;
+    long long needEachSum = 0;
+    bool anyLate = false;
+    for (const BranchAttribution &ba : sba.branches) {
+        if (ba.weight <= eps || !ba.late)
+            continue;
+        anyLate = true;
+        delayed += ba.delayed;
+        delayedOk += ba.delayedOk;
+        appearances += ba.appearances;
+        needEachSum += ba.needEachSum;
+    }
+    if (!anyLate) {
+        for (const BranchAttribution &ba : sba.branches) {
+            if (ba.weight <= eps)
+                continue;
+            delayed += ba.delayed;
+            delayedOk += ba.delayedOk;
+            appearances += ba.appearances;
+            needEachSum += ba.needEachSum;
+        }
+    }
+
+    if (delayed > delayedOk)
+        return "denied-tradeoffs";
+    if (delayedOk > 0)
+        return "granted-tradeoffs";
+    // No tradeoff involvement: saturated resource demands point at
+    // pressure, otherwise the dependence chain itself is the limit.
+    double meanNeed = appearances > 0
+        ? double(needEachSum) / double(appearances)
+        : 0.0;
+    if (meanNeed >= 1.5)
+        return "resource-pressure";
+    return "dependence-height";
+}
+
+} // namespace
+
+const std::vector<double> &
+GapHistogram::edges()
+{
+    // Percent-of-TW gap buckets; the tail is open-ended.
+    static const std::vector<double> e = {0.0, 1.0, 2.0,
+                                          5.0, 10.0, 20.0};
+    return e;
+}
+
+void
+GapHistogram::add(double gapPercent)
+{
+    const std::vector<double> &e = edges();
+    if (counts.empty())
+        counts.assign(e.size() + 1, 0);
+    for (std::size_t i = 0; i < e.size(); ++i) {
+        if (gapPercent <= e[i] + eps) {
+            ++counts[i];
+            return;
+        }
+    }
+    ++counts.back();
+}
+
+AttributionReport
+attributeRun(const RunArtifacts &run, const AttributionOptions &opts)
+{
+    bsAssert(!run.superblocks.empty(),
+             "attribution: run has no per-superblock rows (was the "
+             "manifest captured with superblocks.jsonl?)");
+
+    // Index decision records per machine, keyed by superblock.
+    std::map<std::string, DecisionIndex> decisionsByMachine;
+    for (std::size_t i = 0; i < run.manifest.decisionLogs.size(); ++i) {
+        DecisionIndex &index =
+            decisionsByMachine[run.manifest.decisionLogs[i].machine];
+        for (const JsonValue &rec : run.decisions[i])
+            index[str(rec, "superblock")].push_back(&rec);
+    }
+
+    // Walk the rows, grouping by machine in first-appearance order
+    // (capture emits machines in manifest order).
+    std::vector<std::string> machineOrder;
+    std::map<std::string, MachineAccum> accums;
+    AttributionReport report;
+
+    for (const JsonValue &row : run.superblocks) {
+        const std::string &machine = str(row, "machine");
+        auto found = accums.find(machine);
+        if (found == accums.end()) {
+            machineOrder.push_back(machine);
+            found = accums.emplace(machine, MachineAccum()).first;
+            found->second.out.machine = machine;
+            found->second.heuristicCycles.assign(
+                run.manifest.heuristics.size(), 0.0);
+        }
+        MachineAccum &acc = found->second;
+
+        SuperblockAttribution sba;
+        sba.program = str(row, "program");
+        sba.superblock = str(row, "superblock");
+        sba.machine = machine;
+        sba.frequency = num(row, "frequency");
+        sba.ops = int(intNum(row, "ops"));
+
+        const JsonValue &bounds = row.get("bounds");
+        sba.rj = num(bounds, "rj");
+        sba.pw = num(bounds, "pw");
+        sba.tw = num(bounds, "tw");
+
+        // Achieved = the Balance heuristic's WCT (the run's subject);
+        // fall back to the first heuristic when Balance is absent.
+        const JsonValue &wct = row.get("wct");
+        const JsonValue *achieved = wct.find("Balance");
+        if (!achieved) {
+            bsAssert(wct.size() > 0, "attribution: empty wct row");
+            achieved = &wct.members().front().second;
+        }
+        sba.achieved = achieved->asDouble();
+
+        sba.rjToPw = std::max(0.0, sba.pw - sba.rj);
+        sba.pwToTw = std::max(0.0, sba.tw - sba.pw);
+        sba.twToAchieved = std::max(0.0, sba.achieved - sba.tw);
+        sba.weightedGap = sba.frequency * sba.twToAchieved;
+
+        if (const JsonValue *detail = row.find("branch_detail")) {
+            for (const JsonValue &b : detail->elements()) {
+                BranchAttribution ba;
+                ba.idx = int(intNum(b, "idx"));
+                ba.weight = num(b, "weight");
+                ba.depHeight = int(intNum(b, "dep_height"));
+                ba.rjEarly = int(intNum(b, "rj_early"));
+                ba.lcEarly = int(intNum(b, "lc_early"));
+                ba.issue = int(intNum(b, "issue"));
+                ba.late = ba.issue > ba.lcEarly;
+                sba.branches.push_back(ba);
+                // A weighted branch issuing at its dependence floor
+                // cannot be scheduled earlier by any tradeoff.
+                if (ba.weight > eps && ba.issue >= 0) {
+                    double ratio = ba.issue <= ba.depHeight
+                        ? 1.0
+                        : double(ba.depHeight) /
+                            double(std::max(1, ba.issue));
+                    sba.heightRatio =
+                        std::max(sba.heightRatio, ratio);
+                }
+            }
+        }
+
+        auto decIt = decisionsByMachine.find(machine);
+        bool haveDecisions = decIt != decisionsByMachine.end();
+        if (haveDecisions)
+            foldDecisions(sba, decIt->second);
+        sba.dominantCause = classifyCause(sba, haveDecisions);
+
+        // Machine aggregates.
+        MachineAttribution &out = acc.out;
+        ++out.superblocks;
+        if (sba.twToAchieved <= eps)
+            ++out.atBound;
+        acc.rjToPw.add(sba.rjToPw);
+        acc.pwToTw.add(sba.pwToTw);
+        acc.twToAchieved.add(sba.twToAchieved);
+        out.gapHistogram.add(
+            sba.tw > eps ? sba.twToAchieved / sba.tw * 100.0 : 0.0);
+        ++out.causes[sba.dominantCause];
+
+        const JsonValue &trips = row.get("trips");
+        for (const auto &kv : trips.members()) {
+            long long v = kv.second.asInt();
+            out.tripTotals[kv.first] += v;
+            report.tripTotals[kv.first] += v;
+        }
+        const JsonValue &bal = row.get("balance");
+        for (const auto &kv : bal.members())
+            out.balanceTotals[kv.first] += kv.second.asInt();
+
+        acc.twCycles += sba.frequency * sba.tw;
+        for (std::size_t h = 0; h < run.manifest.heuristics.size();
+             ++h) {
+            const JsonValue *hw =
+                wct.find(run.manifest.heuristics[h]);
+            if (hw)
+                acc.heuristicCycles[h] +=
+                    sba.frequency * hw->asDouble();
+        }
+
+        acc.all.push_back(std::move(sba));
+    }
+
+    // Finalize per machine: stats, frontier, top-K outliers.
+    for (const std::string &machine : machineOrder) {
+        MachineAccum &acc = accums[machine];
+        MachineAttribution &out = acc.out;
+        out.rjToPw = acc.rjToPw.stats();
+        out.pwToTw = acc.pwToTw.stats();
+        out.twToAchieved = acc.twToAchieved.stats();
+
+        for (std::size_t h = 0; h < run.manifest.heuristics.size();
+             ++h) {
+            double slowdown = acc.twCycles > eps
+                ? (acc.heuristicCycles[h] / acc.twCycles - 1.0) * 100.0
+                : 0.0;
+            out.heuristicSlowdown.emplace_back(
+                run.manifest.heuristics[h], slowdown);
+        }
+
+        std::stable_sort(acc.all.begin(), acc.all.end(),
+                         [](const SuperblockAttribution &a,
+                            const SuperblockAttribution &b) {
+                             return a.weightedGap > b.weightedGap;
+                         });
+        int k = std::min<int>(opts.topK, int(acc.all.size()));
+        auto decIt = decisionsByMachine.find(machine);
+        for (int i = 0; i < k; ++i) {
+            SuperblockAttribution &sba = acc.all[std::size_t(i)];
+            if (decIt != decisionsByMachine.end())
+                attachExcerpt(sba, decIt->second, opts.excerptSteps);
+            out.outliers.push_back(std::move(sba));
+        }
+
+        report.machines.push_back(std::move(out));
+    }
+    return report;
+}
+
+} // namespace balance

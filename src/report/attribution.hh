@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Bound-gap attribution: decompose, per superblock and per machine,
+ * the distance between what the Balance heuristic achieved and the
+ * relaxed lower bounds into the ladder
+ *
+ *     RJ -> PW -> TW -> achieved WCT
+ *
+ * (every stage is >= 0 by construction: the bounds are ordered and
+ * no valid schedule beats a valid bound), then explain the
+ * achieved-side gap from the decision log: how often branches were
+ * denied (delayed) vs granted (delayedOK) in pairwise tradeoffs, how
+ * saturated the NeedEach resource demands ran, and whether a branch
+ * was already issuing at its dependence height. The top weighted-gap
+ * outliers get decision-log excerpts inlined for drill-down
+ * (docs/REPORTING.md).
+ */
+
+#ifndef BALANCE_REPORT_ATTRIBUTION_HH
+#define BALANCE_REPORT_ATTRIBUTION_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report/manifest.hh"
+
+namespace balance
+{
+
+/** One branch's attribution within a superblock. */
+struct BranchAttribution
+{
+    int idx = -1;
+    double weight = 0.0;
+    int depHeight = 0;
+    int rjEarly = 0;
+    int lcEarly = 0;
+    int issue = -1;
+    /** Decision-log outcome tallies for this branch. */
+    long long selected = 0;
+    long long delayed = 0;
+    long long delayedOk = 0;
+    long long appearances = 0; //!< logged (step, branch) records
+    long long needEachSum = 0; //!< summed over logged steps
+    /** True when the branch issued after its EarlyRC bound — these
+     *  branches carry the achieved-side gap. */
+    bool late = false;
+};
+
+/** Ladder + cause analysis for one (superblock, machine). */
+struct SuperblockAttribution
+{
+    std::string program;
+    std::string superblock;
+    std::string machine;
+    double frequency = 1.0;
+    int ops = 0;
+
+    double rj = 0.0, pw = 0.0, tw = 0.0, achieved = 0.0;
+    double rjToPw = 0.0;      //!< PW - RJ (>= 0)
+    double pwToTw = 0.0;      //!< TW - PW (>= 0)
+    double twToAchieved = 0.0; //!< achieved - TW (>= 0)
+    double weightedGap = 0.0;  //!< frequency * twToAchieved
+
+    /** Decision-log aggregates (zero when no log was captured). */
+    long long steps = 0;
+    long long reorders = 0;
+    long long tradeoffGrants = 0; //!< delayedOK grants logged
+    long long denials = 0;        //!< delayed (not granted) outcomes
+    double denialRatio = 0.0;  //!< denials / branch outcomes
+    double meanNeedEach = 0.0; //!< avg NeedEach per (step, branch)
+    double heightRatio = 0.0;  //!< max_b depHeight / issue
+
+    /**
+     * Dominant cause of twToAchieved, judged on the *late* branches
+     * (issue > EarlyRC — the ones actually carrying the gap):
+     * "at-bound" (no gap), "denied-tradeoffs" (delayed outcomes
+     * dominate delayedOK), "granted-tradeoffs" (the pairwise pass
+     * deliberately traded these branches away), "resource-pressure"
+     * (high NeedEach saturation), "dependence-height" (no resource
+     * or tradeoff signal — the chain itself is the limit);
+     * "no-decision-data" when neither the decision log nor branch
+     * detail can say. A heuristic labeling, not a proof.
+     */
+    std::string dominantCause;
+
+    std::vector<BranchAttribution> branches;
+    /** Rendered decision-log excerpt lines (outliers only). */
+    std::vector<std::string> excerpt;
+};
+
+/** Mean/max of one ladder stage over a machine's superblocks. */
+struct LadderStageStats
+{
+    double mean = 0.0;
+    double max = 0.0;
+};
+
+/** Histogram of percent gaps; edges fixed for rendering. */
+struct GapHistogram
+{
+    /** Bucket upper edges in percent; last bucket is open-ended. */
+    static const std::vector<double> &edges();
+
+    /** One count per edges() entry plus the open-ended tail. */
+    std::vector<long long> counts;
+
+    /** Account one percent-gap observation. */
+    void add(double gapPercent);
+};
+
+/** Attribution aggregated over one machine configuration. */
+struct MachineAttribution
+{
+    std::string machine;
+    int superblocks = 0;
+    int atBound = 0; //!< achieved == TW (within epsilon)
+
+    LadderStageStats rjToPw;
+    LadderStageStats pwToTw;
+    LadderStageStats twToAchieved;
+    GapHistogram gapHistogram; //!< percent of TW, achieved side
+
+    /** Table 2 trip totals summed over this machine's rows. */
+    std::map<std::string, long long> tripTotals;
+    /** Balance engine cost totals over this machine's rows. */
+    std::map<std::string, long long> balanceTotals;
+    /**
+     * Cost/quality frontier: per heuristic, frequency-weighted mean
+     * slowdown over the TW bound (percent).
+     */
+    std::vector<std::pair<std::string, double>> heuristicSlowdown;
+    /** Dominant-cause tallies over this machine's superblocks. */
+    std::map<std::string, long long> causes;
+    /** Top-K weighted-gap outliers, largest first. */
+    std::vector<SuperblockAttribution> outliers;
+};
+
+/** Options for attributeRun. */
+struct AttributionOptions
+{
+    int topK = 5; //!< outliers kept per machine
+    int excerptSteps = 3; //!< decision steps excerpted per outlier
+};
+
+/** The full attribution result. */
+struct AttributionReport
+{
+    std::vector<MachineAttribution> machines;
+    /** Trip totals over ALL rows (must equal the snapshot). */
+    std::map<std::string, long long> tripTotals;
+};
+
+/**
+ * Run the attribution pass over a loaded run. Requires the
+ * per-superblock rows; decision logs are optional (causes degrade
+ * to the bound-side signals without them).
+ */
+AttributionReport attributeRun(const RunArtifacts &run,
+                               const AttributionOptions &opts = {});
+
+} // namespace balance
+
+#endif // BALANCE_REPORT_ATTRIBUTION_HH

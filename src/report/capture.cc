@@ -1,0 +1,348 @@
+#include "report/capture.hh"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+
+#include "bounds/bound_scratch.hh"
+#include "core/balance_scheduler.hh"
+#include "eval/experiment.hh"
+#include "sched/decision_log.hh"
+#include "sched/priorities.hh"
+#include "support/diagnostics.hh"
+#include "support/metrics.hh"
+#include "support/parallel_for.hh"
+#include "support/trace.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** One branch's detail in the row dump. */
+struct BranchRow
+{
+    int idx = 0;
+    double weight = 0.0;
+    int depHeight = 0; //!< EarlyDC at the branch (dependence floor)
+    int rjEarly = 0;   //!< per-branch Rim & Jain bound
+    int lcEarly = 0;   //!< per-branch EarlyRC
+    int issue = -1;    //!< Balance's achieved issue cycle
+    int latency = 1;
+};
+
+/** Everything captured for one (superblock, machine) pair. */
+struct SbCapture
+{
+    WctBounds bounds;
+    double tightest = 0.0;
+    std::vector<double> wct; //!< per heuristic, set.names() order
+    /** Table 2 trips: cp, hu, rj, lc, lc_reverse, pw, tw. */
+    std::array<long long, 7> trips{};
+    SchedulerStats bal;
+    std::string decisionLines; //!< Balance decision log, JSON lines
+    std::vector<BranchRow> branches;
+};
+
+/** Row/metric key order for the trip counters. */
+constexpr const char *tripKeys[7] = {"cp", "hu", "rj", "lc",
+                                     "lc_reverse", "pw", "tw"};
+constexpr const char *tripMetricNames[7] = {
+    "bounds.trips.cp", "bounds.trips.hu",         "bounds.trips.rj",
+    "bounds.trips.lc", "bounds.trips.lc_reverse", "bounds.trips.pw",
+    "bounds.trips.tw"};
+
+/**
+ * Evaluate one superblock with full accounting. Mirrors
+ * eval/experiment.cc evaluateSuperblock, but returns the raw
+ * integers (trip counters, Balance stats, decision log, per-branch
+ * detail) instead of folding them into the global registry.
+ */
+SbCapture
+captureSuperblock(const Superblock &sb, const MachineModel &machine,
+                  const HeuristicSet &set, const BoundConfig &config)
+{
+    GraphContext ctx(sb);
+    BoundScratch scratch(machine);
+    BoundCounterSet counters;
+    BoundsToolkit toolkit(ctx, machine, config, &counters, &scratch);
+
+    SbCapture cap;
+
+    // The six bounds, reusing the toolkit's LC/LateRC/PW artifacts.
+    cap.bounds.cp = wctFromBranchEarly(sb, cpEarly(ctx));
+    cap.bounds.hu = wctFromBranchEarly(
+        sb, huEarly(ctx, machine, &counters.hu));
+    std::vector<int> rjBranches = rjEarly(ctx, machine, &counters.rj);
+    cap.bounds.rj = wctFromBranchEarly(sb, rjBranches);
+    std::vector<int> lcBranches;
+    lcBranches.reserve(std::size_t(sb.numBranches()));
+    for (OpId b : sb.branches())
+        lcBranches.push_back(toolkit.earlyRC()[std::size_t(b)]);
+    cap.bounds.lc = wctFromBranchEarly(sb, lcBranches);
+    if (toolkit.pairwise()) {
+        cap.bounds.pw = toolkit.pairwise()->superblockWct();
+        if (config.computeTriplewise) {
+            cap.bounds.tw = computeTriplewise(
+                                ctx, machine, toolkit.earlyRC(),
+                                toolkit.lateRCAll(), *toolkit.pairwise(),
+                                config.triplewise, &counters.tw,
+                                &scratch)
+                                .wct;
+        } else {
+            cap.bounds.tw = cap.bounds.pw;
+        }
+    } else {
+        cap.bounds.pw = cap.bounds.lc;
+        cap.bounds.tw = cap.bounds.lc;
+    }
+    cap.tightest = cap.bounds.tightest();
+
+    // Table 2 accounting: CP's cost is the dependence analysis — one
+    // trip per (op + edge, branch) pair (eval/bounds_eval.cc).
+    long long cpTrips = (long long)(sb.numBranches()) *
+                        (sb.numOps() + sb.numEdges());
+    cap.trips = {cpTrips,          counters.hu.trips,
+                 counters.rj.trips, counters.lc.trips,
+                 counters.lcReverse.trips, counters.pw.trips,
+                 counters.tw.trips};
+
+    // Heuristics; Balance reuses the toolkit and feeds the log.
+    DecisionLog dlog(sb.name());
+    Schedule balanceSchedule;
+    bool haveBalance = false;
+    for (const auto &sched : set.primaries) {
+        Schedule s = [&] {
+            auto *bal =
+                dynamic_cast<const BalanceScheduler *>(sched.get());
+            if (bal && bal->config().useRcBounds) {
+                ScheduleRequest req;
+                req.stats = &cap.bal;
+                req.decisionLog = &dlog;
+                Schedule out =
+                    bal->runWithToolkit(ctx, machine, toolkit, req);
+                balanceSchedule = out;
+                haveBalance = true;
+                return out;
+            }
+            return sched->run(ctx, machine, {});
+        }();
+        s.validate(sb, machine);
+        cap.wct.push_back(s.wct(sb));
+    }
+
+    // Best: the primaries' envelope plus the 11x11 combo grid.
+    if (set.withBest) {
+        double bestWct = *std::min_element(cap.wct.begin(),
+                                           cap.wct.end());
+        std::vector<double> cp = normalizeKey(criticalPathKey(ctx));
+        std::vector<double> sr =
+            normalizeKey(successiveRetirementKey(ctx));
+        std::vector<double> dh =
+            normalizeKey(dhasyKey(ctx, steeringWeights(sb, {})));
+        for (int a = 0; a <= 10; ++a) {
+            for (int b = 0; b <= 10; ++b) {
+                double fa = a / 10.0;
+                double fb = b / 10.0;
+                double fc = std::max(0.0, 1.0 - fa - fb);
+                Schedule s = listSchedule(
+                    sb, machine, combineKeys(cp, fa, sr, fb, dh, fc));
+                bestWct = std::min(bestWct, s.wct(sb));
+            }
+        }
+        cap.wct.push_back(bestWct);
+    }
+
+    for (double w : cap.wct) {
+        bsAssert(w >= cap.tightest - 1e-6,
+                 "schedule beats the lower bound on '", sb.name(),
+                 "': wct ", w, " < bound ", cap.tightest);
+    }
+
+    cap.decisionLines = dlog.toJsonLines();
+
+    // Per-branch detail off the achieved (Balance) schedule.
+    for (int bi = 0; bi < sb.numBranches(); ++bi) {
+        OpId b = sb.branches()[std::size_t(bi)];
+        BranchRow row;
+        row.idx = bi;
+        row.weight = sb.exitProb(b);
+        row.depHeight = ctx.earlyDC()[std::size_t(b)];
+        row.rjEarly = rjBranches[std::size_t(bi)];
+        row.lcEarly = lcBranches[std::size_t(bi)];
+        row.issue = haveBalance ? balanceSchedule.issueOf(b) : -1;
+        row.latency = sb.op(b).latency;
+        cap.branches.push_back(row);
+    }
+    return cap;
+}
+
+/** Serialize one row (one JSON line, newline-terminated). */
+std::string
+renderRow(const std::string &program, const Superblock &sb,
+          const std::string &machine,
+          const std::vector<std::string> &names, const SbCapture &cap)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("program").value(program);
+    w.key("superblock").value(sb.name());
+    w.key("machine").value(machine);
+    w.key("ops").value(sb.numOps());
+    w.key("branches").value(sb.numBranches());
+    w.key("frequency").value(sb.execFrequency());
+    w.key("bounds").beginObject()
+        .key("cp").value(cap.bounds.cp)
+        .key("hu").value(cap.bounds.hu)
+        .key("rj").value(cap.bounds.rj)
+        .key("lc").value(cap.bounds.lc)
+        .key("pw").value(cap.bounds.pw)
+        .key("tw").value(cap.bounds.tw)
+        .key("tightest").value(cap.tightest)
+        .endObject();
+    w.key("wct").beginObject();
+    for (std::size_t h = 0; h < names.size(); ++h)
+        w.key(names[h]).value(cap.wct[h]);
+    w.endObject();
+    w.key("trips").beginObject();
+    for (int i = 0; i < 7; ++i)
+        w.key(tripKeys[i]).value(cap.trips[std::size_t(i)]);
+    w.endObject();
+    w.key("balance").beginObject()
+        .key("decisions").value(cap.bal.decisions)
+        .key("loop_trips").value(cap.bal.loopTrips)
+        .key("full_updates").value(cap.bal.fullUpdates)
+        .key("light_updates").value(cap.bal.lightUpdates)
+        .key("selection_passes").value(cap.bal.selectionPasses)
+        .key("candidates").value(cap.bal.candidatesSum)
+        .endObject();
+    w.key("branch_detail").beginArray();
+    for (const BranchRow &br : cap.branches) {
+        w.beginObject()
+            .key("idx").value(br.idx)
+            .key("weight").value(br.weight)
+            .key("dep_height").value(br.depHeight)
+            .key("rj_early").value(br.rjEarly)
+            .key("lc_early").value(br.lcEarly)
+            .key("issue").value(br.issue)
+            .key("latency").value(br.latency)
+            .endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+/** Fold one row's integers into the local registry. */
+void
+foldRow(MetricRegistry &reg, const SbCapture &cap)
+{
+    reg.counter("report.superblocks").add(1);
+    for (int i = 0; i < 7; ++i)
+        reg.counter(tripMetricNames[i]).add(cap.trips[std::size_t(i)]);
+    reg.counter("sched.balance.decisions").add(cap.bal.decisions);
+    reg.counter("sched.balance.loop_trips").add(cap.bal.loopTrips);
+    reg.counter("sched.balance.full_updates").add(cap.bal.fullUpdates);
+    reg.counter("sched.balance.light_updates")
+        .add(cap.bal.lightUpdates);
+    reg.counter("sched.balance.selection_passes")
+        .add(cap.bal.selectionPasses);
+    reg.counter("sched.balance.candidates").add(cap.bal.candidatesSum);
+    reg.histogram("sched.balance.decisions_per_superblock")
+        .observe(cap.bal.decisions);
+}
+
+} // namespace
+
+CaptureResult
+captureRun(const CaptureOptions &opts)
+{
+    bsAssert(!opts.outDir.empty(), "captureRun: outDir is required");
+    TraceSpan span("captureRun");
+
+    std::vector<MachineModel> machines = opts.machines;
+    if (machines.empty())
+        machines.push_back(MachineModel::gp4());
+    HeuristicSet set = HeuristicSet::paperSet(opts.withBest);
+
+    std::vector<BenchmarkProgram> suite = buildSuite(opts.suite);
+    std::vector<const Superblock *> flat;
+    std::vector<const std::string *> flatProgram;
+    for (const BenchmarkProgram &prog : suite) {
+        for (const Superblock &sb : prog.superblocks) {
+            flat.push_back(&sb);
+            flatProgram.push_back(&prog.name);
+        }
+    }
+
+    RunManifest man;
+    man.bench = "report_tool";
+    man.seed = opts.suite.seed;
+    man.scale = opts.suite.scale;
+    man.threads = opts.threads;
+    man.withBest = opts.withBest;
+    man.heuristics = set.names();
+    man.metricsPath = "metrics.json";
+    man.superblocksPath = "superblocks.jsonl";
+
+    // The local registry: folded serially below, never global().
+    MetricRegistry reg;
+    std::string rows;
+    std::string error;
+
+    for (const MachineModel &machine : machines) {
+        man.machines.push_back(machine.name());
+        auto t0 = std::chrono::steady_clock::now();
+
+        // Parallel phase into pre-sized slots; captureSuperblock is
+        // a pure function of its arguments.
+        std::vector<SbCapture> slots(flat.size());
+        parallelFor(
+            flat.size(),
+            [&](std::size_t i) {
+                slots[i] = captureSuperblock(*flat[i], machine, set,
+                                             opts.bounds);
+            },
+            opts.threads);
+
+        // Serial suite-order reduction: rows, decision lines, and
+        // the registry fold all walk the same slots in the same
+        // order, so snapshot counters equal row sums bit for bit.
+        std::string decisionLines;
+        for (std::size_t i = 0; i < flat.size(); ++i) {
+            const SbCapture &cap = slots[i];
+            rows += renderRow(*flatProgram[i], *flat[i],
+                              machine.name(), man.heuristics, cap);
+            decisionLines += cap.decisionLines;
+            foldRow(reg, cap);
+        }
+
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        man.wall.push_back({machine.name(), ms});
+
+        std::string logName = "decisions." + machine.name() + ".jsonl";
+        bsAssert(writeTextFile(opts.outDir + "/" + logName,
+                               decisionLines, &error),
+                 "captureRun: ", error);
+        man.decisionLogs.push_back({machine.name(), logName});
+    }
+
+    bsAssert(writeTextFile(opts.outDir + "/" + man.metricsPath,
+                           reg.snapshotJson(), &error),
+             "captureRun: ", error);
+    bsAssert(writeTextFile(opts.outDir + "/" + man.superblocksPath,
+                           rows, &error),
+             "captureRun: ", error);
+
+    CaptureResult result;
+    result.manifestPath = opts.outDir + "/manifest.json";
+    bsAssert(writeTextFile(result.manifestPath, man.toJson(), &error),
+             "captureRun: ", error);
+    result.manifest = std::move(man);
+    return result;
+}
+
+} // namespace balance

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Run capture: evaluate the suite with full per-superblock
+ * instrumentation and write a self-contained run directory — the
+ * manifest, a JSON-lines row per (superblock, machine), the Balance
+ * decision logs, and a metrics snapshot whose counters equal the row
+ * sums bit for bit (the report pipeline's end-to-end identity,
+ * pinned by tests/report/report_pipeline_test).
+ *
+ * Capture owns a *local* MetricRegistry: the identical integers that
+ * go into each row are folded — serially, in suite order — into that
+ * registry, so the snapshot is a pure function of the rows and never
+ * touches the process-global telemetry state. Like every eval
+ * driver, the parallel phase fills pre-sized slots and the reduction
+ * is serial, so all artifacts are bitwise identical for any thread
+ * count.
+ */
+
+#ifndef BALANCE_REPORT_CAPTURE_HH
+#define BALANCE_REPORT_CAPTURE_HH
+
+#include <string>
+#include <vector>
+
+#include "bounds/superblock_bounds.hh"
+#include "machine/machine_model.hh"
+#include "report/manifest.hh"
+#include "workload/suite.hh"
+
+namespace balance
+{
+
+/** Options for captureRun. */
+struct CaptureOptions
+{
+    SuiteOptions suite;
+    /** Machine configurations to run; empty = GP4. */
+    std::vector<MachineModel> machines;
+    BoundConfig bounds;
+    /** Include the Best envelope (121 extra schedules per SB). */
+    bool withBest = false;
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    int threads = 0;
+    /** Existing directory the artifacts are written into. */
+    std::string outDir;
+};
+
+/** What captureRun produced. */
+struct CaptureResult
+{
+    RunManifest manifest;
+    std::string manifestPath; //!< outDir + "/manifest.json"
+};
+
+/**
+ * Evaluate the suite on every configured machine and write the run
+ * directory (see file comment): manifest.json, metrics.json,
+ * superblocks.jsonl, and one decisions.<machine>.jsonl per machine.
+ * Panics on I/O failure (the harness treats that as fatal).
+ */
+CaptureResult captureRun(const CaptureOptions &opts);
+
+} // namespace balance
+
+#endif // BALANCE_REPORT_CAPTURE_HH

@@ -1,0 +1,211 @@
+#include "report/compare.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/table.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** @return true when @p pattern (possibly glob) matches @p name. */
+bool
+patternMatches(const std::string &pattern, const std::string &name)
+{
+    if (!pattern.empty() && pattern.back() == '*') {
+        return name.compare(0, pattern.size() - 1, pattern, 0,
+                            pattern.size() - 1) == 0;
+    }
+    return pattern == name;
+}
+
+/** Specificity rank: exact = huge, glob = prefix length. */
+std::size_t
+specificity(const std::string &pattern)
+{
+    if (!pattern.empty() && pattern.back() == '*')
+        return pattern.size() - 1;
+    return std::size_t(-1);
+}
+
+/** Flatten one snapshot group ("counters"/"gauges") into lines. */
+void
+collectGroup(const JsonValue &snapshot, const char *group,
+             std::vector<std::pair<std::string, double>> *out)
+{
+    if (!snapshot.isObject())
+        return;
+    const JsonValue *members = snapshot.find(group);
+    if (!members || !members->isObject())
+        return;
+    for (const auto &kv : members->members()) {
+        if (kv.second.isNumber())
+            out->emplace_back(kv.first, kv.second.asDouble());
+    }
+}
+
+} // namespace
+
+bool
+PerfBudget::toleranceFor(const std::string &metric, double *out) const
+{
+    const Entry *best = nullptr;
+    for (const Entry &e : metrics) {
+        if (!patternMatches(e.pattern, metric))
+            continue;
+        if (!best ||
+            specificity(e.pattern) > specificity(best->pattern))
+            best = &e;
+    }
+    if (!best)
+        return false;
+    *out = best->tolerancePct;
+    return true;
+}
+
+bool
+PerfBudget::fromJson(const JsonValue &doc, PerfBudget *out,
+                     std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = "budget: " + msg;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("document is not an object");
+
+    PerfBudget b;
+    if (const JsonValue *wall = doc.find("wall_time_tolerance_pct")) {
+        if (!wall->isNumber())
+            return fail("wall_time_tolerance_pct is not a number");
+        b.wallTolerancePct = wall->asDouble();
+    }
+    const JsonValue *metrics = doc.find("metrics");
+    if (!metrics || !metrics->isObject())
+        return fail("missing 'metrics' object");
+    for (const auto &kv : metrics->members()) {
+        if (!kv.second.isNumber())
+            return fail("non-numeric tolerance for '" + kv.first +
+                        "'");
+        b.metrics.push_back({kv.first, kv.second.asDouble()});
+    }
+    *out = std::move(b);
+    return true;
+}
+
+std::string
+CompareResult::render() const
+{
+    TextTable table;
+    table.setHeader(
+        {"metric", "base", "current", "tolerance", "verdict"});
+    for (const CompareLine &l : lines) {
+        std::string tol =
+            l.gated ? fmtPercent(l.tolerancePct, 1) : "-";
+        std::string verdict = !l.gated
+            ? "info"
+            : (l.regressed ? "REGRESSED" : "ok");
+        auto fmt = [](double v) {
+            // Counters print as integers, walls with a fraction.
+            return v == std::floor(v) ? fmtCount((long long)(v))
+                                      : fmtDouble(v, 1);
+        };
+        table.addRow(
+            {l.metric, fmt(l.base), fmt(l.current), tol, verdict});
+    }
+    return table.render();
+}
+
+CompareResult
+compareRuns(const RunArtifacts &base, const RunArtifacts &current,
+            const PerfBudget &budget)
+{
+    CompareResult result;
+
+    std::vector<std::pair<std::string, double>> baseVals;
+    collectGroup(base.metrics, "counters", &baseVals);
+    collectGroup(base.metrics, "gauges", &baseVals);
+    std::vector<std::pair<std::string, double>> curVals;
+    collectGroup(current.metrics, "counters", &curVals);
+    collectGroup(current.metrics, "gauges", &curVals);
+
+    auto lookup = [](const std::vector<std::pair<std::string, double>>
+                         &vals,
+                     const std::string &name, double *out) {
+        for (const auto &kv : vals) {
+            if (kv.first == name) {
+                *out = kv.second;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    auto addLine = [&](const std::string &metric, double baseV,
+                       double curV, bool present, double tolOverride,
+                       bool hasOverride) {
+        CompareLine line;
+        line.metric = metric;
+        line.base = baseV;
+        line.current = curV;
+        double tol = 0.0;
+        bool gated;
+        if (hasOverride) {
+            gated = tolOverride >= 0.0;
+            if (gated)
+                tol = tolOverride;
+        } else {
+            gated = budget.toleranceFor(metric, &tol);
+        }
+        line.gated = gated;
+        line.tolerancePct = tol;
+        if (gated) {
+            double limit = baseV * (1.0 + tol / 100.0);
+            line.regressed = !present || curV > limit + 1e-9;
+            if (line.regressed)
+                result.ok = false;
+        }
+        result.lines.push_back(std::move(line));
+    };
+
+    // Base-snapshot order first: a gated metric that disappeared
+    // from the current run must still be reported (and fails).
+    for (const auto &kv : baseVals) {
+        double cur = 0.0;
+        bool present = lookup(curVals, kv.first, &cur);
+        addLine(kv.first, kv.second, cur, present, 0.0, false);
+    }
+    // Metrics new in the current run are informational.
+    for (const auto &kv : curVals) {
+        double dummy;
+        if (!lookup(baseVals, kv.first, &dummy)) {
+            CompareLine line;
+            line.metric = kv.first;
+            line.current = kv.second;
+            result.lines.push_back(std::move(line));
+        }
+    }
+
+    // Wall clocks, gated only when the budget opts in: CI machines
+    // are noisy, so the tolerance here is deliberately generous.
+    for (const MachineWall &mw : base.manifest.wall) {
+        double cur = 0.0;
+        bool present = false;
+        for (const MachineWall &cw : current.manifest.wall) {
+            if (cw.machine == mw.machine) {
+                cur = cw.ms;
+                present = true;
+                break;
+            }
+        }
+        addLine("wall_ms." + mw.machine, mw.ms, cur, present,
+                budget.wallTolerancePct, true);
+    }
+    return result;
+}
+
+} // namespace balance

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Run comparison against a perf budget: walk two runs' metric
+ * snapshots, gate the budgeted counters (and, optionally, per-machine
+ * wall clocks) with per-metric tolerances, and report every
+ * regression. This is the CI report-gate (docs/REPORTING.md): the
+ * deterministic counters — relaxation trips, Balance loop trips —
+ * carry zero tolerance, so any algorithmic cost regression on a
+ * fixed seed/scale/config fails the gate even when wall time hides
+ * it in noise.
+ */
+
+#ifndef BALANCE_REPORT_COMPARE_HH
+#define BALANCE_REPORT_COMPARE_HH
+
+#include <string>
+#include <vector>
+
+#include "report/manifest.hh"
+
+namespace balance
+{
+
+/**
+ * Per-metric tolerance budget. Budget names match snapshot counter
+ * and gauge names, either exactly or as a prefix glob with a
+ * trailing '*' ("bounds.trips.*"); the most specific match wins
+ * (exact beats glob, longer glob beats shorter). Metrics without a
+ * match are compared informationally but never gate.
+ */
+struct PerfBudget
+{
+    struct Entry
+    {
+        std::string pattern;
+        double tolerancePct = 0.0;
+    };
+    std::vector<Entry> metrics;
+    /** Wall-clock tolerance; negative = wall time never gates. */
+    double wallTolerancePct = -1.0;
+
+    /** @return the tolerance for @p metric, or false when ungated. */
+    bool toleranceFor(const std::string &metric, double *out) const;
+
+    /**
+     * Parse the budget document:
+     * {"wall_time_tolerance_pct": 300, "metrics": {"name": pct, ...}}.
+     */
+    static bool fromJson(const JsonValue &doc, PerfBudget *out,
+                         std::string *error);
+};
+
+/** One compared metric. */
+struct CompareLine
+{
+    std::string metric;
+    double base = 0.0;
+    double current = 0.0;
+    bool gated = false;     //!< a budget entry matched
+    bool regressed = false; //!< current exceeds base * (1 + tol)
+    double tolerancePct = 0.0;
+};
+
+/** The comparison verdict. */
+struct CompareResult
+{
+    std::vector<CompareLine> lines; //!< snapshot order, walls last
+    bool ok = true;                 //!< no gated metric regressed
+
+    /** Fixed-width summary table (regressions marked). */
+    std::string render() const;
+};
+
+/**
+ * Compare @p current against @p base under @p budget. Counters and
+ * gauges come from the runs' metric snapshots; wall clocks from the
+ * manifests. A gated metric missing from @p current while present
+ * in @p base is itself a regression (the gate cannot silently lose
+ * coverage); metrics new in @p current are informational.
+ */
+CompareResult compareRuns(const RunArtifacts &base,
+                          const RunArtifacts &current,
+                          const PerfBudget &budget);
+
+} // namespace balance
+
+#endif // BALANCE_REPORT_COMPARE_HH

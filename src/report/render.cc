@@ -1,0 +1,190 @@
+#include "report/render.hh"
+
+#include <sstream>
+
+#include "support/table.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** Append a fenced fixed-width block. */
+void
+fence(std::ostringstream &out, const std::string &body)
+{
+    out << "```\n" << body << "```\n\n";
+}
+
+/** Label of one gap-histogram bucket. */
+std::string
+bucketLabel(std::size_t i)
+{
+    const std::vector<double> &edges = GapHistogram::edges();
+    if (i == 0)
+        return "0%";
+    if (i < edges.size()) {
+        return "<=" + fmtDouble(edges[i], edges[i] < 1.0 ? 1 : 0) +
+               "%";
+    }
+    return ">" + fmtDouble(edges.back(), 0) + "%";
+}
+
+/** Snapshot counter lookup ("" markers when the snapshot lacks it). */
+const JsonValue *
+snapshotCounter(const RunArtifacts &run, const std::string &name)
+{
+    if (!run.metrics.isObject())
+        return nullptr;
+    const JsonValue *counters = run.metrics.find("counters");
+    if (!counters || !counters->isObject())
+        return nullptr;
+    return counters->find(name);
+}
+
+void
+renderMachine(std::ostringstream &out, const MachineAttribution &m,
+              const RenderOptions &opts)
+{
+    out << "## Machine " << m.machine << "\n\n";
+    out << m.superblocks << " superblocks, " << m.atBound
+        << " scheduled at the TW bound.\n\n";
+
+    out << "### Bound-gap ladder (WCT cycles)\n\n";
+    TextTable ladder;
+    ladder.setHeader({"stage", "mean", "max"});
+    ladder.addRow({"RJ -> PW", fmtDouble(m.rjToPw.mean, 4),
+                   fmtDouble(m.rjToPw.max, 2)});
+    ladder.addRow({"PW -> TW", fmtDouble(m.pwToTw.mean, 4),
+                   fmtDouble(m.pwToTw.max, 2)});
+    ladder.addRow({"TW -> achieved",
+                   fmtDouble(m.twToAchieved.mean, 4),
+                   fmtDouble(m.twToAchieved.max, 2)});
+    fence(out, ladder.render());
+
+    out << "### Achieved gap distribution (percent of TW)\n\n";
+    if (!m.gapHistogram.counts.empty()) {
+        out << "`" << sparkline(m.gapHistogram.counts) << "`\n\n";
+        TextTable hist;
+        hist.setHeader({"gap", "superblocks"});
+        for (std::size_t i = 0; i < m.gapHistogram.counts.size(); ++i)
+            hist.addRow({bucketLabel(i),
+                         fmtCount(m.gapHistogram.counts[i])});
+        fence(out, hist.render());
+    }
+
+    out << "### Cost/quality frontier\n\n";
+    out << "Quality: frequency-weighted slowdown over the TW bound. "
+           "Cost: Table 2 relaxation trips (bounds) and Balance "
+           "engine totals (scheduler).\n\n";
+    TextTable frontier;
+    frontier.setHeader({"heuristic", "slowdown vs TW"});
+    for (const auto &kv : m.heuristicSlowdown)
+        frontier.addRow({kv.first, fmtPercent(kv.second, 3)});
+    fence(out, frontier.render());
+
+    TextTable trips;
+    trips.setHeader({"bound", "trips"});
+    for (const auto &kv : m.tripTotals)
+        trips.addRow({kv.first, fmtCount(kv.second)});
+    fence(out, trips.render());
+
+    TextTable engine;
+    engine.setHeader({"balance counter", "total"});
+    for (const auto &kv : m.balanceTotals)
+        engine.addRow({kv.first, fmtCount(kv.second)});
+    fence(out, engine.render());
+
+    out << "### Dominant causes of the achieved-side gap\n\n";
+    TextTable causes;
+    causes.setHeader({"cause", "superblocks"});
+    for (const auto &kv : m.causes)
+        causes.addRow({kv.first, fmtCount(kv.second)});
+    fence(out, causes.render());
+
+    if (!m.outliers.empty()) {
+        out << "### Top weighted-gap outliers\n\n";
+        for (const SuperblockAttribution &sba : m.outliers) {
+            out << "#### " << sba.superblock << "\n\n";
+            out << "frequency " << fmtDouble(sba.frequency, 3)
+                << ", " << sba.ops << " ops; ladder RJ "
+                << fmtDouble(sba.rj, 2) << " -> PW "
+                << fmtDouble(sba.pw, 2) << " -> TW "
+                << fmtDouble(sba.tw, 2) << " -> achieved "
+                << fmtDouble(sba.achieved, 2) << " (weighted gap "
+                << fmtDouble(sba.weightedGap, 3) << "); cause: "
+                << sba.dominantCause << ".\n\n";
+            if (!sba.branches.empty()) {
+                TextTable br;
+                br.setHeader({"branch", "weight", "depHeight",
+                              "rjEarly", "lcEarly", "issue",
+                              "selected", "delayed", "delayedOK"});
+                for (const BranchAttribution &ba : sba.branches) {
+                    br.addRow({std::to_string(ba.idx),
+                               fmtDouble(ba.weight, 3),
+                               std::to_string(ba.depHeight),
+                               std::to_string(ba.rjEarly),
+                               std::to_string(ba.lcEarly),
+                               std::to_string(ba.issue),
+                               fmtCount(ba.selected),
+                               fmtCount(ba.delayed),
+                               fmtCount(ba.delayedOk)});
+                }
+                fence(out, br.render());
+            }
+            if (opts.includeExcerpts && !sba.excerpt.empty()) {
+                out << "Decision-log excerpt:\n\n```\n";
+                for (const std::string &line : sba.excerpt)
+                    out << line << "\n";
+                out << "```\n\n";
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::string
+renderReport(const RunArtifacts &run, const AttributionReport &attr,
+             const RenderOptions &opts)
+{
+    const RunManifest &man = run.manifest;
+    std::ostringstream out;
+    out << "# Balance run report\n\n";
+    out << "Bench `" << man.bench << "`, seed " << man.seed
+        << ", scale " << fmtDouble(man.scale, 3) << ", threads "
+        << man.threads << (man.withBest ? ", with" : ", without")
+        << " Best.\n\n";
+
+    TextTable wall;
+    wall.setHeader({"machine", "wall ms"});
+    for (const MachineWall &mw : man.wall)
+        wall.addRow({mw.machine, fmtDouble(mw.ms, 1)});
+    if (!man.wall.empty())
+        fence(out, wall.render());
+
+    for (const MachineAttribution &m : attr.machines)
+        renderMachine(out, m, opts);
+
+    // Rows-vs-snapshot consistency: the committed contract is that
+    // these match bit for bit (tests/report/report_pipeline_test).
+    out << "## Trip totals vs metrics snapshot\n\n";
+    TextTable consistency;
+    consistency.setHeader(
+        {"metric", "rows total", "snapshot", "match"});
+    for (const auto &kv : attr.tripTotals) {
+        std::string metric = "bounds.trips." + kv.first;
+        const JsonValue *snap = snapshotCounter(run, metric);
+        std::string snapText = snap ? fmtCount(snap->asInt()) : "-";
+        std::string match = !snap
+            ? "?"
+            : (snap->asInt() == kv.second ? "yes" : "NO");
+        consistency.addRow(
+            {metric, fmtCount(kv.second), snapText, match});
+    }
+    fence(out, consistency.render());
+    return out.str();
+}
+
+} // namespace balance

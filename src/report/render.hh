@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Markdown rendering of a run's attribution: a self-contained report
+ * with the bound-gap ladder per machine, text-sparkline gap
+ * histograms, the cost/quality frontier, dominant-cause tallies,
+ * outlier drill-downs with decision-log excerpts, and the
+ * rows-vs-snapshot trip consistency table (docs/REPORTING.md).
+ */
+
+#ifndef BALANCE_REPORT_RENDER_HH
+#define BALANCE_REPORT_RENDER_HH
+
+#include <string>
+
+#include "report/attribution.hh"
+#include "report/manifest.hh"
+
+namespace balance
+{
+
+/** Options for renderReport. */
+struct RenderOptions
+{
+    /** Reserved for future layout switches. */
+    bool includeExcerpts = true;
+};
+
+/**
+ * Render @p attr (produced from @p run) as Markdown. Pure function
+ * of its inputs, so reports are byte-stable across equivalent runs.
+ */
+std::string renderReport(const RunArtifacts &run,
+                         const AttributionReport &attr,
+                         const RenderOptions &opts = {});
+
+} // namespace balance
+
+#endif // BALANCE_REPORT_RENDER_HH

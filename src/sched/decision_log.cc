@@ -68,7 +68,11 @@ DecisionLog::toJsonLines() const
     for (const DecisionStep &s : rec) {
         JsonWriter w;
         w.beginObject();
-        w.key("sb").value(name);
+        // Explicit join identity (program, superblock): attribution
+        // tooling matches records to BENCH / metrics rows on these,
+        // never by file position.
+        w.key("program").value(prog);
+        w.key("superblock").value(name);
         w.key("cycle").value(s.cycle);
         w.key("pick").value((long long)(s.pick));
         w.key("candidates").beginArray();

@@ -82,13 +82,42 @@ struct DecisionStep
 class DecisionLog
 {
   public:
+    /**
+     * @param label The superblock's unique display name. Suite
+     *        superblocks are named "<program>.sb<i>"; the program
+     *        identity defaults to the prefix before the first '.'
+     *        (the whole label when there is none) and can be
+     *        overridden with setIdentity().
+     */
     explicit DecisionLog(std::string label = {})
         : name(std::move(label))
     {
+        std::size_t dot = name.find('.');
+        prog = dot == std::string::npos ? name : name.substr(0, dot);
     }
 
     /** Superblock label used in rendered output. */
     const std::string &label() const { return name; }
+
+    /**
+     * Override the join identity carried by every JSON-lines record:
+     * @p program the owning benchmark program, @p superblock the
+     * unique superblock name (also becomes the label). Attribution
+     * tooling joins records to per-superblock rows on these fields,
+     * never positionally (docs/REPORTING.md).
+     */
+    void
+    setIdentity(std::string program, std::string superblock)
+    {
+        prog = std::move(program);
+        name = std::move(superblock);
+    }
+
+    /** @return the owning program's name. */
+    const std::string &program() const { return prog; }
+
+    /** @return the unique superblock name (same as label()). */
+    const std::string &superblock() const { return name; }
 
     /** Append a step at @p cycle; the reference stays valid until
      *  the next beginStep (vector growth may move earlier steps). */
@@ -114,6 +143,7 @@ class DecisionLog
 
   private:
     std::string name;
+    std::string prog;
     std::vector<DecisionStep> rec;
 };
 

@@ -1,7 +1,9 @@
 #include "support/json.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 #include "support/diagnostics.hh"
 
@@ -141,6 +143,14 @@ JsonWriter::value(bool v)
 {
     separator();
     raw(v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separator();
+    raw("null");
     return *this;
 }
 
@@ -343,6 +353,590 @@ jsonLooksValid(std::string_view text)
         return false;
     c.skipWs();
     return c.atEnd();
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue out;
+    out.k = Kind::Bool;
+    out.b = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeInt(long long v)
+{
+    JsonValue out;
+    out.k = Kind::Int;
+    out.i = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeDouble(double v)
+{
+    JsonValue out;
+    out.k = Kind::Double;
+    out.d = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue out;
+    out.k = Kind::String;
+    out.s = std::move(v);
+    return out;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue out;
+    out.k = Kind::Array;
+    return out;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue out;
+    out.k = Kind::Object;
+    return out;
+}
+
+bool
+JsonValue::asBool() const
+{
+    bsAssert(k == Kind::Bool, "JsonValue: not a bool");
+    return b;
+}
+
+long long
+JsonValue::asInt() const
+{
+    bsAssert(k == Kind::Int, "JsonValue: not an integer");
+    return i;
+}
+
+double
+JsonValue::asDouble() const
+{
+    bsAssert(k == Kind::Int || k == Kind::Double,
+             "JsonValue: not a number");
+    return k == Kind::Int ? double(i) : d;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    bsAssert(k == Kind::String, "JsonValue: not a string");
+    return s;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    bsAssert(k == Kind::Array || k == Kind::Object,
+             "JsonValue: not a container");
+    return k == Kind::Array ? arr.size() : obj.size();
+}
+
+const JsonValue &
+JsonValue::at(std::size_t idx) const
+{
+    bsAssert(k == Kind::Array, "JsonValue: not an array");
+    bsAssert(idx < arr.size(), "JsonValue: index ", idx,
+             " out of range ", arr.size());
+    return arr[idx];
+}
+
+const std::vector<JsonValue> &
+JsonValue::elements() const
+{
+    bsAssert(k == Kind::Array, "JsonValue: not an array");
+    return arr;
+}
+
+const JsonValue::Members &
+JsonValue::members() const
+{
+    bsAssert(k == Kind::Object, "JsonValue: not an object");
+    return obj;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    bsAssert(k == Kind::Object, "JsonValue: not an object");
+    for (const auto &[name, value] : obj) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::get(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    bsAssert(v != nullptr, "JsonValue: missing member '",
+             std::string(key), "'");
+    return *v;
+}
+
+JsonValue &
+JsonValue::append(JsonValue v)
+{
+    bsAssert(k == Kind::Array, "JsonValue: not an array");
+    arr.push_back(std::move(v));
+    return arr.back();
+}
+
+JsonValue &
+JsonValue::set(std::string_view key, JsonValue v)
+{
+    bsAssert(k == Kind::Object, "JsonValue: not an object");
+    for (auto &[name, value] : obj) {
+        if (name == key) {
+            value = std::move(v);
+            return value;
+        }
+    }
+    obj.emplace_back(std::string(key), std::move(v));
+    return obj.back().second;
+}
+
+bool
+JsonValue::operator==(const JsonValue &other) const
+{
+    if (k != other.k)
+        return false;
+    switch (k) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return b == other.b;
+      case Kind::Int:
+        return i == other.i;
+      case Kind::Double:
+        return d == other.d;
+      case Kind::String:
+        return s == other.s;
+      case Kind::Array:
+        return arr == other.arr;
+      case Kind::Object:
+        return obj == other.obj;
+    }
+    return false;
+}
+
+void
+JsonValue::write(JsonWriter &w) const
+{
+    switch (k) {
+      case Kind::Null:
+        // JsonWriter has no null(); emit through the raw-value path
+        // a bool would use. Null never appears in repo documents,
+        // but the DOM must round-trip anything it parsed.
+        w.null();
+        break;
+      case Kind::Bool:
+        w.value(b);
+        break;
+      case Kind::Int:
+        w.value(i);
+        break;
+      case Kind::Double:
+        w.value(d);
+        break;
+      case Kind::String:
+        w.value(s);
+        break;
+      case Kind::Array:
+        w.beginArray();
+        for (const JsonValue &e : arr)
+            e.write(w);
+        w.endArray();
+        break;
+      case Kind::Object:
+        w.beginObject();
+        for (const auto &[name, value] : obj) {
+            w.key(name);
+            value.write(w);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    JsonWriter w;
+    write(w);
+    return w.str();
+}
+
+std::string
+JsonParseError::describe() const
+{
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column) + ": " + message;
+}
+
+namespace
+{
+
+/**
+ * Recursive-descent parser building a JsonValue tree. Mirrors the
+ * Checker grammar above exactly, so parseJson accepts precisely the
+ * documents jsonLooksValid accepts (modulo the duplicate-key and
+ * depth rules, which the structural checker does not enforce).
+ */
+struct Parser
+{
+    std::string_view text;
+    std::size_t at = 0;
+    int depth = 0;
+    int maxDepth = 256;
+    JsonParseError err;
+
+    bool atEnd() const { return at >= text.size(); }
+    char peek() const { return text[at]; }
+
+    bool
+    fail(std::string message)
+    {
+        // Keep the earliest failure: nested productions unwind
+        // through their callers, which must not overwrite the
+        // position of the original error.
+        if (err.message.empty()) {
+            err.message = std::move(message);
+            err.offset = at;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r'))
+            ++at;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(at, word.size()) != word)
+            return fail("invalid literal");
+        at += word.size();
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (atEnd() || peek() != '"')
+            return fail("expected string");
+        ++at;
+        out.clear();
+        while (!atEnd() && peek() != '"') {
+            char c = peek();
+            if ((unsigned char)(c) < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                ++at;
+                if (atEnd())
+                    return fail("truncated escape");
+                char e = peek();
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    unsigned code = 0;
+                    for (int n = 0; n < 4; ++n) {
+                        ++at;
+                        if (atEnd() ||
+                            !std::isxdigit((unsigned char)(peek())))
+                            return fail("bad \\u escape");
+                        char h = peek();
+                        code = code * 16 +
+                               (unsigned)(h <= '9' ? h - '0'
+                                                   : (h | 0x20) - 'a' + 10);
+                    }
+                    // Escaped controls (the only \u sequences the
+                    // writer emits) decode exactly; anything beyond
+                    // Latin-1 would need UTF-8 encoding, which the
+                    // repo's documents never contain.
+                    if (code > 0xff)
+                        return fail("\\u escape beyond Latin-1 "
+                                    "unsupported");
+                    out += char(code);
+                    break;
+                  }
+                  default:
+                    return fail("invalid escape character");
+                }
+                ++at;
+            } else {
+                out += c;
+                ++at;
+            }
+        }
+        if (atEnd())
+            return fail("unterminated string");
+        ++at; // closing quote
+        return true;
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        std::size_t start = at;
+        bool integral = true;
+        if (!atEnd() && peek() == '-')
+            ++at;
+        if (atEnd() || !std::isdigit((unsigned char)(peek())))
+            return fail("invalid number");
+        if (peek() == '0') {
+            ++at;
+        } else {
+            while (!atEnd() && std::isdigit((unsigned char)(peek())))
+                ++at;
+        }
+        if (!atEnd() && peek() == '.') {
+            integral = false;
+            ++at;
+            std::size_t frac = at;
+            while (!atEnd() && std::isdigit((unsigned char)(peek())))
+                ++at;
+            if (at == frac)
+                return fail("digits required after decimal point");
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            integral = false;
+            ++at;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++at;
+            std::size_t exp = at;
+            while (!atEnd() && std::isdigit((unsigned char)(peek())))
+                ++at;
+            if (at == exp)
+                return fail("digits required in exponent");
+        }
+        std::string token(text.substr(start, at - start));
+        if (integral) {
+            errno = 0;
+            char *end = nullptr;
+            long long v = std::strtoll(token.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0') {
+                out = JsonValue::makeInt(v);
+                return true;
+            }
+            // Out of int64 range: fall through to double.
+        }
+        out = JsonValue::makeDouble(std::strtod(token.c_str(), nullptr));
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (atEnd())
+            return fail("unexpected end of input");
+        if (++depth > maxDepth) {
+            fail("nesting deeper than " + std::to_string(maxDepth));
+            --depth;
+            return false;
+        }
+        bool ok = false;
+        char c = peek();
+        if (c == '{') {
+            ok = object(out);
+        } else if (c == '[') {
+            ok = array(out);
+        } else if (c == '"') {
+            std::string s;
+            ok = string(s);
+            if (ok)
+                out = JsonValue::makeString(std::move(s));
+        } else if (c == 't') {
+            ok = literal("true");
+            if (ok)
+                out = JsonValue::makeBool(true);
+        } else if (c == 'f') {
+            ok = literal("false");
+            if (ok)
+                out = JsonValue::makeBool(false);
+        } else if (c == 'n') {
+            ok = literal("null");
+            if (ok)
+                out = JsonValue::makeNull();
+        } else {
+            ok = number(out);
+        }
+        --depth;
+        return ok;
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        ++at; // '{'
+        out = JsonValue::makeObject();
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            ++at;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::size_t keyAt = at;
+            std::string key;
+            if (!string(key))
+                return false;
+            if (out.find(key)) {
+                at = keyAt;
+                return fail("duplicate key '" + key + "'");
+            }
+            skipWs();
+            if (atEnd() || peek() != ':')
+                return fail("expected ':' after key");
+            ++at;
+            JsonValue member;
+            if (!value(member))
+                return false;
+            out.set(key, std::move(member));
+            skipWs();
+            if (atEnd())
+                return fail("unterminated object");
+            if (peek() == '}') {
+                ++at;
+                return true;
+            }
+            if (peek() != ',')
+                return fail("expected ',' or '}' in object");
+            ++at;
+        }
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        ++at; // '['
+        out = JsonValue::makeArray();
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            ++at;
+            return true;
+        }
+        while (true) {
+            JsonValue element;
+            if (!value(element))
+                return false;
+            out.append(std::move(element));
+            skipWs();
+            if (atEnd())
+                return fail("unterminated array");
+            if (peek() == ']') {
+                ++at;
+                return true;
+            }
+            if (peek() != ',')
+                return fail("expected ',' or ']' in array");
+            ++at;
+        }
+    }
+};
+
+/** Fill line/column of @p err from its byte offset into @p text. */
+void
+locate(std::string_view text, JsonParseError &err)
+{
+    int line = 1;
+    int column = 1;
+    std::size_t stop = err.offset < text.size() ? err.offset
+                                                : text.size();
+    for (std::size_t i = 0; i < stop; ++i) {
+        if (text[i] == '\n') {
+            ++line;
+            column = 1;
+        } else {
+            ++column;
+        }
+    }
+    err.line = line;
+    err.column = column;
+}
+
+} // namespace
+
+JsonParseResult
+parseJson(std::string_view text, int maxDepth)
+{
+    JsonParseResult result;
+    Parser p;
+    p.text = text;
+    p.maxDepth = maxDepth;
+    if (p.value(result.value)) {
+        p.skipWs();
+        if (!p.atEnd())
+            p.fail("trailing content after document");
+    }
+    if (!p.err.message.empty()) {
+        result.error = p.err;
+        locate(text, result.error);
+        result.value = JsonValue();
+    }
+    return result;
+}
+
+std::vector<JsonValue>
+parseJsonLines(std::string_view text, JsonParseError *error)
+{
+    if (error)
+        *error = JsonParseError{};
+    std::vector<JsonValue> out;
+    int lineNo = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        std::string_view line = eol == std::string_view::npos
+            ? text.substr(pos)
+            : text.substr(pos, eol - pos);
+        ++lineNo;
+        bool blank = true;
+        for (char c : line) {
+            if (c != ' ' && c != '\t' && c != '\r')
+                blank = false;
+        }
+        if (!blank) {
+            JsonParseResult r = parseJson(line);
+            if (!r.ok()) {
+                if (error) {
+                    *error = r.error;
+                    error->line = lineNo;
+                }
+                return out;
+            }
+            out.push_back(std::move(r.value));
+        }
+        if (eol == std::string_view::npos)
+            break;
+        pos = eol + 1;
+    }
+    return out;
 }
 
 } // namespace balance

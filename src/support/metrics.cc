@@ -1,5 +1,6 @@
 #include "support/metrics.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "support/diagnostics.hh"
@@ -78,6 +79,36 @@ Histogram::sum() const
     for (const Shard &s : shards)
         total += s.total.load(std::memory_order_relaxed);
     return total;
+}
+
+long long
+Histogram::bucketUpperBound(int b)
+{
+    if (b <= 0)
+        return 0;
+    return (1LL << b) - 1;
+}
+
+long long
+Histogram::percentile(double q) const
+{
+    std::vector<long long> counts = buckets();
+    long long n = 0;
+    for (long long c : counts)
+        n += c;
+    if (n <= 0)
+        return 0;
+    // Rank of the q-quantile observation, 1-based: ceil(q * n),
+    // clamped into [1, n] so q == 0 and q == 1 stay well defined.
+    long long rank = (long long)(q * double(n) + 0.9999999999);
+    rank = std::max(1LL, std::min(n, rank));
+    long long seen = 0;
+    for (int b = 0; b < numBuckets; ++b) {
+        seen += counts[std::size_t(b)];
+        if (seen >= rank)
+            return bucketUpperBound(b);
+    }
+    return bucketUpperBound(numBuckets - 1);
 }
 
 const MetricRegistry::Entry *
@@ -186,6 +217,13 @@ MetricRegistry::writeJson(JsonWriter &w) const
         w.key(name).beginObject();
         w.key("count").value(h.count());
         w.key("sum").value(h.sum());
+        // Derived percentiles (upper bound of the containing
+        // power-of-two bucket) so report tooling never re-derives
+        // them from the buckets; registration-order stable like
+        // every other field.
+        w.key("p50").value(h.percentile(0.50));
+        w.key("p90").value(h.percentile(0.90));
+        w.key("p99").value(h.percentile(0.99));
         w.key("buckets").beginArray();
         // Trailing zero buckets are elided so documents stay small;
         // bucket b spans [2^(b-1), 2^b) with bucket 0 holding v <= 0.

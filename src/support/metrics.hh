@@ -149,6 +149,22 @@ class Histogram
     /** @return the bucket index @p v falls into. */
     static int bucketOf(long long v);
 
+    /**
+     * Inclusive upper bound of bucket @p b: 0 for bucket 0 (which
+     * holds v <= 0), 2^b - 1 otherwise. This is the value the
+     * snapshot's derived percentiles report.
+     */
+    static long long bucketUpperBound(int b);
+
+    /**
+     * The @p q quantile (0 < q <= 1) as the upper bound of the
+     * bucket containing observation ceil(q * count) in cumulative
+     * bucket order; 0 when the histogram is empty. A deterministic
+     * function of the merged bucket counts, so snapshots stay
+     * byte-stable across equivalent runs (any thread count).
+     */
+    long long percentile(double q) const;
+
   private:
     friend class MetricRegistry;
     explicit Histogram(std::string name) : id(std::move(name)) {}

@@ -106,4 +106,28 @@ fmtCount(long long v)
     return out;
 }
 
+std::string
+sparkline(const std::vector<long long> &values)
+{
+    // The eight block elements, lowest to full (UTF-8 encoded).
+    static const char *blocks[8] = {
+        "▁", "▂", "▃", "▄",
+        "▅", "▆", "▇", "█"};
+    long long peak = 0;
+    for (long long v : values)
+        peak = std::max(peak, v);
+    std::string out;
+    for (long long v : values) {
+        int level = 0;
+        if (peak > 0 && v > 0) {
+            // Scale into 1..7 so any nonzero count is visible
+            // against a zero bucket.
+            level = 1 + int((v * 7 - 1) / peak);
+            level = std::min(level, 7);
+        }
+        out += blocks[level];
+    }
+    return out;
+}
+
 } // namespace balance

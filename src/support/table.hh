@@ -50,6 +50,15 @@ std::string fmtPercent(double v, int digits = 2);
 /** Format an integer with thousands separators for readability. */
 std::string fmtCount(long long v);
 
+/**
+ * Render @p values as a text sparkline: one of eight block glyphs
+ * (U+2581..U+2588) per value, scaled so the largest value maps to
+ * the full block; zero and negative values render as the lowest
+ * block. An all-zero or empty input yields a flat line. Used by the
+ * run reports for gap histograms (docs/REPORTING.md).
+ */
+std::string sparkline(const std::vector<long long> &values);
+
 } // namespace balance
 
 #endif // BALANCE_SUPPORT_TABLE_HH

@@ -120,8 +120,14 @@ initTelemetry(const TelemetryOptions &opts)
 
     s.metricsPath = opts.metricsOut;
     s.tracePath = opts.traceOut;
-    if (!opts.metricsOut.empty())
+    if (!opts.metricsOut.empty()) {
         s.collectMetrics = true;
+        // Register the trace-drop counter up front: drops happen at
+        // nondeterministic times, and lazy registration would make
+        // the snapshot's registration order depend on when the ring
+        // first wrapped.
+        MetricRegistry::global().counter("trace.ring_dropped");
+    }
     if (!opts.traceOut.empty())
         TraceSession::global().enable();
     if (!opts.decisionLogOut.empty()) {

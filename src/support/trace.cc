@@ -6,6 +6,7 @@
 
 #include "support/diagnostics.hh"
 #include "support/json.hh"
+#include "support/metrics.hh"
 #include "support/thread_pool.hh"
 
 namespace balance
@@ -69,10 +70,19 @@ TraceSession::record(const char *name, std::int64_t tsUs,
     Buffer &b = localBuffer();
     std::lock_guard<std::mutex> lock(b.mutex);
     TraceEvent &slot = b.ring[b.next];
-    if (b.count == ringCapacity)
+    if (b.count == ringCapacity) {
         ++b.dropped; // overwriting the oldest event
-    else
+        // Mirror drops into the metric registry so a truncated
+        // trace is detectable from the snapshot alone, without
+        // parsing the trace file (report_tool gates on this). The
+        // handle is registry-lifetime stable, so the lookup happens
+        // once per process.
+        static Counter &dropCounter =
+            MetricRegistry::global().counter("trace.ring_dropped");
+        dropCounter.add(1);
+    } else {
         ++b.count;
+    }
     slot.name = name;
     slot.tsUs = tsUs;
     slot.durUs = durUs;

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Bound-gap attribution on synthetic runs: the ladder decomposition
+ * (RJ -> PW -> TW -> achieved), the dominant-cause classifier on
+ * hand-built decision logs, trip-total aggregation, the cost/quality
+ * frontier, outlier selection, and the gap histogram.
+ */
+
+#include "report/attribution.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sched/decision_log.hh"
+#include "support/json.hh"
+
+namespace balance
+{
+namespace
+{
+
+/** A compact description of one per-superblock row. */
+struct RowSpec
+{
+    std::string program = "gcc";
+    std::string superblock;
+    std::string machine = "GP4";
+    double frequency = 1.0;
+    int ops = 10;
+    double rj = 10.0, pw = 10.0, tw = 10.0;
+    double balance = 10.0, cp = 12.0;
+    long long rjTrips = 50, twTrips = 100;
+    long long loopTrips = 7;
+    /** branch_detail JSON array text. */
+    std::string branchDetail = "[]";
+};
+
+JsonValue
+makeRow(const RowSpec &r)
+{
+    std::ostringstream doc;
+    doc << "{\"program\":\"" << r.program << "\",\"superblock\":\""
+        << r.superblock << "\",\"machine\":\"" << r.machine
+        << "\",\"ops\":" << r.ops << ",\"branches\":1,\"frequency\":"
+        << r.frequency << ",\"bounds\":{\"rj\":" << r.rj
+        << ",\"pw\":" << r.pw << ",\"tw\":" << r.tw
+        << "},\"wct\":{\"Balance\":" << r.balance << ",\"CP\":" << r.cp
+        << "},\"trips\":{\"rj\":" << r.rjTrips << ",\"tw\":"
+        << r.twTrips << "},\"balance\":{\"loop_trips\":" << r.loopTrips
+        << "},\"branch_detail\":" << r.branchDetail << "}";
+    JsonParseResult parsed = parseJson(doc.str());
+    EXPECT_TRUE(parsed.ok()) << parsed.error.describe() << "\n"
+                             << doc.str();
+    return parsed.value;
+}
+
+/** One weighted branch that issued late (issue > lc_early). */
+const char *lateBranch =
+    "[{\"idx\":0,\"weight\":1.0,\"dep_height\":5,\"rj_early\":8,"
+    "\"lc_early\":8,\"issue\":12,\"latency\":1}]";
+
+/** Decision records of @p log, parsed like loadRunArtifacts would. */
+void
+appendRecords(std::vector<JsonValue> *out, const DecisionLog &log)
+{
+    JsonParseError err;
+    std::vector<JsonValue> records =
+        parseJsonLines(log.toJsonLines(), &err);
+    ASSERT_TRUE(err.message.empty()) << err.describe();
+    for (JsonValue &rec : records)
+        out->push_back(std::move(rec));
+}
+
+/** A run with GP4 decision logs and the given rows. */
+RunArtifacts
+makeRun(const std::vector<RowSpec> &rows,
+        std::vector<JsonValue> gp4Decisions = {})
+{
+    RunArtifacts run;
+    run.manifest.machines = {"GP4"};
+    run.manifest.heuristics = {"Balance", "CP"};
+    for (const RowSpec &r : rows)
+        run.superblocks.push_back(makeRow(r));
+    if (!gp4Decisions.empty()) {
+        run.manifest.decisionLogs = {{"GP4", "decisions.GP4.jsonl"}};
+        run.decisions.push_back(std::move(gp4Decisions));
+    }
+    return run;
+}
+
+const SuperblockAttribution *
+findOutlier(const MachineAttribution &m, const std::string &sb)
+{
+    for (const SuperblockAttribution &s : m.outliers)
+        if (s.superblock == sb)
+            return &s;
+    return nullptr;
+}
+
+TEST(Attribution, LadderDecomposesAndWeightsByFrequency)
+{
+    RowSpec r;
+    r.superblock = "gcc.sb0";
+    r.frequency = 2.0;
+    r.rj = 10.0;
+    r.pw = 12.0;
+    r.tw = 13.0;
+    r.balance = 15.0;
+    AttributionReport report = attributeRun(makeRun({r}));
+
+    ASSERT_EQ(report.machines.size(), 1u);
+    const MachineAttribution &m = report.machines[0];
+    EXPECT_EQ(m.machine, "GP4");
+    EXPECT_EQ(m.superblocks, 1);
+    EXPECT_EQ(m.atBound, 0);
+    EXPECT_DOUBLE_EQ(m.rjToPw.mean, 2.0);
+    EXPECT_DOUBLE_EQ(m.pwToTw.mean, 1.0);
+    EXPECT_DOUBLE_EQ(m.twToAchieved.mean, 2.0);
+
+    ASSERT_EQ(m.outliers.size(), 1u);
+    const SuperblockAttribution &sba = m.outliers[0];
+    EXPECT_DOUBLE_EQ(sba.rjToPw, 2.0);
+    EXPECT_DOUBLE_EQ(sba.pwToTw, 1.0);
+    EXPECT_DOUBLE_EQ(sba.twToAchieved, 2.0);
+    EXPECT_DOUBLE_EQ(sba.weightedGap, 4.0) << "frequency * gap";
+}
+
+TEST(Attribution, AtBoundSuperblocksAreCountedAndLabeled)
+{
+    RowSpec r;
+    r.superblock = "gcc.sb0"; // defaults: achieved == tw == 10
+    AttributionReport report = attributeRun(makeRun({r}));
+    const MachineAttribution &m = report.machines[0];
+    EXPECT_EQ(m.atBound, 1);
+    EXPECT_EQ(m.causes.at("at-bound"), 1);
+    EXPECT_EQ(m.outliers[0].dominantCause, "at-bound");
+}
+
+TEST(Attribution, NoDecisionDataWhenNothingCanExplainTheGap)
+{
+    RowSpec r;
+    r.superblock = "gcc.sb0";
+    r.balance = 12.0; // gap, but no branch detail and no log
+    AttributionReport report = attributeRun(makeRun({r}));
+    EXPECT_EQ(report.machines[0].outliers[0].dominantCause,
+              "no-decision-data");
+}
+
+TEST(Attribution, DeniedTradeoffsDominateWhenDelaysOutnumberGrants)
+{
+    RowSpec r;
+    r.superblock = "gcc.sb0";
+    r.balance = 12.0;
+    r.branchDetail = lateBranch;
+
+    DecisionLog log("gcc.sb0");
+    for (int cycle = 3; cycle <= 4; ++cycle) {
+        DecisionStep &s = log.beginStep(cycle);
+        s.pick = OpId(cycle);
+        s.candidates = {OpId(cycle), OpId(cycle + 10)};
+        s.branches.push_back(
+            {0, 1.0, 9, 1, 0, DecisionOutcome::Delayed});
+    }
+    std::vector<JsonValue> decisions;
+    appendRecords(&decisions, log);
+    AttributionReport report =
+        attributeRun(makeRun({r}, std::move(decisions)));
+
+    const SuperblockAttribution &sba = report.machines[0].outliers[0];
+    EXPECT_EQ(sba.dominantCause, "denied-tradeoffs");
+    EXPECT_EQ(sba.steps, 2);
+    EXPECT_EQ(sba.denials, 2);
+    EXPECT_DOUBLE_EQ(sba.denialRatio, 1.0);
+    ASSERT_EQ(sba.branches.size(), 1u);
+    EXPECT_TRUE(sba.branches[0].late);
+    EXPECT_EQ(sba.branches[0].delayed, 2);
+    EXPECT_EQ(sba.branches[0].appearances, 2);
+}
+
+TEST(Attribution, GrantedTradeoffsWhenThePairwisePassTradedAway)
+{
+    RowSpec r;
+    r.superblock = "gcc.sb0";
+    r.balance = 12.0;
+    r.branchDetail = lateBranch;
+
+    DecisionLog log("gcc.sb0");
+    DecisionStep &s = log.beginStep(3);
+    s.pick = 4;
+    s.candidates = {4};
+    s.branches.push_back(
+        {0, 1.0, 9, 1, 0, DecisionOutcome::DelayedOk});
+    s.tradeoffs.push_back({0, 1, 11, 8, 9});
+    std::vector<JsonValue> decisions;
+    appendRecords(&decisions, log);
+    AttributionReport report =
+        attributeRun(makeRun({r}, std::move(decisions)));
+
+    const SuperblockAttribution &sba = report.machines[0].outliers[0];
+    EXPECT_EQ(sba.dominantCause, "granted-tradeoffs");
+    EXPECT_EQ(sba.tradeoffGrants, 1);
+    EXPECT_EQ(sba.denials, 0);
+    // The outlier's excerpt shows the grant.
+    ASSERT_FALSE(sba.excerpt.empty());
+    EXPECT_NE(sba.excerpt[0].find("delayedOK 0 vs 1 (pair=11)"),
+              std::string::npos)
+        << sba.excerpt[0];
+}
+
+TEST(Attribution, ResourcePressureWhenNeedEachSaturates)
+{
+    RowSpec r;
+    r.superblock = "gcc.sb0";
+    r.balance = 12.0;
+    r.branchDetail = lateBranch;
+
+    DecisionLog log("gcc.sb0");
+    for (int cycle = 0; cycle < 2; ++cycle) {
+        DecisionStep &s = log.beginStep(cycle);
+        s.pick = OpId(cycle);
+        s.branches.push_back(
+            {0, 1.0, 9, 2, 0, DecisionOutcome::Selected});
+    }
+    std::vector<JsonValue> decisions;
+    appendRecords(&decisions, log);
+    AttributionReport report =
+        attributeRun(makeRun({r}, std::move(decisions)));
+
+    const SuperblockAttribution &sba = report.machines[0].outliers[0];
+    EXPECT_DOUBLE_EQ(sba.meanNeedEach, 2.0);
+    EXPECT_EQ(sba.dominantCause, "resource-pressure");
+}
+
+TEST(Attribution, DependenceHeightIsTheQuietDefault)
+{
+    RowSpec r;
+    r.superblock = "gcc.sb0";
+    r.balance = 12.0;
+    r.branchDetail = lateBranch;
+
+    DecisionLog log("gcc.sb0");
+    DecisionStep &s = log.beginStep(0);
+    s.pick = 1;
+    s.branches.push_back({0, 1.0, 9, 1, 0, DecisionOutcome::Selected});
+    std::vector<JsonValue> decisions;
+    appendRecords(&decisions, log);
+    AttributionReport report =
+        attributeRun(makeRun({r}, std::move(decisions)));
+    EXPECT_EQ(report.machines[0].outliers[0].dominantCause,
+              "dependence-height");
+}
+
+TEST(Attribution, TripTotalsSumPerMachineAndOverall)
+{
+    RowSpec a;
+    a.superblock = "gcc.sb0";
+    a.rjTrips = 50;
+    a.twTrips = 100;
+    RowSpec b = a;
+    b.superblock = "gcc.sb1";
+    b.rjTrips = 7;
+    b.twTrips = 3;
+    b.loopTrips = 11;
+    AttributionReport report = attributeRun(makeRun({a, b}));
+
+    EXPECT_EQ(report.tripTotals.at("rj"), 57);
+    EXPECT_EQ(report.tripTotals.at("tw"), 103);
+    const MachineAttribution &m = report.machines[0];
+    EXPECT_EQ(m.tripTotals.at("rj"), 57);
+    EXPECT_EQ(m.balanceTotals.at("loop_trips"), 18);
+}
+
+TEST(Attribution, MachinesGroupInFirstAppearanceOrder)
+{
+    RowSpec gp4;
+    gp4.superblock = "gcc.sb0";
+    RowSpec playdoh = gp4;
+    playdoh.machine = "PlayDoh";
+    playdoh.twTrips = 999;
+    AttributionReport report = attributeRun(makeRun({gp4, playdoh}));
+
+    ASSERT_EQ(report.machines.size(), 2u);
+    EXPECT_EQ(report.machines[0].machine, "GP4");
+    EXPECT_EQ(report.machines[1].machine, "PlayDoh");
+    EXPECT_EQ(report.machines[0].tripTotals.at("tw"), 100);
+    EXPECT_EQ(report.machines[1].tripTotals.at("tw"), 999);
+    EXPECT_EQ(report.tripTotals.at("tw"), 1099) << "overall = both";
+}
+
+TEST(Attribution, OutliersAreTopKByWeightedGap)
+{
+    std::vector<RowSpec> rows;
+    for (int i = 0; i < 4; ++i) {
+        RowSpec r;
+        r.superblock = "gcc.sb" + std::to_string(i);
+        r.balance = r.tw + double(i); // gaps 0, 1, 2, 3
+        rows.push_back(r);
+    }
+    AttributionOptions opts;
+    opts.topK = 2;
+    AttributionReport report = attributeRun(makeRun(rows), opts);
+
+    const MachineAttribution &m = report.machines[0];
+    ASSERT_EQ(m.outliers.size(), 2u);
+    EXPECT_EQ(m.outliers[0].superblock, "gcc.sb3");
+    EXPECT_EQ(m.outliers[1].superblock, "gcc.sb2");
+    EXPECT_EQ(findOutlier(m, "gcc.sb0"), nullptr);
+}
+
+TEST(Attribution, FrontierIsFrequencyWeightedSlowdownOverTw)
+{
+    RowSpec r;
+    r.superblock = "gcc.sb0";
+    r.tw = 10.0;
+    r.balance = 11.0;
+    r.cp = 15.0;
+    AttributionReport report = attributeRun(makeRun({r}));
+
+    const MachineAttribution &m = report.machines[0];
+    ASSERT_EQ(m.heuristicSlowdown.size(), 2u);
+    EXPECT_EQ(m.heuristicSlowdown[0].first, "Balance");
+    EXPECT_NEAR(m.heuristicSlowdown[0].second, 10.0, 1e-9);
+    EXPECT_EQ(m.heuristicSlowdown[1].first, "CP");
+    EXPECT_NEAR(m.heuristicSlowdown[1].second, 50.0, 1e-9);
+}
+
+TEST(GapHistogramTest, BucketsByPercentWithOpenTail)
+{
+    GapHistogram h;
+    h.add(0.0);   // first bucket (== 0%)
+    h.add(0.5);   // <= 1%
+    h.add(1.5);   // <= 2%
+    h.add(4.0);   // <= 5%
+    h.add(100.0); // open tail
+    ASSERT_EQ(h.counts.size(), GapHistogram::edges().size() + 1);
+    EXPECT_EQ(h.counts[0], 1);
+    EXPECT_EQ(h.counts[1], 1);
+    EXPECT_EQ(h.counts[2], 1);
+    EXPECT_EQ(h.counts[3], 1);
+    EXPECT_EQ(h.counts.back(), 1);
+}
+
+TEST(AttributionDeathTest, RowlessRunPanics)
+{
+    RunArtifacts run;
+    EXPECT_DEATH(attributeRun(run), "no per-superblock rows");
+}
+
+} // namespace
+} // namespace balance

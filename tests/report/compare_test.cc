@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The perf-budget gate: budget parsing, glob specificity, and
+ * compareRuns verdicts — zero-tolerance counters regress on any
+ * increase, ungated metrics never gate, a gated metric that
+ * disappears from the current run is itself a regression, and wall
+ * clocks gate only when the budget says so.
+ */
+
+#include "report/compare.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/json.hh"
+
+namespace balance
+{
+namespace
+{
+
+PerfBudget
+parseBudget(const std::string &doc)
+{
+    JsonParseResult parsed = parseJson(doc);
+    EXPECT_TRUE(parsed.ok()) << parsed.error.describe();
+    PerfBudget budget;
+    std::string error;
+    EXPECT_TRUE(PerfBudget::fromJson(parsed.value, &budget, &error))
+        << error;
+    return budget;
+}
+
+/** In-memory run: a metrics snapshot plus optional wall clocks. */
+RunArtifacts
+makeRun(const std::string &metricsJson,
+        std::vector<MachineWall> wall = {})
+{
+    RunArtifacts run;
+    JsonParseResult parsed = parseJson(metricsJson);
+    EXPECT_TRUE(parsed.ok()) << parsed.error.describe();
+    run.metrics = parsed.value;
+    run.manifest.wall = std::move(wall);
+    return run;
+}
+
+const CompareLine *
+findLine(const CompareResult &result, const std::string &metric)
+{
+    for (const CompareLine &line : result.lines)
+        if (line.metric == metric)
+            return &line;
+    return nullptr;
+}
+
+TEST(PerfBudget, FromJsonParsesToleranceMap)
+{
+    PerfBudget budget = parseBudget(
+        "{\"wall_time_tolerance_pct\": 250,"
+        " \"metrics\": {\"bounds.trips.*\": 0,"
+        "               \"sched.balance.loop_trips\": 5.5}}");
+    EXPECT_DOUBLE_EQ(budget.wallTolerancePct, 250.0);
+    ASSERT_EQ(budget.metrics.size(), 2u);
+
+    double tol = -1.0;
+    ASSERT_TRUE(budget.toleranceFor("sched.balance.loop_trips", &tol));
+    EXPECT_DOUBLE_EQ(tol, 5.5);
+    ASSERT_TRUE(budget.toleranceFor("bounds.trips.tw", &tol));
+    EXPECT_DOUBLE_EQ(tol, 0.0);
+    EXPECT_FALSE(budget.toleranceFor("trace.ring_dropped", &tol));
+}
+
+TEST(PerfBudget, WallToleranceDefaultsToNeverGate)
+{
+    PerfBudget budget = parseBudget("{\"metrics\": {}}");
+    EXPECT_LT(budget.wallTolerancePct, 0.0);
+}
+
+TEST(PerfBudget, MostSpecificPatternWins)
+{
+    PerfBudget budget = parseBudget(
+        "{\"metrics\": {\"bounds.*\": 50,"
+        "               \"bounds.trips.*\": 10,"
+        "               \"bounds.trips.tw\": 0}}");
+    double tol = -1.0;
+    ASSERT_TRUE(budget.toleranceFor("bounds.trips.tw", &tol));
+    EXPECT_DOUBLE_EQ(tol, 0.0) << "exact beats every glob";
+    ASSERT_TRUE(budget.toleranceFor("bounds.trips.rj", &tol));
+    EXPECT_DOUBLE_EQ(tol, 10.0) << "longer glob beats shorter";
+    ASSERT_TRUE(budget.toleranceFor("bounds.scratch.bytes", &tol));
+    EXPECT_DOUBLE_EQ(tol, 50.0);
+    EXPECT_FALSE(budget.toleranceFor("sched.balance.decisions", &tol));
+}
+
+TEST(PerfBudget, CommittedBudgetFileShapeParses)
+{
+    // The shape tools/perf_budgets.json actually uses, including the
+    // ignored "_comment" member.
+    PerfBudget budget = parseBudget(
+        "{\"_comment\": [\"why\"],"
+        " \"wall_time_tolerance_pct\": 400,"
+        " \"metrics\": {\"bounds.trips.*\": 0}}");
+    EXPECT_DOUBLE_EQ(budget.wallTolerancePct, 400.0);
+    EXPECT_EQ(budget.metrics.size(), 1u);
+}
+
+TEST(CompareRuns, SelfComparisonNeverRegresses)
+{
+    RunArtifacts run = makeRun(
+        "{\"counters\":{\"bounds.trips.tw\":49189414,"
+        "\"sched.balance.loop_trips\":302930},"
+        "\"gauges\":{\"bounds.scratch.high_water_bytes\":4096}}",
+        {{"GP4", 100.0}});
+    PerfBudget budget = parseBudget(
+        "{\"wall_time_tolerance_pct\": 0,"
+        " \"metrics\": {\"bounds.trips.*\": 0,"
+        "               \"sched.balance.loop_trips\": 0}}");
+    CompareResult result = compareRuns(run, run, budget);
+    EXPECT_TRUE(result.ok);
+    for (const CompareLine &line : result.lines)
+        EXPECT_FALSE(line.regressed) << line.metric;
+    const CompareLine *tw = findLine(result, "bounds.trips.tw");
+    ASSERT_NE(tw, nullptr);
+    EXPECT_TRUE(tw->gated);
+    EXPECT_DOUBLE_EQ(tw->base, 49189414.0);
+}
+
+TEST(CompareRuns, ZeroToleranceCounterRegressesOnAnyIncrease)
+{
+    RunArtifacts base = makeRun(
+        "{\"counters\":{\"sched.balance.loop_trips\":302930}}");
+    RunArtifacts worse = makeRun(
+        "{\"counters\":{\"sched.balance.loop_trips\":302931}}");
+    PerfBudget budget = parseBudget(
+        "{\"metrics\": {\"sched.balance.loop_trips\": 0}}");
+
+    CompareResult result = compareRuns(base, worse, budget);
+    EXPECT_FALSE(result.ok);
+    const CompareLine *line =
+        findLine(result, "sched.balance.loop_trips");
+    ASSERT_NE(line, nullptr);
+    EXPECT_TRUE(line->regressed);
+    EXPECT_NE(result.render().find("sched.balance.loop_trips"),
+              std::string::npos);
+
+    // A decrease is an improvement, never a regression.
+    EXPECT_TRUE(compareRuns(worse, base, budget).ok);
+}
+
+TEST(CompareRuns, ToleranceAllowsBoundedGrowth)
+{
+    RunArtifacts base =
+        makeRun("{\"counters\":{\"sched.balance.candidates\":1000}}");
+    RunArtifacts withinTol =
+        makeRun("{\"counters\":{\"sched.balance.candidates\":1049}}");
+    RunArtifacts pastTol =
+        makeRun("{\"counters\":{\"sched.balance.candidates\":1051}}");
+    PerfBudget budget = parseBudget(
+        "{\"metrics\": {\"sched.balance.candidates\": 5}}");
+    EXPECT_TRUE(compareRuns(base, withinTol, budget).ok);
+    EXPECT_FALSE(compareRuns(base, pastTol, budget).ok);
+}
+
+TEST(CompareRuns, UngatedMetricsAreInformationalOnly)
+{
+    RunArtifacts base =
+        makeRun("{\"counters\":{\"trace.ring_dropped\":0}}");
+    RunArtifacts worse =
+        makeRun("{\"counters\":{\"trace.ring_dropped\":5000}}");
+    PerfBudget budget = parseBudget("{\"metrics\": {}}");
+    CompareResult result = compareRuns(base, worse, budget);
+    EXPECT_TRUE(result.ok);
+    const CompareLine *line = findLine(result, "trace.ring_dropped");
+    ASSERT_NE(line, nullptr);
+    EXPECT_FALSE(line->gated);
+    EXPECT_FALSE(line->regressed);
+}
+
+TEST(CompareRuns, GatedMetricMissingFromCurrentRegresses)
+{
+    // The gate must not silently lose coverage: a budgeted counter
+    // that vanishes from the current snapshot fails the comparison.
+    RunArtifacts base =
+        makeRun("{\"counters\":{\"bounds.trips.tw\":100}}");
+    RunArtifacts missing = makeRun("{\"counters\":{}}");
+    PerfBudget budget =
+        parseBudget("{\"metrics\": {\"bounds.trips.*\": 0}}");
+    CompareResult result = compareRuns(base, missing, budget);
+    EXPECT_FALSE(result.ok);
+    const CompareLine *line = findLine(result, "bounds.trips.tw");
+    ASSERT_NE(line, nullptr);
+    EXPECT_TRUE(line->regressed);
+}
+
+TEST(CompareRuns, MetricsNewInCurrentAreInformational)
+{
+    RunArtifacts base = makeRun("{\"counters\":{}}");
+    RunArtifacts extra =
+        makeRun("{\"counters\":{\"bounds.trips.tw\":100}}");
+    PerfBudget budget =
+        parseBudget("{\"metrics\": {\"bounds.trips.*\": 0}}");
+    CompareResult result = compareRuns(base, extra, budget);
+    EXPECT_TRUE(result.ok) << "no base value, nothing to regress from";
+    const CompareLine *line = findLine(result, "bounds.trips.tw");
+    ASSERT_NE(line, nullptr);
+    EXPECT_FALSE(line->regressed);
+}
+
+TEST(CompareRuns, WallClockGatesOnlyWhenBudgeted)
+{
+    RunArtifacts base = makeRun("{\"counters\":{}}", {{"GP4", 100.0}});
+    RunArtifacts slower =
+        makeRun("{\"counters\":{}}", {{"GP4", 300.0}});
+
+    PerfBudget ungated = parseBudget("{\"metrics\": {}}");
+    EXPECT_TRUE(compareRuns(base, slower, ungated).ok);
+
+    PerfBudget gated = parseBudget(
+        "{\"wall_time_tolerance_pct\": 100, \"metrics\": {}}");
+    CompareResult result = compareRuns(base, slower, gated);
+    EXPECT_FALSE(result.ok) << "3x is past the 100% tolerance";
+    const CompareLine *line = findLine(result, "wall_ms.GP4");
+    ASSERT_NE(line, nullptr);
+    EXPECT_TRUE(line->gated);
+    EXPECT_TRUE(line->regressed);
+
+    RunArtifacts ok = makeRun("{\"counters\":{}}", {{"GP4", 150.0}});
+    EXPECT_TRUE(compareRuns(base, ok, gated).ok);
+}
+
+TEST(CompareRuns, RenderMarksRegressions)
+{
+    RunArtifacts base =
+        makeRun("{\"counters\":{\"bounds.trips.rj\":10}}");
+    RunArtifacts worse =
+        makeRun("{\"counters\":{\"bounds.trips.rj\":11}}");
+    PerfBudget budget =
+        parseBudget("{\"metrics\": {\"bounds.trips.rj\": 0}}");
+    std::string table = compareRuns(base, worse, budget).render();
+    EXPECT_NE(table.find("bounds.trips.rj"), std::string::npos)
+        << table;
+    EXPECT_NE(table.find("REGRESSED"), std::string::npos) << table;
+}
+
+} // namespace
+} // namespace balance

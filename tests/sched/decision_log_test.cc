@@ -73,10 +73,60 @@ TEST(DecisionLog, JsonLinesAreIndividuallyValid)
         ++n;
     }
     EXPECT_EQ(n, 2) << "one JSON document per step";
-    EXPECT_NE(lines.find("\"sb\":\"bench0/sb3\""), std::string::npos);
     EXPECT_NE(lines.find("\"outcome\":\"delayedOK\""),
               std::string::npos);
     EXPECT_NE(lines.find("\"pairBound\":10"), std::string::npos);
+}
+
+TEST(DecisionLog, EveryJsonLineCarriesJoinIdentity)
+{
+    // Attribution joins decision records to per-superblock rows on
+    // (program, superblock) — never by file position — so EVERY
+    // record must carry both fields (docs/REPORTING.md).
+    DecisionLog log("gcc.sb7");
+    log.beginStep(0).pick = 1;
+    log.beginStep(1).pick = 2;
+    std::string lines = log.toJsonLines();
+    std::istringstream in(lines);
+    std::string line;
+    int n = 0;
+    while (std::getline(in, line)) {
+        EXPECT_NE(line.find("\"program\":\"gcc\""), std::string::npos)
+            << line;
+        EXPECT_NE(line.find("\"superblock\":\"gcc.sb7\""),
+                  std::string::npos)
+            << line;
+        ++n;
+    }
+    EXPECT_EQ(n, 2);
+}
+
+TEST(DecisionLog, ProgramDerivesFromLabelPrefix)
+{
+    // Suite superblocks are named "<program>.sb<i>".
+    DecisionLog suiteStyle("perl.sb12");
+    EXPECT_EQ(suiteStyle.program(), "perl");
+    EXPECT_EQ(suiteStyle.superblock(), "perl.sb12");
+
+    // No dot: the whole label stands in for the program.
+    DecisionLog bare("kernel");
+    EXPECT_EQ(bare.program(), "kernel");
+    EXPECT_EQ(bare.superblock(), "kernel");
+}
+
+TEST(DecisionLog, SetIdentityOverridesBothFields)
+{
+    DecisionLog log("placeholder");
+    log.setIdentity("vortex", "vortex.sb3");
+    EXPECT_EQ(log.program(), "vortex");
+    EXPECT_EQ(log.superblock(), "vortex.sb3");
+    EXPECT_EQ(log.label(), "vortex.sb3");
+    log.beginStep(0).pick = 5;
+    std::string lines = log.toJsonLines();
+    EXPECT_NE(lines.find("\"program\":\"vortex\""), std::string::npos);
+    EXPECT_NE(lines.find("\"superblock\":\"vortex.sb3\""),
+              std::string::npos);
+    EXPECT_EQ(lines.find("placeholder"), std::string::npos);
 }
 
 TEST(DecisionLog, OutcomeNamesAreStable)

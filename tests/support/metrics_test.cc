@@ -77,6 +77,75 @@ TEST(Histogram, CountSumAndBuckets)
     EXPECT_EQ(b[2], 2);
 }
 
+TEST(Histogram, BucketUpperBounds)
+{
+    EXPECT_EQ(Histogram::bucketUpperBound(0), 0);
+    EXPECT_EQ(Histogram::bucketUpperBound(-1), 0);
+    EXPECT_EQ(Histogram::bucketUpperBound(1), 1);
+    EXPECT_EQ(Histogram::bucketUpperBound(2), 3);
+    EXPECT_EQ(Histogram::bucketUpperBound(10), 1023);
+}
+
+TEST(Histogram, PercentilesFromBuckets)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("p");
+    EXPECT_EQ(h.percentile(0.5), 0) << "empty histogram";
+
+    h.observe(1); // bucket 1
+    h.observe(2); // bucket 2
+    h.observe(4); // bucket 3
+    h.observe(8); // bucket 4
+    // Rank ceil(q * 4) in cumulative bucket order; the reported
+    // quantile is the inclusive upper bound of the rank's bucket.
+    EXPECT_EQ(h.percentile(0.25), 1); // rank 1 -> bucket 1
+    EXPECT_EQ(h.percentile(0.5), 3);  // rank 2 -> bucket 2
+    EXPECT_EQ(h.percentile(0.75), 7); // rank 3 -> bucket 3
+    EXPECT_EQ(h.percentile(0.99), 15); // rank 4 -> bucket 4
+    EXPECT_EQ(h.percentile(1.0), 15);
+}
+
+TEST(Histogram, PercentilesOverUniformRange)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("u");
+    for (long long v = 1; v <= 1000; ++v)
+        h.observe(v);
+    // p50: rank 500; cumulative counts reach 511 at bucket 9
+    // (values 256..511), so the quantile reports 2^9 - 1.
+    EXPECT_EQ(h.percentile(0.5), 511);
+    EXPECT_EQ(h.percentile(0.9), 1023);
+    EXPECT_EQ(h.percentile(0.99), 1023);
+}
+
+TEST(Histogram, SnapshotCarriesDerivedPercentiles)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("lat");
+    for (long long v = 1; v <= 100; ++v)
+        h.observe(v);
+    std::string doc = reg.snapshotJson();
+    EXPECT_TRUE(jsonLooksValid(doc)) << doc;
+    // The snapshot serializes the derived quantiles alongside
+    // count/sum so downstream tooling never re-derives them.
+    std::string p50 =
+        "\"p50\":" + std::to_string(h.percentile(0.5));
+    std::string p90 =
+        "\"p90\":" + std::to_string(h.percentile(0.9));
+    std::string p99 =
+        "\"p99\":" + std::to_string(h.percentile(0.99));
+    EXPECT_NE(doc.find(p50), std::string::npos) << doc;
+    EXPECT_NE(doc.find(p90), std::string::npos) << doc;
+    EXPECT_NE(doc.find(p99), std::string::npos) << doc;
+    // Derivation happens at serialization: keys appear even for an
+    // empty histogram, as zeros.
+    MetricRegistry empty;
+    empty.histogram("none");
+    std::string emptyDoc = empty.snapshotJson();
+    EXPECT_NE(emptyDoc.find("\"p50\":0"), std::string::npos)
+        << emptyDoc;
+}
+
 TEST(MetricRegistry, ResetZeroesKeepingRegistrations)
 {
     MetricRegistry reg;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "support/json.hh"
+#include "support/metrics.hh"
 #include "support/parallel_for.hh"
 
 namespace balance
@@ -108,6 +109,28 @@ TEST_F(TraceTest, RingOverwritesOldestAndCountsDropped)
     EXPECT_EQ(doc.find("\"ts\":5,"), std::string::npos);
     EXPECT_NE(doc.find("\"ts\":10,"), std::string::npos);
     EXPECT_NE(doc.find("trace_ring_dropped"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingOverflowTicksDroppedCounter)
+{
+    // Every overwritten span must surface in the metric registry as
+    // trace.ring_dropped, so a run whose trace silently wrapped is
+    // visible in the metrics snapshot (and gateable by the report
+    // compare budget). The registry is process-global, so assert on
+    // the delta.
+    MetricRegistry &reg = MetricRegistry::global();
+    long long before = reg.counter("trace.ring_dropped").value();
+
+    TraceSession &s = TraceSession::global();
+    s.enable();
+    const std::size_t extra = 23;
+    for (std::size_t i = 0; i < TraceSession::ringCapacity + extra; ++i)
+        s.record("overflow", (std::int64_t)(i), 1, -1);
+    s.disable();
+
+    EXPECT_EQ(s.droppedEvents(), (long long)(extra));
+    EXPECT_EQ(reg.counter("trace.ring_dropped").value() - before,
+              (long long)(extra));
 }
 
 TEST_F(TraceTest, ClearDropsEverything)

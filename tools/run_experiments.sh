@@ -6,10 +6,33 @@
 #   tools/run_experiments.sh 0.25        # quarter suite, all cores
 #   tools/run_experiments.sh 1.0 8       # full suite, 8 workers
 #
+# Pass --report-out DIR to additionally capture an instrumented run
+# report (manifest + per-superblock rows + decision logs + rendered
+# Markdown, see docs/REPORTING.md) at the same scale:
+#
+#   tools/run_experiments.sh --report-out results/report 0.25
+#
 # Outputs are byte-identical for every thread count (the runners
 # reduce per-superblock slots in suite order), so THREADS only
 # changes wall-clock, never results/.
 set -euo pipefail
+
+report_out=""
+positional=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --report-out)
+            [ $# -ge 2 ] || { echo "--report-out needs a directory" >&2; exit 2; }
+            report_out="$2"
+            shift 2
+            ;;
+        *)
+            positional+=("$1")
+            shift
+            ;;
+    esac
+done
+set -- "${positional[@]+"${positional[@]}"}"
 
 scale="${1:-1.0}"
 threads="${2:-${THREADS:-0}}"
@@ -58,6 +81,17 @@ done
 
 echo "== micro_kernels =="
 "$build/bench/micro_kernels" | tee "$out/micro_kernels.txt"
+
+if [ -n "$report_out" ]; then
+    echo
+    echo "== run report (scale $scale) =="
+    mkdir -p "$report_out"
+    "$build/bench/report_tool" run --out "$report_out" \
+        --scale "$scale" "${thread_args[@]}"
+    "$build/bench/report_tool" render "$report_out/manifest.json" \
+        -o "$report_out/report.md"
+    echo "report: $report_out/report.md"
+fi
 
 echo
 echo "all outputs in $out/"
