@@ -25,6 +25,7 @@
 #include <sys/stat.h>
 #include <vector>
 
+#include "eval/bench_options.hh"
 #include "report/attribution.hh"
 #include "report/capture.hh"
 #include "report/compare.hh"
@@ -90,15 +91,22 @@ cmdRun(int argc, char **argv)
         if (arg == "--out") {
             opts.outDir = argValue(argc, argv, &i);
         } else if (arg == "--scale") {
-            opts.suite.scale = std::atof(argValue(argc, argv, &i));
+            const char *text = argValue(argc, argv, &i);
+            double v = parseDoubleOption("report_tool", arg, text, 2);
+            if (v <= 0.0 || v > 1.0)
+                optionError("report_tool", arg, text,
+                            "number in (0, 1]", 2);
+            opts.suite.scale = v;
         } else if (arg == "--seed") {
-            opts.suite.seed =
-                std::strtoull(argValue(argc, argv, &i), nullptr, 0);
+            opts.suite.seed = parseUint64Option(
+                "report_tool", arg, argValue(argc, argv, &i), 2);
         } else if (arg == "--config") {
             opts.machines.push_back(
                 MachineModel::byName(argValue(argc, argv, &i)));
         } else if (arg == "--threads") {
-            opts.threads = std::atoi(argValue(argc, argv, &i));
+            opts.threads = int(parseIntOption(
+                "report_tool", arg, argValue(argc, argv, &i), 0, 4096,
+                2));
         } else if (arg == "--with-best") {
             opts.withBest = true;
         } else {
@@ -132,7 +140,9 @@ cmdRender(int argc, char **argv)
         if (arg == "-o") {
             outPath = argValue(argc, argv, &i);
         } else if (arg == "--top") {
-            attrOpts.topK = std::atoi(argValue(argc, argv, &i));
+            attrOpts.topK = int(parseIntOption(
+                "report_tool", arg, argValue(argc, argv, &i), 1,
+                1000000, 2));
         } else if (manifestPath.empty()) {
             manifestPath = arg;
         } else {

@@ -1,14 +1,16 @@
 /**
  * @file
- * Wall-clock comparison of the scratch-arena bound engine against
- * the retained naive reference (bounds/reference.hh) on the
- * Pairwise/Triplewise-dominated full bound computation, for the GP4
+ * Wall-clock comparison of the allocation-free scheduler engine
+ * against the retained naive reference (sched/reference/reference.hh)
+ * on the Best envelope — the primaries plus the 121-point combo grid,
+ * the dominant scheduling cost of the full-scale suite — for the GP4
  * and FS8 machine configurations. Emits machine-readable results as
- * JSON (BENCH_bounds.json when run from the repo root) and asserts
- * along the way that both paths produce bitwise-identical bounds.
+ * JSON (BENCH_sched.json when run from the repo root) and asserts
+ * along the way that both paths produce bitwise-identical schedules
+ * and weighted completion times.
  *
- *   ./bounds_perf [--scale f] [--seed s] [--config M]...
- *                 [--out path] [--smoke]
+ *   ./sched_perf [--scale f] [--seed s] [--config M]...
+ *                [--out path] [--smoke]
  *
  * --smoke shrinks the suite to a seconds-scale run and is what the
  * perf-labeled ctest target uses; the emitted document is validated
@@ -25,10 +27,12 @@
 #include <string_view>
 #include <vector>
 
-#include "bounds/bound_scratch.hh"
 #include "eval/bench_options.hh"
-#include "bounds/reference.hh"
-#include "bounds/superblock_bounds.hh"
+#include "machine/machine_model.hh"
+#include "sched/best_scheduler.hh"
+#include "sched/heuristics.hh"
+#include "sched/reference/reference.hh"
+#include "sched/sched_scratch.hh"
 #include "support/diagnostics.hh"
 #include "support/json.hh"
 #include "support/metrics.hh"
@@ -45,7 +49,7 @@ struct Options
 {
     SuiteOptions suite;
     std::vector<MachineModel> machines;
-    std::string outPath = "BENCH_bounds.json";
+    std::string outPath = "BENCH_sched.json";
     bool smoke = false;
     TelemetryOptions telemetry;
 };
@@ -54,12 +58,12 @@ struct Options
 usage(int code)
 {
     std::cout
-        << "bounds_perf: naive-vs-engine bound wall clock\n"
+        << "sched_perf: naive-vs-engine Best-envelope wall clock\n"
         << "  --scale <0..1]   suite fraction (default 0.05)\n"
         << "  --seed <u64>     suite master seed\n"
         << "  --config <name>  machine config (repeatable; default\n"
         << "                   GP4 and FS8)\n"
-        << "  --out <path>     JSON output (default BENCH_bounds.json)\n"
+        << "  --out <path>     JSON output (default BENCH_sched.json)\n"
         << "  --smoke          tiny suite; same checks\n"
         << telemetryUsage();
     std::exit(code);
@@ -80,14 +84,14 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "--scale") {
             std::string text = next();
-            double v = parseDoubleOption("bounds_perf", arg, text, 2);
+            double v = parseDoubleOption("sched_perf", arg, text, 2);
             if (v <= 0.0 || v > 1.0)
-                optionError("bounds_perf", arg, text,
+                optionError("sched_perf", arg, text,
                             "number in (0, 1]", 2);
             o.suite.scale = v;
             scaleSet = true;
         } else if (arg == "--seed") {
-            o.suite.seed = parseUint64Option("bounds_perf", arg,
+            o.suite.seed = parseUint64Option("sched_perf", arg,
                                              next(), 2);
         } else if (arg == "--config") {
             o.machines.push_back(MachineModel::byName(next()));
@@ -120,11 +124,27 @@ msSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-bool
-identicalBounds(const WctBounds &a, const WctBounds &b)
+/** The reference Best envelope's primary lineup, in its order. */
+std::vector<std::shared_ptr<const Scheduler>>
+bestPrimaries()
 {
-    return a.cp == b.cp && a.hu == b.hu && a.rj == b.rj &&
-           a.lc == b.lc && a.pw == b.pw && a.tw == b.tw;
+    return {std::make_shared<SuccessiveRetirementScheduler>(),
+            std::make_shared<CriticalPathScheduler>(),
+            std::make_shared<GStarScheduler>(),
+            std::make_shared<DhasyScheduler>()};
+}
+
+bool
+identicalSchedules(const Superblock &sb, const Schedule &a,
+                   const Schedule &b)
+{
+    if (a.numOps() != b.numOps() || a.wct(sb) != b.wct(sb))
+        return false;
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        if (a.issueOf(v) != b.issueOf(v))
+            return false;
+    }
+    return true;
 }
 
 struct MachineRun
@@ -144,7 +164,7 @@ runMachine(const std::vector<BenchmarkProgram> &suite,
     run.name = machine.name();
 
     // Each path gets its own cold GraphContexts so neither inherits
-    // closures the other one computed.
+    // closures or cached analyses the other one computed.
     std::vector<std::unique_ptr<GraphContext>> naiveCtx, engineCtx;
     for (const BenchmarkProgram &prog : suite) {
         for (const Superblock &sb : prog.superblocks) {
@@ -154,26 +174,31 @@ runMachine(const std::vector<BenchmarkProgram> &suite,
     }
     run.superblocks = int(naiveCtx.size());
 
-    std::vector<WctBounds> naive(naiveCtx.size());
+    std::vector<Schedule> naive(naiveCtx.size());
     {
-        TraceSpan span("bounds_perf.naive",
+        TraceSpan span("sched_perf.naive",
                        (long long)(naiveCtx.size()));
         auto t0 = std::chrono::steady_clock::now();
-        for (std::size_t i = 0; i < naiveCtx.size(); ++i)
-            naive[i] =
-                reference::computeWctBounds(*naiveCtx[i], machine);
+        for (std::size_t i = 0; i < naiveCtx.size(); ++i) {
+            const GraphContext &ctx = *naiveCtx[i];
+            naive[i] = sched_reference::bestSchedule(
+                ctx, machine, steeringWeights(ctx.sb(), {}));
+        }
         run.naiveMs = msSince(t0);
     }
 
-    std::vector<WctBounds> engine(engineCtx.size());
-    BoundScratch scratch(machine);
+    BestScheduler best(bestPrimaries());
+    std::vector<Schedule> engine(engineCtx.size());
+    SchedScratch scratch;
     {
-        TraceSpan span("bounds_perf.engine",
+        TraceSpan span("sched_perf.engine",
                        (long long)(engineCtx.size()));
         auto t0 = std::chrono::steady_clock::now();
-        for (std::size_t i = 0; i < engineCtx.size(); ++i)
-            engine[i] = computeWctBounds(*engineCtx[i], machine, {},
-                                         nullptr, &scratch);
+        for (std::size_t i = 0; i < engineCtx.size(); ++i) {
+            ScheduleRequest req;
+            req.scratch = &scratch;
+            engine[i] = best.run(*engineCtx[i], machine, req);
+        }
         run.engineMs = msSince(t0);
     }
 
@@ -181,22 +206,22 @@ runMachine(const std::vector<BenchmarkProgram> &suite,
     // is serial so the snapshot is deterministic.
     if (metricsCollectionEnabled()) {
         MetricRegistry &reg = MetricRegistry::global();
-        reg.counter("bounds.pair_skeleton.hits")
-            .add(scratch.stats.pairSkeletonHits);
-        reg.counter("bounds.pair_skeleton.misses")
-            .add(scratch.stats.pairSkeletonMisses);
-        reg.counter("bounds.triple_skeleton.hits")
-            .add(scratch.stats.tripleSkeletonHits);
-        reg.counter("bounds.triple_skeleton.misses")
-            .add(scratch.stats.tripleSkeletonMisses);
-        reg.counter("bounds.relax.epoch_resets")
-            .add(scratch.table.resetCount());
-        reg.gauge("bounds.scratch.high_water_bytes")
-            .observeMax((long long)(scratch.arena.highWaterBytes()));
+        reg.counter("sched.priority_tables.hits")
+            .add(scratch.stats.tableHits);
+        reg.counter("sched.priority_tables.misses")
+            .add(scratch.stats.tableMisses);
+        reg.counter("sched.best.grid_runs")
+            .add(scratch.stats.gridRuns);
+        reg.counter("sched.best.grid_skipped")
+            .add(scratch.stats.gridSkipped);
+        reg.gauge("sched.scratch.high_water_bytes")
+            .observeMax((long long)(scratch.highWaterBytes()));
     }
 
     for (std::size_t i = 0; i < naive.size(); ++i) {
-        if (!identicalBounds(naive[i], engine[i])) {
+        const Superblock &sb = naiveCtx[i]->sb();
+        engine[i].validate(sb, machine);
+        if (!identicalSchedules(sb, naive[i], engine[i])) {
             run.identical = false;
             std::cerr << "MISMATCH on superblock " << i << " ("
                       << machine.name() << ")\n";
@@ -213,12 +238,12 @@ main(int argc, char **argv)
     Options opts = parseArgs(argc, argv);
     std::vector<BenchmarkProgram> suite = buildSuite(opts.suite);
 
-    std::cout << "bounds_perf: " << suiteSize(suite)
+    std::cout << "sched_perf: " << suiteSize(suite)
               << " superblocks (scale " << opts.suite.scale << ")\n\n";
 
     JsonWriter w;
     w.beginObject()
-        .key("bench").value("bounds_perf")
+        .key("bench").value("sched_perf")
         .key("scale").value(opts.suite.scale)
         .key("seed").value((long long)(opts.suite.seed))
         .key("smoke").value(opts.smoke)
@@ -246,7 +271,7 @@ main(int argc, char **argv)
     w.endArray().endObject();
 
     bsAssert(jsonLooksValid(w.str()),
-             "bounds_perf produced malformed JSON");
+             "sched_perf produced malformed JSON");
     std::ofstream out(opts.outPath);
     bsAssert(out.good(), "cannot open ", opts.outPath);
     out << w.str() << "\n";
@@ -254,7 +279,7 @@ main(int argc, char **argv)
     std::cout << "\nwrote " << opts.outPath << "\n";
 
     if (!allIdentical) {
-        std::cerr << "bound values diverged from the reference\n";
+        std::cerr << "schedules diverged from the reference\n";
         return 1;
     }
     return 0;

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "core/branch_select.hh"
 #include "core/op_pick.hh"
 #include "core/sched_state.hh"
 #include "sched/decision_log.hh"
+#include "sched/sched_scratch.hh"
 #include "support/diagnostics.hh"
 
 namespace balance
@@ -33,20 +35,19 @@ logOutcome(BranchOutcome o)
     return DecisionOutcome::Ignored;
 }
 
-/** Static per-branch late times in dependence-only (DC) mode. */
-std::vector<std::vector<int>>
-dcLatePerBranch(const GraphContext &ctx)
+/**
+ * Engine working set parked inside the caller's SchedScratch between
+ * runs: the scheduling state, the per-branch dynamics objects, and
+ * the DC-mode static late buffers all keep their allocations across
+ * superblocks and machines (each run rebinds them in O(1) extra
+ * memory).
+ */
+struct EngineScratch final : SchedScratchExtension
 {
-    const Superblock &sb = ctx.sb();
-    std::vector<std::vector<int>> out;
-    out.reserve(std::size_t(sb.numBranches()));
-    for (int bi = 0; bi < sb.numBranches(); ++bi) {
-        OpId b = sb.branches()[std::size_t(bi)];
-        out.push_back(computeLateDC(sb, b,
-                                    ctx.earlyDC()[std::size_t(b)]));
-    }
-    return out;
-}
+    std::optional<SchedState> state;
+    std::vector<std::unique_ptr<BranchDynamics>> dyn;
+    std::vector<std::vector<int>> dcLate;
+};
 
 /** The shared Balance/Help engine for one run. */
 class Engine
@@ -55,37 +56,80 @@ class Engine
     Engine(const GraphContext &ctx, const MachineModel &machine,
            const BalanceConfig &cfg, const BoundsToolkit *toolkit,
            const ScheduleRequest &req)
-        : ctx(ctx), sb(ctx.sb()), cfg(cfg), state(sb, machine),
+        : ctx(ctx), sb(ctx.sb()), cfg(cfg),
           weights(steeringWeights(sb, req)), stats(req.stats),
           log(req.decisionLog)
     {
+        // Park the engine working set in the caller's SchedScratch so
+        // repeated runs (the evaluation sweeps) stop reallocating it;
+        // without a scratch, fall back to engine-owned buffers.
+        EngineScratch *es = nullptr;
+        if (req.scratch) {
+            es = dynamic_cast<EngineScratch *>(
+                req.scratch->coreExt.get());
+            if (!es) {
+                auto fresh = std::make_unique<EngineScratch>();
+                es = fresh.get();
+                req.scratch->coreExt = std::move(fresh);
+            }
+        }
+        if (es && es->state) {
+            es->state->rebind(sb, machine);
+            state = &*es->state;
+        } else if (es) {
+            es->state.emplace(sb, machine);
+            state = &*es->state;
+        } else {
+            ownState.emplace(sb, machine);
+            state = &*ownState;
+        }
+
+        staticLate.reserve(std::size_t(sb.numBranches()));
         if (cfg.useRcBounds) {
             bsAssert(toolkit, "RC mode requires a bounds toolkit");
             staticEarly = &toolkit->earlyRC();
             for (int bi = 0; bi < sb.numBranches(); ++bi)
-                staticLate.push_back(toolkit->lateRC(bi));
+                staticLate.push_back(&toolkit->lateRC(bi));
             if (cfg.useTradeoff)
                 pairwise = toolkit->pairwise();
         } else {
             staticEarly = &ctx.earlyDC();
-            staticLate = dcLatePerBranch(ctx);
+            std::vector<std::vector<int>> &dcLate =
+                es ? es->dcLate : ownDcLate;
+            dcLate.resize(std::size_t(sb.numBranches()));
+            for (int bi = 0; bi < sb.numBranches(); ++bi) {
+                OpId b = sb.branches()[std::size_t(bi)];
+                dcLate[std::size_t(bi)] = computeLateDC(
+                    sb, b, ctx.earlyDC()[std::size_t(b)]);
+                staticLate.push_back(&dcLate[std::size_t(bi)]);
+            }
         }
 
-        dyn.reserve(std::size_t(sb.numBranches()));
+        std::vector<std::unique_ptr<BranchDynamics>> &pool =
+            es ? es->dyn : ownDyn;
+        if (int(pool.size()) > sb.numBranches())
+            pool.resize(std::size_t(sb.numBranches()));
         for (int bi = 0; bi < sb.numBranches(); ++bi) {
-            dyn.push_back(std::make_unique<BranchDynamics>(
-                ctx, machine, bi, *staticEarly,
-                staticLate[std::size_t(bi)]));
+            if (std::size_t(bi) < pool.size()) {
+                pool[std::size_t(bi)]->rebind(
+                    ctx, machine, bi, *staticEarly,
+                    *staticLate[std::size_t(bi)]);
+            } else {
+                pool.push_back(std::make_unique<BranchDynamics>(
+                    ctx, machine, bi, *staticEarly,
+                    *staticLate[std::size_t(bi)]));
+            }
         }
+        dyn = &pool;
     }
 
     Schedule
     run()
     {
         fullUpdateAll();
-        while (!state.done()) {
-            if (!state.anyIssuableNow()) {
-                const std::vector<int> &lost = state.advanceCycle();
+        while (!state->done()) {
+            if (!state->anyIssuableNow()) {
+                const std::vector<int> &lost = state->advanceCycle();
                 if (cfg.updatePerOp) {
                     refreshOnCycleAdvance(lost);
                 } else {
@@ -97,17 +141,17 @@ class Engine
             }
 
             DecisionStep *step =
-                log ? &log->beginStep(state.cycle()) : nullptr;
+                log ? &log->beginStep(state->cycle()) : nullptr;
             std::vector<OpId> candidates = chooseCandidates(step);
-            OpId pick = pickBestOp(state, dyn, weights, candidates,
+            OpId pick = pickBestOp(*state, *dyn, weights, candidates,
                                    {cfg.useHlpDel}, stats);
             if (cfg.trace) {
-                std::cerr << "cycle " << state.cycle() << ": pick "
+                std::cerr << "cycle " << state->cycle() << ": pick "
                           << pick << " from {";
                 for (OpId v : candidates)
                     std::cerr << " " << v;
                 std::cerr << " }  dynEarly:";
-                for (auto &d : dyn) {
+                for (auto &d : *dyn) {
                     if (!d->retired())
                         std::cerr << " b" << d->branchOp() << "="
                                   << d->dynEarly();
@@ -118,7 +162,7 @@ class Engine
                 step->pick = pick;
                 step->candidates = candidates;
             }
-            state.scheduleNow(pick);
+            state->scheduleNow(pick);
             if (stats) {
                 ++stats->decisions;
                 stats->candidatesSum += (long long)(candidates.size());
@@ -133,28 +177,28 @@ class Engine
                 }
             }
         }
-        return state.toSchedule();
+        return state->toSchedule();
     }
 
   private:
     void
     fullUpdateAll()
     {
-        for (auto &d : dyn) {
-            d->fullUpdate(state, stats);
+        for (auto &d : *dyn) {
+            d->fullUpdate(*state, stats);
             ++fullUpd;
         }
         if (stats)
-            stats->fullUpdates += (long long)(dyn.size());
+            stats->fullUpdates += (long long)(dyn->size());
     }
 
     void
     refreshOnOp(OpId lastOp)
     {
-        for (auto &d : dyn) {
+        for (auto &d : *dyn) {
             if (!cfg.useLightUpdate ||
-                !d->lightUpdateOnOp(state, lastOp, stats)) {
-                d->fullUpdate(state, stats);
+                !d->lightUpdateOnOp(*state, lastOp, stats)) {
+                d->fullUpdate(*state, stats);
                 ++fullUpd;
                 if (stats)
                     ++stats->fullUpdates;
@@ -169,10 +213,10 @@ class Engine
     void
     refreshOnCycleAdvance(const std::vector<int> &lost)
     {
-        for (auto &d : dyn) {
+        for (auto &d : *dyn) {
             if (!cfg.useLightUpdate ||
-                !d->lightUpdateOnCycleAdvance(state, lost, stats)) {
-                d->fullUpdate(state, stats);
+                !d->lightUpdateOnCycleAdvance(*state, lost, stats)) {
+                d->fullUpdate(*state, stats);
                 ++fullUpd;
                 if (stats)
                     ++stats->fullUpdates;
@@ -190,7 +234,7 @@ class Engine
     {
         std::vector<OpId> out;
         for (OpId v = 0; v < sb.numOps(); ++v) {
-            if (state.canIssueNow(v))
+            if (state->canIssueNow(v))
                 out.push_back(v);
         }
         return out;
@@ -205,18 +249,18 @@ class Engine
         // Gather each unretired branch's needs for this decision.
         std::vector<BranchNeeds> needs;
         for (int bi = 0; bi < sb.numBranches(); ++bi) {
-            BranchDynamics &d = *dyn[std::size_t(bi)];
+            BranchDynamics &d = *(*dyn)[std::size_t(bi)];
             if (d.retired())
                 continue;
             BranchNeeds n;
             n.branchIdx = bi;
             n.weight = weights[std::size_t(bi)];
             n.dynEarly = d.dynEarly();
-            n.needEach = d.needEach(state);
+            n.needEach = d.needEach(*state);
             n.needOne.resize(
-                std::size_t(state.machine().numResources()));
-            for (int r = 0; r < state.machine().numResources(); ++r)
-                n.needOne[std::size_t(r)] = d.needOne(state, r);
+                std::size_t(state->machine().numResources()));
+            for (int r = 0; r < state->machine().numResources(); ++r)
+                n.needOne[std::size_t(r)] = d.needOne(*state, r);
             needs.push_back(std::move(n));
         }
         if (needs.empty())
@@ -230,7 +274,7 @@ class Engine
         }
         SelectionDebug dbg;
         SelectionResult sel = selectCompatibleBranches(
-            state, needs, tradeoff, stats, step ? &dbg : nullptr);
+            *state, needs, tradeoff, stats, step ? &dbg : nullptr);
         if (step)
             recordSelection(*step, needs, sel, dbg);
 
@@ -238,7 +282,7 @@ class Engine
             return issuableOps();
         std::vector<OpId> cands;
         for (OpId v : sel.candidateOps()) {
-            if (state.canIssueNow(v))
+            if (state->canIssueNow(v))
                 cands.push_back(v);
         }
         if (cands.empty())
@@ -278,7 +322,6 @@ class Engine
     const GraphContext &ctx;
     const Superblock &sb;
     BalanceConfig cfg;
-    SchedState state;
     std::vector<double> weights;
     SchedulerStats *stats;
     DecisionLog *log;
@@ -287,9 +330,19 @@ class Engine
     long long lightUpd = 0;
 
     const std::vector<int> *staticEarly = nullptr;
-    std::vector<std::vector<int>> staticLate;
+    /** Per-branch static late times; the vectors live in the bounds
+     *  toolkit (RC mode) or the dcLate buffer (DC mode). */
+    std::vector<const std::vector<int> *> staticLate;
     const PairwiseBounds *pairwise = nullptr;
-    std::vector<std::unique_ptr<BranchDynamics>> dyn;
+
+    /** Scheduling state and per-branch dynamics: pooled in the
+     *  request's SchedScratch when one is present, engine-owned
+     *  fallbacks otherwise. */
+    SchedState *state = nullptr;
+    std::vector<std::unique_ptr<BranchDynamics>> *dyn = nullptr;
+    std::optional<SchedState> ownState;
+    std::vector<std::unique_ptr<BranchDynamics>> ownDyn;
+    std::vector<std::vector<int>> ownDcLate;
 };
 
 } // namespace

@@ -26,6 +26,34 @@ BranchDynamics::BranchDynamics(const GraphContext &ctx,
 }
 
 void
+BranchDynamics::rebind(const GraphContext &ctx,
+                       const MachineModel &machine, int branchIdx,
+                       const std::vector<int> &staticEarly,
+                       const std::vector<int> &staticLate)
+{
+    this->ctx = &ctx;
+    this->machine = &machine;
+    this->branchIdx = branchIdx;
+    branch = ctx.sb().branches()[std::size_t(branchIdx)];
+    this->staticEarly = &staticEarly;
+    this->staticLate = &staticLate;
+    closure = &ctx.closureOps(branchIdx);
+    member.assign(std::size_t(ctx.sb().numOps()), 0);
+    early.assign(std::size_t(ctx.sb().numOps()), 0);
+    late.assign(std::size_t(ctx.sb().numOps()), lateUnconstrained);
+    anchor = 0;
+    ercs.resize(std::size_t(machine.numResources()));
+    for (auto &list : ercs)
+        list.clear();
+    latesByPool.resize(std::size_t(machine.numResources()));
+    for (auto &lates : latesByPool)
+        lates.clear();
+    isRetired = false;
+    for (OpId v : *closure)
+        member[std::size_t(v)] = 1;
+}
+
+void
 BranchDynamics::fullUpdate(const SchedState &state, SchedulerStats *stats)
 {
     if (state.isScheduled(branch)) {

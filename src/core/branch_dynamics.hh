@@ -60,6 +60,15 @@ class BranchDynamics
                    int branchIdx, const std::vector<int> &staticEarly,
                    const std::vector<int> &staticLate);
 
+    /**
+     * Reset to the freshly-constructed state for a (possibly
+     * different) context, branch, and machine, reusing the existing
+     * buffers. Same parameter contract as the constructor.
+     */
+    void rebind(const GraphContext &ctx, const MachineModel &machine,
+                int branchIdx, const std::vector<int> &staticEarly,
+                const std::vector<int> &staticLate);
+
     /** @return the branch's operation id. */
     OpId branchOp() const { return branch; }
 

@@ -17,6 +17,21 @@ SchedState::SchedState(const Superblock &sb, const MachineModel &machine)
         predsLeft[std::size_t(v)] = int(sb.preds(v).size());
 }
 
+void
+SchedState::rebind(const Superblock &sb, const MachineModel &machine)
+{
+    block = &sb;
+    model = &machine;
+    table.rebind(machine);
+    issue.assign(std::size_t(sb.numOps()), -1);
+    predsLeft.assign(std::size_t(sb.numOps()), 0);
+    readyAt.assign(std::size_t(sb.numOps()), 0);
+    curCycle = 0;
+    placed = 0;
+    for (OpId v = 0; v < sb.numOps(); ++v)
+        predsLeft[std::size_t(v)] = int(sb.preds(v).size());
+}
+
 bool
 SchedState::canIssueNow(OpId v) const
 {

@@ -32,6 +32,13 @@ class SchedState
     SchedState(const Superblock &, MachineModel &&) = delete;
     SchedState(Superblock &&, MachineModel &&) = delete;
 
+    /**
+     * Reset to the freshly-constructed state for @p sb on
+     * @p machine, reusing the existing buffers. Equivalent to
+     * `*this = SchedState(sb, machine)` without the allocations.
+     */
+    void rebind(const Superblock &sb, const MachineModel &machine);
+
     /** @return the superblock being scheduled. */
     const Superblock &sb() const { return *block; }
 

@@ -1,5 +1,7 @@
 #include "eval/bench_options.hh"
 
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -14,6 +16,55 @@ std::vector<BenchmarkProgram>
 BenchOptions::buildSuitePopulation() const
 {
     return buildSuite(suite);
+}
+
+void
+optionError(std::string_view tool, std::string_view opt,
+            std::string_view text, std::string_view expected,
+            int exitCode)
+{
+    bsAssert(exitCode != 0, "optionError needs a nonzero exit code");
+    std::cerr << tool << ": bad " << opt << " value '" << text
+              << "' (expected " << expected << ")\n";
+    std::exit(exitCode);
+}
+
+long long
+parseIntOption(std::string_view tool, std::string_view opt,
+               std::string_view text, long long min, long long max,
+               int exitCode)
+{
+    long long v = 0;
+    if (!parseInt(text, v) || v < min || v > max) {
+        std::string range = "integer in [" + std::to_string(min) +
+                            ", " + std::to_string(max) + "]";
+        optionError(tool, opt, text, range, exitCode);
+    }
+    return v;
+}
+
+std::uint64_t
+parseUint64Option(std::string_view tool, std::string_view opt,
+                  std::string_view text, int exitCode)
+{
+    std::uint64_t v = 0;
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    std::from_chars_result r = std::from_chars(first, last, v, 10);
+    if (text.empty() || r.ec != std::errc() || r.ptr != last)
+        optionError(tool, opt, text, "unsigned 64-bit integer",
+                    exitCode);
+    return v;
+}
+
+double
+parseDoubleOption(std::string_view tool, std::string_view opt,
+                  std::string_view text, int exitCode)
+{
+    double v = 0.0;
+    if (!parseDouble(text, v) || !std::isfinite(v))
+        optionError(tool, opt, text, "finite number", exitCode);
+    return v;
 }
 
 BenchOptions
@@ -49,28 +100,18 @@ parseBenchOptions(int argc, char **argv, double defaultScale)
         if (arg == "--help" || arg == "-h") {
             usage(0);
         } else if (arg == "--scale") {
-            double v = 0.0;
-            if (!parseDouble(next(), v) || v <= 0.0 || v > 1.0) {
-                std::cerr << "bad --scale value\n";
-                usage(1);
-            }
+            std::string text = next();
+            double v = parseDoubleOption(argv[0], arg, text);
+            if (v <= 0.0 || v > 1.0)
+                optionError(argv[0], arg, text, "number in (0, 1]");
             opts.suite.scale = v;
         } else if (arg == "--seed") {
-            long long v = 0;
-            if (!parseInt(next(), v)) {
-                std::cerr << "bad --seed value\n";
-                usage(1);
-            }
-            opts.suite.seed = std::uint64_t(v);
+            opts.suite.seed = parseUint64Option(argv[0], arg, next());
         } else if (arg == "--threads") {
-            long long v = 0;
             // 0 is the "auto" convention used throughout the stack:
             // one worker per hardware thread.
-            if (!parseInt(next(), v) || v < 0 || v > 4096) {
-                std::cerr << "bad --threads value\n";
-                usage(1);
-            }
-            opts.threads = int(v);
+            opts.threads =
+                int(parseIntOption(argv[0], arg, next(), 0, 4096));
         } else if (arg == "--config") {
             opts.machines.push_back(MachineModel::byName(next()));
         } else if (parseTelemetryFlag(arg, next, opts.telemetry)) {

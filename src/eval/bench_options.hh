@@ -21,7 +21,9 @@
 #ifndef BALANCE_EVAL_BENCH_OPTIONS_HH
 #define BALANCE_EVAL_BENCH_OPTIONS_HH
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "machine/machine_model.hh"
@@ -57,6 +59,41 @@ struct BenchOptions
  */
 BenchOptions parseBenchOptions(int argc, char **argv,
                                double defaultScale = 1.0);
+
+/**
+ * Checked numeric option parsing shared by every bench CLI (the
+ * unchecked std::stod/std::stoull/std::atoi calls either threw
+ * uncaught or silently turned garbage into 0). Each helper either
+ * returns the fully parsed value or prints the one-line diagnostic
+ *
+ *   <tool>: bad <opt> value '<text>' (expected <what>)
+ *
+ * to stderr and exits with @p exitCode (must be nonzero).
+ */
+
+/** Report a bad option value and exit; @p expected describes the
+ *  accepted form (e.g. "number in (0, 1]"). */
+[[noreturn]] void optionError(std::string_view tool,
+                              std::string_view opt,
+                              std::string_view text,
+                              std::string_view expected,
+                              int exitCode = 1);
+
+/** Parse a decimal integer in [@p min, @p max]. */
+long long parseIntOption(std::string_view tool, std::string_view opt,
+                         std::string_view text, long long min,
+                         long long max, int exitCode = 1);
+
+/** Parse a decimal u64 (full range; seeds use every bit). */
+std::uint64_t parseUint64Option(std::string_view tool,
+                                std::string_view opt,
+                                std::string_view text,
+                                int exitCode = 1);
+
+/** Parse a finite double; range checks stay at the call site (use
+ *  optionError to report them with the same diagnostic shape). */
+double parseDoubleOption(std::string_view tool, std::string_view opt,
+                         std::string_view text, int exitCode = 1);
 
 } // namespace balance
 

@@ -103,7 +103,14 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
     }
     eval.tightest = eval.bounds.tightest();
 
+    // One scheduler scratch per evaluation: the priority tables are
+    // computed once here and shared by every heuristic and the Best
+    // grid, and its counters stay per-superblock so the serial fold
+    // below is thread-invariant.
+    SchedScratch schedScratch;
+
     ScheduleRequest req;
+    req.scratch = &schedScratch;
     if (opts.noProfileSteering)
         req.branchWeights = noProfileWeights(sb);
 
@@ -144,27 +151,16 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
         }
     }
 
-    // Best: the primaries' envelope plus the 11x11 combo grid. Best
-    // selects by true probabilities even under no-profile steering.
+    // Best: the primaries' envelope plus the 11x11 combo grid, now
+    // blending the scratch's cached priority tables and deduplicating
+    // repeated rank permutations. Best selects by true probabilities
+    // even under no-profile steering. Like before, the grid runs
+    // without SchedulerStats attached.
     if (set.withBest) {
-        std::vector<double> cp = normalizeKey(criticalPathKey(ctx));
-        std::vector<double> sr =
-            normalizeKey(successiveRetirementKey(ctx));
-        std::vector<double> dh =
-            normalizeKey(dhasyKey(ctx, steeringWeights(sb, req)));
-        for (int a = 0; a <= 10; ++a) {
-            for (int b = 0; b <= 10; ++b) {
-                double fa = a / 10.0;
-                double fb = b / 10.0;
-                double fc = std::max(0.0, 1.0 - fa - fb);
-                Schedule s = listSchedule(
-                    sb, machine, combineKeys(cp, fa, sr, fb, dh, fc));
-                double w = s.wct(sb);
-                if (!haveBest || w < bestWct) {
-                    bestWct = w;
-                    haveBest = true;
-                }
-            }
+        double gridWct = bestGridWct(ctx, machine, req);
+        if (!haveBest || gridWct < bestWct) {
+            bestWct = gridWct;
+            haveBest = true;
         }
         eval.wct.push_back(bestWct);
     }
@@ -183,9 +179,12 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
         tel->balance = balStats;
         tel->list = listStats;
         tel->engine = scratch->stats;
+        tel->sched = schedScratch.stats;
         tel->relaxResets = scratch->table.resetCount();
         tel->arenaHighWater =
             (long long)(scratch->arena.highWaterBytes());
+        tel->schedArenaHighWater =
+            (long long)(schedScratch.highWaterBytes());
         if (decisionLogEnabled()) {
             tel->decisionLog = decisionLogIsJson() ? dlog.toJsonLines()
                                                    : dlog.toText();
@@ -282,6 +281,17 @@ evaluatePopulation(const std::vector<BenchmarkProgram> &suite,
                     .add(tel->relaxResets);
                 reg.gauge("bounds.scratch.high_water_bytes")
                     .observeMax(tel->arenaHighWater);
+
+                reg.counter("sched.priority_tables.hits")
+                    .add(tel->sched.tableHits);
+                reg.counter("sched.priority_tables.misses")
+                    .add(tel->sched.tableMisses);
+                reg.counter("sched.best.grid_runs")
+                    .add(tel->sched.gridRuns);
+                reg.counter("sched.best.grid_skipped")
+                    .add(tel->sched.gridSkipped);
+                reg.gauge("sched.scratch.high_water_bytes")
+                    .observeMax(tel->schedArenaHighWater);
             }
             if (!tel->decisionLog.empty())
                 appendDecisionLog(tel->decisionLog);

@@ -24,6 +24,7 @@
 #include "core/balance_scheduler.hh"
 #include "sched/best_scheduler.hh"
 #include "sched/list_scheduler.hh"
+#include "sched/sched_scratch.hh"
 #include "workload/suite.hh"
 
 namespace balance
@@ -73,10 +74,14 @@ struct SuperblockTelemetry
     SchedulerStats list;
     /** Sweep-skeleton cache hits and misses. */
     BoundEngineStats engine;
+    /** Scheduler-engine accounting (table cache, grid dedup). */
+    SchedEngineStats sched;
     /** RelaxTable epoch resets during this evaluation. */
     long long relaxResets = 0;
-    /** ScratchArena high-water mark in bytes. */
+    /** ScratchArena high-water mark in bytes (bound scratch). */
     long long arenaHighWater = 0;
+    /** SchedScratch run-arena high-water mark in bytes. */
+    long long schedArenaHighWater = 0;
     /** Rendered Balance decision log (empty when capture is off). */
     std::string decisionLog;
 };

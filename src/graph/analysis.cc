@@ -1,11 +1,24 @@
 #include "graph/analysis.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "support/diagnostics.hh"
 
 namespace balance
 {
+
+namespace
+{
+
+std::uint64_t
+nextContextUid()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
 
 std::vector<int>
 computeEarlyDC(const Superblock &sb)
@@ -77,7 +90,8 @@ PredSets::closure(OpId v) const
 }
 
 GraphContext::GraphContext(const Superblock &sb)
-    : block(&sb), early(computeEarlyDC(sb)), predMasks(sb),
+    : block(&sb), contextUid(nextContextUid()),
+      early(computeEarlyDC(sb)), predMasks(sb),
       closureCache(std::size_t(sb.numBranches())),
       revCache(std::size_t(sb.numBranches()))
 {

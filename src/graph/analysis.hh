@@ -17,6 +17,7 @@
 #ifndef BALANCE_GRAPH_ANALYSIS_HH
 #define BALANCE_GRAPH_ANALYSIS_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -107,6 +108,14 @@ class GraphContext
     /** @return the analyzed superblock. */
     const Superblock &sb() const { return *block; }
 
+    /**
+     * Process-unique id of this context, assigned at construction and
+     * never reused. Caches that outlive a context (e.g. SchedScratch's
+     * priority tables) key on this instead of object addresses, which
+     * allocators recycle.
+     */
+    std::uint64_t uid() const { return contextUid; }
+
     /** @return EarlyDC for all operations. */
     const std::vector<int> &earlyDC() const { return early; }
 
@@ -153,6 +162,7 @@ class GraphContext
 
   private:
     const Superblock *block;
+    std::uint64_t contextUid;
     std::vector<int> early;
     int cp = 0;
     std::vector<std::vector<int>> heights;

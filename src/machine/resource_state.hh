@@ -41,6 +41,18 @@ class ResourceState
     /** Forget all reservations. */
     void clear();
 
+    /**
+     * Point the table at @p machine and clear it, keeping the
+     * allocated capacity. Lets long-lived scratch state reuse one
+     * table across runs and machines.
+     */
+    void
+    rebind(const MachineModel &machine)
+    {
+        model = &machine;
+        clear();
+    }
+
     /** @return units of class @p cls still free in @p cycle. */
     int freeSlots(int cycle, OpClass cls) const;
 

@@ -41,6 +41,8 @@ struct SbCapture
     /** Table 2 trips: cp, hu, rj, lc, lc_reverse, pw, tw. */
     std::array<long long, 7> trips{};
     SchedulerStats bal;
+    SchedEngineStats sched; //!< table cache + grid dedup accounting
+    long long schedArenaHighWater = 0;
     std::string decisionLines; //!< Balance decision log, JSON lines
     std::vector<BranchRow> branches;
 };
@@ -108,7 +110,12 @@ captureSuperblock(const Superblock &sb, const MachineModel &machine,
                  counters.lcReverse.trips, counters.pw.trips,
                  counters.tw.trips};
 
-    // Heuristics; Balance reuses the toolkit and feeds the log.
+    // Heuristics; Balance reuses the toolkit and feeds the log. One
+    // scheduler scratch shares the priority tables across the
+    // primaries and the Best grid.
+    SchedScratch schedScratch;
+    ScheduleRequest plainReq;
+    plainReq.scratch = &schedScratch;
     DecisionLog dlog(sb.name());
     Schedule balanceSchedule;
     bool haveBalance = false;
@@ -117,7 +124,7 @@ captureSuperblock(const Superblock &sb, const MachineModel &machine,
             auto *bal =
                 dynamic_cast<const BalanceScheduler *>(sched.get());
             if (bal && bal->config().useRcBounds) {
-                ScheduleRequest req;
+                ScheduleRequest req = plainReq;
                 req.stats = &cap.bal;
                 req.decisionLog = &dlog;
                 Schedule out =
@@ -126,31 +133,18 @@ captureSuperblock(const Superblock &sb, const MachineModel &machine,
                 haveBalance = true;
                 return out;
             }
-            return sched->run(ctx, machine, {});
+            return sched->run(ctx, machine, plainReq);
         }();
         s.validate(sb, machine);
         cap.wct.push_back(s.wct(sb));
     }
 
-    // Best: the primaries' envelope plus the 11x11 combo grid.
+    // Best: the primaries' envelope plus the (deduplicated) combo
+    // grid, without SchedulerStats attached, as before.
     if (set.withBest) {
         double bestWct = *std::min_element(cap.wct.begin(),
                                            cap.wct.end());
-        std::vector<double> cp = normalizeKey(criticalPathKey(ctx));
-        std::vector<double> sr =
-            normalizeKey(successiveRetirementKey(ctx));
-        std::vector<double> dh =
-            normalizeKey(dhasyKey(ctx, steeringWeights(sb, {})));
-        for (int a = 0; a <= 10; ++a) {
-            for (int b = 0; b <= 10; ++b) {
-                double fa = a / 10.0;
-                double fb = b / 10.0;
-                double fc = std::max(0.0, 1.0 - fa - fb);
-                Schedule s = listSchedule(
-                    sb, machine, combineKeys(cp, fa, sr, fb, dh, fc));
-                bestWct = std::min(bestWct, s.wct(sb));
-            }
-        }
+        bestWct = std::min(bestWct, bestGridWct(ctx, machine, plainReq));
         cap.wct.push_back(bestWct);
     }
 
@@ -160,6 +154,9 @@ captureSuperblock(const Superblock &sb, const MachineModel &machine,
                  "': wct ", w, " < bound ", cap.tightest);
     }
 
+    cap.sched = schedScratch.stats;
+    cap.schedArenaHighWater =
+        (long long)(schedScratch.highWaterBytes());
     cap.decisionLines = dlog.toJsonLines();
 
     // Per-branch detail off the achieved (Balance) schedule.
@@ -251,6 +248,13 @@ foldRow(MetricRegistry &reg, const SbCapture &cap)
     reg.counter("sched.balance.candidates").add(cap.bal.candidatesSum);
     reg.histogram("sched.balance.decisions_per_superblock")
         .observe(cap.bal.decisions);
+    reg.counter("sched.priority_tables.hits").add(cap.sched.tableHits);
+    reg.counter("sched.priority_tables.misses")
+        .add(cap.sched.tableMisses);
+    reg.counter("sched.best.grid_runs").add(cap.sched.gridRuns);
+    reg.counter("sched.best.grid_skipped").add(cap.sched.gridSkipped);
+    reg.gauge("sched.scratch.high_water_bytes")
+        .observeMax(cap.schedArenaHighWater);
 }
 
 } // namespace

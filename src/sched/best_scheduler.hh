@@ -51,6 +51,18 @@ class BestScheduler : public Scheduler
     int gridSteps;
 };
 
+/**
+ * The combo grid alone: minimum weighted completion time over the
+ * (gridSteps+1)^2 blends of the cached CP/SR/DHASY tables, with runs
+ * whose blended rank permutation repeats an earlier point served from
+ * the dedup memory instead of being rescheduled. This is what the
+ * eval and report layers add to the primaries' envelope; it returns
+ * exactly the minimum the 121 discrete listSchedule() calls used to
+ * produce.
+ */
+double bestGridWct(const GraphContext &ctx, const MachineModel &machine,
+                   const ScheduleRequest &req = {}, int gridSteps = 10);
+
 } // namespace balance
 
 #endif // BALANCE_SCHED_BEST_SCHEDULER_HH

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sched/priorities.hh"
+#include "sched/sched_scratch.hh"
 #include "support/diagnostics.hh"
 
 namespace balance
@@ -29,8 +30,10 @@ CriticalPathScheduler::run(const GraphContext &ctx,
                            const MachineModel &machine,
                            const ScheduleRequest &req) const
 {
-    return listSchedule(ctx.sb(), machine, criticalPathKey(ctx),
-                        req.stats);
+    SchedScratch &scr =
+        req.scratch ? *req.scratch : threadLocalSchedScratch();
+    return listSchedule(ctx.sb(), machine, scr.cpKey(ctx), req.stats,
+                        &scr);
 }
 
 Schedule
@@ -38,17 +41,21 @@ SuccessiveRetirementScheduler::run(const GraphContext &ctx,
                                    const MachineModel &machine,
                                    const ScheduleRequest &req) const
 {
-    return listSchedule(ctx.sb(), machine, successiveRetirementKey(ctx),
-                        req.stats);
+    SchedScratch &scr =
+        req.scratch ? *req.scratch : threadLocalSchedScratch();
+    return listSchedule(ctx.sb(), machine, scr.srKey(ctx), req.stats,
+                        &scr);
 }
 
 Schedule
 DhasyScheduler::run(const GraphContext &ctx, const MachineModel &machine,
                     const ScheduleRequest &req) const
 {
+    SchedScratch &scr =
+        req.scratch ? *req.scratch : threadLocalSchedScratch();
     return listSchedule(ctx.sb(), machine,
-                        dhasyKey(ctx, steeringWeights(ctx.sb(), req)),
-                        req.stats);
+                        scr.dhKey(ctx, steeringWeights(ctx.sb(), req)),
+                        req.stats, &scr);
 }
 
 GStarScheduler::GStarScheduler(Secondary secondary)
@@ -67,10 +74,12 @@ GStarScheduler::run(const GraphContext &ctx, const MachineModel &machine,
                     const ScheduleRequest &req) const
 {
     const Superblock &sb = ctx.sb();
+    SchedScratch &scr =
+        req.scratch ? *req.scratch : threadLocalSchedScratch();
     std::vector<double> weights = steeringWeights(sb, req);
-    std::vector<double> cpKey = secondary == Secondary::CriticalPath
-        ? criticalPathKey(ctx)
-        : dhasyKey(ctx, weights);
+    const std::vector<double> &cpKey =
+        secondary == Secondary::CriticalPath ? scr.cpKey(ctx)
+                                             : scr.dhKey(ctx, weights);
 
     // Cumulative steering weight up to and including each branch.
     std::vector<double> cumulative(weights.size(), 0.0);
@@ -98,7 +107,7 @@ GStarScheduler::run(const GraphContext &ctx, const MachineModel &machine,
             DynBitset subset = ctx.predSets().closure(b);
             subset &= remaining;
             std::vector<int> issue = listScheduleSubset(
-                sb, machine, subset, cpKey, req.stats);
+                sb, machine, subset, cpKey, req.stats, &scr);
             double denom = std::max(cumulative[std::size_t(bi)], 1e-12);
             double rank =
                 double(issue[std::size_t(b)] + sb.op(b).latency) / denom;
@@ -126,7 +135,7 @@ GStarScheduler::run(const GraphContext &ctx, const MachineModel &machine,
         priority[std::size_t(v)] =
             tier[std::size_t(v)] * (cpMax + 1.0) + cpKey[std::size_t(v)];
     }
-    return listSchedule(sb, machine, priority, req.stats);
+    return listSchedule(sb, machine, priority, req.stats, &scr);
 }
 
 ComboScheduler::ComboScheduler(double a, double b, double c)
@@ -147,14 +156,16 @@ Schedule
 ComboScheduler::run(const GraphContext &ctx, const MachineModel &machine,
                     const ScheduleRequest &req) const
 {
-    std::vector<double> cp = normalizeKey(criticalPathKey(ctx));
-    std::vector<double> sr = normalizeKey(successiveRetirementKey(ctx));
-    std::vector<double> dh = normalizeKey(
-        dhasyKey(ctx, steeringWeights(ctx.sb(), req)));
-    return listSchedule(ctx.sb(), machine,
-                        combineKeys(cp, cpWeight, sr, srWeight, dh,
-                                    dhasyWeight),
-                        req.stats);
+    SchedScratch &scr =
+        req.scratch ? *req.scratch : threadLocalSchedScratch();
+    const std::vector<double> &cp = scr.cpKeyNormalized(ctx);
+    const std::vector<double> &sr = scr.srKeyNormalized(ctx);
+    const std::vector<double> &dh =
+        scr.dhKeyNormalized(ctx, steeringWeights(ctx.sb(), req));
+    combineKeysInto(scr.blendBuf, cp, cpWeight, sr, srWeight, dh,
+                    dhasyWeight);
+    return listSchedule(ctx.sb(), machine, scr.blendBuf, req.stats,
+                        &scr);
 }
 
 } // namespace balance

@@ -37,12 +37,19 @@ class DecisionLog;
  * every scheduling step (sched/decision_log.hh); other schedulers
  * ignore it. Purely observational — the schedule is identical with
  * or without a log attached.
+ *
+ * @c scratch, when non-null, lends the scheduler a per-worker
+ * SchedScratch (cached priority tables, run arena, grid dedup
+ * memory); null falls back to a thread-local one. Schedules, WCTs,
+ * and stats are identical either way — pinned by
+ * tests/sched/sched_engine_golden_test.
  */
 struct ScheduleRequest
 {
     std::vector<double> branchWeights;
     SchedulerStats *stats = nullptr;
     DecisionLog *decisionLog = nullptr;
+    SchedScratch *scratch = nullptr;
 };
 
 /** Abstract superblock scheduler. */

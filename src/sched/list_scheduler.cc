@@ -1,8 +1,9 @@
 #include "sched/list_scheduler.hh"
 
 #include <algorithm>
+#include <bit>
 
-#include "machine/resource_state.hh"
+#include "sched/sched_scratch.hh"
 #include "support/diagnostics.hh"
 
 namespace balance
@@ -12,77 +13,106 @@ namespace
 {
 
 /**
- * Shared greedy core. @p inSubset(v) filters the scheduled
- * population; dependences from filtered-out operations are ignored.
+ * The allocation-free greedy core. Equivalent to the pre-overhaul
+ * scheduler (frozen in sched/reference) but driven by the rank
+ * permutation: the ready set is a bitset indexed by rank, so
+ * iterating its set bits ascending *is* the per-cycle
+ * (priority desc, id asc) order the old code re-sorted for, and the
+ * whole working set comes from the scratch arena. Resources reduce
+ * to per-pool free counters for the current cycle because forward
+ * list scheduling never reserves in any other cycle.
+ *
+ * Stats accounting is kept cycle-for-cycle identical: ++cycles and
+ * readySum per while-iteration, ++loopTrips per ready operation
+ * examined, ++decisions per placement.
+ *
+ * @p opOfRank holds exactly the scheduled population, sorted;
+ * @p inSubset filters dependence edges, as before.
  */
 template <typename Filter>
-std::vector<int>
-greedyCore(const Superblock &sb, const MachineModel &machine,
-           const std::vector<double> &priority, Filter inSubset,
-           SchedulerStats *stats)
+std::span<int>
+rankedCore(const Superblock &sb, const MachineModel &machine,
+           std::span<const std::int32_t> opOfRank, Filter inSubset,
+           SchedulerStats *stats, SchedScratch &scratch)
 {
-    bsAssert(int(priority.size()) == sb.numOps(),
-             "priority vector size mismatch");
+    const int v = sb.numOps();
+    const int total = int(opOfRank.size());
+    const int numPools = machine.numResources();
+    ScratchArena &arena = scratch.runArena();
 
-    int v = sb.numOps();
-    std::vector<int> issue(std::size_t(v), -1);
-    std::vector<int> predsLeft(std::size_t(v), 0);
-    std::vector<int> readyAt(std::size_t(v), 0);
-    int total = 0;
+    std::span<int> issue = arena.alloc<int>(std::size_t(v));
+    std::span<int> predsLeft = arena.alloc<int>(std::size_t(v));
+    std::span<int> readyAt = arena.alloc<int>(std::size_t(v));
+    std::span<std::int32_t> rankOf =
+        arena.alloc<std::int32_t>(std::size_t(v));
+    const std::size_t words = (std::size_t(total) + 63) / 64;
+    std::span<std::uint64_t> ready = arena.alloc<std::uint64_t>(words);
+    std::span<std::int32_t> pending =
+        arena.alloc<std::int32_t>(std::size_t(total));
+    std::span<int> freeNow = arena.alloc<int>(std::size_t(numPools));
 
-    for (OpId id = 0; id < v; ++id) {
-        if (!inSubset(id))
-            continue;
-        ++total;
+    std::fill(issue.begin(), issue.end(), -1);
+    std::fill(ready.begin(), ready.end(), 0);
+    for (int r = 0; r < total; ++r) {
+        OpId id = opOfRank[std::size_t(r)];
+        rankOf[std::size_t(id)] = std::int32_t(r);
+        readyAt[std::size_t(id)] = 0;
+        int preds = 0;
         for (const Adjacent &e : sb.preds(id)) {
             if (inSubset(e.op))
-                ++predsLeft[std::size_t(id)];
+                ++preds;
         }
+        predsLeft[std::size_t(id)] = preds;
+        if (preds == 0)
+            ready[std::size_t(r) >> 6] |= std::uint64_t(1) << (r & 63);
     }
 
-    // Ready list ordered by (priority desc, id asc); rebuilt lazily.
-    std::vector<OpId> ready;
-    for (OpId id = 0; id < v; ++id) {
-        if (inSubset(id) && predsLeft[std::size_t(id)] == 0)
-            ready.push_back(id);
-    }
-    auto higher = [&](OpId a, OpId b) {
-        if (priority[std::size_t(a)] != priority[std::size_t(b)])
-            return priority[std::size_t(a)] > priority[std::size_t(b)];
-        return a < b;
-    };
-
-    ResourceState table(machine);
     int scheduled = 0;
     int cycle = 0;
-    std::vector<OpId> pending; // dependence-complete, latency not met
+    std::size_t pendingCount = 0; // dependence-complete, latency unmet
 
     while (scheduled < total) {
         // Promote pending ops whose latency has elapsed.
-        pending.erase(
-            std::remove_if(pending.begin(), pending.end(),
-                           [&](OpId id) {
-                               if (readyAt[std::size_t(id)] <= cycle) {
-                                   ready.push_back(id);
-                                   return true;
-                               }
-                               return false;
-                           }),
-            pending.end());
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < pendingCount; ++i) {
+            std::int32_t id = pending[i];
+            if (readyAt[std::size_t(id)] <= cycle) {
+                std::int32_t r = rankOf[std::size_t(id)];
+                ready[std::size_t(r) >> 6] |= std::uint64_t(1)
+                                              << (r & 63);
+            } else {
+                pending[keep++] = id;
+            }
+        }
+        pendingCount = keep;
 
-        std::sort(ready.begin(), ready.end(), higher);
         if (stats) {
             ++stats->cycles;
-            stats->readySum += (long long)(ready.size());
+            long long count = 0;
+            for (std::size_t w = 0; w < words; ++w)
+                count += std::popcount(ready[w]);
+            stats->readySum += count;
         }
 
-        // One pass over the ready list: place what fits this cycle.
-        std::vector<OpId> leftover;
-        for (OpId id : ready) {
-            if (stats)
-                ++stats->loopTrips;
-            if (table.hasSlot(cycle, sb.op(id).cls)) {
-                table.reserve(cycle, sb.op(id).cls);
+        for (int r = 0; r < numPools; ++r)
+            freeNow[std::size_t(r)] = machine.width(r);
+
+        // One pass over the ready set in rank (= priority) order:
+        // place what fits this cycle, leave the rest set.
+        for (std::size_t w = 0; w < words; ++w) {
+            std::uint64_t bits = ready[w];
+            while (bits) {
+                int bit = std::countr_zero(bits);
+                bits &= bits - 1;
+                std::int32_t r = std::int32_t(w * 64) + bit;
+                OpId id = opOfRank[std::size_t(r)];
+                if (stats)
+                    ++stats->loopTrips;
+                ResourceId pool = machine.poolOf(sb.op(id).cls);
+                if (freeNow[std::size_t(pool)] <= 0)
+                    continue;
+                --freeNow[std::size_t(pool)];
+                ready[w] &= ~(std::uint64_t(1) << bit);
                 issue[std::size_t(id)] = cycle;
                 ++scheduled;
                 if (stats)
@@ -94,26 +124,69 @@ greedyCore(const Superblock &sb, const MachineModel &machine,
                         std::max(readyAt[std::size_t(e.op)],
                                  cycle + e.latency);
                     if (--predsLeft[std::size_t(e.op)] == 0)
-                        pending.push_back(e.op);
+                        pending[pendingCount++] = e.op;
                 }
-            } else {
-                leftover.push_back(id);
             }
         }
-        ready = std::move(leftover);
         ++cycle;
     }
     return issue;
 }
 
+/** Sort @p ranks by (priority desc, id asc). */
+void
+sortRanks(std::span<std::int32_t> ranks,
+          const std::vector<double> &priority)
+{
+    std::sort(ranks.begin(), ranks.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                  if (priority[std::size_t(a)] !=
+                      priority[std::size_t(b)])
+                      return priority[std::size_t(a)] >
+                             priority[std::size_t(b)];
+                  return a < b;
+              });
+}
+
 } // namespace
+
+std::span<const std::int32_t>
+priorityRankOrder(const Superblock &sb,
+                  const std::vector<double> &priority,
+                  SchedScratch &scratch)
+{
+    bsAssert(int(priority.size()) == sb.numOps(),
+             "priority vector size mismatch");
+    ScratchArena &arena = scratch.runArena();
+    arena.reset();
+    std::span<std::int32_t> ranks =
+        arena.alloc<std::int32_t>(std::size_t(sb.numOps()));
+    for (OpId id = 0; id < sb.numOps(); ++id)
+        ranks[std::size_t(id)] = id;
+    sortRanks(ranks, priority);
+    return ranks;
+}
+
+std::span<const int>
+listScheduleRanked(const Superblock &sb, const MachineModel &machine,
+                   std::span<const std::int32_t> opOfRank,
+                   SchedulerStats *stats, SchedScratch &scratch)
+{
+    return rankedCore(
+        sb, machine, opOfRank, [](OpId) { return true; }, stats,
+        scratch);
+}
 
 Schedule
 listSchedule(const Superblock &sb, const MachineModel &machine,
-             const std::vector<double> &priority, SchedulerStats *stats)
+             const std::vector<double> &priority, SchedulerStats *stats,
+             SchedScratch *scratch)
 {
-    std::vector<int> issue = greedyCore(
-        sb, machine, priority, [](OpId) { return true; }, stats);
+    SchedScratch &scr = scratch ? *scratch : threadLocalSchedScratch();
+    std::span<const std::int32_t> ranks =
+        priorityRankOrder(sb, priority, scr);
+    std::span<const int> issue =
+        listScheduleRanked(sb, machine, ranks, stats, scr);
     Schedule out(sb.numOps());
     for (OpId id = 0; id < sb.numOps(); ++id)
         out.setIssue(id, issue[std::size_t(id)]);
@@ -124,13 +197,28 @@ std::vector<int>
 listScheduleSubset(const Superblock &sb, const MachineModel &machine,
                    const DynBitset &subset,
                    const std::vector<double> &priority,
-                   SchedulerStats *stats)
+                   SchedulerStats *stats, SchedScratch *scratch)
 {
     bsAssert(subset.size() == std::size_t(sb.numOps()),
              "subset universe mismatch");
-    return greedyCore(
-        sb, machine, priority,
-        [&](OpId id) { return subset.test(std::size_t(id)); }, stats);
+    bsAssert(int(priority.size()) == sb.numOps(),
+             "priority vector size mismatch");
+
+    SchedScratch &scr = scratch ? *scratch : threadLocalSchedScratch();
+    ScratchArena &arena = scr.runArena();
+    arena.reset();
+    std::span<std::int32_t> members =
+        arena.alloc<std::int32_t>(subset.count());
+    std::size_t n = 0;
+    subset.forEach(
+        [&](std::size_t id) { members[n++] = std::int32_t(id); });
+    sortRanks(members, priority);
+
+    std::span<const int> issue = rankedCore(
+        sb, machine, members,
+        [&](OpId id) { return subset.test(std::size_t(id)); }, stats,
+        scr);
+    return {issue.begin(), issue.end()};
 }
 
 } // namespace balance

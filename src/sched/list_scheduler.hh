@@ -13,6 +13,8 @@
 #ifndef BALANCE_SCHED_LIST_SCHEDULER_HH
 #define BALANCE_SCHED_LIST_SCHEDULER_HH
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/analysis.hh"
@@ -22,6 +24,8 @@
 
 namespace balance
 {
+
+class SchedScratch;
 
 /**
  * Cost accounting for Table 6 plus observability extras. Only
@@ -53,11 +57,14 @@ struct SchedulerStats
  * @param machine Resource widths.
  * @param priority One value per operation; higher schedules first.
  * @param stats Optional cost accounting.
+ * @param scratch Optional per-worker scratch; null falls back to a
+ *        thread-local one. Results are identical either way.
  * @return a complete, valid schedule.
  */
 Schedule listSchedule(const Superblock &sb, const MachineModel &machine,
                       const std::vector<double> &priority,
-                      SchedulerStats *stats = nullptr);
+                      SchedulerStats *stats = nullptr,
+                      SchedScratch *scratch = nullptr);
 
 /**
  * List-schedule only the operations in @p subset (same greedy rule).
@@ -70,7 +77,32 @@ std::vector<int> listScheduleSubset(const Superblock &sb,
                                     const MachineModel &machine,
                                     const DynBitset &subset,
                                     const std::vector<double> &priority,
-                                    SchedulerStats *stats = nullptr);
+                                    SchedulerStats *stats = nullptr,
+                                    SchedScratch *scratch = nullptr);
+
+/**
+ * Rank permutation of all operations under (@p priority desc, id
+ * asc) — the only view of the priorities the greedy core ever sees,
+ * so two priority vectors with equal permutations produce bit-for-
+ * bit identical schedules and stats (the Best grid dedups on this).
+ *
+ * Rewinds @p scratch's run arena and allocates the permutation from
+ * it: valid until the next run on the same scratch.
+ */
+std::span<const std::int32_t>
+priorityRankOrder(const Superblock &sb,
+                  const std::vector<double> &priority,
+                  SchedScratch &scratch);
+
+/**
+ * Greedy core driven by a precomputed rank order (from
+ * priorityRankOrder on the same scratch). The returned issue spans
+ * (indexed by OpId) live in the scratch arena until the next run.
+ */
+std::span<const int> listScheduleRanked(
+    const Superblock &sb, const MachineModel &machine,
+    std::span<const std::int32_t> opOfRank, SchedulerStats *stats,
+    SchedScratch &scratch);
 
 } // namespace balance
 

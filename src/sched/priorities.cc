@@ -84,12 +84,21 @@ combineKeys(const std::vector<double> &cp, double a,
             const std::vector<double> &sr, double b,
             const std::vector<double> &dhasy, double c)
 {
+    std::vector<double> out;
+    combineKeysInto(out, cp, a, sr, b, dhasy, c);
+    return out;
+}
+
+void
+combineKeysInto(std::vector<double> &out, const std::vector<double> &cp,
+                double a, const std::vector<double> &sr, double b,
+                const std::vector<double> &dhasy, double c)
+{
     bsAssert(cp.size() == sr.size() && sr.size() == dhasy.size(),
              "key size mismatch");
-    std::vector<double> out(cp.size());
+    out.resize(cp.size());
     for (std::size_t i = 0; i < cp.size(); ++i)
         out[i] = a * cp[i] + b * sr[i] + c * dhasy[i];
-    return out;
 }
 
 } // namespace balance

@@ -66,6 +66,16 @@ std::vector<double> combineKeys(const std::vector<double> &cp, double a,
                                 const std::vector<double> &dhasy,
                                 double c);
 
+/**
+ * combineKeys() into a reused buffer (resized to fit). Every blend in
+ * the library funnels through this one loop so the combo grid and the
+ * standalone ComboScheduler produce bit-identical doubles.
+ */
+void combineKeysInto(std::vector<double> &out,
+                     const std::vector<double> &cp, double a,
+                     const std::vector<double> &sr, double b,
+                     const std::vector<double> &dhasy, double c);
+
 } // namespace balance
 
 #endif // BALANCE_SCHED_PRIORITIES_HH

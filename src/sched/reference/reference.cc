@@ -1,0 +1,321 @@
+#include "sched/reference/reference.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/resource_state.hh"
+#include "support/diagnostics.hh"
+
+namespace balance
+{
+
+namespace sched_reference
+{
+
+namespace
+{
+
+/** The pre-overhaul greedy core, verbatim. */
+template <typename Filter>
+std::vector<int>
+greedyCore(const Superblock &sb, const MachineModel &machine,
+           const std::vector<double> &priority, Filter inSubset,
+           SchedulerStats *stats)
+{
+    bsAssert(int(priority.size()) == sb.numOps(),
+             "priority vector size mismatch");
+
+    int v = sb.numOps();
+    std::vector<int> issue(std::size_t(v), -1);
+    std::vector<int> predsLeft(std::size_t(v), 0);
+    std::vector<int> readyAt(std::size_t(v), 0);
+    int total = 0;
+
+    for (OpId id = 0; id < v; ++id) {
+        if (!inSubset(id))
+            continue;
+        ++total;
+        for (const Adjacent &e : sb.preds(id)) {
+            if (inSubset(e.op))
+                ++predsLeft[std::size_t(id)];
+        }
+    }
+
+    // Ready list ordered by (priority desc, id asc); rebuilt lazily.
+    std::vector<OpId> ready;
+    for (OpId id = 0; id < v; ++id) {
+        if (inSubset(id) && predsLeft[std::size_t(id)] == 0)
+            ready.push_back(id);
+    }
+    auto higher = [&](OpId a, OpId b) {
+        if (priority[std::size_t(a)] != priority[std::size_t(b)])
+            return priority[std::size_t(a)] > priority[std::size_t(b)];
+        return a < b;
+    };
+
+    ResourceState table(machine);
+    int scheduled = 0;
+    int cycle = 0;
+    std::vector<OpId> pending; // dependence-complete, latency not met
+
+    while (scheduled < total) {
+        // Promote pending ops whose latency has elapsed.
+        pending.erase(
+            std::remove_if(pending.begin(), pending.end(),
+                           [&](OpId id) {
+                               if (readyAt[std::size_t(id)] <= cycle) {
+                                   ready.push_back(id);
+                                   return true;
+                               }
+                               return false;
+                           }),
+            pending.end());
+
+        std::sort(ready.begin(), ready.end(), higher);
+        if (stats) {
+            ++stats->cycles;
+            stats->readySum += (long long)(ready.size());
+        }
+
+        // One pass over the ready list: place what fits this cycle.
+        std::vector<OpId> leftover;
+        for (OpId id : ready) {
+            if (stats)
+                ++stats->loopTrips;
+            if (table.hasSlot(cycle, sb.op(id).cls)) {
+                table.reserve(cycle, sb.op(id).cls);
+                issue[std::size_t(id)] = cycle;
+                ++scheduled;
+                if (stats)
+                    ++stats->decisions;
+                for (const Adjacent &e : sb.succs(id)) {
+                    if (!inSubset(e.op))
+                        continue;
+                    readyAt[std::size_t(e.op)] =
+                        std::max(readyAt[std::size_t(e.op)],
+                                 cycle + e.latency);
+                    if (--predsLeft[std::size_t(e.op)] == 0)
+                        pending.push_back(e.op);
+                }
+            } else {
+                leftover.push_back(id);
+            }
+        }
+        ready = std::move(leftover);
+        ++cycle;
+    }
+    return issue;
+}
+
+} // namespace
+
+Schedule
+listSchedule(const Superblock &sb, const MachineModel &machine,
+             const std::vector<double> &priority, SchedulerStats *stats)
+{
+    std::vector<int> issue = greedyCore(
+        sb, machine, priority, [](OpId) { return true; }, stats);
+    Schedule out(sb.numOps());
+    for (OpId id = 0; id < sb.numOps(); ++id)
+        out.setIssue(id, issue[std::size_t(id)]);
+    return out;
+}
+
+std::vector<int>
+listScheduleSubset(const Superblock &sb, const MachineModel &machine,
+                   const DynBitset &subset,
+                   const std::vector<double> &priority,
+                   SchedulerStats *stats)
+{
+    bsAssert(subset.size() == std::size_t(sb.numOps()),
+             "subset universe mismatch");
+    return greedyCore(
+        sb, machine, priority,
+        [&](OpId id) { return subset.test(std::size_t(id)); }, stats);
+}
+
+std::vector<double>
+criticalPathKey(const GraphContext &ctx)
+{
+    const Superblock &sb = ctx.sb();
+    std::vector<int> down(std::size_t(sb.numOps()), 0);
+    for (OpId v = OpId(sb.numOps()) - 1; v >= 0; --v) {
+        for (const Adjacent &e : sb.succs(v)) {
+            down[std::size_t(v)] =
+                std::max(down[std::size_t(v)],
+                         down[std::size_t(e.op)] + e.latency);
+        }
+    }
+    return {down.begin(), down.end()};
+}
+
+std::vector<double>
+successiveRetirementKey(const GraphContext &ctx)
+{
+    const Superblock &sb = ctx.sb();
+    std::vector<double> cp = sched_reference::criticalPathKey(ctx);
+    double cpMax = *std::max_element(cp.begin(), cp.end());
+    double tierStep = cpMax + 1.0;
+    std::vector<double> key(std::size_t(sb.numOps()));
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        double tier = double(sb.numBlocks() - sb.op(v).block);
+        key[std::size_t(v)] = tier * tierStep + cp[std::size_t(v)];
+    }
+    return key;
+}
+
+std::vector<double>
+dhasyKey(const GraphContext &ctx, const std::vector<double> &weights)
+{
+    const Superblock &sb = ctx.sb();
+    bsAssert(int(weights.size()) == sb.numBranches(),
+             "per-branch weight vector size mismatch");
+
+    int cp = ctx.criticalPath();
+    std::vector<double> key(std::size_t(sb.numOps()), 0.0);
+    for (int bi = 0; bi < sb.numBranches(); ++bi) {
+        OpId b = sb.branches()[std::size_t(bi)];
+        double w = weights[std::size_t(bi)];
+        int anchor = ctx.earlyDC()[std::size_t(b)];
+        const std::vector<int> &height = ctx.heightToBranch(bi);
+        for (OpId v = 0; v <= b; ++v) {
+            if (height[std::size_t(v)] < 0)
+                continue;
+            int lateDC = anchor - height[std::size_t(v)];
+            key[std::size_t(v)] += w * double(cp + 1 - lateDC);
+        }
+    }
+    return key;
+}
+
+std::vector<double>
+normalizeKey(std::vector<double> key)
+{
+    double maxMag = 0.0;
+    for (double k : key)
+        maxMag = std::max(maxMag, std::fabs(k));
+    if (maxMag > 0.0) {
+        for (double &k : key)
+            k /= maxMag;
+    }
+    return key;
+}
+
+std::vector<double>
+combineKeys(const std::vector<double> &cp, double a,
+            const std::vector<double> &sr, double b,
+            const std::vector<double> &dhasy, double c)
+{
+    bsAssert(cp.size() == sr.size() && sr.size() == dhasy.size(),
+             "key size mismatch");
+    std::vector<double> out(cp.size());
+    for (std::size_t i = 0; i < cp.size(); ++i)
+        out[i] = a * cp[i] + b * sr[i] + c * dhasy[i];
+    return out;
+}
+
+Schedule
+gstarSchedule(const GraphContext &ctx, const MachineModel &machine,
+              const std::vector<double> &weights, SchedulerStats *stats)
+{
+    const Superblock &sb = ctx.sb();
+    std::vector<double> cpKey = sched_reference::criticalPathKey(ctx);
+
+    std::vector<double> cumulative(weights.size(), 0.0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        cumulative[i] = acc;
+    }
+
+    DynBitset remaining(std::size_t(sb.numOps()));
+    remaining.setAll();
+    std::vector<char> branchDone(std::size_t(sb.numBranches()), 0);
+    std::vector<double> tier(std::size_t(sb.numOps()), 0.0);
+    double nextTier = double(sb.numBranches());
+
+    for (int round = 0; round < sb.numBranches(); ++round) {
+        int bestBi = -1;
+        double bestRank = 0.0;
+        for (int bi = 0; bi < sb.numBranches(); ++bi) {
+            if (branchDone[std::size_t(bi)])
+                continue;
+            if (stats)
+                ++stats->loopTrips;
+            OpId b = sb.branches()[std::size_t(bi)];
+            DynBitset subset = ctx.predSets().closure(b);
+            subset &= remaining;
+            std::vector<int> issue = sched_reference::listScheduleSubset(
+                sb, machine, subset, cpKey, stats);
+            double denom = std::max(cumulative[std::size_t(bi)], 1e-12);
+            double rank =
+                double(issue[std::size_t(b)] + sb.op(b).latency) / denom;
+            if (bestBi < 0 || rank < bestRank) {
+                bestBi = bi;
+                bestRank = rank;
+            }
+        }
+        bsAssert(bestBi >= 0, "no branch left to rank");
+
+        OpId b = sb.branches()[std::size_t(bestBi)];
+        DynBitset subset = ctx.predSets().closure(b);
+        subset &= remaining;
+        subset.forEach([&](std::size_t v) { tier[v] = nextTier; });
+        nextTier -= 1.0;
+        remaining.subtract(subset);
+        branchDone[std::size_t(bestBi)] = 1;
+    }
+
+    double cpMax = *std::max_element(cpKey.begin(), cpKey.end());
+    std::vector<double> priority(std::size_t(sb.numOps()));
+    for (OpId v = 0; v < sb.numOps(); ++v) {
+        priority[std::size_t(v)] =
+            tier[std::size_t(v)] * (cpMax + 1.0) + cpKey[std::size_t(v)];
+    }
+    return sched_reference::listSchedule(sb, machine, priority, stats);
+}
+
+Schedule
+bestSchedule(const GraphContext &ctx, const MachineModel &machine,
+             const std::vector<double> &weights, SchedulerStats *stats)
+{
+    const Superblock &sb = ctx.sb();
+
+    bool haveBest = false;
+    Schedule best;
+    double bestWct = 0.0;
+    auto consider = [&](Schedule s) {
+        double w = s.wct(sb);
+        if (!haveBest || w < bestWct) {
+            best = std::move(s);
+            bestWct = w;
+            haveBest = true;
+        }
+    };
+
+    consider(sched_reference::listSchedule(
+        sb, machine, sched_reference::successiveRetirementKey(ctx), stats));
+    consider(sched_reference::listSchedule(sb, machine,
+                                           sched_reference::criticalPathKey(ctx), stats));
+    consider(gstarSchedule(ctx, machine, weights, stats));
+    consider(sched_reference::listSchedule(sb, machine,
+                                           sched_reference::dhasyKey(ctx, weights), stats));
+
+    std::vector<double> cp = normalizeKey(sched_reference::criticalPathKey(ctx));
+    std::vector<double> sr = normalizeKey(sched_reference::successiveRetirementKey(ctx));
+    std::vector<double> dh = normalizeKey(sched_reference::dhasyKey(ctx, weights));
+    for (int a = 0; a <= 10; ++a) {
+        for (int b = 0; b <= 10; ++b) {
+            double fa = double(a) / 10;
+            double fb = double(b) / 10;
+            double fc = std::max(0.0, 1.0 - fa - fb);
+            consider(sched_reference::listSchedule(
+                sb, machine, combineKeys(cp, fa, sr, fb, dh, fc), stats));
+        }
+    }
+    return best;
+}
+
+} // namespace sched_reference
+
+} // namespace balance

@@ -1,0 +1,109 @@
+#include "sched/sched_scratch.hh"
+
+#include "sched/priorities.hh"
+
+namespace balance
+{
+
+void
+SchedScratch::ensureSb(const GraphContext &ctx)
+{
+    if (cachedUid == ctx.uid())
+        return;
+    cachedUid = ctx.uid();
+    haveCpSr = false;
+    haveCpNorm = false;
+    haveSrNorm = false;
+    haveDh = false;
+    haveDhNorm = false;
+    grid.clear();
+}
+
+const std::vector<double> &
+SchedScratch::cpKey(const GraphContext &ctx)
+{
+    ensureSb(ctx);
+    if (!haveCpSr) {
+        cp = criticalPathKey(ctx);
+        sr = successiveRetirementKey(ctx);
+        haveCpSr = true;
+        ++stats.tableMisses;
+    } else {
+        ++stats.tableHits;
+    }
+    return cp;
+}
+
+const std::vector<double> &
+SchedScratch::srKey(const GraphContext &ctx)
+{
+    cpKey(ctx); // CP and SR are computed together
+    return sr;
+}
+
+void
+SchedScratch::ensureDh(const GraphContext &ctx,
+                       const std::vector<double> &weights)
+{
+    ensureSb(ctx);
+    if (haveDh && dhWeights == weights) {
+        ++stats.tableHits;
+        return;
+    }
+    dh = dhasyKey(ctx, weights);
+    dhWeights = weights;
+    haveDh = true;
+    haveDhNorm = false;
+    ++stats.tableMisses;
+}
+
+const std::vector<double> &
+SchedScratch::dhKey(const GraphContext &ctx,
+                    const std::vector<double> &weights)
+{
+    ensureDh(ctx, weights);
+    return dh;
+}
+
+const std::vector<double> &
+SchedScratch::cpKeyNormalized(const GraphContext &ctx)
+{
+    cpKey(ctx);
+    if (!haveCpNorm) {
+        cpNorm = normalizeKey(cp);
+        haveCpNorm = true;
+    }
+    return cpNorm;
+}
+
+const std::vector<double> &
+SchedScratch::srKeyNormalized(const GraphContext &ctx)
+{
+    srKey(ctx);
+    if (!haveSrNorm) {
+        srNorm = normalizeKey(sr);
+        haveSrNorm = true;
+    }
+    return srNorm;
+}
+
+const std::vector<double> &
+SchedScratch::dhKeyNormalized(const GraphContext &ctx,
+                              const std::vector<double> &weights)
+{
+    ensureDh(ctx, weights);
+    if (!haveDhNorm) {
+        dhNorm = normalizeKey(dh);
+        haveDhNorm = true;
+    }
+    return dhNorm;
+}
+
+SchedScratch &
+threadLocalSchedScratch()
+{
+    static thread_local SchedScratch scratch;
+    return scratch;
+}
+
+} // namespace balance

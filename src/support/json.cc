@@ -10,6 +10,76 @@
 namespace balance
 {
 
+namespace
+{
+
+/** Append the UTF-8 encoding of @p cp (a valid scalar value). */
+void
+appendUtf8(std::string &out, unsigned cp)
+{
+    if (cp < 0x80) {
+        out += char(cp);
+    } else if (cp < 0x800) {
+        out += char(0xc0 | (cp >> 6));
+        out += char(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+        out += char(0xe0 | (cp >> 12));
+        out += char(0x80 | ((cp >> 6) & 0x3f));
+        out += char(0x80 | (cp & 0x3f));
+    } else {
+        out += char(0xf0 | (cp >> 18));
+        out += char(0x80 | ((cp >> 12) & 0x3f));
+        out += char(0x80 | ((cp >> 6) & 0x3f));
+        out += char(0x80 | (cp & 0x3f));
+    }
+}
+
+/**
+ * Decode one UTF-8 sequence starting at @p v[i]. On success stores
+ * the code point and the sequence length; rejects overlong forms,
+ * surrogates, and values beyond U+10FFFF so the writer never emits
+ * an escape the parser would refuse.
+ */
+bool
+decodeUtf8(std::string_view v, std::size_t i, unsigned *cp,
+           std::size_t *len)
+{
+    auto cont = [&](std::size_t k) {
+        return i + k < v.size() &&
+               ((unsigned char)(v[i + k]) & 0xc0) == 0x80;
+    };
+    unsigned b0 = (unsigned char)(v[i]);
+    if (b0 >= 0xc2 && b0 <= 0xdf && cont(1)) {
+        *cp = ((b0 & 0x1f) << 6) | ((unsigned char)(v[i + 1]) & 0x3f);
+        *len = 2;
+        return true;
+    }
+    if (b0 >= 0xe0 && b0 <= 0xef && cont(1) && cont(2)) {
+        unsigned c = ((b0 & 0x0f) << 12) |
+                     (((unsigned char)(v[i + 1]) & 0x3f) << 6) |
+                     ((unsigned char)(v[i + 2]) & 0x3f);
+        if (c < 0x800 || (c >= 0xd800 && c <= 0xdfff))
+            return false;
+        *cp = c;
+        *len = 3;
+        return true;
+    }
+    if (b0 >= 0xf0 && b0 <= 0xf4 && cont(1) && cont(2) && cont(3)) {
+        unsigned c = ((b0 & 0x07) << 18) |
+                     (((unsigned char)(v[i + 1]) & 0x3f) << 12) |
+                     (((unsigned char)(v[i + 2]) & 0x3f) << 6) |
+                     ((unsigned char)(v[i + 3]) & 0x3f);
+        if (c < 0x10000 || c > 0x10ffff)
+            return false;
+        *cp = c;
+        *len = 4;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
 void
 JsonWriter::separator()
 {
@@ -96,20 +166,47 @@ void
 JsonWriter::quoted(std::string_view v)
 {
     out += '"';
-    for (char c : v) {
+    for (std::size_t i = 0; i < v.size();) {
+        char c = v[i];
         switch (c) {
-          case '"': raw("\\\""); break;
-          case '\\': raw("\\\\"); break;
-          case '\n': raw("\\n"); break;
-          case '\r': raw("\\r"); break;
-          case '\t': raw("\\t"); break;
-          default:
-            if ((unsigned char)(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          case '"': raw("\\\""); ++i; continue;
+          case '\\': raw("\\\\"); ++i; continue;
+          case '\n': raw("\\n"); ++i; continue;
+          case '\r': raw("\\r"); ++i; continue;
+          case '\t': raw("\\t"); ++i; continue;
+        }
+        unsigned char b = (unsigned char)(c);
+        if (b < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            raw(buf);
+            ++i;
+        } else if (b < 0x80) {
+            out += c;
+            ++i;
+        } else {
+            // Non-ASCII: escape the UTF-8 sequence so the document
+            // stays pure ASCII (astral planes as surrogate pairs).
+            // A byte that is not valid UTF-8 passes through raw —
+            // the repo never emits one, and dropping it would break
+            // the parse/dump identity of whatever produced it.
+            unsigned cp = 0;
+            std::size_t len = 0;
+            if (decodeUtf8(v, i, &cp, &len)) {
+                char buf[16];
+                if (cp < 0x10000) {
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", cp);
+                } else {
+                    unsigned rest = cp - 0x10000;
+                    std::snprintf(buf, sizeof(buf), "\\u%04x\\u%04x",
+                                  0xd800 + (rest >> 10),
+                                  0xdc00 + (rest & 0x3ff));
+                }
                 raw(buf);
+                i += len;
             } else {
                 out += c;
+                ++i;
             }
         }
     }
@@ -185,6 +282,50 @@ struct Checker
         return true;
     }
 
+    /** Consume "XXXX" after a \u (at on the 'u'); false on bad hex. */
+    bool
+    hex4(unsigned *code)
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            ++at;
+            if (atEnd() || !std::isxdigit((unsigned char)(peek())))
+                return false;
+            char h = peek();
+            v = v * 16 +
+                (unsigned)(h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+        }
+        *code = v;
+        return true;
+    }
+
+    /**
+     * Consume a \u escape body ("uXXXX", plus the mandatory trailing
+     * "\uXXXX" low half when XXXX is a high surrogate), leaving at on
+     * the last consumed character. Lone surrogates are invalid.
+     */
+    bool
+    unicodeEscape()
+    {
+        unsigned code = 0;
+        if (!hex4(&code))
+            return false;
+        if (code >= 0xdc00 && code <= 0xdfff)
+            return false;
+        if (code >= 0xd800 && code <= 0xdbff) {
+            if (at + 2 >= text.size() || text[at + 1] != '\\' ||
+                text[at + 2] != 'u')
+                return false;
+            at += 2;
+            unsigned low = 0;
+            if (!hex4(&low))
+                return false;
+            if (low < 0xdc00 || low > 0xdfff)
+                return false;
+        }
+        return true;
+    }
+
     bool
     string()
     {
@@ -202,12 +343,8 @@ struct Checker
                     return false;
                 char e = peek();
                 if (e == 'u') {
-                    for (int i = 0; i < 4; ++i) {
-                        ++at;
-                        if (atEnd() || !std::isxdigit(
-                                           (unsigned char)(peek())))
-                            return false;
-                    }
+                    if (!unicodeEscape())
+                        return false;
                 } else if (e != '"' && e != '\\' && e != '/' &&
                            e != 'b' && e != 'f' && e != 'n' &&
                            e != 'r' && e != 't') {
@@ -637,6 +774,26 @@ struct Parser
         return true;
     }
 
+    /**
+     * Consume "XXXX" after a \u (at on the 'u'), leaving at on the
+     * last hex digit. Sets *code; fails on short or non-hex input.
+     */
+    bool
+    hex4(unsigned *code)
+    {
+        unsigned v = 0;
+        for (int n = 0; n < 4; ++n) {
+            ++at;
+            if (atEnd() || !std::isxdigit((unsigned char)(peek())))
+                return fail("bad \\u escape");
+            char h = peek();
+            v = v * 16 +
+                (unsigned)(h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+        }
+        *code = v;
+        return true;
+    }
+
     bool
     string(std::string &out)
     {
@@ -664,24 +821,28 @@ struct Parser
                   case 't': out += '\t'; break;
                   case 'u': {
                     unsigned code = 0;
-                    for (int n = 0; n < 4; ++n) {
-                        ++at;
-                        if (atEnd() ||
-                            !std::isxdigit((unsigned char)(peek())))
-                            return fail("bad \\u escape");
-                        char h = peek();
-                        code = code * 16 +
-                               (unsigned)(h <= '9' ? h - '0'
-                                                   : (h | 0x20) - 'a' + 10);
+                    if (!hex4(&code))
+                        return false;
+                    if (code >= 0xdc00 && code <= 0xdfff)
+                        return fail("unpaired low surrogate");
+                    if (code >= 0xd800 && code <= 0xdbff) {
+                        // A high surrogate is only meaningful as the
+                        // first half of a \uXXXX\uXXXX pair.
+                        if (at + 2 >= text.size() ||
+                            text[at + 1] != '\\' || text[at + 2] != 'u')
+                            return fail("high surrogate not followed "
+                                        "by \\u escape");
+                        at += 2;
+                        unsigned low = 0;
+                        if (!hex4(&low))
+                            return false;
+                        if (low < 0xdc00 || low > 0xdfff)
+                            return fail("high surrogate not followed "
+                                        "by low surrogate");
+                        code = 0x10000 + ((code - 0xd800) << 10) +
+                               (low - 0xdc00);
                     }
-                    // Escaped controls (the only \u sequences the
-                    // writer emits) decode exactly; anything beyond
-                    // Latin-1 would need UTF-8 encoding, which the
-                    // repo's documents never contain.
-                    if (code > 0xff)
-                        return fail("\\u escape beyond Latin-1 "
-                                    "unsupported");
-                    out += char(code);
+                    appendUtf8(out, code);
                     break;
                   }
                   default:

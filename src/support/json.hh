@@ -10,9 +10,13 @@
  *    error positions, for the report subsystem that reads the
  *    artifacts back (src/report, docs/REPORTING.md).
  *
- * Not a general JSON library: \uXXXX escapes decode to Latin-1
- * bytes (code points above 0xff are rejected — the repo's documents
- * never contain them), and no UTF-8 validation is performed.
+ * Text encoding: strings are UTF-8. The parser decodes every \uXXXX
+ * escape — including surrogate pairs — to UTF-8 bytes (lone or
+ * malformed surrogates are a parse error), and the writer escapes
+ * every non-ASCII code point back to \uXXXX form, so emitted
+ * documents are pure ASCII and therefore always valid UTF-8, and a
+ * parse → dump round trip of a document using lowercase \u escapes
+ * reproduces the original bytes (docs/REPORTING.md).
  */
 
 #ifndef BALANCE_SUPPORT_JSON_HH

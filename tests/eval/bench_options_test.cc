@@ -68,12 +68,72 @@ TEST(BenchOptions, BadThreadsExits)
 TEST(BenchOptions, BadScaleExits)
 {
     EXPECT_DEATH({ auto o = parse({"--scale", "2.0"}); (void)o; },
-                 ".*");
+                 "bad --scale value '2.0'");
+    EXPECT_DEATH({ auto o = parse({"--scale", "abc"}); (void)o; },
+                 "bad --scale value 'abc'");
+    EXPECT_DEATH({ auto o = parse({"--scale", "0"}); (void)o; },
+                 "number in \\(0, 1\\]");
+}
+
+TEST(BenchOptions, BadSeedExits)
+{
+    EXPECT_DEATH({ auto o = parse({"--seed", "banana"}); (void)o; },
+                 "bad --seed value 'banana'");
+    EXPECT_DEATH({ auto o = parse({"--seed", "-1"}); (void)o; },
+                 "unsigned 64-bit integer");
+    // One past u64 max.
+    EXPECT_DEATH(
+        { auto o = parse({"--seed", "18446744073709551616"}); (void)o; },
+        "bad --seed value");
+}
+
+TEST(BenchOptions, FullRangeSeedParses)
+{
+    BenchOptions o = parse({"--seed", "18446744073709551615"});
+    EXPECT_EQ(o.suite.seed, 18446744073709551615ull);
 }
 
 TEST(BenchOptions, UnknownOptionExits)
 {
     EXPECT_DEATH({ auto o = parse({"--bogus"}); (void)o; }, ".*");
+}
+
+// ---------------------------------------------------------------
+// The checked option-parse helpers shared by every bench CLI.
+
+TEST(BenchOptionHelpers, AcceptWellFormedValues)
+{
+    EXPECT_EQ(parseIntOption("t", "--top", "5", 1, 100), 5);
+    EXPECT_EQ(parseIntOption("t", "--n", "-3", -10, 10), -3);
+    EXPECT_EQ(parseUint64Option("t", "--seed", "18446744073709551615"),
+              18446744073709551615ull);
+    EXPECT_DOUBLE_EQ(parseDoubleOption("t", "--scale", "0.25"), 0.25);
+    EXPECT_DOUBLE_EQ(parseDoubleOption("t", "--scale", "1e-3"), 1e-3);
+}
+
+TEST(BenchOptionHelpers, RejectWithOneLineErrorAndNonzeroExit)
+{
+    // atoi would have turned these into 0 silently; stod/stoull
+    // would have thrown uncaught. Now: diagnostic naming the tool,
+    // the option, and the offending text.
+    EXPECT_DEATH(parseIntOption("t", "--top", "garbage", 1, 100),
+                 "t: bad --top value 'garbage'");
+    EXPECT_DEATH(parseIntOption("t", "--top", "7x", 1, 100),
+                 "integer in \\[1, 100\\]");
+    EXPECT_DEATH(parseIntOption("t", "--top", "0", 1, 100),
+                 "bad --top value '0'");
+    EXPECT_DEATH(parseIntOption("t", "--top", "101", 1, 100),
+                 "bad --top value '101'");
+    EXPECT_DEATH(parseUint64Option("t", "--seed", "0x10"),
+                 "unsigned 64-bit integer");
+    EXPECT_DEATH(parseUint64Option("t", "--seed", ""),
+                 "unsigned 64-bit integer");
+    EXPECT_DEATH(parseDoubleOption("t", "--scale", "fast"),
+                 "finite number");
+    EXPECT_DEATH(parseDoubleOption("t", "--scale", "1e999"),
+                 "finite number");
+    EXPECT_DEATH(parseDoubleOption("t", "--scale", "nan"),
+                 "finite number");
 }
 
 } // namespace

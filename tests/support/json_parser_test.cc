@@ -109,7 +109,45 @@ TEST(JsonParser, EscapesDecode)
     JsonParseResult r =
         parseJson("\"a\\n\\t\\\\\\\"\\u0041\\u00e9\"");
     ASSERT_TRUE(r.ok()) << r.error.describe();
-    EXPECT_EQ(r.value.asString(), "a\n\t\\\"A\xe9");
+    // é is U+00E9 (é): two UTF-8 bytes, not a raw Latin-1 0xe9.
+    EXPECT_EQ(r.value.asString(), "a\n\t\\\"A\xc3\xa9");
+}
+
+TEST(JsonParser, UnicodeEscapesDecodeToUtf8)
+{
+    // Two-byte (U+0416 Ж), three-byte (U+20AC €), and a surrogate
+    // pair (U+1F600), all in one string.
+    JsonParseResult r = parseJson("\"\\u0416 \\u20ac \\ud83d\\ude00\"");
+    ASSERT_TRUE(r.ok()) << r.error.describe();
+    EXPECT_EQ(r.value.asString(),
+              "\xd0\x96 \xe2\x82\xac \xf0\x9f\x98\x80");
+}
+
+TEST(JsonWriter, NonAsciiStringsEscapeToPureAscii)
+{
+    // Raw UTF-8 in, \uXXXX escapes out: the document is pure ASCII
+    // (hence trivially valid UTF-8) and decodes back byte-exactly.
+    std::string original = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80";
+    JsonWriter w;
+    w.value(original);
+    EXPECT_EQ(w.str(), "\"caf\\u00e9 \\u20ac \\ud83d\\ude00\"");
+    for (char c : w.str())
+        EXPECT_LT((unsigned char)(c), 0x80u);
+    EXPECT_TRUE(jsonLooksValid(w.str()));
+    JsonParseResult r = parseJson(w.str());
+    ASSERT_TRUE(r.ok()) << r.error.describe();
+    EXPECT_EQ(r.value.asString(), original);
+}
+
+TEST(JsonParser, LowercaseEscapeDocumentsAreDumpStable)
+{
+    // parse -> dump reproduces the bytes of a document whose \u
+    // escapes are lowercase (the form the writer emits), including
+    // surrogate pairs.
+    std::string doc = "{\"s\":\"\\u00e9\\u20ac\\ud83d\\ude00\"}";
+    JsonParseResult r = parseJson(doc);
+    ASSERT_TRUE(r.ok()) << r.error.describe();
+    EXPECT_EQ(r.value.dump(), doc);
 }
 
 TEST(JsonParser, StringRoundTripsThroughWriterAndBack)
@@ -289,17 +327,47 @@ TEST(JsonParser, BadEscapes)
     EXPECT_NE(r.error.message.find("bad \\u escape"),
               std::string::npos);
 
-    // Correctly formed but beyond what the repo's Latin-1 documents
-    // can contain: rejected rather than silently mangled.
-    r = parseJson("\"\\u0424\"");
-    ASSERT_FALSE(r.ok());
-    EXPECT_NE(r.error.message.find("beyond Latin-1"),
-              std::string::npos);
-
     r = parseJson("\"dangling\\");
     ASSERT_FALSE(r.ok());
     EXPECT_NE(r.error.message.find("truncated escape"),
               std::string::npos);
+}
+
+TEST(JsonParser, MalformedSurrogatesRejectedWithPosition)
+{
+    // Lone high surrogate: nothing follows.
+    JsonParseResult r = parseJson("\"\\ud83d\"");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.message.find("high surrogate"),
+              std::string::npos)
+        << r.error.describe();
+
+    // High surrogate followed by a non-escape character.
+    r = parseJson("\"\\ud83dx\"");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.message.find("high surrogate"),
+              std::string::npos);
+
+    // High surrogate followed by a non-surrogate escape.
+    r = parseJson("\"\\ud83d\\u0041\"");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.message.find("low surrogate"),
+              std::string::npos);
+
+    // Lone low surrogate.
+    r = parseJson("\"\\ude00\"");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.message.find("unpaired low surrogate"),
+              std::string::npos);
+    EXPECT_EQ(r.error.line, 1);
+
+    // The structural checker agrees with the parser on all of these
+    // and on their well-formed counterpart.
+    EXPECT_FALSE(jsonLooksValid("\"\\ud83d\""));
+    EXPECT_FALSE(jsonLooksValid("\"\\ud83dx\""));
+    EXPECT_FALSE(jsonLooksValid("\"\\ud83d\\u0041\""));
+    EXPECT_FALSE(jsonLooksValid("\"\\ude00\""));
+    EXPECT_TRUE(jsonLooksValid("\"\\ud83d\\ude00\""));
 }
 
 TEST(JsonParser, DuplicateKeysRejectedAtTheSecondKey)
