@@ -44,7 +44,8 @@ usage()
         stderr,
         "usage: report_tool run --out DIR [--scale S] [--seed N]\n"
         "                       [--config MACHINE]... [--threads N]\n"
-        "                       [--with-best]\n"
+        "                       [--with-best] [--bnb]\n"
+        "                       [--bnb-max-nodes N] [--bnb-max-ops N]\n"
         "       report_tool render MANIFEST [-o FILE] [--top K]\n"
         "       report_tool compare BASE CURRENT [--budget FILE]\n");
     return 2;
@@ -109,6 +110,16 @@ cmdRun(int argc, char **argv)
                 2));
         } else if (arg == "--with-best") {
             opts.withBest = true;
+        } else if (arg == "--bnb") {
+            opts.withBnb = true;
+        } else if (arg == "--bnb-max-nodes") {
+            opts.bnbMaxNodes = parseIntOption(
+                "report_tool", arg, argValue(argc, argv, &i), 1,
+                2000000000, 2);
+        } else if (arg == "--bnb-max-ops") {
+            opts.bnbMaxOps = int(parseIntOption(
+                "report_tool", arg, argValue(argc, argv, &i), 1, 1024,
+                2));
         } else {
             std::fprintf(stderr, "report_tool: unknown option %s\n",
                          argv[i]);

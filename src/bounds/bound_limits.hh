@@ -1,6 +1,11 @@
 /**
  * @file
- * Shared sentinel values for the bound algorithms.
+ * Shared sentinel values for the bound algorithms, and the one
+ * sanctioned way to fold a relaxation's tardiness into an anchored
+ * bound. Every consumer of a max-tardiness result composes through
+ * composeBound() so the empty-relaxation sentinel can never leak
+ * into downstream arithmetic (incumbent comparisons in the
+ * branch-and-bound search, weighted sums in the WCT aggregates).
  */
 
 #ifndef BALANCE_BOUNDS_BOUND_LIMITS_HH
@@ -12,12 +17,50 @@ namespace balance
 /**
  * Identity element of the max-tardiness fold: what an *empty*
  * relaxation returns. Far enough below any reachable tardiness that
- * `cp + max(0, negInfBound)` composes to the plain critical-path
+ * composeBound(cp, negInfBound) collapses to the plain critical-path
  * bound in the pair/triple sweeps, yet far from INT_MIN so callers
  * may add latencies and anchors without overflow. The positive
  * counterpart for late times is lateUnconstrained (graph/analysis.hh).
  */
 constexpr int negInfBound = -(1 << 28);
+
+/**
+ * Ceiling for composed issue-cycle bounds; mirrors
+ * lateUnconstrained so a saturated bound still compares sanely
+ * against real cycles and weighted sums stay finite.
+ */
+constexpr int maxBoundCycle = 1 << 28;
+
+/**
+ * @return true when @p tardiness is the empty-relaxation sentinel
+ *         (or has drifted from it by bounded arithmetic). Comparing
+ *         against negInfBound / 2 keeps the test robust to callers
+ *         that added latencies or anchors to a sentinel.
+ */
+constexpr bool
+isNegInfBound(int tardiness)
+{
+    return tardiness <= negInfBound / 2;
+}
+
+/**
+ * Fold a relaxation tardiness into an anchored issue-cycle bound:
+ * `anchor + max(0, tardiness)`, with two guards the naked expression
+ * lacks. The sentinel is treated as "no constraint" (the anchor
+ * passes through untouched, so negInfBound never participates in
+ * later incumbent arithmetic), and the sum saturates at
+ * maxBoundCycle instead of overflowing when an already-saturated
+ * anchor meets a large positive tardiness.
+ */
+constexpr int
+composeBound(int anchor, int tardiness)
+{
+    if (isNegInfBound(tardiness) || tardiness <= 0)
+        return anchor;
+    if (anchor >= maxBoundCycle - tardiness)
+        return maxBoundCycle;
+    return anchor + tardiness;
+}
 
 } // namespace balance
 

@@ -91,7 +91,7 @@ rjEarly(const GraphContext &ctx, const MachineModel &machine,
             tick(counters);
         }
         int tard = rjMaxTardiness(machine, items, table, counters);
-        out.push_back(anchor + std::max(0, tard));
+        out.push_back(composeBound(anchor, tard));
     }
     return out;
 }
@@ -163,7 +163,8 @@ lcEarlyRC(const Dag &dag, const MachineModel &machine,
                              cp - height[std::size_t(x)]});
         }
         int tard = rjMaxTardiness(machine, items, table, counters);
-        earlyRC[std::size_t(v)] = std::max(depEarly, cp + std::max(0, tard));
+        earlyRC[std::size_t(v)] =
+            std::max(depEarly, composeBound(cp, tard));
     }
     return earlyRC;
 }

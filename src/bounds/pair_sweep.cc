@@ -187,7 +187,7 @@ PairSweepCache::eval(int latency, BoundCounters *counters)
                          counters);
 
     PairPoint pt;
-    pt.y = cp + std::max(0, tard);
+    pt.y = composeBound(cp, tard);
     // Clamping x up to EarlyRC[i] is required for the sweep's
     // early-termination coverage argument (see DESIGN.md).
     pt.x = std::max(pt.y - latency, eiVal);
@@ -375,7 +375,7 @@ TripleSweepCache::eval(int a, int b, BoundCounters *counters)
                          counters);
 
     TriplePoint pt;
-    pt.z = cp + std::max(0, tard);
+    pt.z = composeBound(cp, tard);
     pt.y = std::max(pt.z - b, ejVal);
     pt.x = std::max(pt.y - a, eiVal);
     return pt;

@@ -148,7 +148,8 @@ naiveLcEarlyRC(const NaiveDag &dag, const MachineModel &machine,
                              cp - height[std::size_t(x)]});
         }
         int tard = reference::rjMaxTardiness(machine, items, counters);
-        earlyRC[std::size_t(v)] = std::max(depEarly, cp + std::max(0, tard));
+        earlyRC[std::size_t(v)] =
+            std::max(depEarly, composeBound(cp, tard));
     }
     return earlyRC;
 }
@@ -232,7 +233,7 @@ naiveRjEarly(const GraphContext &ctx, const MachineModel &machine,
             tick(counters);
         }
         int tard = reference::rjMaxTardiness(machine, items, counters);
-        out.push_back(anchor + std::max(0, tard));
+        out.push_back(composeBound(anchor, tard));
     }
     return out;
 }
@@ -293,7 +294,7 @@ evalPair(const GraphContext &ctx, const MachineModel &machine,
     int tard = reference::rjMaxTardiness(machine, items, counters);
 
     PairPoint pt;
-    pt.y = cp + std::max(0, tard);
+    pt.y = composeBound(cp, tard);
     pt.x = std::max(pt.y - latency, ei);
     return pt;
 }
@@ -354,7 +355,7 @@ evalTriple(const GraphContext &ctx, const MachineModel &machine,
     int tard = reference::rjMaxTardiness(machine, items, counters);
 
     TriplePoint pt;
-    pt.z = cp + std::max(0, tard);
+    pt.z = composeBound(cp, tard);
     pt.y = std::max(pt.z - b, ej);
     pt.x = std::max(pt.y - a, ei);
     return pt;

@@ -121,9 +121,12 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
     SchedulerStats listStats;
     DecisionLog dlog(sb.name());
 
-    // Primaries; Balance reuses the toolkit.
+    // Primaries; Balance reuses the toolkit. The best primary
+    // schedule is kept whole: it seeds the B&B certifier below, so
+    // the certified incumbent can never be worse than the lineup.
     double bestWct = 0.0;
     bool haveBest = false;
+    Schedule bestPrimary;
     for (const auto &sched : set.primaries) {
         Schedule s = [&] {
             auto *bal = dynamic_cast<const BalanceScheduler *>(
@@ -148,6 +151,7 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
         if (!haveBest || w < bestWct) {
             bestWct = w;
             haveBest = true;
+            bestPrimary = s;
         }
     }
 
@@ -172,6 +176,33 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
         bsAssert(w >= eval.tightest - 1e-6,
                  "schedule beats the lower bound on '", sb.name(),
                  "': wct ", w, " < bound ", eval.tightest);
+    }
+
+    // The B&B certifier: single-threaded here because this function
+    // already runs on a pool worker (evaluatePopulation parallelizes
+    // over superblocks); the engine is deterministic either way.
+    if (opts.computeBnb && haveBest &&
+        sb.numOps() <= opts.bnbMaxOps) {
+        BnbOptions bnbOpts;
+        bnbOpts.maxNodes = opts.bnbMaxNodes;
+        bnbOpts.threads = 1;
+        bnbOpts.seedWithBest = false; // the lineup's best seeds it
+        BnbRequest bnbReq;
+        bnbReq.toolkit = &toolkit;
+        bnbReq.seedSchedule = &bestPrimary;
+        bnbReq.staticLowerBound = eval.tightest;
+        BnbResult r = bnbSchedule(ctx, machine, bnbOpts, bnbReq);
+        r.schedule.validate(sb, machine);
+        bsAssert(r.wct <= bestWct + 1e-9 &&
+                     r.lowerBound >= eval.tightest - 1e-9,
+                 "bnb certificate out of range on '", sb.name(), "'");
+        auto summary = std::make_shared<BnbEvalSummary>();
+        summary->wct = r.wct;
+        summary->lowerBound = r.lowerBound;
+        summary->proven = r.proven;
+        summary->exhausted = r.exhausted;
+        summary->counters = r.counters;
+        eval.bnb = std::move(summary);
     }
 
     if (wantTelemetry) {
@@ -295,6 +326,26 @@ evaluatePopulation(const std::vector<BenchmarkProgram> &suite,
             }
             if (!tel->decisionLog.empty())
                 appendDecisionLog(tel->decisionLog);
+        }
+
+        if (const BnbEvalSummary *bnb = eval.bnb.get();
+            bnb && foldMetrics) {
+            reg.counter("bnb.instances").add(1);
+            if (bnb->proven)
+                reg.counter("bnb.proven").add(1);
+            reg.counter("bnb.nodes_expanded")
+                .add(bnb->counters.nodesExpanded);
+            reg.counter("bnb.pruned_by_bound")
+                .add(bnb->counters.prunedByBound);
+            reg.counter("bnb.pruned_by_dominance")
+                .add(bnb->counters.prunedByDominance);
+            reg.counter("bnb.incumbent_updates")
+                .add(bnb->counters.incumbentUpdates);
+            reg.counter("bnb.tasks_completed")
+                .add(bnb->counters.tasksCompleted);
+            reg.counter("bnb.tasks_aborted")
+                .add(bnb->counters.tasksAborted);
+            reg.counter("bnb.rounds").add(bnb->counters.rounds);
         }
 
         ++metrics.superblocks;

@@ -23,6 +23,7 @@
 #include "bounds/superblock_bounds.hh"
 #include "core/balance_scheduler.hh"
 #include "sched/best_scheduler.hh"
+#include "sched/bnb/bnb.hh"
 #include "sched/list_scheduler.hh"
 #include "sched/sched_scratch.hh"
 #include "workload/suite.hh"
@@ -56,6 +57,35 @@ struct EvalOptions
      * always use the true probabilities.
      */
     bool noProfileSteering = false;
+    /**
+     * Also run the branch-and-bound certifier on each superblock
+     * (size-capped by @ref bnbMaxOps), seeded with the best primary
+     * schedule. Off by default: the certifier costs orders of
+     * magnitude more than every heuristic combined.
+     */
+    bool computeBnb = false;
+    /** Node budget per superblock for the certifier. */
+    long long bnbMaxNodes = 200000;
+    /** Superblocks above this op count skip the certifier. */
+    int bnbMaxOps = 100;
+};
+
+/**
+ * Branch-and-bound certificate captured for one superblock (present
+ * in SuperblockEval only when EvalOptions::computeBnb is set and the
+ * instance fits under EvalOptions::bnbMaxOps). `wct` is the
+ * certified incumbent — never worse than the best primary heuristic,
+ * which seeds the search — and `lowerBound` is a proven floor on the
+ * optimal WCT, so `proven` upgrades the instance's gap attribution
+ * from "vs. bound" to "vs. optimum".
+ */
+struct BnbEvalSummary
+{
+    double wct = 0.0;
+    double lowerBound = 0.0;
+    bool proven = false;
+    bool exhausted = false;
+    BnbCounters counters;
 };
 
 /**
@@ -96,6 +126,8 @@ struct SuperblockEval
     double frequency = 1.0;
     /** Present exactly when telemetry collection is enabled. */
     std::shared_ptr<SuperblockTelemetry> telemetry;
+    /** Present when the B&B certifier ran (see BnbEvalSummary). */
+    std::shared_ptr<BnbEvalSummary> bnb;
 };
 
 /** @return the Table 5 steering weights for @p sb. */

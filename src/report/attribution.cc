@@ -70,6 +70,7 @@ struct MachineAccum
 {
     MachineAttribution out;
     StageAccum rjToPw, pwToTw, twToAchieved;
+    StageAccum twToCertified, certifiedToAchieved;
     /** freq-weighted WCT cycles per heuristic + the TW reference. */
     std::vector<double> heuristicCycles;
     double twCycles = 0.0;
@@ -348,6 +349,22 @@ attributeRun(const RunArtifacts &run, const AttributionOptions &opts)
         sba.twToAchieved = std::max(0.0, sba.achieved - sba.tw);
         sba.weightedGap = sba.frequency * sba.twToAchieved;
 
+        // Optional B&B certificate: split TW -> achieved at the
+        // certified floor (rows from pre-certifier runs have no
+        // "bnb" member and keep the bound-relative attribution).
+        if (const JsonValue *bnb = row.find("bnb")) {
+            sba.hasBnb = true;
+            sba.bnbWct = num(*bnb, "wct");
+            sba.certified = num(*bnb, "lower_bound");
+            const JsonValue *proven = bnb->find("proven");
+            sba.bnbProven = proven && proven->isBool() &&
+                            proven->asBool();
+            sba.twToCertified =
+                std::max(0.0, sba.certified - sba.tw);
+            sba.certifiedToAchieved =
+                std::max(0.0, sba.achieved - sba.certified);
+        }
+
         if (const JsonValue *detail = row.find("branch_detail")) {
             for (const JsonValue &b : detail->elements()) {
                 BranchAttribution ba;
@@ -389,6 +406,25 @@ attributeRun(const RunArtifacts &run, const AttributionOptions &opts)
         out.gapHistogram.add(
             sba.tw > eps ? sba.twToAchieved / sba.tw * 100.0 : 0.0);
         ++out.causes[sba.dominantCause];
+        if (sba.hasBnb) {
+            ++out.bnbRows;
+            if (sba.bnbProven)
+                ++out.bnbProven;
+            acc.twToCertified.add(sba.twToCertified);
+            acc.certifiedToAchieved.add(sba.certifiedToAchieved);
+            out.certifiedGapHistogram.add(
+                sba.certified > eps
+                    ? sba.certifiedToAchieved / sba.certified * 100.0
+                    : 0.0);
+            // Search counters only: wct/lower_bound are cycle
+            // values, not summable accounting.
+            const JsonValue *bnb = row.find("bnb");
+            for (const auto &kv : bnb->members()) {
+                if (kv.second.isInt() && kv.first != "wct" &&
+                    kv.first != "lower_bound")
+                    out.bnbTotals[kv.first] += kv.second.asInt();
+            }
+        }
 
         const JsonValue &trips = row.get("trips");
         for (const auto &kv : trips.members()) {
@@ -420,6 +456,8 @@ attributeRun(const RunArtifacts &run, const AttributionOptions &opts)
         out.rjToPw = acc.rjToPw.stats();
         out.pwToTw = acc.pwToTw.stats();
         out.twToAchieved = acc.twToAchieved.stats();
+        out.twToCertified = acc.twToCertified.stats();
+        out.certifiedToAchieved = acc.certifiedToAchieved.stats();
 
         for (std::size_t h = 0; h < run.manifest.heuristics.size();
              ++h) {

@@ -63,6 +63,21 @@ struct SuperblockAttribution
     double twToAchieved = 0.0; //!< achieved - TW (>= 0)
     double weightedGap = 0.0;  //!< frequency * twToAchieved
 
+    /**
+     * B&B certificate, when the row carries one. `certified` is the
+     * proven floor on the optimal WCT (equal to the certified
+     * optimum when `bnbProven`), so the TW -> achieved stage splits
+     * exactly: twToCertified is bound slack — no schedule can close
+     * it — and certifiedToAchieved is the heuristic's true distance
+     * from the (certified) optimum.
+     */
+    bool hasBnb = false;
+    bool bnbProven = false;
+    double bnbWct = 0.0;
+    double certified = 0.0;
+    double twToCertified = 0.0;       //!< certified - TW (>= 0)
+    double certifiedToAchieved = 0.0; //!< achieved - certified (>= 0)
+
     /** Decision-log aggregates (zero when no log was captured). */
     long long steps = 0;
     long long reorders = 0;
@@ -121,6 +136,16 @@ struct MachineAttribution
     LadderStageStats pwToTw;
     LadderStageStats twToAchieved;
     GapHistogram gapHistogram; //!< percent of TW, achieved side
+
+    /** B&B certificate aggregates (zero when no row carries one). */
+    int bnbRows = 0;   //!< rows with a certificate
+    int bnbProven = 0; //!< certificates that closed (gap <= eps)
+    LadderStageStats twToCertified;       //!< bound slack
+    LadderStageStats certifiedToAchieved; //!< true heuristic gap
+    /** Achieved gap in percent of the certified floor, B&B rows. */
+    GapHistogram certifiedGapHistogram;
+    /** B&B search counter totals over this machine's rows. */
+    std::map<std::string, long long> bnbTotals;
 
     /** Table 2 trip totals summed over this machine's rows. */
     std::map<std::string, long long> tripTotals;

@@ -7,6 +7,7 @@
 #include "bounds/bound_scratch.hh"
 #include "core/balance_scheduler.hh"
 #include "eval/experiment.hh"
+#include "sched/bnb/bnb.hh"
 #include "sched/decision_log.hh"
 #include "sched/priorities.hh"
 #include "support/diagnostics.hh"
@@ -45,6 +46,13 @@ struct SbCapture
     long long schedArenaHighWater = 0;
     std::string decisionLines; //!< Balance decision log, JSON lines
     std::vector<BranchRow> branches;
+    /** B&B certificate; valid only when bnbRan. */
+    bool bnbRan = false;
+    double bnbWct = 0.0;
+    double bnbLower = 0.0;
+    bool bnbProven = false;
+    bool bnbExhausted = false;
+    BnbCounters bnbCounters;
 };
 
 /** Row/metric key order for the trip counters. */
@@ -63,8 +71,9 @@ constexpr const char *tripMetricNames[7] = {
  */
 SbCapture
 captureSuperblock(const Superblock &sb, const MachineModel &machine,
-                  const HeuristicSet &set, const BoundConfig &config)
+                  const HeuristicSet &set, const CaptureOptions &opts)
 {
+    const BoundConfig &config = opts.bounds;
     GraphContext ctx(sb);
     BoundScratch scratch(machine);
     BoundCounterSet counters;
@@ -119,6 +128,8 @@ captureSuperblock(const Superblock &sb, const MachineModel &machine,
     DecisionLog dlog(sb.name());
     Schedule balanceSchedule;
     bool haveBalance = false;
+    Schedule bestPrimary;
+    double bestPrimaryWct = 0.0;
     for (const auto &sched : set.primaries) {
         Schedule s = [&] {
             auto *bal =
@@ -136,7 +147,12 @@ captureSuperblock(const Superblock &sb, const MachineModel &machine,
             return sched->run(ctx, machine, plainReq);
         }();
         s.validate(sb, machine);
-        cap.wct.push_back(s.wct(sb));
+        double w = s.wct(sb);
+        if (cap.wct.empty() || w < bestPrimaryWct) {
+            bestPrimaryWct = w;
+            bestPrimary = s;
+        }
+        cap.wct.push_back(w);
     }
 
     // Best: the primaries' envelope plus the (deduplicated) combo
@@ -152,6 +168,29 @@ captureSuperblock(const Superblock &sb, const MachineModel &machine,
         bsAssert(w >= cap.tightest - 1e-6,
                  "schedule beats the lower bound on '", sb.name(),
                  "': wct ", w, " < bound ", cap.tightest);
+    }
+
+    // The B&B certifier, seeded with the best primary schedule so
+    // its incumbent can never be worse than the lineup. threads=1:
+    // this function already runs on a pool worker.
+    if (opts.withBnb && !cap.wct.empty() &&
+        sb.numOps() <= opts.bnbMaxOps) {
+        BnbOptions bnbOpts;
+        bnbOpts.maxNodes = opts.bnbMaxNodes;
+        bnbOpts.threads = 1;
+        bnbOpts.seedWithBest = false;
+        BnbRequest bnbReq;
+        bnbReq.toolkit = &toolkit;
+        bnbReq.seedSchedule = &bestPrimary;
+        bnbReq.staticLowerBound = cap.tightest;
+        BnbResult r = bnbSchedule(ctx, machine, bnbOpts, bnbReq);
+        r.schedule.validate(sb, machine);
+        cap.bnbRan = true;
+        cap.bnbWct = r.wct;
+        cap.bnbLower = r.lowerBound;
+        cap.bnbProven = r.proven;
+        cap.bnbExhausted = r.exhausted;
+        cap.bnbCounters = r.counters;
     }
 
     cap.sched = schedScratch.stats;
@@ -214,6 +253,23 @@ renderRow(const std::string &program, const Superblock &sb,
         .key("selection_passes").value(cap.bal.selectionPasses)
         .key("candidates").value(cap.bal.candidatesSum)
         .endObject();
+    if (cap.bnbRan) {
+        w.key("bnb").beginObject()
+            .key("wct").value(cap.bnbWct)
+            .key("lower_bound").value(cap.bnbLower)
+            .key("proven").value(cap.bnbProven)
+            .key("exhausted").value(cap.bnbExhausted)
+            .key("nodes_expanded").value(cap.bnbCounters.nodesExpanded)
+            .key("pruned_by_bound").value(cap.bnbCounters.prunedByBound)
+            .key("pruned_by_dominance")
+            .value(cap.bnbCounters.prunedByDominance)
+            .key("incumbent_updates")
+            .value(cap.bnbCounters.incumbentUpdates)
+            .key("tasks_completed").value(cap.bnbCounters.tasksCompleted)
+            .key("tasks_aborted").value(cap.bnbCounters.tasksAborted)
+            .key("rounds").value(cap.bnbCounters.rounds)
+            .endObject();
+    }
     w.key("branch_detail").beginArray();
     for (const BranchRow &br : cap.branches) {
         w.beginObject()
@@ -255,6 +311,24 @@ foldRow(MetricRegistry &reg, const SbCapture &cap)
     reg.counter("sched.best.grid_skipped").add(cap.sched.gridSkipped);
     reg.gauge("sched.scratch.high_water_bytes")
         .observeMax(cap.schedArenaHighWater);
+    if (cap.bnbRan) {
+        reg.counter("bnb.instances").add(1);
+        if (cap.bnbProven)
+            reg.counter("bnb.proven").add(1);
+        reg.counter("bnb.nodes_expanded")
+            .add(cap.bnbCounters.nodesExpanded);
+        reg.counter("bnb.pruned_by_bound")
+            .add(cap.bnbCounters.prunedByBound);
+        reg.counter("bnb.pruned_by_dominance")
+            .add(cap.bnbCounters.prunedByDominance);
+        reg.counter("bnb.incumbent_updates")
+            .add(cap.bnbCounters.incumbentUpdates);
+        reg.counter("bnb.tasks_completed")
+            .add(cap.bnbCounters.tasksCompleted);
+        reg.counter("bnb.tasks_aborted")
+            .add(cap.bnbCounters.tasksAborted);
+        reg.counter("bnb.rounds").add(cap.bnbCounters.rounds);
+    }
 }
 
 } // namespace
@@ -286,6 +360,7 @@ captureRun(const CaptureOptions &opts)
     man.scale = opts.suite.scale;
     man.threads = opts.threads;
     man.withBest = opts.withBest;
+    man.withBnb = opts.withBnb;
     man.heuristics = set.names();
     man.metricsPath = "metrics.json";
     man.superblocksPath = "superblocks.jsonl";
@@ -306,7 +381,7 @@ captureRun(const CaptureOptions &opts)
             flat.size(),
             [&](std::size_t i) {
                 slots[i] = captureSuperblock(*flat[i], machine, set,
-                                             opts.bounds);
+                                             opts);
             },
             opts.threads);
 

@@ -39,6 +39,18 @@ struct CaptureOptions
     BoundConfig bounds;
     /** Include the Best envelope (121 extra schedules per SB). */
     bool withBest = false;
+    /**
+     * Run the branch-and-bound certifier on each superblock up to
+     * bnbMaxOps ops and emit a "bnb" object per row (certified WCT,
+     * proven lower bound, search counters). Upgrades the rendered
+     * gap attribution from "vs. bound" to "vs. proven optimum (or
+     * certified gap)".
+     */
+    bool withBnb = false;
+    /** Node budget per superblock for the certifier. */
+    long long bnbMaxNodes = 200000;
+    /** Superblocks above this op count skip the certifier. */
+    int bnbMaxOps = 100;
     /** Worker threads; 0 = hardware concurrency, 1 = serial. */
     int threads = 0;
     /** Existing directory the artifacts are written into. */

@@ -60,6 +60,7 @@ RunManifest::toJson() const
     w.key("scale").value(scale);
     w.key("threads").value(threads);
     w.key("withBest").value(withBest);
+    w.key("withBnb").value(withBnb);
     w.key("machines").beginArray();
     for (const std::string &m : machines)
         w.value(m);
@@ -132,6 +133,14 @@ RunManifest::fromJson(const JsonValue &doc, RunManifest *out,
     if (!(v = member(doc, "withBest", JsonValue::Kind::Bool, error)))
         return false;
     m.withBest = v->asBool();
+
+    // Optional for compatibility: manifests written before the B&B
+    // certifier existed simply have no "bnb" row objects.
+    if (const JsonValue *bnb = doc.find("withBnb")) {
+        if (!bnb->isBool())
+            return fail(error, "manifest", "withBnb is not a bool");
+        m.withBnb = bnb->asBool();
+    }
 
     if (!(v = member(doc, "machines", JsonValue::Kind::Array, error)))
         return false;

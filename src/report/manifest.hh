@@ -50,6 +50,8 @@ struct RunManifest
     double scale = 1.0;
     int threads = 0;    //!< worker count requested (0 = hardware)
     bool withBest = false;
+    /** Rows carry "bnb" certificate objects (absent in old runs). */
+    bool withBnb = false;
     std::vector<std::string> machines;   //!< config names, run order
     std::vector<std::string> heuristics; //!< wct key order in rows
 

@@ -74,6 +74,50 @@ renderMachine(std::ostringstream &out, const MachineAttribution &m,
         fence(out, hist.render());
     }
 
+    if (m.bnbRows > 0) {
+        out << "### Certified optimality (branch and bound)\n\n";
+        out << m.bnbRows << " superblocks certified, " << m.bnbProven
+            << " proven optimal. The TW -> achieved stage splits at "
+               "the certified floor: \"TW -> certified\" is bound "
+               "slack no schedule can close; \"certified -> "
+               "achieved\" is the heuristic's true distance from the "
+               "proven optimum (or its certified floor when the node "
+               "budget ran out).\n\n";
+        TextTable ladder;
+        ladder.setHeader({"stage", "mean", "max"});
+        ladder.addRow({"TW -> certified",
+                       fmtDouble(m.twToCertified.mean, 4),
+                       fmtDouble(m.twToCertified.max, 2)});
+        ladder.addRow({"certified -> achieved",
+                       fmtDouble(m.certifiedToAchieved.mean, 4),
+                       fmtDouble(m.certifiedToAchieved.max, 2)});
+        fence(out, ladder.render());
+
+        if (!m.certifiedGapHistogram.counts.empty()) {
+            out << "Achieved gap distribution (percent of the "
+                   "certified floor):\n\n";
+            out << "`" << sparkline(m.certifiedGapHistogram.counts)
+                << "`\n\n";
+            TextTable hist;
+            hist.setHeader({"gap", "superblocks"});
+            for (std::size_t i = 0;
+                 i < m.certifiedGapHistogram.counts.size(); ++i)
+                hist.addRow(
+                    {bucketLabel(i),
+                     fmtCount(m.certifiedGapHistogram.counts[i])});
+            fence(out, hist.render());
+        }
+
+        TextTable search;
+        search.setHeader({"bnb counter", "total"});
+        for (const auto &kv : m.bnbTotals) {
+            if (kv.first == "wct" || kv.first == "lower_bound")
+                continue;
+            search.addRow({kv.first, fmtCount(kv.second)});
+        }
+        fence(out, search.render());
+    }
+
     out << "### Cost/quality frontier\n\n";
     out << "Quality: frequency-weighted slowdown over the TW bound. "
            "Cost: Table 2 relaxation trips (bounds) and Balance "
@@ -115,6 +159,14 @@ renderMachine(std::ostringstream &out, const MachineAttribution &m,
                 << fmtDouble(sba.achieved, 2) << " (weighted gap "
                 << fmtDouble(sba.weightedGap, 3) << "); cause: "
                 << sba.dominantCause << ".\n\n";
+            if (sba.hasBnb) {
+                out << (sba.bnbProven ? "Proven optimum "
+                                      : "Certified floor ")
+                    << fmtDouble(sba.certified, 2)
+                    << "; achieved gap vs certificate "
+                    << fmtDouble(sba.certifiedToAchieved, 2)
+                    << " cycles.\n\n";
+            }
             if (!sba.branches.empty()) {
                 TextTable br;
                 br.setHeader({"branch", "weight", "depHeight",
@@ -155,7 +207,9 @@ renderReport(const RunArtifacts &run, const AttributionReport &attr,
     out << "Bench `" << man.bench << "`, seed " << man.seed
         << ", scale " << fmtDouble(man.scale, 3) << ", threads "
         << man.threads << (man.withBest ? ", with" : ", without")
-        << " Best.\n\n";
+        << " Best"
+        << (man.withBnb ? ", with B&B certificates" : "")
+        << ".\n\n";
 
     TextTable wall;
     wall.setHeader({"machine", "wall ms"});

@@ -1,0 +1,79 @@
+/**
+ * Regression tests for the sentinel/composition contract in
+ * bounds/bound_limits.hh: the empty-relaxation sentinel must never
+ * reach incumbent arithmetic, and composing a saturated anchor with
+ * a large tardiness must clamp instead of overflowing int.
+ */
+
+#include <gtest/gtest.h>
+
+#include <climits>
+
+#include "bounds/bound_limits.hh"
+#include "graph/analysis.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(BoundLimits, SentinelIsRecognizedEvenAfterDrift)
+{
+    EXPECT_TRUE(isNegInfBound(negInfBound));
+    // Callers historically added anchors/latencies to the raw fold
+    // result before guarding; the predicate must still catch those.
+    EXPECT_TRUE(isNegInfBound(negInfBound + 1000000));
+    EXPECT_TRUE(isNegInfBound(negInfBound / 2));
+    EXPECT_FALSE(isNegInfBound(0));
+    EXPECT_FALSE(isNegInfBound(-1));
+    EXPECT_FALSE(isNegInfBound(negInfBound / 2 + 1));
+}
+
+TEST(BoundLimits, SentinelComposesToPlainAnchor)
+{
+    // An empty relaxation constrains nothing: the anchored bound
+    // passes through and the sentinel never participates in any
+    // later comparison or weighted sum.
+    EXPECT_EQ(composeBound(17, negInfBound), 17);
+    EXPECT_EQ(composeBound(0, negInfBound), 0);
+    EXPECT_EQ(composeBound(maxBoundCycle, negInfBound), maxBoundCycle);
+    // Identical to the historical `anchor + max(0, tard)` for every
+    // non-sentinel value.
+    EXPECT_EQ(composeBound(10, -3), 10);
+    EXPECT_EQ(composeBound(10, 0), 10);
+    EXPECT_EQ(composeBound(10, 5), 15);
+}
+
+TEST(BoundLimits, SaturatedBoundsDoNotOverflow)
+{
+    // A saturated anchor (a bound already clamped to the ceiling)
+    // plus a large positive tardiness must clamp, not wrap to a
+    // negative cycle that would then win every min/incumbent
+    // comparison.
+    EXPECT_EQ(composeBound(maxBoundCycle, maxBoundCycle), maxBoundCycle);
+    EXPECT_EQ(composeBound(maxBoundCycle - 1, 2), maxBoundCycle);
+    EXPECT_EQ(composeBound(INT_MAX - 4, 100), maxBoundCycle);
+    // Values below the ceiling still compose exactly.
+    EXPECT_EQ(composeBound(maxBoundCycle - 10, 4), maxBoundCycle - 6);
+    // The result is always a sane cycle: non-negative, bounded.
+    for (int anchor : {0, 1, 1 << 20, maxBoundCycle, INT_MAX - 1}) {
+        for (int tard : {negInfBound, -5, 0, 3, maxBoundCycle}) {
+            int v = composeBound(anchor, tard);
+            EXPECT_GE(v, 0) << anchor << " " << tard;
+            EXPECT_GE(v, std::min(anchor, maxBoundCycle))
+                << anchor << " " << tard;
+        }
+    }
+}
+
+TEST(BoundLimits, CeilingMirrorsLateUnconstrained)
+{
+    // The saturation ceiling and the "unconstrained late time" are
+    // the same magnitude, so a saturated early bound can never
+    // exceed an unconstrained deadline by mere arithmetic.
+    EXPECT_EQ(maxBoundCycle, lateUnconstrained);
+    EXPECT_EQ(maxBoundCycle, -negInfBound);
+}
+
+} // namespace
+} // namespace balance

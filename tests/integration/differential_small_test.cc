@@ -19,6 +19,7 @@
 #include "bounds/superblock_bounds.hh"
 #include "core/balance_scheduler.hh"
 #include "eval/experiment.hh"
+#include "sched/bnb/bnb.hh"
 #include "sched/optimal.hh"
 #include "support/parallel_for.hh"
 #include "support/rng.hh"
@@ -70,6 +71,10 @@ TEST_P(DifferentialSmall, BoundChainOracleAndHeuristicsAgree)
         double optimal = 0.0;
         double balance = 0.0;
         std::vector<double> heuristicWct;
+        bool bnbProven = false;
+        bool bnbExhausted = false;
+        double bnbWct = 0.0;
+        double bnbLower = 0.0;
     };
     std::vector<Outcome> slots(kInstances);
 
@@ -95,6 +100,24 @@ TEST_P(DifferentialSmall, BoundChainOracleAndHeuristicsAgree)
             opt.schedule.validate(sb, machine);
             out.optimal = opt.wct;
         }
+
+        // The branch-and-bound engine explores the same schedule
+        // space; both oracles must certify the same optimum. The
+        // toolkit lends EarlyRC floors, the tightest static bound
+        // floors the certificate — exactly how eval drives it.
+        BoundsToolkit toolkit(ctx, machine);
+        BnbOptions bo;
+        bo.maxNodes = 500000;
+        bo.threads = 1; // the harness already runs instances in parallel
+        BnbRequest breq;
+        breq.toolkit = &toolkit;
+        breq.staticLowerBound = bounds.tightest();
+        BnbResult bnb = bnbSchedule(ctx, machine, bo, breq);
+        bnb.schedule.validate(sb, machine);
+        out.bnbProven = bnb.proven;
+        out.bnbExhausted = bnb.exhausted;
+        out.bnbWct = bnb.wct;
+        out.bnbLower = bnb.lowerBound;
 
         for (const auto &sched : set.primaries) {
             Schedule s = sched->run(ctx, machine);
@@ -124,6 +147,18 @@ TEST_P(DifferentialSmall, BoundChainOracleAndHeuristicsAgree)
         EXPECT_GE(out.balance, out.optimal - 1e-9) << "instance " << i;
         for (std::size_t h = 0; h < out.heuristicWct.size(); ++h)
             EXPECT_GE(out.heuristicWct[h], out.optimal - 1e-9)
+                << "instance " << i << " heuristic " << h;
+        // Cross-engine oracle: B&B certifies the same optimum the
+        // exhaustive search does, its certificate closes (lower
+        // bound meets the incumbent), and the full ladder
+        // RJ <= PW <= TW <= B&B <= every heuristic holds.
+        EXPECT_TRUE(out.bnbProven) << "instance " << i;
+        EXPECT_TRUE(out.bnbExhausted) << "instance " << i;
+        EXPECT_NEAR(out.bnbWct, out.optimal, 1e-9) << "instance " << i;
+        EXPECT_NEAR(out.bnbLower, out.bnbWct, 1e-9) << "instance " << i;
+        EXPECT_LE(out.tw, out.bnbLower + 1e-9) << "instance " << i;
+        for (std::size_t h = 0; h < out.heuristicWct.size(); ++h)
+            EXPECT_LE(out.bnbWct, out.heuristicWct[h] + 1e-9)
                 << "instance " << i << " heuristic " << h;
     }
     // <= 12 ops: the oracle budget must suffice essentially always.

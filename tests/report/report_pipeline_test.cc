@@ -21,6 +21,7 @@
 #include <vector>
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "report/attribution.hh"
 #include "report/capture.hh"
@@ -70,8 +71,13 @@ class ReportPipelineTest : public ::testing::Test
     SetUpTestSuite()
     {
         run = new RunArtifacts();
-        std::string manifestPath =
-            captureInto("/tmp/balance_report_pipeline", 0.05, 0);
+        // ctest runs each discovered case as its own process, and
+        // each process re-runs this suite setup — key the directory
+        // on the pid so parallel ctest jobs never write into each
+        // other's capture.
+        std::string manifestPath = captureInto(
+            "/tmp/balance_report_pipeline." + std::to_string(getpid()),
+            0.05, 0);
         std::string error;
         ASSERT_TRUE(loadRunArtifacts(manifestPath, run, &error))
             << error;

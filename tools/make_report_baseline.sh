@@ -18,6 +18,10 @@ set -euo pipefail
 build="${BUILD_DIR:-build}"
 out="tools/baselines/report-smoke"
 scale="0.05"   # must match the report-gate job in ci.yml
+# B&B certifier flags; must also match the report-gate job, or the
+# bnb.* counters (zero-tolerance in tools/perf_budgets.json) will
+# trip on the node-count mismatch.
+bnb_flags="--bnb"
 
 if [ ! -x "$build/bench/report_tool" ]; then
     echo "building report_tool first..."
@@ -28,7 +32,8 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-"$build/bench/report_tool" run --out "$tmp" --scale "$scale"
+"$build/bench/report_tool" run --out "$tmp" --scale "$scale" \
+    $bnb_flags
 
 mkdir -p "$out"
 cp "$tmp/metrics.json" "$out/metrics.json"
