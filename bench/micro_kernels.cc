@@ -14,6 +14,7 @@
 #include "bounds/superblock_bounds.hh"
 #include "core/balance_scheduler.hh"
 #include "sched/priorities.hh"
+#include "support/simd_kernels.hh"
 #include "workload/generator.hh"
 
 using namespace balance;
@@ -208,6 +209,143 @@ BM_BalanceFullUpdate(benchmark::State &state)
             bal.runWithToolkit(ctx, m, toolkit));
 }
 
+// ---------------------------------------------------------------
+// Scalar-vs-SIMD parity pairs for the kernel dispatch table. Each
+// pair runs the exact same synthetic SoA buffers through the scalar
+// reference table and the runtime-dispatched table (AVX2/NEON when
+// available), so `--benchmark_filter=Kernel` reads as before/after
+// columns for the bound-sweep, relaxation, ready-set, and grid-blend
+// inner loops. Arg 0 is the element count, arg 1 selects the table
+// (0 = scalar reference, 1 = dispatched).
+
+const SimdKernels &
+kernelTable(bool dispatched)
+{
+    return dispatched ? simdKernels() : scalarSimdKernels();
+}
+
+/** Deterministic pseudo-random ints without <random> overhead. */
+std::vector<int>
+kernelInts(std::uint64_t seed, int n, int lo, int hi)
+{
+    std::vector<int> v(static_cast<std::size_t>(n));
+    std::uint64_t x = seed * 0x9e3779b97f4a7c15ull + 1;
+    for (int &e : v) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        e = lo + int(x % std::uint64_t(hi - lo + 1));
+    }
+    return v;
+}
+
+std::vector<double>
+kernelDoubles(std::uint64_t seed, int n)
+{
+    std::vector<double> v(static_cast<std::size_t>(n));
+    std::uint64_t x = seed * 0x2545f4914f6cdd1dull + 9;
+    for (double &e : v) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        e = double(x % 8000) / 1000.0 - 4.0;
+    }
+    return v;
+}
+
+void
+BM_KernelPairCompose(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    const SimdKernels &k = kernelTable(state.range(1) != 0);
+    std::vector<int> hSink = kernelInts(1, n, 0, 40);
+    std::vector<int> hi = kernelInts(2, n, -1, 40);
+    std::vector<int> early = kernelInts(3, n, 0, 30);
+    std::vector<int> relLate = kernelInts(4, n, -20, 50);
+    std::vector<int> keys(static_cast<std::size_t>(n));
+    for (auto _ : state) {
+        ComposeResult r = k.pairCompose(hSink.data(), hi.data(),
+                                        early.data(), relLate.data(),
+                                        keys.data(), n, 2, 11);
+        benchmark::DoNotOptimize(r);
+        benchmark::DoNotOptimize(keys.data());
+    }
+    state.SetLabel(k.name);
+}
+
+void
+BM_KernelTripleCompose(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    const SimdKernels &k = kernelTable(state.range(1) != 0);
+    std::vector<int> hSink = kernelInts(5, n, 0, 40);
+    std::vector<int> hi = kernelInts(6, n, -1, 40);
+    std::vector<int> hj = kernelInts(7, n, -1, 40);
+    std::vector<int> early = kernelInts(8, n, 0, 30);
+    std::vector<int> relLate = kernelInts(9, n, -20, 50);
+    std::vector<int> keys(static_cast<std::size_t>(n));
+    for (auto _ : state) {
+        ComposeResult r = k.tripleCompose(
+            hSink.data(), hi.data(), hj.data(), early.data(),
+            relLate.data(), keys.data(), n, 3, 1, 9);
+        benchmark::DoNotOptimize(r);
+        benchmark::DoNotOptimize(keys.data());
+    }
+    state.SetLabel(k.name);
+}
+
+void
+BM_KernelEpochScan(benchmark::State &state)
+{
+    // RJ relaxation probe: all cycles full up to the landing slot,
+    // the worst case the skip-walk fallback used to pay for.
+    const int n = int(state.range(0));
+    const SimdKernels &k = kernelTable(state.range(1) != 0);
+    const std::uint32_t epoch = 7;
+    std::vector<std::uint32_t> stamp(static_cast<std::size_t>(n),
+                                     epoch);
+    std::vector<int> fill(static_cast<std::size_t>(n), 2);
+    fill.back() = 0; // free slot at the very end
+    for (auto _ : state)
+        benchmark::DoNotOptimize(k.epochScanFirstFree(
+            stamp.data(), fill.data(), epoch, 2, n));
+    state.SetLabel(k.name);
+}
+
+void
+BM_KernelMaskLE(benchmark::State &state)
+{
+    // Ready-bitset promotion scan over the pending readyAt lane.
+    const int n = int(state.range(0));
+    const SimdKernels &k = kernelTable(state.range(1) != 0);
+    std::vector<int> readyAt = kernelInts(10, n, 0, 200);
+    std::vector<std::uint64_t> words(std::size_t(n) / 64 + 1);
+    for (auto _ : state) {
+        k.maskLE(readyAt.data(), 100, words.data(), n);
+        benchmark::DoNotOptimize(words.data());
+    }
+    state.SetLabel(k.name);
+}
+
+void
+BM_KernelBlendMapKeys(benchmark::State &state)
+{
+    // Best's 121-point grid: blend three priority lanes and map the
+    // result to descending u64 sort keys in one pass.
+    const int n = int(state.range(0));
+    const SimdKernels &k = kernelTable(state.range(1) != 0);
+    std::vector<double> cp = kernelDoubles(11, n);
+    std::vector<double> sr = kernelDoubles(12, n);
+    std::vector<double> dh = kernelDoubles(13, n);
+    std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+    for (auto _ : state) {
+        k.blendMapKeysDesc(0.3, cp.data(), 0.2, sr.data(), 0.5,
+                           dh.data(), keys.data(), n);
+        benchmark::DoNotOptimize(keys.data());
+    }
+    state.SetLabel(k.name);
+}
+
 BENCHMARK(BM_RimJainBound)->Arg(25)->Arg(100)->Arg(300);
 BENCHMARK(BM_LangevinCerny)
     ->Args({25, 1})
@@ -225,6 +363,31 @@ BENCHMARK(BM_ListScheduler)->Arg(25)->Arg(100)->Arg(300);
 BENCHMARK(BM_HelpScheduler)->Arg(25)->Arg(100);
 BENCHMARK(BM_BalanceScheduler)->Arg(25)->Arg(100);
 BENCHMARK(BM_BalanceFullUpdate)->Arg(25)->Arg(100);
+BENCHMARK(BM_KernelPairCompose)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
+BENCHMARK(BM_KernelTripleCompose)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
+BENCHMARK(BM_KernelEpochScan)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
+BENCHMARK(BM_KernelMaskLE)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
+BENCHMARK(BM_KernelBlendMapKeys)
+    ->Args({121, 0})
+    ->Args({121, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
 
 } // namespace
 

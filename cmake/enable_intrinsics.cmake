@@ -1,0 +1,73 @@
+# SIMD kernel plumbing for the bound/scheduler hot loops
+# (docs/PERFORMANCE.md, "SIMD kernels and dispatch").
+#
+# The engine's data-parallel kernels live behind a function-pointer
+# table (src/support/simd_kernels.hh). The portable scalar table is
+# always compiled into balance_support; this module decides which
+# *vector* translation units to add next to it:
+#
+#  - x86-64 with a compiler that accepts -mavx2: compile
+#    simd_kernels_avx2.cc with AVX2 codegen enabled. The table is
+#    only *selected* at runtime when CPUID reports AVX2, so the same
+#    binary still runs on pre-AVX2 hosts.
+#  - AArch64: NEON is baseline, so simd_kernels_neon.cc compiles with
+#    no extra flags and the NEON table is always eligible.
+#
+# -DBALANCE_SIMD=OFF skips the vector TUs entirely: only the scalar
+# table exists and dispatch degenerates to it. Either way the
+# BALANCE_SIMD=scalar *environment variable* forces the scalar table
+# at runtime for A/B profiling and the CI identical-artifact check.
+#
+# Results are bitwise identical across all three tables: the kernels
+# are integer min/max/compare sweeps plus elementwise IEEE mul/add
+# with a fixed association order. -ffp-contract=off is applied
+# globally from the top-level CMakeLists so no path ever fuses those
+# mul/adds into FMAs behind the scalar code's back.
+
+include(CheckCXXCompilerFlag)
+
+set(BALANCE_SIMD_AVX2 FALSE)
+set(BALANCE_SIMD_NEON FALSE)
+
+if(BALANCE_SIMD)
+    if(CMAKE_SYSTEM_PROCESSOR MATCHES "(x86_64|AMD64|amd64)")
+        check_cxx_compiler_flag("-mavx2" BALANCE_CXX_HAS_MAVX2)
+        if(BALANCE_CXX_HAS_MAVX2)
+            set(BALANCE_SIMD_AVX2 TRUE)
+        endif()
+    elseif(CMAKE_SYSTEM_PROCESSOR MATCHES "(aarch64|arm64|ARM64)")
+        set(BALANCE_SIMD_NEON TRUE)
+    endif()
+endif()
+
+# balance_simd_sources(<out-var>)
+#
+# Appends the vector kernel TUs enabled for this configuration to the
+# list variable and records their per-source compile flags. Called by
+# src/support/CMakeLists.txt when assembling balance_support.
+function(balance_simd_sources out)
+    set(srcs "")
+    if(BALANCE_SIMD_AVX2)
+        list(APPEND srcs simd_kernels_avx2.cc)
+        set_property(SOURCE simd_kernels_avx2.cc PROPERTY
+            COMPILE_OPTIONS -mavx2)
+    endif()
+    if(BALANCE_SIMD_NEON)
+        list(APPEND srcs simd_kernels_neon.cc)
+    endif()
+    set(${out} ${srcs} PARENT_SCOPE)
+endfunction()
+
+if(BALANCE_SIMD)
+    if(BALANCE_SIMD_AVX2)
+        message(STATUS "balance: SIMD kernels: scalar + AVX2 "
+            "(runtime CPUID dispatch)")
+    elseif(BALANCE_SIMD_NEON)
+        message(STATUS "balance: SIMD kernels: scalar + NEON")
+    else()
+        message(STATUS "balance: SIMD kernels: scalar only "
+            "(no supported target)")
+    endif()
+else()
+    message(STATUS "balance: SIMD kernels disabled (BALANCE_SIMD=OFF)")
+endif()

@@ -26,6 +26,7 @@
 #ifndef BALANCE_BOUNDS_BOUND_SCRATCH_HH
 #define BALANCE_BOUNDS_BOUND_SCRATCH_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "bounds/relaxation.hh"
@@ -65,6 +66,12 @@ struct BoundScratch
     ScratchArena arena;
     /** Relaxation items in greedy order. */
     std::vector<RelaxItem> items;
+    /**
+     * Member-index permutation in greedy order — the SoA form the
+     * sweep caches feed rjMaxTardinessPermuted, scattering 4-byte
+     * indices instead of 16-byte RelaxItems.
+     */
+    std::vector<std::int32_t> perm;
     /** Late-bucket histogram / start offsets for the stable repair. */
     std::vector<int> counts;
     /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/diagnostics.hh"
+#include "support/simd_kernels.hh"
 
 namespace balance
 {
@@ -57,15 +58,17 @@ SinkSkeleton::relax(const MachineModel &machine, BoundScratch &scratch,
                     BoundCounters *counters) const
 {
     const std::vector<int> &keys = scratch.keys;
-    std::vector<RelaxItem> &items = scratch.items;
-    items.resize(std::size_t(n));
+    std::vector<std::int32_t> &perm = scratch.perm;
+    perm.resize(std::size_t(n));
 
     long long range = (long long)(maxKey) - minKey;
     if (range <= 4LL * n + 64) {
         // Stable bucket pass: counts by late key, then scatter in
         // the precomputed (early, op) order. Stability makes this a
         // counting sort by (late, early, op) — the unique greedy
-        // order, identical to what std::sort would produce.
+        // order, identical to what std::sort would produce. Only the
+        // 4-byte member indices move; the greedy reads the member
+        // data straight from the skeleton's SoA arrays.
         std::vector<int> &start = scratch.counts;
         start.assign(std::size_t(range) + 1, 0);
         for (int m = 0; m < n; ++m)
@@ -78,25 +81,32 @@ SinkSkeleton::relax(const MachineModel &machine, BoundScratch &scratch,
         }
         for (int m : orderByEarly) {
             int key = keys[std::size_t(m)] - minKey;
-            items[std::size_t(start[std::size_t(key)]++)] = {
-                ops[std::size_t(m)], cls[std::size_t(m)],
-                early[std::size_t(m)],
-                cp + keys[std::size_t(m)]};
+            perm[std::size_t(start[std::size_t(key)]++)] =
+                std::int32_t(m);
         }
     } else {
         // Degenerate late spread: fall back to a comparison sort
         // (same unique order, just not worth the bucket memory).
-        for (int m = 0; m < n; ++m) {
-            items[std::size_t(m)] = {ops[std::size_t(m)],
-                                     cls[std::size_t(m)],
-                                     early[std::size_t(m)],
-                                     cp + keys[std::size_t(m)]};
-        }
-        sortRelaxItems(items);
+        // Members are in ascending op order, so the index tail m
+        // realizes the op tie-break.
+        for (int m = 0; m < n; ++m)
+            perm[std::size_t(m)] = std::int32_t(m);
+        std::sort(perm.begin(), perm.end(),
+                  [&](std::int32_t a, std::int32_t b) {
+                      if (keys[std::size_t(a)] != keys[std::size_t(b)])
+                          return keys[std::size_t(a)] <
+                                 keys[std::size_t(b)];
+                      if (early[std::size_t(a)] !=
+                          early[std::size_t(b)])
+                          return early[std::size_t(a)] <
+                                 early[std::size_t(b)];
+                      return a < b;
+                  });
     }
 
-    return rjMaxTardinessPresorted(machine, items, scratch.table,
-                                   counters);
+    return rjMaxTardinessPermuted(machine, perm, cls.data(),
+                                  early.data(), keys.data(), cp,
+                                  scratch.table, counters);
 }
 
 } // namespace detail
@@ -163,28 +173,22 @@ PairSweepCache::eval(int latency, BoundCounters *counters)
 
     // Composed critical path: any path through the new i -> j edge
     // reaches i first, so H[x] = max(height_j[x], height_i[x] + l).
-    // One tick per member, matching the naive engine's cp pass. The
-    // relative late key min(-H, relLate) is cp-independent, so the
-    // same pass computes the bucket range (0 included, matching the
-    // naive init of min/max late to cp).
-    int cp = ejVal;
-    int minKey = 0;
-    int maxKey = 0;
-    for (int m = 0; m < sk->n; ++m) {
-        int h = sk->hSink[std::size_t(m)];
-        int hi = hiBuf[std::size_t(m)];
-        if (hi >= 0)
-            h = std::max(h, hi + latency);
-        cp = std::max(cp, sk->early[std::size_t(m)] + h);
-        int key = std::min(-h, sk->relLate[std::size_t(m)]);
-        keys[std::size_t(m)] = key;
-        minKey = std::min(minKey, key);
-        maxKey = std::max(maxKey, key);
-        tick(counters);
-    }
+    // The kernel runs the composition over the skeleton's SoA arrays
+    // eight members per vector step; the min/max/cp reductions are
+    // associative, so results match the scalar pass exactly. One tick
+    // per member as before — the trip count is the member count, so
+    // one bulk tick reconstructs it. The relative late key
+    // min(-H, relLate) is cp-independent, so the same pass computes
+    // the bucket range (0 included, matching the naive init of
+    // min/max late to cp).
+    ComposeResult r = simdKernels().pairCompose(
+        sk->hSink.data(), hiBuf.data(), sk->early.data(),
+        sk->relLate.data(), keys.data(), sk->n, latency, ejVal);
+    tick(counters, sk->n);
 
-    int tard = sk->relax(machine, scratch, cp, minKey, maxKey,
+    int tard = sk->relax(machine, scratch, r.cp, r.minKey, r.maxKey,
                          counters);
+    int cp = r.cp;
 
     PairPoint pt;
     pt.y = composeBound(cp, tard);
@@ -351,28 +355,18 @@ TripleSweepCache::eval(int a, int b, BoundCounters *counters)
     // new edges reaches j before k, so
     //   HjNew[x] = max(height_j[x], height_i[x] + a)
     //   H[x]     = max(height_k[x], HjNew[x] + max(b, height_k[j])).
+    // Vectorized like the pair composition; one (bulk) tick per
+    // member as before.
     int jToK = std::max(b, hKj);
-    int cp = ekVal;
-    int minKey = 0;
-    int maxKey = 0;
-    for (int m = 0; m < sk->n; ++m) {
-        int h = sk->hSink[std::size_t(m)];
-        int hi = hiBuf[std::size_t(m)];
-        int hjNew = hjBuf[std::size_t(m)];
-        if (hi >= 0)
-            hjNew = std::max(hjNew, hi + a);
-        if (hjNew >= 0)
-            h = std::max(h, hjNew + jToK);
-        cp = std::max(cp, sk->early[std::size_t(m)] + h);
-        int key = std::min(-h, sk->relLate[std::size_t(m)]);
-        keys[std::size_t(m)] = key;
-        minKey = std::min(minKey, key);
-        maxKey = std::max(maxKey, key);
-        tick(counters);
-    }
+    ComposeResult r = simdKernels().tripleCompose(
+        sk->hSink.data(), hiBuf.data(), hjBuf.data(),
+        sk->early.data(), sk->relLate.data(), keys.data(), sk->n, a,
+        jToK, ekVal);
+    tick(counters, sk->n);
 
-    int tard = sk->relax(machine, scratch, cp, minKey, maxKey,
+    int tard = sk->relax(machine, scratch, r.cp, r.minKey, r.maxKey,
                          counters);
+    int cp = r.cp;
 
     TriplePoint pt;
     pt.z = composeBound(cp, tard);

@@ -67,46 +67,38 @@ RelaxTable::RelaxTable(const MachineModel &machine) : model(&machine)
 }
 
 void
-RelaxTable::ensure(Lane &lane, int cycle)
+RelaxTable::grow(Lane &lane, int cycle)
 {
-    if (std::size_t(cycle) < lane.stamp.size())
-        return;
-    std::size_t size = std::max(lane.stamp.size() * 2,
+    std::size_t size = std::max(lane.occ.size() * 2,
                                 std::size_t(cycle) + 1);
     if (size < 64)
         size = 64;
-    lane.fill.resize(size);
     lane.next.resize(size);
-    // Zero stamps mark virgin cells (the epoch counter starts at 1).
-    lane.stamp.resize(size, 0);
+    // Zero words mark virgin cells (the epoch counter starts at 1).
+    lane.occ.resize(size, 0);
 }
 
 int
-RelaxTable::place(OpClass cls, int early)
+RelaxTable::placeSlow(Lane &lane, int from)
 {
-    Lane &lane = lanes[std::size_t(model->poolOf(cls))];
-    ensure(lane, early);
-    int c = early;
-    while (lane.stamp[std::size_t(c)] == epoch &&
-           lane.fill[std::size_t(c)] >= lane.width) {
+    // Cycle @p from is full, so the walk continues through next
+    // pointers — every full cycle has a valid one — until a free (or
+    // virgin) cycle.
+    const std::uint64_t full =
+        (std::uint64_t(epoch) << 32) + std::uint64_t(lane.width);
+    int c = from;
+    do {
         int nx = lane.next[std::size_t(c)];
-        ensure(lane, nx);
+        if (std::size_t(nx) >= lane.occ.size())
+            grow(lane, nx);
         c = nx;
-    }
+    } while (lane.occ[std::size_t(c)] >= full);
     // Path compression: point every full cycle on the walk at the
     // landing cycle so later placements skip straight past the run.
-    for (int w = early; w != c;) {
+    for (int w = from; w != c;) {
         int nx = lane.next[std::size_t(w)];
         lane.next[std::size_t(w)] = c;
         w = nx;
-    }
-    if (lane.stamp[std::size_t(c)] != epoch) {
-        lane.stamp[std::size_t(c)] = epoch;
-        lane.fill[std::size_t(c)] = 0;
-    }
-    if (++lane.fill[std::size_t(c)] == lane.width) {
-        ensure(lane, c + 1);
-        lane.next[std::size_t(c)] = c + 1;
     }
     return c;
 }
@@ -130,6 +122,30 @@ rjMaxTardinessPresorted(const MachineModel &machine,
         // The naive greedy ticks once per probed full cycle plus
         // once per item; the placement implies that count exactly.
         tick(counters, cycle - item.early + 1);
+    }
+    return maxTardiness;
+}
+
+int
+rjMaxTardinessPermuted(const MachineModel &machine,
+                       std::span<const std::int32_t> perm,
+                       const OpClass *cls, const int *early,
+                       const int *keys, int cp, RelaxTable &table,
+                       BoundCounters *counters)
+{
+    if (perm.empty())
+        return negInfBound;
+
+    bsAssert(&table.machine() == &machine,
+             "scratch table built for a different machine");
+    table.reset();
+    int maxTardiness = negInfBound;
+    for (std::int32_t m : perm) {
+        int e = early[m];
+        bsAssert(e >= 0, "negative early time in relaxation");
+        int cycle = table.place(cls[m], e);
+        maxTardiness = std::max(maxTardiness, cycle - (cp + keys[m]));
+        tick(counters, cycle - e + 1);
     }
     return maxTardiness;
 }

@@ -16,14 +16,16 @@
  * produces it — std::sort here, or the bucketed repair pass of the
  * pairwise sweep cache — feeds the greedy the same items in the same
  * order and gets bitwise-identical tardiness. rjMaxTardinessPresorted
- * is that shared greedy core; the sweep engine calls it directly on
- * pre-ordered spans, reusing one ResourceState across thousands of
- * relaxations instead of constructing a fresh table per call.
+ * is that shared greedy core; the sweep engine calls the permuted SoA
+ * form directly on its cached member arrays, reusing one RelaxTable
+ * across thousands of relaxations instead of constructing a fresh
+ * table per call.
  */
 
 #ifndef BALANCE_BOUNDS_RELAXATION_HH
 #define BALANCE_BOUNDS_RELAXATION_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -73,16 +75,31 @@ int rjMaxTardiness(const MachineModel &machine,
                    BoundCounters *counters = nullptr);
 
 /**
- * Placement structure specialized for the RJ greedy: per-pool
- * next-free-cycle skip pointers with path compression make each
- * placement amortized near-constant instead of a linear probe over
- * full cycles, and an epoch stamp makes reset() O(1).
+ * Placement structure specialized for the RJ greedy. Occupancy is
+ * structure-of-arrays per pool: one packed u64 per cycle — the epoch
+ * stamp in the high word, the fill count in the low word — plus a
+ * next-free skip pointer. The packing turns the placement test into
+ * a single load and unsigned compare: a cycle is full iff its word
+ * >= (epoch << 32) + width (a stale or virgin word has a smaller
+ * high half and can never reach the threshold), and occupying a
+ * cycle is one store of either word+1 or (epoch << 32) + 1. A
+ * placement checks the early cycle, follows one skip hop inline (a
+ * one-hop walk needs no path compression), and only then falls into
+ * the path-compressed skip-pointer walk, keeping worst-case
+ * amortized near-constant placements even on width-1 pools; reset()
+ * stays O(1) via the epoch bump. (The vectorized epoch-scan window
+ * probe in the SimdKernels table was measured here and lost: with
+ * ~20M placements per bound pass the indirect call outweighs the
+ * 8-wide compare, and on backed-up pools the compressed walk skips
+ * runs the linear probe must scan. The kernel remains a tested
+ * primitive; see docs/PERFORMANCE.md.)
  *
  * Placements are identical to probing a fresh reservation table
  * cycle by cycle (earliest non-full cycle of the pool at or after
- * the early time), and the probe count the naive loop would have
- * performed is recovered exactly as (placed - early), so the Table 2
- * trip accounting is unchanged — see rjMaxTardinessPresorted below.
+ * the early time) no matter which path found them, and the probe
+ * count the naive loop would have performed is recovered exactly as
+ * (placed - early), so the Table 2 trip accounting is unchanged;
+ * see rjMaxTardinessPresorted.
  */
 class RelaxTable
 {
@@ -100,7 +117,14 @@ class RelaxTable
     void
     reset()
     {
-        ++epoch;
+        if (++epoch == 0) {
+            // u32 epoch wrapped: scrub the stamps so no stale cell
+            // from four billion resets ago can alias the new epoch.
+            for (Lane &lane : lanes)
+                std::fill(lane.occ.begin(), lane.occ.end(),
+                          std::uint64_t(0));
+            epoch = 1;
+        }
         ++resets;
     }
 
@@ -113,23 +137,58 @@ class RelaxTable
      *
      * @return the chosen cycle.
      */
-    int place(OpClass cls, int early);
+    int
+    place(OpClass cls, int early)
+    {
+        Lane &lane = lanes[std::size_t(model->poolOf(cls))];
+        if (std::size_t(early) >= lane.occ.size())
+            grow(lane, early);
+        const std::uint64_t fresh = std::uint64_t(epoch) << 32;
+        const std::uint64_t full = fresh + std::uint64_t(lane.width);
+        int c = early;
+        if (lane.occ[std::size_t(c)] >= full) {
+            // next[c] is valid: c filled during the current epoch.
+            int nx = lane.next[std::size_t(c)];
+            if (std::size_t(nx) >= lane.occ.size())
+                grow(lane, nx);
+            if (lane.occ[std::size_t(nx)] < full)
+                c = nx; // one hop: compression would be a no-op
+            else
+                c = placeSlow(lane, early);
+        }
+        std::uint64_t occ = lane.occ[std::size_t(c)];
+        occ = occ >= fresh ? occ + 1 : fresh + 1;
+        lane.occ[std::size_t(c)] = occ;
+        if (occ == full) {
+            if (std::size_t(c) + 1 >= lane.occ.size())
+                grow(lane, c + 1);
+            lane.next[std::size_t(c)] = c + 1;
+        }
+        return c;
+    }
 
   private:
     /** One pool's cycle occupancy, valid for the current epoch. */
     struct Lane
     {
-        std::vector<int> fill; //!< units used (when stamp == epoch)
+        /** Per cycle: (epoch << 32) | units used this epoch. */
+        std::vector<std::uint64_t> occ;
         std::vector<int> next; //!< skip pointer once a cycle is full
-        std::vector<std::uint64_t> stamp; //!< epoch owning fill/next
         int width = 0;
     };
 
-    void ensure(Lane &lane, int cycle);
+    /** Resize the lane's arrays to cover @p cycle (amortized). */
+    void grow(Lane &lane, int cycle);
+
+    /**
+     * Skip-pointer walk with path compression for placements whose
+     * early cycle is already full; @p from is that (full) cycle.
+     */
+    int placeSlow(Lane &lane, int from);
 
     const MachineModel *model;
     std::vector<Lane> lanes;
-    std::uint64_t epoch = 1;
+    std::uint32_t epoch = 1;
     /** Epoch bumps since construction (telemetry). */
     long long resets = 0;
 };
@@ -162,6 +221,20 @@ int rjMaxTardinessPresorted(const MachineModel &machine,
                             std::span<const RelaxItem> items,
                             RelaxTable &table,
                             BoundCounters *counters = nullptr);
+
+/**
+ * The greedy core over structure-of-arrays member data — the sweep
+ * engine's form, which never materializes RelaxItems. @p perm lists
+ * member indices in the canonical (late, early, op) order; member m
+ * has class @p cls[m], early time @p early[m], and late time
+ * @p cp + @p keys[m]. Placements and ticks are identical to building
+ * the items and calling the span overload.
+ */
+int rjMaxTardinessPermuted(const MachineModel &machine,
+                           std::span<const std::int32_t> perm,
+                           const OpClass *cls, const int *early,
+                           const int *keys, int cp, RelaxTable &table,
+                           BoundCounters *counters = nullptr);
 
 /** Sort @p items into the canonical (late, early, op) greedy order. */
 void sortRelaxItems(std::vector<RelaxItem> &items);

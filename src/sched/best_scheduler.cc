@@ -87,9 +87,11 @@ gridSweep(const GraphContext &ctx, const MachineModel &machine,
             double fa = double(a) / gridSteps;
             double fb = double(b) / gridSteps;
             double fc = std::max(0.0, 1.0 - fa - fb);
-            combineKeysInto(scr.blendBuf, cp, fa, sr, fb, dh, fc);
+            // Fused blend + key map: same permutation as blending
+            // into a buffer and ranking it, without the round trip.
             std::span<const std::int32_t> perm =
-                priorityRankOrder(sb, scr.blendBuf, scr);
+                priorityRankOrderBlended(sb, fa, cp, fb, sr, fc, dh,
+                                         scr);
             std::uint64_t h = permHash(perm);
 
             int found = -1;

@@ -95,6 +95,22 @@ priorityRankOrder(const Superblock &sb,
                   SchedScratch &scratch);
 
 /**
+ * priorityRankOrder for the blended priority a*cp + b*sr + c*dh
+ * without materializing the blended vector: a fused kernel maps each
+ * blend straight to its sort key. The permutation is bit-for-bit the
+ * one combineKeysInto + priorityRankOrder would produce on the same
+ * tables — the blend keeps the same association order and the key
+ * map is strictly monotone — which is how the Best combo grid shares
+ * one vectorized recompute across its 121 points.
+ */
+std::span<const std::int32_t>
+priorityRankOrderBlended(const Superblock &sb, double a,
+                         const std::vector<double> &cp, double b,
+                         const std::vector<double> &sr, double c,
+                         const std::vector<double> &dh,
+                         SchedScratch &scratch);
+
+/**
  * Greedy core driven by a precomputed rank order (from
  * priorityRankOrder on the same scratch). The returned issue spans
  * (indexed by OpId) live in the scratch arena until the next run.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/diagnostics.hh"
+#include "support/simd_kernels.hh"
 
 namespace balance
 {
@@ -97,8 +98,11 @@ combineKeysInto(std::vector<double> &out, const std::vector<double> &cp,
     bsAssert(cp.size() == sr.size() && sr.size() == dhasy.size(),
              "key size mismatch");
     out.resize(cp.size());
-    for (std::size_t i = 0; i < cp.size(); ++i)
-        out[i] = a * cp[i] + b * sr[i] + c * dhasy[i];
+    // The kernel keeps the (a*cp + b*sr) + c*dh association and the
+    // build forbids FP contraction, so scalar and vector tables
+    // produce bitwise-identical blends.
+    simdKernels().blendKeys(a, cp.data(), b, sr.data(), c,
+                            dhasy.data(), out.data(), int(cp.size()));
 }
 
 } // namespace balance

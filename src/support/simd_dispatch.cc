@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Runtime kernel-table selection (docs/PERFORMANCE.md):
+ *
+ *   1. forceScalarSimdKernels(true) pins the scalar table (tests);
+ *   2. BALANCE_SIMD=scalar|off|0 in the environment pins it too —
+ *      the one-flag A/B switch used by tools/profile_bounds.sh and
+ *      the CI identical-artifact job;
+ *   3. otherwise the widest table compiled into this binary whose
+ *      ISA the host supports: AVX2 when CPUID says so on x86-64,
+ *      NEON on AArch64 (baseline), scalar everywhere else.
+ *
+ * Which vector tables exist is decided at configure time
+ * (cmake/enable_intrinsics.cmake sets BALANCE_SIMD_HAVE_*); a
+ * -DBALANCE_SIMD=OFF build compiles none and every route lands on
+ * the scalar table. All tables produce bitwise-identical results,
+ * so selection is invisible to everything but the clock.
+ */
+
+#include "support/simd_kernels.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace balance
+{
+
+#if defined(BALANCE_SIMD_HAVE_AVX2)
+const SimdKernels &avx2SimdKernels();
+#endif
+#if defined(BALANCE_SIMD_HAVE_NEON)
+const SimdKernels &neonSimdKernels();
+#endif
+
+namespace
+{
+
+std::atomic<bool> forceScalar{false};
+
+bool
+envForcesScalar()
+{
+    const char *env = std::getenv("BALANCE_SIMD");
+    if (!env)
+        return false;
+    return std::strcmp(env, "scalar") == 0 ||
+           std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0;
+}
+
+const SimdKernels &
+resolve()
+{
+    if (envForcesScalar())
+        return scalarSimdKernels();
+#if defined(BALANCE_SIMD_HAVE_AVX2) && defined(__x86_64__)
+    if (__builtin_cpu_supports("avx2"))
+        return avx2SimdKernels();
+#endif
+#if defined(BALANCE_SIMD_HAVE_NEON)
+    return neonSimdKernels();
+#else
+    return scalarSimdKernels();
+#endif
+}
+
+} // namespace
+
+const SimdKernels &
+simdKernels()
+{
+    if (forceScalar.load(std::memory_order_relaxed))
+        return scalarSimdKernels();
+    static const SimdKernels &table = resolve();
+    return table;
+}
+
+void
+forceScalarSimdKernels(bool on)
+{
+    forceScalar.store(on, std::memory_order_relaxed);
+}
+
+} // namespace balance

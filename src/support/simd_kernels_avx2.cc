@@ -1,0 +1,14 @@
+/**
+ * @file
+ * The AVX2 kernel table: the shared vector bodies compiled with
+ * -mavx2 (set per-source by cmake/enable_intrinsics.cmake). Only the
+ * dispatcher calls avx2SimdKernels(), and only after CPUID confirms
+ * the host supports AVX2, so no AVX2 instruction ever executes on a
+ * host without it.
+ */
+
+#define BALANCE_SIMD_TABLE_LEVEL SimdLevel::Avx2
+#define BALANCE_SIMD_TABLE_NAME "avx2"
+#define BALANCE_SIMD_TABLE_FUNC avx2SimdKernels
+
+#include "support/simd_kernels_impl.hh"

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * The NEON kernel table: the shared vector bodies compiled for
+ * AArch64, where 128-bit NEON is baseline — the compiler lowers each
+ * 256-bit portable vector to a register pair, so no extra flags and
+ * no runtime feature check are needed.
+ */
+
+#define BALANCE_SIMD_TABLE_LEVEL SimdLevel::Neon
+#define BALANCE_SIMD_TABLE_NAME "neon"
+#define BALANCE_SIMD_TABLE_FUNC neonSimdKernels
+
+#include "support/simd_kernels_impl.hh"

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Gate the committed BENCH_*.json artifacts against the speedup
+floors in tools/perf_budgets.json (bench_speedup_floors).
+
+Run from the repository root after refreshing a bench artifact:
+
+    python3 tools/check_bench_floors.py
+
+Each listed artifact must report engine-vs-naive speedup at or above
+its per-machine floor and "identical": true (the engine matched the
+naive oracle bit for bit). Exits non-zero on any violation.
+"""
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    budgets = json.loads((ROOT / "tools/perf_budgets.json").read_text())
+    floors = budgets.get("bench_speedup_floors", {})
+    failures = []
+    for artifact, machines in floors.items():
+        path = ROOT / artifact
+        if not path.exists():
+            failures.append(f"{artifact}: missing")
+            continue
+        doc = json.loads(path.read_text())
+        by_name = {m["name"]: m for m in doc.get("machines", [])}
+        for name, floor in machines.items():
+            m = by_name.get(name)
+            if m is None:
+                failures.append(f"{artifact}: no machine {name}")
+                continue
+            if not m.get("identical", False):
+                failures.append(
+                    f"{artifact}: {name} engine diverged from the "
+                    "naive oracle")
+            speedup = m.get("speedup", 0.0)
+            if speedup < floor:
+                failures.append(
+                    f"{artifact}: {name} speedup {speedup:.2f}x "
+                    f"below floor {floor:.2f}x")
+            else:
+                print(f"ok: {artifact} {name} {speedup:.2f}x "
+                      f">= {floor:.2f}x")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,13 @@
 #   tools/profile_bounds.sh                      # GP4 + FS8, scale 0.05
 #   tools/profile_bounds.sh --scale 0.2 --config FS8
 #
+# Pass --simd on|off (before any bench flags) to A/B the vector vs.
+# scalar kernel tables in one flag: "off" exports BALANCE_SIMD=scalar
+# so dispatch pins the scalar fallback at runtime — same binary, no
+# reconfigure (see docs/PERFORMANCE.md, "SIMD kernels and dispatch"):
+#
+#   tools/profile_bounds.sh --simd off --scale 0.2
+#
 # Configure with -DBALANCE_PROFILE=ON first so frame pointers are
 # kept and the call graphs resolve (see docs/PERFORMANCE.md). When
 # perf is unavailable (not installed, or perf_event_paranoid forbids
@@ -15,6 +22,16 @@ set -euo pipefail
 build="${BUILD_DIR:-build}"
 bench="$build/bench/bounds_perf"
 out="${PERF_DATA:-perf_bounds.data}"
+
+if [ "${1:-}" = "--simd" ]; then
+    [ $# -ge 2 ] || { echo "--simd needs on|off" >&2; exit 2; }
+    case "$2" in
+        on) unset BALANCE_SIMD ;;
+        off) export BALANCE_SIMD=scalar ;;
+        *) echo "--simd takes on|off, got '$2'" >&2; exit 2 ;;
+    esac
+    shift 2
+fi
 
 if [ ! -x "$bench" ]; then
     echo "building first..."

@@ -12,6 +12,12 @@
 #
 #   tools/run_experiments.sh --report-out results/report 0.25
 #
+# Pass --simd on|off to pin the kernel tables: "off" exports
+# BALANCE_SIMD=scalar so every bench runs the scalar fallback — the
+# one-flag A/B for vector-vs-scalar wall-clock. Results are bitwise
+# identical either way (the golden tests pin it), so --simd, like
+# THREADS, only ever changes wall-clock, never results/.
+#
 # Outputs are byte-identical for every thread count (the runners
 # reduce per-superblock slots in suite order), so THREADS only
 # changes wall-clock, never results/.
@@ -24,6 +30,15 @@ while [ $# -gt 0 ]; do
         --report-out)
             [ $# -ge 2 ] || { echo "--report-out needs a directory" >&2; exit 2; }
             report_out="$2"
+            shift 2
+            ;;
+        --simd)
+            [ $# -ge 2 ] || { echo "--simd needs on|off" >&2; exit 2; }
+            case "$2" in
+                on) unset BALANCE_SIMD ;;
+                off) export BALANCE_SIMD=scalar ;;
+                *) echo "--simd takes on|off, got '$2'" >&2; exit 2 ;;
+            esac
             shift 2
             ;;
         *)
