@@ -5,15 +5,31 @@
  * Theorem 1), LateRC, the pairwise bound, the generic list
  * scheduler, and the Help/Balance engines. These back the empirical
  * complexity discussion around Tables 2 and 6 with wall-clock data.
+ *
+ * Besides the console output, every run writes a BENCH_micro.json
+ * artifact (--out overrides the path) with per-benchmark ns/op so
+ * the kernel-level trajectory is trackable across commits like the
+ * other BENCH_ files. On machines with perf_event access the SIMD
+ * kernel benches also attach hardware-counter columns (cycles/op,
+ * IPC, branch/cache miss rates) via PerfSampler
+ * (docs/OBSERVABILITY.md); without it the wall-clock columns stand
+ * alone (BALANCE_PERF=fallback forces that).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bounds/bound_scratch.hh"
 #include "bounds/reference.hh"
 #include "bounds/superblock_bounds.hh"
 #include "core/balance_scheduler.hh"
 #include "sched/priorities.hh"
+#include "support/json.hh"
+#include "support/perf_counters.hh"
 #include "support/simd_kernels.hh"
 #include "workload/generator.hh"
 
@@ -21,6 +37,58 @@ using namespace balance;
 
 namespace
 {
+
+/** The bench's one counter group (benchmarks run single-threaded). */
+PerfSampler &
+benchSampler()
+{
+    static PerfSampler *s = new PerfSampler();
+    return *s;
+}
+
+/**
+ * RAII hardware-counter columns for one benchmark run: construct
+ * immediately before the `for (auto _ : state)` loop (in its own
+ * scope), and the destructor divides the covered interval's counter
+ * deltas across the iterations into state.counters. No columns are
+ * attached at the fallback tier — absent columns read honestly as
+ * "not measured", where zeros would read as impossibly good.
+ */
+class KernelCounters
+{
+  public:
+    explicit KernelCounters(benchmark::State &state) : st(state)
+    {
+        start = benchSampler().now();
+    }
+
+    ~KernelCounters()
+    {
+        PerfCounterValues end = benchSampler().now();
+        if (benchSampler().tier() != PerfTier::Hardware ||
+            st.iterations() == 0)
+            return;
+        PerfCounterValues d = PerfCounterValues::delta(end, start);
+        double iters = double(st.iterations());
+        st.counters["cycles_per_op"] =
+            benchmark::Counter(double(d.cycles) / iters);
+        st.counters["instructions_per_op"] =
+            benchmark::Counter(double(d.instructions) / iters);
+        st.counters["ipc"] = benchmark::Counter(
+            d.cycles ? double(d.instructions) / double(d.cycles) : 0.0);
+        st.counters["branch_miss_rate"] = benchmark::Counter(
+            d.branches ? double(d.branchMisses) / double(d.branches)
+                       : 0.0);
+        st.counters["cache_miss_rate"] = benchmark::Counter(
+            d.cacheReferences
+                ? double(d.cacheMisses) / double(d.cacheReferences)
+                : 0.0);
+    }
+
+  private:
+    benchmark::State &st;
+    PerfCounterValues start;
+};
 
 /** One representative superblock of roughly the requested size. */
 Superblock
@@ -263,12 +331,15 @@ BM_KernelPairCompose(benchmark::State &state)
     std::vector<int> early = kernelInts(3, n, 0, 30);
     std::vector<int> relLate = kernelInts(4, n, -20, 50);
     std::vector<int> keys(static_cast<std::size_t>(n));
-    for (auto _ : state) {
-        ComposeResult r = k.pairCompose(hSink.data(), hi.data(),
-                                        early.data(), relLate.data(),
-                                        keys.data(), n, 2, 11);
-        benchmark::DoNotOptimize(r);
-        benchmark::DoNotOptimize(keys.data());
+    {
+        KernelCounters kc(state);
+        for (auto _ : state) {
+            ComposeResult r = k.pairCompose(
+                hSink.data(), hi.data(), early.data(), relLate.data(),
+                keys.data(), n, 2, 11);
+            benchmark::DoNotOptimize(r);
+            benchmark::DoNotOptimize(keys.data());
+        }
     }
     state.SetLabel(k.name);
 }
@@ -284,12 +355,15 @@ BM_KernelTripleCompose(benchmark::State &state)
     std::vector<int> early = kernelInts(8, n, 0, 30);
     std::vector<int> relLate = kernelInts(9, n, -20, 50);
     std::vector<int> keys(static_cast<std::size_t>(n));
-    for (auto _ : state) {
-        ComposeResult r = k.tripleCompose(
-            hSink.data(), hi.data(), hj.data(), early.data(),
-            relLate.data(), keys.data(), n, 3, 1, 9);
-        benchmark::DoNotOptimize(r);
-        benchmark::DoNotOptimize(keys.data());
+    {
+        KernelCounters kc(state);
+        for (auto _ : state) {
+            ComposeResult r = k.tripleCompose(
+                hSink.data(), hi.data(), hj.data(), early.data(),
+                relLate.data(), keys.data(), n, 3, 1, 9);
+            benchmark::DoNotOptimize(r);
+            benchmark::DoNotOptimize(keys.data());
+        }
     }
     state.SetLabel(k.name);
 }
@@ -306,9 +380,12 @@ BM_KernelEpochScan(benchmark::State &state)
                                      epoch);
     std::vector<int> fill(static_cast<std::size_t>(n), 2);
     fill.back() = 0; // free slot at the very end
-    for (auto _ : state)
-        benchmark::DoNotOptimize(k.epochScanFirstFree(
-            stamp.data(), fill.data(), epoch, 2, n));
+    {
+        KernelCounters kc(state);
+        for (auto _ : state)
+            benchmark::DoNotOptimize(k.epochScanFirstFree(
+                stamp.data(), fill.data(), epoch, 2, n));
+    }
     state.SetLabel(k.name);
 }
 
@@ -320,9 +397,12 @@ BM_KernelMaskLE(benchmark::State &state)
     const SimdKernels &k = kernelTable(state.range(1) != 0);
     std::vector<int> readyAt = kernelInts(10, n, 0, 200);
     std::vector<std::uint64_t> words(std::size_t(n) / 64 + 1);
-    for (auto _ : state) {
-        k.maskLE(readyAt.data(), 100, words.data(), n);
-        benchmark::DoNotOptimize(words.data());
+    {
+        KernelCounters kc(state);
+        for (auto _ : state) {
+            k.maskLE(readyAt.data(), 100, words.data(), n);
+            benchmark::DoNotOptimize(words.data());
+        }
     }
     state.SetLabel(k.name);
 }
@@ -338,10 +418,13 @@ BM_KernelBlendMapKeys(benchmark::State &state)
     std::vector<double> sr = kernelDoubles(12, n);
     std::vector<double> dh = kernelDoubles(13, n);
     std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
-    for (auto _ : state) {
-        k.blendMapKeysDesc(0.3, cp.data(), 0.2, sr.data(), 0.5,
-                           dh.data(), keys.data(), n);
-        benchmark::DoNotOptimize(keys.data());
+    {
+        KernelCounters kc(state);
+        for (auto _ : state) {
+            k.blendMapKeysDesc(0.3, cp.data(), 0.2, sr.data(), 0.5,
+                               dh.data(), keys.data(), n);
+            benchmark::DoNotOptimize(keys.data());
+        }
     }
     state.SetLabel(k.name);
 }
@@ -389,6 +472,109 @@ BENCHMARK(BM_KernelBlendMapKeys)
     ->Args({1000, 0})
     ->Args({1000, 1});
 
+/** One captured benchmark row destined for BENCH_micro.json. */
+struct MicroRow {
+    std::string name;
+    long long iterations = 0;
+    double nsPerOp = 0.0;
+    std::string label;
+    std::vector<std::pair<std::string, double>> counters;
+};
+
+/**
+ * Console reporter that additionally records every iteration run so
+ * main() can serialize the artifact after RunSpecifiedBenchmarks.
+ * Aggregate rows (mean/stddev under --benchmark_repetitions) are
+ * skipped: the artifact tracks the plain per-benchmark timings.
+ */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.error_occurred ||
+                r.run_type != Run::RT_Iteration)
+                continue;
+            MicroRow row;
+            row.name = r.benchmark_name();
+            row.iterations = (long long)(r.iterations);
+            row.nsPerOp =
+                r.iterations
+                    ? r.real_accumulated_time /
+                          double(r.iterations) * 1e9
+                    : 0.0;
+            row.label = r.report_label;
+            for (const auto &[cname, c] : r.counters)
+                row.counters.emplace_back(cname, double(c.value));
+            rows.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<MicroRow> rows;
+};
+
+void
+writeMicroArtifact(const std::string &path,
+                   const std::vector<MicroRow> &rows)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench").value("micro_kernels");
+    w.key("tier").value(perfTierName(benchSampler().tier()));
+    w.key("kernels").beginArray();
+    for (const MicroRow &row : rows) {
+        w.beginObject();
+        w.key("name").value(row.name);
+        w.key("iterations").value(row.iterations);
+        w.key("ns_per_op").value(row.nsPerOp);
+        if (!row.label.empty())
+            w.key("label").value(row.label);
+        w.key("counters").beginObject();
+        for (const auto &[cname, v] : row.counters)
+            w.key(cname).value(v);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::string doc = w.str();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "micro_kernels: cannot open %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "%s\n", doc.c_str());
+    std::fclose(f);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off our own --out flag before google-benchmark sees the
+    // argument vector; everything else flows through untouched.
+    std::string outPath = "BENCH_micro.json";
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            outPath = argv[i] + 6;
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int filteredArgc = int(args.size());
+    benchmark::Initialize(&filteredArgc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filteredArgc,
+                                               args.data()))
+        return 1;
+    JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    writeMicroArtifact(outPath, reporter.rows);
+    return 0;
+}

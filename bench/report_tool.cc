@@ -46,6 +46,7 @@ usage()
         "                       [--config MACHINE]... [--threads N]\n"
         "                       [--with-best] [--bnb]\n"
         "                       [--bnb-max-nodes N] [--bnb-max-ops N]\n"
+        "                       [--hw-counters]\n"
         "       report_tool render MANIFEST [-o FILE] [--top K]\n"
         "       report_tool compare BASE CURRENT [--budget FILE]\n");
     return 2;
@@ -120,6 +121,8 @@ cmdRun(int argc, char **argv)
             opts.bnbMaxOps = int(parseIntOption(
                 "report_tool", arg, argValue(argc, argv, &i), 1, 1024,
                 2));
+        } else if (arg == "--hw-counters") {
+            opts.hwCounters = true;
         } else {
             std::fprintf(stderr, "report_tool: unknown option %s\n",
                          argv[i]);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/diagnostics.hh"
+#include "support/perf_counters.hh"
 
 namespace balance
 {
@@ -70,6 +71,7 @@ std::vector<int>
 rjEarly(const GraphContext &ctx, const MachineModel &machine,
         BoundCounters *counters)
 {
+    PerfRegion perf(PerfPhase::RjRelax);
     const Superblock &sb = ctx.sb();
     std::vector<int> out;
     out.reserve(std::size_t(sb.numBranches()));
@@ -100,6 +102,7 @@ std::vector<int>
 lcEarlyRC(const Dag &dag, const MachineModel &machine,
           const LcOptions &opts, BoundCounters *counters)
 {
+    PerfRegion perf(PerfPhase::RjRelax);
     int n = dag.n();
     std::vector<int> earlyRC(std::size_t(n), 0);
     std::vector<int> height(std::size_t(n), -1);

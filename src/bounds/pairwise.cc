@@ -7,6 +7,7 @@
 #include "bounds/pair_sweep.hh"
 #include "bounds/relaxation.hh"
 #include "support/diagnostics.hh"
+#include "support/perf_counters.hh"
 
 namespace balance
 {
@@ -41,6 +42,7 @@ PairwiseBounds::PairwiseBounds(
     const PairwiseOptions &opts, BoundCounters *counters,
     BoundScratch *scratch)
 {
+    PerfRegion perf(PerfPhase::PairSweep);
     const Superblock &sb = ctx.sb();
     b = sb.numBranches();
     bsAssert(int(lateRCPerBranch.size()) == b,

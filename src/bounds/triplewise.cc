@@ -7,6 +7,7 @@
 #include "bounds/pair_sweep.hh"
 #include "bounds/relaxation.hh"
 #include "support/diagnostics.hh"
+#include "support/perf_counters.hh"
 
 namespace balance
 {
@@ -18,6 +19,7 @@ computeTriplewise(const GraphContext &ctx, const MachineModel &machine,
                   const PairwiseBounds &pw, const TriplewiseOptions &opts,
                   BoundCounters *counters, BoundScratch *scratch)
 {
+    PerfRegion perf(PerfPhase::TripleSweep);
     const Superblock &sb = ctx.sb();
     int numBr = sb.numBranches();
 

@@ -11,6 +11,7 @@
 #include "sched/decision_log.hh"
 #include "sched/sched_scratch.hh"
 #include "support/diagnostics.hh"
+#include "support/perf_counters.hh"
 
 namespace balance
 {
@@ -361,6 +362,7 @@ BalanceScheduler::run(const GraphContext &ctx, const MachineModel &machine,
                       const ScheduleRequest &req) const
 {
     if (!cfg.useRcBounds) {
+        PerfRegion perf(PerfPhase::Balance);
         Engine engine(ctx, machine, cfg, nullptr, req);
         return engine.run();
     }
@@ -376,6 +378,7 @@ BalanceScheduler::runWithToolkit(const GraphContext &ctx,
 {
     bsAssert(cfg.useRcBounds,
              "runWithToolkit only applies to RC-bound configurations");
+    PerfRegion perf(PerfPhase::Balance);
     BalanceConfig effective = cfg;
     if (cfg.useTradeoff && !toolkit.pairwise()) {
         // The caller's toolkit skipped pairwise bounds; degrade

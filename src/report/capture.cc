@@ -11,8 +11,10 @@
 #include "sched/decision_log.hh"
 #include "sched/priorities.hh"
 #include "support/diagnostics.hh"
+#include "support/json.hh"
 #include "support/metrics.hh"
 #include "support/parallel_for.hh"
+#include "support/perf_counters.hh"
 #include "support/trace.hh"
 
 namespace balance
@@ -365,6 +367,15 @@ captureRun(const CaptureOptions &opts)
     man.metricsPath = "metrics.json";
     man.superblocksPath = "superblocks.jsonl";
 
+    // Hardware counters observe the run but never steer it: the
+    // profiler accumulates per thread and is snapshotted serially
+    // after the reduction, so every other artifact is byte-for-byte
+    // what a counter-free run writes.
+    if (opts.hwCounters) {
+        PerfProfiler::global().enable();
+        PerfProfiler::global().reset();
+    }
+
     // The local registry: folded serially below, never global().
     MetricRegistry reg;
     std::string rows;
@@ -407,6 +418,18 @@ captureRun(const CaptureOptions &opts)
                                decisionLines, &error),
                  "captureRun: ", error);
         man.decisionLogs.push_back({machine.name(), logName});
+    }
+
+    if (opts.hwCounters) {
+        PerfProfiler &profiler = PerfProfiler::global();
+        profiler.disable();
+        std::string doc = profiler.snapshot().toJson();
+        bsAssert(jsonLooksValid(doc),
+                 "captureRun: hw-counter snapshot is invalid JSON");
+        man.hwCountersPath = "hwcounters.json";
+        bsAssert(writeTextFile(opts.outDir + "/" + man.hwCountersPath,
+                               doc + "\n", &error),
+                 "captureRun: ", error);
     }
 
     bsAssert(writeTextFile(opts.outDir + "/" + man.metricsPath,

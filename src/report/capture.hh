@@ -53,6 +53,15 @@ struct CaptureOptions
     int bnbMaxOps = 100;
     /** Worker threads; 0 = hardware concurrency, 1 = serial. */
     int threads = 0;
+    /**
+     * Attribute hardware counters (perf_event groups, or the
+     * CPU-time fallback tier without perf_event access) to the
+     * engine phases and write a manifest-bound hwcounters.json with
+     * per-phase IPC / branch-miss / cache-miss rates. Observation
+     * only: rows, metrics, and decision logs are bitwise identical
+     * with this on or off, for any thread count.
+     */
+    bool hwCounters = false;
     /** Existing directory the artifacts are written into. */
     std::string outDir;
 };

@@ -11,22 +11,31 @@ namespace balance
 namespace
 {
 
-/** @return true when @p pattern (possibly glob) matches @p name. */
+/**
+ * @return true when @p pattern matches @p name. One `*` wildcard is
+ * supported anywhere in the pattern, matching any run of characters
+ * (dots included): "bounds.trips.*" matches every trip counter and
+ * "hw.*.cpi" matches that field of every hardware-counter phase.
+ */
 bool
 patternMatches(const std::string &pattern, const std::string &name)
 {
-    if (!pattern.empty() && pattern.back() == '*') {
-        return name.compare(0, pattern.size() - 1, pattern, 0,
-                            pattern.size() - 1) == 0;
-    }
-    return pattern == name;
+    std::size_t star = pattern.find('*');
+    if (star == std::string::npos)
+        return pattern == name;
+    std::size_t suffixLen = pattern.size() - star - 1;
+    if (name.size() < star + suffixLen)
+        return false;
+    return name.compare(0, star, pattern, 0, star) == 0 &&
+           name.compare(name.size() - suffixLen, suffixLen, pattern,
+                        star + 1, suffixLen) == 0;
 }
 
-/** Specificity rank: exact = huge, glob = prefix length. */
+/** Specificity rank: exact = huge, glob = literal char count. */
 std::size_t
 specificity(const std::string &pattern)
 {
-    if (!pattern.empty() && pattern.back() == '*')
+    if (pattern.find('*') != std::string::npos)
         return pattern.size() - 1;
     return std::size_t(-1);
 }
@@ -45,6 +54,47 @@ collectGroup(const JsonValue &snapshot, const char *group,
         if (kv.second.isNumber())
             out->emplace_back(kv.first, kv.second.asDouble());
     }
+}
+
+/**
+ * Flatten a hwcounters.json document into "hw.<phase>.<field>"
+ * lines. Only the higher-is-worse derived rates are eligible to
+ * gate (cpi, branch_miss_rate, cache_miss_rate): compareRuns treats
+ * "current > base" as the regression direction, so IPC — where lower
+ * is the regression — rides along informationally as its reciprocal
+ * already gates via cpi.
+ */
+void
+collectHwLines(const JsonValue &hw,
+               std::vector<std::pair<std::string, double>> *out)
+{
+    if (!hw.isObject())
+        return;
+    const JsonValue *phases = hw.find("phases");
+    if (!phases || !phases->isObject())
+        return;
+    static constexpr const char *fields[] = {"cpi", "branch_miss_rate",
+                                             "cache_miss_rate"};
+    for (const auto &kv : phases->members()) {
+        if (!kv.second.isObject())
+            continue;
+        for (const char *field : fields) {
+            const JsonValue *v = kv.second.find(field);
+            if (v && v->isNumber())
+                out->emplace_back("hw." + kv.first + "." + field,
+                                  v->asDouble());
+        }
+    }
+}
+
+/** @return the artifact's measurement tier ("" when absent). */
+std::string
+hwTier(const JsonValue &hw)
+{
+    if (!hw.isObject())
+        return std::string();
+    const JsonValue *tier = hw.find("tier");
+    return tier && tier->isString() ? tier->asString() : std::string();
 }
 
 } // namespace
@@ -187,6 +237,26 @@ compareRuns(const RunArtifacts &base, const RunArtifacts &current,
             line.metric = kv.first;
             line.current = kv.second;
             result.lines.push_back(std::move(line));
+        }
+    }
+
+    // Hardware-counter efficiency rates. These gate only when BOTH
+    // runs measured at the hardware tier: fallback artifacts carry
+    // zeroed rates, so comparing across tiers (or against a baseline
+    // captured before counters existed) would be meaningless — those
+    // lines are reported informationally instead.
+    std::vector<std::pair<std::string, double>> baseHw, curHw;
+    collectHwLines(base.hwCounters, &baseHw);
+    collectHwLines(current.hwCounters, &curHw);
+    bool hwGateable = hwTier(base.hwCounters) == "hardware" &&
+                      hwTier(current.hwCounters) == "hardware";
+    for (const auto &kv : baseHw) {
+        double cur = 0.0;
+        bool present = lookup(curHw, kv.first, &cur);
+        if (hwGateable) {
+            addLine(kv.first, kv.second, cur, present, 0.0, false);
+        } else {
+            addLine(kv.first, kv.second, cur, present, -1.0, true);
         }
     }
 

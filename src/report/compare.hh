@@ -77,6 +77,12 @@ struct CompareResult
  * manifests. A gated metric missing from @p current while present
  * in @p base is itself a regression (the gate cannot silently lose
  * coverage); metrics new in @p current are informational.
+ *
+ * When both runs carry a hwcounters.json artifact measured at the
+ * hardware tier, the per-phase efficiency rates are compared as
+ * "hw.<phase>.cpi" / ".branch_miss_rate" / ".cache_miss_rate" lines
+ * and gate under the same budget patterns; mixed or fallback tiers
+ * compare informationally only (the rates are zero without a PMU).
  */
 CompareResult compareRuns(const RunArtifacts &base,
                           const RunArtifacts &current,

@@ -74,6 +74,11 @@ RunManifest::toJson() const
     w.key("superblocks").value(superblocksPath);
     w.key("bench_json").value(benchJsonPath);
     w.key("trace").value(tracePath);
+    // Written by --hw-counters runs only; readers treat an absent key
+    // as "no counters captured", so old manifests stay loadable and
+    // old readers ignore the extra member (no version bump needed).
+    if (!hwCountersPath.empty())
+        w.key("hw_counters").value(hwCountersPath);
     w.key("decision_logs").beginArray();
     for (const DecisionLogRef &d : decisionLogs) {
         w.beginObject()
@@ -166,6 +171,7 @@ RunManifest::fromJson(const JsonValue &doc, RunManifest *out,
     m.superblocksPath = optionalString(*art, "superblocks");
     m.benchJsonPath = optionalString(*art, "bench_json");
     m.tracePath = optionalString(*art, "trace");
+    m.hwCountersPath = optionalString(*art, "hw_counters");
     if (const JsonValue *logs = art->find("decision_logs")) {
         if (!logs->isArray())
             return fail(error, "manifest", "decision_logs not an array");
@@ -300,6 +306,11 @@ loadRunArtifacts(const std::string &manifestPath, RunArtifacts *out,
     if (!m.benchJsonPath.empty() &&
         !loadJsonArtifact(resolveArtifactPath(art.dir, m.benchJsonPath),
                           &art.benchJson, error))
+        return false;
+    if (!m.hwCountersPath.empty() &&
+        !loadJsonArtifact(
+            resolveArtifactPath(art.dir, m.hwCountersPath),
+            &art.hwCounters, error))
         return false;
     for (const DecisionLogRef &ref : m.decisionLogs) {
         std::vector<JsonValue> records;

@@ -60,6 +60,7 @@ struct RunManifest
     std::string superblocksPath; //!< per-superblock rows, JSON lines
     std::string benchJsonPath;   //!< optional bench JSON (BENCH_*.json)
     std::string tracePath;       //!< optional Chrome trace
+    std::string hwCountersPath;  //!< optional per-phase hw counters
     std::vector<DecisionLogRef> decisionLogs;
 
     std::vector<MachineWall> wall; //!< per-machine wall clock
@@ -91,7 +92,8 @@ struct RunArtifacts
     std::vector<JsonValue> superblocks; //!< parsed rows (suite order)
     /** Parsed decision records, parallel to manifest.decisionLogs. */
     std::vector<std::vector<JsonValue>> decisions;
-    JsonValue benchJson; //!< parsed bench JSON (Null if absent)
+    JsonValue benchJson;   //!< parsed bench JSON (Null if absent)
+    JsonValue hwCounters;  //!< parsed hwcounters.json (Null if absent)
 };
 
 /** @return @p path resolved against @p dir (absolute paths kept). */

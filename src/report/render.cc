@@ -221,6 +221,47 @@ renderReport(const RunArtifacts &run, const AttributionReport &attr,
     for (const MachineAttribution &m : attr.machines)
         renderMachine(out, m, opts);
 
+    // Per-phase hardware efficiency, when the run captured counters
+    // (--hw-counters). The fallback tier has no PMU columns, so only
+    // time and entry counts are meaningful there.
+    if (run.hwCounters.isObject()) {
+        const JsonValue *tier = run.hwCounters.find("tier");
+        const JsonValue *mux = run.hwCounters.find("multiplexed");
+        const JsonValue *phases = run.hwCounters.find("phases");
+        out << "## Hardware counters\n\n";
+        out << "Tier `"
+            << (tier && tier->isString() ? tier->asString() : "?")
+            << "`";
+        if (mux && mux->isBool() && mux->asBool()) {
+            out << " (multiplexed: counts are enabled/running "
+                   "extrapolations)";
+        }
+        out << ".\n\n";
+        if (phases && phases->isObject()) {
+            TextTable hw;
+            hw.setHeader({"phase", "entries", "task ms", "cycles",
+                          "IPC", "br miss %", "cache miss %"});
+            auto num = [](const JsonValue &o, const char *k) {
+                const JsonValue *v = o.find(k);
+                return v && v->isNumber() ? v->asDouble() : 0.0;
+            };
+            for (const auto &kv : phases->members()) {
+                if (!kv.second.isObject())
+                    continue;
+                const JsonValue &p = kv.second;
+                hw.addRow(
+                    {kv.first,
+                     fmtCount((long long)num(p, "entries")),
+                     fmtDouble(num(p, "task_clock_ns") / 1e6, 1),
+                     fmtCount((long long)num(p, "cycles")),
+                     fmtDouble(num(p, "ipc"), 2),
+                     fmtDouble(num(p, "branch_miss_rate") * 100.0, 2),
+                     fmtDouble(num(p, "cache_miss_rate") * 100.0, 2)});
+            }
+            fence(out, hw.render());
+        }
+    }
+
     // Rows-vs-snapshot consistency: the committed contract is that
     // these match bit for bit (tests/report/report_pipeline_test).
     out << "## Trip totals vs metrics snapshot\n\n";

@@ -6,6 +6,7 @@
 
 #include "sched/priorities.hh"
 #include "sched/sched_scratch.hh"
+#include "support/perf_counters.hh"
 
 namespace balance
 {
@@ -74,6 +75,7 @@ gridSweep(const GraphContext &ctx, const MachineModel &machine,
           const std::vector<double> &weights, int gridSteps,
           SchedulerStats *stats, SchedScratch &scr, bool wantIssue)
 {
+    PerfRegion perf(PerfPhase::BestGrid);
     const Superblock &sb = ctx.sb();
     const std::vector<double> &cp = scr.cpKeyNormalized(ctx);
     const std::vector<double> &sr = scr.srKeyNormalized(ctx);

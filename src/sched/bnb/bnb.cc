@@ -13,6 +13,7 @@
 #include "support/diagnostics.hh"
 #include "support/json.hh"
 #include "support/parallel_for.hh"
+#include "support/perf_counters.hh"
 #include "support/trace.hh"
 
 namespace balance
@@ -89,6 +90,7 @@ bnbSchedule(const GraphContext &ctx, const MachineModel &machine,
 {
     const Superblock &sb = ctx.sb();
     TraceSpan span("bnbSchedule", sb.numOps());
+    PerfRegion perf(PerfPhase::Bnb);
     bsAssert(opts.maxNodes > 0 && opts.taskChunk > 0 &&
                  opts.splitTarget > 0,
              "bnb: budgets must be positive");

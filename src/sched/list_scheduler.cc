@@ -6,6 +6,7 @@
 
 #include "sched/sched_scratch.hh"
 #include "support/diagnostics.hh"
+#include "support/perf_counters.hh"
 #include "support/simd_kernels.hh"
 
 namespace balance
@@ -47,6 +48,7 @@ rankedCore(const Superblock &sb, const MachineModel &machine,
            std::span<const std::int32_t> opOfRank, Filter inSubset,
            SchedulerStats *stats, SchedScratch &scratch)
 {
+    PerfRegion perf(PerfPhase::ListSched);
     const int v = sb.numOps();
     const int total = int(opOfRank.size());
     const int numPools = machine.numResources();

@@ -224,6 +224,7 @@ MetricRegistry::writeJson(JsonWriter &w) const
         w.key("p50").value(h.percentile(0.50));
         w.key("p90").value(h.percentile(0.90));
         w.key("p99").value(h.percentile(0.99));
+        w.key("p999").value(h.percentile(0.999));
         w.key("buckets").beginArray();
         // Trailing zero buckets are elided so documents stay small;
         // bucket b spans [2^(b-1), 2^b) with bucket 0 holding v <= 0.

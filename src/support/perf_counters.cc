@@ -1,0 +1,475 @@
+#include "support/perf_counters.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define BALANCE_HAVE_PERF_EVENT 1
+#else
+#define BALANCE_HAVE_PERF_EVENT 0
+#endif
+
+namespace balance
+{
+
+namespace
+{
+
+/** @return nanoseconds on the monotonic wall clock. */
+std::uint64_t
+wallNowNs()
+{
+    using namespace std::chrono;
+    return std::uint64_t(duration_cast<nanoseconds>(
+                             steady_clock::now().time_since_epoch())
+                             .count());
+}
+
+/** @return nanoseconds of CPU time consumed by the calling thread. */
+std::uint64_t
+threadCpuNowNs()
+{
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0;
+    return std::uint64_t(ts.tv_sec) * 1000000000ull +
+           std::uint64_t(ts.tv_nsec);
+}
+
+/** @return true when BALANCE_PERF=fallback forbids perf_event use. */
+bool
+envForcesFallback()
+{
+    const char *v = std::getenv("BALANCE_PERF");
+    return v != nullptr && std::strcmp(v, "fallback") == 0;
+}
+
+#if BALANCE_HAVE_PERF_EVENT
+
+/**
+ * The counter group, in open order == read order. The leader is a
+ * hardware event (a software leader cannot host hardware members on
+ * older kernels); task-clock rides along as a software member, which
+ * every kernel allows.
+ */
+struct EventSpec
+{
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr EventSpec groupEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES}, // leader
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+};
+
+constexpr int numGroupEvents =
+    int(sizeof(groupEvents) / sizeof(groupEvents[0]));
+
+int
+perfEventOpen(const EventSpec &spec, int groupFd)
+{
+    perf_event_attr attr{};
+    attr.size = sizeof(attr);
+    attr.type = spec.type;
+    attr.config = spec.config;
+    attr.disabled = groupFd == -1 ? 1 : 0; // leader starts the group
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.inherit = 0; // per-thread; workers open their own groups
+    attr.read_format = PERF_FORMAT_GROUP |
+                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    return int(syscall(__NR_perf_event_open, &attr, 0 /* this thread */,
+                       -1 /* any cpu */, groupFd, 0));
+}
+
+/** read() layout for PERF_FORMAT_GROUP with both time fields. */
+struct GroupReadBuf
+{
+    std::uint64_t nr;
+    std::uint64_t timeEnabled;
+    std::uint64_t timeRunning;
+    std::uint64_t values[numGroupEvents];
+};
+
+#endif // BALANCE_HAVE_PERF_EVENT
+
+} // namespace
+
+const char *
+perfTierName(PerfTier tier)
+{
+    switch (tier) {
+    case PerfTier::Disabled:
+        return "off";
+    case PerfTier::Hardware:
+        return "hardware";
+    case PerfTier::Fallback:
+        return "fallback";
+    }
+    return "off";
+}
+
+const char *
+perfPhaseName(PerfPhase phase)
+{
+    switch (phase) {
+    case PerfPhase::PairSweep:
+        return "bounds.pair_sweep";
+    case PerfPhase::TripleSweep:
+        return "bounds.triple_sweep";
+    case PerfPhase::RjRelax:
+        return "bounds.rj_relax";
+    case PerfPhase::ListSched:
+        return "sched.list";
+    case PerfPhase::BestGrid:
+        return "sched.best_grid";
+    case PerfPhase::Balance:
+        return "sched.balance";
+    case PerfPhase::Bnb:
+        return "bnb.search";
+    case PerfPhase::Count:
+        break;
+    }
+    bsFatal("perfPhaseName: invalid phase ", int(phase));
+    return "";
+}
+
+PerfCounterValues
+PerfCounterValues::delta(const PerfCounterValues &a,
+                         const PerfCounterValues &b)
+{
+    auto sub = [](std::uint64_t x, std::uint64_t y) {
+        return x >= y ? x - y : 0;
+    };
+    PerfCounterValues d;
+    d.wallNs = sub(a.wallNs, b.wallNs);
+    d.taskClockNs = sub(a.taskClockNs, b.taskClockNs);
+    d.cycles = sub(a.cycles, b.cycles);
+    d.instructions = sub(a.instructions, b.instructions);
+    d.branches = sub(a.branches, b.branches);
+    d.branchMisses = sub(a.branchMisses, b.branchMisses);
+    d.cacheReferences = sub(a.cacheReferences, b.cacheReferences);
+    d.cacheMisses = sub(a.cacheMisses, b.cacheMisses);
+    d.enabledNs = sub(a.enabledNs, b.enabledNs);
+    d.runningNs = sub(a.runningNs, b.runningNs);
+    return d;
+}
+
+void
+PerfCounterValues::accumulate(const PerfCounterValues &d)
+{
+    wallNs += d.wallNs;
+    taskClockNs += d.taskClockNs;
+    cycles += d.cycles;
+    instructions += d.instructions;
+    branches += d.branches;
+    branchMisses += d.branchMisses;
+    cacheReferences += d.cacheReferences;
+    cacheMisses += d.cacheMisses;
+    enabledNs += d.enabledNs;
+    runningNs += d.runningNs;
+}
+
+PerfSampler::PerfSampler() :
+    PerfSampler(envForcesFallback() ? PerfTier::Fallback :
+                                      PerfTier::Hardware)
+{
+}
+
+PerfSampler::PerfSampler(PerfTier forced)
+{
+    samplerTier = PerfTier::Fallback;
+#if BALANCE_HAVE_PERF_EVENT
+    if (forced != PerfTier::Hardware)
+        return;
+    eventFds.reserve(numGroupEvents);
+    for (const EventSpec &spec : groupEvents) {
+        int fd = perfEventOpen(spec, groupFd);
+        if (fd < 0) {
+            // Any failure (permission, missing PMU, fd limits)
+            // degrades the whole group to the fallback tier: a
+            // partial group would silently report zeros for the
+            // missing columns and skew the derived rates.
+            for (int open : eventFds)
+                close(open);
+            eventFds.clear();
+            groupFd = -1;
+            return;
+        }
+        eventFds.push_back(fd);
+        if (groupFd == -1)
+            groupFd = fd;
+    }
+    if (ioctl(groupFd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+        ioctl(groupFd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+        for (int open : eventFds)
+            close(open);
+        eventFds.clear();
+        groupFd = -1;
+        return;
+    }
+    samplerTier = PerfTier::Hardware;
+#else
+    (void)forced;
+#endif
+}
+
+PerfSampler::~PerfSampler()
+{
+#if BALANCE_HAVE_PERF_EVENT
+    for (int fd : eventFds)
+        close(fd);
+#endif
+}
+
+PerfCounterValues
+PerfSampler::now()
+{
+    PerfCounterValues v;
+    v.wallNs = wallNowNs();
+#if BALANCE_HAVE_PERF_EVENT
+    if (samplerTier == PerfTier::Hardware) {
+        GroupReadBuf buf{};
+        ssize_t got = read(groupFd, &buf, sizeof(buf));
+        if (got >= ssize_t(sizeof(std::uint64_t) * 3) &&
+            buf.nr == std::uint64_t(numGroupEvents)) {
+            v.cycles = buf.values[0];
+            v.instructions = buf.values[1];
+            v.branches = buf.values[2];
+            v.branchMisses = buf.values[3];
+            v.cacheReferences = buf.values[4];
+            v.cacheMisses = buf.values[5];
+            v.taskClockNs = buf.values[6]; // task-clock counts ns
+            v.enabledNs = buf.timeEnabled;
+            v.runningNs = buf.timeRunning;
+            return v;
+        }
+        // A failed read degrades this sample to fallback values; the
+        // delta against a healthy earlier sample clamps at zero.
+    }
+#endif
+    v.taskClockNs = threadCpuNowNs();
+    return v;
+}
+
+bool
+PerfSnapshot::multiplexed() const
+{
+    for (const PerfPhaseTotals &p : phases)
+        if (p.v.runningNs < p.v.enabledNs)
+            return true;
+    return false;
+}
+
+namespace
+{
+
+/**
+ * Multiplexing correction: when the kernel rotated the group off the
+ * PMU for part of the interval, extrapolate raw counts by
+ * enabled/running, the standard perf(1) scaling. Identity when the
+ * group ran the whole time (and in the fallback tier, where both
+ * times are zero).
+ */
+std::uint64_t
+scaleCount(std::uint64_t raw, const PerfCounterValues &v)
+{
+    if (v.runningNs == 0 || v.runningNs >= v.enabledNs)
+        return raw;
+    double scaled = double(raw) * double(v.enabledNs) / double(v.runningNs);
+    return std::uint64_t(scaled + 0.5);
+}
+
+/** @return num / den, 0.0 on an empty denominator. */
+double
+safeRate(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : double(num) / double(den);
+}
+
+} // namespace
+
+void
+PerfSnapshot::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("version").value(1);
+    w.key("tier").value(perfTierName(tier));
+    w.key("multiplexed").value(multiplexed());
+    w.key("phases").beginObject();
+    for (int i = 0; i < numPerfPhases; ++i) {
+        const PerfPhaseTotals &p = phases[i];
+        std::uint64_t cycles = scaleCount(p.v.cycles, p.v);
+        std::uint64_t insns = scaleCount(p.v.instructions, p.v);
+        std::uint64_t branches = scaleCount(p.v.branches, p.v);
+        std::uint64_t bMisses = scaleCount(p.v.branchMisses, p.v);
+        std::uint64_t cRefs = scaleCount(p.v.cacheReferences, p.v);
+        std::uint64_t cMisses = scaleCount(p.v.cacheMisses, p.v);
+        w.key(perfPhaseName(PerfPhase(i))).beginObject();
+        w.key("entries").value((long long)p.entries);
+        w.key("wall_ns").value((long long)p.v.wallNs);
+        w.key("task_clock_ns").value((long long)p.v.taskClockNs);
+        w.key("cycles").value((long long)cycles);
+        w.key("instructions").value((long long)insns);
+        w.key("branches").value((long long)branches);
+        w.key("branch_misses").value((long long)bMisses);
+        w.key("cache_references").value((long long)cRefs);
+        w.key("cache_misses").value((long long)cMisses);
+        w.key("time_running_frac")
+            .value(p.v.enabledNs == 0 ?
+                       1.0 :
+                       double(p.v.runningNs) / double(p.v.enabledNs));
+        w.key("ipc").value(safeRate(insns, cycles));
+        w.key("cpi").value(safeRate(cycles, insns));
+        w.key("branch_miss_rate").value(safeRate(bMisses, branches));
+        w.key("cache_miss_rate").value(safeRate(cMisses, cRefs));
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+PerfSnapshot::toJson() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+/**
+ * One thread's accumulation lane. Owned by the profiler (worker
+ * threads may exit before the snapshot, like trace buffers); the
+ * mutex is uncontended in steady state — only the owning thread and
+ * the snapshotting thread ever take it.
+ */
+struct PerfProfiler::ThreadState
+{
+    explicit ThreadState(PerfTier tier) : sampler(tier) {}
+
+    std::mutex mutex;
+    PerfSampler sampler;
+    PerfPhaseTotals phases[numPerfPhases];
+};
+
+namespace
+{
+
+/** Never-reused profiler ids, for the thread-local state cache. */
+std::atomic<std::uint64_t> nextProfilerId{1};
+
+} // namespace
+
+void
+PerfProfiler::enable()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    if (profilerId == 0)
+        profilerId =
+            nextProfilerId.fetch_add(1, std::memory_order_relaxed);
+    if (resolvedTier == PerfTier::Disabled) {
+        if (envForcesFallback()) {
+            resolvedTier = PerfTier::Fallback;
+        } else {
+            // Probe once on this thread; worker threads then open (or
+            // skip) their groups at the same tier so one run never
+            // mixes measurement quality across threads.
+            PerfSampler probe;
+            resolvedTier = probe.tier();
+        }
+    }
+    on.store(true, std::memory_order_relaxed);
+}
+
+PerfProfiler::ThreadState &
+PerfProfiler::localState()
+{
+    struct Cache
+    {
+        std::uint64_t id = 0;
+        ThreadState *state = nullptr;
+    };
+    thread_local Cache cache;
+    if (cache.id == profilerId && cache.state != nullptr)
+        return *cache.state;
+    std::lock_guard<std::mutex> lock(registryMutex);
+    states.push_back(std::make_unique<ThreadState>(resolvedTier));
+    cache.id = profilerId;
+    cache.state = states.back().get();
+    return *cache.state;
+}
+
+PerfSnapshot
+PerfProfiler::snapshot()
+{
+    PerfSnapshot snap;
+    std::lock_guard<std::mutex> lock(registryMutex);
+    snap.tier = resolvedTier;
+    for (const std::unique_ptr<ThreadState> &state : states) {
+        std::lock_guard<std::mutex> stateLock(state->mutex);
+        for (int i = 0; i < numPerfPhases; ++i) {
+            snap.phases[i].entries += state->phases[i].entries;
+            snap.phases[i].v.accumulate(state->phases[i].v);
+        }
+    }
+    return snap;
+}
+
+void
+PerfProfiler::reset()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    for (const std::unique_ptr<ThreadState> &state : states) {
+        std::lock_guard<std::mutex> stateLock(state->mutex);
+        for (PerfPhaseTotals &p : state->phases)
+            p = PerfPhaseTotals{};
+    }
+}
+
+PerfProfiler &
+PerfProfiler::global()
+{
+    static PerfProfiler *p = new PerfProfiler();
+    return *p;
+}
+
+PerfRegion::PerfRegion(PerfPhase phase) :
+    span(perfPhaseName(phase)), regionPhase(phase)
+{
+    PerfProfiler &profiler = PerfProfiler::global();
+    if (!profiler.enabled())
+        return;
+    state = &profiler.localState();
+    start = state->sampler.now();
+}
+
+PerfRegion::~PerfRegion()
+{
+    if (state == nullptr)
+        return;
+    PerfCounterValues end = state->sampler.now();
+    PerfCounterValues d = PerfCounterValues::delta(end, start);
+    std::lock_guard<std::mutex> lock(state->mutex);
+    PerfPhaseTotals &totals = state->phases[int(regionPhase)];
+    totals.entries += 1;
+    totals.v.accumulate(d);
+}
+
+} // namespace balance

@@ -7,6 +7,7 @@
 #include "support/diagnostics.hh"
 #include "support/json.hh"
 #include "support/metrics.hh"
+#include "support/perf_counters.hh"
 #include "support/trace.hh"
 
 namespace balance
@@ -22,6 +23,7 @@ struct TelemetryState
     bool decisionsJson = false;
     std::string metricsPath;
     std::string tracePath;
+    std::string hwCountersPath;
     std::unique_ptr<std::ofstream> decisionStream;
 };
 
@@ -62,6 +64,20 @@ atExitFlush()
                  " events; earliest spans are missing");
         session.writeTo(s.tracePath);
     }
+    if (!s.hwCountersPath.empty()) {
+        PerfProfiler &profiler = PerfProfiler::global();
+        profiler.disable();
+        std::string doc = profiler.snapshot().toJson();
+        bsAssert(jsonLooksValid(doc),
+                 "hw-counter snapshot emitted invalid JSON");
+        std::ofstream out(s.hwCountersPath);
+        if (!out.good()) {
+            warn("cannot open hw-counter output '" + s.hwCountersPath +
+                 "'");
+        } else {
+            out << doc << "\n";
+        }
+    }
     if (s.decisionStream)
         s.decisionStream->flush();
 }
@@ -95,7 +111,8 @@ parseTelemetryFlag(std::string_view arg,
 {
     return matchFlag(arg, "--metrics-out", next, out.metricsOut) ||
            matchFlag(arg, "--trace-out", next, out.traceOut) ||
-           matchFlag(arg, "--decision-log", next, out.decisionLogOut);
+           matchFlag(arg, "--decision-log", next, out.decisionLogOut) ||
+           matchFlag(arg, "--hw-counters", next, out.hwCountersOut);
 }
 
 const char *
@@ -107,7 +124,12 @@ telemetryUsage()
            "                 (open in chrome://tracing or Perfetto)\n"
            "  --decision-log <f>  capture the per-superblock Balance\n"
            "                 decision log (.json/.jsonl = JSON lines,\n"
-           "                 otherwise text)\n";
+           "                 otherwise text)\n"
+           "  --hw-counters <f>  attribute hardware counters (cycles,\n"
+           "                 IPC, branch/cache misses) to engine\n"
+           "                 phases; falls back to CPU-time-only when\n"
+           "                 perf_event is denied (BALANCE_PERF=\n"
+           "                 fallback forces that tier)\n";
 }
 
 void
@@ -115,11 +137,14 @@ initTelemetry(const TelemetryOptions &opts)
 {
     TelemetryState &s = state();
     if (opts.metricsOut.empty() && opts.traceOut.empty() &&
-        opts.decisionLogOut.empty())
+        opts.decisionLogOut.empty() && opts.hwCountersOut.empty())
         return;
 
     s.metricsPath = opts.metricsOut;
     s.tracePath = opts.traceOut;
+    s.hwCountersPath = opts.hwCountersOut;
+    if (!opts.hwCountersOut.empty())
+        PerfProfiler::global().enable();
     if (!opts.metricsOut.empty()) {
         s.collectMetrics = true;
         // Register the trace-drop counter up front: drops happen at

@@ -30,12 +30,13 @@ struct TelemetryOptions
     std::string metricsOut;    //!< metrics snapshot JSON path
     std::string traceOut;      //!< Chrome trace JSON path
     std::string decisionLogOut; //!< Balance decision log path
+    std::string hwCountersOut; //!< per-phase hw-counter JSON path
 };
 
 /**
  * Try to consume one telemetry argument. Accepts both "--flag value"
- * and "--flag=value" spellings of --metrics-out, --trace-out, and
- * --decision-log.
+ * and "--flag=value" spellings of --metrics-out, --trace-out,
+ * --decision-log, and --hw-counters.
  *
  * @param arg The current argv token.
  * @param next Callback producing the following token (only invoked

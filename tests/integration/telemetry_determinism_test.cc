@@ -18,6 +18,7 @@
 #include "graph/analysis.hh"
 #include "support/json.hh"
 #include "support/metrics.hh"
+#include "support/perf_counters.hh"
 #include "support/telemetry.hh"
 
 namespace balance
@@ -173,6 +174,56 @@ TEST(TelemetryDeterminism, DecisionLogBytesAreThreadInvariant)
         }
         EXPECT_TRUE(sawSteps) << "capture produced no decision steps";
     }
+}
+
+TEST(TelemetryDeterminism, HwCountersNeverPerturbResultsOrBytes)
+{
+    TelemetryGuard guard;
+    auto suite = tinySuite();
+    MachineModel machine = MachineModel::fs6();
+    setMetricsCollection(true);
+
+    // Baseline with the profiler off: results plus the exact
+    // metrics-snapshot bytes every later configuration must match.
+    PerfProfiler &profiler = PerfProfiler::global();
+    profiler.disable();
+    MetricRegistry::global().reset();
+    Captured off = runAt(suite, machine, 1);
+    evaluateBoundCost(suite, machine, {}, 1);
+    std::string offSnapshot = MetricRegistry::global().snapshotJson();
+    ASSERT_FALSE(off.names.empty());
+
+    // Counters on: schedules, bounds, WCTs, Table 2 trips, and the
+    // non-counter telemetry bytes stay bitwise identical at every
+    // thread count. Only hwcounters output itself may vary (its
+    // measured values are nondeterministic by nature), and even
+    // there the per-phase entry counts are exact.
+    profiler.enable();
+    std::vector<long long> entriesAtOneThread;
+    for (int threads : {1, 8}) {
+        profiler.reset();
+        MetricRegistry::global().reset();
+        Captured on = runAt(suite, machine, threads);
+        evaluateBoundCost(suite, machine, {}, threads);
+        expectSameResults(off, on);
+        EXPECT_EQ(MetricRegistry::global().snapshotJson(),
+                  offSnapshot)
+            << "threads=" << threads;
+
+        PerfSnapshot snap = profiler.snapshot();
+        std::string doc = snap.toJson();
+        EXPECT_TRUE(jsonLooksValid(doc)) << doc;
+        std::vector<long long> entries;
+        for (int p = 0; p < numPerfPhases; ++p)
+            entries.push_back(snap.phases[std::size_t(p)].entries);
+        if (threads == 1)
+            entriesAtOneThread = entries;
+        else
+            EXPECT_EQ(entries, entriesAtOneThread)
+                << "per-phase region entries must be exact sums, "
+                   "independent of the worker count";
+    }
+    profiler.disable();
 }
 
 TEST(TelemetryDeterminism, TripCountersMatchBoundCounterSums)

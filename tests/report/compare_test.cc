@@ -229,6 +229,103 @@ TEST(CompareRuns, WallClockGatesOnlyWhenBudgeted)
     EXPECT_TRUE(compareRuns(base, ok, gated).ok);
 }
 
+/** Attach a parsed hwcounters.json document to @p run. */
+RunArtifacts
+withHw(RunArtifacts run, const std::string &hwJson)
+{
+    JsonParseResult parsed = parseJson(hwJson);
+    EXPECT_TRUE(parsed.ok()) << parsed.error.describe();
+    run.hwCounters = parsed.value;
+    return run;
+}
+
+/** A minimal single-phase hwcounters document. */
+std::string
+hwDoc(const std::string &tier, double cpi, double branchMissRate)
+{
+    return "{\"version\":1,\"tier\":\"" + tier +
+           "\",\"multiplexed\":false,\"phases\":"
+           "{\"bounds.rj_relax\":{\"entries\":10,"
+           "\"cpi\":" + std::to_string(cpi) +
+           ",\"branch_miss_rate\":" + std::to_string(branchMissRate) +
+           ",\"cache_miss_rate\":0.02}}}";
+}
+
+TEST(PerfBudget, InteriorGlobMatchesHwRateLines)
+{
+    PerfBudget budget = parseBudget(
+        "{\"metrics\": {\"hw.*.cpi\": 25,"
+        "               \"hw.bounds.rj_relax.cpi\": 10}}");
+    double tol = -1.0;
+    ASSERT_TRUE(budget.toleranceFor("hw.sched.balance.cpi", &tol));
+    EXPECT_DOUBLE_EQ(tol, 25.0) << "* spans dots";
+    ASSERT_TRUE(budget.toleranceFor("hw.bounds.rj_relax.cpi", &tol));
+    EXPECT_DOUBLE_EQ(tol, 10.0) << "exact beats interior glob";
+    EXPECT_FALSE(
+        budget.toleranceFor("hw.bounds.rj_relax.ipc", &tol));
+}
+
+TEST(CompareRuns, HwEfficiencyBudgetGatesAtHardwareTier)
+{
+    // A 50% CPI jump past a 25% budget: both runs measured on real
+    // hardware counters, so the efficiency regression fails the gate.
+    RunArtifacts base = withHw(makeRun("{\"counters\":{}}"),
+                               hwDoc("hardware", 1.0, 0.01));
+    RunArtifacts worse = withHw(makeRun("{\"counters\":{}}"),
+                                hwDoc("hardware", 1.5, 0.01));
+    PerfBudget budget = parseBudget(
+        "{\"metrics\": {\"hw.*.cpi\": 25,"
+        "               \"hw.*.branch_miss_rate\": 30}}");
+
+    CompareResult result = compareRuns(base, worse, budget);
+    EXPECT_FALSE(result.ok);
+    const CompareLine *line =
+        findLine(result, "hw.bounds.rj_relax.cpi");
+    ASSERT_NE(line, nullptr);
+    EXPECT_TRUE(line->gated);
+    EXPECT_TRUE(line->regressed);
+
+    // Within tolerance passes, and improvement never regresses.
+    RunArtifacts withinTol = withHw(makeRun("{\"counters\":{}}"),
+                                    hwDoc("hardware", 1.2, 0.01));
+    EXPECT_TRUE(compareRuns(base, withinTol, budget).ok);
+    EXPECT_TRUE(compareRuns(worse, base, budget).ok);
+}
+
+TEST(CompareRuns, HwLinesAreInformationalOffHardwareTier)
+{
+    // Fallback artifacts carry zeroed hardware columns; comparing
+    // their rates (or a fallback run against a hardware baseline)
+    // must never gate, whatever the budget says.
+    PerfBudget budget =
+        parseBudget("{\"metrics\": {\"hw.*.cpi\": 0}}");
+    RunArtifacts hwBase = withHw(makeRun("{\"counters\":{}}"),
+                                 hwDoc("hardware", 1.0, 0.01));
+    RunArtifacts fbBase = withHw(makeRun("{\"counters\":{}}"),
+                                 hwDoc("fallback", 0.0, 0.0));
+    RunArtifacts fbWorse = withHw(makeRun("{\"counters\":{}}"),
+                                  hwDoc("fallback", 9.0, 0.5));
+
+    auto expectInformational = [&](const RunArtifacts &b,
+                                   const RunArtifacts &c) {
+        CompareResult result = compareRuns(b, c, budget);
+        EXPECT_TRUE(result.ok);
+        const CompareLine *line =
+            findLine(result, "hw.bounds.rj_relax.cpi");
+        ASSERT_NE(line, nullptr);
+        EXPECT_FALSE(line->gated);
+        EXPECT_FALSE(line->regressed);
+    };
+    expectInformational(fbBase, fbWorse);
+    expectInformational(hwBase, fbWorse);
+
+    // Runs with no hw artifact at all stay clean too.
+    EXPECT_TRUE(
+        compareRuns(makeRun("{\"counters\":{}}"),
+                    makeRun("{\"counters\":{}}"), budget)
+            .ok);
+}
+
 TEST(CompareRuns, RenderMarksRegressions)
 {
     RunArtifacts base =

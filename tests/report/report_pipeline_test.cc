@@ -53,13 +53,15 @@ committedStyleBudget()
 }
 
 std::string
-captureInto(const std::string &dir, double scale, int threads)
+captureInto(const std::string &dir, double scale, int threads,
+            bool hwCounters = false)
 {
     ::mkdir(dir.c_str(), 0755);
     CaptureOptions opts;
     opts.suite.scale = scale;
     opts.threads = threads;
     opts.outDir = dir;
+    opts.hwCounters = hwCounters;
     return captureRun(opts).manifestPath;
 }
 
@@ -203,6 +205,53 @@ TEST_F(ReportPipelineTest, CompareFlagsInflatedLoopTrips)
     // The tampered run regressed; the original (as "current" against
     // the tampered base) only improved, which passes.
     EXPECT_TRUE(compareRuns(tampered, *run, committedStyleBudget()).ok);
+}
+
+TEST(ReportHwCounters, CaptureBindsArtifactWithoutPerturbingRows)
+{
+    std::string pid = std::to_string(getpid());
+    std::string plainDir = "/tmp/balance_report_hw_off." + pid;
+    std::string hwDir = "/tmp/balance_report_hw_on." + pid;
+    std::string plainManifest = captureInto(plainDir, 0.02, 2);
+    std::string hwManifest =
+        captureInto(hwDir, 0.02, 2, /*hwCounters=*/true);
+
+    std::string error;
+    RunArtifacts plain, hw;
+    ASSERT_TRUE(loadRunArtifacts(plainManifest, &plain, &error))
+        << error;
+    ASSERT_TRUE(loadRunArtifacts(hwManifest, &hw, &error)) << error;
+
+    // Off by default: no artifact, no manifest key, Null on load.
+    EXPECT_TRUE(plain.manifest.hwCountersPath.empty());
+    EXPECT_TRUE(plain.hwCounters.isNull());
+
+    // On: the manifest binds hwcounters.json and the loaded document
+    // carries the full schema with real phase attributions.
+    EXPECT_EQ(hw.manifest.hwCountersPath, "hwcounters.json");
+    ASSERT_TRUE(hw.hwCounters.isObject());
+    const JsonValue *tier = hw.hwCounters.find("tier");
+    ASSERT_NE(tier, nullptr);
+    EXPECT_TRUE(tier->asString() == "hardware" ||
+                tier->asString() == "fallback");
+    const JsonValue &phases = hw.hwCounters.get("phases");
+    EXPECT_GT(phases.get("bounds.pair_sweep").get("entries").asInt(),
+              0);
+    EXPECT_GT(phases.get("sched.balance").get("entries").asInt(), 0);
+
+    // Observation only: row and snapshot artifacts are bitwise
+    // identical with and without counters.
+    for (const char *name :
+         {"metrics.json", "superblocks.jsonl", "decisions.GP4.jsonl"}) {
+        std::string off, on;
+        ASSERT_TRUE(readTextFile(plainDir + "/" + std::string(name),
+                                 &off, &error))
+            << error;
+        ASSERT_TRUE(readTextFile(hwDir + "/" + std::string(name), &on,
+                                 &error))
+            << error;
+        EXPECT_EQ(off, on) << name;
+    }
 }
 
 TEST(ReportDeterminism, ArtifactsAreByteIdenticalAcrossThreadCounts)

@@ -181,10 +181,19 @@ TEST(JsonParser, MetricsSnapshotRoundTripsByteExact)
     // double), so "bit for bit" comparisons downstream are sound.
     EXPECT_EQ(r.value.get("counters").get("bounds.trips.tw").asInt(),
               49189414);
-    EXPECT_EQ(
-        r.value.get("histograms").get("sched.balance.decisions")
-            .get("count").asInt(),
-        2);
+    const JsonValue &hist =
+        r.value.get("histograms").get("sched.balance.decisions");
+    EXPECT_EQ(hist.get("count").asInt(), 2);
+    // Exact count/sum plus the full derived-quantile ladder: every
+    // field parses back as Int with its original value, p999
+    // included (the tail quantile sits in the 700-observation's
+    // power-of-two bucket, upper bound 1023).
+    EXPECT_EQ(hist.get("sum").asInt(), 712);
+    EXPECT_EQ(hist.get("p50").asInt(), h.percentile(0.5));
+    EXPECT_EQ(hist.get("p90").asInt(), h.percentile(0.9));
+    EXPECT_EQ(hist.get("p99").asInt(), h.percentile(0.99));
+    EXPECT_EQ(hist.get("p999").asInt(), h.percentile(0.999));
+    EXPECT_EQ(hist.get("p999").asInt(), 1023);
 
     // Snapshots are integer-only documents: the DOM re-serializes
     // them byte-identically.

@@ -134,9 +134,12 @@ TEST(Histogram, SnapshotCarriesDerivedPercentiles)
         "\"p90\":" + std::to_string(h.percentile(0.9));
     std::string p99 =
         "\"p99\":" + std::to_string(h.percentile(0.99));
+    std::string p999 =
+        "\"p999\":" + std::to_string(h.percentile(0.999));
     EXPECT_NE(doc.find(p50), std::string::npos) << doc;
     EXPECT_NE(doc.find(p90), std::string::npos) << doc;
     EXPECT_NE(doc.find(p99), std::string::npos) << doc;
+    EXPECT_NE(doc.find(p999), std::string::npos) << doc;
     // Derivation happens at serialization: keys appear even for an
     // empty histogram, as zeros.
     MetricRegistry empty;
@@ -144,6 +147,25 @@ TEST(Histogram, SnapshotCarriesDerivedPercentiles)
     std::string emptyDoc = empty.snapshotJson();
     EXPECT_NE(emptyDoc.find("\"p50\":0"), std::string::npos)
         << emptyDoc;
+    EXPECT_NE(emptyDoc.find("\"p999\":0"), std::string::npos)
+        << emptyDoc;
+}
+
+TEST(Histogram, P999SeparatesExtremeTail)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("tail");
+    // 999 fast observations and one 100x outlier: p99 stays in the
+    // body's bucket while p999 must reach the outlier's.
+    for (int i = 0; i < 999; ++i)
+        h.observe(10);
+    h.observe(1000);
+    EXPECT_EQ(h.percentile(0.99), 15);
+    EXPECT_EQ(h.percentile(0.999), 15);
+    h.observe(1000); // now two outliers; rank passes into the tail
+    EXPECT_GE(h.percentile(0.999), 1000);
+    EXPECT_EQ(h.count(), 1001);
+    EXPECT_EQ(h.sum(), 999 * 10 + 2000);
 }
 
 TEST(MetricRegistry, ResetZeroesKeepingRegistrations)

@@ -1,0 +1,181 @@
+#include "support/perf_counters.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+#include "support/parallel_for.hh"
+
+namespace balance
+{
+namespace
+{
+
+/** Leave the global profiler off and empty on scope exit. */
+struct ProfilerGuard
+{
+    ~ProfilerGuard()
+    {
+        PerfProfiler::global().disable();
+        PerfProfiler::global().reset();
+    }
+};
+
+TEST(PerfCounters, PhaseAndTierNamesAreStable)
+{
+    // The artifact schema keys on these strings; renames are schema
+    // breaks and must show up here.
+    EXPECT_STREQ(perfPhaseName(PerfPhase::PairSweep),
+                 "bounds.pair_sweep");
+    EXPECT_STREQ(perfPhaseName(PerfPhase::TripleSweep),
+                 "bounds.triple_sweep");
+    EXPECT_STREQ(perfPhaseName(PerfPhase::RjRelax),
+                 "bounds.rj_relax");
+    EXPECT_STREQ(perfPhaseName(PerfPhase::ListSched), "sched.list");
+    EXPECT_STREQ(perfPhaseName(PerfPhase::BestGrid),
+                 "sched.best_grid");
+    EXPECT_STREQ(perfPhaseName(PerfPhase::Balance), "sched.balance");
+    EXPECT_STREQ(perfPhaseName(PerfPhase::Bnb), "bnb.search");
+
+    EXPECT_STREQ(perfTierName(PerfTier::Disabled), "off");
+    EXPECT_STREQ(perfTierName(PerfTier::Hardware), "hardware");
+    EXPECT_STREQ(perfTierName(PerfTier::Fallback), "fallback");
+}
+
+TEST(PerfCounters, DeltaClampsAtZero)
+{
+    PerfCounterValues a;
+    PerfCounterValues b;
+    a.cycles = 5;
+    b.cycles = 9; // a counter that appears to run backwards
+    b.wallNs = 3;
+    PerfCounterValues d = PerfCounterValues::delta(a, b);
+    EXPECT_EQ(d.cycles, 0u) << "never underflow to huge unsigned";
+    EXPECT_EQ(d.wallNs, 0u);
+    a.wallNs = 10;
+    d = PerfCounterValues::delta(a, b);
+    EXPECT_EQ(d.wallNs, 7u);
+}
+
+TEST(PerfCounters, DisabledRegionsRecordNothing)
+{
+    ProfilerGuard guard;
+    PerfProfiler &prof = PerfProfiler::global();
+    prof.disable();
+    prof.reset();
+    {
+        PerfRegion r(PerfPhase::PairSweep);
+    }
+    PerfSnapshot snap = prof.snapshot();
+    for (int p = 0; p < numPerfPhases; ++p)
+        EXPECT_EQ(snap.phases[std::size_t(p)].entries, 0);
+}
+
+TEST(PerfCounters, EntriesAreExactAcrossThreads)
+{
+    ProfilerGuard guard;
+    PerfProfiler &prof = PerfProfiler::global();
+    prof.enable();
+    EXPECT_TRUE(prof.enabled());
+    EXPECT_NE(prof.tier(), PerfTier::Disabled);
+
+    constexpr std::size_t n = 2000;
+    auto entriesAfterRun = [&] {
+        prof.reset();
+        parallelFor(n, [](std::size_t i) {
+            PerfRegion r(PerfPhase::RjRelax);
+            if (i % 2 == 0) {
+                PerfRegion nested(PerfPhase::ListSched);
+            }
+        });
+        return prof.snapshot();
+    };
+
+    PerfSnapshot snap = entriesAfterRun();
+    EXPECT_EQ(
+        snap.phases[std::size_t(PerfPhase::RjRelax)].entries,
+        (long long)(n));
+    EXPECT_EQ(
+        snap.phases[std::size_t(PerfPhase::ListSched)].entries,
+        (long long)(n) / 2);
+    EXPECT_EQ(
+        snap.phases[std::size_t(PerfPhase::Balance)].entries, 0);
+
+    // Exactness holds on repetition: no lost updates, no carryover.
+    PerfSnapshot again = entriesAfterRun();
+    for (int p = 0; p < numPerfPhases; ++p)
+        EXPECT_EQ(again.phases[std::size_t(p)].entries,
+                  snap.phases[std::size_t(p)].entries);
+}
+
+TEST(PerfCounters, SnapshotJsonKeepsFullSchemaOnEveryTier)
+{
+    ProfilerGuard guard;
+    PerfProfiler &prof = PerfProfiler::global();
+    prof.enable();
+    prof.reset();
+    {
+        PerfRegion r(PerfPhase::Balance);
+    }
+    std::string doc = prof.snapshot().toJson();
+    EXPECT_TRUE(jsonLooksValid(doc)) << doc;
+    // Every phase is present even when unvisited, so downstream
+    // tooling (compare, render) never branches on key existence.
+    for (int p = 0; p < numPerfPhases; ++p) {
+        std::string key = std::string("\"") +
+                          perfPhaseName(PerfPhase(p)) + "\"";
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
+    }
+    for (const char *key :
+         {"\"version\"", "\"tier\"", "\"multiplexed\"", "\"entries\"",
+          "\"wall_ns\"", "\"task_clock_ns\"", "\"cycles\"",
+          "\"instructions\"", "\"branches\"", "\"branch_misses\"",
+          "\"cache_references\"", "\"cache_misses\"",
+          "\"time_running_frac\"", "\"ipc\"", "\"cpi\"",
+          "\"branch_miss_rate\"", "\"cache_miss_rate\""})
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
+}
+
+TEST(PerfCounters, EnvOverrideForcesFallbackSampler)
+{
+    ASSERT_EQ(setenv("BALANCE_PERF", "fallback", 1), 0);
+    {
+        PerfSampler sampler;
+        EXPECT_EQ(sampler.tier(), PerfTier::Fallback);
+        PerfCounterValues a = sampler.now();
+        PerfCounterValues b = sampler.now();
+        EXPECT_GE(b.wallNs, a.wallNs);
+        EXPECT_EQ(b.cycles, 0u)
+            << "fallback has no hardware columns";
+    }
+    unsetenv("BALANCE_PERF");
+}
+
+TEST(PerfCounters, ForcedFallbackSamplerSkipsProbe)
+{
+    PerfSampler sampler(PerfTier::Fallback);
+    EXPECT_EQ(sampler.tier(), PerfTier::Fallback);
+    PerfCounterValues a = sampler.now();
+    PerfCounterValues b = sampler.now();
+    EXPECT_GE(b.wallNs, a.wallNs);
+    EXPECT_GE(b.taskClockNs, a.taskClockNs);
+}
+
+TEST(PerfCounters, SamplerNowIsMonotonic)
+{
+    PerfSampler sampler; // whatever tier this machine grants
+    PerfCounterValues prev = sampler.now();
+    for (int i = 0; i < 100; ++i) {
+        PerfCounterValues cur = sampler.now();
+        EXPECT_GE(cur.wallNs, prev.wallNs);
+        EXPECT_GE(cur.cycles, prev.cycles);
+        EXPECT_GE(cur.instructions, prev.instructions);
+        prev = cur;
+    }
+}
+
+} // namespace
+} // namespace balance

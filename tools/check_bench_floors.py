@@ -8,7 +8,10 @@ Run from the repository root after refreshing a bench artifact:
 
 Each listed artifact must report engine-vs-naive speedup at or above
 its per-machine floor and "identical": true (the engine matched the
-naive oracle bit for bit). Exits non-zero on any violation.
+naive oracle bit for bit). Every gated entry must actually be present:
+a missing artifact, a malformed document, or a gated machine absent
+from the artifact is a hard failure — an absent measurement is not a
+passing one. Exits non-zero on any violation.
 """
 
 import json
@@ -18,34 +21,79 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def main() -> int:
-    budgets = json.loads((ROOT / "tools/perf_budgets.json").read_text())
-    floors = budgets.get("bench_speedup_floors", {})
-    failures = []
-    for artifact, machines in floors.items():
-        path = ROOT / artifact
-        if not path.exists():
-            failures.append(f"{artifact}: missing")
-            continue
+def check_artifact(artifact: str, machines: dict, failures: list) -> None:
+    path = ROOT / artifact
+    if not path.exists():
+        failures.append(
+            f"{artifact}: artifact missing — every artifact gated in "
+            "bench_speedup_floors must be committed (regenerate it "
+            "with the matching bench binary)")
+        return
+    try:
         doc = json.loads(path.read_text())
-        by_name = {m["name"]: m for m in doc.get("machines", [])}
-        for name, floor in machines.items():
-            m = by_name.get(name)
-            if m is None:
-                failures.append(f"{artifact}: no machine {name}")
-                continue
-            if not m.get("identical", False):
-                failures.append(
-                    f"{artifact}: {name} engine diverged from the "
-                    "naive oracle")
-            speedup = m.get("speedup", 0.0)
-            if speedup < floor:
-                failures.append(
-                    f"{artifact}: {name} speedup {speedup:.2f}x "
-                    f"below floor {floor:.2f}x")
-            else:
-                print(f"ok: {artifact} {name} {speedup:.2f}x "
-                      f">= {floor:.2f}x")
+    except (json.JSONDecodeError, OSError) as exc:
+        failures.append(f"{artifact}: unreadable ({exc})")
+        return
+    rows = doc.get("machines")
+    if not isinstance(rows, list):
+        failures.append(
+            f"{artifact}: no \"machines\" array — wrong or truncated "
+            "artifact?")
+        return
+    by_name = {m.get("name"): m for m in rows if isinstance(m, dict)}
+    for name, floor in machines.items():
+        m = by_name.get(name)
+        if m is None:
+            present = sorted(n for n in by_name if n)
+            failures.append(
+                f"{artifact}: gated machine {name} absent from the "
+                f"artifact (has: {', '.join(present) or 'none'}) — "
+                "the floor cannot be checked, so this fails; "
+                "regenerate the artifact with the full machine set")
+            continue
+        ok = True
+        if not m.get("identical", False):
+            failures.append(
+                f"{artifact}: {name} engine diverged from the "
+                "naive oracle")
+            ok = False
+        speedup = m.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            failures.append(
+                f"{artifact}: {name} has no numeric \"speedup\" field")
+            continue
+        if speedup < floor:
+            failures.append(
+                f"{artifact}: {name} speedup {speedup:.2f}x "
+                f"below floor {floor:.2f}x")
+        elif ok:
+            print(f"ok: {artifact} {name} {speedup:.2f}x "
+                  f">= {floor:.2f}x")
+
+
+def main() -> int:
+    budget_path = ROOT / "tools/perf_budgets.json"
+    try:
+        budgets = json.loads(budget_path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"FAIL: {budget_path}: unreadable ({exc})",
+              file=sys.stderr)
+        return 1
+    floors = budgets.get("bench_speedup_floors")
+    if not isinstance(floors, dict) or not floors:
+        # A gate with nothing to gate is a misconfiguration, not a
+        # pass: the budget file should always carry the floor table.
+        print("FAIL: tools/perf_budgets.json: bench_speedup_floors "
+              "is missing or empty", file=sys.stderr)
+        return 1
+    failures: list = []
+    for artifact, machines in sorted(floors.items()):
+        if not isinstance(machines, dict) or not machines:
+            failures.append(
+                f"{artifact}: empty floors entry — gate at least one "
+                "machine or drop the artifact from the table")
+            continue
+        check_artifact(artifact, machines, failures)
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)
     return 1 if failures else 0
