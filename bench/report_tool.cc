@@ -31,6 +31,7 @@
 #include "report/compare.hh"
 #include "report/manifest.hh"
 #include "report/render.hh"
+#include "support/telemetry.hh"
 
 namespace
 {
@@ -47,6 +48,8 @@ usage()
         "                       [--with-best] [--bnb]\n"
         "                       [--bnb-max-nodes N] [--bnb-max-ops N]\n"
         "                       [--hw-counters]\n"
+        "                       [--debug-server PORT]\n"
+        "                       [--metrics-interval MS]\n"
         "       report_tool render MANIFEST [-o FILE] [--top K]\n"
         "       report_tool compare BASE CURRENT [--budget FILE]\n");
     return 2;
@@ -88,6 +91,7 @@ int
 cmdRun(int argc, char **argv)
 {
     CaptureOptions opts;
+    TelemetryOptions telemetry;
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--out") {
@@ -123,6 +127,12 @@ cmdRun(int argc, char **argv)
                 2));
         } else if (arg == "--hw-counters") {
             opts.hwCounters = true;
+        } else if (arg == "--debug-server") {
+            telemetry.debugServer = argValue(argc, argv, &i);
+        } else if (arg == "--metrics-interval") {
+            opts.metricsIntervalMs = parseIntOption(
+                "report_tool", arg, argValue(argc, argv, &i), 1,
+                3600000, 2);
         } else {
             std::fprintf(stderr, "report_tool: unknown option %s\n",
                          argv[i]);
@@ -136,6 +146,11 @@ cmdRun(int argc, char **argv)
                      opts.outDir.c_str(), std::strerror(errno));
         return 1;
     }
+    // Starts the diagnostics server when asked and installs the
+    // crash handlers + SIGINT flush either way. captureRun owns its
+    // own --metrics-interval timeline (it samples the run's local
+    // registry), so the interval is not forwarded here.
+    initTelemetry(telemetry);
     CaptureResult result = captureRun(opts);
     std::printf("captured %zu machine run(s) -> %s\n",
                 result.manifest.machines.size(),

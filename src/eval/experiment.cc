@@ -6,8 +6,10 @@
 #include "sched/decision_log.hh"
 #include "sched/priorities.hh"
 #include "support/diagnostics.hh"
+#include "support/flight_recorder.hh"
 #include "support/metrics.hh"
 #include "support/parallel_for.hh"
+#include "support/progress.hh"
 #include "support/telemetry.hh"
 #include "support/trace.hh"
 
@@ -56,6 +58,10 @@ evaluateSuperblock(const Superblock &sb, const MachineModel &machine,
 {
     TraceSpan span("evaluateSuperblock",
                    (long long)(sb.numOps()));
+    FlightScope flight("eval:superblock", (long long)(sb.numOps()));
+    FlightRecorder::global().record(FlightEventType::Superblock, "eval",
+                                    (long long)(sb.numOps()),
+                                    (long long)(sb.numBranches()));
     GraphContext ctx(sb);
 
     // Telemetry rides in a worker-private scratch + stats structs so
@@ -249,13 +255,27 @@ evaluatePopulation(const std::vector<BenchmarkProgram> &suite,
         for (const Superblock &sb : prog.superblocks)
             flat.push_back(&sb);
 
+    // Live progress for /progress: registered only when the tracker
+    // is on, so a server-off run pays one relaxed load right here and
+    // a null check per superblock.
+    ProgressTracker &tracker = ProgressTracker::global();
+    PhaseProgress *progress =
+        tracker.enabled() ? &tracker.phase("eval") : nullptr;
+    if (progress)
+        progress->start((long long)(flat.size()));
+    FlightScope flight("eval", (long long)(flat.size()));
+
     std::vector<SuperblockEval> evals(flat.size());
     parallelFor(
         flat.size(),
         [&](std::size_t i) {
             evals[i] = evaluateSuperblock(*flat[i], machine, set, opts);
+            if (progress)
+                progress->tick();
         },
         threads);
+    if (progress)
+        progress->finish();
 
     double trivialCycles = 0.0;
     std::vector<double> heuristicCyclesNontrivial(numHeuristics, 0.0);

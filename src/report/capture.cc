@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <memory>
 
 #include "bounds/bound_scratch.hh"
 #include "core/balance_scheduler.hh"
@@ -11,10 +12,14 @@
 #include "sched/decision_log.hh"
 #include "sched/priorities.hh"
 #include "support/diagnostics.hh"
+#include "support/flight_recorder.hh"
 #include "support/json.hh"
 #include "support/metrics.hh"
+#include "support/metrics_timeline.hh"
 #include "support/parallel_for.hh"
 #include "support/perf_counters.hh"
+#include "support/progress.hh"
+#include "support/telemetry.hh"
 #include "support/trace.hh"
 
 namespace balance
@@ -381,9 +386,35 @@ captureRun(const CaptureOptions &opts)
     std::string rows;
     std::string error;
 
+    // The metrics timeline samples the *local* registry — the one
+    // whose snapshot becomes metrics.json — so the time-series and
+    // the final snapshot describe the same run.
+    std::unique_ptr<MetricsTimeline> timeline;
+    if (opts.metricsIntervalMs > 0) {
+        man.metricsTimelinePath = "metrics.timeline.jsonl";
+        timeline = std::make_unique<MetricsTimeline>(
+            reg, opts.outDir + "/" + man.metricsTimelinePath,
+            opts.metricsIntervalMs);
+    }
+    // Bind the live diagnostics address (if a server is up) to the
+    // run it observed.
+    man.debugServerAddress = debugServerAddress();
+
+    FlightScope flight("capture", (long long)(flat.size()));
+    ProgressTracker &tracker = ProgressTracker::global();
+
     for (const MachineModel &machine : machines) {
         man.machines.push_back(machine.name());
         auto t0 = std::chrono::steady_clock::now();
+
+        // One /progress phase per machine sweep; registration only
+        // happens with the tracker on (one relaxed load otherwise).
+        PhaseProgress *progress =
+            tracker.enabled()
+                ? &tracker.phase("capture:" + machine.name())
+                : nullptr;
+        if (progress)
+            progress->start((long long)(flat.size()));
 
         // Parallel phase into pre-sized slots; captureSuperblock is
         // a pure function of its arguments.
@@ -393,8 +424,12 @@ captureRun(const CaptureOptions &opts)
             [&](std::size_t i) {
                 slots[i] = captureSuperblock(*flat[i], machine, set,
                                              opts);
+                if (progress)
+                    progress->tick();
             },
             opts.threads);
+        if (progress)
+            progress->finish();
 
         // Serial suite-order reduction: rows, decision lines, and
         // the registry fold all walk the same slots in the same
@@ -431,6 +466,11 @@ captureRun(const CaptureOptions &opts)
                                doc + "\n", &error),
                  "captureRun: ", error);
     }
+
+    // Stop the sampler before the final snapshot: its last record is
+    // written with all workers quiesced, so it equals metrics.json.
+    if (timeline)
+        timeline->stop();
 
     bsAssert(writeTextFile(opts.outDir + "/" + man.metricsPath,
                            reg.snapshotJson(), &error),

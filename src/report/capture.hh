@@ -62,6 +62,14 @@ struct CaptureOptions
      * with this on or off, for any thread count.
      */
     bool hwCounters = false;
+    /**
+     * Sample the capture's local registry every this-many ms into a
+     * manifest-bound metrics.timeline.jsonl (0 = off). Observation
+     * only, like hwCounters: the sampler reads the same snapshot
+     * path the final metrics.json uses, so every other artifact is
+     * bitwise identical with this on or off.
+     */
+    long long metricsIntervalMs = 0;
     /** Existing directory the artifacts are written into. */
     std::string outDir;
 };

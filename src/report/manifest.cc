@@ -79,6 +79,10 @@ RunManifest::toJson() const
     // old readers ignore the extra member (no version bump needed).
     if (!hwCountersPath.empty())
         w.key("hw_counters").value(hwCountersPath);
+    // Same optional-key contract as hw_counters: only observability
+    // runs emit these, absent means "feature off", no version bump.
+    if (!metricsTimelinePath.empty())
+        w.key("metrics_timeline").value(metricsTimelinePath);
     w.key("decision_logs").beginArray();
     for (const DecisionLogRef &d : decisionLogs) {
         w.beginObject()
@@ -88,6 +92,8 @@ RunManifest::toJson() const
     }
     w.endArray();
     w.endObject();
+    if (!debugServerAddress.empty())
+        w.key("debug_server").value(debugServerAddress);
     w.key("wall_ms").beginObject();
     for (const MachineWall &mw : wall)
         w.key(mw.machine).value(mw.ms);
@@ -172,6 +178,8 @@ RunManifest::fromJson(const JsonValue &doc, RunManifest *out,
     m.benchJsonPath = optionalString(*art, "bench_json");
     m.tracePath = optionalString(*art, "trace");
     m.hwCountersPath = optionalString(*art, "hw_counters");
+    m.metricsTimelinePath = optionalString(*art, "metrics_timeline");
+    m.debugServerAddress = optionalString(doc, "debug_server");
     if (const JsonValue *logs = art->find("decision_logs")) {
         if (!logs->isArray())
             return fail(error, "manifest", "decision_logs not an array");

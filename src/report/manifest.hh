@@ -61,7 +61,17 @@ struct RunManifest
     std::string benchJsonPath;   //!< optional bench JSON (BENCH_*.json)
     std::string tracePath;       //!< optional Chrome trace
     std::string hwCountersPath;  //!< optional per-phase hw counters
+    /** Optional --metrics-interval JSONL time-series. */
+    std::string metricsTimelinePath;
     std::vector<DecisionLogRef> decisionLogs;
+
+    /**
+     * "http://addr:port" of the diagnostics server that was live
+     * during the run ("" = none). An address, not an artifact: it
+     * records where /metrics and /progress could be scraped, for
+     * log forensics and the live-telemetry CI leg.
+     */
+    std::string debugServerAddress;
 
     std::vector<MachineWall> wall; //!< per-machine wall clock
 

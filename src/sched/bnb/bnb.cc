@@ -11,9 +11,11 @@
 #include "sched/best_scheduler.hh"
 #include "sched/bnb/bnb_search.hh"
 #include "support/diagnostics.hh"
+#include "support/flight_recorder.hh"
 #include "support/json.hh"
 #include "support/parallel_for.hh"
 #include "support/perf_counters.hh"
+#include "support/progress.hh"
 #include "support/trace.hh"
 
 namespace balance
@@ -97,6 +99,9 @@ bnbSchedule(const GraphContext &ctx, const MachineModel &machine,
 
     BnbResult result;
     BnbCounters &counters = result.counters;
+    FlightScope flight("bnb", sb.numOps());
+    // Nodes already reported to the progress tracker (delta basis).
+    long long publishedNodes = 0;
 
     // Context built serially before any worker runs: static per-op
     // issue floors (the toolkit's EarlyRC when lent, else the
@@ -260,6 +265,7 @@ bnbSchedule(const GraphContext &ctx, const MachineModel &machine,
 
             sharedIncumbent.store(doubleBits(incumbentValue()),
                                   std::memory_order_relaxed);
+            long long nodesBeforeRound = counters.nodesExpanded;
             std::vector<BnbSubtreeOutcome> outcomes(numTasks);
             parallelFor(
                 numTasks,
@@ -293,6 +299,26 @@ bnbSchedule(const GraphContext &ctx, const MachineModel &machine,
             for (std::size_t i = numTasks; i < frontier.size(); ++i)
                 next.push_back(std::move(frontier[i]));
             frontier = std::move(next);
+
+            // Live observers, fed between rounds only — the same
+            // cadence as the incumbent snapshot above, so every
+            // published tuple is a state the deterministic search
+            // actually held. Never read back; pruning depends only
+            // on sharedIncumbent.
+            FlightRecorder::global().record(
+                FlightEventType::BnbRound, "bnb",
+                counters.nodesExpanded - nodesBeforeRound,
+                counters.rounds);
+            ProgressTracker &tracker = ProgressTracker::global();
+            if (tracker.enabled()) {
+                tracker.publishBnb(counters.nodesExpanded,
+                                   counters.nodesExpanded -
+                                       publishedNodes,
+                                   counters.rounds,
+                                   inc.have ? inc.wct : -1.0,
+                                   req.staticLowerBound, false);
+                publishedNodes = counters.nodesExpanded;
+            }
         }
         for (BnbPrefix &p : frontier)
             abandoned.push_back(std::move(p));
@@ -327,6 +353,15 @@ bnbSchedule(const GraphContext &ctx, const MachineModel &machine,
     lower = std::min(lower, result.wct);
     result.lowerBound = lower;
     result.proven = result.wct - result.lowerBound <= kProvenEps;
+    {
+        // Final publication: the certified result of this search.
+        ProgressTracker &tracker = ProgressTracker::global();
+        if (tracker.enabled())
+            tracker.publishBnb(counters.nodesExpanded,
+                               counters.nodesExpanded - publishedNodes,
+                               counters.rounds, result.wct,
+                               result.lowerBound, true);
+    }
     return result;
 }
 

@@ -1,0 +1,315 @@
+#include "support/debug_server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "support/metrics.hh"
+#include "support/perf_counters.hh"
+#include "support/progress.hh"
+#include "support/prometheus.hh"
+#include "support/trace.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** Write all of @p data to @p fd, retrying short writes / EINTR. */
+void
+writeAll(int fd, const char *data, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // peer went away; nothing useful to do
+        }
+        done += std::size_t(n);
+    }
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 503:
+        return "Service Unavailable";
+      default:
+        return "Error";
+    }
+}
+
+void
+writeResponse(int fd, int status, const std::string &contentType,
+              const std::string &body)
+{
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       statusText(status) + "\r\n";
+    head += "Content-Type: " + contentType + "\r\n";
+    head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    writeAll(fd, head.data(), head.size());
+    writeAll(fd, body.data(), body.size());
+}
+
+} // namespace
+
+DebugServer::~DebugServer() { stop(); }
+
+std::string
+DebugServer::handlePath(const std::string &path, int &status,
+                        std::string &contentType)
+{
+    status = 200;
+    contentType = "text/plain; charset=utf-8";
+    if (path == "/healthz")
+        return "ok\n";
+    if (path == "/metrics") {
+        contentType = "text/plain; version=0.0.4; charset=utf-8";
+        return renderPrometheusText(MetricRegistry::global());
+    }
+    if (path == "/progress") {
+        contentType = "application/json";
+        return ProgressTracker::global().snapshotJson();
+    }
+    if (path == "/trace") {
+        contentType = "application/json";
+        return TraceSession::global().toJson();
+    }
+    if (path == "/hwcounters") {
+        contentType = "application/json";
+        return PerfProfiler::global().snapshot().toJson();
+    }
+    status = 404;
+    return "not found\n";
+}
+
+bool
+DebugServer::start(const DebugServerOptions &opts)
+{
+    if (running.load(std::memory_order_acquire))
+        return false;
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "debug-server: socket failed: %s\n",
+                     std::strerror(errno));
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+    if (::inet_pton(AF_INET, opts.bindAddress.c_str(), &addr.sin_addr) !=
+        1) {
+        std::fprintf(stderr, "debug-server: bad bind address '%s'\n",
+                     opts.bindAddress.c_str());
+        ::close(fd);
+        return false;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        std::fprintf(stderr, "debug-server: bind to %s:%d failed: %s\n",
+                     opts.bindAddress.c_str(), opts.port,
+                     std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 64) < 0) {
+        std::fprintf(stderr, "debug-server: listen failed: %s\n",
+                     std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    sockaddr_in bound{};
+    socklen_t boundLen = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &boundLen) < 0) {
+        std::fprintf(stderr, "debug-server: getsockname failed: %s\n",
+                     std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    listenFd = fd;
+    boundPort = int(ntohs(bound.sin_port));
+    boundAddress =
+        "http://" + opts.bindAddress + ":" + std::to_string(boundPort);
+    maxQueue = opts.maxQueue > 0 ? opts.maxQueue : 1;
+    stopping.store(false, std::memory_order_release);
+    running.store(true, std::memory_order_release);
+
+    // /progress is only useful with the tracker publishing.
+    ProgressTracker::global().enable();
+
+    acceptor = std::thread([this] { acceptLoop(); });
+    int nHandlers = opts.handlerThreads > 0 ? opts.handlerThreads : 1;
+    handlers.reserve(std::size_t(nHandlers));
+    for (int i = 0; i < nHandlers; ++i)
+        handlers.emplace_back([this] { handlerLoop(); });
+
+    std::printf("debug-server: listening on %s\n", boundAddress.c_str());
+    std::fflush(stdout);
+    return true;
+}
+
+void
+DebugServer::stop()
+{
+    if (!running.exchange(false, std::memory_order_acq_rel))
+        return;
+    {
+        // The store must happen under the queue mutex: a handler
+        // that has checked the wait predicate but not yet blocked
+        // would otherwise miss this notification forever.
+        std::lock_guard<std::mutex> lock(queueMutex);
+        stopping.store(true, std::memory_order_release);
+    }
+    queueCv.notify_all();
+    if (acceptor.joinable())
+        acceptor.join();
+    for (std::thread &t : handlers) {
+        if (t.joinable())
+            t.join();
+    }
+    handlers.clear();
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        for (int fd : pending)
+            ::close(fd);
+        pending.clear();
+    }
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+}
+
+void
+DebugServer::acceptLoop()
+{
+    while (!stopping.load(std::memory_order_acquire)) {
+        pollfd pfd{};
+        pfd.fd = listenFd;
+        pfd.events = POLLIN;
+        int rc = ::poll(&pfd, 1, 100);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rc == 0 || !(pfd.revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        bool shed = false;
+        {
+            std::lock_guard<std::mutex> lock(queueMutex);
+            if (int(pending.size()) >= maxQueue)
+                shed = true;
+            else
+                pending.push_back(fd);
+        }
+        if (shed) {
+            writeResponse(fd, 503, "text/plain; charset=utf-8",
+                          "overloaded\n");
+            ::close(fd);
+        } else {
+            queueCv.notify_one();
+        }
+    }
+}
+
+void
+DebugServer::handlerLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex);
+            queueCv.wait(lock, [this] {
+                return stopping.load(std::memory_order_acquire) ||
+                       !pending.empty();
+            });
+            if (stopping.load(std::memory_order_acquire))
+                return;
+            fd = pending.front();
+            pending.pop_front();
+        }
+        serveConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+DebugServer::serveConnection(int fd)
+{
+    // Read until the end of the request head (tiny requests only; a
+    // scraper's GET fits in one or two reads).
+    std::string req;
+    char buf[2048];
+    while (req.size() < 16 * 1024 &&
+           req.find("\r\n\r\n") == std::string::npos) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        req.append(buf, std::size_t(n));
+    }
+    std::size_t lineEnd = req.find("\r\n");
+    if (lineEnd == std::string::npos)
+        return;
+    std::string line = req.substr(0, lineEnd);
+
+    std::size_t sp1 = line.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        writeResponse(fd, 404, "text/plain; charset=utf-8",
+                      "bad request\n");
+        return;
+    }
+    std::string method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (method != "GET" && method != "HEAD") {
+        writeResponse(fd, 405, "text/plain; charset=utf-8",
+                      "method not allowed\n");
+        return;
+    }
+    std::size_t q = target.find('?');
+    if (q != std::string::npos)
+        target.resize(q);
+
+    int status = 0;
+    std::string contentType;
+    std::string body = handlePath(target, status, contentType);
+    if (method == "HEAD")
+        body.clear();
+    writeResponse(fd, status, contentType, body);
+}
+
+} // namespace balance

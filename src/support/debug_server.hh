@@ -1,0 +1,114 @@
+/**
+ * @file
+ * In-process diagnostics HTTP server (docs/OBSERVABILITY.md, "Live
+ * introspection"). A dependency-free HTTP/1.1 listener — own acceptor
+ * thread plus a small bounded handler pool — that serves read-only
+ * snapshots of the process's telemetry while a run is in flight:
+ *
+ *   GET /healthz     -> "ok\n" (liveness)
+ *   GET /metrics     -> MetricRegistry::global() in Prometheus text
+ *                       exposition format 0.0.4 (support/prometheus.hh)
+ *   GET /progress    -> ProgressTracker::global().snapshotJson()
+ *   GET /trace       -> TraceSession::global().toJson() (Chrome trace)
+ *   GET /hwcounters  -> PerfProfiler::global().snapshot().toJson()
+ *
+ * Non-perturbation contract: every handler only calls the snapshot
+ * paths the at-exit writers already use (mutex-guarded copies of
+ * relaxed-atomic monotone values), never a mutating API, so scraping
+ * any endpoint at any rate leaves the run's schedules, bounds, and
+ * artifact bytes identical to an unobserved run. The server binds
+ * 127.0.0.1 by default; port 0 picks an ephemeral port, and the
+ * bound address is printed on stdout ("debug-server: listening on
+ * http://...") and recorded in the run manifest when one is written.
+ *
+ * Enabled via --debug-server=PORT on the bench binaries and
+ * `report_tool run` (eval/bench_options.hh, bench/report_tool.cc).
+ */
+
+#ifndef BALANCE_SUPPORT_DEBUG_SERVER_HH
+#define BALANCE_SUPPORT_DEBUG_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace balance
+{
+
+/** DebugServer configuration. */
+struct DebugServerOptions
+{
+    /** TCP port to bind; 0 picks an ephemeral port. */
+    int port = 0;
+    /** Bind address (loopback by default — diagnostics, not public). */
+    std::string bindAddress = "127.0.0.1";
+    /** Handler pool size. */
+    int handlerThreads = 4;
+    /** Max accepted-but-unserved connections before 503-shedding. */
+    int maxQueue = 64;
+};
+
+/** The diagnostics server (see file comment). */
+class DebugServer
+{
+  public:
+    DebugServer() = default;
+    ~DebugServer();
+
+    DebugServer(const DebugServer &) = delete;
+    DebugServer &operator=(const DebugServer &) = delete;
+
+    /**
+     * Bind, listen, and start the acceptor + handler threads.
+     * Enables ProgressTracker::global() so /progress has data.
+     * @return true on success; on failure logs to stderr and leaves
+     *         the server inactive.
+     */
+    bool start(const DebugServerOptions &opts);
+
+    /** Stop all threads and close the socket. Idempotent. */
+    void stop();
+
+    /** @return true between a successful start() and stop(). */
+    bool active() const { return running.load(std::memory_order_acquire); }
+
+    /** @return the bound port (valid while active). */
+    int port() const { return boundPort; }
+
+    /** @return "http://<addr>:<port>" (valid while active). */
+    const std::string &address() const { return boundAddress; }
+
+    /**
+     * Dispatch one request path to its endpoint. Exposed for tests;
+     * @p status receives the HTTP status code and @p contentType the
+     * response content type.
+     * @return the response body.
+     */
+    static std::string handlePath(const std::string &path, int &status,
+                                  std::string &contentType);
+
+  private:
+    void acceptLoop();
+    void handlerLoop();
+    void serveConnection(int fd);
+
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopping{false};
+    int listenFd = -1;
+    int boundPort = 0;
+    std::string boundAddress;
+    std::thread acceptor;
+    std::vector<std::thread> handlers;
+    std::mutex queueMutex;
+    std::condition_variable queueCv;
+    std::deque<int> pending;
+    int maxQueue = 64;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_DEBUG_SERVER_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The crash-safe flight recorder (docs/OBSERVABILITY.md): an
+ * always-cheap, lock-free, per-thread ring of structured events
+ * (phase enter/leave, superblock ids, branch-and-bound round
+ * summaries) plus async-signal-safe fatal-signal handlers that dump
+ * every thread's ring, the per-thread active phase, and a backtrace
+ * to `crash-<pid>.txt` before re-raising the signal.
+ *
+ * Design constraints, in order:
+ *
+ *  1. Recording must be safe from any thread with no locks: each
+ *     thread owns one fixed slot (claimed once with a CAS over a
+ *     static slot table) and is the only writer to its ring. The
+ *     write index is a monotone counter stored with release order so
+ *     a dump sees a consistent prefix.
+ *  2. The dump must be async-signal-safe: it walks the fixed slot
+ *     table (atomic loads only — no registry mutex), formats
+ *     integers into a stack buffer by hand, and uses nothing but
+ *     write(2)/open(2)/close(2) plus backtrace_symbols_fd. Events
+ *     being written at crash time may tear; a best-effort record of
+ *     a dying process is the point.
+ *  3. When disabled (the default outside the bench binaries), every
+ *     record() is one relaxed atomic load and nothing else.
+ *
+ * Event labels must be string literals (stored by pointer, read at
+ * crash time). The recorder never feeds back into any algorithm —
+ * results are bitwise identical with it on or off.
+ */
+
+#ifndef BALANCE_SUPPORT_FLIGHT_RECORDER_HH
+#define BALANCE_SUPPORT_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace balance
+{
+
+/** Flight-recorder event types (stable names in dumps). */
+enum class FlightEventType : int
+{
+    PhaseEnter, //!< a = generation / item count, label = phase name
+    PhaseLeave, //!< a = items processed, label = phase name
+    Superblock, //!< a = op count, b = branch count, label = sb name*
+    BnbRound,   //!< a = nodes expanded, b = round number
+    Mark,       //!< free-form breadcrumb
+};
+
+/** @return the stable dump name ("phase_enter", ...). */
+const char *flightEventTypeName(FlightEventType type);
+
+/** One recorded event (PODs only: read from a signal handler). */
+struct FlightEvent
+{
+    std::int64_t tsUs = 0;  //!< microseconds since recorder epoch
+    const char *label = nullptr; //!< static string (may be null)
+    std::int64_t a = -1;
+    std::int64_t b = -1;
+    FlightEventType type = FlightEventType::Mark;
+};
+
+/** The process-wide recorder (see file comment). */
+class FlightRecorder
+{
+  public:
+    /** Events kept per thread (the dump prints the newest first). */
+    static constexpr int ringCapacity = 128;
+    /** Maximum distinct threads tracked (slots never recycle). */
+    static constexpr int maxThreads = 128;
+    /** Newest events printed per thread in a crash dump. */
+    static constexpr int dumpEventsPerThread = 16;
+
+    FlightRecorder() = default;
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Start recording. */
+    void enable() { on.store(true, std::memory_order_relaxed); }
+
+    /** Stop recording (rings keep their events). */
+    void disable() { on.store(false, std::memory_order_relaxed); }
+
+    /** @return true while events are being recorded. */
+    bool
+    enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Record one event on the calling thread's ring. One relaxed
+     * load when disabled; lock-free always.
+     */
+    void record(FlightEventType type, const char *label,
+                std::int64_t a = -1, std::int64_t b = -1);
+
+    /**
+     * Set the calling thread's active phase (shown in crash dumps;
+     * null clears it). @p phase must be a string literal.
+     */
+    void setThreadPhase(const char *phase);
+
+    /** @return the calling thread's active phase (tests). */
+    const char *threadPhase();
+
+    /**
+     * Async-signal-safe dump of every thread's slot into @p fd:
+     * active phase plus the newest events. Safe to call from a
+     * SIGSEGV handler; also used by tests against a plain file.
+     */
+    void dumpTo(int fd) const;
+
+    /**
+     * Copy out every buffered event, slot order then ring order
+     * (tests; not signal-safe, call with writers quiesced).
+     */
+    std::vector<FlightEvent> snapshot() const;
+
+    /** Zero every ring and phase (tests; keeps slot claims). */
+    void clear();
+
+    /** The process-wide recorder the crash handlers dump. */
+    static FlightRecorder &global();
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<bool> claimed{false};
+        std::atomic<const char *> phase{nullptr};
+        std::atomic<std::uint64_t> next{0}; //!< monotone write count
+        FlightEvent ring[ringCapacity];
+    };
+
+    Slot *localSlot();
+
+    std::atomic<bool> on{false};
+    std::atomic<int> slotsUsed{0};
+    Slot slots[maxThreads];
+};
+
+/**
+ * RAII phase scope: sets the calling thread's active phase and
+ * records PhaseEnter/PhaseLeave events (restoring the previous
+ * phase on exit, so nested scopes behave like a stack). Costs one
+ * relaxed load when the recorder is disabled.
+ */
+class FlightScope
+{
+  public:
+    explicit FlightScope(const char *phase, std::int64_t arg = -1);
+    ~FlightScope();
+    FlightScope(const FlightScope &) = delete;
+    FlightScope &operator=(const FlightScope &) = delete;
+
+  private:
+    const char *scopePhase = nullptr; //!< null = recorder was off
+    const char *previous = nullptr;
+};
+
+/**
+ * Install the async-signal-safe SIGSEGV/SIGABRT/SIGBUS handlers
+ * that dump the flight recorder and a backtrace to `crash-<pid>.txt`
+ * in the working directory, then re-raise with the default
+ * disposition (so exit status / core dumps are unchanged). Also
+ * enables the global recorder. Idempotent.
+ */
+void installCrashHandlers();
+
+/** @return true once installCrashHandlers() has run (tests). */
+bool crashHandlersInstalled();
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_FLIGHT_RECORDER_HH

@@ -242,6 +242,35 @@ MetricRegistry::writeJson(JsonWriter &w) const
     w.endObject();
 }
 
+MetricSnapshot
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    MetricSnapshot snap;
+    for (const auto &[name, e] : names) {
+        switch (e.kind) {
+          case Kind::Counter:
+            snap.counters.emplace_back(name,
+                                       counters[e.index]->value());
+            break;
+          case Kind::Gauge:
+            snap.gauges.emplace_back(name, gauges[e.index]->value());
+            break;
+          case Kind::Histogram: {
+            const Histogram &h = *histograms[e.index];
+            MetricSnapshot::HistogramValues hv;
+            hv.name = name;
+            hv.count = h.count();
+            hv.sum = h.sum();
+            hv.buckets = h.buckets();
+            snap.histograms.push_back(std::move(hv));
+            break;
+          }
+        }
+    }
+    return snap;
+}
+
 std::string
 MetricRegistry::snapshotJson() const
 {

@@ -181,6 +181,30 @@ class Histogram
 };
 
 /**
+ * Plain-data copy of every metric's merged value, each kind in
+ * registration order. This is the one snapshot structure shared by
+ * the JSON snapshot, the Prometheus exposition renderer
+ * (support/prometheus.hh), and the metrics timeline — so every
+ * consumer reports the same merged values.
+ */
+struct MetricSnapshot
+{
+    /** One histogram's merged state. */
+    struct HistogramValues
+    {
+        std::string name;
+        long long count = 0;
+        long long sum = 0;
+        /** All Histogram::numBuckets buckets, untrimmed. */
+        std::vector<long long> buckets;
+    };
+
+    std::vector<std::pair<std::string, long long>> counters;
+    std::vector<std::pair<std::string, long long>> gauges;
+    std::vector<HistogramValues> histograms;
+};
+
+/**
  * Registry of named metrics. counter()/gauge()/histogram() return the
  * existing metric when the name is known and create it (in
  * registration order) otherwise; a name registers as exactly one
@@ -209,6 +233,13 @@ class MetricRegistry
 
     /** @return the writeJson() document as a string. */
     std::string snapshotJson() const;
+
+    /**
+     * Copy out every metric's merged value (safe concurrently with
+     * updates: values are relaxed-atomic sums, so a mid-run snapshot
+     * sees each metric at some recent monotone state).
+     */
+    MetricSnapshot snapshot() const;
 
     /**
      * The process-wide registry used by the instrumented layers and

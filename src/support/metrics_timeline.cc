@@ -1,0 +1,68 @@
+#include "support/metrics_timeline.hh"
+
+#include "support/diagnostics.hh"
+#include "support/metrics.hh"
+
+namespace balance
+{
+
+MetricsTimeline::MetricsTimeline(const MetricRegistry &reg,
+                                 std::string path, long long intervalMs)
+    : registry(reg), outPath(std::move(path)),
+      interval(intervalMs > 0 ? intervalMs : 1),
+      out(outPath, std::ios::trunc), epoch(std::chrono::steady_clock::now())
+{
+    bsAssert(out.good(), "cannot open metrics timeline file '", outPath,
+             "'");
+    worker = std::thread([this] {
+        std::unique_lock<std::mutex> lock(mutex);
+        while (!stopping) {
+            cv.wait_for(lock, std::chrono::milliseconds(interval),
+                        [this] { return stopping; });
+            if (stopping)
+                break;
+            writeSample();
+        }
+    });
+}
+
+MetricsTimeline::~MetricsTimeline() { stop(); }
+
+void
+MetricsTimeline::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stopped)
+            return;
+        stopped = true;
+        stopping = true;
+    }
+    cv.notify_all();
+    worker.join();
+    // Final sample after the worker quiesced: matches the at-exit
+    // snapshot exactly since only the owner updates the registry now.
+    std::lock_guard<std::mutex> lock(mutex);
+    writeSample();
+    out.flush();
+}
+
+long long
+MetricsTimeline::samplesWritten() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return samples;
+}
+
+void
+MetricsTimeline::writeSample()
+{
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - epoch)
+                       .count();
+    out << "{\"seq\":" << samples << ",\"elapsed_ms\":" << elapsed
+        << ",\"metrics\":" << registry.snapshotJson() << "}\n";
+    ++samples;
+}
+
+} // namespace balance

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Periodic MetricRegistry snapshots appended as a JSONL time-series
+ * (docs/OBSERVABILITY.md): one line per sample,
+ *
+ *   {"seq":N,"elapsed_ms":E,"metrics":{...snapshotJson()...}}
+ *
+ * driven by --metrics-interval on the bench binaries (sampling the
+ * global registry next to --metrics-out) and by `report_tool run
+ * --metrics-interval` (sampling captureRun's local registry into a
+ * manifest-bound metrics.timeline.jsonl). The sampler thread only
+ * ever *reads* the registry — the same snapshot path /metrics
+ * scrapes — so a timeline run's other artifacts are byte-identical
+ * to a run without it.
+ *
+ * Samples taken mid-run observe the registry's live (monotone,
+ * relaxed-atomic) values; the final sample, written by stop(), is
+ * taken after the owner has quiesced and therefore matches the
+ * at-exit snapshot exactly.
+ */
+
+#ifndef BALANCE_SUPPORT_METRICS_TIMELINE_HH
+#define BALANCE_SUPPORT_METRICS_TIMELINE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace balance
+{
+
+class MetricRegistry;
+
+/** The periodic sampler (see file comment). */
+class MetricsTimeline
+{
+  public:
+    /**
+     * Open @p path (truncating) and start sampling @p reg every
+     * @p intervalMs milliseconds. The registry must outlive this
+     * object. Panics when the file cannot be opened.
+     */
+    MetricsTimeline(const MetricRegistry &reg, std::string path,
+                    long long intervalMs);
+
+    /** stop()s if still running. */
+    ~MetricsTimeline();
+
+    MetricsTimeline(const MetricsTimeline &) = delete;
+    MetricsTimeline &operator=(const MetricsTimeline &) = delete;
+
+    /**
+     * Stop the sampler thread, write one final sample, and flush.
+     * Idempotent (the TelemetryFlusher and the destructor may both
+     * call it).
+     */
+    void stop();
+
+    /** @return samples written so far (tests). */
+    long long samplesWritten() const;
+
+  private:
+    void writeSample();
+
+    const MetricRegistry &registry;
+    std::string outPath;
+    long long interval;
+    std::ofstream out;
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    bool stopping = false;
+    bool stopped = false;
+    long long samples = 0;
+    std::chrono::steady_clock::time_point epoch;
+    std::thread worker;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_METRICS_TIMELINE_HH

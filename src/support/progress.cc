@@ -1,0 +1,139 @@
+#include "support/progress.hh"
+
+#include <bit>
+
+#include "support/json.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/** Bit-cast helpers so doubles travel through one atomic word. */
+std::uint64_t
+doubleBits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+double
+doubleFromBits(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+} // namespace
+
+PhaseProgress &
+ProgressTracker::phase(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto &p : phases) {
+        if (p->id == name)
+            return *p;
+    }
+    phases.push_back(std::unique_ptr<PhaseProgress>(
+        new PhaseProgress(std::string(name))));
+    return *phases.back();
+}
+
+void
+ProgressTracker::publishBnb(long long nodesExpanded,
+                            long long nodesDelta, long long rounds,
+                            double incumbent, double floor,
+                            bool searchDone)
+{
+    bnbNodes.store(nodesExpanded, std::memory_order_relaxed);
+    bnbNodesTotal.fetch_add(nodesDelta, std::memory_order_relaxed);
+    bnbRounds.store(rounds, std::memory_order_relaxed);
+    bnbIncumbentBits.store(doubleBits(incumbent),
+                           std::memory_order_relaxed);
+    bnbFloorBits.store(doubleBits(floor), std::memory_order_relaxed);
+    if (searchDone)
+        bnbSearches.fetch_add(1, std::memory_order_relaxed);
+}
+
+BnbProgress
+ProgressTracker::bnbProgress() const
+{
+    BnbProgress out;
+    out.searches = bnbSearches.load(std::memory_order_relaxed);
+    out.rounds = bnbRounds.load(std::memory_order_relaxed);
+    out.nodesExpanded = bnbNodes.load(std::memory_order_relaxed);
+    out.nodesTotal = bnbNodesTotal.load(std::memory_order_relaxed);
+    out.incumbent =
+        doubleFromBits(bnbIncumbentBits.load(std::memory_order_relaxed));
+    out.certifiedFloor =
+        doubleFromBits(bnbFloorBits.load(std::memory_order_relaxed));
+    return out;
+}
+
+void
+ProgressTracker::writeJson(JsonWriter &w) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    w.beginObject();
+    w.key("enabled").value(enabled());
+    w.key("phases").beginArray();
+    for (const auto &p : phases) {
+        w.beginObject()
+            .key("name").value(p->id)
+            .key("total").value(p->total())
+            .key("done").value(p->done())
+            .key("starts").value(p->starts())
+            .key("active").value(p->active())
+            .endObject();
+    }
+    w.endArray();
+    BnbProgress bnb = bnbProgress();
+    w.key("bnb").beginObject()
+        .key("searches").value(bnb.searches)
+        .key("rounds").value(bnb.rounds)
+        .key("nodes_expanded").value(bnb.nodesExpanded)
+        .key("nodes_total").value(bnb.nodesTotal)
+        .key("incumbent").value(bnb.incumbent)
+        .key("certified_floor").value(bnb.certifiedFloor);
+    double gap = (bnb.incumbent >= 0.0 && bnb.certifiedFloor >= 0.0)
+        ? bnb.incumbent - bnb.certifiedFloor
+        : -1.0;
+    w.key("certified_gap").value(gap);
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+ProgressTracker::snapshotJson() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+void
+ProgressTracker::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto &p : phases) {
+        p->totalItems.store(0, std::memory_order_relaxed);
+        p->doneItems.store(0, std::memory_order_relaxed);
+        p->generation.store(0, std::memory_order_relaxed);
+        p->running.store(false, std::memory_order_relaxed);
+    }
+    bnbSearches.store(0, std::memory_order_relaxed);
+    bnbRounds.store(0, std::memory_order_relaxed);
+    bnbNodes.store(0, std::memory_order_relaxed);
+    bnbNodesTotal.store(0, std::memory_order_relaxed);
+    bnbIncumbentBits.store(doubleBits(-1.0),
+                           std::memory_order_relaxed);
+    bnbFloorBits.store(doubleBits(-1.0), std::memory_order_relaxed);
+}
+
+ProgressTracker &
+ProgressTracker::global()
+{
+    static ProgressTracker *tracker = new ProgressTracker();
+    return *tracker;
+}
+
+} // namespace balance

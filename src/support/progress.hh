@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Live run-progress tracking for the diagnostics server's /progress
+ * endpoint (docs/OBSERVABILITY.md): per-phase completed/total
+ * superblock counts for the eval and capture sweeps, plus the most
+ * recent branch-and-bound round summary (nodes expanded, incumbent,
+ * certified floor), published between rounds only.
+ *
+ * Like every telemetry layer in this repo, progress observes and
+ * never steers: no algorithm reads a progress value back, so
+ * enabling the tracker leaves every schedule, bound, and artifact
+ * byte identical to a run with it off. The tracker is off by
+ * default; when off, every instrumented call site pays exactly one
+ * relaxed atomic load (the enabled() check) and nothing else — no
+ * registration, no allocation, no contended writes.
+ *
+ * Updates are plain relaxed atomics: scrapers see values that are
+ * individually consistent and monotone within a phase generation,
+ * but a snapshot taken mid-update may pair a phase's counter with a
+ * neighbour's slightly older one. That is the intended contract for
+ * a live view; the authoritative numbers remain the post-run
+ * artifacts.
+ */
+
+#ifndef BALANCE_SUPPORT_PROGRESS_HH
+#define BALANCE_SUPPORT_PROGRESS_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace balance
+{
+
+class JsonWriter;
+
+/**
+ * One named phase's live counters. Handles are stable for the
+ * tracker's lifetime (register once, update lock-free), mirroring
+ * the MetricRegistry handle contract.
+ */
+class PhaseProgress
+{
+  public:
+    /** Begin (or restart) the phase with @p total work items. */
+    void
+    start(long long total)
+    {
+        totalItems.store(total, std::memory_order_relaxed);
+        doneItems.store(0, std::memory_order_relaxed);
+        generation.fetch_add(1, std::memory_order_relaxed);
+        running.store(true, std::memory_order_relaxed);
+    }
+
+    /** Mark @p n items complete (any thread; relaxed). */
+    void
+    tick(long long n = 1)
+    {
+        doneItems.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Mark the phase finished (completed stays at its final value). */
+    void finish() { running.store(false, std::memory_order_relaxed); }
+
+    long long total() const
+    {
+        return totalItems.load(std::memory_order_relaxed);
+    }
+    long long done() const
+    {
+        return doneItems.load(std::memory_order_relaxed);
+    }
+    /** @return how many times this phase has started. */
+    long long starts() const
+    {
+        return generation.load(std::memory_order_relaxed);
+    }
+    bool active() const
+    {
+        return running.load(std::memory_order_relaxed);
+    }
+
+    /** @return the registered name. */
+    const std::string &name() const { return id; }
+
+  private:
+    friend class ProgressTracker;
+    explicit PhaseProgress(std::string name) : id(std::move(name)) {}
+
+    std::string id;
+    std::atomic<long long> totalItems{0};
+    std::atomic<long long> doneItems{0};
+    std::atomic<long long> generation{0};
+    std::atomic<bool> running{false};
+};
+
+/** Last-published branch-and-bound search summary (see snapshot()). */
+struct BnbProgress
+{
+    long long searches = 0;  //!< bnbSchedule calls that published
+    long long rounds = 0;    //!< rounds of the most recent publisher
+    long long nodesExpanded = 0; //!< nodes of the most recent publisher
+    long long nodesTotal = 0;    //!< cumulative nodes across searches
+    double incumbent = -1.0; //!< current incumbent WCT (-1 = none)
+    double certifiedFloor = -1.0; //!< proven lower bound (-1 = none)
+};
+
+/**
+ * The process-wide tracker behind /progress. Phase registration
+ * takes a mutex and may allocate; instrumented hot paths check
+ * enabled() first, so a disabled tracker costs one relaxed load per
+ * would-be update.
+ */
+class ProgressTracker
+{
+  public:
+    ProgressTracker() = default;
+    ProgressTracker(const ProgressTracker &) = delete;
+    ProgressTracker &operator=(const ProgressTracker &) = delete;
+
+    /** Start publishing (the debug server enables this on start). */
+    void enable() { on.store(true, std::memory_order_relaxed); }
+
+    /** Stop publishing; registered phases and values remain. */
+    void disable() { on.store(false, std::memory_order_relaxed); }
+
+    /** @return true when instrumentation should publish. */
+    bool
+    enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Register-or-get the phase named @p name. Call only after an
+     * enabled() check: registration is mutexed and allocating.
+     */
+    PhaseProgress &phase(std::string_view name);
+
+    /**
+     * Publish one branch-and-bound round summary. Written between
+     * rounds only (never mid-round), so every published tuple is a
+     * value the deterministic search actually held. Concurrent
+     * searches (the eval driver runs one certifier per superblock)
+     * interleave last-write; nodesTotal alone is cumulative.
+     *
+     * @param nodesExpanded Nodes expanded so far in this search.
+     * @param nodesDelta Nodes newly expanded since the last publish
+     *        (accumulated into nodesTotal).
+     * @param rounds Rounds completed so far in this search.
+     * @param incumbent Current incumbent WCT (< 0 = none yet).
+     * @param floor Best proven lower bound (< 0 = unknown).
+     * @param searchDone True when this search just finished.
+     */
+    void publishBnb(long long nodesExpanded, long long nodesDelta,
+                    long long rounds, double incumbent, double floor,
+                    bool searchDone);
+
+    /** @return the last-published B&B summary. */
+    BnbProgress bnbProgress() const;
+
+    /**
+     * Serialize the live view: {"phases":[{name,total,done,starts,
+     * active}...],"bnb":{...}} with phases in registration order.
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** @return writeJson() as a document string. */
+    std::string snapshotJson() const;
+
+    /** Reset all phases and the B&B summary (tests). */
+    void reset();
+
+    /** The process-wide tracker served by /progress. */
+    static ProgressTracker &global();
+
+  private:
+    std::atomic<bool> on{false};
+    mutable std::mutex mutex; //!< guards registration only
+    std::vector<std::unique_ptr<PhaseProgress>> phases;
+
+    std::atomic<long long> bnbSearches{0};
+    std::atomic<long long> bnbRounds{0};
+    std::atomic<long long> bnbNodes{0};
+    std::atomic<long long> bnbNodesTotal{0};
+    std::atomic<std::uint64_t> bnbIncumbentBits{
+        std::bit_cast<std::uint64_t>(-1.0)};
+    std::atomic<std::uint64_t> bnbFloorBits{
+        std::bit_cast<std::uint64_t>(-1.0)};
+};
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_PROGRESS_HH

@@ -1,0 +1,109 @@
+#include "support/prometheus.hh"
+
+namespace balance
+{
+
+std::string
+promMetricName(std::string_view name)
+{
+    std::string out = "balance_";
+    out.reserve(out.size() + name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+std::string
+promEscapeHelp(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+promEscapeLabel(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+renderPrometheusText(const MetricSnapshot &snap)
+{
+    std::string out;
+
+    auto scalar = [&out](const std::string &dotted, long long value,
+                         const char *type, const char *kindWord) {
+        std::string name = promMetricName(dotted);
+        out += "# HELP " + name + " " + kindWord + " " +
+               promEscapeHelp(dotted) + "\n";
+        out += "# TYPE " + name + " " + type + "\n";
+        out += name + " " + std::to_string(value) + "\n";
+    };
+
+    for (const auto &[dotted, value] : snap.counters)
+        scalar(dotted, value, "counter", "Counter");
+    for (const auto &[dotted, value] : snap.gauges)
+        scalar(dotted, value, "gauge", "Gauge");
+
+    for (const MetricSnapshot::HistogramValues &h : snap.histograms) {
+        std::string name = promMetricName(h.name);
+        out += "# HELP " + name + " Histogram " +
+               promEscapeHelp(h.name) + "\n";
+        out += "# TYPE " + name + " histogram\n";
+        // Cumulative buckets over the power-of-two boundaries. The
+        // +Inf bucket and _count both come from this one bucket-copy
+        // total, so the series is monotone and self-consistent even
+        // when the underlying shards are being updated concurrently.
+        long long cumulative = 0;
+        int lastNonZero = -1;
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (h.buckets[b] != 0)
+                lastNonZero = int(b);
+        }
+        for (int b = 0; b <= lastNonZero; ++b) {
+            cumulative += h.buckets[std::size_t(b)];
+            out += name + "_bucket{le=\"" +
+                   std::to_string(Histogram::bucketUpperBound(b)) +
+                   "\"} " + std::to_string(cumulative) + "\n";
+        }
+        for (int b = lastNonZero + 1; b < int(h.buckets.size()); ++b)
+            cumulative += h.buckets[std::size_t(b)];
+        out += name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+        out += name + "_sum " + std::to_string(h.sum) + "\n";
+        out += name + "_count " + std::to_string(cumulative) + "\n";
+    }
+    return out;
+}
+
+std::string
+renderPrometheusText(const MetricRegistry &reg)
+{
+    return renderPrometheusText(reg.snapshot());
+}
+
+} // namespace balance

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Prometheus text exposition rendering for the /metrics endpoint of
+ * the diagnostics server (docs/OBSERVABILITY.md). Renders a
+ * MetricSnapshot as exposition format version 0.0.4:
+ *
+ *  - counters  -> `# TYPE <name> counter` + one sample;
+ *  - gauges    -> `# TYPE <name> gauge` + one sample;
+ *  - histograms -> cumulative `<name>_bucket{le="..."}` lines over
+ *    the registry's power-of-two buckets (le = each bucket's
+ *    inclusive upper bound), a `le="+Inf"` line, then `_sum` and
+ *    `_count`.
+ *
+ * Metric names are the registry's dotted names with every character
+ * outside [a-zA-Z0-9_:] mapped to '_' and a "balance_" prefix (dots
+ * are namespace separators here, underscores there); the original
+ * dotted name is preserved in the `# HELP` line, escaped per the
+ * exposition rules.
+ *
+ * Internal consistency under concurrent updates: `_count` and the
+ * `+Inf` bucket are both derived from the same bucket-count copy,
+ * so every rendered histogram is monotone and self-consistent even
+ * when scraped mid-run (a fresh observation may land between the
+ * bucket read and the sum read; the next scrape catches up).
+ */
+
+#ifndef BALANCE_SUPPORT_PROMETHEUS_HH
+#define BALANCE_SUPPORT_PROMETHEUS_HH
+
+#include <string>
+#include <string_view>
+
+#include "support/metrics.hh"
+
+namespace balance
+{
+
+/**
+ * @return @p name mapped to a valid Prometheus metric name:
+ *         "balance_" + name with every character outside
+ *         [a-zA-Z0-9_:] replaced by '_'.
+ */
+std::string promMetricName(std::string_view name);
+
+/**
+ * Escape @p text for a `# HELP` line: backslash -> `\\`, newline ->
+ * `\n` (exposition format rules).
+ */
+std::string promEscapeHelp(std::string_view text);
+
+/**
+ * Escape @p text for a label value: backslash -> `\\`, double quote
+ * -> `\"`, newline -> `\n`.
+ */
+std::string promEscapeLabel(std::string_view text);
+
+/** Render @p snap as exposition text (see file comment). */
+std::string renderPrometheusText(const MetricSnapshot &snap);
+
+/** Convenience: snapshot @p reg and render it. */
+std::string renderPrometheusText(const MetricRegistry &reg);
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_PROMETHEUS_HH

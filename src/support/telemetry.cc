@@ -1,12 +1,18 @@
 #include "support/telemetry.hh"
 
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <mutex>
+#include <thread>
 
+#include "support/debug_server.hh"
 #include "support/diagnostics.hh"
+#include "support/flight_recorder.hh"
 #include "support/json.hh"
 #include "support/metrics.hh"
+#include "support/metrics_timeline.hh"
 #include "support/perf_counters.hh"
 #include "support/trace.hh"
 
@@ -24,7 +30,12 @@ struct TelemetryState
     std::string metricsPath;
     std::string tracePath;
     std::string hwCountersPath;
+    std::string serverAddress;
+    long long intervalMs = 0;
+    std::mutex decisionMutex;
     std::unique_ptr<std::ofstream> decisionStream;
+    std::unique_ptr<DebugServer> server;
+    std::unique_ptr<MetricsTimeline> timeline;
 };
 
 TelemetryState &
@@ -41,10 +52,103 @@ wantsJson(const std::string &path)
     return path.ends_with(".json") || path.ends_with(".jsonl");
 }
 
+/** @return the timeline path derived from the --metrics-out path. */
+std::string
+timelinePathFor(const std::string &metricsPath)
+{
+    if (metricsPath.empty())
+        return "metrics.timeline.jsonl";
+    std::string base = metricsPath;
+    if (base.ends_with(".json"))
+        base.resize(base.size() - 5);
+    return base + ".timeline.jsonl";
+}
+
 void
 atExitFlush()
 {
+    TelemetryFlusher::flushAll();
+}
+
+/**
+ * Match "--name value" / "--name=value".
+ * @return true on match, with @p value filled.
+ */
+bool
+matchFlag(std::string_view arg, std::string_view flag,
+          const std::function<std::string()> &next, std::string &value)
+{
+    if (arg == flag) {
+        value = next();
+        return true;
+    }
+    if (arg.size() > flag.size() + 1 &&
+        arg.substr(0, flag.size()) == flag && arg[flag.size()] == '=') {
+        value = std::string(arg.substr(flag.size() + 1));
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Block SIGINT/SIGTERM in the calling thread (all future threads
+ * inherit the mask) and hand them to a watcher thread that flushes
+ * telemetry and exits. A dedicated sigwait thread — not a signal
+ * handler — because the flush path (ofstream, malloc, mutexes) is
+ * nowhere near async-signal-safe.
+ */
+void
+installSignalFlush()
+{
+    static std::atomic<bool> installed{false};
+    if (installed.exchange(true))
+        return;
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    // A background job of a non-interactive shell ("bench &" in a
+    // script) inherits SIGINT as SIG_IGN, and an ignored signal is
+    // discarded at generation even while blocked — sigwait would
+    // never see it. Restore the default disposition: the signal
+    // then stays pending (every thread blocks it) until the watcher
+    // dequeues it.
+    struct sigaction dfl = {};
+    dfl.sa_handler = SIG_DFL;
+    ::sigaction(SIGINT, &dfl, nullptr);
+    ::sigaction(SIGTERM, &dfl, nullptr);
+    std::thread([set] {
+        int sig = 0;
+        if (sigwait(&set, &sig) != 0)
+            return;
+        warn(std::string("caught ") +
+             (sig == SIGINT ? "SIGINT" : "SIGTERM") +
+             "; flushing telemetry");
+        TelemetryFlusher::flushAll();
+        // atexit handlers must not run again (flushAll is idempotent
+        // but other libraries' handlers are not shutdown-safe while
+        // worker threads still run), so exit without them.
+        std::_Exit(128 + sig);
+    }).detach();
+}
+
+} // namespace
+
+void
+TelemetryFlusher::flushAll()
+{
+    static std::atomic<bool> flushed{false};
+    if (flushed.exchange(true))
+        return;
+
     TelemetryState &s = state();
+    // Order: stop the samplers/server first so the files below see
+    // the final state and nothing scrapes half-written artifacts.
+    if (s.timeline)
+        s.timeline->stop();
+    if (s.server)
+        s.server->stop();
     if (!s.metricsPath.empty()) {
         std::string doc = MetricRegistry::global().snapshotJson();
         bsAssert(jsonLooksValid(doc),
@@ -78,41 +182,44 @@ atExitFlush()
             out << doc << "\n";
         }
     }
-    if (s.decisionStream)
-        s.decisionStream->flush();
+    {
+        std::lock_guard<std::mutex> lock(s.decisionMutex);
+        if (s.decisionStream)
+            s.decisionStream->flush();
+    }
 }
 
-/**
- * Match "--name value" / "--name=value".
- * @return true on match, with @p value filled.
- */
-bool
-matchFlag(std::string_view arg, std::string_view flag,
-          const std::function<std::string()> &next, std::string &value)
+const std::string &
+debugServerAddress()
 {
-    if (arg == flag) {
-        value = next();
-        return true;
-    }
-    if (arg.size() > flag.size() + 1 &&
-        arg.substr(0, flag.size()) == flag && arg[flag.size()] == '=') {
-        value = std::string(arg.substr(flag.size() + 1));
-        return true;
-    }
-    return false;
+    return state().serverAddress;
 }
 
-} // namespace
+long long
+metricsIntervalMs()
+{
+    return state().intervalMs;
+}
 
 bool
 parseTelemetryFlag(std::string_view arg,
                    const std::function<std::string()> &next,
                    TelemetryOptions &out)
 {
+    std::string interval;
+    if (matchFlag(arg, "--metrics-interval", next, interval)) {
+        out.metricsIntervalMs = std::atoll(interval.c_str());
+        if (out.metricsIntervalMs <= 0)
+            bsFatal("--metrics-interval wants a positive millisecond "
+                    "count, got '",
+                    interval, "'");
+        return true;
+    }
     return matchFlag(arg, "--metrics-out", next, out.metricsOut) ||
            matchFlag(arg, "--trace-out", next, out.traceOut) ||
            matchFlag(arg, "--decision-log", next, out.decisionLogOut) ||
-           matchFlag(arg, "--hw-counters", next, out.hwCountersOut);
+           matchFlag(arg, "--hw-counters", next, out.hwCountersOut) ||
+           matchFlag(arg, "--debug-server", next, out.debugServer);
 }
 
 const char *
@@ -129,20 +236,40 @@ telemetryUsage()
            "                 IPC, branch/cache misses) to engine\n"
            "                 phases; falls back to CPU-time-only when\n"
            "                 perf_event is denied (BALANCE_PERF=\n"
-           "                 fallback forces that tier)\n";
+           "                 fallback forces that tier)\n"
+           "  --debug-server <port>  serve live diagnostics over HTTP\n"
+           "                 on 127.0.0.1 (/metrics /progress /trace\n"
+           "                 /hwcounters /healthz); port 0 picks an\n"
+           "                 ephemeral port, printed on stdout\n"
+           "  --metrics-interval <ms>  sample the metric registry\n"
+           "                 every <ms> ms into a JSONL time-series\n"
+           "                 next to --metrics-out\n";
 }
 
 void
 initTelemetry(const TelemetryOptions &opts)
 {
+    // Crash forensics are unconditional: the flight-recorder signal
+    // handlers cost nothing until a fatal signal fires, and a crash
+    // report is exactly as valuable on an un-instrumented run.
+    installCrashHandlers();
+
     TelemetryState &s = state();
     if (opts.metricsOut.empty() && opts.traceOut.empty() &&
-        opts.decisionLogOut.empty() && opts.hwCountersOut.empty())
+        opts.decisionLogOut.empty() && opts.hwCountersOut.empty() &&
+        opts.debugServer.empty() && opts.metricsIntervalMs <= 0)
         return;
+
+    // Before any telemetry thread exists: the server / timeline
+    // threads below must inherit the blocked mask, or a
+    // process-directed SIGINT/SIGTERM could be delivered to one of
+    // them (default action, no flush) instead of the watcher.
+    installSignalFlush();
 
     s.metricsPath = opts.metricsOut;
     s.tracePath = opts.traceOut;
     s.hwCountersPath = opts.hwCountersOut;
+    s.intervalMs = opts.metricsIntervalMs;
     if (!opts.hwCountersOut.empty())
         PerfProfiler::global().enable();
     if (!opts.metricsOut.empty()) {
@@ -163,6 +290,23 @@ initTelemetry(const TelemetryOptions &opts)
         if (!s.decisionStream->good())
             bsFatal("cannot open decision log '", opts.decisionLogOut,
                     "'");
+    }
+    if (!opts.debugServer.empty()) {
+        DebugServerOptions serverOpts;
+        serverOpts.port = std::atoi(opts.debugServer.c_str());
+        if (serverOpts.port < 0 || serverOpts.port > 65535)
+            bsFatal("--debug-server wants a port in [0, 65535], got '",
+                    opts.debugServer, "'");
+        s.server = std::make_unique<DebugServer>();
+        if (s.server->start(serverOpts))
+            s.serverAddress = s.server->address();
+        else
+            s.server.reset();
+    }
+    if (opts.metricsIntervalMs > 0) {
+        s.timeline = std::make_unique<MetricsTimeline>(
+            MetricRegistry::global(), timelinePathFor(opts.metricsOut),
+            opts.metricsIntervalMs);
     }
     std::atexit(atExitFlush);
 }
@@ -202,6 +346,7 @@ void
 appendDecisionLog(const std::string &text)
 {
     TelemetryState &s = state();
+    std::lock_guard<std::mutex> lock(s.decisionMutex);
     if (s.decisionStream)
         *s.decisionStream << text;
 }

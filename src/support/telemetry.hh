@@ -31,12 +31,21 @@ struct TelemetryOptions
     std::string traceOut;      //!< Chrome trace JSON path
     std::string decisionLogOut; //!< Balance decision log path
     std::string hwCountersOut; //!< per-phase hw-counter JSON path
+    /**
+     * --debug-server argument: a port number as text ("0" = pick an
+     * ephemeral port); empty = no diagnostics server. Kept as a
+     * string so "off" and "port 0" stay distinguishable.
+     */
+    std::string debugServer;
+    /** --metrics-interval in milliseconds; 0 = no timeline. */
+    long long metricsIntervalMs = 0;
 };
 
 /**
  * Try to consume one telemetry argument. Accepts both "--flag value"
  * and "--flag=value" spellings of --metrics-out, --trace-out,
- * --decision-log, and --hw-counters.
+ * --decision-log, --hw-counters, --debug-server, and
+ * --metrics-interval.
  *
  * @param arg The current argv token.
  * @param next Callback producing the following token (only invoked
@@ -53,11 +62,47 @@ const char *telemetryUsage();
 
 /**
  * Activate the requested sinks: enables tracing and metrics
- * collection, opens the decision log, and registers a process-exit
- * hook that writes the metrics snapshot and the trace file. Call at
- * most once, after argument parsing and before any evaluation.
+ * collection, opens the decision log, starts the diagnostics server
+ * and the metrics timeline when asked, and registers
+ * TelemetryFlusher::flushAll with both process exit and a
+ * SIGINT/SIGTERM watcher so every sink is written no matter how the
+ * run ends. Also installs the crash-safe flight-recorder signal
+ * handlers (support/flight_recorder.hh) unconditionally — crash
+ * forensics should not depend on telemetry flags. Call at most once,
+ * after argument parsing and before any evaluation (the signal mask
+ * for the SIGINT watcher must be set before worker threads exist).
  */
 void initTelemetry(const TelemetryOptions &opts);
+
+/**
+ * The single owner of "write out every pending telemetry sink":
+ * stops the metrics timeline (final sample), stops the diagnostics
+ * server, writes the metrics snapshot / trace / hw-counter files,
+ * and flushes the decision log. Normal exit (std::atexit), the
+ * SIGINT/SIGTERM watcher, and tests all route through flushAll(),
+ * which runs the sequence exactly once — later calls are no-ops.
+ */
+class TelemetryFlusher
+{
+  public:
+    /** Flush every pending sink; idempotent and thread-safe. */
+    static void flushAll();
+};
+
+/**
+ * @return "http://<addr>:<port>" of the running diagnostics server,
+ *         or an empty string when --debug-server was not given (or
+ *         startup failed). Recorded into the run manifest by
+ *         captureRun.
+ */
+const std::string &debugServerAddress();
+
+/**
+ * @return the metrics-timeline interval in ms requested via
+ *         --metrics-interval (0 = none). captureRun uses this to
+ *         sample its local registry into the run directory.
+ */
+long long metricsIntervalMs();
 
 /**
  * @return true when per-superblock metrics should be collected (set

@@ -1,0 +1,201 @@
+/**
+ * The diagnostics HTTP server (support/debug_server.hh): ephemeral
+ * port binding, every endpoint's status and content type, unknown
+ * paths, the HTTP framing itself (a raw-socket client, no libcurl),
+ * and idempotent stop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "support/debug_server.hh"
+#include "support/json.hh"
+#include "support/metrics.hh"
+#include "support/progress.hh"
+
+namespace balance
+{
+namespace
+{
+
+/** One blocking HTTP/1.1 GET against 127.0.0.1:@p port. */
+std::string
+httpGet(int port, const std::string &path)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return "";
+    }
+    std::string req = "GET " + path + " HTTP/1.1\r\n"
+                      "Host: 127.0.0.1\r\n"
+                      "Connection: close\r\n\r\n";
+    ::send(fd, req.data(), req.size(), 0);
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        resp.append(buf, std::size_t(n));
+    ::close(fd);
+    return resp;
+}
+
+/** @return the response body (after the blank line). */
+std::string
+bodyOf(const std::string &resp)
+{
+    std::size_t pos = resp.find("\r\n\r\n");
+    return pos == std::string::npos ? "" : resp.substr(pos + 4);
+}
+
+TEST(DebugServer, BindsEphemeralPortAndServesHealth)
+{
+    DebugServer server;
+    DebugServerOptions opts;
+    opts.port = 0;
+    ASSERT_TRUE(server.start(opts));
+    EXPECT_TRUE(server.active());
+    EXPECT_GT(server.port(), 0);
+    EXPECT_EQ(server.address(), "http://127.0.0.1:" +
+                                    std::to_string(server.port()));
+
+    std::string resp = httpGet(server.port(), "/healthz");
+    EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+    EXPECT_NE(resp.find("Content-Length: 3"), std::string::npos);
+    EXPECT_EQ(bodyOf(resp), "ok\n");
+    server.stop();
+    EXPECT_FALSE(server.active());
+}
+
+TEST(DebugServer, MetricsEndpointSpeaksExpositionFormat)
+{
+    MetricRegistry::global().counter("debug_server_test.hits").add(5);
+    DebugServer server;
+    DebugServerOptions opts;
+    ASSERT_TRUE(server.start(opts));
+    std::string resp = httpGet(server.port(), "/metrics");
+    server.stop();
+
+    EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(resp.find(
+                  "Content-Type: text/plain; version=0.0.4; "
+                  "charset=utf-8"),
+              std::string::npos)
+        << resp;
+    std::string body = bodyOf(resp);
+    EXPECT_NE(body.find("# TYPE balance_debug_server_test_hits "
+                        "counter"),
+              std::string::npos)
+        << body;
+    EXPECT_NE(body.find("balance_debug_server_test_hits 5"),
+              std::string::npos);
+}
+
+TEST(DebugServer, ProgressEndpointServesTrackerJson)
+{
+    DebugServer server;
+    DebugServerOptions opts;
+    ASSERT_TRUE(server.start(opts));
+    // start() must have enabled the global tracker.
+    EXPECT_TRUE(ProgressTracker::global().enabled());
+    ProgressTracker::global().phase("debug-server-test").start(3);
+
+    std::string resp = httpGet(server.port(), "/progress");
+    server.stop();
+    EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(resp.find("Content-Type: application/json"),
+              std::string::npos);
+    std::string body = bodyOf(resp);
+    EXPECT_TRUE(jsonLooksValid(body)) << body;
+    EXPECT_NE(body.find("\"debug-server-test\""), std::string::npos);
+}
+
+TEST(DebugServer, TraceAndHwCountersAreValidJson)
+{
+    DebugServer server;
+    DebugServerOptions opts;
+    ASSERT_TRUE(server.start(opts));
+    for (const char *path : {"/trace", "/hwcounters"}) {
+        std::string resp = httpGet(server.port(), path);
+        EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos)
+            << path;
+        EXPECT_TRUE(jsonLooksValid(bodyOf(resp)))
+            << path << ": " << bodyOf(resp);
+    }
+    server.stop();
+}
+
+TEST(DebugServer, UnknownPathIs404AndBadMethodIs405)
+{
+    DebugServer server;
+    DebugServerOptions opts;
+    ASSERT_TRUE(server.start(opts));
+    EXPECT_NE(httpGet(server.port(), "/nope").find("HTTP/1.1 404"),
+              std::string::npos);
+
+    // Raw POST through the same socket path.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char *req = "POST /metrics HTTP/1.1\r\n\r\n";
+    ::send(fd, req, std::strlen(req), 0);
+    std::string resp;
+    char buf[1024];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        resp.append(buf, std::size_t(n));
+    ::close(fd);
+    EXPECT_NE(resp.find("HTTP/1.1 405"), std::string::npos) << resp;
+    server.stop();
+}
+
+TEST(DebugServer, StopIsIdempotentAndRestartable)
+{
+    DebugServer server;
+    DebugServerOptions opts;
+    ASSERT_TRUE(server.start(opts));
+    int firstPort = server.port();
+    server.stop();
+    server.stop(); // no-op
+
+    ASSERT_TRUE(server.start(opts));
+    EXPECT_GT(server.port(), 0);
+    EXPECT_NE(server.port(), 0);
+    server.stop();
+    (void)firstPort;
+}
+
+TEST(DebugServer, HandlePathDispatch)
+{
+    int status = 0;
+    std::string type;
+    EXPECT_EQ(DebugServer::handlePath("/healthz", status, type),
+              "ok\n");
+    EXPECT_EQ(status, 200);
+    DebugServer::handlePath("/metrics", status, type);
+    EXPECT_EQ(type, "text/plain; version=0.0.4; charset=utf-8");
+    DebugServer::handlePath("/definitely-not-a-route", status, type);
+    EXPECT_EQ(status, 404);
+}
+
+} // namespace
+} // namespace balance

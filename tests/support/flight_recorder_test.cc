@@ -1,0 +1,204 @@
+/**
+ * The flight recorder (support/flight_recorder.hh): event recording,
+ * ring wrap-around, the async-signal-safe dump format, FlightScope
+ * phase nesting, and the crash path itself — a forked child dies on
+ * SIGSEGV and must leave a crash-<pid>.txt naming the active phase
+ * and the newest events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "support/flight_recorder.hh"
+
+namespace balance
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(FlightRecorder, DisabledRecordsNothing)
+{
+    FlightRecorder rec;
+    rec.record(FlightEventType::Mark, "ignored", 1, 2);
+    EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(FlightRecorder, RecordsEventsInOrder)
+{
+    FlightRecorder rec;
+    rec.enable();
+    rec.record(FlightEventType::Mark, "first", 1);
+    rec.record(FlightEventType::Superblock, "second", 10, 3);
+    auto events = rec.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_STREQ(events[0].label, "first");
+    EXPECT_EQ(events[0].a, 1);
+    EXPECT_EQ(events[1].type, FlightEventType::Superblock);
+    EXPECT_EQ(events[1].a, 10);
+    EXPECT_EQ(events[1].b, 3);
+    EXPECT_LE(events[0].tsUs, events[1].tsUs);
+}
+
+TEST(FlightRecorder, RingWrapsKeepingNewest)
+{
+    FlightRecorder rec;
+    rec.enable();
+    const int total = FlightRecorder::ringCapacity + 50;
+    for (int i = 0; i < total; ++i)
+        rec.record(FlightEventType::Mark, "wrap", i);
+    auto events = rec.snapshot();
+    ASSERT_EQ(events.size(),
+              std::size_t(FlightRecorder::ringCapacity));
+    // Oldest surviving event is number total - capacity; newest is
+    // total - 1; ordering within the slot is oldest to newest.
+    EXPECT_EQ(events.front().a, total - FlightRecorder::ringCapacity);
+    EXPECT_EQ(events.back().a, total - 1);
+}
+
+TEST(FlightRecorder, ThreadsGetDistinctSlots)
+{
+    FlightRecorder rec;
+    rec.enable();
+    rec.record(FlightEventType::Mark, "main", 0);
+    std::thread other([&rec] {
+        rec.record(FlightEventType::Mark, "worker", 1);
+        rec.setThreadPhase("worker-phase");
+    });
+    other.join();
+    auto events = rec.snapshot();
+    EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(FlightRecorder, DumpFormat)
+{
+    FlightRecorder rec;
+    rec.enable();
+    rec.setThreadPhase("bnb:search");
+    rec.record(FlightEventType::BnbRound, "bnb", 123, 4);
+
+    std::string path =
+        "/tmp/balance_flight_dump." + std::to_string(getpid());
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    rec.dumpTo(fd);
+    ::close(fd);
+
+    std::string dump = slurp(path);
+    std::remove(path.c_str());
+    for (const char *needle :
+         {"flight recorder", "active phase: bnb:search", "events: 1",
+          "bnb_round", "a=123", "b=4"})
+        EXPECT_NE(dump.find(needle), std::string::npos)
+            << needle << " missing from:\n" << dump;
+}
+
+TEST(FlightRecorder, FlightScopeNestsAndRestores)
+{
+    FlightRecorder &rec = FlightRecorder::global();
+    bool wasEnabled = rec.enabled();
+    rec.enable();
+    rec.clear();
+    rec.setThreadPhase(nullptr);
+    {
+        FlightScope outer("outer", 1);
+        EXPECT_STREQ(rec.threadPhase(), "outer");
+        {
+            FlightScope inner("inner", 2);
+            EXPECT_STREQ(rec.threadPhase(), "inner");
+        }
+        EXPECT_STREQ(rec.threadPhase(), "outer");
+    }
+    EXPECT_EQ(rec.threadPhase(), nullptr);
+
+    // enter/leave pairs, stack order.
+    auto events = rec.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].type, FlightEventType::PhaseEnter);
+    EXPECT_STREQ(events[0].label, "outer");
+    EXPECT_EQ(events[1].type, FlightEventType::PhaseEnter);
+    EXPECT_STREQ(events[1].label, "inner");
+    EXPECT_EQ(events[2].type, FlightEventType::PhaseLeave);
+    EXPECT_STREQ(events[2].label, "inner");
+    EXPECT_EQ(events[3].type, FlightEventType::PhaseLeave);
+    EXPECT_STREQ(events[3].label, "outer");
+
+    rec.clear();
+    if (!wasEnabled)
+        rec.disable();
+}
+
+TEST(FlightRecorder, CrashDumpNamesActivePhaseAndEvents)
+{
+    std::string dir =
+        "/tmp/balance_crash_test." + std::to_string(getpid());
+    ASSERT_EQ(mkdir(dir.c_str(), 0777), 0) << strerror(errno);
+
+    pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Child: crash-<pid>.txt lands in the cwd.
+        if (chdir(dir.c_str()) != 0)
+            _exit(10);
+        installCrashHandlers();
+        FlightRecorder &rec = FlightRecorder::global();
+        rec.setThreadPhase("bnb:round");
+        rec.record(FlightEventType::BnbRound, "bnb", 777, 3);
+        ::raise(SIGSEGV);
+        _exit(11); // unreachable: SA_RESETHAND re-raise kills us
+    }
+
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child must die by signal, status=" << status;
+    EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+    std::string path =
+        dir + "/crash-" + std::to_string(child) + ".txt";
+    std::string report = slurp(path);
+    ASSERT_FALSE(report.empty()) << "no crash report at " << path;
+    for (const char *needle :
+         {"fatal signal", "SIGSEGV", "active phase: bnb:round",
+          "bnb_round", "a=777"})
+        EXPECT_NE(report.find(needle), std::string::npos)
+            << needle << " missing from:\n" << report;
+
+    std::remove(path.c_str());
+    rmdir(dir.c_str());
+}
+
+TEST(FlightRecorder, InstallIsIdempotent)
+{
+    installCrashHandlers();
+    EXPECT_TRUE(crashHandlersInstalled());
+    installCrashHandlers(); // second call is a no-op
+    EXPECT_TRUE(crashHandlersInstalled());
+    EXPECT_TRUE(FlightRecorder::global().enabled())
+        << "installing the handlers turns the recorder on";
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,131 @@
+/**
+ * ProgressTracker (support/progress.hh): phase lifecycle, the B&B
+ * publication contract, snapshot JSON validity, and the disabled
+ * default (instrumentation sees enabled() == false until something —
+ * normally the debug server — turns the tracker on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/json.hh"
+#include "support/progress.hh"
+
+namespace balance
+{
+namespace
+{
+
+TEST(Progress, PhaseLifecycle)
+{
+    ProgressTracker tracker;
+    tracker.enable();
+    PhaseProgress &eval = tracker.phase("eval");
+    EXPECT_EQ(eval.total(), 0);
+    EXPECT_FALSE(eval.active());
+
+    eval.start(10);
+    EXPECT_TRUE(eval.active());
+    EXPECT_EQ(eval.total(), 10);
+    EXPECT_EQ(eval.done(), 0);
+    EXPECT_EQ(eval.starts(), 1);
+
+    eval.tick();
+    eval.tick(3);
+    EXPECT_EQ(eval.done(), 4);
+    eval.finish();
+    EXPECT_FALSE(eval.active());
+    EXPECT_EQ(eval.done(), 4) << "completed count survives finish()";
+
+    // Re-registration returns the same handle; restart bumps the
+    // generation and zeroes the completed count.
+    PhaseProgress &again = tracker.phase("eval");
+    EXPECT_EQ(&again, &eval);
+    again.start(5);
+    EXPECT_EQ(again.starts(), 2);
+    EXPECT_EQ(again.done(), 0);
+}
+
+TEST(Progress, TicksFromManyThreadsSum)
+{
+    ProgressTracker tracker;
+    tracker.enable();
+    PhaseProgress &phase = tracker.phase("capture:gp4");
+    phase.start(800);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&phase] {
+            for (int i = 0; i < 100; ++i)
+                phase.tick();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(phase.done(), 800);
+}
+
+TEST(Progress, BnbPublication)
+{
+    ProgressTracker tracker;
+    BnbProgress none = tracker.bnbProgress();
+    EXPECT_EQ(none.searches, 0);
+    EXPECT_LT(none.incumbent, 0.0) << "no incumbent yet";
+    EXPECT_LT(none.certifiedFloor, 0.0);
+
+    tracker.enable();
+    tracker.publishBnb(100, 100, 2, 12.5, 10.0, false);
+    BnbProgress mid = tracker.bnbProgress();
+    EXPECT_EQ(mid.searches, 0) << "searches count completions only";
+    EXPECT_EQ(mid.rounds, 2);
+    EXPECT_EQ(mid.nodesExpanded, 100);
+    EXPECT_EQ(mid.nodesTotal, 100);
+    EXPECT_DOUBLE_EQ(mid.incumbent, 12.5);
+    EXPECT_DOUBLE_EQ(mid.certifiedFloor, 10.0);
+
+    tracker.publishBnb(250, 150, 3, 11.0, 11.0, true);
+    BnbProgress done = tracker.bnbProgress();
+    EXPECT_EQ(done.searches, 1);
+    EXPECT_EQ(done.nodesExpanded, 250);
+    EXPECT_EQ(done.nodesTotal, 250) << "deltas accumulate";
+    EXPECT_DOUBLE_EQ(done.incumbent, 11.0);
+}
+
+TEST(Progress, SnapshotJsonShape)
+{
+    ProgressTracker tracker;
+    tracker.enable();
+    PhaseProgress &eval = tracker.phase("eval");
+    eval.start(7);
+    eval.tick(2);
+    tracker.publishBnb(42, 42, 1, 9.0, 8.5, true);
+
+    std::string doc = tracker.snapshotJson();
+    EXPECT_TRUE(jsonLooksValid(doc)) << doc;
+    for (const char *needle :
+         {"\"enabled\":true", "\"phases\":", "\"name\":\"eval\"",
+          "\"total\":7", "\"done\":2", "\"bnb\":",
+          "\"nodes_expanded\":42", "\"certified_gap\":"})
+        EXPECT_NE(doc.find(needle), std::string::npos)
+            << needle << " missing from " << doc;
+}
+
+TEST(Progress, DisabledByDefaultAndResettable)
+{
+    ProgressTracker tracker;
+    EXPECT_FALSE(tracker.enabled())
+        << "instrumentation must see 'off' until a server enables it";
+    tracker.enable();
+    EXPECT_TRUE(tracker.enabled());
+    tracker.phase("eval").start(3);
+    tracker.publishBnb(5, 5, 1, 1.0, 1.0, true);
+    tracker.reset();
+    EXPECT_EQ(tracker.phase("eval").total(), 0);
+    EXPECT_EQ(tracker.bnbProgress().nodesTotal, 0);
+    tracker.disable();
+    EXPECT_FALSE(tracker.enabled());
+}
+
+} // namespace
+} // namespace balance

@@ -1,0 +1,167 @@
+/**
+ * Prometheus text exposition rendering (support/prometheus.hh): name
+ * mapping, HELP/label escaping, cumulative-bucket monotonicity, and
+ * the exact at-rest round-trip — `_count`/`_sum` in the exposition
+ * equal the registry snapshot's merged values to the digit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/metrics.hh"
+#include "support/prometheus.hh"
+
+namespace balance
+{
+namespace
+{
+
+/** Split @p text into lines, dropping the trailing empty one. */
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+/** @return the value of the sample line starting with "@p name ". */
+long long
+sampleValue(const std::string &text, const std::string &name)
+{
+    for (const std::string &line : lines(text)) {
+        if (line.rfind(name + " ", 0) == 0)
+            return std::stoll(line.substr(name.size() + 1));
+    }
+    ADD_FAILURE() << "no sample line for " << name;
+    return -1;
+}
+
+TEST(Prometheus, MetricNameMapping)
+{
+    EXPECT_EQ(promMetricName("bnb.nodes_expanded"),
+              "balance_bnb_nodes_expanded");
+    EXPECT_EQ(promMetricName("sched.best.grid_runs"),
+              "balance_sched_best_grid_runs");
+    // Colons are legal in exposition names and survive; anything
+    // else outside [a-zA-Z0-9_] does not.
+    EXPECT_EQ(promMetricName("a:b-c d/e"), "balance_a:b_c_d_e");
+    EXPECT_EQ(promMetricName(""), "balance_");
+}
+
+TEST(Prometheus, HelpAndLabelEscaping)
+{
+    EXPECT_EQ(promEscapeHelp("plain"), "plain");
+    EXPECT_EQ(promEscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+    EXPECT_EQ(promEscapeLabel("say \"hi\"\n\\"),
+              "say \\\"hi\\\"\\n\\\\");
+}
+
+TEST(Prometheus, CountersAndGaugesRender)
+{
+    MetricRegistry reg;
+    reg.counter("bounds.trips.lc").add(41);
+    reg.counter("bounds.trips.lc").add(1);
+    reg.gauge("sched.scratch.high_water_bytes").observeMax(1 << 20);
+
+    std::string text = renderPrometheusText(reg);
+    EXPECT_NE(text.find("# HELP balance_bounds_trips_lc Counter "
+                        "bounds.trips.lc\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE balance_bounds_trips_lc counter\n"),
+              std::string::npos);
+    EXPECT_EQ(sampleValue(text, "balance_bounds_trips_lc"), 42);
+    EXPECT_NE(
+        text.find(
+            "# TYPE balance_sched_scratch_high_water_bytes gauge\n"),
+        std::string::npos);
+    EXPECT_EQ(
+        sampleValue(text, "balance_sched_scratch_high_water_bytes"),
+        1 << 20);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndMonotone)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("eval.wct");
+    for (long long v : {0, 1, 1, 3, 3, 3, 100, 5000})
+        h.observe(v);
+
+    std::string text = renderPrometheusText(reg);
+    long long prev = -1;
+    int bucketLines = 0;
+    bool sawInf = false;
+    for (const std::string &line : lines(text)) {
+        if (line.rfind("balance_eval_wct_bucket{le=\"", 0) != 0)
+            continue;
+        ++bucketLines;
+        long long v = std::stoll(line.substr(line.find("} ") + 2));
+        EXPECT_GE(v, prev) << "buckets must be cumulative: " << line;
+        prev = v;
+        if (line.find("le=\"+Inf\"") != std::string::npos) {
+            sawInf = true;
+            EXPECT_EQ(v, h.count())
+                << "+Inf bucket must equal the total count";
+        }
+    }
+    EXPECT_GE(bucketLines, 2);
+    EXPECT_TRUE(sawInf);
+}
+
+TEST(Prometheus, CountAndSumRoundTripExactly)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("bnb.nodes");
+    long long expectSum = 0;
+    for (long long v = 1; v <= 257; v += 8) {
+        h.observe(v * 13);
+        expectSum += v * 13;
+    }
+
+    MetricSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].count, h.count());
+    EXPECT_EQ(snap.histograms[0].sum, expectSum);
+
+    std::string text = renderPrometheusText(snap);
+    EXPECT_EQ(sampleValue(text, "balance_bnb_nodes_count"),
+              snap.histograms[0].count);
+    EXPECT_EQ(sampleValue(text, "balance_bnb_nodes_sum"),
+              snap.histograms[0].sum);
+    // And against the live registry, at rest: identical.
+    EXPECT_EQ(sampleValue(text, "balance_bnb_nodes_count"), h.count());
+    EXPECT_EQ(sampleValue(text, "balance_bnb_nodes_sum"), h.sum());
+}
+
+TEST(Prometheus, EmptyHistogramStillWellFormed)
+{
+    MetricRegistry reg;
+    reg.histogram("eval.empty");
+    std::string text = renderPrometheusText(reg);
+    EXPECT_NE(text.find("balance_eval_empty_bucket{le=\"+Inf\"} 0\n"),
+              std::string::npos)
+        << text;
+    EXPECT_EQ(sampleValue(text, "balance_eval_empty_count"), 0);
+    EXPECT_EQ(sampleValue(text, "balance_eval_empty_sum"), 0);
+}
+
+TEST(Prometheus, RegistrationOrderIsStable)
+{
+    MetricRegistry reg;
+    reg.counter("z.second");
+    reg.counter("a.first");
+    std::string text = renderPrometheusText(reg);
+    // Registration order, not lexicographic: z.second came first.
+    EXPECT_LT(text.find("balance_z_second"),
+              text.find("balance_a_first"));
+}
+
+} // namespace
+} // namespace balance

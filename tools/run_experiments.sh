@@ -18,18 +18,32 @@
 # identical either way (the golden tests pin it), so --simd, like
 # THREADS, only ever changes wall-clock, never results/.
 #
+# Pass --debug-server PORT to serve live diagnostics from every bench
+# (see docs/OBSERVABILITY.md, "Live introspection"). PORT 0 lets each
+# bench pick an ephemeral port; the bound address is printed on stdout
+# and therefore recorded in the tee'd results/<bench>.txt, so the port
+# each bench chose is always recoverable afterwards. Scraping the
+# server never changes a result byte, so this too only ever affects
+# wall-clock, never results/.
+#
 # Outputs are byte-identical for every thread count (the runners
 # reduce per-superblock slots in suite order), so THREADS only
 # changes wall-clock, never results/.
 set -euo pipefail
 
 report_out=""
+debug_server=""
 positional=()
 while [ $# -gt 0 ]; do
     case "$1" in
         --report-out)
             [ $# -ge 2 ] || { echo "--report-out needs a directory" >&2; exit 2; }
             report_out="$2"
+            shift 2
+            ;;
+        --debug-server)
+            [ $# -ge 2 ] || { echo "--debug-server needs a port (0 = ephemeral)" >&2; exit 2; }
+            debug_server="$2"
             shift 2
             ;;
         --simd)
@@ -58,6 +72,11 @@ mkdir -p "$out"
 thread_args=()
 if [ "$threads" != "0" ]; then
     thread_args=(--threads "$threads")
+fi
+
+debug_args=()
+if [ -n "$debug_server" ]; then
+    debug_args=(--debug-server "$debug_server")
 fi
 
 if [ ! -x "$build/bench/table1_bounds" ]; then
@@ -89,6 +108,7 @@ for b in "${paper_benches[@]}" "${extension_benches[@]}"; do
     # its table; splice_experiments.py links the snapshot under the
     # spliced block.
     "$build/bench/$b" --scale "$scale" "${thread_args[@]}" \
+        "${debug_args[@]}" \
         --metrics-out "$out/$b.metrics.json" \
         | tee "$out/$b.txt"
     echo
@@ -102,7 +122,7 @@ if [ -n "$report_out" ]; then
     echo "== run report (scale $scale) =="
     mkdir -p "$report_out"
     "$build/bench/report_tool" run --out "$report_out" \
-        --scale "$scale" "${thread_args[@]}"
+        --scale "$scale" "${thread_args[@]}" "${debug_args[@]}"
     "$build/bench/report_tool" render "$report_out/manifest.json" \
         -o "$report_out/report.md"
     echo "report: $report_out/report.md"
