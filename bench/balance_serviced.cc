@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The scheduling-as-a-service daemon (docs/SERVICE.md): bind the
+ * ServiceServer, print the bound address, and run until SIGINT or
+ * SIGTERM. Shutdown is deliberately boring — stop accepting, join
+ * the handler threads, flush telemetry, exit 0 — so orchestrators
+ * can treat any other exit status as a crash.
+ *
+ *   ./balance_serviced [--port p] [--bind addr] [--threads n]
+ *                      [--handler-threads n] [--max-queue n]
+ *                      [--max-inflight n] [--max-body-bytes n]
+ *                      [--recv-timeout-ms n] [--max-batch n]
+ *                      [--cache-cap n] [--metrics-out f] ...
+ *
+ * The daemon owns signal handling (TelemetryOptions::manageSignals
+ * is off): the main thread blocks SIGINT/SIGTERM before any thread
+ * starts and sigwait()s, so the flush path never runs inside a
+ * signal handler.
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "eval/bench_options.hh"
+#include "service/server.hh"
+#include "support/telemetry.hh"
+
+using namespace balance;
+
+namespace
+{
+
+struct Options
+{
+    ServiceServerOptions server;
+    TelemetryOptions telemetry;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout
+        << "balance_serviced: scheduling-as-a-service daemon\n"
+        << "  --port <p>            TCP port (default 0 = ephemeral,\n"
+        << "                        printed on stdout)\n"
+        << "  --bind <addr>         bind address (default 127.0.0.1)\n"
+        << "  --threads <n>         batch fan-out concurrency cap\n"
+        << "                        (default 0 = hardware)\n"
+        << "  --handler-threads <n> connection handler pool "
+           "(default 4)\n"
+        << "  --max-queue <n>       pending connections before 503\n"
+        << "                        shedding (default 64)\n"
+        << "  --max-inflight <n>    request bodies under evaluation\n"
+        << "                        before 429 shedding (default 8)\n"
+        << "  --max-body-bytes <n>  request body limit (default 1 MiB)\n"
+        << "  --recv-timeout-ms <n> per-connection receive deadline\n"
+        << "                        (default 5000)\n"
+        << "  --max-batch <n>       requests per batch body "
+           "(default 64)\n"
+        << "  --cache-cap <n>       GraphContext cache entries\n"
+        << "                        (default 256)\n"
+        << telemetryUsage();
+    std::exit(code);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(2);
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            o.server.port = int(parseIntOption("balance_serviced", arg,
+                                               next(), 0, 65535));
+        } else if (arg == "--bind") {
+            o.server.bindAddress = next();
+        } else if (arg == "--threads") {
+            o.server.threads = int(parseIntOption(
+                "balance_serviced", arg, next(), 0, 1024));
+        } else if (arg == "--handler-threads") {
+            o.server.handlerThreads = int(parseIntOption(
+                "balance_serviced", arg, next(), 1, 256));
+        } else if (arg == "--max-queue") {
+            o.server.maxQueue = int(parseIntOption(
+                "balance_serviced", arg, next(), 1, 1 << 20));
+        } else if (arg == "--max-inflight") {
+            o.server.maxInflight = int(parseIntOption(
+                "balance_serviced", arg, next(), 1, 1 << 20));
+        } else if (arg == "--max-body-bytes") {
+            o.server.maxBodyBytes = std::size_t(parseIntOption(
+                "balance_serviced", arg, next(), 1, 1 << 30));
+        } else if (arg == "--recv-timeout-ms") {
+            o.server.recvTimeoutMs = int(parseIntOption(
+                "balance_serviced", arg, next(), 0, 3600 * 1000));
+        } else if (arg == "--max-batch") {
+            o.server.protocol.maxBatch = std::size_t(parseIntOption(
+                "balance_serviced", arg, next(), 1, 1 << 16));
+        } else if (arg == "--cache-cap") {
+            o.server.cacheCapacity = std::size_t(parseIntOption(
+                "balance_serviced", arg, next(), 1, 1 << 20));
+        } else if (arg == "--help") {
+            usage(0);
+        } else if (parseTelemetryFlag(arg, next, o.telemetry)) {
+            // handled
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            usage(2);
+        }
+    }
+    // The daemon owns SIGINT/SIGTERM (see the file comment).
+    o.telemetry.manageSignals = false;
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parseArgs(argc, argv);
+
+    // Block the shutdown signals before any thread exists so every
+    // thread inherits the mask and sigwait below is the only
+    // consumer. An ignored signal would be discarded before sigwait
+    // can see it; restore the default disposition first.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    struct sigaction dfl = {};
+    dfl.sa_handler = SIG_DFL;
+    ::sigaction(SIGINT, &dfl, nullptr);
+    ::sigaction(SIGTERM, &dfl, nullptr);
+
+    initTelemetry(o.telemetry);
+
+    ServiceServer server;
+    if (!server.start(o.server))
+        return 1;
+
+    int sig = 0;
+    if (sigwait(&set, &sig) != 0)
+        return 1;
+    std::cerr << "balance_serviced: caught "
+              << (sig == SIGINT ? "SIGINT" : "SIGTERM")
+              << "; shutting down\n";
+    server.stop();
+    TelemetryFlusher::flushAll();
+    return 0;
+}

@@ -1,0 +1,527 @@
+/**
+ * @file
+ * Load generator and determinism gate for the scheduling service
+ * (docs/SERVICE.md). By default it self-hosts a ServiceServer on an
+ * ephemeral loopback port, drives it with concurrent HTTP clients
+ * POSTing suite-derived superblocks to /schedule, and emits
+ * machine-readable results (BENCH_service.json from the repo root):
+ * sustained superblocks/sec plus the p50/p90/p99 request latency the
+ * clients observed.
+ *
+ *   ./service_perf [--scale f] [--seed s] [--clients n] [--repeat n]
+ *                  [--batch n] [--threads n] [--connect host:port]
+ *                  [--out path] [--smoke]
+ *
+ * Two determinism checks run in every mode and fail the bench on
+ * violation:
+ *  - replaying a request against a fresh server yields a response
+ *    body bitwise identical to the first answer, with the cache
+ *    disposition (miss then hit) visible only in the X-Balance-Cache
+ *    header;
+ *  - a serial engine (threads=1) and a hardware-concurrency engine
+ *    render bitwise-identical batch responses.
+ *
+ * --connect skips self-hosting and aims the clients at an already
+ * running balance_serviced (the cache-replay check then only asserts
+ * body identity, since the remote cache state is unknown).
+ */
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "eval/bench_options.hh"
+#include "service/engine.hh"
+#include "service/server.hh"
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+#include "support/telemetry.hh"
+#include "workload/sb_io.hh"
+#include "workload/suite.hh"
+
+using namespace balance;
+
+namespace
+{
+
+struct Options
+{
+    SuiteOptions suite;
+    int clients = 4;
+    int repeat = 2;
+    std::size_t batch = 8;
+    int threads = 0;
+    std::string connect;
+    std::string outPath = "BENCH_service.json";
+    bool smoke = false;
+    TelemetryOptions telemetry;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout
+        << "service_perf: scheduling-service load generator\n"
+        << "  --scale <0..1]     suite fraction (default 0.01)\n"
+        << "  --seed <u64>       suite master seed\n"
+        << "  --clients <n>      concurrent client threads (default 4)\n"
+        << "  --repeat <n>       passes over the request set "
+           "(default 2)\n"
+        << "  --batch <n>        superblocks per /schedule body\n"
+        << "                     (default 8; 1 = single-request form)\n"
+        << "  --threads <n>      server batch fan-out cap (default 0 =\n"
+        << "                     hardware)\n"
+        << "  --connect <h:p>    drive an external daemon instead of\n"
+        << "                     self-hosting\n"
+        << "  --out <path>       JSON output (default "
+           "BENCH_service.json)\n"
+        << "  --smoke            tiny suite; same checks\n"
+        << telemetryUsage();
+    std::exit(code);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    o.suite.scale = 0.01;
+    bool scaleSet = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(2);
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            std::string text = next();
+            double v = parseDoubleOption("service_perf", arg, text, 2);
+            if (v <= 0.0 || v > 1.0)
+                optionError("service_perf", arg, text,
+                            "number in (0, 1]", 2);
+            o.suite.scale = v;
+            scaleSet = true;
+        } else if (arg == "--seed") {
+            o.suite.seed = parseUint64Option("service_perf", arg,
+                                             next(), 2);
+        } else if (arg == "--clients") {
+            o.clients = int(parseIntOption("service_perf", arg, next(),
+                                           1, 256));
+        } else if (arg == "--repeat") {
+            o.repeat = int(parseIntOption("service_perf", arg, next(),
+                                          1, 1 << 20));
+        } else if (arg == "--batch") {
+            o.batch = std::size_t(parseIntOption("service_perf", arg,
+                                                 next(), 1, 1 << 16));
+        } else if (arg == "--threads") {
+            o.threads = int(parseIntOption("service_perf", arg, next(),
+                                           0, 1024));
+        } else if (arg == "--connect") {
+            o.connect = next();
+        } else if (arg == "--out") {
+            o.outPath = next();
+        } else if (arg == "--smoke") {
+            o.smoke = true;
+        } else if (arg == "--help") {
+            usage(0);
+        } else if (parseTelemetryFlag(arg, next, o.telemetry)) {
+            // handled
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            usage(2);
+        }
+    }
+    if (o.smoke && !scaleSet)
+        o.suite.scale = 0.002;
+    initTelemetry(o.telemetry);
+    return o;
+}
+
+/** One parsed HTTP response from the service. */
+struct HttpReply
+{
+    int status = 0;
+    std::string body;
+    std::string cacheHeader;
+};
+
+int
+connectTo(const std::string &host, int port)
+{
+    struct addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *res = nullptr;
+    std::string portText = std::to_string(port);
+    if (::getaddrinfo(host.c_str(), portText.c_str(), &hints, &res) !=
+        0)
+        return -1;
+    int fd = -1;
+    for (struct addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    return fd;
+}
+
+/**
+ * POST one JSON body to the service and read the whole response (the
+ * server always closes after one HTTP exchange).
+ */
+bool
+httpPost(const std::string &host, int port, const std::string &target,
+         const std::string &body, HttpReply &reply)
+{
+    int fd = connectTo(host, port);
+    if (fd < 0)
+        return false;
+    std::string head = "POST " + target + " HTTP/1.1\r\n" +
+                       "Host: " + host + "\r\n" +
+                       "Content-Type: application/json\r\n" +
+                       "Content-Length: " +
+                       std::to_string(body.size()) + "\r\n\r\n";
+    std::string wire = head + body;
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            ::close(fd);
+            return false;
+        }
+        sent += std::size_t(n);
+    }
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        raw.append(buf, std::size_t(n));
+    }
+    ::close(fd);
+
+    std::size_t headEnd = raw.find("\r\n\r\n");
+    if (headEnd == std::string::npos)
+        return false;
+    std::size_t firstSpace = raw.find(' ');
+    if (firstSpace == std::string::npos || firstSpace + 4 > headEnd)
+        return false;
+    reply.status = std::atoi(raw.c_str() + firstSpace + 1);
+    reply.body = raw.substr(headEnd + 4);
+    reply.cacheHeader.clear();
+    std::size_t pos = raw.find("\r\n");
+    while (pos < headEnd) {
+        std::size_t lineEnd = raw.find("\r\n", pos + 2);
+        std::string line = raw.substr(pos + 2, lineEnd - pos - 2);
+        std::size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+            std::string name = line.substr(0, colon);
+            std::transform(name.begin(), name.end(), name.begin(),
+                           [](unsigned char c) {
+                               return char(std::tolower(c));
+                           });
+            if (name == "x-balance-cache") {
+                std::size_t v = colon + 1;
+                while (v < line.size() && line[v] == ' ')
+                    ++v;
+                reply.cacheHeader = line.substr(v);
+            }
+        }
+        pos = lineEnd;
+    }
+    return true;
+}
+
+/** Render one /schedule body covering suite superblocks [lo, hi). */
+std::string
+requestBody(const std::vector<std::string> &sbTexts, std::size_t lo,
+            std::size_t hi)
+{
+    JsonWriter w;
+    if (hi - lo == 1) {
+        w.beginObject()
+            .key("superblock").value(sbTexts[lo])
+            .key("machine").value("GP4")
+            .key("scheduler").value("balance")
+            .key("bounds").value(true)
+            .endObject();
+        return w.str();
+    }
+    w.beginObject().key("requests").beginArray();
+    for (std::size_t i = lo; i < hi; ++i) {
+        w.beginObject()
+            .key("superblock").value(sbTexts[i])
+            .key("machine").value("GP4")
+            .key("scheduler").value("balance")
+            .key("bounds").value(true)
+            .endObject();
+    }
+    w.endArray().endObject();
+    return w.str();
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    double rank = p * double(sorted.size() - 1);
+    std::size_t lo = std::size_t(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/**
+ * Check that a serial engine and a hardware-concurrency engine render
+ * bitwise-identical batch responses for the same request set.
+ */
+bool
+checkThreadParity(const std::vector<std::string> &sbTexts,
+                  const ProtocolLimits &limits)
+{
+    std::vector<ServiceRequest> reqs;
+    std::string err;
+    for (const std::string &text : sbTexts) {
+        ServiceRequest r;
+        if (!tryParseSuperblock(text, &r.sb, &err)) {
+            std::cerr << "service_perf: suite superblock failed to "
+                         "round-trip: " << err << "\n";
+            return false;
+        }
+        reqs.push_back(std::move(r));
+        if (reqs.size() >= 16)
+            break;
+    }
+    (void)limits;
+
+    EngineOptions serialOpts;
+    serialOpts.threads = 1;
+    ScheduleEngine serial(serialOpts);
+    EngineOptions wideOpts;
+    wideOpts.threads = 0;
+    ScheduleEngine wide(wideOpts);
+
+    std::string a = renderServiceResponse(serial.runBatch(reqs), true);
+    std::string b = renderServiceResponse(wide.runBatch(reqs), true);
+    if (a != b) {
+        std::cerr << "service_perf: threads=1 vs threads=hardware "
+                     "responses differ\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv);
+    std::vector<BenchmarkProgram> suite = buildSuite(opts.suite);
+
+    std::vector<std::string> sbTexts;
+    for (const BenchmarkProgram &prog : suite)
+        for (const Superblock &sb : prog.superblocks)
+            sbTexts.push_back(writeSuperblock(sb));
+    bsAssert(!sbTexts.empty(), "suite is empty at scale ",
+             opts.suite.scale);
+
+    std::cout << "service_perf: " << sbTexts.size()
+              << " superblocks (scale " << opts.suite.scale << "), "
+              << opts.clients << " clients, batch " << opts.batch
+              << ", repeat " << opts.repeat << "\n";
+
+    // Aim at either a self-hosted server or --connect host:port.
+    ServiceServer server;
+    std::string host = "127.0.0.1";
+    int port = 0;
+    bool selfHosted = opts.connect.empty();
+    if (selfHosted) {
+        ServiceServerOptions so;
+        so.handlerThreads = std::max(4, opts.clients);
+        so.maxInflight = std::max(8, opts.clients * 2);
+        so.threads = opts.threads;
+        if (!server.start(so))
+            return 1;
+        port = server.port();
+    } else {
+        std::size_t colon = opts.connect.rfind(':');
+        if (colon == std::string::npos) {
+            std::cerr << "--connect wants host:port\n";
+            return 2;
+        }
+        host = opts.connect.substr(0, colon);
+        port = std::atoi(opts.connect.c_str() + colon + 1);
+    }
+
+    // Pre-render the request bodies so the timed loop measures the
+    // service, not JSON assembly.
+    std::vector<std::string> bodies;
+    for (std::size_t lo = 0; lo < sbTexts.size(); lo += opts.batch) {
+        std::size_t hi = std::min(lo + opts.batch, sbTexts.size());
+        bodies.push_back(requestBody(sbTexts, lo, hi));
+    }
+
+    // Determinism gate 1: replay. The first POST of a body computes
+    // every graph fresh; the second is served from the GraphContext
+    // cache. The bodies must match bit for bit, and on a self-hosted
+    // (fresh) server the header must go miss -> hit.
+    HttpReply first, second;
+    bool ok = httpPost(host, port, "/schedule", bodies.front(), first);
+    ok = ok &&
+         httpPost(host, port, "/schedule", bodies.front(), second);
+    if (!ok || first.status != 200 || second.status != 200) {
+        std::cerr << "service_perf: warmup POST failed (status "
+                  << first.status << "/" << second.status << ")\n";
+        return 1;
+    }
+    bool hitIdentical = first.body == second.body;
+    if (!hitIdentical)
+        std::cerr << "service_perf: cache hit body differs from miss "
+                     "body\n";
+    if (selfHosted &&
+        (first.cacheHeader != "miss" || second.cacheHeader != "hit")) {
+        std::cerr << "service_perf: expected miss->hit, got \""
+                  << first.cacheHeader << "\"->\"" << second.cacheHeader
+                  << "\"\n";
+        hitIdentical = false;
+    }
+
+    // Determinism gate 2: engine thread parity (local, no sockets).
+    bool threadsIdentical =
+        checkThreadParity(sbTexts, ServiceServerOptions{}.protocol);
+
+    // The timed run: each client thread walks the body list with a
+    // stride, `repeat` times, and records per-request latency.
+    std::mutex latencyMutex;
+    std::vector<double> latencyUs;
+    std::atomic<long long> failures{0};
+    auto t0 = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> clients;
+        for (int c = 0; c < opts.clients; ++c) {
+            clients.emplace_back([&, c] {
+                std::vector<double> local;
+                for (int r = 0; r < opts.repeat; ++r) {
+                    for (std::size_t i = std::size_t(c);
+                         i < bodies.size();
+                         i += std::size_t(opts.clients)) {
+                        HttpReply reply;
+                        auto s = std::chrono::steady_clock::now();
+                        bool sent = httpPost(host, port, "/schedule",
+                                             bodies[i], reply);
+                        auto us =
+                            std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - s)
+                                .count();
+                        if (!sent || reply.status != 200)
+                            failures.fetch_add(1);
+                        else
+                            local.push_back(us);
+                    }
+                }
+                std::lock_guard<std::mutex> lock(latencyMutex);
+                latencyUs.insert(latencyUs.end(), local.begin(),
+                                 local.end());
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    }
+    double wallSec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    long long requests = (long long)(latencyUs.size());
+    long long superblocks =
+        (long long)(sbTexts.size()) * opts.repeat;
+    double throughput =
+        wallSec > 0.0 ? double(superblocks) / wallSec : 0.0;
+    std::sort(latencyUs.begin(), latencyUs.end());
+    double p50 = percentile(latencyUs, 0.50);
+    double p90 = percentile(latencyUs, 0.90);
+    double p99 = percentile(latencyUs, 0.99);
+
+    long long cacheHits = 0, cacheMisses = 0;
+    if (selfHosted) {
+        cacheHits = server.engine().cache().hits();
+        cacheMisses = server.engine().cache().misses();
+        server.stop();
+    }
+
+    std::cout << "throughput " << throughput
+              << " superblocks/sec over " << wallSec << " s ("
+              << requests << " requests, " << failures.load()
+              << " failures)\n"
+              << "latency p50 " << p50 << " us, p90 " << p90
+              << " us, p99 " << p99 << " us\n"
+              << "replay identical " << (hitIdentical ? "yes" : "NO")
+              << ", thread parity "
+              << (threadsIdentical ? "yes" : "NO") << "\n";
+
+    JsonWriter w;
+    w.beginObject()
+        .key("bench").value("service_perf")
+        .key("scale").value(opts.suite.scale)
+        .key("seed").value((long long)(opts.suite.seed))
+        .key("smoke").value(opts.smoke)
+        .key("clients").value(opts.clients)
+        .key("repeat").value(opts.repeat)
+        .key("batch").value((long long)(opts.batch))
+        .key("requests").value(requests)
+        .key("failures").value(failures.load())
+        .key("superblocks").value(superblocks)
+        .key("wall_sec").value(wallSec)
+        .key("superblocks_per_sec").value(throughput)
+        .key("latency_us").beginObject()
+            .key("p50").value(p50)
+            .key("p90").value(p90)
+            .key("p99").value(p99)
+            .endObject()
+        .key("cache").beginObject()
+            .key("hits").value(cacheHits)
+            .key("misses").value(cacheMisses)
+            .endObject()
+        .key("hit_identical_to_miss").value(hitIdentical)
+        .key("identical_across_threads").value(threadsIdentical)
+        .endObject();
+
+    bsAssert(jsonLooksValid(w.str()),
+             "service_perf produced malformed JSON");
+    std::ofstream out(opts.outPath);
+    bsAssert(out.good(), "cannot open ", opts.outPath);
+    out << w.str() << "\n";
+    out.close();
+    std::cout << "wrote " << opts.outPath << "\n";
+
+    if (!hitIdentical || !threadsIdentical || failures.load() > 0) {
+        std::cerr << "service_perf: determinism or delivery failure\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,246 @@
+#include "service/engine.hh"
+
+#include <chrono>
+#include <map>
+
+#include "bounds/bound_scratch.hh"
+#include "bounds/branch_bounds.hh"
+#include "bounds/triplewise.hh"
+#include "core/balance_scheduler.hh"
+#include "eval/experiment.hh"
+#include "sched/best_scheduler.hh"
+#include "sched/bnb/bnb.hh"
+#include "sched/heuristics.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/sched_scratch.hh"
+#include "support/metrics.hh"
+#include "support/parallel_for.hh"
+#include "support/trace.hh"
+
+namespace balance
+{
+
+/**
+ * One request's private working set: scratch keyed per machine (the
+ * six paper configs) plus long-lived scheduler instances. Checked
+ * out of the engine's free-list for the duration of one request and
+ * returned afterwards, so nothing here is ever shared between two
+ * in-flight requests.
+ */
+struct EngineWorkerState
+{
+    /**
+     * A stable machine instance paired with the scratch built for it:
+     * BoundScratch (and the relaxation tables inside) check machine
+     * identity by address, so the model a scratch was constructed
+     * against must be the very object every later toolkit sees.
+     */
+    struct MachineState
+    {
+        MachineModel model;
+        std::unique_ptr<BoundScratch> scratch;
+
+        explicit MachineState(const MachineModel &m)
+            : model(m),
+              scratch(std::make_unique<BoundScratch>(model))
+        {}
+    };
+
+    std::map<std::string, std::unique_ptr<MachineState>> machines;
+    SchedScratch schedScratch;
+
+    BalanceScheduler balance;
+    CriticalPathScheduler cp;
+    SuccessiveRetirementScheduler sr;
+    GStarScheduler gstar;
+    DhasyScheduler dhasy;
+    HelpScheduler help;
+    std::unique_ptr<BestScheduler> best;
+
+    EngineWorkerState()
+    {
+        // Best = the paper lineup's envelope plus the combo grid.
+        best = std::make_unique<BestScheduler>(
+            HeuristicSet::paperSet(false).primaries);
+    }
+
+    MachineState &
+    machineFor(const std::string &machineName,
+               const MachineModel &machine)
+    {
+        std::unique_ptr<MachineState> &slot = machines[machineName];
+        if (!slot)
+            slot = std::make_unique<MachineState>(machine);
+        return *slot;
+    }
+};
+
+ScheduleEngine::ScheduleEngine(const EngineOptions &opts)
+    : graphCache(opts.cacheCapacity), threads(opts.threads)
+{
+    // Pre-register the latency metrics so registration order (and
+    // thus snapshot/exposition order) does not depend on traffic.
+    MetricRegistry &reg = MetricRegistry::global();
+    reg.counter("service.requests");
+    reg.counter("service.batches");
+    reg.counter("service.errors");
+    reg.histogram("service.request_latency_us");
+    reg.histogram("service.batch_size");
+}
+
+ScheduleEngine::~ScheduleEngine() = default;
+
+std::unique_ptr<EngineWorkerState>
+ScheduleEngine::checkOut()
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        if (!statePool.empty()) {
+            std::unique_ptr<EngineWorkerState> state =
+                std::move(statePool.back());
+            statePool.pop_back();
+            return state;
+        }
+    }
+    return std::make_unique<EngineWorkerState>();
+}
+
+void
+ScheduleEngine::checkIn(std::unique_ptr<EngineWorkerState> state)
+{
+    std::lock_guard<std::mutex> lock(poolMutex);
+    statePool.push_back(std::move(state));
+}
+
+ServiceResult
+ScheduleEngine::runWith(EngineWorkerState &state,
+                        const ServiceRequest &req)
+{
+    TraceSpan span("service.request", req.sb.numOps());
+    auto t0 = std::chrono::steady_clock::now();
+
+    bool hit = false;
+    std::shared_ptr<const CachedGraph> cached =
+        graphCache.acquire(req.sb, &hit);
+    const GraphContext &ctx = *cached->ctx;
+    const Superblock &sb = cached->sb;
+
+    MachineModel parsed = MachineModel::gp4();
+    machineByNameChecked(req.machine, &parsed);
+    EngineWorkerState::MachineState &ms =
+        state.machineFor(req.machine, parsed);
+    const MachineModel &machine = ms.model;
+    BoundScratch &scratch = *ms.scratch;
+
+    ServiceResult out;
+    out.name = sb.name();
+    out.machine = req.machine;
+    out.scheduler = req.scheduler;
+    out.cacheHit = hit;
+
+    BoundConfig boundConfig;
+    BoundsToolkit toolkit(ctx, machine, boundConfig, nullptr,
+                          &scratch);
+
+    if (req.bounds) {
+        out.haveBounds = true;
+        out.bounds.cp = wctFromBranchEarly(sb, cpEarly(ctx));
+        out.bounds.hu = wctFromBranchEarly(sb, huEarly(ctx, machine));
+        out.bounds.rj = wctFromBranchEarly(sb, rjEarly(ctx, machine));
+        std::vector<int> lcBranches;
+        for (OpId b : sb.branches())
+            lcBranches.push_back(toolkit.earlyRC()[std::size_t(b)]);
+        out.bounds.lc = wctFromBranchEarly(sb, lcBranches);
+        out.bounds.pw = toolkit.pairwise()->superblockWct();
+        std::vector<std::vector<int>> lateRCs;
+        for (int bi = 0; bi < sb.numBranches(); ++bi)
+            lateRCs.push_back(toolkit.lateRC(bi));
+        out.bounds.tw =
+            computeTriplewise(ctx, machine, toolkit.earlyRC(), lateRCs,
+                              *toolkit.pairwise(),
+                              boundConfig.triplewise, nullptr,
+                              &scratch)
+                .wct;
+        out.tightest = out.bounds.tightest();
+    }
+
+    ScheduleRequest schedReq;
+    schedReq.scratch = &state.schedScratch;
+    Schedule schedule = [&] {
+        if (req.scheduler == "balance")
+            return state.balance.runWithToolkit(ctx, machine, toolkit,
+                                                schedReq);
+        if (req.scheduler == "cp")
+            return state.cp.run(ctx, machine, schedReq);
+        if (req.scheduler == "sr")
+            return state.sr.run(ctx, machine, schedReq);
+        if (req.scheduler == "gstar")
+            return state.gstar.run(ctx, machine, schedReq);
+        if (req.scheduler == "dhasy")
+            return state.dhasy.run(ctx, machine, schedReq);
+        if (req.scheduler == "help")
+            return state.help.run(ctx, machine, schedReq);
+        return state.best->run(ctx, machine, schedReq);
+    }();
+    schedule.validate(sb, machine);
+    out.wct = schedule.wct(sb);
+    out.makespan = schedule.makespan();
+    out.issue.reserve(std::size_t(sb.numOps()));
+    for (OpId op = 0; op < OpId(sb.numOps()); ++op)
+        out.issue.push_back(schedule.issueOf(op));
+
+    if (req.certify) {
+        BnbOptions bnbOpts;
+        bnbOpts.maxNodes = req.bnbMaxNodes;
+        BnbRequest bnbReq;
+        bnbReq.toolkit = &toolkit;
+        bnbReq.seedSchedule = &schedule;
+        bnbReq.staticLowerBound = out.tightest;
+        BnbResult r = bnbSchedule(ctx, machine, bnbOpts, bnbReq);
+        out.haveBnb = true;
+        out.bnbWct = r.wct;
+        out.bnbLowerBound = r.lowerBound;
+        out.bnbProven = r.proven;
+        out.bnbExhausted = r.exhausted;
+        out.bnbNodes = r.counters.nodesExpanded;
+    }
+
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    MetricRegistry &reg = MetricRegistry::global();
+    reg.counter("service.requests").add(1);
+    reg.histogram("service.request_latency_us").observe(us);
+    return out;
+}
+
+ServiceResult
+ScheduleEngine::run(const ServiceRequest &req)
+{
+    std::unique_ptr<EngineWorkerState> state = checkOut();
+    ServiceResult out = runWith(*state, req);
+    checkIn(std::move(state));
+    return out;
+}
+
+std::vector<ServiceResult>
+ScheduleEngine::runBatch(const std::vector<ServiceRequest> &reqs)
+{
+    MetricRegistry &reg = MetricRegistry::global();
+    reg.counter("service.batches").add(1);
+    reg.histogram("service.batch_size")
+        .observe((long long)(reqs.size()));
+
+    // Per-slot fan-out + in-order assembly: each request writes only
+    // its own result slot, so the response bytes are identical for
+    // any thread count (the repo's determinism pattern).
+    std::vector<ServiceResult> out(reqs.size());
+    parallelFor(
+        reqs.size(), [this, &reqs, &out](std::size_t i) {
+            out[i] = run(reqs[i]);
+        },
+        threads);
+    return out;
+}
+
+} // namespace balance

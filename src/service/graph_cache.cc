@@ -1,0 +1,158 @@
+#include "service/graph_cache.hh"
+
+#include "support/metrics.hh"
+#include "workload/sb_io.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+/**
+ * Materialize every lazy GraphContext slot so the entry is read-only
+ * from then on (the thread-safety contract in the file comment).
+ */
+void
+warmContext(const GraphContext &ctx, const Superblock &sb)
+{
+    for (int bi = 0; bi < sb.numBranches(); ++bi) {
+        (void)ctx.closureOps(bi);
+        (void)ctx.reversedClosure(bi);
+    }
+}
+
+} // namespace
+
+GraphContextCache::GraphContextCache(std::size_t capacity)
+    : cap(capacity > 0 ? capacity : 1)
+{
+}
+
+std::uint64_t
+GraphContextCache::hashText(const std::string &text)
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a 64 offset basis
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull; // FNV-1a 64 prime
+    }
+    return h;
+}
+
+std::shared_ptr<const CachedGraph>
+GraphContextCache::acquire(const Superblock &sb, bool *hit)
+{
+    std::string canonical = writeSuperblock(sb);
+    std::uint64_t h = hashText(canonical);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = table.find(h);
+        if (it != table.end()) {
+            for (const auto &entry : it->second.entries) {
+                if (entry->canonical == canonical) {
+                    lru.splice(lru.begin(), lru, it->second.lruPos);
+                    ++hitCount;
+                    MetricRegistry::global()
+                        .counter("service.cache.hits")
+                        .add(1);
+                    if (hit)
+                        *hit = true;
+                    return entry;
+                }
+            }
+        }
+    }
+
+    // Miss: build and warm outside the lock — context construction is
+    // the expensive part and must not serialize concurrent misses.
+    auto fresh = std::make_shared<CachedGraph>();
+    fresh->sb = sb;
+    fresh->canonical = std::move(canonical);
+    fresh->contentHash = h;
+    // The context points into fresh->sb, whose address is stable from
+    // here on (the entry lives behind the shared_ptr).
+    fresh->ctx = std::make_unique<GraphContext>(fresh->sb);
+    warmContext(*fresh->ctx, fresh->sb);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = table.find(h);
+    if (it != table.end()) {
+        // Re-check: a concurrent miss for the same superblock may
+        // have inserted while we were warming. Prefer the published
+        // entry so all requests share one context.
+        for (const auto &entry : it->second.entries) {
+            if (entry->canonical == fresh->canonical) {
+                lru.splice(lru.begin(), lru, it->second.lruPos);
+                ++hitCount;
+                MetricRegistry::global()
+                    .counter("service.cache.hits")
+                    .add(1);
+                if (hit)
+                    *hit = true;
+                return entry;
+            }
+        }
+        it->second.entries.push_back(fresh);
+        lru.splice(lru.begin(), lru, it->second.lruPos);
+    } else {
+        lru.push_front(h);
+        Chain chain;
+        chain.entries.push_back(fresh);
+        chain.lruPos = lru.begin();
+        table.emplace(h, std::move(chain));
+    }
+    ++entryCount;
+    ++missCount;
+    MetricRegistry::global().counter("service.cache.misses").add(1);
+    if (hit)
+        *hit = false;
+
+    while (entryCount > cap && lru.size() > 1) {
+        // The freshly inserted chain sits at the front, so the back
+        // is always an older chain while more than one exists.
+        std::uint64_t victim = lru.back();
+        lru.pop_back();
+        auto vit = table.find(victim);
+        if (vit != table.end()) {
+            entryCount -= vit->second.entries.size();
+            evictionCount += (long long)(vit->second.entries.size());
+            MetricRegistry::global()
+                .counter("service.cache.evictions")
+                .add((long long)(vit->second.entries.size()));
+            table.erase(vit);
+        }
+    }
+    return fresh;
+}
+
+std::size_t
+GraphContextCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entryCount;
+}
+
+long long
+GraphContextCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return hitCount;
+}
+
+long long
+GraphContextCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return missCount;
+}
+
+long long
+GraphContextCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return evictionCount;
+}
+
+} // namespace balance

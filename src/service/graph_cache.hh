@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared GraphContext cache for the scheduling service.
+ *
+ * Building a GraphContext (transitive-closure masks, per-branch
+ * heights, reversed closure DAGs) dominates the cost of scheduling a
+ * small superblock, and service traffic is highly repetitive — the
+ * same hot superblocks arrive over and over as a compiler iterates.
+ * The cache keys on a 64-bit FNV-1a hash of the superblock's
+ * canonical .sb serialization (writeSuperblock), so equivalent
+ * requests share one entry regardless of the formatting of the text
+ * that arrived on the wire; hash collisions are disambiguated by
+ * comparing the canonical text itself.
+ *
+ * Thread-safety: GraphContext's lazy per-branch caches (closureOps,
+ * reversedClosure) are NOT internally synchronized, so entries are
+ * fully warmed — every lazy slot materialized — before they become
+ * visible to other threads. After warming, all GraphContext accessors
+ * are pure reads, and an entry can serve any number of concurrent
+ * requests. Entries are handed out as shared_ptr, so an eviction
+ * never invalidates a request that is still scheduling against the
+ * evicted entry.
+ *
+ * Eviction is LRU with a fixed capacity; hit/miss/eviction counts
+ * feed MetricRegistry::global() ("service.cache.*") for the
+ * /metrics and /stats endpoints.
+ */
+
+#ifndef BALANCE_SERVICE_GRAPH_CACHE_HH
+#define BALANCE_SERVICE_GRAPH_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/analysis.hh"
+#include "graph/superblock.hh"
+
+namespace balance
+{
+
+/** One cached superblock + warmed analysis context. */
+struct CachedGraph
+{
+    Superblock sb;
+    std::string canonical; ///< writeSuperblock(sb) — the cache key text
+    std::uint64_t contentHash = 0;
+    /** Warmed context; points into this entry's sb. */
+    std::unique_ptr<GraphContext> ctx;
+};
+
+/** LRU cache of warmed GraphContexts (see file comment). */
+class GraphContextCache
+{
+  public:
+    explicit GraphContextCache(std::size_t capacity = 256);
+
+    /**
+     * Look up (or insert) the entry for @p sb. On a miss the
+     * superblock is copied into a new entry and its context fully
+     * warmed before publication.
+     * @param hit receives whether the entry was already cached.
+     * @return a shared, immutable entry — safe to use concurrently
+     *         and after eviction.
+     */
+    std::shared_ptr<const CachedGraph> acquire(const Superblock &sb,
+                                               bool *hit = nullptr);
+
+    /** @return the FNV-1a 64 content hash of @p text. */
+    static std::uint64_t hashText(const std::string &text);
+
+    std::size_t capacity() const { return cap; }
+    std::size_t size() const;
+    long long hits() const;
+    long long misses() const;
+    long long evictions() const;
+
+  private:
+    /**
+     * All entries sharing one content hash (normally exactly one;
+     * more only on an FNV collision). LRU is tracked per chain.
+     */
+    struct Chain
+    {
+        std::vector<std::shared_ptr<const CachedGraph>> entries;
+        std::list<std::uint64_t>::iterator lruPos;
+    };
+
+    const std::size_t cap;
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Chain> table;
+    std::list<std::uint64_t> lru; ///< front = most recently used hash
+    std::size_t entryCount = 0;
+    long long hitCount = 0;
+    long long missCount = 0;
+    long long evictionCount = 0;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SERVICE_GRAPH_CACHE_HH

@@ -1,0 +1,497 @@
+#include "service/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "support/http.hh"
+#include "support/metrics.hh"
+#include "support/prometheus.hh"
+
+namespace balance
+{
+
+namespace
+{
+
+constexpr char frameMagic[4] = {'S', 'B', 'P', '1'};
+
+/** writeHttpResponse plus one extra header line. */
+void
+writeResponseWithCacheHeader(int fd, int status,
+                             const std::string &contentType,
+                             const std::string &body,
+                             const std::string &cacheState)
+{
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       httpStatusText(status) + "\r\n";
+    head += "Content-Type: " + contentType + "\r\n";
+    head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    if (!cacheState.empty())
+        head += "X-Balance-Cache: " + cacheState + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    if (writeAllFd(fd, head.data(), head.size()))
+        writeAllFd(fd, body.data(), body.size());
+}
+
+/** Read exactly @p len bytes under one fresh deadline. */
+bool
+readExact(int fd, char *buf, std::size_t len, int timeoutMs)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeoutMs);
+    std::size_t done = 0;
+    while (done < len) {
+        int left = timeoutMs <= 0
+                       ? 0
+                       : int(std::chrono::duration_cast<
+                                 std::chrono::milliseconds>(
+                                 deadline -
+                                 std::chrono::steady_clock::now())
+                                 .count());
+        if (timeoutMs > 0 && left <= 0)
+            return false;
+        ssize_t n = recvWithDeadline(fd, buf + done, len - done, left);
+        if (n <= 0)
+            return false;
+        done += std::size_t(n);
+    }
+    return true;
+}
+
+/** Send one SBP1 frame. */
+void
+writeFrame(int fd, const std::string &payload)
+{
+    char header[8];
+    std::memcpy(header, frameMagic, 4);
+    std::uint32_t len = std::uint32_t(payload.size());
+    header[4] = char((len >> 24) & 0xff);
+    header[5] = char((len >> 16) & 0xff);
+    header[6] = char((len >> 8) & 0xff);
+    header[7] = char(len & 0xff);
+    if (writeAllFd(fd, header, sizeof(header)))
+        writeAllFd(fd, payload.data(), payload.size());
+}
+
+} // namespace
+
+ServiceServer::~ServiceServer() { stop(); }
+
+bool
+ServiceServer::start(const ServiceServerOptions &opts)
+{
+    if (running.load(std::memory_order_acquire))
+        return false;
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "balance-service: socket failed: %s\n",
+                     std::strerror(errno));
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+    if (::inet_pton(AF_INET, opts.bindAddress.c_str(), &addr.sin_addr) !=
+        1) {
+        std::fprintf(stderr, "balance-service: bad bind address '%s'\n",
+                     opts.bindAddress.c_str());
+        ::close(fd);
+        return false;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        std::fprintf(stderr,
+                     "balance-service: bind to %s:%d failed: %s\n",
+                     opts.bindAddress.c_str(), opts.port,
+                     std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 128) < 0) {
+        std::fprintf(stderr, "balance-service: listen failed: %s\n",
+                     std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    sockaddr_in bound{};
+    socklen_t boundLen = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &boundLen) < 0) {
+        std::fprintf(stderr,
+                     "balance-service: getsockname failed: %s\n",
+                     std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    options = opts;
+    if (options.maxQueue <= 0)
+        options.maxQueue = 1;
+    if (options.maxInflight <= 0)
+        options.maxInflight = 1;
+    EngineOptions engineOpts;
+    engineOpts.cacheCapacity = options.cacheCapacity;
+    engineOpts.threads = options.threads;
+    scheduleEngine = std::make_unique<ScheduleEngine>(engineOpts);
+
+    listenFd = fd;
+    boundPort = int(ntohs(bound.sin_port));
+    boundAddress =
+        "http://" + opts.bindAddress + ":" + std::to_string(boundPort);
+    stopping.store(false, std::memory_order_release);
+    running.store(true, std::memory_order_release);
+
+    acceptor = std::thread([this] { acceptLoop(); });
+    int nHandlers = options.handlerThreads > 0 ? options.handlerThreads
+                                               : 1;
+    handlers.reserve(std::size_t(nHandlers));
+    for (int i = 0; i < nHandlers; ++i)
+        handlers.emplace_back([this] { handlerLoop(); });
+
+    std::printf("balance-service: listening on %s\n",
+                boundAddress.c_str());
+    std::fflush(stdout);
+    return true;
+}
+
+void
+ServiceServer::stop()
+{
+    if (!running.exchange(false, std::memory_order_acq_rel))
+        return;
+    {
+        // Store under the queue mutex: a handler that has checked the
+        // wait predicate but not yet blocked would otherwise miss the
+        // notification forever.
+        std::lock_guard<std::mutex> lock(queueMutex);
+        stopping.store(true, std::memory_order_release);
+    }
+    queueCv.notify_all();
+    if (acceptor.joinable())
+        acceptor.join();
+    for (std::thread &t : handlers) {
+        if (t.joinable())
+            t.join();
+    }
+    handlers.clear();
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        for (int fd : pending)
+            ::close(fd);
+        pending.clear();
+    }
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+}
+
+void
+ServiceServer::acceptLoop()
+{
+    while (!stopping.load(std::memory_order_acquire)) {
+        pollfd pfd{};
+        pfd.fd = listenFd;
+        pfd.events = POLLIN;
+        int rc = ::poll(&pfd, 1, 100);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rc == 0 || !(pfd.revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        bool shed = false;
+        {
+            std::lock_guard<std::mutex> lock(queueMutex);
+            if (int(pending.size()) >= options.maxQueue)
+                shed = true;
+            else
+                pending.push_back(fd);
+        }
+        if (shed) {
+            shed503.fetch_add(1, std::memory_order_relaxed);
+            MetricRegistry::global()
+                .counter("service.shed_503")
+                .add(1);
+            writeHttpResponse(fd, 503, "application/json",
+                              renderServiceError(
+                                  "overloaded: connection queue full"));
+            ::close(fd);
+        } else {
+            queueCv.notify_one();
+        }
+    }
+}
+
+void
+ServiceServer::handlerLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex);
+            queueCv.wait(lock, [this] {
+                return stopping.load(std::memory_order_acquire) ||
+                       !pending.empty();
+            });
+            if (stopping.load(std::memory_order_acquire))
+                return;
+            fd = pending.front();
+            pending.pop_front();
+        }
+        serveConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+ServiceServer::serveConnection(int fd)
+{
+    // Sniff the protocol: frame clients open with the literal
+    // "SBP1"; anything else is HTTP. MSG_PEEK leaves the bytes for
+    // the real reader.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options.recvTimeoutMs);
+    char peek[4];
+    std::size_t got = 0;
+    while (got < sizeof(peek)) {
+        int left =
+            options.recvTimeoutMs <= 0
+                ? 0
+                : int(std::chrono::duration_cast<
+                          std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count());
+        if (options.recvTimeoutMs > 0 && left <= 0)
+            break;
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        int rc = ::poll(&pfd, 1, options.recvTimeoutMs <= 0 ? -1 : left);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        if (rc <= 0)
+            break;
+        ssize_t n = ::recv(fd, peek, sizeof(peek), MSG_PEEK);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        std::size_t had = got;
+        got = std::size_t(n);
+        // A prefix that already diverges from the magic is HTTP; no
+        // need to wait for a fourth byte.
+        if (std::memcmp(peek, frameMagic, got) != 0)
+            break;
+        // poll() stays readable while the peeked bytes sit in the
+        // queue; back off briefly so a slow magic-prefix sender
+        // cannot spin this thread until the deadline.
+        if (got < sizeof(peek) && got == had)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (got >= sizeof(peek) &&
+        std::memcmp(peek, frameMagic, sizeof(peek)) == 0) {
+        serveFrames(fd);
+        return;
+    }
+    serveHttp(fd);
+}
+
+void
+ServiceServer::serveFrames(int fd)
+{
+    // Any number of frames back to back; each frame gets a fresh
+    // receive deadline. Exit on clean close at a frame boundary.
+    for (;;) {
+        char header[8];
+        ssize_t first = recvWithDeadline(fd, header, 1,
+                                         options.recvTimeoutMs);
+        if (first <= 0)
+            return; // clean close, timeout, or error between frames
+        if (!readExact(fd, header + 1, sizeof(header) - 1,
+                       options.recvTimeoutMs))
+            return;
+        if (std::memcmp(header, frameMagic, 4) != 0) {
+            writeFrame(fd, renderServiceError("bad frame magic"));
+            return;
+        }
+        std::uint32_t len =
+            (std::uint32_t(std::uint8_t(header[4])) << 24) |
+            (std::uint32_t(std::uint8_t(header[5])) << 16) |
+            (std::uint32_t(std::uint8_t(header[6])) << 8) |
+            std::uint32_t(std::uint8_t(header[7]));
+        if (len == 0 || len > options.maxBodyBytes) {
+            badRequests.fetch_add(1, std::memory_order_relaxed);
+            writeFrame(fd, renderServiceError(
+                               "frame payload length out of range"));
+            return;
+        }
+        std::string body(len, '\0');
+        if (!readExact(fd, body.data(), len, options.recvTimeoutMs))
+            return;
+        std::string cacheState;
+        auto [status, response] = handleSchedule(body, cacheState);
+        (void)status; // frame responses carry the JSON either way
+        writeFrame(fd, response);
+    }
+}
+
+void
+ServiceServer::serveHttp(int fd)
+{
+    HttpLimits limits;
+    limits.recvTimeoutMs = options.recvTimeoutMs;
+    limits.maxBodyBytes = options.maxBodyBytes;
+    HttpRequest req;
+    switch (readHttpRequest(fd, req, limits)) {
+      case HttpReadResult::Ok:
+        break;
+      case HttpReadResult::Closed:
+        return;
+      case HttpReadResult::Timeout:
+        writeHttpResponse(fd, 408, "application/json",
+                          renderServiceError("request timeout"));
+        return;
+      case HttpReadResult::TooLarge:
+        badRequests.fetch_add(1, std::memory_order_relaxed);
+        writeHttpResponse(fd, 413, "application/json",
+                          renderServiceError("request too large"));
+        return;
+      case HttpReadResult::Malformed:
+        badRequests.fetch_add(1, std::memory_order_relaxed);
+        writeHttpResponse(fd, 400, "application/json",
+                          renderServiceError("bad request"));
+        return;
+    }
+
+    std::string target = req.target;
+    std::size_t q = target.find('?');
+    if (q != std::string::npos)
+        target.resize(q);
+
+    if (req.method == "GET" || req.method == "HEAD") {
+        if (target == "/healthz") {
+            writeHttpResponse(fd, 200, "text/plain; charset=utf-8",
+                              "ok\n", req.method == "HEAD");
+            return;
+        }
+        if (target == "/stats") {
+            writeHttpResponse(fd, 200, "application/json", statsJson(),
+                              req.method == "HEAD");
+            return;
+        }
+        if (target == "/metrics") {
+            writeHttpResponse(
+                fd, 200, "text/plain; version=0.0.4; charset=utf-8",
+                renderPrometheusText(MetricRegistry::global()),
+                req.method == "HEAD");
+            return;
+        }
+        writeHttpResponse(fd, 404, "application/json",
+                          renderServiceError("not found"),
+                          req.method == "HEAD");
+        return;
+    }
+    if (req.method == "POST") {
+        if (target != "/schedule" && target != "/batch") {
+            writeHttpResponse(fd, 404, "application/json",
+                              renderServiceError("not found"));
+            return;
+        }
+        std::string cacheState;
+        auto [status, response] = handleSchedule(req.body, cacheState);
+        writeResponseWithCacheHeader(fd, status, "application/json",
+                                     response, cacheState);
+        return;
+    }
+    writeHttpResponse(fd, 405, "application/json",
+                      renderServiceError("method not allowed"));
+}
+
+std::pair<int, std::string>
+ServiceServer::handleSchedule(const std::string &body,
+                              std::string &cacheState)
+{
+    // Admission control: bound the number of bodies being parsed and
+    // evaluated, independent of the connection queue. fetch_add
+    // first so racing requests cannot both slip under the cap.
+    int prior = inflight.fetch_add(1, std::memory_order_acq_rel);
+    if (prior >= options.maxInflight) {
+        inflight.fetch_sub(1, std::memory_order_acq_rel);
+        shed429.fetch_add(1, std::memory_order_relaxed);
+        MetricRegistry::global().counter("service.shed_429").add(1);
+        return {429, renderServiceError(
+                         "overloaded: too many in-flight requests")};
+    }
+
+    ServiceRequestSet set;
+    std::string error;
+    std::pair<int, std::string> out;
+    if (!parseServiceRequestSet(body, options.protocol, set, &error)) {
+        badRequests.fetch_add(1, std::memory_order_relaxed);
+        MetricRegistry::global().counter("service.errors").add(1);
+        out = {400, renderServiceError(error)};
+    } else {
+        std::vector<ServiceResult> results =
+            scheduleEngine->runBatch(set.requests);
+        served.fetch_add((long long)(results.size()),
+                         std::memory_order_relaxed);
+        std::size_t hits = 0;
+        for (const ServiceResult &r : results)
+            hits += r.cacheHit ? 1 : 0;
+        cacheState = hits == results.size()  ? "hit"
+                     : hits == 0             ? "miss"
+                                             : "partial";
+        out = {200, renderServiceResponse(results, set.batch)};
+    }
+    inflight.fetch_sub(1, std::memory_order_acq_rel);
+    return out;
+}
+
+std::string
+ServiceServer::statsJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("served").value(served.load(std::memory_order_relaxed));
+    w.key("inflight").value(
+        (long long)(inflight.load(std::memory_order_relaxed)));
+    w.key("shed_429").value(shed429.load(std::memory_order_relaxed));
+    w.key("shed_503").value(shed503.load(std::memory_order_relaxed));
+    w.key("bad_requests").value(
+        badRequests.load(std::memory_order_relaxed));
+    w.key("cache").beginObject();
+    if (scheduleEngine) {
+        const GraphContextCache &c = scheduleEngine->cache();
+        w.key("hits").value(c.hits());
+        w.key("misses").value(c.misses());
+        w.key("evictions").value(c.evictions());
+        w.key("size").value((long long)(c.size()));
+        w.key("capacity").value((long long)(c.capacity()));
+    }
+    w.endObject();
+    w.endObject();
+    std::string out = w.str();
+    out += '\n';
+    return out;
+}
+
+} // namespace balance

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Front door of the scheduling service (docs/SERVICE.md): a
+ * dependency-free TCP listener that speaks two protocols on one
+ * port, dispatching requests to a shared ScheduleEngine:
+ *
+ *  - HTTP/1.1:  POST /schedule with a JSON body (single request or
+ *    {"requests": [...]}), plus GET /healthz, /stats, /metrics.
+ *  - Length-prefixed frames for persistent clients: the 4 bytes
+ *    "SBP1", a 4-byte big-endian payload length, then the same JSON
+ *    payload as POST /schedule. Responses use identical framing, and
+ *    one connection can carry any number of frames back to back.
+ *
+ * Backpressure has two stages, mirroring DebugServer's handler pool:
+ * the acceptor sheds connections with 503 once the bounded pending
+ * queue is full, and scheduling endpoints shed with 429 once
+ * maxInflight request bodies are being evaluated (health/stats
+ * stay served under full load, so operators can still see in).
+ * Every connection read runs under the shared poll() deadline from
+ * support/http.hh — a stalled client costs a handler thread at most
+ * recvTimeoutMs.
+ *
+ * The cache disposition of a scheduling response ("hit", "miss", or
+ * "partial" for mixed batches) travels in the X-Balance-Cache header,
+ * never the body: identical requests produce bitwise-identical bodies
+ * on every path.
+ */
+
+#ifndef BALANCE_SERVICE_SERVER_HH
+#define BALANCE_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/engine.hh"
+#include "service/protocol.hh"
+
+namespace balance
+{
+
+/** ServiceServer configuration. */
+struct ServiceServerOptions
+{
+    /** TCP port to bind; 0 picks an ephemeral port. */
+    int port = 0;
+    /** Bind address (loopback by default). */
+    std::string bindAddress = "127.0.0.1";
+    /** Handler pool size (connections served concurrently). */
+    int handlerThreads = 4;
+    /** Max accepted-but-unserved connections before 503-shedding. */
+    int maxQueue = 64;
+    /** Max request bodies under evaluation before 429-shedding. */
+    int maxInflight = 8;
+    /** Per-connection receive deadline (support/http.hh). */
+    int recvTimeoutMs = 5000;
+    /** Max request body bytes (HTTP and frame payloads). */
+    std::size_t maxBodyBytes = 1 << 20;
+    /** Request parse limits (batch size, op count, B&B node cap). */
+    ProtocolLimits protocol;
+    /** GraphContext cache capacity. */
+    std::size_t cacheCapacity = 256;
+    /** Batch fan-out concurrency cap; 0 = hardware (EngineOptions). */
+    int threads = 0;
+};
+
+/** The scheduling service listener (see file comment). */
+class ServiceServer
+{
+  public:
+    ServiceServer() = default;
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer &) = delete;
+    ServiceServer &operator=(const ServiceServer &) = delete;
+
+    /**
+     * Bind, listen, and start the acceptor + handler threads.
+     * @return true on success; on failure logs to stderr and leaves
+     *         the server inactive.
+     */
+    bool start(const ServiceServerOptions &opts);
+
+    /** Stop all threads and close the socket. Idempotent. */
+    void stop();
+
+    /** @return true between a successful start() and stop(). */
+    bool active() const { return running.load(std::memory_order_acquire); }
+
+    /** @return the bound port (valid while active). */
+    int port() const { return boundPort; }
+
+    /** @return "http://<addr>:<port>" (valid while active). */
+    const std::string &address() const { return boundAddress; }
+
+    /** @return the engine (cache stats; valid while active). */
+    const ScheduleEngine &engine() const { return *scheduleEngine; }
+
+    /** @return a JSON snapshot of service counters and cache state. */
+    std::string statsJson() const;
+
+  private:
+    void acceptLoop();
+    void handlerLoop();
+    void serveConnection(int fd);
+    void serveHttp(int fd);
+    void serveFrames(int fd);
+
+    /**
+     * Parse + execute one scheduling payload.
+     * @param cacheState receives hit/miss/partial.
+     * @return {HTTP status, response body}.
+     */
+    std::pair<int, std::string> handleSchedule(
+        const std::string &body, std::string &cacheState);
+
+    ServiceServerOptions options;
+    std::unique_ptr<ScheduleEngine> scheduleEngine;
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<int> inflight{0};
+    std::atomic<long long> served{0};
+    std::atomic<long long> shed429{0};
+    std::atomic<long long> shed503{0};
+    std::atomic<long long> badRequests{0};
+    int listenFd = -1;
+    int boundPort = 0;
+    std::string boundAddress;
+    std::thread acceptor;
+    std::vector<std::thread> handlers;
+    std::mutex queueMutex;
+    std::condition_variable queueCv;
+    std::deque<int> pending;
+};
+
+} // namespace balance
+
+#endif // BALANCE_SERVICE_SERVER_HH

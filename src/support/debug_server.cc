@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "support/http.hh"
 #include "support/metrics.hh"
 #include "support/perf_counters.hh"
 #include "support/progress.hh"
@@ -19,57 +20,6 @@
 
 namespace balance
 {
-
-namespace
-{
-
-/** Write all of @p data to @p fd, retrying short writes / EINTR. */
-void
-writeAll(int fd, const char *data, std::size_t len)
-{
-    std::size_t done = 0;
-    while (done < len) {
-        ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return; // peer went away; nothing useful to do
-        }
-        done += std::size_t(n);
-    }
-}
-
-const char *
-statusText(int status)
-{
-    switch (status) {
-      case 200:
-        return "OK";
-      case 404:
-        return "Not Found";
-      case 405:
-        return "Method Not Allowed";
-      case 503:
-        return "Service Unavailable";
-      default:
-        return "Error";
-    }
-}
-
-void
-writeResponse(int fd, int status, const std::string &contentType,
-              const std::string &body)
-{
-    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
-                       statusText(status) + "\r\n";
-    head += "Content-Type: " + contentType + "\r\n";
-    head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-    head += "Connection: close\r\n\r\n";
-    writeAll(fd, head.data(), head.size());
-    writeAll(fd, body.data(), body.size());
-}
-
-} // namespace
 
 DebugServer::~DebugServer() { stop(); }
 
@@ -156,6 +106,7 @@ DebugServer::start(const DebugServerOptions &opts)
     boundAddress =
         "http://" + opts.bindAddress + ":" + std::to_string(boundPort);
     maxQueue = opts.maxQueue > 0 ? opts.maxQueue : 1;
+    recvTimeoutMs = opts.recvTimeoutMs;
     stopping.store(false, std::memory_order_release);
     running.store(true, std::memory_order_release);
 
@@ -232,8 +183,8 @@ DebugServer::acceptLoop()
                 pending.push_back(fd);
         }
         if (shed) {
-            writeResponse(fd, 503, "text/plain; charset=utf-8",
-                          "overloaded\n");
+            writeHttpResponse(fd, 503, "text/plain; charset=utf-8",
+                              "overloaded\n");
             ::close(fd);
         } else {
             queueCv.notify_one();
@@ -265,41 +216,36 @@ DebugServer::handlerLoop()
 void
 DebugServer::serveConnection(int fd)
 {
-    // Read until the end of the request head (tiny requests only; a
-    // scraper's GET fits in one or two reads).
-    std::string req;
-    char buf[2048];
-    while (req.size() < 16 * 1024 &&
-           req.find("\r\n\r\n") == std::string::npos) {
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            break;
-        }
-        req.append(buf, std::size_t(n));
-    }
-    std::size_t lineEnd = req.find("\r\n");
-    if (lineEnd == std::string::npos)
+    // Scraper GETs only: no body, tiny head, and a hard deadline so
+    // a stalled client frees its handler thread after recvTimeoutMs.
+    HttpLimits limits;
+    limits.recvTimeoutMs = recvTimeoutMs;
+    limits.maxBodyBytes = 0;
+    HttpRequest req;
+    switch (readHttpRequest(fd, req, limits)) {
+      case HttpReadResult::Ok:
+        break;
+      case HttpReadResult::Closed:
         return;
-    std::string line = req.substr(0, lineEnd);
-
-    std::size_t sp1 = line.find(' ');
-    std::size_t sp2 =
-        sp1 == std::string::npos ? std::string::npos
-                                 : line.find(' ', sp1 + 1);
-    if (sp1 == std::string::npos || sp2 == std::string::npos) {
-        writeResponse(fd, 404, "text/plain; charset=utf-8",
-                      "bad request\n");
+      case HttpReadResult::Timeout:
+        writeHttpResponse(fd, 408, "text/plain; charset=utf-8",
+                          "request timeout\n");
+        return;
+      case HttpReadResult::TooLarge:
+        writeHttpResponse(fd, 413, "text/plain; charset=utf-8",
+                          "request too large\n");
+        return;
+      case HttpReadResult::Malformed:
+        writeHttpResponse(fd, 400, "text/plain; charset=utf-8",
+                          "bad request\n");
         return;
     }
-    std::string method = line.substr(0, sp1);
-    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    if (method != "GET" && method != "HEAD") {
-        writeResponse(fd, 405, "text/plain; charset=utf-8",
-                      "method not allowed\n");
+    if (req.method != "GET" && req.method != "HEAD") {
+        writeHttpResponse(fd, 405, "text/plain; charset=utf-8",
+                          "method not allowed\n");
         return;
     }
+    std::string target = req.target;
     std::size_t q = target.find('?');
     if (q != std::string::npos)
         target.resize(q);
@@ -307,9 +253,8 @@ DebugServer::serveConnection(int fd)
     int status = 0;
     std::string contentType;
     std::string body = handlePath(target, status, contentType);
-    if (method == "HEAD")
-        body.clear();
-    writeResponse(fd, status, contentType, body);
+    writeHttpResponse(fd, status, contentType, body,
+                      req.method == "HEAD");
 }
 
 } // namespace balance

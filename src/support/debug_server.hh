@@ -50,6 +50,13 @@ struct DebugServerOptions
     int handlerThreads = 4;
     /** Max accepted-but-unserved connections before 503-shedding. */
     int maxQueue = 64;
+    /**
+     * Per-connection receive deadline (support/http.hh). A client
+     * that connects and stalls gets a 408 after this long instead of
+     * pinning a handler thread forever. <= 0 disables the deadline
+     * (tests only).
+     */
+    int recvTimeoutMs = 5000;
 };
 
 /** The diagnostics server (see file comment). */
@@ -107,6 +114,7 @@ class DebugServer
     std::condition_variable queueCv;
     std::deque<int> pending;
     int maxQueue = 64;
+    int recvTimeoutMs = 5000;
 };
 
 } // namespace balance

@@ -1,0 +1,249 @@
+#include "support/http.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace balance
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Milliseconds left until @p deadline, clamped at 0. */
+int
+remainingMs(Clock::time_point deadline)
+{
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+    return left < 0 ? 0 : int(left > 1 << 30 ? 1 << 30 : left);
+}
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = char(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** recv() against an absolute deadline (infinite when @p infinite). */
+ssize_t
+recvUntil(int fd, void *buf, std::size_t len, bool infinite,
+          Clock::time_point deadline)
+{
+    for (;;) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        int waitMs = infinite ? -1 : remainingMs(deadline);
+        if (!infinite && waitMs == 0)
+            return -2;
+        int rc = ::poll(&pfd, 1, waitMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (rc == 0)
+            return -2; // deadline expired
+        ssize_t n = ::recv(fd, buf, len, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return n;
+    }
+}
+
+} // namespace
+
+const std::string *
+HttpRequest::header(const std::string &nameLower) const
+{
+    for (const auto &[name, value] : headers) {
+        if (name == nameLower)
+            return &value;
+    }
+    return nullptr;
+}
+
+ssize_t
+recvWithDeadline(int fd, void *buf, std::size_t len, int deadlineMs)
+{
+    bool infinite = deadlineMs <= 0;
+    return recvUntil(fd, buf, len, infinite,
+                     Clock::now() +
+                         std::chrono::milliseconds(
+                             infinite ? 0 : deadlineMs));
+}
+
+HttpReadResult
+readHttpRequest(int fd, HttpRequest &out, const HttpLimits &limits)
+{
+    out = HttpRequest{};
+    bool infinite = limits.recvTimeoutMs <= 0;
+    Clock::time_point deadline =
+        Clock::now() +
+        std::chrono::milliseconds(infinite ? 0 : limits.recvTimeoutMs);
+
+    // Accumulate until the head terminator; anything past it is the
+    // start of the body.
+    std::string data;
+    char buf[4096];
+    std::size_t headEnd;
+    for (;;) {
+        headEnd = data.find("\r\n\r\n");
+        if (headEnd != std::string::npos)
+            break;
+        if (data.size() > limits.maxHeadBytes)
+            return HttpReadResult::TooLarge;
+        ssize_t n = recvUntil(fd, buf, sizeof(buf), infinite, deadline);
+        if (n == -2)
+            return HttpReadResult::Timeout;
+        if (n < 0)
+            return HttpReadResult::Malformed;
+        if (n == 0) {
+            return data.empty() ? HttpReadResult::Closed
+                                : HttpReadResult::Malformed;
+        }
+        data.append(buf, std::size_t(n));
+    }
+
+    // Request line: METHOD SP TARGET SP HTTP/x.y
+    std::size_t lineEnd = data.find("\r\n");
+    std::string line = data.substr(0, lineEnd);
+    std::size_t sp1 = line.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        sp1 == 0 || sp2 == sp1 + 1)
+        return HttpReadResult::Malformed;
+    out.method = line.substr(0, sp1);
+    out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    out.version = line.substr(sp2 + 1);
+    if (out.version.rfind("HTTP/", 0) != 0 || out.target.empty())
+        return HttpReadResult::Malformed;
+
+    // Header block.
+    std::size_t pos = lineEnd + 2;
+    while (pos < headEnd) {
+        std::size_t end = data.find("\r\n", pos);
+        std::string header = data.substr(pos, end - pos);
+        pos = end + 2;
+        std::size_t colon = header.find(':');
+        if (colon == std::string::npos || colon == 0)
+            return HttpReadResult::Malformed;
+        out.headers.emplace_back(toLower(trim(header.substr(0, colon))),
+                                 trim(header.substr(colon + 1)));
+    }
+
+    // Body: Content-Length only. Chunked encoding is out of scope —
+    // reject it rather than silently misread the framing.
+    if (out.header("transfer-encoding"))
+        return HttpReadResult::Malformed;
+    std::size_t bodyLen = 0;
+    if (const std::string *cl = out.header("content-length")) {
+        errno = 0;
+        char *endp = nullptr;
+        unsigned long long v = std::strtoull(cl->c_str(), &endp, 10);
+        if (errno != 0 || endp == cl->c_str() || *endp != '\0')
+            return HttpReadResult::Malformed;
+        if (v > limits.maxBodyBytes)
+            return HttpReadResult::TooLarge;
+        bodyLen = std::size_t(v);
+    }
+    out.body = data.substr(headEnd + 4);
+    if (out.body.size() > bodyLen)
+        return HttpReadResult::Malformed; // bytes beyond the declared body
+    while (out.body.size() < bodyLen) {
+        ssize_t n = recvUntil(fd, buf, sizeof(buf), infinite, deadline);
+        if (n == -2)
+            return HttpReadResult::Timeout;
+        if (n <= 0)
+            return HttpReadResult::Malformed; // truncated body
+        out.body.append(buf, std::size_t(n));
+        if (out.body.size() > bodyLen)
+            return HttpReadResult::Malformed;
+    }
+    return HttpReadResult::Ok;
+}
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 408:
+        return "Request Timeout";
+      case 413:
+        return "Payload Too Large";
+      case 429:
+        return "Too Many Requests";
+      case 500:
+        return "Internal Server Error";
+      case 503:
+        return "Service Unavailable";
+      default:
+        return "Error";
+    }
+}
+
+bool
+writeAllFd(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    std::size_t done = 0;
+    while (done < len) {
+        ssize_t n = ::send(fd, p + done, len - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // peer went away; nothing useful to do
+        }
+        done += std::size_t(n);
+    }
+    return true;
+}
+
+void
+writeHttpResponse(int fd, int status, const std::string &contentType,
+                  const std::string &body, bool headOnly)
+{
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       httpStatusText(status) + "\r\n";
+    head += "Content-Type: " + contentType + "\r\n";
+    head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    if (!writeAllFd(fd, head.data(), head.size()))
+        return;
+    if (!headOnly)
+        writeAllFd(fd, body.data(), body.size());
+}
+
+} // namespace balance

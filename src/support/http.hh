@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal dependency-free socket/HTTP-1.1 plumbing shared by the
+ * diagnostics server (support/debug_server.hh) and the scheduling
+ * service (service/server.hh). Everything here is blocking I/O with
+ * an explicit poll()-based deadline: a client that connects and then
+ * stalls can hold a handler thread for at most `recvTimeoutMs`, never
+ * forever.
+ *
+ * The request reader understands exactly the subset both servers
+ * need — a request line, headers, and an optional Content-Length
+ * body — and classifies every failure (peer closed, deadline
+ * expired, head/body over limit, unparseable framing) so callers can
+ * map each one to the right HTTP status (408 / 413 / 400).
+ */
+
+#ifndef BALANCE_SUPPORT_HTTP_HH
+#define BALANCE_SUPPORT_HTTP_HH
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace balance
+{
+
+/** Read limits for one connection. */
+struct HttpLimits
+{
+    /**
+     * Deadline in milliseconds for receiving the complete request
+     * (head and body share one budget). <= 0 means wait forever —
+     * only sensible in tests.
+     */
+    int recvTimeoutMs = 5000;
+    /** Max bytes of request line + headers. */
+    std::size_t maxHeadBytes = 16 * 1024;
+    /** Max bytes of declared Content-Length body. */
+    std::size_t maxBodyBytes = 1 << 20;
+};
+
+/** One parsed HTTP/1.1 request. */
+struct HttpRequest
+{
+    std::string method;  ///< "GET", "POST", ... (verbatim)
+    std::string target;  ///< request target incl. any query string
+    std::string version; ///< "HTTP/1.1"
+    /** Headers in arrival order; names lower-cased, values trimmed. */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body; ///< Content-Length bytes (empty if none)
+
+    /** @return the first header named @p nameLower, or nullptr. */
+    const std::string *header(const std::string &nameLower) const;
+};
+
+/** Outcome of readHttpRequest (see the status mapping in the file
+ *  comment). */
+enum class HttpReadResult
+{
+    Ok,        ///< request fully read and parsed
+    Closed,    ///< peer closed before sending anything
+    Timeout,   ///< deadline expired mid-request (-> 408)
+    TooLarge,  ///< head or declared body over limit (-> 413)
+    Malformed, ///< framing or header syntax error (-> 400)
+};
+
+/**
+ * recv() with a deadline. Retries EINTR; polls until data, close, or
+ * the deadline.
+ * @return >0 bytes read, 0 peer closed, -1 socket error, -2 deadline
+ *         expired.
+ */
+ssize_t recvWithDeadline(int fd, void *buf, std::size_t len,
+                         int deadlineMs);
+
+/**
+ * Read and parse one HTTP request from @p fd (blocking, deadline
+ * from @p limits). On Ok, @p out is fully populated; on any other
+ * result its contents are unspecified.
+ */
+HttpReadResult readHttpRequest(int fd, HttpRequest &out,
+                               const HttpLimits &limits = {});
+
+/** @return the canonical reason phrase for @p status. */
+const char *httpStatusText(int status);
+
+/**
+ * Write all of @p len bytes, retrying short writes / EINTR.
+ * @return false if the peer went away.
+ */
+bool writeAllFd(int fd, const void *data, std::size_t len);
+
+/**
+ * Serialize and send a complete "Connection: close" HTTP response.
+ * @p headOnly sends the header block with the real Content-Length
+ * but no body bytes (HEAD semantics).
+ */
+void writeHttpResponse(int fd, int status,
+                       const std::string &contentType,
+                       const std::string &body, bool headOnly = false);
+
+} // namespace balance
+
+#endif // BALANCE_SUPPORT_HTTP_HH

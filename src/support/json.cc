@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -217,10 +218,20 @@ JsonWriter &
 JsonWriter::value(double v)
 {
     separator();
+    // JSON has no inf/nan literals; null is the one portable stand-in.
+    if (!std::isfinite(v)) {
+        raw("null");
+        return *this;
+    }
     char buf[40];
-    // %.12g round-trips every quantity we emit (timings, ratios,
-    // bound values) without trailing noise digits.
+    // %.12g keeps the common quantities we emit (timings, ratios,
+    // bound values) free of trailing noise digits, but is lossy for
+    // doubles that need up to 17 significant digits. Parse the
+    // rendering back: when it is not bit-equal, pay the extra digits
+    // so parse -> dump round-trips exactly.
     std::snprintf(buf, sizeof(buf), "%.12g", v);
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
     raw(buf);
     return *this;
 }

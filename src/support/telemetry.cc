@@ -264,7 +264,8 @@ initTelemetry(const TelemetryOptions &opts)
     // threads below must inherit the blocked mask, or a
     // process-directed SIGINT/SIGTERM could be delivered to one of
     // them (default action, no flush) instead of the watcher.
-    installSignalFlush();
+    if (opts.manageSignals)
+        installSignalFlush();
 
     s.metricsPath = opts.metricsOut;
     s.tracePath = opts.traceOut;

@@ -39,6 +39,14 @@ struct TelemetryOptions
     std::string debugServer;
     /** --metrics-interval in milliseconds; 0 = no timeline. */
     long long metricsIntervalMs = 0;
+    /**
+     * Install the SIGINT/SIGTERM watcher that flushes telemetry and
+     * exits. Long-running daemons (bench/balance_serviced) set this
+     * false and own signal handling themselves — two sigwait
+     * watchers would race for the same signal — calling
+     * TelemetryFlusher::flushAll() on their shutdown path instead.
+     */
+    bool manageSignals = true;
 };
 
 /**

@@ -49,99 +49,158 @@ writeSuperblocks(std::ostream &os, const std::vector<Superblock> &sbs)
 namespace
 {
 
-/** Parser state for one superblock body. */
+/**
+ * Parser state for one superblock body. Every check reports through
+ * the error string instead of bsFatal/bsAssert so untrusted input
+ * (the service daemon's request bodies) can never abort the process;
+ * the checks mirror — and therefore pre-empt — every builder /
+ * validate() assertion reachable from text input.
+ */
 class SbParser
 {
   public:
-    void
+    explicit SbParser(std::string &error) : error(error) {}
+
+    bool
     begin(const std::string &name, int lineNo)
     {
         if (builder)
-            bsFatal("line ", lineNo, ": nested 'superblock' directive");
+            return fail(lineNo, "nested 'superblock' directive");
         builder = std::make_unique<SuperblockBuilder>(name);
         nextId = 0;
+        branchCount = 0;
+        probSum = 0.0;
+        return true;
     }
 
     bool active() const { return builder != nullptr; }
 
-    void
+    bool
     freq(double f, int lineNo)
     {
-        require(lineNo);
+        if (!require(lineNo))
+            return false;
+        if (!(f >= 0.0))
+            return fail(lineNo, "negative execution frequency");
         builder->setFrequency(f);
+        return true;
     }
 
-    void
+    bool
     op(long long id, const std::string &clsName, long long latency,
        std::string name, int lineNo)
     {
-        require(lineNo);
-        if (id != nextId)
-            bsFatal("line ", lineNo, ": operation id ", id,
-                    " out of order (expected ", nextId, ")");
+        if (!require(lineNo))
+            return false;
+        if (id != nextId) {
+            return fail(lineNo, "operation id " + std::to_string(id) +
+                                    " out of order (expected " +
+                                    std::to_string(nextId) + ")");
+        }
         OpClass cls;
         if (!parseOpClass(clsName, cls) || cls == OpClass::Branch)
-            bsFatal("line ", lineNo, ": bad op class '", clsName, "'");
+            return fail(lineNo, "bad op class '" + clsName + "'");
+        if (latency < 0 || latency > maxLatency)
+            return fail(lineNo, "op latency out of range");
         builder->addOp(cls, int(latency), std::move(name));
         ++nextId;
+        return true;
     }
 
-    void
+    bool
     branch(long long id, double prob, long long latency,
            std::string name, int lineNo)
     {
-        require(lineNo);
-        if (id != nextId)
-            bsFatal("line ", lineNo, ": branch id ", id,
-                    " out of order (expected ", nextId, ")");
+        if (!require(lineNo))
+            return false;
+        if (id != nextId) {
+            return fail(lineNo, "branch id " + std::to_string(id) +
+                                    " out of order (expected " +
+                                    std::to_string(nextId) + ")");
+        }
+        if (!(prob >= 0.0 && prob <= 1.0))
+            return fail(lineNo, "branch probability outside [0, 1]");
+        if (latency < 0 || latency > maxLatency)
+            return fail(lineNo, "branch latency out of range");
+        probSum += prob;
+        if (probSum > 1.0 + 1e-6)
+            return fail(lineNo, "exit probabilities sum over 1");
         builder->addBranch(prob, std::move(name), int(latency));
         ++nextId;
+        ++branchCount;
+        return true;
     }
 
-    void
+    bool
     edge(long long src, long long dst, long long latency, int lineNo)
     {
-        require(lineNo);
+        if (!require(lineNo))
+            return false;
         if (src < 0 || src >= nextId || dst < 0 || dst >= nextId ||
             src >= dst) {
-            bsFatal("line ", lineNo, ": bad edge ", src, " -> ", dst);
+            return fail(lineNo, "bad edge " + std::to_string(src) +
+                                    " -> " + std::to_string(dst));
         }
+        if (latency < 0 || latency > maxLatency)
+            return fail(lineNo, "edge latency out of range");
         builder->addEdge(OpId(src), OpId(dst), int(latency));
+        return true;
     }
 
-    Superblock
-    end(int lineNo)
+    bool
+    end(std::vector<Superblock> &out, int lineNo)
     {
-        require(lineNo);
-        Superblock sb = builder->build();
+        if (!require(lineNo))
+            return false;
+        if (nextId == 0)
+            return fail(lineNo, "superblock has no operations");
+        if (branchCount == 0)
+            return fail(lineNo, "superblock needs at least one exit");
+        out.push_back(builder->build());
         builder.reset();
-        return sb;
+        return true;
     }
 
   private:
-    void
-    require(int lineNo) const
+    bool
+    require(int lineNo)
     {
         if (!builder)
-            bsFatal("line ", lineNo,
-                    ": directive outside a superblock block");
+            return fail(lineNo, "directive outside a superblock block");
+        return true;
     }
 
+    bool
+    fail(int lineNo, const std::string &what)
+    {
+        error = "line " + std::to_string(lineNo) + ": " + what;
+        return false;
+    }
+
+    // Latencies feed int arithmetic in the bound/schedule kernels;
+    // cap them well below INT_MAX so sums cannot overflow.
+    static constexpr long long maxLatency = 1 << 24;
+
+    std::string &error;
     std::unique_ptr<SuperblockBuilder> builder;
     long long nextId = 0;
+    long long branchCount = 0;
+    double probSum = 0.0;
 };
 
 } // namespace
 
-std::vector<Superblock>
-readSuperblocks(std::istream &is)
+bool
+tryReadSuperblocks(std::istream &is, std::vector<Superblock> &out,
+                   std::string *errorOut)
 {
-    std::vector<Superblock> out;
-    SbParser parser;
+    std::string error;
+    SbParser parser(error);
     std::string line;
     int lineNo = 0;
+    bool ok = true;
 
-    while (std::getline(is, line)) {
+    while (ok && std::getline(is, line)) {
         ++lineNo;
         std::size_t hash = line.find('#');
         if (hash != std::string::npos)
@@ -152,9 +211,17 @@ readSuperblocks(std::istream &is)
 
         const std::string &kind = tok[0];
         auto wantArgs = [&](std::size_t minArgs) {
-            if (tok.size() < minArgs + 1)
-                bsFatal("line ", lineNo, ": '", kind, "' needs at least ",
-                        minArgs, " arguments");
+            if (tok.size() >= minArgs + 1)
+                return true;
+            error = "line " + std::to_string(lineNo) + ": '" + kind +
+                    "' needs at least " + std::to_string(minArgs) +
+                    " arguments";
+            return false;
+        };
+        auto badNumbers = [&] {
+            error = "line " + std::to_string(lineNo) + ": bad '" +
+                    kind + "' numbers";
+            return false;
         };
         long long a = 0;
         long long b = 0;
@@ -162,53 +229,85 @@ readSuperblocks(std::istream &is)
         double d = 0.0;
 
         if (kind == "superblock") {
-            wantArgs(1);
-            parser.begin(tok[1], lineNo);
+            ok = wantArgs(1) && parser.begin(tok[1], lineNo);
         } else if (kind == "freq") {
-            wantArgs(1);
-            if (!parseDouble(tok[1], d))
-                bsFatal("line ", lineNo, ": bad frequency");
-            parser.freq(d, lineNo);
+            ok = wantArgs(1) &&
+                 (parseDouble(tok[1], d) ? parser.freq(d, lineNo)
+                                         : badNumbers());
         } else if (kind == "op") {
-            wantArgs(3);
-            if (!parseInt(tok[1], a) || !parseInt(tok[3], b))
-                bsFatal("line ", lineNo, ": bad op numbers");
-            parser.op(a, tok[2], b, tok.size() > 4 ? tok[4] : "",
-                      lineNo);
+            ok = wantArgs(3) &&
+                 ((parseInt(tok[1], a) && parseInt(tok[3], b))
+                      ? parser.op(a, tok[2], b,
+                                  tok.size() > 4 ? tok[4] : "", lineNo)
+                      : badNumbers());
         } else if (kind == "branch") {
-            wantArgs(3);
-            if (!parseInt(tok[1], a) || !parseDouble(tok[2], d) ||
-                !parseInt(tok[3], b)) {
-                bsFatal("line ", lineNo, ": bad branch numbers");
-            }
-            parser.branch(a, d, b, tok.size() > 4 ? tok[4] : "",
-                          lineNo);
+            ok = wantArgs(3) &&
+                 ((parseInt(tok[1], a) && parseDouble(tok[2], d) &&
+                   parseInt(tok[3], b))
+                      ? parser.branch(a, d, b,
+                                      tok.size() > 4 ? tok[4] : "",
+                                      lineNo)
+                      : badNumbers());
         } else if (kind == "edge") {
-            wantArgs(3);
-            if (!parseInt(tok[1], a) || !parseInt(tok[2], b) ||
-                !parseInt(tok[3], c)) {
-                bsFatal("line ", lineNo, ": bad edge numbers");
-            }
-            parser.edge(a, b, c, lineNo);
+            ok = wantArgs(3) &&
+                 ((parseInt(tok[1], a) && parseInt(tok[2], b) &&
+                   parseInt(tok[3], c))
+                      ? parser.edge(a, b, c, lineNo)
+                      : badNumbers());
         } else if (kind == "end") {
-            out.push_back(parser.end(lineNo));
+            ok = parser.end(out, lineNo);
         } else {
-            bsFatal("line ", lineNo, ": unknown directive '", kind, "'");
+            error = "line " + std::to_string(lineNo) +
+                    ": unknown directive '" + kind + "'";
+            ok = false;
         }
     }
-    if (parser.active())
-        bsFatal("unexpected end of input: missing 'end'");
+    if (ok && parser.active()) {
+        error = "unexpected end of input: missing 'end'";
+        ok = false;
+    }
+    if (!ok && errorOut)
+        *errorOut = error;
+    return ok;
+}
+
+bool
+tryParseSuperblock(const std::string &text, Superblock *out,
+                   std::string *errorOut)
+{
+    std::istringstream iss(text);
+    std::vector<Superblock> sbs;
+    if (!tryReadSuperblocks(iss, sbs, errorOut))
+        return false;
+    if (sbs.size() != 1) {
+        if (errorOut)
+            *errorOut = "expected exactly one superblock, found " +
+                        std::to_string(sbs.size());
+        return false;
+    }
+    if (out)
+        *out = std::move(sbs.front());
+    return true;
+}
+
+std::vector<Superblock>
+readSuperblocks(std::istream &is)
+{
+    std::vector<Superblock> out;
+    std::string error;
+    if (!tryReadSuperblocks(is, out, &error))
+        bsFatal(error);
     return out;
 }
 
 Superblock
 parseSuperblock(const std::string &text)
 {
-    std::istringstream iss(text);
-    std::vector<Superblock> sbs = readSuperblocks(iss);
-    if (sbs.size() != 1)
-        bsFatal("expected exactly one superblock, found ", sbs.size());
-    return std::move(sbs.front());
+    Superblock sb;
+    std::string error;
+    if (!tryParseSuperblock(text, &sb, &error))
+        bsFatal(error);
+    return sb;
 }
 
 std::vector<Superblock>

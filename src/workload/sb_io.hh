@@ -47,6 +47,24 @@ std::vector<Superblock> readSuperblocks(std::istream &is);
 /** Parse exactly one superblock from a string. */
 Superblock parseSuperblock(const std::string &text);
 
+/**
+ * Checked variant of readSuperblocks for untrusted input (the
+ * service daemon): never aborts. Appends parsed superblocks to
+ * @p out until the stream ends or a parse error.
+ * @return true on success; false with a position-bearing message in
+ *         @p error (may be null) otherwise.
+ */
+bool tryReadSuperblocks(std::istream &is, std::vector<Superblock> &out,
+                        std::string *error);
+
+/**
+ * Checked variant of parseSuperblock: parse exactly one superblock
+ * into @p out (may be null to validate only).
+ * @return true on success; false with a message in @p error.
+ */
+bool tryParseSuperblock(const std::string &text, Superblock *out,
+                        std::string *error);
+
 /** Load superblocks from a file; fatal when unreadable. */
 std::vector<Superblock> loadSuperblockFile(const std::string &path);
 

@@ -1,0 +1,153 @@
+/**
+ * The GraphContext cache (service/graph_cache.hh): content-hash
+ * keying over the canonical .sb text, hit/miss/eviction accounting,
+ * LRU order, entry stability across eviction, and the warm-entry
+ * guarantee that makes shared entries safe for concurrent readers.
+ */
+
+#include "service/graph_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "workload/generator.hh"
+#include "workload/paper_figures.hh"
+#include "workload/sb_io.hh"
+
+namespace balance
+{
+namespace
+{
+
+/** A deterministic population of distinct superblocks. */
+std::vector<Superblock>
+population(int n)
+{
+    GeneratorParams params;
+    Rng rng(0xcafef00d1234ULL);
+    std::vector<Superblock> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(generateSuperblock(
+            rng, params, "cache_sb_" + std::to_string(i)));
+    return out;
+}
+
+TEST(GraphCache, MissThenHitSharesOneEntry)
+{
+    GraphContextCache cache(8);
+    bool hit = true;
+    auto first = cache.acquire(paperFigure6(), &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_EQ(cache.hits(), 0);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // A second acquire — even from a freshly parsed copy with its own
+    // object identity — lands on the same entry.
+    Superblock copy = parseSuperblock(writeSuperblock(paperFigure6()));
+    auto second = cache.acquire(copy, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(second.get(), first.get());
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(GraphCache, DistinctContentGetsDistinctEntries)
+{
+    GraphContextCache cache(16);
+    std::vector<Superblock> sbs = population(5);
+    std::vector<std::shared_ptr<const CachedGraph>> held;
+    for (const Superblock &sb : sbs)
+        held.push_back(cache.acquire(sb));
+    EXPECT_EQ(cache.size(), 5u);
+    EXPECT_EQ(cache.misses(), 5);
+    for (std::size_t i = 0; i < held.size(); ++i)
+        for (std::size_t j = i + 1; j < held.size(); ++j)
+            EXPECT_NE(held[i].get(), held[j].get());
+}
+
+TEST(GraphCache, EvictsLeastRecentlyUsedAtCapacity)
+{
+    GraphContextCache cache(2);
+    std::vector<Superblock> sbs = population(3);
+
+    cache.acquire(sbs[0]);
+    cache.acquire(sbs[1]);
+    // Touch 0 so 1 is the LRU victim when 2 arrives.
+    bool hit = false;
+    cache.acquire(sbs[0], &hit);
+    EXPECT_TRUE(hit);
+    cache.acquire(sbs[2]);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1);
+
+    cache.acquire(sbs[0], &hit);
+    EXPECT_TRUE(hit) << "recently-touched entry was evicted";
+    cache.acquire(sbs[1], &hit);
+    EXPECT_FALSE(hit) << "LRU entry survived past capacity";
+}
+
+TEST(GraphCache, EvictedEntriesStayUsableWhileHeld)
+{
+    GraphContextCache cache(1);
+    std::vector<Superblock> sbs = population(2);
+    auto held = cache.acquire(sbs[0]);
+    cache.acquire(sbs[1]); // evicts sbs[0]'s entry
+    EXPECT_EQ(cache.size(), 1u);
+
+    // The shared_ptr keeps the entry (and the context's underlying
+    // superblock) alive and readable.
+    EXPECT_EQ(held->sb.numOps(), sbs[0].numOps());
+    EXPECT_GE(held->ctx->criticalPath(), 0);
+    EXPECT_EQ(held->canonical, writeSuperblock(sbs[0]));
+}
+
+TEST(GraphCache, HashIsStableAndContentSensitive)
+{
+    std::string a = writeSuperblock(paperFigure6());
+    std::string b = writeSuperblock(paperFigure1(0.25));
+    EXPECT_EQ(GraphContextCache::hashText(a),
+              GraphContextCache::hashText(a));
+    EXPECT_NE(GraphContextCache::hashText(a),
+              GraphContextCache::hashText(b));
+}
+
+TEST(GraphCache, WarmedEntriesServeConcurrentReaders)
+{
+    GraphContextCache cache(4);
+    Superblock sb = paperFigure6();
+    auto entry = cache.acquire(sb);
+
+    // Entries are published fully warmed, so concurrent reads of the
+    // lazy accessors must be race-free (run under TSan via the
+    // parallel label).
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&entry] {
+            const GraphContext &ctx = *entry->ctx;
+            for (int bi = 0; bi < ctx.sb().numBranches(); ++bi) {
+                (void)ctx.closureOps(bi);
+                (void)ctx.reversedClosure(bi);
+            }
+        });
+    }
+    for (std::thread &t : readers)
+        t.join();
+
+    // Concurrent acquires of the same content all hit one entry.
+    std::vector<std::thread> acquirers;
+    std::vector<std::shared_ptr<const CachedGraph>> got(8);
+    for (int t = 0; t < 8; ++t) {
+        acquirers.emplace_back(
+            [&cache, &sb, &got, t] { got[std::size_t(t)] = cache.acquire(sb); });
+    }
+    for (std::thread &t : acquirers)
+        t.join();
+    for (const auto &g : got)
+        EXPECT_EQ(g.get(), entry.get());
+}
+
+} // namespace
+} // namespace balance

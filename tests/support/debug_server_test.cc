@@ -168,6 +168,79 @@ TEST(DebugServer, UnknownPathIs404AndBadMethodIs405)
     server.stop();
 }
 
+/** Raw bytes in, full response out, against 127.0.0.1:@p port. */
+std::string
+rawExchange(int port, const std::string &wire)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return "";
+    }
+    if (!wire.empty())
+        ::send(fd, wire.data(), wire.size(), 0);
+    std::string resp;
+    char buf[1024];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        resp.append(buf, std::size_t(n));
+    ::close(fd);
+    return resp;
+}
+
+// Regression: a garbage request line used to come back as 404 (the
+// unparsed target fell through to the not-found branch). Protocol
+// violations are the client's fault and must say so: 400.
+TEST(DebugServer, MalformedRequestLineIs400)
+{
+    DebugServer server;
+    DebugServerOptions opts;
+    ASSERT_TRUE(server.start(opts));
+    EXPECT_NE(rawExchange(server.port(), "GARBAGE\r\n\r\n")
+                  .find("HTTP/1.1 400"),
+              std::string::npos);
+    // No HTTP version at all -> still 400, not 404.
+    EXPECT_NE(rawExchange(server.port(), "GET /healthz\r\n\r\n")
+                  .find("HTTP/1.1 400"),
+              std::string::npos);
+    // Unknown paths keep their 404.
+    EXPECT_NE(httpGet(server.port(), "/nope").find("HTTP/1.1 404"),
+              std::string::npos);
+    server.stop();
+}
+
+// Regression: serveConnection used to block in recv() forever, so one
+// stalled client pinned a handler thread for the process lifetime.
+// With the poll() deadline the server answers 408 and moves on.
+TEST(DebugServer, StallingClientGets408AndDoesNotWedgeServer)
+{
+    DebugServer server;
+    DebugServerOptions opts;
+    opts.recvTimeoutMs = 200;
+    ASSERT_TRUE(server.start(opts));
+
+    // Half a request line, then silence: the deadline must fire.
+    std::string resp = rawExchange(server.port(), "GET /heal");
+    EXPECT_NE(resp.find("HTTP/1.1 408"), std::string::npos) << resp;
+
+    // A connection that never sends a byte times out the same way,
+    // and the handler thread it occupied is free to serve the next
+    // request immediately afterwards.
+    EXPECT_NE(rawExchange(server.port(), "").find("HTTP/1.1 408"),
+              std::string::npos);
+    EXPECT_NE(httpGet(server.port(), "/healthz")
+                  .find("HTTP/1.1 200 OK"),
+              std::string::npos);
+    server.stop();
+}
+
 TEST(DebugServer, StopIsIdempotentAndRestartable)
 {
     DebugServer server;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
 namespace balance
 {
 namespace
@@ -86,6 +90,48 @@ TEST(JsonWriter, OutputValidates)
         w.value(i * 0.5);
     w.endArray().key("neg").value(-3).endObject();
     EXPECT_TRUE(jsonLooksValid(w.str()));
+}
+
+// Regression: infinities and NaN used to be printed through %.12g,
+// producing bare `inf` / `nan` tokens that no JSON parser accepts.
+TEST(JsonWriter, NonFiniteDoublesEmitNull)
+{
+    JsonWriter w;
+    w.beginArray()
+        .value(std::numeric_limits<double>::infinity())
+        .value(-std::numeric_limits<double>::infinity())
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .endArray();
+    EXPECT_EQ(w.str(), "[null,null,null]");
+    EXPECT_TRUE(jsonLooksValid(w.str()));
+}
+
+// Regression: %.12g silently dropped precision, so two doubles one
+// ulp apart could serialize to the same text. When 12 digits do not
+// round-trip, the writer must fall back to %.17g (which always does).
+TEST(JsonWriter, DoublesRoundTripBitExact)
+{
+    const double cases[] = {
+        0.1,
+        1.0 / 3.0,
+        std::nextafter(1.0, 2.0),
+        123456789.123456789,
+        1e-300,
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        -2.2250738585072014e-308,
+    };
+    for (double v : cases) {
+        JsonWriter w;
+        w.value(v);
+        double back = std::strtod(w.str().c_str(), nullptr);
+        EXPECT_EQ(back, v) << w.str();
+    }
+    // A value %.12g already represents exactly must keep the short
+    // spelling — artifacts committed before the fix stay byte-stable.
+    JsonWriter w;
+    w.value(2.5);
+    EXPECT_EQ(w.str(), "2.5");
 }
 
 TEST(JsonLooksValid, AcceptsWellFormed)

@@ -164,5 +164,66 @@ TEST(SbIo, RejectsMissingEnd)
         "missing 'end'");
 }
 
+// The checked entry points exist for untrusted input (the service
+// layer): every malformed document must come back as false + error,
+// never a fatal. Each case here would abort via parseSuperblock.
+TEST(SbIo, TryParseReportsErrorsWithoutAborting)
+{
+    const char *cases[][2] = {
+        {"", "expected exactly one superblock, found 0"},
+        {"superblock x\nend\n", "no operations"},
+        {"superblock x\nop 0 int 1\nend\n", "at least one exit"},
+        {"superblock x\nbogus 1\nend\n", "unknown directive"},
+        {"superblock x\nop 1 int 1\nend\n", "out of order"},
+        {"superblock x\nop 0 int 1\nbranch 1 1.0 1\nedge 1 0 1\nend\n",
+         "bad edge"},
+        {"superblock x\nop 0 int 1\n", "missing 'end'"},
+        {"superblock x\nop 0 int -3\nbranch 1 1.0 1\nend\n",
+         "latency"},
+        {"superblock x\nop 0 int 1\nbranch 1 1.5 1\nend\n",
+         "probability"},
+        {"superblock x\nop 0 int 1\nbranch 1 0.8 1\n"
+         "branch 2 0.8 1\nend\n",
+         "probabilities"},
+        {"superblock x\nfreq -1\nop 0 int 1\nbranch 1 1.0 1\nend\n",
+         "freq"},
+        {"superblock x\nop 0 int notanumber\nbranch 1 1.0 1\nend\n",
+         "number"},
+    };
+    for (const auto &[text, expect] : cases) {
+        Superblock sb;
+        std::string error;
+        EXPECT_FALSE(tryParseSuperblock(text, &sb, &error)) << text;
+        EXPECT_NE(error.find(expect), std::string::npos)
+            << "input: " << text << "\nerror: " << error;
+    }
+}
+
+TEST(SbIo, TryParseAcceptsWellFormedAndMatchesFatalPath)
+{
+    std::string text = writeSuperblock(paperFigure6());
+    Superblock sb;
+    std::string error;
+    ASSERT_TRUE(tryParseSuperblock(text, &sb, &error)) << error;
+    EXPECT_EQ(writeSuperblock(sb), text);
+    EXPECT_EQ(sb.numOps(), parseSuperblock(text).numOps());
+}
+
+TEST(SbIo, TryReadSuperblocksRejectsTrailingSecondBlockInTryParse)
+{
+    // tryParseSuperblock wants exactly one superblock; the stream
+    // reader takes any number.
+    std::string two = writeSuperblock(paperFigure6()) +
+                      writeSuperblock(paperFigure1(0.25));
+    Superblock sb;
+    std::string error;
+    EXPECT_FALSE(tryParseSuperblock(two, &sb, &error));
+
+    std::istringstream is(two);
+    std::vector<Superblock> all;
+    ASSERT_TRUE(tryReadSuperblocks(is, all, &error)) << error;
+    EXPECT_EQ(all.size(), 2u);
+}
+
 } // namespace
 } // namespace balance

@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
-"""Gate the committed BENCH_*.json artifacts against the speedup
-floors in tools/perf_budgets.json (bench_speedup_floors).
+"""Gate the committed BENCH_*.json artifacts against the floors in
+tools/perf_budgets.json.
 
 Run from the repository root after refreshing a bench artifact:
 
     python3 tools/check_bench_floors.py
 
-Each listed artifact must report engine-vs-naive speedup at or above
-its per-machine floor and "identical": true (the engine matched the
-naive oracle bit for bit). Every gated entry must actually be present:
-a missing artifact, a malformed document, or a gated machine absent
-from the artifact is a hard failure — an absent measurement is not a
-passing one. Exits non-zero on any violation.
+Two floor tables are supported:
+
+  bench_speedup_floors: {artifact: {machine: floor}} — the artifact's
+    "machines" array must report engine-vs-naive speedup at or above
+    the per-machine floor and "identical": true (the engine matched
+    the naive oracle bit for bit).
+
+  bench_metric_floors: {artifact: {dotted.path: floor}} — the value
+    at the dotted path inside the artifact must be numeric and >= the
+    floor; a boolean floor requires exact equality (e.g. a pinned
+    "identical": true).
+
+Every gated entry must actually be present: a missing artifact, a
+malformed document, or a gated field absent from the artifact is a
+hard failure — an absent measurement is not a passing one. Exits
+non-zero on any violation.
 """
 
 import json
@@ -71,6 +81,59 @@ def check_artifact(artifact: str, machines: dict, failures: list) -> None:
                   f">= {floor:.2f}x")
 
 
+def lookup_path(doc, dotted: str):
+    """Resolve a dotted path ("latency_ms.p99") in nested dicts."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_metric_artifact(artifact: str, metrics: dict,
+                          failures: list) -> None:
+    path = ROOT / artifact
+    if not path.exists():
+        failures.append(
+            f"{artifact}: artifact missing — every artifact gated in "
+            "bench_metric_floors must be committed (regenerate it "
+            "with the matching bench binary)")
+        return
+    try:
+        doc = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        failures.append(f"{artifact}: unreadable ({exc})")
+        return
+    for dotted, floor in metrics.items():
+        value = lookup_path(doc, dotted)
+        if value is None:
+            failures.append(
+                f"{artifact}: gated field \"{dotted}\" absent from "
+                "the artifact — the floor cannot be checked, so this "
+                "fails; regenerate the artifact")
+            continue
+        if isinstance(floor, bool):
+            if value is not floor:
+                failures.append(
+                    f"{artifact}: {dotted} is {value!r}, pinned to "
+                    f"{floor!r}")
+            else:
+                print(f"ok: {artifact} {dotted} == {floor!r}")
+            continue
+        if not isinstance(value, (int, float)) or isinstance(
+                value, bool):
+            failures.append(
+                f"{artifact}: {dotted} is not numeric ({value!r})")
+            continue
+        if value < floor:
+            failures.append(
+                f"{artifact}: {dotted} {value:.2f} below floor "
+                f"{floor:.2f}")
+        else:
+            print(f"ok: {artifact} {dotted} {value:.2f} >= {floor:.2f}")
+
+
 def main() -> int:
     budget_path = ROOT / "tools/perf_budgets.json"
     try:
@@ -94,6 +157,19 @@ def main() -> int:
                 "machine or drop the artifact from the table")
             continue
         check_artifact(artifact, machines, failures)
+    metric_floors = budgets.get("bench_metric_floors", {})
+    if not isinstance(metric_floors, dict):
+        failures.append(
+            "tools/perf_budgets.json: bench_metric_floors must be an "
+            "object")
+        metric_floors = {}
+    for artifact, metrics in sorted(metric_floors.items()):
+        if not isinstance(metrics, dict) or not metrics:
+            failures.append(
+                f"{artifact}: empty metric floors entry — gate at "
+                "least one field or drop the artifact from the table")
+            continue
+        check_metric_artifact(artifact, metrics, failures)
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)
     return 1 if failures else 0
